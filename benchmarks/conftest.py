@@ -1,0 +1,25 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables/figures.  The
+rendered artifact is printed (visible with ``pytest -s``) and written to
+``benchmarks/results/`` so EXPERIMENTS.md can reference concrete runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

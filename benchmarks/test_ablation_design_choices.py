@@ -1,0 +1,158 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each test isolates one technique the paper advocates and quantifies what
+turning it off costs, at the paper's scale:
+
+* output privatization (Section IV-C) — the 10x headline;
+* ROC-vs-SHM tile placement under a shared-memory-hungry output;
+* block size (the paper picks 1024 for 2-PCF via its model [23]);
+* CPU scheduler and affinity choices (Section IV-D);
+* planner vs fixed kernel (the Section V framework vision).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import pcf, sdh
+from repro.core import make_kernel, plan_kernel
+from repro.cpusim import CpuTwoBodyRunner
+
+MAXD = 10.0 * math.sqrt(3.0)
+N = 1_048_576
+
+
+def sdh_problem(bins=2500):
+    return sdh.make_problem(bins, MAXD, box=10.0)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_output_privatization(benchmark, save_artifact):
+    problem = sdh_problem()
+    direct = make_kernel(problem, "register-shm", "global-atomic", block_size=256)
+    private = make_kernel(problem, "register-shm", "privatized-shm", block_size=256)
+
+    def ratio():
+        return direct.simulate(N).seconds / private.simulate(N).seconds
+
+    r = benchmark(ratio)
+    save_artifact(
+        "ablation_privatization",
+        f"output privatization gain at N={N}: {r:.1f}x (paper: ~10x)",
+    )
+    assert 7 < r < 18
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_tile_placement_vs_histogram_size(benchmark, save_artifact):
+    """ROC tiling wins exactly when the output claims shared memory."""
+
+    def gains():
+        out = []
+        for bins in (500, 2500, 5000):
+            problem = sdh_problem(bins)
+            shm = make_kernel(problem, "register-shm", "privatized-shm", 256)
+            roc = make_kernel(problem, "register-roc", "privatized-shm", 256)
+            out.append((bins, shm.simulate(N).seconds / roc.simulate(N).seconds))
+        return out
+
+    rows = benchmark(gains)
+    text = "\n".join(
+        f"bins={b}: Reg-SHM-Out / Reg-ROC-Out = {g:.3f}" for b, g in rows
+    )
+    save_artifact("ablation_tile_placement", text)
+    # at the paper's 2500-bucket configuration ROC tiling wins, because
+    # freeing the tile's shared memory buys a whole extra resident block;
+    # the advantage is NOT monotone in bucket count — when both variants
+    # round to the same blocks-per-SM (e.g. 5000 buckets) the cheaper
+    # shared-memory reads win the pipeline race instead
+    gains_by_bins = dict(rows)
+    assert gains_by_bins[2500] > 1.0
+    assert gains_by_bins[500] > 1.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_block_size(benchmark, save_artifact):
+    problem = pcf.make_problem(1.0)
+
+    def sweep():
+        return {
+            b: make_kernel(problem, "register-shm", "register", b).simulate(N).seconds
+            for b in (32, 64, 128, 256, 512, 1024)
+        }
+
+    times = benchmark(sweep)
+    save_artifact(
+        "ablation_block_size",
+        "\n".join(f"B={b}: {t:.3f}s" for b, t in times.items()),
+    )
+    # B=32 cannot fill an SM (32-blocks-per-SM cap x 32 threads = 50%
+    # occupancy) and pays ~1.7x; every B >= 64 keeps full occupancy and
+    # times stay flat — consistent with the paper's choice of large blocks
+    flat = np.array([t for b, t in times.items() if b >= 64])
+    assert flat.max() / flat.min() < 1.1
+    assert times[32] > 1.4 * flat.min()
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_cpu_scheduler(benchmark, save_artifact):
+    problem = sdh_problem()
+
+    def sweep():
+        return {
+            s: CpuTwoBodyRunner(problem, scheduler=s).simulate(N).seconds
+            for s in ("static", "dynamic", "guided")
+        }
+
+    times = benchmark(sweep)
+    save_artifact(
+        "ablation_cpu_scheduler",
+        "\n".join(f"{s}: {t:.1f}s" for s, t in times.items()),
+    )
+    # the paper picked guided; static's triangular imbalance costs ~2x
+    assert times["static"] > 1.5 * times["guided"]
+    assert times["dynamic"] == pytest.approx(times["guided"], rel=0.15)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_cpu_affinity(benchmark, save_artifact):
+    problem = sdh_problem()
+
+    def sweep():
+        return {
+            a: CpuTwoBodyRunner(problem, n_threads=8, affinity=a).simulate(N).seconds
+            for a in ("compact", "scatter", "balanced")
+        }
+
+    times = benchmark(sweep)
+    save_artifact(
+        "ablation_cpu_affinity",
+        "\n".join(f"{a}: {t:.1f}s" for a, t in times.items()),
+    )
+    assert times["compact"] > 1.2 * times["balanced"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_planner_vs_fixed(benchmark, save_artifact):
+    """The framework vision: the planner must never lose badly to the
+    fixed paper kernels, and must beat naive compositions soundly."""
+    problem = sdh_problem()
+
+    def compare():
+        plan = plan_kernel(problem, N, block_sizes=(128, 256, 512))
+        fixed = make_kernel(problem, "register-roc", "privatized-shm", 256)
+        naive = make_kernel(problem, "naive", "global-atomic", 256)
+        return (
+            plan.chosen.predicted_seconds,
+            fixed.simulate(N).seconds,
+            naive.simulate(N).seconds,
+        )
+
+    planned, fixed, naive = benchmark(compare)
+    save_artifact(
+        "ablation_planner",
+        f"planner: {planned:.2f}s  paper-fixed: {fixed:.2f}s  naive: {naive:.2f}s",
+    )
+    assert planned <= fixed * 1.02
+    assert planned < naive / 8

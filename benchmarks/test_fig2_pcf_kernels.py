@@ -1,0 +1,37 @@
+"""Fig. 2 — 2-PCF pairwise-stage kernels: runtime + speedup over Naive.
+
+Paper claims reproduced: quadratic growth; Register-SHM best (avg 5.5x,
+max 6x over Naive); SHM-SHM 5.3x; Register-ROC 4.7x.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import pcf
+from repro.bench import PAPER_SIZES, fig2_pcf_kernels
+from repro.core import PAPER_PCF, make_kernel
+
+
+@pytest.mark.benchmark(group="fig2")
+@pytest.mark.parametrize("display,inp,out", PAPER_PCF)
+def test_fig2_kernel_simulation(benchmark, display, inp, out):
+    """Per-kernel prediction at N=1M (benchmark times the model itself)."""
+    problem = pcf.make_problem(1.0)
+    kernel = make_kernel(problem, inp, out, block_size=1024, name=display)
+    report = benchmark(kernel.simulate, 1_048_576)
+    benchmark.extra_info["simulated_seconds"] = report.seconds
+    benchmark.extra_info["arith_utilization"] = report.utilization["arith"]
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_full_series(benchmark, save_artifact):
+    fig = benchmark(fig2_pcf_kernels, PAPER_SIZES)
+    speedups = fig.speedup_over("Naive")
+    lines = [fig.render()]
+    lines.append("speedup over Naive (paper: 5.5x / 5.3x / 4.7x):")
+    for label in ("Register-SHM", "SHM-SHM", "Register-ROC"):
+        lines.append(f"  {label}: avg {np.mean(speedups[label]):.2f}x "
+                     f"max {np.max(speedups[label]):.2f}x")
+    save_artifact("fig2_pcf_kernels", "\n".join(lines))
+    assert np.mean(speedups["Register-SHM"]) > np.mean(speedups["SHM-SHM"])
+    assert np.mean(speedups["SHM-SHM"]) > np.mean(speedups["Register-ROC"]) > 1

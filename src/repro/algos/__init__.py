@@ -1,0 +1,10 @@
+"""Advanced (sub-quadratic) 2-BS algorithms layered on the framework.
+
+Section II of the paper: lower-complexity algorithms "share common
+computational primitives with the quadratic algorithms therefore they can
+be put into the same parallel computing framework."
+"""
+
+from .treesdh import TreeSdh, TreeSdhStats
+
+__all__ = ["TreeSdh", "TreeSdhStats"]

@@ -1,0 +1,21 @@
+"""2-body-statistics applications built on the framework.
+
+One module per member of the paper's 2-BS family (Sections I and III-B):
+
+======================  =======  ==================================
+module                  type     statistic
+======================  =======  ==================================
+:mod:`~repro.apps.pcf`  Type-I   two-point correlation function
+:mod:`~repro.apps.knn`  Type-I   all-point k-nearest neighbours
+:mod:`~repro.apps.kde`  Type-I   kernel density / regression
+:mod:`~repro.apps.sdh`  Type-II  spatial distance histogram
+:mod:`~repro.apps.rdf`  Type-II  radial distribution function
+:mod:`~repro.apps.join` Type-III relational band / spatial join
+:mod:`~repro.apps.gram` Type-III kernel (Gram) matrix
+:mod:`~repro.apps.pss`  Type-III pairwise statistical significance
+======================  =======  ==================================
+"""
+
+from . import gram, join, kde, knn, pcf, pss, rdf, sdh
+
+__all__ = ["pcf", "sdh", "rdf", "knn", "kde", "join", "gram", "pss"]

@@ -1,0 +1,112 @@
+"""Relational (band / theta) join — Type-III 2-BS.
+
+"Relational join, which outputs concatenated tuples ... total number of
+output tuples can be quadratic (especially in non-equality joins)"
+(Section III-B; He et al. [2] is the GPU prior art).  A self band-join
+emits every pair whose key difference is within ``eps``; a spatial
+variant joins on Euclidean distance.  Output goes straight to global
+memory through an atomic ticket counter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.distances import EUCLIDEAN, MANHATTAN
+from ..core.kernels import ComposedKernel, make_kernel
+from ..core.problem import OutputClass, OutputSpec, TwoBodyProblem, UpdateKind
+from ..core.runner import RunResult, run
+from ..gpusim.calibration import JOIN_COMPUTE
+from ..gpusim.device import Device
+
+
+def make_problem(
+    eps: float, dims: int = 1, selectivity: float = 0.05
+) -> TwoBodyProblem:
+    """Self band-join as a framework problem: emit pairs with distance
+    (1-D: |a-b|) at most ``eps``."""
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    spec = OutputSpec(
+        klass=OutputClass.TYPE_III,
+        kind=UpdateKind.EMIT_PAIRS,
+        size_fn=lambda n: n * n,  # worst case
+        map_fn=lambda d: d <= eps,
+        selectivity=selectivity,
+    )
+    pair_fn = MANHATTAN if dims == 1 else EUCLIDEAN
+    return TwoBodyProblem(
+        name=f"band-join(eps={eps:g})",
+        dims=dims,
+        pair_fn=pair_fn,
+        output=spec,
+        compute_cost=JOIN_COMPUTE,
+    )
+
+
+def default_kernel(problem: TwoBodyProblem, block_size: int = 256) -> ComposedKernel:
+    """Type-III default: Register-SHM input (shared memory is free — the
+    output needs none) with direct global output."""
+    return make_kernel(
+        problem, "register-shm", "global-direct", block_size=block_size,
+        name="Reg-SHM-Gmem",
+    )
+
+
+def band_join(
+    values: np.ndarray,
+    eps: float,
+    kernel: Optional[ComposedKernel] = None,
+    device: Optional[Device] = None,
+) -> Tuple[np.ndarray, RunResult]:
+    """Self band-join over 1-D keys; returns sorted (P, 2) index pairs."""
+    v = np.asarray(values, dtype=np.float64).reshape(-1, 1)
+    problem = make_problem(eps, dims=1)
+    krn = kernel or default_kernel(problem)
+    res = run(problem, v, kernel=krn, device=device)
+    pairs = np.asarray(res.result)
+    if pairs.size:
+        pairs = np.sort(pairs, axis=1)
+        pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+    return pairs, res
+
+
+def spatial_join(
+    points: np.ndarray,
+    eps: float,
+    kernel: Optional[ComposedKernel] = None,
+    device: Optional[Device] = None,
+) -> Tuple[np.ndarray, RunResult]:
+    """Self spatial join: pairs within Euclidean distance ``eps``."""
+    pts = np.asarray(points, dtype=np.float64)
+    problem = make_problem(eps, dims=pts.shape[1])
+    krn = kernel or default_kernel(problem)
+    res = run(problem, pts, kernel=krn, device=device)
+    pairs = np.asarray(res.result)
+    if pairs.size:
+        pairs = np.sort(pairs, axis=1)
+        pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+    return pairs, res
+
+
+def cross_band_join(
+    values_a: np.ndarray,
+    values_b: np.ndarray,
+    eps: float,
+    device: Optional[Device] = None,
+) -> np.ndarray:
+    """Band join *between two tables* — the paper's actual relational-join
+    case ("concatenated tuples from two tables").  Returns (i, j) index
+    pairs with |a_i - b_j| <= eps, lexicographically sorted."""
+    from ..core.cross import CrossKernel
+
+    a = np.asarray(values_a, dtype=np.float64).reshape(-1, 1)
+    b = np.asarray(values_b, dtype=np.float64).reshape(-1, 1)
+    problem = make_problem(eps, dims=1)
+    kernel = CrossKernel(problem, "register-shm", block_size=256)
+    pairs, _ = kernel.execute(device or Device(), a, b)
+    if len(pairs):
+        pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+    return pairs

@@ -1,0 +1,93 @@
+"""All-point k-nearest neighbours — Type-I 2-BS (small k).
+
+"Other examples are all-point k-nearest neighbors (when k is small) ...
+which output classification results" (Section III-B).  Each thread keeps
+its k best candidates in registers; because the output is per-point, every
+point must see *all* partners, so the kernel runs in full-row mode (each
+unordered pair is evaluated from both endpoints).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.distances import EUCLIDEAN
+from ..core.kernels import ComposedKernel, make_kernel
+from ..core.problem import OutputClass, OutputSpec, TwoBodyProblem, UpdateKind
+from ..core.runner import RunResult, run
+from ..gpusim.calibration import KNN_COMPUTE
+from ..gpusim.device import Device
+
+
+def make_problem(k: int, dims: int = 3) -> TwoBodyProblem:
+    """All-point kNN as a framework problem."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    spec = OutputSpec(
+        klass=OutputClass.TYPE_I,
+        kind=UpdateKind.TOPK,
+        size_fn=lambda n: 2 * k * n,
+        k=k,
+    )
+    return TwoBodyProblem(
+        name=f"knn(k={k})",
+        dims=dims,
+        pair_fn=EUCLIDEAN,
+        output=spec,
+        compute_cost=KNN_COMPUTE,
+    )
+
+
+def default_kernel(problem: TwoBodyProblem, block_size: int = 256) -> ComposedKernel:
+    return make_kernel(
+        problem, "register-shm", "register", block_size=block_size,
+        name="Register-SHM",
+    )
+
+
+def compute(
+    points: np.ndarray,
+    k: int,
+    kernel: Optional[ComposedKernel] = None,
+    device: Optional[Device] = None,
+) -> Tuple[np.ndarray, np.ndarray, RunResult]:
+    """(distances, neighbour ids, run result), each array (N, k)."""
+    pts = np.asarray(points, dtype=np.float64)
+    if k >= len(pts):
+        raise ValueError(f"k={k} needs at least k+1 points, got {len(pts)}")
+    problem = make_problem(k, dims=pts.shape[1])
+    krn = kernel or default_kernel(problem)
+    res = run(problem, pts, kernel=krn, device=device)
+    dists, ids = res.result
+    return dists, ids, res
+
+
+def outlier_scores(
+    points: np.ndarray, k: int, **kwargs
+) -> Tuple[np.ndarray, RunResult]:
+    """Nonparametric outlier score: mean distance to the k nearest
+    neighbours (one of the paper's Section I motivating applications)."""
+    dists, _, res = compute(points, k, **kwargs)
+    return dists.mean(axis=1), res
+
+
+def query(
+    queries: np.ndarray,
+    corpus: np.ndarray,
+    k: int,
+    device: Optional[Device] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """k nearest corpus points for each query point (classification /
+    retrieval form of kNN) via the cross-dataset kernel."""
+    from ..core.cross import CrossKernel
+
+    q = np.asarray(queries, dtype=np.float64)
+    c = np.asarray(corpus, dtype=np.float64)
+    if k > len(c):
+        raise ValueError(f"k={k} exceeds corpus size {len(c)}")
+    problem = make_problem(k, dims=q.shape[1])
+    kernel = CrossKernel(problem, "register-shm", block_size=256)
+    (dists, ids), _ = kernel.execute(device or Device(), q, c)
+    return dists, ids

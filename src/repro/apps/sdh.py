@@ -1,0 +1,104 @@
+"""Spatial distance histogram (SDH) — Type-II 2-BS.
+
+"SDH also requires computing all pairwise Euclidean distances, but it
+outputs a histogram that shows the distribution of all distances computed.
+The output size ... normally comes at the level of tens of kilobytes
+therefore can be placed in shared memory" (Section IV-D).  This is the
+paper's vehicle for the output-stage evaluation (Figs. 4, 5, 7, 9 and
+Tables III, IV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.distances import EUCLIDEAN
+from ..core.kernels import ComposedKernel, make_kernel
+from ..core.problem import OutputClass, OutputSpec, TwoBodyProblem, UpdateKind
+from ..core.runner import RunResult, run
+from ..data.generators import sdh_bucket_probabilities
+from ..gpusim.calibration import SDH_COMPUTE
+from ..gpusim.device import Device
+
+
+def bucket_map(bucket_width: float, bins: int):
+    """Distance -> bucket index, clamping the (measure-zero) top edge."""
+    if bucket_width <= 0:
+        raise ValueError(f"bucket width must be positive, got {bucket_width}")
+
+    def to_bucket(d: np.ndarray) -> np.ndarray:
+        return np.minimum((d / bucket_width).astype(np.int64), bins - 1)
+
+    return to_bucket
+
+
+def make_problem(
+    bins: int,
+    max_distance: float,
+    dims: int = 3,
+    bin_probabilities: Optional[np.ndarray] = None,
+    box: Optional[float] = None,
+) -> TwoBodyProblem:
+    """The SDH as a framework problem.
+
+    ``bin_probabilities`` feeds the analytical contention model; when a
+    ``box`` is given for uniform data it is estimated automatically.
+    """
+    if bins <= 0:
+        raise ValueError(f"bins must be positive, got {bins}")
+    if max_distance <= 0:
+        raise ValueError(f"max_distance must be positive, got {max_distance}")
+    width = max_distance / bins
+    probs = bin_probabilities
+    if probs is None and box is not None:
+        probs = sdh_bucket_probabilities(bins, box=box, dims=dims)
+    spec = OutputSpec(
+        klass=OutputClass.TYPE_II,
+        kind=UpdateKind.HISTOGRAM,
+        size_fn=lambda n: bins,
+        map_fn=bucket_map(width, bins),
+        bins=bins,
+        bin_probabilities=probs,
+    )
+    return TwoBodyProblem(
+        name=f"sdh({bins} buckets)",
+        dims=dims,
+        pair_fn=EUCLIDEAN,
+        output=spec,
+        compute_cost=SDH_COMPUTE,
+    )
+
+
+def default_kernel(
+    problem: TwoBodyProblem, block_size: int = 256
+) -> ComposedKernel:
+    """The paper's winner for Type-II: Reg-ROC-Out — ROC tiling keeps
+    shared memory free for the privatized histogram (Section IV-D)."""
+    return make_kernel(
+        problem, "register-roc", "privatized-shm", block_size=block_size,
+        name="Reg-ROC-Out",
+    )
+
+
+def compute(
+    points: np.ndarray,
+    bins: int,
+    max_distance: Optional[float] = None,
+    kernel: Optional[ComposedKernel] = None,
+    device: Optional[Device] = None,
+) -> Tuple[np.ndarray, RunResult]:
+    """Compute the SDH on the simulated GPU.
+
+    ``max_distance`` defaults to the data's bounding-box diagonal (so no
+    distance is clamped).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if max_distance is None:
+        span = pts.max(axis=0) - pts.min(axis=0)
+        max_distance = float(np.linalg.norm(span)) or 1.0
+    problem = make_problem(bins, max_distance, dims=pts.shape[1])
+    k = kernel or default_kernel(problem)
+    res = run(problem, pts, kernel=k, device=device)
+    return res.result, res

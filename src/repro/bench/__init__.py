@@ -1,0 +1,32 @@
+"""Benchmark harness: regenerates every table and figure of the paper's
+evaluation section (see the experiment index in DESIGN.md)."""
+
+from .figures import (
+    PCF_BLOCK,
+    PCF_RADIUS,
+    SDH_BINS,
+    SDH_BLOCK,
+    SDH_BOX,
+    fig2_pcf_kernels,
+    fig4_sdh_kernels,
+    fig5_output_size,
+    fig7_load_balance,
+    fig9_shuffle,
+)
+from .harness import FigureData, PAPER_SIZES, Series, crossover, geometric_sizes
+from .tables import (
+    TABLE2_KERNELS,
+    TABLE34_KERNELS,
+    table2_pcf_utilization,
+    table3_sdh_bandwidth,
+    table4_sdh_utilization,
+)
+
+__all__ = [
+    "FigureData", "Series", "PAPER_SIZES", "geometric_sizes", "crossover",
+    "fig2_pcf_kernels", "fig4_sdh_kernels", "fig5_output_size",
+    "fig7_load_balance", "fig9_shuffle", "table2_pcf_utilization",
+    "table3_sdh_bandwidth", "table4_sdh_utilization", "TABLE2_KERNELS",
+    "TABLE34_KERNELS", "SDH_BINS", "SDH_BLOCK", "SDH_BOX", "PCF_BLOCK",
+    "PCF_RADIUS",
+]

@@ -1,0 +1,181 @@
+"""Per-figure series builders: the code that regenerates Figs. 2, 4, 5, 7
+and 9 of the paper's evaluation.
+
+Each builder runs the analytical simulation path at the paper's data
+scales (functional execution at 10^6 points is the GPU's job, not the
+simulator's) and returns a :class:`~repro.bench.harness.FigureData` whose
+series carry the same labels the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..apps import pcf as pcf_app
+from ..apps import sdh as sdh_app
+from ..core.kernels import PAPER_PCF, PAPER_SDH, make_kernel
+from ..cpusim import CpuTwoBodyRunner
+from ..gpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from ..gpusim.spec import DeviceSpec, TITAN_X
+from .harness import FigureData, PAPER_SIZES
+
+#: paper SDH configuration: ~2500 buckets ("tens of kilobytes"), B=256
+SDH_BINS = 2500
+SDH_BOX = 10.0
+SDH_BLOCK = 256
+#: paper 2-PCF configuration: B=1024 (from the model in their ref. [23])
+PCF_BLOCK = 1024
+PCF_RADIUS = 1.0
+
+
+def _sdh_problem(bins: int = SDH_BINS):
+    return sdh_app.make_problem(
+        bins, SDH_BOX * math.sqrt(3), dims=3, box=SDH_BOX
+    )
+
+
+def fig2_pcf_kernels(
+    sizes: Sequence[int] = PAPER_SIZES,
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> FigureData:
+    """Fig. 2: 2-PCF runtime for Naive / SHM-SHM / Register-SHM /
+    Register-ROC (speedups over Naive come from ``speedup_over``)."""
+    problem = pcf_app.make_problem(PCF_RADIUS)
+    fig = FigureData(
+        name="Fig. 2 — 2-PCF pairwise-stage kernels",
+        x_label="atoms",
+        x_values=list(sizes),
+        notes=f"B={PCF_BLOCK}, uniform 3-D data, Titan X model",
+    )
+    for display, inp, out in PAPER_PCF:
+        kernel = make_kernel(problem, inp, out, block_size=PCF_BLOCK, name=display)
+        fig.add(
+            display,
+            [kernel.simulate(n, spec=spec, calib=calib).seconds for n in sizes],
+        )
+    return fig
+
+
+def fig4_sdh_kernels(
+    sizes: Sequence[int] = PAPER_SIZES,
+    bins: int = SDH_BINS,
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    kernels: Optional[Sequence[tuple]] = None,
+) -> FigureData:
+    """Fig. 4: SDH runtime for the CPU baseline, the global-atomic-output
+    kernels and the privatized (-Out) kernels."""
+    problem = _sdh_problem(bins)
+    fig = FigureData(
+        name="Fig. 4 — SDH kernels vs CPU",
+        x_label="atoms",
+        x_values=list(sizes),
+        notes=f"B={SDH_BLOCK}, {bins} buckets, uniform 3-D data",
+    )
+    cpu = CpuTwoBodyRunner(problem)
+    fig.add("CPU", [cpu.simulate(n).seconds for n in sizes])
+    lineup = kernels if kernels is not None else [
+        k for k in PAPER_SDH if k[0] != "Shuffle"
+    ]
+    for display, inp, out in lineup:
+        kernel = make_kernel(problem, inp, out, block_size=SDH_BLOCK, name=display)
+        fig.add(
+            display,
+            [kernel.simulate(n, spec=spec, calib=calib).seconds for n in sizes],
+        )
+    return fig
+
+
+def fig5_output_size(
+    bucket_counts: Sequence[int] = (16, 64, 128, 256, 512, 1000, 1500, 2000,
+                                    2500, 3000, 3200, 3500, 4000, 4400, 4800, 5000),
+    n: int = 512_000,
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> FigureData:
+    """Fig. 5: Reg-ROC-Out runtime and occupancy vs SDH bucket count —
+    runtime steps up as the shared-memory histogram squeezes occupancy,
+    and degrades again at very small counts from atomic contention."""
+    fig = FigureData(
+        name="Fig. 5 — Reg-ROC-Out vs output size",
+        x_label="buckets",
+        x_values=[float(b) for b in bucket_counts],
+        notes=f"N={n}, B={SDH_BLOCK}",
+    )
+    times, occs = [], []
+    for bins in bucket_counts:
+        problem = _sdh_problem(bins)
+        kernel = make_kernel(
+            problem, "register-roc", "privatized-shm",
+            block_size=SDH_BLOCK, name="Reg-ROC-Out",
+        )
+        report = kernel.simulate(n, spec=spec, calib=calib)
+        times.append(report.seconds)
+        occs.append(report.occupancy * 100.0)
+    fig.add("time", times)
+    fig.add("occupancy %", occs)
+    return fig
+
+
+def fig7_load_balance(
+    sizes: Sequence[int] = (614_400, 1_228_800, 1_843_200, 2_457_600, 3_072_000),
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> FigureData:
+    """Fig. 7: intra-block pass runtime, plain Register-SHM vs the cyclic
+    load-balanced schedule (expect a 12-13% gain at B=256)."""
+    problem = _sdh_problem()
+    plain = make_kernel(
+        problem, "register-shm", "privatized-shm", block_size=SDH_BLOCK,
+        name="Register-SHM",
+    )
+    balanced = make_kernel(
+        problem, "register-shm", "privatized-shm", block_size=SDH_BLOCK,
+        load_balanced=True, name="Register-SHM-LB",
+    )
+    fig = FigureData(
+        name="Fig. 7 — intra-block load balancing",
+        x_label="atoms",
+        x_values=list(sizes),
+        notes=f"intra-block pass only, B={SDH_BLOCK}",
+    )
+    fig.add(
+        "Register-SHM",
+        [plain.simulate_intra(n, spec=spec, calib=calib).seconds for n in sizes],
+    )
+    fig.add(
+        "Register-SHM-LB",
+        [balanced.simulate_intra(n, spec=spec, calib=calib).seconds for n in sizes],
+    )
+    return fig
+
+
+def fig9_shuffle(
+    sizes: Sequence[int] = PAPER_SIZES,
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> FigureData:
+    """Fig. 9: shuffle tiling vs Reg-SHM-Out / Reg-ROC-Out and the CPU —
+    shuffle should run within a few percent of the cache-tiled kernels."""
+    problem = _sdh_problem()
+    fig = FigureData(
+        name="Fig. 9 — tiling with shuffle instructions",
+        x_label="atoms",
+        x_values=list(sizes),
+        notes=f"B={SDH_BLOCK}, {SDH_BINS} buckets",
+    )
+    cpu = CpuTwoBodyRunner(problem)
+    fig.add("CPU", [cpu.simulate(n).seconds for n in sizes])
+    for display, inp, out in PAPER_SDH:
+        if display not in ("Reg-SHM-Out", "Reg-ROC-Out", "Shuffle"):
+            continue
+        kernel = make_kernel(problem, inp, out, block_size=SDH_BLOCK, name=display)
+        fig.add(
+            display,
+            [kernel.simulate(n, spec=spec, calib=calib).seconds for n in sizes],
+        )
+    return fig

@@ -1,0 +1,97 @@
+"""Benchmark harness utilities: sweeps, series and table rendering.
+
+Every figure/table builder in :mod:`repro.bench.figures` and
+:mod:`repro.bench.tables` returns plain data (dicts of series) plus a
+``render`` helper, so the pytest benchmarks, EXPERIMENTS.md generation and
+the examples all consume the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Series:
+    """One plotted curve: a label and y-values over a shared x-axis."""
+
+    label: str
+    values: List[float]
+
+    def ratio_to(self, other: "Series") -> List[float]:
+        if len(self.values) != len(other.values):
+            raise ValueError(
+                f"series lengths differ: {len(self.values)} vs {len(other.values)}"
+            )
+        return [o / s if s else float("inf") for s, o in zip(self.values, other.values)]
+
+
+@dataclass
+class FigureData:
+    """A reproduced figure: x-axis plus named series (like the paper's
+    two-panel time/speedup plots)."""
+
+    name: str
+    x_label: str
+    x_values: List[float]
+    series: Dict[str, Series] = field(default_factory=dict)
+    notes: str = ""
+
+    def add(self, label: str, values: Sequence[float]) -> None:
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"{label}: {len(values)} values for {len(self.x_values)} x points"
+            )
+        self.series[label] = Series(label, list(values))
+
+    def speedup_over(self, baseline: str) -> Dict[str, List[float]]:
+        """Per-series speedups relative to ``baseline`` (paper's right
+        panels)."""
+        base = self.series[baseline]
+        return {
+            label: s.ratio_to(base) if label != baseline else [1.0] * len(base.values)
+            for label, s in self.series.items()
+        }
+
+    def render(self, unit: str = "s", precision: int = 4) -> str:
+        """Fixed-width text table of the figure's data."""
+        labels = list(self.series)
+        header = [self.x_label] + [f"{l} ({unit})" for l in labels]
+        rows = [header]
+        for i, x in enumerate(self.x_values):
+            rows.append(
+                [f"{x:g}"]
+                + [f"{self.series[l].values[i]:.{precision}g}" for l in labels]
+            )
+        widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+        out = [f"== {self.name} =="]
+        if self.notes:
+            out.append(self.notes)
+        for r_i, r in enumerate(rows):
+            out.append("  ".join(cell.rjust(widths[c]) for c, cell in enumerate(r)))
+            if r_i == 0:
+                out.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        return "\n".join(out)
+
+
+def geometric_sizes(start: int, stop: int, points: int) -> List[int]:
+    """Geometrically spaced problem sizes, rounded to multiples of 1024."""
+    import numpy as np
+
+    raw = np.geomspace(start, stop, points)
+    return [int(round(v / 1024) * 1024) or 1024 for v in raw]
+
+
+#: the paper's data-size sweep ("size ranging from 512 to 2 million";
+#: plots span 100k..1.6M-3M) — a compact representative grid.
+PAPER_SIZES: tuple = (102_400, 204_800, 409_600, 819_200, 1_228_800, 1_638_400)
+
+
+def crossover(xs: Sequence[float], a: Sequence[float], b: Sequence[float]) -> Optional[float]:
+    """x where series a first drops below series b (None if never) —
+    used to report knee/crossover positions in EXPERIMENTS.md."""
+    for x, va, vb in zip(xs, a, b):
+        if va < vb:
+            return x
+    return None

@@ -1,0 +1,85 @@
+"""Per-table builders: Tables II, III and IV of the paper's evaluation.
+
+Each builder simulates the relevant kernels at the paper's configuration
+and returns the :class:`~repro.gpusim.profiler.SimReport` list plus a
+rendered text table in the paper's format.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..apps import pcf as pcf_app
+from ..apps import sdh as sdh_app
+from ..core.kernels import make_kernel
+from ..gpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from ..gpusim.profiler import SimReport, bandwidth_table, utilization_table
+from ..gpusim.spec import DeviceSpec, TITAN_X
+from .figures import PCF_BLOCK, PCF_RADIUS, SDH_BINS, SDH_BLOCK, SDH_BOX
+
+#: Table II line-up (2-PCF kernels) with the paper's row labels.
+TABLE2_KERNELS: Tuple[Tuple[str, str, str], ...] = (
+    ("Naive", "naive", "register"),
+    ("SHM-SHM", "shm-shm", "register"),
+    ("Reg-SHM", "register-shm", "register"),
+    ("Reg-ROC", "register-roc", "register"),
+)
+
+#: Tables III/IV line-up (SDH kernels).
+TABLE34_KERNELS: Tuple[Tuple[str, str, str], ...] = (
+    ("Naive", "naive", "global-atomic"),
+    ("Naive-Out", "naive", "privatized-shm"),
+    ("Reg-SHM-Out", "register-shm", "privatized-shm"),
+    ("Reg-ROC-Out", "register-roc", "privatized-shm"),
+)
+
+
+def table2_pcf_utilization(
+    n: int = 1_048_576,
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> Tuple[List[SimReport], str]:
+    """Table II: utilization of GPU resources for the 2-PCF kernels."""
+    problem = pcf_app.make_problem(PCF_RADIUS)
+    reports = []
+    for display, inp, out in TABLE2_KERNELS:
+        kernel = make_kernel(problem, inp, out, block_size=PCF_BLOCK, name=display)
+        reports.append(kernel.simulate(n, spec=spec, calib=calib))
+    return reports, utilization_table(reports)
+
+
+def _sdh_reports(
+    n: int,
+    spec: DeviceSpec,
+    calib: Calibration,
+    lineup: Sequence[Tuple[str, str, str]] = TABLE34_KERNELS,
+) -> List[SimReport]:
+    problem = sdh_app.make_problem(
+        SDH_BINS, SDH_BOX * math.sqrt(3), dims=3, box=SDH_BOX
+    )
+    reports = []
+    for display, inp, out in lineup:
+        kernel = make_kernel(problem, inp, out, block_size=SDH_BLOCK, name=display)
+        reports.append(kernel.simulate(n, spec=spec, calib=calib))
+    return reports
+
+
+def table3_sdh_bandwidth(
+    n: int = 512_000,
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> Tuple[List[SimReport], str]:
+    """Table III: achieved bandwidth per memory unit for SDH kernels."""
+    reports = _sdh_reports(n, spec, calib)
+    return reports, bandwidth_table(reports)
+
+
+def table4_sdh_utilization(
+    n: int = 512_000,
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> Tuple[List[SimReport], str]:
+    """Table IV: utilization of GPU resources for SDH kernels."""
+    reports = _sdh_reports(n, spec, calib)
+    return reports, utilization_table(reports)

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``estimate`` — predict a kernel's runtime/utilization at any data size;
+* ``plan``     — run the model-driven planner for a problem;
+* ``sdh`` / ``pcf`` — compute a statistic over generated data on the
+  simulated device;
+* ``figures``  — regenerate the paper's figures/tables (see also
+  ``examples/reproduce_paper.py``);
+* ``devices``  — list the built-in GPU presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import bench
+from .apps import pcf as pcf_app
+from .apps import sdh as sdh_app
+from .core import make_kernel, plan_kernel
+from .core.kernels import INPUT_STRATEGIES, OUTPUT_STRATEGIES
+from .data import uniform_points
+from .gpusim import PRESETS, get_device_spec
+
+
+def _problem(args):
+    if args.problem == "sdh":
+        maxd = args.box * math.sqrt(3)
+        return sdh_app.make_problem(args.bins, maxd, box=args.box)
+    return pcf_app.make_problem(args.radius)
+
+
+def cmd_estimate(args) -> int:
+    spec = get_device_spec(args.device)
+    problem = _problem(args)
+    kernel = make_kernel(
+        problem, args.input, args.output or None, block_size=args.block_size
+    )
+    report = kernel.simulate(args.n, spec=spec)
+    print(f"kernel        : {kernel.name} (B={args.block_size}) on {spec.name}")
+    print(f"data size     : {args.n:,} points -> {report.extras['pairs']:,.0f} pairs")
+    print(f"predicted time: {report.seconds:.4g} s")
+    print(f"occupancy     : {report.occupancy:.0%}")
+    print(f"dominant      : {report.dominant}")
+    util = ", ".join(
+        f"{k}={v:.0%}" for k, v in sorted(report.utilization.items()) if v > 0.005
+    )
+    print(f"utilization   : {util}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    spec = get_device_spec(args.device)
+    plan = plan_kernel(_problem(args), args.n, spec=spec)
+    print(plan.explain())
+    return 0
+
+
+def cmd_sdh(args) -> int:
+    pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
+    hist, res = sdh_app.compute(pts, bins=args.bins)
+    print(f"SDH of {args.n} uniform points, {args.bins} buckets "
+          f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
+    peak = int(np.argmax(hist))
+    print(f"total pairs {hist.sum():,}; busiest bucket {peak} "
+          f"({hist[peak]:,} pairs)")
+    return 0
+
+
+def cmd_pcf(args) -> int:
+    pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
+    count, res = pcf_app.count_pairs(pts, args.radius)
+    total = args.n * (args.n - 1) // 2
+    print(f"2-PCF of {args.n} uniform points at r={args.radius:g} "
+          f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
+    print(f"pairs within radius: {count:,} of {total:,} ({count / total:.3%})")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    builders = {
+        "fig2": lambda: bench.fig2_pcf_kernels().render(),
+        "fig4": lambda: bench.fig4_sdh_kernels().render(),
+        "fig5": lambda: bench.fig5_output_size().render(unit=""),
+        "fig7": lambda: bench.fig7_load_balance().render(precision=5),
+        "fig9": lambda: bench.fig9_shuffle().render(),
+        "table2": lambda: bench.table2_pcf_utilization()[1],
+        "table3": lambda: bench.table3_sdh_bandwidth()[1],
+        "table4": lambda: bench.table4_sdh_utilization()[1],
+    }
+    wanted = args.which or sorted(builders)
+    for name in wanted:
+        if name not in builders:
+            print(f"unknown figure {name!r}; available: {sorted(builders)}",
+                  file=sys.stderr)
+            return 2
+        print(builders[name]())
+        print()
+    return 0
+
+
+def cmd_devices(args) -> int:
+    for key, spec in PRESETS.items():
+        flag = " (paper testbed)" if key == "titan-x" else ""
+        print(f"{key:9s} {spec.name}{flag}")
+        print(f"          {spec.sm_count} SMs x {spec.cores_per_sm} cores @ "
+              f"{spec.clock_hz / 1e9:.2f} GHz, "
+              f"{spec.shared_mem_per_sm // 1024} KB shm/SM, "
+              f"shuffle={'yes' if spec.supports_shuffle else 'no'}")
+    return 0
+
+
+def _add_problem_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--problem", choices=["sdh", "pcf"], default="sdh")
+    p.add_argument("--bins", type=int, default=2500, help="SDH buckets")
+    p.add_argument("--radius", type=float, default=1.0, help="2-PCF radius")
+    p.add_argument("--box", type=float, default=10.0)
+    p.add_argument("--device", choices=sorted(PRESETS), default="titan-x")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("estimate", help="predict kernel performance")
+    _add_problem_args(p)
+    p.add_argument("-n", type=int, default=1_000_000)
+    p.add_argument("--input", choices=sorted(INPUT_STRATEGIES),
+                   default="register-roc")
+    p.add_argument("--output", choices=sorted(OUTPUT_STRATEGIES), default="")
+    p.add_argument("--block-size", type=int, default=256)
+    p.set_defaults(fn=cmd_estimate)
+
+    p = sub.add_parser("plan", help="model-driven kernel selection")
+    _add_problem_args(p)
+    p.add_argument("-n", type=int, default=1_000_000)
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("sdh", help="compute an SDH on generated data")
+    p.add_argument("-n", type=int, default=4096)
+    p.add_argument("--bins", type=int, default=256)
+    p.add_argument("--box", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_sdh)
+
+    p = sub.add_parser("pcf", help="compute a 2-PCF on generated data")
+    p.add_argument("-n", type=int, default=4096)
+    p.add_argument("--radius", type=float, default=1.0)
+    p.add_argument("--box", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_pcf)
+
+    p = sub.add_parser("figures", help="regenerate paper figures/tables")
+    p.add_argument("which", nargs="*", help="fig2 fig4 fig5 fig7 fig9 "
+                   "table2 table3 table4 (default: all)")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("devices", help="list GPU presets")
+    p.set_defaults(fn=cmd_devices)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

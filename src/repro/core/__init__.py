@@ -1,0 +1,116 @@
+"""The 2-body-statistics framework: the paper's primary contribution.
+
+Compose a :class:`~repro.core.problem.TwoBodyProblem` (pair function +
+output pattern) with an input strategy (where partner data is cached) and
+an output strategy (how results accumulate), run it functionally on the
+simulated device, and price it analytically at paper scale.
+"""
+
+from .analytical import (
+    EXACT_BY_STRATEGY,
+    StageCounts,
+    exact_naive,
+    exact_register_roc,
+    exact_register_shm,
+    exact_shm_shm,
+    exact_shuffle,
+    global_access_reduction,
+    paper_eq1_num_blocks,
+    paper_eq2_naive_global,
+    paper_eq3_tiled_global,
+    paper_eq4_shm_shm_shared,
+    paper_eq5_register_shm_shared,
+    paper_eq6_update_stage,
+    paper_eq7_reduction_stage,
+)
+from .distances import (
+    CHEBYSHEV,
+    COSINE,
+    DOT,
+    EUCLIDEAN,
+    JACCARD,
+    MANHATTAN,
+    PairFunction,
+    REGISTRY,
+    SQ_EUCLIDEAN,
+    gaussian_kernel,
+    get_pair_function,
+    periodic_euclidean,
+    polynomial_kernel,
+)
+from .cross import CrossKernel
+from .multigpu import (
+    MultiGpuResult,
+    MultiGpuRunner,
+    PCIE_BANDWIDTH,
+    ShardPlan,
+    plan_shards,
+)
+from .kernels import (
+    ComposedKernel,
+    DEFAULT_OUTPUT_FOR_CLASS,
+    GlobalAtomicOutput,
+    GlobalDirectOutput,
+    INPUT_STRATEGIES,
+    InputStrategy,
+    NaiveInput,
+    OUTPUT_STRATEGIES,
+    OutputStrategy,
+    PAPER_PCF,
+    PAPER_SDH,
+    PairGeometry,
+    PrivatizedSharedOutput,
+    RegisterOutput,
+    RegisterRocInput,
+    RegisterShmInput,
+    ShmShmInput,
+    ShuffleInput,
+    analytic_conflict_degree,
+    compute_geometry,
+    make_kernel,
+    paper_kernels,
+    reduce_private_copies,
+)
+from .planner import DEFAULT_BLOCK_SIZES, Plan, PlanCandidate, plan_kernel
+from .problem import (
+    OutputClass,
+    OutputSpec,
+    TwoBodyProblem,
+    UpdateKind,
+    as_aos,
+    as_soa,
+)
+from .runner import RunResult, estimate, run
+from .tiling import (
+    BlockDecomposition,
+    cyclic_pair_list,
+    cyclic_schedule,
+    cyclic_trips,
+    triangular_pair_mask,
+    triangular_trips,
+)
+
+__all__ = [
+    "TwoBodyProblem", "OutputSpec", "OutputClass", "UpdateKind", "as_soa",
+    "as_aos", "PairFunction", "EUCLIDEAN", "SQ_EUCLIDEAN", "MANHATTAN",
+    "CHEBYSHEV", "DOT", "COSINE", "JACCARD", "REGISTRY", "gaussian_kernel",
+    "polynomial_kernel", "get_pair_function", "BlockDecomposition",
+    "triangular_pair_mask", "cyclic_schedule", "cyclic_pair_list",
+    "cyclic_trips", "triangular_trips", "ComposedKernel", "InputStrategy",
+    "OutputStrategy", "PairGeometry", "compute_geometry", "NaiveInput",
+    "ShmShmInput", "RegisterShmInput", "RegisterRocInput", "ShuffleInput",
+    "RegisterOutput", "GlobalAtomicOutput", "PrivatizedSharedOutput",
+    "GlobalDirectOutput", "analytic_conflict_degree", "make_kernel",
+    "paper_kernels", "PAPER_PCF", "PAPER_SDH", "INPUT_STRATEGIES",
+    "OUTPUT_STRATEGIES", "DEFAULT_OUTPUT_FOR_CLASS", "reduce_private_copies",
+    "plan_kernel", "Plan", "PlanCandidate", "DEFAULT_BLOCK_SIZES",
+    "run", "estimate", "RunResult", "periodic_euclidean",
+    "MultiGpuRunner", "MultiGpuResult", "ShardPlan", "plan_shards",
+    "PCIE_BANDWIDTH", "CrossKernel",
+    "StageCounts", "EXACT_BY_STRATEGY", "exact_naive", "exact_shm_shm",
+    "exact_register_shm", "exact_register_roc", "exact_shuffle",
+    "paper_eq1_num_blocks", "paper_eq2_naive_global",
+    "paper_eq3_tiled_global", "paper_eq4_shm_shm_shared",
+    "paper_eq5_register_shm_shared", "paper_eq6_update_stage",
+    "paper_eq7_reduction_stage", "global_access_reduction",
+]

@@ -1,0 +1,191 @@
+"""The paper's analytical access-count model (Section IV-B/IV-D, Eqs. 2-7).
+
+Two layers:
+
+* ``paper_eq*`` — the formulas exactly as printed, in the paper's units
+  (accesses counted per *datum*, i.e. per multi-dimensional point);
+* ``exact_*`` — closed-form counts matching the simulator's functional
+  counters access-for-access (element units = datum units x dims, plus the
+  tile-load writes and the intra-block reload the printed formulas elide).
+
+Tests cross-validate the exact layer against functional runs, and check
+the paper-layer formulas agree with the exact layer on the terms they
+model (the dominant O(N^2) read terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tiling import BlockDecomposition
+
+
+# -- formulas as printed -------------------------------------------------------
+
+def paper_eq1_num_blocks(n: int, b: int) -> float:
+    """Eq. 1: M = N / B."""
+    return n / b
+
+
+def paper_eq2_naive_global(n: int) -> int:
+    """Eq. 2: N + sum_{i=1..N} (N - i) global accesses for Naive."""
+    return n + n * (n - 1) // 2
+
+
+def paper_eq3_tiled_global(n: int, b: int) -> int:
+    """Eq. 3: N + sum_{i=1..M} (M - i) B global accesses for the tiled
+    kernels (tile loads only)."""
+    m = n // b
+    return n + b * m * (m - 1) // 2
+
+
+def paper_eq4_shm_shm_shared(n: int, b: int) -> int:
+    """Eq. 4: shared-memory accesses of SHM-SHM — two reads (L[t] and R[j])
+    per distance evaluation, inter- plus intra-block."""
+    m = n // b
+    inter = b * b * m * (m - 1) // 2
+    intra = m * b * (b - 1) // 2
+    return 2 * (inter + intra)
+
+
+def paper_eq5_register_shm_shared(n: int, b: int) -> int:
+    """Eq. 5: Register-SHM halves Eq. 4 — one shared read per evaluation."""
+    return paper_eq4_shm_shm_shared(n, b) // 2
+
+
+def paper_eq6_update_stage(n: int, b: int, c_shm_atomic: float) -> float:
+    """Eq. 6: cost of the privatized update stage — one shared-memory
+    atomic per distance evaluation (the printed sum's intent), priced at
+    C_shmAtomic."""
+    return (n * (n - 1) / 2) * c_shm_atomic
+
+
+def paper_eq7_reduction_stage(
+    hs: int, m: int, c_gw: float, c_shm_r: float, c_gr: float
+) -> float:
+    """Eq. 7: Hs * [M (Cgw + Cshmr + Cgr) + Cgw] — combining M private
+    output copies into the final Hs-element result."""
+    return hs * (m * (c_gw + c_shm_r + c_gr) + c_gw)
+
+
+def global_access_reduction(n: int, b: int, hs: int) -> tuple[int, int]:
+    """Section IV-D's headline: privatization cuts global accesses in the
+    output path from N^2-scale to Hs (2M + 1).  Returns (before, after)."""
+    m = n // b
+    return n * (n - 1) // 2, hs * (2 * m + 1)
+
+
+# -- exact counts (element units, validated against functional runs) ---------
+
+@dataclass(frozen=True)
+class StageCounts:
+    """Exact per-space access counts for the pairwise stage of one kernel."""
+
+    global_reads: int = 0
+    global_writes: int = 0
+    shm_reads: int = 0
+    shm_writes: int = 0
+    roc_reads: int = 0
+    shuffles: int = 0
+
+
+def _geometry(n: int, b: int) -> tuple[BlockDecomposition, int, int, int]:
+    dec = BlockDecomposition(n, b)
+    inter_pairs = 0
+    intra_pairs = 0
+    for blk in range(dec.num_blocks):
+        nl = dec.block_size_of(blk)
+        intra_pairs += nl * (nl - 1) // 2
+        for r in range(blk + 1, dec.num_blocks):
+            inter_pairs += nl * dec.block_size_of(r)
+    return dec, inter_pairs, intra_pairs, dec.num_blocks
+
+
+def exact_naive(n: int, dims: int) -> StageCounts:
+    """Naive (Algorithm 1): one global point-read for currentPt, then one
+    global point-read per pair."""
+    pairs = n * (n - 1) // 2
+    return StageCounts(global_reads=dims * (n + pairs))
+
+
+def exact_shm_shm(n: int, b: int, dims: int) -> StageCounts:
+    """SHM-SHM: cooperative tile loads (global read + shared write) for L
+    and every R; two shared point-reads per pair."""
+    dec, inter, intra, m = _geometry(n, b)
+    tile_points = sum(
+        dec.block_size_of(r) for blk in range(m) for r in range(blk + 1, m)
+    )
+    loads = n + tile_points  # L once per block + each streamed R tile
+    return StageCounts(
+        global_reads=dims * loads,
+        shm_writes=dims * loads,
+        shm_reads=dims * 2 * (inter + intra),
+    )
+
+
+def exact_register_shm(n: int, b: int, dims: int) -> StageCounts:
+    """Register-SHM (Algorithm 3): anchor datum read straight into
+    registers (global), R tiles staged in shared memory, one shared
+    point-read per pair; the intra-block pass reloads L into R's buffer
+    (Algorithm 3 line 10)."""
+    dec, inter, intra, m = _geometry(n, b)
+    tile_points = sum(
+        dec.block_size_of(r) for blk in range(m) for r in range(blk + 1, m)
+    )
+    # R tiles + the L reload for the intra pass (blocks of a single point
+    # have no intra pass and skip the reload)
+    reload_points = sum(
+        dec.block_size_of(blk) for blk in range(m) if dec.block_size_of(blk) > 1
+    )
+    staged = tile_points + reload_points
+    return StageCounts(
+        global_reads=dims * (n + staged),
+        shm_writes=dims * staged,
+        shm_reads=dims * (inter + intra),
+    )
+
+
+def exact_register_roc(n: int, b: int, dims: int) -> StageCounts:
+    """Register-ROC: anchor in registers, every partner read served by the
+    read-only data cache (no staging writes — the ROC is hardware-managed)."""
+    dec, inter, intra, m = _geometry(n, b)
+    return StageCounts(
+        global_reads=dims * n,
+        roc_reads=dims * (inter + intra),
+    )
+
+
+def exact_shuffle(n: int, b: int, dims: int, warp: int = 32) -> StageCounts:
+    """Shuffle tiling (Algorithm 4): partner data moves through registers.
+
+    Every warp must walk the whole partner block itself —
+    ``ceil(nL/warp) * nR`` loads per block pair — then broadcasts each
+    loaded datum to all ``warp`` lanes; broadcasts are issued for every
+    evaluation slot regardless of the intra-block mask.
+    """
+    dec, inter, intra, m = _geometry(n, b)
+    loads = 0
+    shuffles = 0
+    for blk in range(m):
+        nl = dec.block_size_of(blk)
+        wl = (nl + warp - 1) // warp
+        for r in range(blk + 1, m):
+            nr = dec.block_size_of(r)
+            loads += wl * nr
+            shuffles += nl * warp * ((nr + warp - 1) // warp)
+        if nl > 1:  # single-point blocks skip the intra pass
+            loads += wl * nl
+            shuffles += nl * warp * ((nl + warp - 1) // warp)
+    return StageCounts(
+        global_reads=dims * (n + loads),
+        shuffles=dims * shuffles,
+    )
+
+
+EXACT_BY_STRATEGY = {
+    "naive": exact_naive,
+    "shm-shm": exact_shm_shm,
+    "register-shm": exact_register_shm,
+    "register-roc": exact_register_roc,
+    "shuffle": exact_shuffle,
+}

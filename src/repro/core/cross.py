@@ -1,0 +1,246 @@
+"""Cross-dataset (A x B) 2-body kernels.
+
+Several members of the paper's 2-BS family are *two-dataset* problems:
+relational joins concatenate "tuples from two tables" (Section III-B),
+pairwise statistical significance aligns "all pairs between two datasets",
+collaborative filtering compares users against items, and the 2-PCF's DR
+term counts data-random pairs.  The kernel structure is Algorithm 2
+without the triangular part: every A-block anchors in registers and
+streams *all* B-blocks — no intra-block pass, hence no divergence and no
+load-balancing concern.
+
+Input strategies are reused from the self-join framework (shuffle tiling
+excluded: its warp-walk accounting is self-join-shaped); output handling
+reuses the register / privatized strategies and implements the
+rectangular MATRIX and EMIT_PAIRS paths directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from ..gpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from ..gpusim.counters import MemSpace
+from ..gpusim.device import Device, LaunchRecord
+from ..gpusim.grid import BlockContext, LaunchConfig
+from ..gpusim.occupancy import calculate_occupancy
+from ..gpusim.profiler import SimReport, build_report
+from ..gpusim.spec import DeviceSpec, TITAN_X
+from ..gpusim.timing import TrafficProfile, cycles_from_traffic, simulate_time
+from .kernels import INPUT_STRATEGIES
+from .kernels.base import PairGeometry
+from .kernels.outputs import (
+    GlobalAtomicOutput,
+    PrivatizedSharedOutput,
+    RegisterOutput,
+    analytic_conflict_degree,
+)
+from .problem import TwoBodyProblem, UpdateKind, as_soa
+from .tiling import BlockDecomposition
+
+_REUSED_OUTPUTS = {
+    UpdateKind.SCALAR_SUM: RegisterOutput,
+    UpdateKind.PER_POINT_SUM: RegisterOutput,
+    UpdateKind.TOPK: RegisterOutput,
+    UpdateKind.HISTOGRAM: PrivatizedSharedOutput,
+}
+
+_CROSS_INPUTS = ("naive", "shm-shm", "register-shm", "register-roc")
+
+
+class CrossKernel:
+    """All-pairs computation between two datasets A (anchors) and B."""
+
+    def __init__(
+        self,
+        problem: TwoBodyProblem,
+        input_strategy: str = "register-shm",
+        block_size: int = 256,
+        name: Optional[str] = None,
+        output_kwargs: Optional[dict] = None,
+    ) -> None:
+        if input_strategy not in _CROSS_INPUTS:
+            raise ValueError(
+                f"cross kernels support inputs {_CROSS_INPUTS}, "
+                f"got {input_strategy!r}"
+            )
+        self.problem = problem
+        self.input = INPUT_STRATEGIES[input_strategy]()
+        self.block_size = block_size
+        kind = problem.output.kind
+        if kind in _REUSED_OUTPUTS:
+            self.output = _REUSED_OUTPUTS[kind](**(output_kwargs or {}))
+            self.output.check(problem)
+        elif kind in (UpdateKind.MATRIX, UpdateKind.EMIT_PAIRS):
+            self.output = None  # handled inline
+        else:
+            raise ValueError(f"unsupported output kind {kind.value!r}")
+        self.name = name or f"{self.input.name}-Cross"
+
+    # -- geometry ----------------------------------------------------------------
+    def geometry(self, n_a: int, n_b: int) -> PairGeometry:
+        dec_a = BlockDecomposition(n_a, self.block_size)
+        return PairGeometry(
+            n=n_a,
+            block_size=self.block_size,
+            num_blocks=dec_a.num_blocks,
+            inter_pairs=n_a * n_b,
+            intra_pairs=0,
+            tile_loads_points=dec_a.num_blocks * n_b,
+            full_rows=False,
+        )
+
+    # -- functional --------------------------------------------------------------
+    def execute(
+        self, device: Device, points_a: np.ndarray, points_b: np.ndarray
+    ) -> Tuple[Any, LaunchRecord]:
+        problem = self.problem
+        soa_a, soa_b = as_soa(points_a), as_soa(points_b)
+        if soa_a.shape[0] != problem.dims or soa_b.shape[0] != problem.dims:
+            raise ValueError(f"both datasets must be {problem.dims}-d")
+        dims, n_a = soa_a.shape
+        n_b = soa_b.shape[1]
+        dec_a = BlockDecomposition(n_a, self.block_size)
+        dec_b = BlockDecomposition(n_b, self.block_size)
+        a_g = device.to_device(soa_a, name="cross-A")
+        b_g = device.to_device(soa_b, name="cross-B")
+        in_state = self.input.prepare(device, b_g)
+        kind = problem.output.kind
+        if self.output is not None:
+            bufs = self.output.create(device, problem, n_a, dec_a.num_blocks,
+                                      self.block_size)
+        elif kind is UpdateKind.MATRIX:
+            bufs = {"matrix": device.alloc((n_a, n_b), np.float64, name="cross-out")}
+        else:
+            bufs = {
+                "ticket": device.alloc(1, np.int64, name="cross-ticket"),
+                "emitted": [],
+            }
+
+        def kernel(ctx: BlockContext) -> None:
+            ba = ctx.block_id
+            ids_a = dec_a.block_indices(ba)
+            nl = ids_a.size
+            block_state = self.input.block_setup(ctx, dims)
+            reg_a = self.input.load_anchor(ctx, a_g, in_state, block_state, ids_a)
+            state = (
+                self.output.block_init(ctx, bufs, problem, ids_a)
+                if self.output is not None
+                else None
+            )
+            for bb in range(dec_b.num_blocks):
+                ids_b = dec_b.block_indices(bb)
+                vals_b = self.input.load_tile(
+                    ctx, b_g, in_state, block_state, ids_b, nl
+                )
+                values = problem.pair_fn(reg_a, vals_b)
+                self.input.charge_pair_reads(
+                    ctx, nl, ids_b.size, nl * ids_b.size, dims
+                )
+                mask = np.ones((nl, ids_b.size), dtype=bool)
+                if self.output is not None:
+                    self.output.update(
+                        ctx, state, bufs, problem, ids_a, ids_b, values, mask
+                    )
+                elif kind is UpdateKind.MATRIX:
+                    vals = np.asarray(problem.output.map_fn(values), dtype=np.float64)
+                    bufs["matrix"].st((ids_a[:, None], ids_b[None, :]), vals)
+                else:
+                    pred = np.asarray(problem.output.map_fn(values), dtype=bool)
+                    ii, jj = np.nonzero(pred)
+                    if ii.size:
+                        from ..gpusim.atomics import atomic_ticket
+
+                        atomic_ticket(bufs["ticket"], ii.size)
+                        bufs["emitted"].append(
+                            np.stack([ids_a[ii], ids_b[jj]], axis=1)
+                        )
+                        ctx.counters.add_write(MemSpace.GLOBAL, 2 * ii.size)
+            if self.output is not None:
+                self.output.block_fini(ctx, state, bufs, problem, ids_a, ba)
+
+        record = device.launch(
+            kernel,
+            LaunchConfig(
+                dec_a.num_blocks,
+                self.block_size,
+                shared_bytes=self.shared_bytes_per_block(),
+            ),
+            name=self.name,
+        )
+        if self.output is not None:
+            result = self.output.finalize(device, bufs, problem, n_a)
+        elif kind is UpdateKind.MATRIX:
+            result = device.to_host(bufs["matrix"])
+        else:
+            result = (
+                np.concatenate(bufs["emitted"], axis=0)
+                if bufs["emitted"]
+                else np.empty((0, 2), dtype=np.int64)
+            )
+        return result, record
+
+    # -- analytical ----------------------------------------------------------------
+    def shared_bytes_per_block(self) -> int:
+        tile = self.input.shared_tile_bytes(self.block_size, self.problem.dims)
+        out = (
+            self.output.shared_out_bytes(self.problem, self.block_size)
+            if self.output is not None
+            else 0
+        )
+        return tile + out
+
+    def traffic(self, n_a: int, n_b: int) -> TrafficProfile:
+        geom = self.geometry(n_a, n_b)
+        profile = TrafficProfile(
+            pairs=geom.inter_pairs, compute=self.problem.compute_cost
+        )
+        profile = profile + self.input.traffic(geom, self.problem.dims)
+        kind = self.problem.output.kind
+        if self.output is not None:
+            profile = profile + self.output.traffic(
+                geom, self.problem.dims, self.problem
+            )
+        elif kind is UpdateKind.MATRIX:
+            profile = profile + TrafficProfile(global_stream_writes=geom.pairs)
+        else:
+            matches = self.problem.output.selectivity * geom.pairs
+            batches = geom.num_blocks * BlockDecomposition(
+                n_b, self.block_size
+            ).num_blocks
+            profile = profile + TrafficProfile(
+                global_atomics=batches, global_stream_writes=2 * matches
+            )
+        return profile
+
+    def simulate(
+        self,
+        n_a: int,
+        n_b: int,
+        spec: DeviceSpec = TITAN_X,
+        calib: Calibration = DEFAULT_CALIBRATION,
+    ) -> SimReport:
+        profile = self.traffic(n_a, n_b)
+        cycles = cycles_from_traffic(profile, calib)
+        occ = calculate_occupancy(
+            spec,
+            self.block_size,
+            regs_per_thread=self.input.regs_per_thread(self.problem.dims) + 2,
+            shared_per_block=self.shared_bytes_per_block(),
+        )
+        geom = self.geometry(n_a, n_b)
+        extra = (
+            self.output.extra_seconds(geom, self.problem, spec, calib)
+            if self.output is not None
+            else 0.0
+        )
+        timing = simulate_time(
+            cycles, spec=spec, occupancy=occ.occupancy, calib=calib,
+            extra_seconds=extra,
+        )
+        return build_report(
+            kernel=self.name, n=n_a * n_b, timing=timing, spec=spec,
+            counters=profile.expected_counters(),
+        )

@@ -1,0 +1,158 @@
+"""Pairwise distance / kernel functions ("DisFunction" in Algorithm 1).
+
+The paper treats the distance function as a pluggable constant-time
+primitive; the family it names spans Euclidean distance (2-PCF, SDH, RDF,
+kNN), dot products and Mercer kernels (SVM kernel methods), and similarity
+measures used by recommenders (cosine, Jaccard).  Each function here is a
+:class:`PairFunction` operating on SoA blocks — arrays of shape
+``(dims, n)`` — returning the full ``(nA, nB)`` value matrix, which is how
+the block-vectorized simulated kernels consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PairFunction:
+    """A named pairwise function with an SoA block evaluator.
+
+    ``fn(A, B)`` takes blocks shaped ``(dims, nA)`` and ``(dims, nB)`` and
+    returns the ``(nA, nB)`` matrix of values.  ``flops`` is the nominal
+    floating-point operation count per pair (used for reporting only; the
+    timing model's per-pair compute costs are calibrated separately).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    flops: int
+    symmetric: bool = True
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = np.atleast_2d(np.asarray(A, dtype=np.float64))
+        B = np.atleast_2d(np.asarray(B, dtype=np.float64))
+        if A.shape[0] != B.shape[0]:
+            raise ValueError(
+                f"dimension mismatch: A has {A.shape[0]} dims, B has {B.shape[0]}"
+            )
+        out = self.fn(A, B)
+        expected = (A.shape[1], B.shape[1])
+        if out.shape != expected:
+            raise AssertionError(
+                f"{self.name}: evaluator returned {out.shape}, expected {expected}"
+            )
+        return out
+
+
+def _sq_euclidean(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    # (a-b)^2 = a^2 + b^2 - 2ab, accumulated per dimension to stay O(dims)
+    # in temporaries; clip tiny negatives from cancellation.
+    aa = (A * A).sum(axis=0)[:, None]
+    bb = (B * B).sum(axis=0)[None, :]
+    d2 = aa + bb - 2.0 * (A.T @ B)
+    return np.maximum(d2, 0.0)
+
+
+def _euclidean(A, B):
+    return np.sqrt(_sq_euclidean(A, B))
+
+
+def _manhattan(A, B):
+    return np.abs(A[:, :, None] - B[:, None, :]).sum(axis=0)
+
+
+def _chebyshev(A, B):
+    return np.abs(A[:, :, None] - B[:, None, :]).max(axis=0)
+
+
+def _dot(A, B):
+    return A.T @ B
+
+
+def _cosine(A, B):
+    na = np.linalg.norm(A, axis=0)
+    nb = np.linalg.norm(B, axis=0)
+    denom = np.outer(na, nb)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sim = np.where(denom > 0, (A.T @ B) / np.where(denom > 0, denom, 1.0), 0.0)
+    return 1.0 - sim
+
+
+def _jaccard(A, B):
+    """Jaccard distance on binary-ish vectors (values treated as weights:
+    1 - sum(min)/sum(max), the weighted Jaccard generalization)."""
+    mins = np.minimum(A[:, :, None], B[:, None, :]).sum(axis=0)
+    maxs = np.maximum(A[:, :, None], B[:, None, :]).sum(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sim = np.where(maxs > 0, mins / np.where(maxs > 0, maxs, 1.0), 1.0)
+    return 1.0 - sim
+
+
+EUCLIDEAN = PairFunction("euclidean", _euclidean, flops=11)
+SQ_EUCLIDEAN = PairFunction("sq_euclidean", _sq_euclidean, flops=9)
+MANHATTAN = PairFunction("manhattan", _manhattan, flops=9)
+CHEBYSHEV = PairFunction("chebyshev", _chebyshev, flops=9)
+DOT = PairFunction("dot", _dot, flops=6)
+COSINE = PairFunction("cosine", _cosine, flops=14)
+JACCARD = PairFunction("jaccard", _jaccard, flops=12)
+
+
+def periodic_euclidean(box: float) -> PairFunction:
+    """Euclidean distance under periodic boundaries (minimum image).
+
+    Molecular-dynamics RDF analysis (the Levine et al. workload the paper
+    builds on) wraps coordinates in a periodic box: each displacement
+    component is reduced to ``d - box * round(d / box)`` before the norm.
+    """
+    if box <= 0:
+        raise ValueError(f"box must be positive, got {box}")
+
+    def fn(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        delta = A[:, :, None] - B[:, None, :]
+        delta -= box * np.round(delta / box)
+        return np.sqrt((delta * delta).sum(axis=0))
+
+    return PairFunction(f"periodic-euclidean(L={box:g})", fn, flops=17)
+
+
+def gaussian_kernel(bandwidth: float) -> PairFunction:
+    """RBF kernel exp(-||a-b||^2 / (2 h^2)) — SVM kernels, KDE weights."""
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    inv = 1.0 / (2.0 * bandwidth * bandwidth)
+
+    def fn(A, B):
+        return np.exp(-_sq_euclidean(A, B) * inv)
+
+    return PairFunction(f"gaussian(h={bandwidth:g})", fn, flops=13)
+
+
+def polynomial_kernel(degree: int = 2, c: float = 1.0) -> PairFunction:
+    """Polynomial kernel (a.b + c)^degree."""
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+
+    def fn(A, B):
+        return (A.T @ B + c) ** degree
+
+    return PairFunction(f"poly(d={degree})", fn, flops=8 + degree)
+
+
+REGISTRY: Dict[str, PairFunction] = {
+    f.name: f
+    for f in (EUCLIDEAN, SQ_EUCLIDEAN, MANHATTAN, CHEBYSHEV, DOT, COSINE, JACCARD)
+}
+
+
+def get_pair_function(name: str) -> PairFunction:
+    """Look up a built-in pair function by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pair function {name!r}; available: {sorted(REGISTRY)}"
+        ) from None

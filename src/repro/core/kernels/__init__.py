@@ -1,0 +1,148 @@
+"""Kernel variants and the composition factory.
+
+``make_kernel`` assembles any (input x output) combination; ``PAPER_PCF``
+and ``PAPER_SDH`` name the exact kernel line-ups of the paper's two
+evaluation sections (Figs. 2 and 4/9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+from ..problem import OutputClass, TwoBodyProblem, UpdateKind
+from .base import (
+    ComposedKernel,
+    FULL_ROW_KINDS,
+    InputStrategy,
+    OutputStrategy,
+    PairGeometry,
+    compute_geometry,
+)
+from .naive import NaiveInput
+from .outputs import (
+    GlobalAtomicOutput,
+    GlobalDirectOutput,
+    PrivatizedSharedOutput,
+    RegisterOutput,
+    analytic_conflict_degree,
+)
+from .reduction import REDUCE_BLOCK, reduce_private_copies
+from .register_roc import RegisterRocInput
+from .register_shm import RegisterShmInput
+from .shm_shm import ShmShmInput
+from .shuffle_tile import ShuffleInput
+
+INPUT_STRATEGIES: Dict[str, Type[InputStrategy]] = {
+    "naive": NaiveInput,
+    "shm-shm": ShmShmInput,
+    "register-shm": RegisterShmInput,
+    "register-roc": RegisterRocInput,
+    "shuffle": ShuffleInput,
+}
+
+OUTPUT_STRATEGIES: Dict[str, Type[OutputStrategy]] = {
+    "register": RegisterOutput,
+    "global-atomic": GlobalAtomicOutput,
+    "privatized-shm": PrivatizedSharedOutput,
+    "global-direct": GlobalDirectOutput,
+}
+
+#: sensible default output strategy per output class (paper Section IV-C)
+DEFAULT_OUTPUT_FOR_CLASS = {
+    OutputClass.TYPE_I: "register",
+    OutputClass.TYPE_II: "privatized-shm",
+    OutputClass.TYPE_III: "global-direct",
+}
+
+
+def make_kernel(
+    problem: TwoBodyProblem,
+    input_strategy: str = "register-shm",
+    output_strategy: Optional[str] = None,
+    block_size: int = 256,
+    load_balanced: bool = False,
+    name: Optional[str] = None,
+    output_kwargs: Optional[dict] = None,
+) -> ComposedKernel:
+    """Compose a 2-BS kernel by strategy names.
+
+    ``output_strategy`` defaults by the problem's output class; for Type-I
+    problems whose kind the register path cannot hold that is an error the
+    strategy's ``check`` reports.  ``output_kwargs`` are forwarded to the
+    output strategy's constructor (e.g. ``copies_per_block`` for
+    privatized-shm).
+    """
+    try:
+        input_cls = INPUT_STRATEGIES[input_strategy]
+    except KeyError:
+        raise KeyError(
+            f"unknown input strategy {input_strategy!r}; "
+            f"available: {sorted(INPUT_STRATEGIES)}"
+        ) from None
+    out_name = output_strategy or DEFAULT_OUTPUT_FOR_CLASS[problem.output.klass]
+    try:
+        output_cls = OUTPUT_STRATEGIES[out_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown output strategy {out_name!r}; "
+            f"available: {sorted(OUTPUT_STRATEGIES)}"
+        ) from None
+    return ComposedKernel(
+        problem,
+        input_cls(),
+        output_cls(**(output_kwargs or {})),
+        block_size=block_size,
+        load_balanced=load_balanced,
+        name=name,
+    )
+
+
+#: Fig. 2's kernel line-up for Type-I problems: (display name, input, output)
+PAPER_PCF: Tuple[Tuple[str, str, str], ...] = (
+    ("Naive", "naive", "register"),
+    ("SHM-SHM", "shm-shm", "register"),
+    ("Register-SHM", "register-shm", "register"),
+    ("Register-ROC", "register-roc", "register"),
+)
+
+#: Fig. 4 / Fig. 9's kernel line-up for SDH (Type-II)
+PAPER_SDH: Tuple[Tuple[str, str, str], ...] = (
+    ("Naive", "naive", "global-atomic"),
+    ("Register-SHM", "register-shm", "global-atomic"),
+    ("Register-ROC", "register-roc", "global-atomic"),
+    ("Naive-Out", "naive", "privatized-shm"),
+    ("Reg-SHM-Out", "register-shm", "privatized-shm"),
+    ("Reg-ROC-Out", "register-roc", "privatized-shm"),
+    ("Shuffle", "shuffle", "privatized-shm"),
+)
+
+
+# imported after INPUT_STRATEGIES exists (twopass reads the registry)
+from .scan import SCAN_BLOCK, exclusive_scan  # noqa: E402
+from .twopass import TwoPassJoinKernel, TwoPassResult  # noqa: E402
+
+
+def paper_kernels(
+    problem: TwoBodyProblem,
+    lineup: Tuple[Tuple[str, str, str], ...],
+    block_size: int = 256,
+) -> Dict[str, ComposedKernel]:
+    """Instantiate a named kernel line-up against one problem."""
+    return {
+        display: make_kernel(
+            problem, inp, out, block_size=block_size, name=display
+        )
+        for display, inp, out in lineup
+    }
+
+
+__all__ = [
+    "ComposedKernel", "InputStrategy", "OutputStrategy", "PairGeometry",
+    "compute_geometry", "FULL_ROW_KINDS", "NaiveInput", "ShmShmInput",
+    "RegisterShmInput", "RegisterRocInput", "ShuffleInput", "RegisterOutput",
+    "GlobalAtomicOutput", "PrivatizedSharedOutput", "GlobalDirectOutput",
+    "analytic_conflict_degree", "reduce_private_copies", "REDUCE_BLOCK",
+    "INPUT_STRATEGIES", "OUTPUT_STRATEGIES", "DEFAULT_OUTPUT_FOR_CLASS",
+    "make_kernel", "PAPER_PCF", "PAPER_SDH", "paper_kernels",
+    "exclusive_scan", "SCAN_BLOCK", "TwoPassJoinKernel", "TwoPassResult",
+]

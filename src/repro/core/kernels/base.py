@@ -1,0 +1,526 @@
+"""Kernel composition framework.
+
+The paper factors every 2-BS kernel into two nearly-independent stages —
+*pairwise computation* (Section IV-A: Naive / SHM-SHM / Register-SHM /
+Register-ROC / shuffle tiling) and *data output* (Section IV-C: register
+accumulation, direct global atomics, privatized shared memory + reduction).
+Its stated long-term vision is a framework that composes the right
+technique per stage automatically.  This module is that composition seam:
+
+* :class:`InputStrategy` — where partner data is staged and how many cache
+  accesses each distance evaluation costs;
+* :class:`OutputStrategy` — what "update output with d" does and where the
+  result lives;
+* :class:`ComposedKernel` — Algorithm 2/3's block structure, generic over
+  both strategies, with a functional ``execute`` (exact outputs + exact
+  access counts on the simulated device) and an analytical
+  ``traffic``/``simulate`` path (paper-scale timing).
+
+Kernels the paper names map to compositions:
+``Naive = naive x direct``, ``Register-SHM = register-shm x <any>``,
+``Reg-ROC-Out = register-roc x privatized-shm``, etc.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ...gpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from ...gpusim.counters import ELEMENT_BYTES
+from ...gpusim.device import Device, LaunchRecord
+from ...gpusim.divergence import warp_loop_cycles
+from ...gpusim.grid import BlockContext, LaunchConfig
+from ...gpusim.memory import TrackedArray
+from ...gpusim.occupancy import Occupancy, calculate_occupancy
+from ...gpusim.profiler import SimReport, build_report
+from ...gpusim.spec import DeviceSpec, TITAN_X
+from ...gpusim.timing import (
+    PipelineCycles,
+    TrafficProfile,
+    cycles_from_traffic,
+    simulate_time,
+)
+from ..problem import OutputSpec, TwoBodyProblem, UpdateKind, as_soa
+from ..tiling import (
+    BlockDecomposition,
+    cyclic_schedule,
+    cyclic_trips,
+    triangular_pair_mask,
+    triangular_trips,
+)
+
+#: Output kinds whose per-point results force every thread to see *all*
+#: partners (each unordered pair is evaluated from both endpoints).
+FULL_ROW_KINDS = frozenset({UpdateKind.TOPK, UpdateKind.PER_POINT_SUM})
+
+
+@dataclass
+class PairGeometry:
+    """Pair/tile counts for one launch, shared by both strategy kinds."""
+
+    n: int
+    block_size: int
+    num_blocks: int
+    inter_pairs: int  # distance evaluations across block pairs
+    intra_pairs: int  # distance evaluations within blocks
+    tile_loads_points: int  # points staged by R-tile loads, summed
+    full_rows: bool
+
+    @property
+    def pairs(self) -> int:
+        return self.inter_pairs + self.intra_pairs
+
+
+def block_sizes(n: int, block_size: int) -> np.ndarray:
+    """Per-block point counts (all ``block_size`` except a ragged tail)."""
+    dec = BlockDecomposition(n, block_size)
+    sizes = np.full(dec.num_blocks, block_size, dtype=np.int64)
+    sizes[-1] = n - (dec.num_blocks - 1) * block_size
+    return sizes
+
+
+def compute_geometry(n: int, block_size: int, full_rows: bool) -> PairGeometry:
+    """Exact pair/tile-load counts, ragged last block included.
+
+    Closed/vectorized forms (O(M), not O(M^2)) — benchmarks call this at
+    M in the thousands.
+    """
+    sizes = block_sizes(n, block_size)
+    m = sizes.size
+    if full_rows:
+        intra = int((sizes * (sizes - 1)).sum())
+        inter = n * (n - 1) - intra
+        tiles = int((n - sizes).sum())  # each block streams all others
+    else:
+        intra = int((sizes * (sizes - 1) // 2).sum())
+        inter = n * (n - 1) // 2 - intra
+        # block i is loaded as an R tile once per lower-indexed block
+        tiles = int((np.arange(m) * sizes).sum())
+    return PairGeometry(
+        n=n,
+        block_size=block_size,
+        num_blocks=m,
+        inter_pairs=inter,
+        intra_pairs=intra,
+        tile_loads_points=tiles,
+        full_rows=full_rows,
+    )
+
+
+class InputStrategy(ABC):
+    """Where partner data lives during the pairwise stage."""
+
+    name: str = "abstract"
+    #: partner-point reads charged per distance evaluation (SHM-SHM pays 2:
+    #: L[t] and R[j]; register-anchored strategies pay 1).
+    reads_per_pair: int = 1
+    uses_shared_tile: bool = False
+
+    def prepare(self, device: Device, data_g: TrackedArray) -> Any:
+        """Launch-level setup (e.g. bind the ROC view).  Returns state."""
+        return None
+
+    def block_setup(self, ctx: BlockContext, dims: int) -> Any:
+        """Block-level setup (e.g. allocate the shared tile buffers)."""
+        return None
+
+    def load_anchor(
+        self,
+        ctx: BlockContext,
+        data_g: TrackedArray,
+        state: Any,
+        block_state: Any,
+        ids: np.ndarray,
+    ) -> np.ndarray:
+        """Bring the anchor block L where this strategy keeps it.
+
+        Default: each thread loads its own datum straight into registers
+        (Algorithm 3 line 2) — one coalesced global element-read per dim.
+        """
+        return data_g.ld((slice(None), ids))
+
+    @abstractmethod
+    def load_tile(
+        self,
+        ctx: BlockContext,
+        data_g: TrackedArray,
+        state: Any,
+        block_state: Any,
+        ids: np.ndarray,
+        anchor_n: int,
+    ) -> np.ndarray:
+        """Stage partner block ``ids`` and return its values (dims, nR),
+        counting whatever traffic the staging costs."""
+
+    @abstractmethod
+    def load_intra(
+        self,
+        ctx: BlockContext,
+        data_g: TrackedArray,
+        state: Any,
+        block_state: Any,
+        ids: np.ndarray,
+    ) -> np.ndarray:
+        """Make the anchor block readable for the intra-block pass
+        (Algorithm 3 line 10 for Register-SHM)."""
+
+    @abstractmethod
+    def charge_pair_reads(
+        self, ctx: BlockContext, n_l: int, n_r: int, n_pairs: int, dims: int
+    ) -> None:
+        """Count the per-evaluation partner reads for one tile pass."""
+
+    def shared_tile_bytes(self, block_size: int, dims: int) -> int:
+        return 0
+
+    def regs_per_thread(self, dims: int) -> int:
+        """Register footprint estimate for the occupancy calculator."""
+        return 24 + 2 * dims
+
+    @abstractmethod
+    def traffic(
+        self, geom: PairGeometry, dims: int, part: str = "both"
+    ) -> TrafficProfile:
+        """Analytical input-side traffic for one launch.
+
+        ``part`` selects the whole launch (``"both"``) or only the
+        intra-block pass (``"intra"``) — the slice the paper times in its
+        load-balancing experiment (Fig. 7).
+        """
+
+
+class OutputStrategy(ABC):
+    """What "update output with d" means and where results accumulate."""
+
+    name: str = "abstract"
+    suffix: str = ""  # appended to kernel display names, e.g. "-Out"
+    supported_kinds: frozenset = frozenset()
+
+    def check(self, problem: TwoBodyProblem) -> None:
+        if problem.output.kind not in self.supported_kinds:
+            raise ValueError(
+                f"output strategy {self.name!r} does not support "
+                f"{problem.output.kind.value!r} outputs"
+            )
+
+    @abstractmethod
+    def create(
+        self, device: Device, problem: TwoBodyProblem, n: int, m: int, block_size: int
+    ) -> Dict[str, Any]:
+        """Allocate launch-level output buffers on the device."""
+
+    @abstractmethod
+    def block_init(
+        self,
+        ctx: BlockContext,
+        bufs: Dict[str, Any],
+        problem: TwoBodyProblem,
+        ids_l: np.ndarray,
+    ) -> Any:
+        """Per-block output state (registers or a private shared copy)."""
+
+    @abstractmethod
+    def update(
+        self,
+        ctx: BlockContext,
+        state: Any,
+        bufs: Dict[str, Any],
+        problem: TwoBodyProblem,
+        ids_l: np.ndarray,
+        ids_r: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray,
+    ) -> None:
+        """Fold a (nL, nR) value matrix (restricted to ``mask``) in."""
+
+    @abstractmethod
+    def block_fini(
+        self,
+        ctx: BlockContext,
+        state: Any,
+        bufs: Dict[str, Any],
+        problem: TwoBodyProblem,
+        ids_l: np.ndarray,
+        block_id: int,
+    ) -> None:
+        """Flush block-private state to global memory."""
+
+    @abstractmethod
+    def finalize(
+        self, device: Device, bufs: Dict[str, Any], problem: TwoBodyProblem, n: int
+    ):
+        """Combine/transfer the final result to the host (may launch the
+        reduction kernel of Fig. 3)."""
+
+    def shared_out_bytes(self, problem: TwoBodyProblem, block_size: int) -> int:
+        return 0
+
+    def regs_overhead(self, problem: TwoBodyProblem) -> int:
+        return 2
+
+    @abstractmethod
+    def traffic(
+        self,
+        geom: PairGeometry,
+        dims: int,
+        problem: TwoBodyProblem,
+        part: str = "both",
+    ) -> TrafficProfile:
+        """Analytical output-side traffic for the main launch (``part`` as
+        in :meth:`InputStrategy.traffic`)."""
+
+    def extra_seconds(
+        self,
+        geom: PairGeometry,
+        problem: TwoBodyProblem,
+        spec: DeviceSpec,
+        calib: Calibration,
+    ) -> float:
+        """Sequential post-passes (reduction kernel etc.)."""
+        return 0.0
+
+
+class ComposedKernel:
+    """Algorithm 2/3's block-tiled 2-BS kernel, generic over strategies."""
+
+    def __init__(
+        self,
+        problem: TwoBodyProblem,
+        input_strategy: InputStrategy,
+        output_strategy: OutputStrategy,
+        block_size: int = 256,
+        load_balanced: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        output_strategy.check(problem)
+        if block_size <= 0:
+            raise ValueError(f"block size must be positive, got {block_size}")
+        self.problem = problem
+        self.input = input_strategy
+        self.output = output_strategy
+        self.block_size = block_size
+        self.load_balanced = load_balanced
+        self.name = name or f"{input_strategy.name}{output_strategy.suffix}"
+
+    # -- properties -----------------------------------------------------------
+    @property
+    def full_rows(self) -> bool:
+        return self.problem.output.kind in FULL_ROW_KINDS
+
+    def geometry(self, n: int) -> PairGeometry:
+        return compute_geometry(n, self.block_size, self.full_rows)
+
+    def shared_bytes_per_block(self) -> int:
+        return self.input.shared_tile_bytes(
+            self.block_size, self.problem.dims
+        ) + self.output.shared_out_bytes(self.problem, self.block_size)
+
+    def regs_per_thread(self) -> int:
+        return self.input.regs_per_thread(self.problem.dims) + self.output.regs_overhead(
+            self.problem
+        )
+
+    def launch_config(self, n: int) -> LaunchConfig:
+        geom = self.geometry(n)
+        return LaunchConfig(
+            grid_dim=geom.num_blocks,
+            block_dim=self.block_size,
+            shared_bytes=self.shared_bytes_per_block(),
+            regs_per_thread=self.regs_per_thread(),
+        )
+
+    def occupancy(self, spec: DeviceSpec = TITAN_X) -> Occupancy:
+        return calculate_occupancy(
+            spec,
+            self.block_size,
+            regs_per_thread=self.regs_per_thread(),
+            shared_per_block=self.shared_bytes_per_block(),
+        )
+
+    # -- functional path --------------------------------------------------------
+    def execute(
+        self, device: Device, points: np.ndarray
+    ) -> Tuple[Any, LaunchRecord]:
+        """Run the kernel on the simulated device.
+
+        Returns ``(result, main_launch_record)``; any reduction launch is
+        recorded on the device's launch list.
+        """
+        problem = self.problem
+        soa = as_soa(points)
+        dims, n = soa.shape
+        if dims != problem.dims:
+            raise ValueError(
+                f"problem {problem.name!r} expects {problem.dims}-d points, "
+                f"got {dims}-d"
+            )
+        dec = BlockDecomposition(n, self.block_size)
+        data_g = device.to_device(soa, name="input")
+        in_state = self.input.prepare(device, data_g)
+        bufs = self.output.create(device, problem, n, dec.num_blocks, self.block_size)
+        full = self.full_rows
+
+        def kernel(ctx: BlockContext) -> None:
+            b = ctx.block_id
+            ids_l = dec.block_indices(b)
+            nl = ids_l.size
+            block_state = self.input.block_setup(ctx, dims)
+            reg_l = self.input.load_anchor(ctx, data_g, in_state, block_state, ids_l)
+            out_state = self.output.block_init(ctx, bufs, problem, ids_l)
+            partner_blocks = (
+                (i for i in range(dec.num_blocks) if i != b)
+                if full
+                else range(b + 1, dec.num_blocks)
+            )
+            for i in partner_blocks:
+                ids_r = dec.block_indices(i)
+                vals_r = self.input.load_tile(
+                    ctx, data_g, in_state, block_state, ids_r, nl
+                )
+                values = problem.pair_fn(reg_l, vals_r)
+                self.input.charge_pair_reads(
+                    ctx, nl, ids_r.size, nl * ids_r.size, dims
+                )
+                mask = np.ones((nl, ids_r.size), dtype=bool)
+                self.output.update(
+                    ctx, out_state, bufs, problem, ids_l, ids_r, values, mask
+                )
+            # intra-block pass (skipped entirely for single-point blocks,
+            # matching the analytical model's zero-intra accounting)
+            n_intra = nl * (nl - 1) if full else nl * (nl - 1) // 2
+            if n_intra == 0:
+                self.output.block_fini(ctx, out_state, bufs, problem, ids_l, b)
+                return
+            vals_l = self.input.load_intra(ctx, data_g, in_state, block_state, ids_l)
+            values = problem.pair_fn(reg_l, vals_l)
+            self.input.charge_pair_reads(ctx, nl, nl, n_intra, dims)
+            if full:
+                mask = ~np.eye(nl, dtype=bool)
+                self.output.update(
+                    ctx, out_state, bufs, problem, ids_l, ids_l, values, mask
+                )
+            elif self.load_balanced and nl == self.block_size and nl % 2 == 0:
+                # cyclic schedule: one update() per iteration, matching the
+                # hardware's warp-synchronous issue pattern (Fig. 6 right)
+                for partners in cyclic_schedule(nl):
+                    mask = np.zeros((nl, nl), dtype=bool)
+                    active = partners >= 0
+                    mask[np.nonzero(active)[0], partners[active]] = True
+                    self.output.update(
+                        ctx, out_state, bufs, problem, ids_l, ids_l, values, mask
+                    )
+            else:
+                mask = triangular_pair_mask(nl)
+                self.output.update(
+                    ctx, out_state, bufs, problem, ids_l, ids_l, values, mask
+                )
+            self.output.block_fini(ctx, out_state, bufs, problem, ids_l, b)
+
+        record = device.launch(kernel, self.launch_config(n), name=self.name)
+        result = self.output.finalize(device, bufs, problem, n)
+        return result, record
+
+    # -- analytical path ---------------------------------------------------------
+    def intra_issue_scale(self) -> float:
+        """Divergence-driven issue inflation of the intra-block pass."""
+        b = self.block_size
+        if self.full_rows:
+            return 1.0  # uniform trip counts: no divergence
+        trips = cyclic_trips(b) if (self.load_balanced and b % 2 == 0) else triangular_trips(b)
+        return warp_loop_cycles(trips).penalty
+
+    def traffic(self, n: int, part: str = "both") -> TrafficProfile:
+        """Analytical traffic profile.
+
+        ``part="both"`` covers the whole launch (what the consistency
+        tests compare against functional counters); ``part="intra"``
+        isolates the intra-block pass (Fig. 7's measured slice).
+        """
+        if part not in ("both", "intra"):
+            raise ValueError(f"part must be 'both' or 'intra', got {part!r}")
+        geom = self.geometry(n)
+        dims = self.problem.dims
+        pairs = geom.pairs if part == "both" else geom.intra_pairs
+        profile = TrafficProfile(pairs=pairs, compute=self.problem.compute_cost)
+        profile = profile + self.input.traffic(geom, dims, part=part)
+        profile = profile + self.output.traffic(geom, dims, self.problem, part=part)
+        return profile
+
+    def pipeline_cycles(
+        self, n: int, calib: Calibration = DEFAULT_CALIBRATION
+    ) -> PipelineCycles:
+        """Total per-lane issue cycles, divergence included.
+
+        Divergence inflates the *whole* warp instruction stream of the
+        intra-block pass (idle lanes still occupy compute and memory issue
+        slots), so the penalty scales every pipeline of the intra slice.
+        """
+        full = cycles_from_traffic(self.traffic(n), calib)
+        penalty = self.intra_issue_scale()
+        if penalty > 1.0:
+            intra = cycles_from_traffic(self.traffic(n, part="intra"), calib)
+            full = full + intra.scaled(penalty - 1.0)
+        return full
+
+    def simulate(
+        self,
+        n: int,
+        spec: DeviceSpec = TITAN_X,
+        calib: Calibration = DEFAULT_CALIBRATION,
+    ) -> SimReport:
+        """Predicted performance at paper scale (no functional execution)."""
+        geom = self.geometry(n)
+        profile = self.traffic(n)
+        cycles = self.pipeline_cycles(n, calib)
+        occ = self.occupancy(spec)
+        extra = self.output.extra_seconds(geom, self.problem, spec, calib)
+        timing = simulate_time(
+            cycles,
+            spec=spec,
+            occupancy=occ.occupancy,
+            calib=calib,
+            extra_seconds=extra,
+        )
+        report = build_report(
+            kernel=self.name,
+            n=n,
+            timing=timing,
+            spec=spec,
+            counters=profile.expected_counters(),
+            extras={
+                "pairs": float(geom.pairs),
+                "blocks": float(geom.num_blocks),
+            },
+        )
+        report.extras["shared_bytes_per_block"] = float(self.shared_bytes_per_block())
+        return report
+
+    def simulate_intra(
+        self,
+        n: int,
+        spec: DeviceSpec = TITAN_X,
+        calib: Calibration = DEFAULT_CALIBRATION,
+    ) -> SimReport:
+        """Predicted time of the intra-block pass alone — the slice the
+        paper's Fig. 7 measures to evaluate load balancing."""
+        cycles = cycles_from_traffic(self.traffic(n, part="intra"), calib)
+        cycles = cycles.scaled(self.intra_issue_scale())
+        occ = self.occupancy(spec)
+        timing = simulate_time(
+            cycles, spec=spec, occupancy=occ.occupancy, calib=calib
+        )
+        return build_report(
+            kernel=f"{self.name}-intra", n=n, timing=timing, spec=spec
+        )
+
+    def __repr__(self) -> str:
+        lb = ", load_balanced" if self.load_balanced else ""
+        return (
+            f"ComposedKernel({self.name}: {self.problem.name}, "
+            f"B={self.block_size}{lb})"
+        )

@@ -1,0 +1,63 @@
+"""Naive input strategy (Algorithm 1).
+
+Every thread keeps its own datum in a local variable (register) and walks
+the remaining input directly in global memory — one global point-read per
+distance evaluation, no tiling, no cache management.  This is the baseline
+all of Section IV-B's speedups are measured against (Eq. 2 counts its
+global accesses).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...gpusim.counters import MemSpace
+from ...gpusim.device import Device
+from ...gpusim.grid import BlockContext
+from ...gpusim.memory import TrackedArray
+from ...gpusim.timing import TrafficProfile
+from .base import InputStrategy, PairGeometry
+
+
+class NaiveInput(InputStrategy):
+    """Partner reads served straight from global memory."""
+
+    name = "Naive"
+    reads_per_pair = 1
+    uses_shared_tile = False
+
+    def load_tile(
+        self,
+        ctx: BlockContext,
+        data_g: TrackedArray,
+        state: Any,
+        block_state: Any,
+        ids: np.ndarray,
+        anchor_n: int,
+    ) -> np.ndarray:
+        # No staging: values handed to the math untracked; the per-pair
+        # global reads are charged in charge_pair_reads.
+        return data_g.raw()[:, ids]
+
+    def load_intra(self, ctx, data_g, state, block_state, ids) -> np.ndarray:
+        return data_g.raw()[:, ids]
+
+    def charge_pair_reads(
+        self, ctx: BlockContext, n_l: int, n_r: int, n_pairs: int, dims: int
+    ) -> None:
+        ctx.counters.add_read(MemSpace.GLOBAL, n_pairs * dims)
+
+    def regs_per_thread(self, dims: int) -> int:
+        return 18 + 2 * dims
+
+    def traffic(
+        self, geom: PairGeometry, dims: int, part: str = "both"
+    ) -> TrafficProfile:
+        if part == "intra":
+            return TrafficProfile(global_scattered=dims * geom.intra_pairs)
+        return TrafficProfile(
+            global_stream=dims * geom.n,  # anchor register loads
+            global_scattered=dims * (geom.inter_pairs + geom.intra_pairs),
+        )

@@ -1,0 +1,386 @@
+"""Output-stage strategies (Section IV-C).
+
+Three designs matching the paper's taxonomy plus the Type-III direct path:
+
+* :class:`RegisterOutput` — Type-I: per-thread accumulators in registers,
+  flushed once when the kernel exits;
+* :class:`GlobalAtomicOutput` — the "straightforward way": every update is
+  an atomic on a single global structure (the 10x-slower baseline of
+  Fig. 4);
+* :class:`PrivatizedSharedOutput` — Type-II: one private copy per block in
+  shared memory, atomic within the block, then the Fig. 3 reduction;
+* :class:`GlobalDirectOutput` — Type-III: results written straight to
+  their global destination (dense matrices) or compacted via an atomic
+  ticket counter (joins).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ...gpusim.atomics import atomic_add, atomic_ticket
+from ...gpusim.calibration import Calibration
+from ...gpusim.contention import expected_max_multiplicity, warp_conflict_degrees
+from ...gpusim.counters import MemSpace
+from ...gpusim.device import Device
+from ...gpusim.grid import BlockContext
+from ...gpusim.spec import DeviceSpec
+from ...gpusim.timing import TrafficProfile, reduction_stage_seconds
+from ..problem import OutputSpec, TwoBodyProblem, UpdateKind
+from .base import OutputStrategy, PairGeometry
+from .reduction import reduce_private_copies
+
+
+def analytic_conflict_degree(
+    problem: TwoBodyProblem, warp: int = 32, lanes_per_copy: int | None = None
+) -> float:
+    """Expected warp serialization of this problem's atomic updates.
+
+    ``lanes_per_copy`` models lane-interleaved multi-copy privatization:
+    only the lanes sharing an output copy can conflict.
+    """
+    out = problem.output
+    m = lanes_per_copy if lanes_per_copy is not None else warp
+    if out.kind is UpdateKind.SCALAR_SUM:
+        return float(m)  # every lane of a copy group hits the same address
+    if out.kind is UpdateKind.HISTOGRAM:
+        probs = (
+            np.asarray(out.bin_probabilities, dtype=np.float64)
+            if out.bin_probabilities is not None
+            else np.full(out.bins, 1.0 / out.bins)
+        )
+        return expected_max_multiplicity(probs, m)
+    return 1.0
+
+
+def _masked_bins_with_sentinels(
+    bins: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Replace masked-out entries with per-lane negative sentinels so the
+    conflict profiler sees inactive lanes as conflict-free."""
+    lanes = np.arange(bins.shape[0])[:, None]
+    return np.where(mask, bins, -(lanes + 1))
+
+
+def _histogram_update(
+    ctx: BlockContext,
+    target,
+    problem: TwoBodyProblem,
+    values: np.ndarray,
+    mask: np.ndarray,
+    copies: int = 1,
+) -> None:
+    """Shared HISTOGRAM update path: bin, bounds-check, atomic, profile.
+
+    With ``copies > 1`` the target is a flat (copies * bins) array and
+    lane t updates copy ``t % copies`` — the lane-interleaved multi-copy
+    privatization whose conflict reduction the profiler then measures.
+    """
+    bins = np.asarray(problem.output.map_fn(values), dtype=np.int64)
+    if bins.shape != values.shape:
+        raise ValueError(
+            f"histogram map_fn changed shape: {values.shape} -> {bins.shape}"
+        )
+    active = mask
+    if bins[active].size:
+        lo, hi = bins[active].min(), bins[active].max()
+        if lo < 0 or hi >= problem.output.bins:
+            raise IndexError(
+                f"bin index outside [0, {problem.output.bins}): [{lo}, {hi}]"
+            )
+    if copies > 1:
+        lane_copy = (np.arange(bins.shape[0]) % copies)[:, None]
+        bins = bins + lane_copy * problem.output.bins
+    degree_sum, issues = warp_conflict_degrees(
+        _masked_bins_with_sentinels(bins, active), ctx.warp_size
+    )
+    flat_bins = bins[active]
+    atomic_add(
+        target,
+        flat_bins,
+        np.ones(flat_bins.size, dtype=target.dtype),
+        warp_size=ctx.warp_size,
+        conflict_sample=(degree_sum, issues),
+    )
+
+
+class RegisterOutput(OutputStrategy):
+    """Type-I: output lives in per-thread registers until kernel exit."""
+
+    name = "register"
+    suffix = ""
+    supported_kinds = frozenset(
+        {UpdateKind.SCALAR_SUM, UpdateKind.PER_POINT_SUM, UpdateKind.TOPK}
+    )
+
+    def create(self, device, problem, n, m, block_size) -> Dict[str, Any]:
+        kind = problem.output.kind
+        if kind is UpdateKind.TOPK:
+            k = problem.output.k
+            return {
+                "dists": device.alloc((n, k), np.float64, name="knn-dists"),
+                "ids": device.alloc((n, k), np.int64, name="knn-ids"),
+            }
+        return {"partials": device.alloc(n, np.float64, name="partials")}
+
+    def block_init(self, ctx, bufs, problem, ids_l):
+        nl = ids_l.size
+        if problem.output.kind is UpdateKind.TOPK:
+            k = problem.output.k
+            return {
+                "d": np.full((nl, k), np.inf),
+                "i": np.full((nl, k), -1, dtype=np.int64),
+            }
+        return {"acc": np.zeros(nl)}
+
+    def update(self, ctx, state, bufs, problem, ids_l, ids_r, values, mask):
+        kind = problem.output.kind
+        if kind is UpdateKind.TOPK:
+            k = problem.output.k
+            cand = np.where(mask, values, np.inf)
+            all_d = np.concatenate([state["d"], cand], axis=1)
+            all_i = np.concatenate(
+                [state["i"], np.broadcast_to(ids_r, cand.shape)], axis=1
+            )
+            pick = np.argpartition(all_d, k - 1, axis=1)[:, :k]
+            rows = np.arange(all_d.shape[0])[:, None]
+            state["d"] = all_d[rows, pick]
+            state["i"] = all_i[rows, pick]
+        else:
+            weights = np.asarray(problem.output.map_fn(values), dtype=np.float64)
+            state["acc"] += np.where(mask, weights, 0.0).sum(axis=1)
+
+    def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
+        if problem.output.kind is UpdateKind.TOPK:
+            order = np.argsort(state["d"], axis=1, kind="stable")
+            rows = np.arange(ids_l.size)[:, None]
+            bufs["dists"].st((ids_l, slice(None)), state["d"][rows, order])
+            bufs["ids"].st((ids_l, slice(None)), state["i"][rows, order])
+        else:
+            bufs["partials"].st(ids_l, state["acc"])
+
+    def finalize(self, device, bufs, problem, n):
+        kind = problem.output.kind
+        if kind is UpdateKind.TOPK:
+            return device.to_host(bufs["dists"]), device.to_host(bufs["ids"])
+        partials = device.to_host(bufs["partials"])
+        if kind is UpdateKind.SCALAR_SUM:
+            return float(partials.sum())  # final fold on the host
+        return partials
+
+    def regs_overhead(self, problem) -> int:
+        if problem.output.kind is UpdateKind.TOPK:
+            return 2 * problem.output.k + 2
+        return 3
+
+    def traffic(self, geom, dims, problem, part="both") -> TrafficProfile:
+        if part == "intra":
+            return TrafficProfile()  # register updates cost nothing extra
+        kind = problem.output.kind
+        writes = 2 * problem.output.k * geom.n if kind is UpdateKind.TOPK else geom.n
+        return TrafficProfile(global_stream_writes=writes)
+
+
+class GlobalAtomicOutput(OutputStrategy):
+    """Every update is an atomic against one global output structure."""
+
+    name = "global-atomic"
+    suffix = ""
+    supported_kinds = frozenset({UpdateKind.HISTOGRAM, UpdateKind.SCALAR_SUM})
+
+    def create(self, device, problem, n, m, block_size):
+        if problem.output.kind is UpdateKind.HISTOGRAM:
+            return {"hist": device.alloc(problem.output.bins, np.int64, name="hist")}
+        return {"acc": device.alloc(1, np.float64, name="acc")}
+
+    def block_init(self, ctx, bufs, problem, ids_l):
+        return None
+
+    def update(self, ctx, state, bufs, problem, ids_l, ids_r, values, mask):
+        if problem.output.kind is UpdateKind.HISTOGRAM:
+            _histogram_update(ctx, bufs["hist"], problem, values, mask)
+        else:
+            weights = np.asarray(problem.output.map_fn(values), dtype=np.float64)
+            flat = weights[mask]
+            # one atomic per pair, all to the same address: worst case
+            atomic_add(
+                bufs["acc"],
+                np.zeros(flat.size, dtype=np.int64),
+                flat,
+                warp_size=ctx.warp_size,
+                conflict_sample=(
+                    float(min(flat.size, ctx.warp_size))
+                    * ((flat.size + ctx.warp_size - 1) // ctx.warp_size),
+                    (flat.size + ctx.warp_size - 1) // ctx.warp_size,
+                ),
+            )
+
+    def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
+        pass
+
+    def finalize(self, device, bufs, problem, n):
+        if problem.output.kind is UpdateKind.HISTOGRAM:
+            return device.to_host(bufs["hist"])
+        return float(device.to_host(bufs["acc"])[0])
+
+    def traffic(self, geom, dims, problem, part="both") -> TrafficProfile:
+        pairs = geom.pairs if part == "both" else geom.intra_pairs
+        return TrafficProfile(
+            global_atomics=pairs,
+            conflict_degree=analytic_conflict_degree(problem),
+        )
+
+
+class PrivatizedSharedOutput(OutputStrategy):
+    """Type-II: per-block private copy in shared memory + Fig. 3 reduction.
+
+    ``copies_per_block`` generalizes to several lane-interleaved private
+    copies per block — the variant the paper tested and dismissed ("we
+    tested more private copies per block and found that it does not bring
+    overall performance advantage (data not shown)").  More copies lower
+    the warp conflict degree but multiply the shared footprint (hurting
+    occupancy) and the init/flush traffic; the ablation bench quantifies
+    the trade-off.
+    """
+
+    name = "privatized-shm"
+    suffix = "-Out"
+    supported_kinds = frozenset({UpdateKind.HISTOGRAM})
+
+    def __init__(self, copies_per_block: int = 1) -> None:
+        if copies_per_block < 1:
+            raise ValueError(
+                f"need at least one private copy, got {copies_per_block}"
+            )
+        self.copies = copies_per_block
+
+    def create(self, device, problem, n, m, block_size):
+        hs = problem.output.bins
+        return {
+            "private": device.alloc((m, hs), np.int64, name="private-out"),
+            "final": device.alloc(hs, np.int64, name="final-out"),
+        }
+
+    def block_init(self, ctx, bufs, problem, ids_l):
+        # Algorithm 3 line 1: initialize shared memory to zero
+        return ctx.alloc_shared(
+            self.copies * problem.output.bins,
+            dtype=np.int64,
+            name="shm-out",
+            zero=True,
+        )
+
+    def update(self, ctx, state, bufs, problem, ids_l, ids_r, values, mask):
+        _histogram_update(ctx, state, problem, values, mask, copies=self.copies)
+
+    def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
+        # Algorithm 3 line 15: copy the private output to global scope,
+        # folding the block's lane-interleaved copies first
+        vals = state.ld().reshape(self.copies, problem.output.bins).sum(axis=0)
+        bufs["private"].st((block_id, slice(None)), vals)
+
+    def finalize(self, device, bufs, problem, n):
+        reduce_private_copies(device, bufs["private"], bufs["final"])
+        return device.to_host(bufs["final"])
+
+    def shared_out_bytes(self, problem, block_size) -> int:
+        return self.copies * problem.output.bins * 4  # 32-bit counters
+
+    def _degree(self, problem) -> float:
+        return analytic_conflict_degree(
+            problem, lanes_per_copy=max(32 // self.copies, 1)
+        )
+
+    def traffic(self, geom, dims, problem, part="both") -> TrafficProfile:
+        if part == "intra":
+            return TrafficProfile(
+                shm_atomics=geom.intra_pairs,
+                conflict_degree=self._degree(problem),
+            )
+        hs = problem.output.bins * self.copies
+        m = geom.num_blocks
+        return TrafficProfile(
+            shm_writes=hs * m,  # zero-initialization, every block
+            shm_atomics=geom.pairs,
+            shm_reads=hs * m,  # flush reads
+            global_stream_writes=problem.output.bins * m,  # flush writes
+            conflict_degree=self._degree(problem),
+        )
+
+    def extra_seconds(self, geom, problem, spec, calib) -> float:
+        return reduction_stage_seconds(
+            problem.output.bins, geom.num_blocks, spec, calib
+        )
+
+
+class GlobalDirectOutput(OutputStrategy):
+    """Type-III: output streamed to global memory destinations."""
+
+    name = "global-direct"
+    suffix = "-Gmem"
+    supported_kinds = frozenset({UpdateKind.MATRIX, UpdateKind.EMIT_PAIRS})
+
+    def create(self, device, problem, n, m, block_size):
+        if problem.output.kind is UpdateKind.MATRIX:
+            return {"matrix": device.alloc((n, n), np.float64, name="pair-matrix")}
+        return {
+            "ticket": device.alloc(1, np.int64, name="emit-ticket"),
+            "emitted": [],  # host-side spill of the emitted pair list
+        }
+
+    def block_init(self, ctx, bufs, problem, ids_l):
+        return None
+
+    def update(self, ctx, state, bufs, problem, ids_l, ids_r, values, mask):
+        if problem.output.kind is UpdateKind.MATRIX:
+            vals = np.asarray(problem.output.map_fn(values), dtype=np.float64)
+            ii, jj = np.nonzero(mask)
+            gi, gj = ids_l[ii], ids_r[jj]
+            bufs["matrix"].st((gi, gj), vals[ii, jj])
+            bufs["matrix"].st((gj, gi), vals[ii, jj])  # symmetric fill
+        else:
+            pred = np.asarray(problem.output.map_fn(values), dtype=bool) & mask
+            ii, jj = np.nonzero(pred)
+            nm = ii.size
+            if nm == 0:
+                return
+            atomic_ticket(bufs["ticket"], nm)  # reserve nm output slots
+            bufs["emitted"].append(
+                np.stack([ids_l[ii], ids_r[jj]], axis=1).astype(np.int64)
+            )
+            # the pair writes themselves (two int columns per match)
+            ctx.counters.add_write(MemSpace.GLOBAL, 2 * nm)
+
+    def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
+        pass
+
+    def finalize(self, device, bufs, problem, n):
+        if problem.output.kind is UpdateKind.MATRIX:
+            return device.to_host(bufs["matrix"])
+        if bufs["emitted"]:
+            pairs = np.concatenate(bufs["emitted"], axis=0)
+        else:
+            pairs = np.empty((0, 2), dtype=np.int64)
+        count = int(device.to_host(bufs["ticket"])[0])
+        assert count == pairs.shape[0], "ticket counter out of sync"
+        return pairs
+
+    def traffic(self, geom, dims, problem, part="both") -> TrafficProfile:
+        pairs = geom.pairs if part == "both" else geom.intra_pairs
+        if problem.output.kind is UpdateKind.MATRIX:
+            return TrafficProfile(global_stream_writes=2 * pairs)
+        # one ticket per (block, tile) batch + two words per emitted pair
+        m = geom.num_blocks
+        if part == "intra":
+            batches = m
+        elif geom.full_rows:
+            batches = m * m
+        else:
+            batches = m * (m - 1) // 2 + m
+        matches = problem.output.selectivity * pairs
+        return TrafficProfile(
+            global_atomics=batches,
+            global_stream_writes=2 * matches,
+        )

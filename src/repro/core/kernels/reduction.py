@@ -1,0 +1,49 @@
+"""Parallel reduction kernel combining privatized outputs (Fig. 3).
+
+After the pairwise stage, each thread block has flushed its private output
+copy to a row of a global ``(M, Hs)`` staging buffer.  A second kernel —
+"configured to have one thread handle one element in the output array"
+(Section IV-C) — folds the M copies into the final Hs-element result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...gpusim.device import Device, LaunchRecord
+from ...gpusim.grid import BlockContext, LaunchConfig
+from ...gpusim.memory import TrackedArray
+
+#: block size of the reduction launch (a typical choice; any warp multiple
+#: works — the stage is negligible either way, which is Eq. 7's point).
+REDUCE_BLOCK = 256
+
+
+def reduce_private_copies(
+    device: Device,
+    private_g: TrackedArray,
+    out_g: TrackedArray,
+    *,
+    name: str = "reduce-output",
+) -> LaunchRecord:
+    """Launch the combine kernel: ``out[h] = sum_m private[m][h]``."""
+    m, hs = private_g.shape
+    if out_g.shape != (hs,):
+        raise ValueError(
+            f"final buffer shape {out_g.shape} does not match Hs={hs}"
+        )
+    grid = (hs + REDUCE_BLOCK - 1) // REDUCE_BLOCK
+
+    def kernel(ctx: BlockContext) -> None:
+        base = ctx.block_id * REDUCE_BLOCK
+        cols = np.arange(base, min(base + REDUCE_BLOCK, hs))
+        if cols.size == 0:
+            return
+        # each thread reads its element from all M private copies ...
+        chunk = private_g.ld((slice(None), cols))  # M reads per thread
+        # ... and writes one final element
+        out_g.st(cols, chunk.sum(axis=0))
+
+    return device.launch(
+        kernel, LaunchConfig(grid_dim=grid, block_dim=REDUCE_BLOCK), name=name
+    )

@@ -1,0 +1,79 @@
+"""Register-SHM input strategy (Algorithm 3, pairwise stage).
+
+The anchor datum is held in registers ("the register modifier in CUDA"),
+the streamed block R in shared memory — one shared point-read per distance
+evaluation (Eq. 5, half of SHM-SHM's Eq. 4).  For the intra-block pass the
+anchor block is re-loaded *into the same shared buffer R used* (Algorithm 3
+line 10), keeping total shared consumption at one tile.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...gpusim.counters import MemSpace
+from ...gpusim.grid import BlockContext
+from ...gpusim.memory import TrackedArray
+from ...gpusim.timing import TrafficProfile
+from .base import InputStrategy, PairGeometry
+
+
+class RegisterShmInput(InputStrategy):
+    """Anchor in registers, R tile in shared memory."""
+
+    name = "Register-SHM"
+    reads_per_pair = 1
+    uses_shared_tile = True
+
+    def block_setup(self, ctx: BlockContext, dims: int) -> dict:
+        # a single tile buffer; the intra pass overwrites it with L
+        return {"R": ctx.alloc_shared((dims, ctx.nthreads), name="tileR")}
+
+    def _stage(self, ctx, data_g, tile: TrackedArray, ids: np.ndarray) -> np.ndarray:
+        vals = data_g.ld((slice(None), ids))
+        tile.st((slice(None), slice(0, ids.size)), vals)
+        ctx.syncthreads()
+        return vals
+
+    def load_tile(self, ctx, data_g, state, block_state, ids, anchor_n) -> np.ndarray:
+        return self._stage(ctx, data_g, block_state["R"], ids)
+
+    def load_intra(self, ctx, data_g, state, block_state, ids) -> np.ndarray:
+        # Algorithm 3 line 10: overwrite R's cache location with L
+        return self._stage(ctx, data_g, block_state["R"], ids)
+
+    def charge_pair_reads(self, ctx, n_l, n_r, n_pairs, dims) -> None:
+        ctx.counters.add_read(MemSpace.SHARED, n_pairs * dims)
+
+    def shared_tile_bytes(self, block_size: int, dims: int) -> int:
+        return block_size * dims * 4  # a single tile buffer
+
+    def regs_per_thread(self, dims: int) -> int:
+        return 22 + 2 * dims
+
+    def traffic(
+        self, geom: PairGeometry, dims: int, part: str = "both"
+    ) -> TrafficProfile:
+        if part == "intra":
+            # the pass reloads L into the tile buffer, then reads per pair
+            return TrafficProfile(
+                global_stream=dims * geom.n,
+                shm_writes=dims * geom.n,
+                shm_reads=dims * geom.intra_pairs,
+            )
+        # anchor register loads + R tiles + the intra-pass L reload (the
+        # reload only exists where there IS an intra pass: cross-dataset
+        # kernels have none, and a single-point tail block skips it too)
+        if geom.intra_pairs:
+            tail = geom.n - (geom.num_blocks - 1) * geom.block_size
+            reload_points = geom.n - (1 if tail == 1 else 0)
+        else:
+            reload_points = 0
+        staged = geom.tile_loads_points + reload_points
+        return TrafficProfile(
+            global_stream=dims * (geom.n + staged),
+            shm_writes=dims * staged,
+            shm_reads=dims * (geom.inter_pairs + geom.intra_pairs),
+        )

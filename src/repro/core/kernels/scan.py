@@ -1,0 +1,130 @@
+"""Work-efficient parallel prefix scan (Blelchloch) on the simulated GPU.
+
+Substrate for the two-pass Type-III output pipeline (Section V future
+work; the compaction idiom of He et al.'s relational join [2]): pass 1
+counts matches per block, an exclusive scan turns counts into output
+offsets, pass 2 writes results to their final slots with no atomics.
+
+The scan is implemented as real simulated kernels — block-level up-sweep /
+down-sweep in shared memory plus a block-sums recursion — so its access
+counts and timing participate in the model like any other kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...gpusim.device import Device, LaunchRecord
+from ...gpusim.grid import BlockContext, LaunchConfig
+from ...gpusim.memory import TrackedArray
+
+SCAN_BLOCK = 256  # elements per scan block (one thread : one element)
+
+
+def _scan_block_kernel(
+    data_g: TrackedArray,
+    out_g: TrackedArray,
+    block_sums_g: TrackedArray,
+    n: int,
+):
+    """One launch: each block exclusive-scans its SCAN_BLOCK-element tile
+    in shared memory and records its total."""
+
+    def kernel(ctx: BlockContext) -> None:
+        base = ctx.block_id * SCAN_BLOCK
+        count = min(SCAN_BLOCK, n - base)
+        if count <= 0:
+            block_sums_g.st(ctx.block_id, 0)
+            return
+        tile = ctx.alloc_shared(SCAN_BLOCK, dtype=np.int64, name="scan-tile")
+        vals = data_g.ld(slice(base, base + count))
+        tile.st(slice(0, count), vals)
+        if count < SCAN_BLOCK:
+            tile.st(slice(count, SCAN_BLOCK), 0)
+        ctx.syncthreads()
+
+        # up-sweep (reduce) phase: log2(B) rounds of pairwise sums
+        offset = 1
+        while offset < SCAN_BLOCK:
+            idx = np.arange(offset * 2 - 1, SCAN_BLOCK, offset * 2)
+            left = tile.ld(idx - offset)
+            right = tile.ld(idx)
+            tile.st(idx, left + right)
+            ctx.syncthreads()
+            offset *= 2
+
+        total = int(tile.ld(SCAN_BLOCK - 1))
+        block_sums_g.st(ctx.block_id, total)
+        tile.st(SCAN_BLOCK - 1, 0)  # clear the root for the down-sweep
+        ctx.syncthreads()
+
+        # down-sweep phase: distribute partial sums back down the tree
+        offset = SCAN_BLOCK // 2
+        while offset >= 1:
+            idx = np.arange(offset * 2 - 1, SCAN_BLOCK, offset * 2)
+            left = tile.ld(idx - offset)
+            right = tile.ld(idx)
+            tile.st(idx - offset, right)
+            tile.st(idx, left + right)
+            ctx.syncthreads()
+            offset //= 2
+
+        out_g.st(slice(base, base + count), tile.ld(slice(0, count)))
+
+    return kernel
+
+
+def _add_offsets_kernel(out_g: TrackedArray, offsets_g: TrackedArray, n: int):
+    def kernel(ctx: BlockContext) -> None:
+        base = ctx.block_id * SCAN_BLOCK
+        count = min(SCAN_BLOCK, n - base)
+        if count <= 0:
+            return
+        off = offsets_g.ld(ctx.block_id, fanout=count)
+        vals = out_g.ld(slice(base, base + count))
+        out_g.st(slice(base, base + count), vals + off)
+
+    return kernel
+
+
+def exclusive_scan(
+    device: Device, data_g: TrackedArray, name: str = "scan"
+) -> tuple[TrackedArray, int, List[LaunchRecord]]:
+    """Exclusive prefix scan of a 1-D int64 device array.
+
+    Returns ``(scanned array, total sum, launch records)``.  Recurses on
+    the per-block sums exactly as the classic multi-block scan does.
+    """
+    n = data_g.size
+    if n == 0:
+        raise ValueError("cannot scan an empty array")
+    num_blocks = (n + SCAN_BLOCK - 1) // SCAN_BLOCK
+    out_g = device.alloc(n, np.int64, name=f"{name}-out")
+    sums_g = device.alloc(max(num_blocks, 1), np.int64, name=f"{name}-sums")
+    records = [
+        device.launch(
+            _scan_block_kernel(data_g, out_g, sums_g, n),
+            LaunchConfig(num_blocks, SCAN_BLOCK),
+            name=f"{name}-blocks",
+        )
+    ]
+    if num_blocks == 1:
+        total = int(sums_g.raw()[0])
+        device.free(sums_g)
+        return out_g, total, records
+    scanned_sums, total, sub_records = exclusive_scan(
+        device, sums_g, name=f"{name}-sums"
+    )
+    records.extend(sub_records)
+    records.append(
+        device.launch(
+            _add_offsets_kernel(out_g, scanned_sums, n),
+            LaunchConfig(num_blocks, SCAN_BLOCK),
+            name=f"{name}-apply",
+        )
+    )
+    device.free(sums_g)
+    device.free(scanned_sums)
+    return out_g, total, records

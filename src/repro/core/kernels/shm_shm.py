@@ -1,0 +1,76 @@
+"""SHM-SHM input strategy (Section IV-A's starting point).
+
+Both the anchor block L and the streamed block R are staged in shared
+memory; every distance evaluation reads *two* points from shared memory
+(L[t] and R[j]), which is exactly why Eq. 4 is double Eq. 5 and why
+Register-SHM supersedes this design.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...gpusim.counters import MemSpace
+from ...gpusim.grid import BlockContext
+from ...gpusim.memory import TrackedArray
+from ...gpusim.timing import TrafficProfile
+from .base import InputStrategy, PairGeometry
+
+
+class ShmShmInput(InputStrategy):
+    """L and R tiles both in shared memory; two shared reads per pair."""
+
+    name = "SHM-SHM"
+    reads_per_pair = 2
+    uses_shared_tile = True
+
+    def block_setup(self, ctx: BlockContext, dims: int) -> dict:
+        b = ctx.nthreads
+        return {
+            "L": ctx.alloc_shared((dims, b), name="tileL"),
+            "R": ctx.alloc_shared((dims, b), name="tileR"),
+        }
+
+    def _stage(self, ctx, data_g, tile: TrackedArray, ids: np.ndarray) -> np.ndarray:
+        vals = data_g.ld((slice(None), ids))  # coalesced global read
+        tile.st((slice(None), slice(0, ids.size)), vals)  # shared write
+        ctx.syncthreads()
+        return vals
+
+    def load_anchor(self, ctx, data_g, state, block_state, ids) -> np.ndarray:
+        # the anchor lives in shared memory; the per-pair L[t] read is
+        # charged in charge_pair_reads (reads_per_pair = 2)
+        return self._stage(ctx, data_g, block_state["L"], ids)
+
+    def load_tile(self, ctx, data_g, state, block_state, ids, anchor_n) -> np.ndarray:
+        return self._stage(ctx, data_g, block_state["R"], ids)
+
+    def load_intra(self, ctx, data_g, state, block_state, ids) -> np.ndarray:
+        # L already resident in shared memory: no reload
+        return block_state["L"].raw()[:, : ids.size]
+
+    def charge_pair_reads(self, ctx, n_l, n_r, n_pairs, dims) -> None:
+        ctx.counters.add_read(MemSpace.SHARED, self.reads_per_pair * n_pairs * dims)
+
+    def shared_tile_bytes(self, block_size: int, dims: int) -> int:
+        return 2 * block_size * dims * 4  # L and R buffers, fp32
+
+    def regs_per_thread(self, dims: int) -> int:
+        return 22 + dims
+
+    def traffic(
+        self, geom: PairGeometry, dims: int, part: str = "both"
+    ) -> TrafficProfile:
+        if part == "intra":
+            # L is already resident; the pass only pays per-pair reads
+            return TrafficProfile(
+                shm_reads=dims * self.reads_per_pair * geom.intra_pairs
+            )
+        staged = geom.n + geom.tile_loads_points  # L once per block + R tiles
+        return TrafficProfile(
+            global_stream=dims * staged,
+            shm_writes=dims * staged,
+            shm_reads=dims * self.reads_per_pair * (geom.inter_pairs + geom.intra_pairs),
+        )

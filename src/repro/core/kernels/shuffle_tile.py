@@ -1,0 +1,131 @@
+"""Shuffle-instruction tiling (Algorithm 4, Section IV-E.2).
+
+When shared memory and the read-only cache are both busy (e.g. claimed by
+concurrent kernels), partner data can be tiled through the *register file*:
+each warp cooperatively loads a 32-wide chunk of the partner block into
+per-lane registers (``reg1``), then ``shuffle broadcast`` hands every
+lane's datum to all 32 lanes in turn (``regtmp``), at the cost of two extra
+registers and zero bytes of cache.
+
+Cost structure this models (validated against the functional counters):
+
+* every warp must walk the *whole* partner block itself — so tile loads
+  are ``ceil(nL/warp) * nR`` coalesced global reads per block pair instead
+  of the ``nR`` a shared-memory tile needs;
+* one broadcast per evaluation slot: ``nL * warp * ceil(nR/warp)``
+  shuffles per block pair (issued for all lanes whether or not the
+  triangular mask uses the result).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from ...gpusim.counters import MemSpace
+from ...gpusim.errors import GpuSimError
+from ...gpusim.grid import BlockContext
+from ...gpusim.memory import TrackedArray
+from ...gpusim.shuffle import shfl_broadcast
+from ...gpusim.timing import TrafficProfile
+from .base import InputStrategy, PairGeometry
+
+
+def _warps(n: int, warp: int) -> int:
+    return (n + warp - 1) // warp
+
+
+class ShuffleInput(InputStrategy):
+    """Partner data tiled through registers via warp shuffle broadcast."""
+
+    name = "Shuffle"
+    reads_per_pair = 1  # one broadcast receive per evaluation
+    uses_shared_tile = False
+
+    def __init__(self, warp_size: int = 32, demonstrate: bool = True) -> None:
+        """``demonstrate``: run a real shfl_broadcast round on the first
+        warp chunk of each tile, so the primitive is genuinely exercised
+        (and validated) on the functional path."""
+        self.warp_size = warp_size
+        self.demonstrate = demonstrate
+
+    def prepare(self, device, data_g):
+        if not device.spec.supports_shuffle:
+            raise GpuSimError(
+                f"{device.spec.name} predates Kepler: shuffle instructions "
+                "are unavailable (Section III-A)"
+            )
+        return None
+
+    def _charge_tile(self, ctx: BlockContext, n_l: int, n_r: int, dims: int) -> None:
+        w = self.warp_size
+        loads = _warps(n_l, w) * n_r * dims
+        ctx.counters.add_read(MemSpace.GLOBAL, loads)
+
+    def load_tile(self, ctx, data_g, state, block_state, ids, anchor_n):
+        self._charge_tile(ctx, anchor_n, ids.size, data_g.shape[0])
+        vals = data_g.raw()[:, ids]
+        if self.demonstrate and ids.size >= self.warp_size:
+            # genuinely broadcast the first warp-chunk: lane k's datum to
+            # all lanes, checking the network delivers what the math uses
+            chunk = np.ascontiguousarray(vals[0, : self.warp_size])
+            got = shfl_broadcast(chunk, 0, self.warp_size)
+            if not np.all(got == chunk[0]):
+                raise GpuSimError("shuffle broadcast self-check failed")
+        return vals
+
+    def load_intra(self, ctx, data_g, state, block_state, ids):
+        self._charge_tile(ctx, ids.size, ids.size, data_g.shape[0])
+        return data_g.raw()[:, ids]
+
+    def charge_pair_reads(self, ctx, n_l, n_r, n_pairs, dims) -> None:
+        # broadcasts are issued warp-synchronously for every evaluation
+        # slot, independent of the intra-block mask
+        w = self.warp_size
+        broadcasts = n_l * w * _warps(n_r, w) * dims
+        ctx.counters.add_read(MemSpace.REGISTER, broadcasts)
+
+    def regs_per_thread(self, dims: int) -> int:
+        # reg0 + reg1 + regtmp per dimension, as in Algorithm 4
+        return 22 + 3 * dims
+
+    def traffic(
+        self, geom: PairGeometry, dims: int, part: str = "both"
+    ) -> TrafficProfile:
+        w = self.warp_size
+        # vectorized over blocks (O(M)): per-block sizes, warp counts and
+        # padded (warp-multiple) partner extents
+        from .base import block_sizes
+
+        sizes = block_sizes(geom.n, geom.block_size)
+        m = sizes.size
+        warps = (sizes + w - 1) // w
+        padded = warps * w
+        if geom.full_rows:
+            partner_points = geom.n - sizes  # every other block
+            partner_padded = padded.sum() - padded
+        else:
+            # partners are the higher-indexed blocks
+            partner_points = np.concatenate(
+                [np.cumsum(sizes[::-1])[::-1][1:], [0]]
+            )
+            partner_padded = np.concatenate(
+                [np.cumsum(padded[::-1])[::-1][1:], [0]]
+            )
+        inter_loads = float((warps * partner_points).sum())
+        inter_shuffles = float((sizes * partner_padded).sum())
+        # single-point blocks skip the intra pass entirely
+        active = sizes > 1
+        intra_loads = float((warps * sizes)[active].sum())
+        intra_shuffles = float((sizes * padded)[active].sum())
+        if part == "intra":
+            return TrafficProfile(
+                global_stream=dims * intra_loads,
+                shuffles=dims * intra_shuffles,
+            )
+        return TrafficProfile(
+            global_stream=dims * (geom.n + inter_loads + intra_loads),
+            shuffles=dims * (inter_shuffles + intra_shuffles),
+        )

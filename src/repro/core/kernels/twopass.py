@@ -1,0 +1,197 @@
+"""Two-pass Type-III output: count -> scan -> write (no global atomics).
+
+The paper's Section V names Type-III efficiency as future work; the
+classical GPU answer — used by the relational-join prior art it cites
+(He et al. [2]) — is compaction: a first pairwise pass counts matches per
+block, an exclusive prefix scan (``kernels/scan.py``) converts counts to
+output offsets, and a second pass re-evaluates the pairs and writes each
+match to its pre-assigned slot.  The only atomics left are block-local
+cursors in shared memory; global memory sees pure coalesced writes.
+
+Compared with the single-pass ticket design (``GlobalDirectOutput``) this
+doubles the pairwise computation but removes global-atomic serialization
+and yields deterministic, block-ordered output — the classic trade-off,
+measurable here via ``simulate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...gpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from ...gpusim.device import Device, LaunchRecord
+from ...gpusim.grid import BlockContext, LaunchConfig
+from ...gpusim.profiler import SimReport, build_report
+from ...gpusim.spec import DeviceSpec, TITAN_X
+from ...gpusim.timing import (
+    TrafficProfile,
+    cycles_from_traffic,
+    simulate_time,
+)
+from ..problem import TwoBodyProblem, UpdateKind, as_soa
+from ..tiling import BlockDecomposition, triangular_pair_mask
+from . import INPUT_STRATEGIES
+from .base import compute_geometry
+from .scan import exclusive_scan
+
+
+@dataclass
+class TwoPassResult:
+    pairs: np.ndarray
+    total: int
+    records: List[LaunchRecord]
+
+
+class TwoPassJoinKernel:
+    """Count/scan/write join over all pairs of one dataset."""
+
+    def __init__(
+        self,
+        problem: TwoBodyProblem,
+        input_strategy: str = "register-shm",
+        block_size: int = 256,
+        name: Optional[str] = None,
+    ) -> None:
+        if problem.output.kind is not UpdateKind.EMIT_PAIRS:
+            raise ValueError(
+                f"two-pass output is for EMIT_PAIRS problems, got "
+                f"{problem.output.kind.value!r}"
+            )
+        self.problem = problem
+        self.input = INPUT_STRATEGIES[input_strategy]()
+        self.block_size = block_size
+        self.name = name or f"{self.input.name}-2Pass"
+
+    # -- functional ------------------------------------------------------------
+    def _block_matches(self, ctx, data_g, in_state, dec, charge: bool):
+        """Matched (i, j) pairs owned by this block, tile by tile."""
+        problem = self.problem
+        dims = problem.dims
+        b = ctx.block_id
+        ids_l = dec.block_indices(b)
+        nl = ids_l.size
+        block_state = self.input.block_setup(ctx, dims)
+        if charge:
+            reg_l = self.input.load_anchor(ctx, data_g, in_state, block_state, ids_l)
+        else:
+            reg_l = data_g.raw()[:, ids_l]
+        out = []
+        for i in range(b + 1, dec.num_blocks):
+            ids_r = dec.block_indices(i)
+            if charge:
+                vals_r = self.input.load_tile(
+                    ctx, data_g, in_state, block_state, ids_r, nl
+                )
+                self.input.charge_pair_reads(ctx, nl, ids_r.size, nl * ids_r.size, dims)
+            else:
+                vals_r = data_g.raw()[:, ids_r]
+            pred = np.asarray(
+                problem.output.map_fn(problem.pair_fn(reg_l, vals_r)), dtype=bool
+            )
+            ii, jj = np.nonzero(pred)
+            if ii.size:
+                out.append(np.stack([ids_l[ii], ids_r[jj]], axis=1))
+        if charge:
+            vals_l = self.input.load_intra(ctx, data_g, in_state, block_state, ids_l)
+            self.input.charge_pair_reads(ctx, nl, nl, nl * (nl - 1) // 2, dims)
+        else:
+            vals_l = data_g.raw()[:, ids_l]
+        pred = np.asarray(
+            problem.output.map_fn(problem.pair_fn(reg_l, vals_l)), dtype=bool
+        ) & triangular_pair_mask(nl)
+        ii, jj = np.nonzero(pred)
+        if ii.size:
+            out.append(np.stack([ids_l[ii], ids_l[jj]], axis=1))
+        return (
+            np.concatenate(out, axis=0)
+            if out
+            else np.empty((0, 2), dtype=np.int64)
+        )
+
+    def execute(self, device: Device, points: np.ndarray) -> TwoPassResult:
+        soa = as_soa(points)
+        dims, n = soa.shape
+        if dims != self.problem.dims:
+            raise ValueError(
+                f"problem expects {self.problem.dims}-d points, got {dims}-d"
+            )
+        dec = BlockDecomposition(n, self.block_size)
+        data_g = device.to_device(soa, name="join-input")
+        in_state = self.input.prepare(device, data_g)
+        counts_g = device.alloc(dec.num_blocks, np.int64, name="join-counts")
+
+        # pass 1: count matches per block
+        def count_kernel(ctx: BlockContext) -> None:
+            matches = self._block_matches(ctx, data_g, in_state, dec, charge=True)
+            counts_g.st(ctx.block_id, len(matches))
+
+        records = [
+            device.launch(
+                count_kernel,
+                LaunchConfig(dec.num_blocks, self.block_size),
+                name=f"{self.name}-count",
+            )
+        ]
+
+        # exclusive scan of the block counts
+        offsets_g, total, scan_records = exclusive_scan(device, counts_g, "join")
+        records.extend(scan_records)
+        out_g = device.alloc((max(total, 1), 2), np.int64, name="join-out")
+
+        # pass 2: re-evaluate and write to pre-assigned slots
+        def write_kernel(ctx: BlockContext) -> None:
+            matches = self._block_matches(ctx, data_g, in_state, dec, charge=True)
+            if not len(matches):
+                return
+            base = int(offsets_g.ld(ctx.block_id))
+            # block-local cursor in shared memory orders the writes
+            cursor = ctx.alloc_shared(1, dtype=np.int64, name="cursor", zero=True)
+            cursor.counters.add_atomic(cursor.space, len(matches))
+            out_g.st(slice(base, base + len(matches)), matches)
+
+        records.append(
+            device.launch(
+                write_kernel,
+                LaunchConfig(dec.num_blocks, self.block_size),
+                name=f"{self.name}-write",
+            )
+        )
+        pairs = device.to_host(out_g)[:total]
+        return TwoPassResult(pairs=pairs, total=total, records=records)
+
+    # -- analytical -------------------------------------------------------------
+    def traffic(self, n: int) -> TrafficProfile:
+        geom = compute_geometry(n, self.block_size, full_rows=False)
+        in_traffic = self.input.traffic(geom, self.problem.dims)
+        matches = self.problem.output.selectivity * geom.pairs
+        per_pass = TrafficProfile(
+            pairs=geom.pairs, compute=self.problem.compute_cost
+        ) + in_traffic
+        both = per_pass + per_pass  # two identical pairwise passes
+        output_side = TrafficProfile(
+            global_stream_writes=2 * matches + geom.num_blocks,
+            shm_atomics=matches,  # block-local cursors
+            global_stream=geom.num_blocks,  # offset reads
+        )
+        return both + output_side
+
+    def simulate(
+        self,
+        n: int,
+        spec: DeviceSpec = TITAN_X,
+        calib: Calibration = DEFAULT_CALIBRATION,
+    ) -> SimReport:
+        profile = self.traffic(n)
+        cycles = cycles_from_traffic(profile, calib)
+        # the scan itself: ~4 element accesses per block count, negligible
+        extra = 3 * calib.launch_overhead_s
+        timing = simulate_time(
+            cycles, spec=spec, occupancy=1.0, calib=calib, extra_seconds=extra
+        )
+        return build_report(
+            kernel=self.name, n=n, timing=timing, spec=spec,
+            counters=profile.expected_counters(),
+        )

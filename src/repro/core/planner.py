@@ -1,0 +1,136 @@
+"""Model-driven kernel selection — the paper's "envisioned framework".
+
+The conclusion of the paper sketches "a framework that automatically
+applies different techniques ... to a larger group of 2-BSs".  This module
+realizes that step: given a problem descriptor, a device and a data size,
+it enumerates the legal (input x output x block-size) compositions, prices
+each with the analytical model of Section IV-B/IV-D, applies the paper's
+hard rules (ROC cannot hold output; shuffle needs Kepler+; Type-II output
+must fit shared memory), and returns the predicted-fastest kernel together
+with the full ranking so callers can inspect the rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..gpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from ..gpusim.errors import GpuSimError, LaunchConfigError, SharedMemoryError
+from ..gpusim.spec import DeviceSpec, TITAN_X
+from .kernels import ComposedKernel, make_kernel
+from .problem import OutputClass, TwoBodyProblem, UpdateKind
+
+#: candidate block sizes (warp multiples spanning the practical range; the
+#: paper uses 1024 for 2-PCF per its prior model [23] and 256 for SDH).
+DEFAULT_BLOCK_SIZES: Tuple[int, ...] = (128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One legal composition with its predicted runtime."""
+
+    kernel: ComposedKernel
+    predicted_seconds: float
+    note: str = ""
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.kernel.input.name} x {self.kernel.output.name} "
+            f"(B={self.kernel.block_size})"
+        )
+
+
+@dataclass
+class Plan:
+    """The planner's decision and its ranked alternatives."""
+
+    problem: str
+    n: int
+    chosen: PlanCandidate
+    ranking: List[PlanCandidate]
+    rejected: List[Tuple[str, str]]  # (label, reason)
+
+    def explain(self) -> str:
+        lines = [
+            f"plan for {self.problem!r} at N={self.n}:",
+            f"  chosen: {self.chosen.label} "
+            f"-> {self.chosen.predicted_seconds:.4g} s",
+        ]
+        for cand in self.ranking[1:6]:
+            lines.append(
+                f"  alt:    {cand.label} -> {cand.predicted_seconds:.4g} s"
+            )
+        for label, reason in self.rejected:
+            lines.append(f"  ruled out: {label} ({reason})")
+        return "\n".join(lines)
+
+
+def _legal_outputs(problem: TwoBodyProblem, spec: DeviceSpec) -> List[Tuple[str, str]]:
+    """Output strategies legal for this problem, with planner notes."""
+    kind = problem.output.kind
+    klass = problem.output.klass
+    if klass is OutputClass.TYPE_I:
+        return [("register", "Type-I output fits registers")]
+    if klass is OutputClass.TYPE_II:
+        outs = []
+        hist_bytes = problem.output.bins * 4
+        if hist_bytes <= spec.shared_mem_per_block:
+            outs.append(
+                ("privatized-shm", "Type-II output fits shared memory")
+            )
+        outs.append(("global-atomic", "fallback: direct global atomics"))
+        return outs
+    if kind is UpdateKind.MATRIX or kind is UpdateKind.EMIT_PAIRS:
+        return [("global-direct", "Type-III output goes to global memory")]
+    return [("global-atomic", "Type-III fallback")]
+
+
+def plan_kernel(
+    problem: TwoBodyProblem,
+    n: int,
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    allow_shuffle: bool = True,
+    load_balanced: bool = True,
+) -> Plan:
+    """Pick the predicted-fastest legal composition for ``problem`` at
+    size ``n`` on ``spec``."""
+    inputs = ["naive", "shm-shm", "register-shm", "register-roc"]
+    if allow_shuffle and spec.supports_shuffle:
+        inputs.append("shuffle")
+    candidates: List[PlanCandidate] = []
+    rejected: List[Tuple[str, str]] = []
+    for out_name, note in _legal_outputs(problem, spec):
+        for in_name in inputs:
+            for b in block_sizes:
+                label = f"{in_name} x {out_name} (B={b})"
+                try:
+                    kernel = make_kernel(
+                        problem,
+                        in_name,
+                        out_name,
+                        block_size=b,
+                        load_balanced=load_balanced and b % 2 == 0,
+                    )
+                    report = kernel.simulate(n, spec=spec, calib=calib)
+                except (SharedMemoryError, LaunchConfigError, GpuSimError, ValueError) as exc:
+                    rejected.append((label, str(exc)))
+                    continue
+                candidates.append(
+                    PlanCandidate(kernel=kernel, predicted_seconds=report.seconds, note=note)
+                )
+    if not candidates:
+        raise GpuSimError(
+            f"no legal kernel composition for {problem.name!r} on {spec.name}"
+        )
+    ranking = sorted(candidates, key=lambda c: c.predicted_seconds)
+    return Plan(
+        problem=problem.name,
+        n=n,
+        chosen=ranking[0],
+        ranking=ranking,
+        rejected=rejected,
+    )

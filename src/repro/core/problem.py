@@ -1,0 +1,128 @@
+"""Problem descriptors: the paper's 2-BS taxonomy as data.
+
+Section III-B classifies 2-body statistics by *output pattern*:
+
+* **Type-I** — output small enough for registers (2-PCF, small-k kNN,
+  kernel density/regression);
+* **Type-II** — output fits in shared memory (SDH, RDF);
+* **Type-III** — output only fits in global memory, up to quadratic
+  (relational joins, pairwise statistical significance, Gram matrices).
+
+A :class:`TwoBodyProblem` bundles the pair function with an
+:class:`OutputSpec` describing what "update output with d" (Algorithm 1,
+line 4) means.  The kernel layer and the planner dispatch on this
+descriptor — it is the seed of the paper's envisioned auto-optimizing
+framework.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..gpusim.calibration import ComputeCost
+from .distances import PairFunction
+
+
+class OutputClass(enum.Enum):
+    """The paper's three output classes."""
+
+    TYPE_I = "type-1"
+    TYPE_II = "type-2"
+    TYPE_III = "type-3"
+
+
+class UpdateKind(enum.Enum):
+    """The computational primitive behind the output update."""
+
+    SCALAR_SUM = "scalar-sum"  # one global accumulator (2-PCF)
+    PER_POINT_SUM = "per-point-sum"  # one accumulator per point (KDE)
+    HISTOGRAM = "histogram"  # binned counts (SDH / RDF)
+    TOPK = "topk"  # per-point k best (kNN)
+    EMIT_PAIRS = "emit-pairs"  # predicate join output
+    MATRIX = "matrix"  # dense pairwise value matrix (Gram / PSS)
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """What the output is and how one pair's value updates it."""
+
+    klass: OutputClass
+    kind: UpdateKind
+    #: output elements as a function of N (e.g. histogram bins, N*k, N^2).
+    size_fn: Callable[[int], int]
+    #: maps the pair-value matrix to update quantities; semantics per kind:
+    #:   SCALAR_SUM / PER_POINT_SUM -> contribution weights,
+    #:   HISTOGRAM -> integer bin indices,
+    #:   EMIT_PAIRS -> boolean predicate mask,
+    #:   TOPK / MATRIX -> identity (values used directly).
+    map_fn: Callable[[np.ndarray], np.ndarray] = lambda v: v
+    #: HISTOGRAM: bin count;  TOPK: k.
+    bins: int = 0
+    k: int = 0
+    #: expected bin-occupancy distribution (HISTOGRAM only) used by the
+    #: analytical contention model; defaults to uniform over ``bins``.
+    bin_probabilities: Optional[np.ndarray] = None
+    #: EMIT_PAIRS: expected fraction of pairs matching the predicate, used
+    #: by the analytical output-traffic model.
+    selectivity: float = 0.05
+
+    def size(self, n: int) -> int:
+        return int(self.size_fn(n))
+
+    def validate(self) -> None:
+        if self.kind is UpdateKind.HISTOGRAM and self.bins <= 0:
+            raise ValueError("HISTOGRAM output needs a positive bin count")
+        if self.kind is UpdateKind.TOPK and self.k <= 0:
+            raise ValueError("TOPK output needs a positive k")
+
+
+@dataclass(frozen=True)
+class TwoBodyProblem:
+    """A complete 2-BS instance: data shape, pair function, output."""
+
+    name: str
+    dims: int
+    pair_fn: PairFunction
+    output: OutputSpec
+    #: per-pair compute pipeline cost for the timing model (calibration.py
+    #: provides per-application presets).
+    compute_cost: ComputeCost = field(
+        default_factory=lambda: ComputeCost(arith=12.0, ctrl=3.0, other=12.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.dims <= 0:
+            raise ValueError(f"dims must be positive, got {self.dims}")
+        self.output.validate()
+
+    @property
+    def output_class(self) -> OutputClass:
+        return self.output.klass
+
+    def total_pairs(self, n: int) -> int:
+        """All unordered pairs among n points: the paper's N(N-1)/2."""
+        return n * (n - 1) // 2
+
+
+def as_soa(points: np.ndarray) -> np.ndarray:
+    """Convert (n, dims) host points to the SoA (dims, n) device layout.
+
+    Section IV-A: "the input data is stored in the form of multiple arrays
+    of single-dimension values instead of using an array of structures ...
+    This will ensure coalesced memory access."
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts[:, None]
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (n, dims), got shape {pts.shape}")
+    return np.ascontiguousarray(pts.T)
+
+
+def as_aos(soa: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`as_soa`."""
+    return np.ascontiguousarray(np.asarray(soa).T)

@@ -1,0 +1,131 @@
+"""Block decomposition and pair-enumeration schedules (Fig. 1 / Fig. 6).
+
+The paper divides the input into ``M = N/B`` blocks (Eq. 1); each thread
+block anchors one data block ``L`` and streams the higher-indexed blocks
+``R`` past it (inter-block computation), then pairs datum within ``L``
+(intra-block computation).  This module owns that geometry plus the two
+intra-block schedules: the plain triangular loop and the cyclic
+load-balanced schedule of Section IV-E.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..gpusim.errors import LaunchConfigError
+
+
+@dataclass(frozen=True)
+class BlockDecomposition:
+    """Tiling geometry for an N-point dataset with block size B."""
+
+    n: int
+    block_size: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise LaunchConfigError(f"need at least one point, got n={self.n}")
+        if self.block_size <= 0:
+            raise LaunchConfigError(f"block size must be positive, got {self.block_size}")
+
+    @property
+    def num_blocks(self) -> int:
+        """M = ceil(N / B); the paper assumes B | N (Eq. 1), we pad."""
+        return (self.n + self.block_size - 1) // self.block_size
+
+    @property
+    def padded_n(self) -> int:
+        return self.num_blocks * self.block_size
+
+    def block_range(self, b: int) -> Tuple[int, int]:
+        """[start, end) point indices of block b (end clipped to n)."""
+        if not 0 <= b < self.num_blocks:
+            raise IndexError(f"block {b} out of range [0, {self.num_blocks})")
+        start = b * self.block_size
+        return start, min(start + self.block_size, self.n)
+
+    def block_size_of(self, b: int) -> int:
+        start, end = self.block_range(b)
+        return end - start
+
+    def block_indices(self, b: int) -> np.ndarray:
+        start, end = self.block_range(b)
+        return np.arange(start, end)
+
+    def inter_block_pairs(self) -> Iterator[Tuple[int, int]]:
+        """All (L, R) block pairs with R index above L (Algorithm 2 line 2)."""
+        m = self.num_blocks
+        for b in range(m):
+            for i in range(b + 1, m):
+                yield b, i
+
+    def num_inter_block_tile_loads(self) -> int:
+        """Total R-tile loads across the grid: sum over blocks of (M-1-b)."""
+        m = self.num_blocks
+        return m * (m - 1) // 2
+
+    def total_pairs(self) -> int:
+        return self.n * (self.n - 1) // 2
+
+
+# -- intra-block schedules ----------------------------------------------------
+
+def triangular_pair_mask(nL: int, nR: int | None = None) -> np.ndarray:
+    """(nL, nR) boolean mask selecting j > t — the plain intra-block loop
+    (Algorithm 2 lines 9-12).  With nR defaulting to nL this is the strict
+    upper triangle."""
+    nR = nL if nR is None else nR
+    t = np.arange(nL)[:, None]
+    j = np.arange(nR)[None, :]
+    return j > t
+
+
+def cyclic_schedule(block_size: int) -> List[np.ndarray]:
+    """The load-balanced intra-block schedule (Fig. 6, right).
+
+    Returns one partner array per iteration: at iteration j (1-based),
+    thread t pairs with datum ``(t + j) % B``; in the final iteration
+    (j = B/2) only the lower half of the threads are active, so entries for
+    the upper half are -1.  Every unordered pair within the block is
+    produced exactly once — validated in tests.
+    """
+    if block_size % 2 != 0:
+        raise LaunchConfigError("cyclic schedule requires an even block size")
+    b = block_size
+    threads = np.arange(b)
+    schedule: List[np.ndarray] = []
+    for j in range(1, b // 2 + 1):
+        partners = (threads + j) % b
+        if j == b // 2:
+            partners = partners.copy()
+            partners[b // 2 :] = -1  # upper half idles in the last iteration
+        schedule.append(partners)
+    return schedule
+
+
+def cyclic_pair_list(block_size: int) -> np.ndarray:
+    """All (t, partner) pairs the cyclic schedule emits, shape (P, 2)."""
+    pairs = []
+    for partners in cyclic_schedule(block_size):
+        active = partners >= 0
+        t = np.nonzero(active)[0]
+        pairs.append(np.stack([t, partners[active]], axis=1))
+    return np.concatenate(pairs, axis=0)
+
+
+def triangular_trips(block_size: int) -> np.ndarray:
+    """Per-thread trip counts of the plain schedule: B-1-t."""
+    return np.arange(block_size - 1, -1, -1)
+
+
+def cyclic_trips(block_size: int) -> np.ndarray:
+    """Per-thread trip counts of the cyclic schedule."""
+    if block_size % 2 != 0:
+        raise LaunchConfigError("cyclic schedule requires an even block size")
+    half = block_size // 2
+    trips = np.full(block_size, half, dtype=np.int64)
+    trips[half:] = half - 1
+    return trips

@@ -1,0 +1,10 @@
+"""Host-side reference implementations.
+
+:mod:`~repro.cpu_ref.brute` — clarity-first oracles for every 2-BS;
+:mod:`~repro.cpu_ref.vectorized` — chunked threaded versions mirroring the
+paper's optimized OpenMP C program at real wall-clock speed.
+"""
+
+from . import brute, vectorized
+
+__all__ = ["brute", "vectorized"]

@@ -1,0 +1,121 @@
+"""Brute-force reference implementations (oracles).
+
+Direct NumPy evaluations of every 2-BS the library computes, written for
+clarity over speed.  Tests compare every kernel variant, the CPU-model
+runner and the vectorized host implementations against these.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.spatial.distance import cdist, pdist
+
+
+def pair_distances(points: np.ndarray) -> np.ndarray:
+    """All N(N-1)/2 pairwise Euclidean distances (condensed form)."""
+    return pdist(np.asarray(points, dtype=np.float64))
+
+
+def pcf_count(points: np.ndarray, radius: float) -> int:
+    """2-point correlation function numerator: pairs within ``radius``."""
+    return int((pair_distances(points) <= radius).sum())
+
+
+def sdh_histogram(points: np.ndarray, bins: int, bucket_width: float) -> np.ndarray:
+    """Spatial distance histogram: counts of pair distances per bucket.
+
+    Distances at or beyond ``bins * bucket_width`` are clamped into the
+    last bucket (matching the kernels' map function).
+    """
+    d = pair_distances(points)
+    idx = np.minimum((d / bucket_width).astype(np.int64), bins - 1)
+    return np.bincount(idx, minlength=bins)
+
+
+def rdf(points: np.ndarray, bins: int, r_max: float, box_volume: float) -> np.ndarray:
+    """Radial distribution function g(r): SDH normalized by shell volume
+    and density (Levine et al.'s target quantity)."""
+    n = len(points)
+    width = r_max / bins
+    d = pair_distances(points)
+    d = d[d < r_max]  # pairs beyond r_max are outside the analyzed range
+    hist = np.bincount(
+        (d / width).astype(np.int64), minlength=bins
+    ).astype(np.float64)
+    edges = np.arange(bins + 1) * width
+    shell_vol = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    density = n / box_volume
+    # each pair counted once; per-particle pair density needs the factor 2
+    ideal = shell_vol * density * n / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(ideal > 0, hist / ideal, 0.0)
+
+
+def knn(points: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """All-point k-nearest neighbours: (distances, indices), each (N, k)."""
+    pts = np.asarray(points, dtype=np.float64)
+    n = len(pts)
+    if not 1 <= k < n:
+        raise ValueError(f"k must be in [1, {n - 1}], got {k}")
+    full = cdist(pts, pts)
+    np.fill_diagonal(full, np.inf)
+    idx = np.argpartition(full, k - 1, axis=1)[:, :k]
+    rows = np.arange(n)[:, None]
+    d = full[rows, idx]
+    order = np.argsort(d, axis=1, kind="stable")
+    return d[rows, order], idx[rows, order]
+
+
+def kde_estimate(points: np.ndarray, bandwidth: float) -> np.ndarray:
+    """Gaussian kernel density sums: f(i) = sum_{j != i} K_h(||xi - xj||)."""
+    pts = np.asarray(points, dtype=np.float64)
+    d2 = cdist(pts, pts, metric="sqeuclidean")
+    w = np.exp(-d2 / (2.0 * bandwidth * bandwidth))
+    np.fill_diagonal(w, 0.0)
+    return w.sum(axis=1)
+
+
+def band_join(values: np.ndarray, eps: float) -> np.ndarray:
+    """Self band-join: unordered index pairs (i < j) with |v_i - v_j| <= eps.
+
+    Returned sorted lexicographically, shape (P, 2).
+    """
+    v = np.asarray(values, dtype=np.float64).ravel()
+    n = v.size
+    ii, jj = np.nonzero(np.abs(v[:, None] - v[None, :]) <= eps)
+    keep = ii < jj
+    pairs = np.stack([ii[keep], jj[keep]], axis=1)
+    return pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+
+
+def spatial_band_join(points: np.ndarray, eps: float) -> np.ndarray:
+    """Self spatial join: pairs (i < j) with Euclidean distance <= eps."""
+    pts = np.asarray(points, dtype=np.float64)
+    d = cdist(pts, pts)
+    ii, jj = np.nonzero(d <= eps)
+    keep = ii < jj
+    pairs = np.stack([ii[keep], jj[keep]], axis=1)
+    return pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+
+
+def gram_matrix(points: np.ndarray, bandwidth: float) -> np.ndarray:
+    """Gaussian-kernel Gram matrix with unit diagonal."""
+    pts = np.asarray(points, dtype=np.float64)
+    d2 = cdist(pts, pts, metric="sqeuclidean")
+    return np.exp(-d2 / (2.0 * bandwidth * bandwidth))
+
+
+def pss_scores(profiles: np.ndarray, shift: float = 0.0) -> np.ndarray:
+    """Pairwise similarity scores for the statistical-significance app:
+    a capped correlation score standing in for pairwise alignment (see
+    DESIGN.md substitutions; the paper's PSS computes one alignment score
+    per sequence pair — quadratic output, Type-III)."""
+    p = np.asarray(profiles, dtype=np.float64)
+    norms = np.linalg.norm(p, axis=1, keepdims=True)
+    norms = np.where(norms > 0, norms, 1.0)
+    unit = p / norms
+    scores = unit @ unit.T - shift
+    np.fill_diagonal(scores, 0.0)
+    return scores

@@ -1,0 +1,36 @@
+"""Multi-core CPU substrate: the paper's OpenMP baseline, simulated.
+
+Provides the three OpenMP loop schedulers (static/dynamic/guided), the
+three thread-affinity policies (scatter/compact/balanced), and a runner
+that executes 2-BS problems with per-thread private outputs plus a tree
+reduction — functionally exact and with a mechanistic timing model (load
+imbalance and SMT contention emerge from the actual schedule/placement).
+"""
+
+from .affinity import (
+    AFFINITIES,
+    AffinityMap,
+    balanced_affinity,
+    compact_affinity,
+    make_affinity,
+    scatter_affinity,
+)
+from .pool import CpuRunInfo, CpuTwoBodyRunner, SUPPORTED_KINDS
+from .schedule import (
+    Assignment,
+    SCHEDULERS,
+    dynamic_schedule,
+    guided_schedule,
+    make_schedule,
+    static_schedule,
+    triangular_weight,
+)
+from .spec import CpuSpec, XEON_E5_2640V2
+
+__all__ = [
+    "CpuSpec", "XEON_E5_2640V2", "Assignment", "static_schedule",
+    "dynamic_schedule", "guided_schedule", "make_schedule", "SCHEDULERS",
+    "triangular_weight", "AffinityMap", "compact_affinity",
+    "scatter_affinity", "balanced_affinity", "make_affinity", "AFFINITIES",
+    "CpuTwoBodyRunner", "CpuRunInfo", "SUPPORTED_KINDS",
+]

@@ -1,0 +1,112 @@
+"""Thread-affinity policies: scatter, compact, balanced.
+
+The paper compares the three OpenMP/KMP affinity modes and selects
+*balanced* for its CPU baseline.  A policy maps T software threads onto
+(core, hyper-thread) slots:
+
+* **compact** — fill every hardware thread of a core before moving on
+  (good locality, poor throughput while cores sit idle);
+* **scatter** — round-robin across cores first, then across sockets, so
+  siblings land far apart (thread i and i+1 never share a core until all
+  cores are taken);
+* **balanced** — spread across cores like scatter, but keep consecutive
+  thread ids adjacent (siblings share a core once threads exceed cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .spec import CpuSpec
+
+Placement = Tuple[int, int]  # (core, hw_thread)
+
+
+@dataclass(frozen=True)
+class AffinityMap:
+    """Thread id -> (core, hw-thread) placement."""
+
+    policy: str
+    placements: Tuple[Placement, ...]
+
+    def core_of(self, tid: int) -> int:
+        return self.placements[tid][0]
+
+    def threads_per_core_used(self, spec: CpuSpec) -> List[int]:
+        counts = [0] * spec.physical_cores
+        for core, _ in self.placements:
+            counts[core] += 1
+        return counts
+
+    def effective_parallelism(self, spec: CpuSpec) -> float:
+        """Core-equivalents delivered: the first hw thread of a core is
+        worth 1.0, each extra sibling adds ``smt_yield``."""
+        total = 0.0
+        for used in self.threads_per_core_used(spec):
+            if used:
+                total += 1.0 + spec.smt_yield * (used - 1)
+        return total
+
+
+def _check(spec: CpuSpec, n_threads: int) -> None:
+    if n_threads <= 0:
+        raise ValueError(f"n_threads must be positive, got {n_threads}")
+    if n_threads > spec.hardware_threads:
+        raise ValueError(
+            f"{n_threads} threads exceed {spec.hardware_threads} hardware threads"
+        )
+
+
+def compact_affinity(spec: CpuSpec, n_threads: int) -> AffinityMap:
+    _check(spec, n_threads)
+    placements = []
+    for tid in range(n_threads):
+        placements.append((tid // spec.threads_per_core, tid % spec.threads_per_core))
+    return AffinityMap("compact", tuple(placements))
+
+
+def scatter_affinity(spec: CpuSpec, n_threads: int) -> AffinityMap:
+    _check(spec, n_threads)
+    placements = []
+    for tid in range(n_threads):
+        core = tid % spec.physical_cores
+        hw = tid // spec.physical_cores
+        placements.append((core, hw))
+    return AffinityMap("scatter", tuple(placements))
+
+
+def balanced_affinity(spec: CpuSpec, n_threads: int) -> AffinityMap:
+    _check(spec, n_threads)
+    # distribute threads as evenly as possible over cores, consecutive ids
+    # staying adjacent: core c receives ceil/floor(n/cores) consecutive ids
+    cores = spec.physical_cores
+    used_cores = min(cores, n_threads)
+    base = n_threads // used_cores
+    rem = n_threads % used_cores
+    placements: List[Placement] = []
+    tid = 0
+    for core in range(used_cores):
+        count = base + (1 if core < rem else 0)
+        for hw in range(count):
+            placements.append((core, hw))
+            tid += 1
+    return AffinityMap("balanced", tuple(placements))
+
+
+AFFINITIES = {
+    "compact": compact_affinity,
+    "scatter": scatter_affinity,
+    "balanced": balanced_affinity,
+}
+
+
+def make_affinity(policy: str, spec: CpuSpec, n_threads: int) -> AffinityMap:
+    """Build an affinity map by policy name."""
+    try:
+        fn = AFFINITIES[policy]
+    except KeyError:
+        raise KeyError(
+            f"unknown affinity policy {policy!r}; available: {sorted(AFFINITIES)}"
+        ) from None
+    return fn(spec, n_threads)

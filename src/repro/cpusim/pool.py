@@ -1,0 +1,210 @@
+"""Functional multi-threaded CPU 2-BS execution (the OpenMP-model runner).
+
+Mirrors the paper's optimized CPU program (Section IV-D): the triangular
+outer loop is partitioned by an OpenMP scheduler, every thread accumulates
+into a *private* copy of the output ("every thread is given an independent
+copy of the output histogram"), and a parallel reduction combines the
+copies after all distance calls return.
+
+Execution is deterministic and chunk-faithful: the work each simulated
+thread performs is exactly its scheduled chunks, so load-imbalance numbers
+come from real assignments, not constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.problem import TwoBodyProblem, UpdateKind, as_soa
+from ..gpusim.calibration import CpuCalibration, DEFAULT_CPU_CALIBRATION
+from .affinity import AffinityMap, make_affinity
+from .schedule import Assignment, make_schedule, triangular_weight
+from .spec import CpuSpec, XEON_E5_2640V2
+
+SUPPORTED_KINDS = frozenset({UpdateKind.HISTOGRAM, UpdateKind.SCALAR_SUM})
+
+
+@dataclass
+class CpuRunInfo:
+    """Execution metadata: schedule, placements, imbalance, simulated time."""
+
+    n_threads: int
+    scheduler: str
+    affinity: str
+    assignment: Assignment
+    affinity_map: AffinityMap
+    thread_pairs: np.ndarray  # useful work per thread
+    seconds: float
+
+    @property
+    def makespan_pairs(self) -> float:
+        return float(self.thread_pairs.max()) if self.thread_pairs.size else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """makespan / mean: 1.0 is perfectly balanced."""
+        mean = self.thread_pairs.mean() if self.thread_pairs.size else 0.0
+        return float(self.makespan_pairs / mean) if mean else 1.0
+
+
+class CpuTwoBodyRunner:
+    """The paper's CPU baseline: schedulers x affinity x privatization."""
+
+    def __init__(
+        self,
+        problem: TwoBodyProblem,
+        spec: CpuSpec = XEON_E5_2640V2,
+        n_threads: Optional[int] = None,
+        scheduler: str = "guided",
+        affinity: str = "balanced",
+        chunk: Optional[int] = None,
+        calib: CpuCalibration = DEFAULT_CPU_CALIBRATION,
+        cycles_per_pair: Optional[float] = None,
+    ) -> None:
+        if problem.output.kind not in SUPPORTED_KINDS:
+            raise ValueError(
+                f"CPU baseline supports {sorted(k.value for k in SUPPORTED_KINDS)}"
+                f" outputs, not {problem.output.kind.value!r}"
+            )
+        self.problem = problem
+        self.spec = spec
+        self.n_threads = n_threads or spec.hardware_threads
+        self.scheduler = scheduler
+        self.affinity = affinity
+        self.chunk = chunk
+        self.calib = calib
+        if cycles_per_pair is not None:
+            self.cycles_per_pair = cycles_per_pair
+        elif problem.output.kind is UpdateKind.HISTOGRAM:
+            self.cycles_per_pair = calib.cycles_per_pair_sdh
+        else:
+            self.cycles_per_pair = calib.cycles_per_pair_pcf
+
+    # -- scheduling -------------------------------------------------------------
+    def schedule(self, n: int) -> Assignment:
+        kwargs: Dict[str, Any] = {}
+        weight = triangular_weight(n)
+        if self.scheduler == "static":
+            if self.chunk is not None:
+                kwargs["chunk"] = self.chunk
+        elif self.scheduler == "dynamic":
+            kwargs["chunk"] = self.chunk or 64
+            kwargs["weight_fn"] = weight
+        else:  # guided
+            kwargs["min_chunk"] = self.chunk or 16
+            kwargs["weight_fn"] = weight
+        return make_schedule(self.scheduler, n, self.n_threads, **kwargs)
+
+    # -- functional execution ------------------------------------------------------
+    def run(self, points: np.ndarray) -> tuple[Any, CpuRunInfo]:
+        """Execute exactly as scheduled; returns (result, run info)."""
+        soa = as_soa(points)
+        dims, n = soa.shape
+        if dims != self.problem.dims:
+            raise ValueError(
+                f"problem expects {self.problem.dims}-d points, got {dims}-d"
+            )
+        assignment = self.schedule(n)
+        out = self.problem.output
+        privates = []
+        for tid in range(self.n_threads):
+            if out.kind is UpdateKind.HISTOGRAM:
+                priv = np.zeros(out.bins, dtype=np.int64)
+            else:
+                priv = np.zeros(1)
+            for s, e in assignment.chunks_of(tid):
+                self._process_chunk(soa, s, e, priv)
+            privates.append(priv)
+        # parallel reduction of private copies (here: a tree fold)
+        result = self._reduce(privates)
+        info = self._info(n, assignment)
+        return result, info
+
+    def _process_chunk(self, soa: np.ndarray, s: int, e: int, priv: np.ndarray) -> None:
+        n = soa.shape[1]
+        if s >= n - 1:
+            return
+        rows = soa[:, s:e]
+        vals = self.problem.pair_fn(rows, soa)  # (e-s, n)
+        i_idx = np.arange(s, e)[:, None]
+        mask = np.arange(n)[None, :] > i_idx
+        out = self.problem.output
+        if out.kind is UpdateKind.HISTOGRAM:
+            bins = np.asarray(out.map_fn(vals), dtype=np.int64)[mask]
+            if bins.size:
+                if bins.min() < 0 or bins.max() >= out.bins:
+                    raise IndexError(
+                        f"bin index outside [0, {out.bins}): "
+                        f"[{bins.min()}, {bins.max()}]"
+                    )
+                priv += np.bincount(bins, minlength=out.bins)
+        else:
+            weights = np.asarray(out.map_fn(vals), dtype=np.float64)
+            priv[0] += float(np.where(mask, weights, 0.0).sum())
+
+    def _reduce(self, privates):
+        """Pairwise tree reduction, as a real parallel combine would run."""
+        work = list(privates)
+        while len(work) > 1:
+            merged = []
+            for a, b in zip(work[::2], work[1::2]):
+                merged.append(a + b)
+            if len(work) % 2:
+                merged.append(work[-1])
+            work = merged
+        total = work[0]
+        if self.problem.output.kind is UpdateKind.SCALAR_SUM:
+            return float(total[0])
+        return total
+
+    # -- analytical timing ---------------------------------------------------------
+    def _info(self, n: int, assignment: Assignment) -> CpuRunInfo:
+        weight = triangular_weight(n)
+        thread_pairs = assignment.thread_work(weight)
+        amap = make_affinity(self.affinity, self.spec, self.n_threads)
+        seconds = self._seconds(n, assignment, thread_pairs, amap)
+        return CpuRunInfo(
+            n_threads=self.n_threads,
+            scheduler=self.scheduler,
+            affinity=self.affinity,
+            assignment=assignment,
+            affinity_map=amap,
+            thread_pairs=thread_pairs,
+            seconds=seconds,
+        )
+
+    def _seconds(
+        self,
+        n: int,
+        assignment: Assignment,
+        thread_pairs: np.ndarray,
+        amap: AffinityMap,
+    ) -> float:
+        spec, calib = self.spec, self.calib
+        # rate of each thread: sharing a core splits it, SMT gives some back
+        core_occupancy = amap.threads_per_core_used(spec)
+        thread_seconds = np.zeros(self.n_threads)
+        for tid in range(self.n_threads):
+            core = amap.core_of(tid)
+            k = core_occupancy[core]
+            rate = spec.clock_hz * (1.0 + spec.smt_yield * (k - 1)) / k
+            cycles = (
+                thread_pairs[tid] * self.cycles_per_pair
+                + len(assignment.chunks_of(tid)) * calib.chunk_overhead_cycles
+            )
+            thread_seconds[tid] = cycles / rate
+        out_elems = self.problem.output.size(n)
+        reduction = (
+            out_elems
+            * np.ceil(np.log2(max(self.n_threads, 2)))
+            * calib.reduction_cycles_per_elem
+            / spec.clock_hz
+        )
+        return float(thread_seconds.max() + reduction)
+
+    def simulate(self, n: int) -> CpuRunInfo:
+        """Timing/imbalance prediction without executing the pair loop."""
+        return self._info(n, self.schedule(n))

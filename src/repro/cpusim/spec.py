@@ -1,0 +1,45 @@
+"""CPU specification for the multi-core baseline (Section IV-D).
+
+The paper's testbed CPU is an Intel Xeon E5-2640 v2: 8 cores / 16
+hyper-threads at 2.0 GHz.  The topology matters for the thread-affinity
+policies (scatter / compact / balanced) the paper compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a simulated multi-core CPU."""
+
+    name: str = "Intel Xeon E5-2640 v2"
+    sockets: int = 1
+    cores_per_socket: int = 8
+    threads_per_core: int = 2  # hyper-threading
+    clock_hz: float = 2.0e9
+    #: throughput gain of the second hardware thread on one core (an HT
+    #: sibling adds ~25-30%, not 100%).
+    smt_yield: float = 0.3
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def hardware_threads(self) -> int:
+        return self.physical_cores * self.threads_per_core
+
+    def slot(self, core: int, hw_thread: int) -> tuple[int, int]:
+        """(socket, global hw-thread id) of a placement, with checks."""
+        if not 0 <= core < self.physical_cores:
+            raise ValueError(f"core {core} out of range [0, {self.physical_cores})")
+        if not 0 <= hw_thread < self.threads_per_core:
+            raise ValueError(
+                f"hw thread {hw_thread} out of range [0, {self.threads_per_core})"
+            )
+        return core // self.cores_per_socket, core * self.threads_per_core + hw_thread
+
+
+XEON_E5_2640V2 = CpuSpec()

@@ -1,0 +1,21 @@
+"""Synthetic dataset generators for tests, examples and benchmarks."""
+
+from .generators import (
+    feature_vectors,
+    galaxy_mock,
+    gaussian_clusters,
+    join_values,
+    liquid_configuration,
+    sdh_bucket_probabilities,
+    uniform_points,
+)
+
+__all__ = [
+    "uniform_points",
+    "gaussian_clusters",
+    "liquid_configuration",
+    "galaxy_mock",
+    "feature_vectors",
+    "join_values",
+    "sdh_bucket_probabilities",
+]

@@ -1,0 +1,129 @@
+"""GPU execution simulator substrate.
+
+This package stands in for the CUDA runtime + NVIDIA Titan X testbed of the
+paper (see DESIGN.md Section 2).  It has two cooperating layers:
+
+* a **functional layer** (:class:`Device`, :class:`TrackedArray`,
+  :mod:`~repro.gpusim.atomics`, :mod:`~repro.gpusim.shuffle`) that executes
+  kernels block-by-block with NumPy, produces exact outputs, and counts
+  every access per memory space; and
+* an **analytical layer** (:mod:`~repro.gpusim.occupancy`,
+  :mod:`~repro.gpusim.divergence`, :mod:`~repro.gpusim.timing`,
+  :mod:`~repro.gpusim.profiler`) that turns access counts into simulated
+  runtimes, utilizations and achieved bandwidths — the quantities the
+  paper's figures and profiler tables report.
+"""
+
+from .atomics import atomic_add, atomic_max, atomic_ticket
+from .calibration import (
+    Calibration,
+    ComputeCost,
+    CpuCalibration,
+    DEFAULT_CALIBRATION,
+    DEFAULT_CPU_CALIBRATION,
+    GRAM_COMPUTE,
+    JOIN_COMPUTE,
+    KDE_COMPUTE,
+    KNN_COMPUTE,
+    PCF_COMPUTE,
+    PSS_COMPUTE,
+    SDH_COMPUTE,
+)
+from .contention import (
+    collision_rate,
+    effective_bins,
+    expected_max_multiplicity,
+    monte_carlo_max_multiplicity,
+    warp_conflict_degrees,
+)
+from .counters import AccessCounters, ELEMENT_BYTES, MemSpace
+from .device import Device, LaunchRecord
+from .divergence import (
+    DivergenceProfile,
+    balanced_trip_counts,
+    intra_block_divergence_gain,
+    triangular_trip_counts,
+    warp_loop_cycles,
+)
+from .errors import (
+    DeviceAllocationError,
+    GpuSimError,
+    LaunchConfigError,
+    MemorySpaceError,
+    OutOfBoundsError,
+    RegisterPressureError,
+    SharedMemoryError,
+)
+from .grid import BlockContext, LaunchConfig
+from .l2cache import (
+    CacheStats,
+    NaiveL2Analysis,
+    SetAssociativeCache,
+    analyze_naive_kernel,
+)
+from .memory import ReadOnlyView, TrackedArray, bank_conflict_degree
+from .occupancy import Occupancy, calculate_occupancy, max_block_size_for_shared
+from .profiler import (
+    SimReport,
+    bandwidth_table,
+    build_report,
+    format_bandwidth,
+    utilization_table,
+)
+from .shuffle import shfl_broadcast, shfl_down, shfl_up, shfl_xor, warp_reduce_sum
+from .spec import (
+    DeviceSpec,
+    FERMI_M2090,
+    GTX_980,
+    LatencyTable,
+    PRESETS,
+    TESLA_K40,
+    TITAN_X,
+    get_device_spec,
+)
+from .timing import (
+    KernelTiming,
+    PipelineCycles,
+    TrafficProfile,
+    cycles_from_traffic,
+    reduction_stage_seconds,
+    scale_profile,
+    simulate_time,
+)
+
+__all__ = [
+    # counters / spaces
+    "AccessCounters", "MemSpace", "ELEMENT_BYTES",
+    # spec
+    "DeviceSpec", "LatencyTable", "TITAN_X", "GTX_980", "TESLA_K40",
+    "FERMI_M2090", "PRESETS", "get_device_spec",
+    # memory & device
+    "TrackedArray", "ReadOnlyView", "bank_conflict_degree", "Device",
+    "LaunchRecord", "BlockContext", "LaunchConfig",
+    # atomics & shuffle
+    "atomic_add", "atomic_max", "atomic_ticket", "shfl_broadcast",
+    "shfl_down", "shfl_up", "shfl_xor", "warp_reduce_sum",
+    # occupancy & divergence
+    "Occupancy", "calculate_occupancy", "max_block_size_for_shared",
+    "DivergenceProfile", "warp_loop_cycles", "triangular_trip_counts",
+    "balanced_trip_counts", "intra_block_divergence_gain",
+    # timing & profiling
+    "TrafficProfile", "PipelineCycles", "cycles_from_traffic",
+    "simulate_time", "KernelTiming", "reduction_stage_seconds",
+    "scale_profile", "SimReport", "build_report", "utilization_table",
+    "bandwidth_table", "format_bandwidth",
+    # calibration
+    "Calibration", "ComputeCost", "CpuCalibration", "DEFAULT_CALIBRATION",
+    "DEFAULT_CPU_CALIBRATION", "PCF_COMPUTE", "SDH_COMPUTE", "KNN_COMPUTE",
+    "KDE_COMPUTE", "JOIN_COMPUTE", "GRAM_COMPUTE", "PSS_COMPUTE",
+    # L2 model
+    "SetAssociativeCache", "CacheStats", "analyze_naive_kernel",
+    "NaiveL2Analysis",
+    # contention
+    "collision_rate", "effective_bins", "expected_max_multiplicity",
+    "monte_carlo_max_multiplicity", "warp_conflict_degrees",
+    # errors
+    "GpuSimError", "LaunchConfigError", "SharedMemoryError",
+    "RegisterPressureError", "MemorySpaceError", "OutOfBoundsError",
+    "DeviceAllocationError",
+]

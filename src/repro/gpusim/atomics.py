@@ -1,0 +1,102 @@
+"""Atomic operations with warp-conflict accounting.
+
+The paper's output-stage analysis (Section IV-C/IV-D, Fig. 5) hinges on two
+costs: the raw latency of an atomic read-modify-write on each memory space,
+and the *serialization* that occurs when several lanes of a warp update the
+same address in the same issue.  Functionally an atomic here is just
+``np.add.at`` (correct under any interleaving); the conflict accounting
+feeds the timing model's contention factor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .counters import MemSpace
+from .errors import MemorySpaceError
+from .memory import TrackedArray
+
+
+def _conflict_profile(indices: np.ndarray, warp_size: int) -> tuple[float, int]:
+    """(summed conflict degree, warp issues) for lane-target indices.
+
+    For each group of ``warp_size`` consecutive lanes, the conflict degree
+    is the maximum multiplicity of any single target address: those updates
+    serialize.  Unlike shared-memory *reads*, identical addresses do NOT
+    broadcast — they are exactly the conflicting case.
+    """
+    idx = np.asarray(indices).ravel()
+    if idx.size == 0:
+        return 0.0, 0
+    issues = 0
+    degree_sum = 0.0
+    for start in range(0, idx.size, warp_size):
+        warp = idx[start : start + warp_size]
+        _, counts = np.unique(warp, return_counts=True)
+        degree_sum += float(counts.max())
+        issues += 1
+    return degree_sum, issues
+
+
+def atomic_add(
+    target: TrackedArray,
+    indices: np.ndarray,
+    values: np.ndarray | float,
+    *,
+    warp_size: int = 32,
+    sample_conflicts: bool = True,
+    conflict_sample: Optional[tuple[float, int]] = None,
+) -> None:
+    """Atomically add ``values`` at ``indices`` (per simulated lane).
+
+    ``conflict_sample`` lets a kernel that already knows the conflict
+    statistics (e.g. computed on a whole B x B update matrix at once) pass
+    them in instead of paying the per-warp scan here.
+    """
+    if target.space not in (MemSpace.GLOBAL, MemSpace.SHARED):
+        raise MemorySpaceError(
+            f"atomics are only supported on global/shared memory, "
+            f"not {target.space.value}"
+        )
+    idx = np.asarray(indices).ravel()
+    vals = np.broadcast_to(np.asarray(values, dtype=target.dtype).ravel(), idx.shape) \
+        if np.ndim(values) == 0 else np.asarray(values).ravel()
+    if vals.shape != idx.shape:
+        raise ValueError(f"indices {idx.shape} and values {vals.shape} differ")
+    np.add.at(target.data, idx, vals)
+    target.counters.add_atomic(target.space, idx.size)
+    if conflict_sample is not None:
+        degree_sum, issues = conflict_sample
+        if issues:
+            target.counters.add_conflict_sample(degree_sum / issues, issues)
+    elif sample_conflicts:
+        degree_sum, issues = _conflict_profile(idx, warp_size)
+        if issues:
+            target.counters.add_conflict_sample(degree_sum / issues, issues)
+
+
+def atomic_max(target: TrackedArray, indices: np.ndarray, values: np.ndarray) -> None:
+    """Atomic element-wise max (used by kNN-style Type-I reductions)."""
+    if target.space not in (MemSpace.GLOBAL, MemSpace.SHARED):
+        raise MemorySpaceError("atomics require global or shared memory")
+    idx = np.asarray(indices).ravel()
+    vals = np.asarray(values).ravel()
+    np.maximum.at(target.data, idx, vals)
+    target.counters.add_atomic(target.space, idx.size)
+
+
+def atomic_ticket(counter: TrackedArray, n: int) -> int:
+    """Reserve ``n`` output slots via an atomic fetch-and-add on slot 0.
+
+    This is the standard CUDA idiom for Type-III compaction output: one
+    atomic per *warp or block batch*, not per element.  Returns the base
+    offset of the reservation.
+    """
+    if counter.space is not MemSpace.GLOBAL:
+        raise MemorySpaceError("ticket counters live in global memory")
+    base = int(counter.data[0])
+    counter.data[0] = base + int(n)
+    counter.counters.add_atomic(MemSpace.GLOBAL, 1)
+    return base

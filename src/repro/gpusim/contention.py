@@ -1,0 +1,107 @@
+"""Analytical atomic-contention estimates.
+
+When a warp's 32 lanes issue atomic updates, lanes targeting the same
+address serialize.  For histogram-style outputs the expected serialization
+depends on the bin-occupancy distribution: the paper's Fig. 5 shows SDH
+degrading when the bucket count is small because "the many threads in the
+block always compete for accessing an output element".
+
+:func:`expected_max_multiplicity` estimates E[max bin multiplicity] for
+``m`` lanes throwing into bins with probabilities ``probs`` — the mean
+conflict degree the functional simulator measures per warp issue.  The
+estimate combines the birthday-collision regime (sparse) with a
+Poisson-tail balls-in-bins bound (dense); tests validate it against Monte
+Carlo sampling of the true process.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def collision_rate(probs: np.ndarray) -> float:
+    """Probability two independent throws land in the same bin (sum p_i^2)."""
+    p = np.asarray(probs, dtype=np.float64)
+    if p.size == 0:
+        return 1.0
+    total = p.sum()
+    if total <= 0:
+        return 1.0
+    p = p / total
+    return float((p * p).sum())
+
+
+def effective_bins(probs: np.ndarray) -> float:
+    """Inverse participation ratio: the 'uniform-equivalent' bin count."""
+    return 1.0 / collision_rate(probs)
+
+
+def expected_max_multiplicity(probs: np.ndarray, m: int = 32) -> float:
+    """E[max multiplicity] of ``m`` throws into bins distributed ``probs``.
+
+    The bins are collapsed to their uniform equivalent ``k_eff`` (inverse
+    participation ratio), bin occupancies approximated as iid
+    Poisson(mu = m / k_eff), and the expectation of their maximum computed
+    exactly from the order-statistics identity
+    ``E[max] = sum_{j>=0} (1 - F(j)^k)``.  Validated against Monte Carlo
+    in tests across the sparse (k >> m) and dense (k < m) regimes.
+    """
+    if m <= 1:
+        return 1.0
+    k_eff = max(effective_bins(np.asarray(probs)), 1.0)
+    mu = m / k_eff
+    js = np.arange(0, m)
+    # Poisson CDF at js via the regularized upper incomplete gamma
+    from scipy.stats import poisson
+
+    cdf = poisson.cdf(js, mu)
+    expectation = float(np.sum(1.0 - np.power(cdf, k_eff)))
+    # the multinomial max is at least the mean occupancy of the fullest
+    # bin; this also repairs the k_eff -> 1 corner the Poisson truncation
+    # underestimates (all m throws land in the single bin)
+    expectation = max(expectation, mu)
+    return float(min(max(expectation, 1.0), m))
+
+
+def monte_carlo_max_multiplicity(
+    probs: np.ndarray, m: int = 32, trials: int = 2000, seed: int = 0
+) -> float:
+    """Monte-Carlo reference for :func:`expected_max_multiplicity`."""
+    rng = np.random.default_rng(seed)
+    p = np.asarray(probs, dtype=np.float64)
+    p = p / p.sum()
+    draws = rng.choice(p.size, size=(trials, m), p=p)
+    maxima = np.empty(trials)
+    for t in range(trials):
+        maxima[t] = np.bincount(draws[t], minlength=p.size).max()
+    return float(maxima.mean())
+
+
+def warp_conflict_degrees(
+    bin_matrix: np.ndarray, warp_size: int = 32
+) -> tuple[float, int]:
+    """Exact (summed degree, issue count) for a (threads, iterations) bin
+    matrix: one warp-level atomic issue per (warp, iteration) cell group.
+
+    Vectorized: sort each warp's lane targets per iteration and count the
+    longest equal run.
+    """
+    bins = np.asarray(bin_matrix)
+    if bins.ndim != 2:
+        raise ValueError("bin matrix must be (threads, iterations)")
+    threads, iters = bins.shape
+    if threads % warp_size != 0:
+        pad = warp_size - threads % warp_size
+        filler = np.arange(pad)[:, None] - (1 + np.arange(iters))[None, :] * warp_size
+        bins = np.vstack([bins, filler])  # distinct negative sentinels: no conflicts
+        threads += pad
+    grouped = bins.reshape(threads // warp_size, warp_size, iters)
+    s = np.sort(grouped, axis=1)
+    runs = np.ones_like(s)
+    for lane in range(1, warp_size):
+        same = s[:, lane, :] == s[:, lane - 1, :]
+        runs[:, lane, :] = np.where(same, runs[:, lane - 1, :] + 1, 1)
+    degrees = runs.max(axis=1)  # (warps, iterations)
+    return float(degrees.sum()), int(degrees.size)

@@ -1,0 +1,139 @@
+"""Memory-space taxonomy and access counters.
+
+The paper's entire analysis (Sections IV-B and IV-D, Eqs. 2-7, Tables II-IV)
+is phrased in terms of *how many accesses each algorithm makes to each kind
+of GPU memory*.  :class:`AccessCounters` is the ledger every functional
+kernel writes into and every analytical model produces, so the two paths can
+be compared element-for-element in tests.
+
+Counts are in *element accesses* (one 4-byte scalar read or written by one
+thread).  Byte totals are derived with :meth:`AccessCounters.bytes_for`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+
+class MemSpace(enum.Enum):
+    """The memory spaces distinguished by the paper.
+
+    ``L2`` is the non-programmable cache the paper "ignores" for algorithm
+    design but reports in its profiler tables; the simulator routes
+    uncached global traffic through it.
+    """
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    ROC = "roc"  # read-only data cache ("texture" path)
+    L2 = "l2"
+    REGISTER = "register"
+    CONSTANT = "constant"
+
+
+#: Size in bytes of one counted element access (fp32 / int32 everywhere).
+ELEMENT_BYTES = 4
+
+
+@dataclass
+class AccessCounters:
+    """Per-memory-space tallies of reads, writes and atomic updates.
+
+    Atomic updates are counted separately because their cost model differs
+    (read-modify-write plus serialization under conflicts); an atomic is
+    *not* additionally counted as a read or a write.
+    """
+
+    reads: Dict[MemSpace, int] = field(default_factory=dict)
+    writes: Dict[MemSpace, int] = field(default_factory=dict)
+    atomics: Dict[MemSpace, int] = field(default_factory=dict)
+    #: Sum over warps of the worst-case conflict degree observed for each
+    #: atomic issue (1 == conflict-free).  ``atomic_conflict_issues`` is the
+    #: number of warp-level atomic issues contributing, so the mean degree
+    #: is ``atomic_conflict_degree / atomic_conflict_issues``.
+    atomic_conflict_degree: float = 0.0
+    atomic_conflict_issues: int = 0
+    #: Shared-memory bank conflict excess (replays beyond the first cycle).
+    bank_conflict_replays: int = 0
+
+    # -- recording ---------------------------------------------------------
+    def add_read(self, space: MemSpace, n: int = 1) -> None:
+        self.reads[space] = self.reads.get(space, 0) + int(n)
+
+    def add_write(self, space: MemSpace, n: int = 1) -> None:
+        self.writes[space] = self.writes.get(space, 0) + int(n)
+
+    def add_atomic(self, space: MemSpace, n: int = 1) -> None:
+        self.atomics[space] = self.atomics.get(space, 0) + int(n)
+
+    def add_conflict_sample(self, degree: float, issues: int = 1) -> None:
+        """Record that ``issues`` warp-level atomic issues saw an average
+        serialization ``degree`` (>= 1)."""
+        if degree < 1.0:
+            raise ValueError(f"conflict degree must be >= 1, got {degree}")
+        self.atomic_conflict_degree += degree * issues
+        self.atomic_conflict_issues += int(issues)
+
+    # -- queries -----------------------------------------------------------
+    def read_count(self, space: MemSpace) -> int:
+        return self.reads.get(space, 0)
+
+    def write_count(self, space: MemSpace) -> int:
+        return self.writes.get(space, 0)
+
+    def atomic_count(self, space: MemSpace) -> int:
+        return self.atomics.get(space, 0)
+
+    def total(self, space: MemSpace) -> int:
+        """All accesses touching ``space`` (atomics count once)."""
+        return (
+            self.read_count(space)
+            + self.write_count(space)
+            + self.atomic_count(space)
+        )
+
+    def bytes_for(self, space: MemSpace) -> int:
+        """Traffic in bytes; an atomic moves 2 elements (read + write)."""
+        plain = self.read_count(space) + self.write_count(space)
+        return ELEMENT_BYTES * (plain + 2 * self.atomic_count(space))
+
+    def mean_conflict_degree(self) -> float:
+        if self.atomic_conflict_issues == 0:
+            return 1.0
+        return self.atomic_conflict_degree / self.atomic_conflict_issues
+
+    # -- composition -------------------------------------------------------
+    def merge(self, other: "AccessCounters") -> "AccessCounters":
+        """Fold ``other`` into ``self`` (in place) and return ``self``."""
+        for space, n in other.reads.items():
+            self.add_read(space, n)
+        for space, n in other.writes.items():
+            self.add_write(space, n)
+        for space, n in other.atomics.items():
+            self.add_atomic(space, n)
+        self.atomic_conflict_degree += other.atomic_conflict_degree
+        self.atomic_conflict_issues += other.atomic_conflict_issues
+        self.bank_conflict_replays += other.bank_conflict_replays
+        return self
+
+    @classmethod
+    def sum(cls, items: Iterable["AccessCounters"]) -> "AccessCounters":
+        out = cls()
+        for item in items:
+            out.merge(item)
+        return out
+
+    def as_dict(self) -> Mapping[str, Mapping[str, int]]:
+        """Plain-dict snapshot, convenient for assertions and reports."""
+        return {
+            "reads": {s.value: n for s, n in sorted(self.reads.items(), key=lambda kv: kv[0].value) if n},
+            "writes": {s.value: n for s, n in sorted(self.writes.items(), key=lambda kv: kv[0].value) if n},
+            "atomics": {s.value: n for s, n in sorted(self.atomics.items(), key=lambda kv: kv[0].value) if n},
+        }
+
+    def __eq__(self, other: object) -> bool:  # counts only, not conflict stats
+        if not isinstance(other, AccessCounters):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()

@@ -1,0 +1,168 @@
+"""The simulated device: allocations, transfers and kernel launches.
+
+Functional kernels run block-serially (CUDA guarantees nothing about
+inter-block ordering, and none of the paper's kernels communicate between
+blocks except through atomics, which are order-independent for the
+commutative updates used here).  Every launch returns a
+:class:`LaunchRecord` carrying the merged access counters, so the
+functional path and the analytical path can be compared exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .counters import AccessCounters, MemSpace
+from .errors import DeviceAllocationError
+from .grid import BlockContext, LaunchConfig
+from .memory import ReadOnlyView, TrackedArray
+from .spec import DeviceSpec, TITAN_X
+
+KernelFn = Callable[[BlockContext], None]
+
+
+@dataclass
+class LaunchRecord:
+    """Outcome of one functional kernel launch."""
+
+    kernel_name: str
+    config: LaunchConfig
+    counters: AccessCounters
+    blocks_run: int
+    wall_seconds: float  # host-side simulation time, NOT simulated GPU time
+    sync_counts: List[int] = field(default_factory=list)
+
+    @property
+    def max_shared_bytes(self) -> int:
+        return self._max_shared
+
+    _max_shared: int = 0
+
+
+class _ActiveCounters:
+    """Forwarding ledger: device-global arrays record into whatever counter
+    set is *active* — the device ledger between launches, the launch's own
+    ledger while a kernel runs — so per-launch records include the global
+    traffic those arrays generate."""
+
+    __slots__ = ("_device",)
+
+    def __init__(self, device: "Device") -> None:
+        self._device = device
+
+    def _target(self) -> AccessCounters:
+        return self._device._active
+
+    def add_read(self, space: MemSpace, n: int = 1) -> None:
+        self._target().add_read(space, n)
+
+    def add_write(self, space: MemSpace, n: int = 1) -> None:
+        self._target().add_write(space, n)
+
+    def add_atomic(self, space: MemSpace, n: int = 1) -> None:
+        self._target().add_atomic(space, n)
+
+    def add_conflict_sample(self, degree: float, issues: int = 1) -> None:
+        self._target().add_conflict_sample(degree, issues)
+
+
+class Device:
+    """A simulated GPU with tracked global memory."""
+
+    def __init__(self, spec: DeviceSpec = TITAN_X) -> None:
+        self.spec = spec
+        self.counters = AccessCounters()
+        self._active = self.counters
+        self._sink = _ActiveCounters(self)
+        self._allocated = 0
+        self._allocations: Dict[str, TrackedArray] = {}
+        self.launches: List[LaunchRecord] = []
+
+    # -- memory management ---------------------------------------------------
+    def alloc(self, shape, dtype=np.float32, name: str = "", zero: bool = True) -> TrackedArray:
+        """Allocate tracked global memory on the device."""
+        arr = np.zeros(shape, dtype=dtype)
+        if self._allocated + arr.nbytes > self.spec.global_mem_bytes:
+            raise DeviceAllocationError(
+                f"allocation of {arr.nbytes} B exceeds remaining global "
+                f"memory ({self.spec.global_mem_bytes - self._allocated} B free)"
+            )
+        self._allocated += arr.nbytes
+        name = name or f"gmem{len(self._allocations)}"
+        tracked = TrackedArray(arr, MemSpace.GLOBAL, self._sink, name=name)
+        self._allocations[name] = tracked
+        return tracked
+
+    def to_device(self, host: np.ndarray, name: str = "") -> TrackedArray:
+        """Host-to-device copy (DMA over PCI-E; not counted as kernel traffic)."""
+        arr = self.alloc(host.shape, dtype=host.dtype, name=name, zero=False)
+        arr.data[...] = host
+        return arr
+
+    def to_host(self, arr: TrackedArray) -> np.ndarray:
+        """Device-to-host copy of a result buffer."""
+        return np.array(arr.data, copy=True)
+
+    def free(self, arr: TrackedArray) -> None:
+        for name, a in list(self._allocations.items()):
+            if a is arr:
+                del self._allocations[name]
+                self._allocated -= arr.nbytes
+                return
+        raise DeviceAllocationError(f"{arr!r} is not a live device allocation")
+
+    def readonly(self, arr: TrackedArray) -> ReadOnlyView:
+        """Bind a global allocation to the read-only data cache path
+        (the ``const __restrict__`` trick from Section IV-A)."""
+        return ReadOnlyView(arr, counters=self._sink)
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._allocated
+
+    # -- execution -------------------------------------------------------------
+    def launch(
+        self,
+        kernel: KernelFn,
+        config: LaunchConfig,
+        *,
+        name: Optional[str] = None,
+    ) -> LaunchRecord:
+        """Run ``kernel`` once per block, merging access counters."""
+        config.validate(self.spec)
+        t0 = time.perf_counter()
+        merged = AccessCounters()
+        sync_counts: List[int] = []
+        max_shared = 0
+        self._active = merged  # device-global traffic lands on this launch
+        try:
+            for b in range(config.grid_dim):
+                ctx = BlockContext(
+                    spec=self.spec, config=config, block_id=b, counters=merged
+                )
+                kernel(ctx)
+                sync_counts.append(ctx.sync_count)
+                max_shared = max(max_shared, ctx.shared_bytes_used)
+        finally:
+            self._active = self.counters
+        self.counters.merge(merged)
+        record = LaunchRecord(
+            kernel_name=name or getattr(kernel, "__name__", "kernel"),
+            config=config,
+            counters=merged,
+            blocks_run=config.grid_dim,
+            wall_seconds=time.perf_counter() - t0,
+            sync_counts=sync_counts,
+        )
+        record._max_shared = max_shared
+        self.launches.append(record)
+        return record
+
+    def reset_counters(self) -> None:
+        self.counters = AccessCounters()
+        self._active = self.counters
+        self.launches.clear()

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the GPU simulator.
+
+Every failure raised by :mod:`repro.gpusim` derives from :class:`GpuSimError`
+so callers can catch simulator-level problems without masking ordinary
+Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class GpuSimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class LaunchConfigError(GpuSimError):
+    """A kernel launch configuration violates a device limit.
+
+    Raised e.g. when the block size exceeds ``max_threads_per_block`` or the
+    grid is empty.
+    """
+
+
+class SharedMemoryError(GpuSimError):
+    """A block requested more shared memory than the device allows."""
+
+
+class RegisterPressureError(GpuSimError):
+    """A kernel declared more registers per thread than the device allows."""
+
+
+class MemorySpaceError(GpuSimError):
+    """An operation was attempted on the wrong memory space.
+
+    For example, writing to the read-only data cache, or taking an atomic
+    on a register-file array.
+    """
+
+
+class OutOfBoundsError(GpuSimError):
+    """A simulated memory access fell outside the allocation.
+
+    The real hardware would silently corrupt memory (or fault); the
+    simulator always faults loudly.
+    """
+
+
+class DeviceAllocationError(GpuSimError):
+    """The device ran out of simulated global memory."""

@@ -1,0 +1,124 @@
+"""Launch configuration and per-block execution context.
+
+Kernels in this reproduction are written in *block-vectorized SPMD* style:
+``run_block`` receives a :class:`BlockContext` describing one CUDA block,
+and NumPy arrays over the thread axis stand for per-thread scalars.  The
+context provides the CUDA-shaped facilities a block sees — thread ids,
+shared-memory allocation (budget-checked against the device), barriers and
+warp partitioning — all wired to the access-counting machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .counters import AccessCounters, MemSpace
+from .errors import LaunchConfigError, SharedMemoryError
+from .memory import TrackedArray
+from .spec import DeviceSpec
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry for one kernel launch (1-D, as in the paper)."""
+
+    grid_dim: int
+    block_dim: int
+    shared_bytes: int = 0  # dynamic shared memory request
+    regs_per_thread: int = 32
+
+    def validate(self, spec: DeviceSpec) -> None:
+        if self.grid_dim <= 0:
+            raise LaunchConfigError(f"grid_dim must be positive, got {self.grid_dim}")
+        if self.block_dim <= 0:
+            raise LaunchConfigError(f"block_dim must be positive, got {self.block_dim}")
+        if self.block_dim > spec.max_threads_per_block:
+            raise LaunchConfigError(
+                f"block_dim {self.block_dim} exceeds device limit "
+                f"{spec.max_threads_per_block}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_dim * self.block_dim
+
+
+@dataclass
+class BlockContext:
+    """Everything one simulated thread block can see."""
+
+    spec: DeviceSpec
+    config: LaunchConfig
+    block_id: int
+    counters: AccessCounters
+    _shared_used: int = 0
+    _shared_allocs: List[TrackedArray] = field(default_factory=list)
+    sync_count: int = 0
+
+    @property
+    def nthreads(self) -> int:
+        return self.config.block_dim
+
+    @property
+    def threads(self) -> np.ndarray:
+        """Thread indices within the block (``threadIdx.x``)."""
+        return np.arange(self.config.block_dim)
+
+    @property
+    def global_thread_ids(self) -> np.ndarray:
+        """``blockIdx.x * blockDim.x + threadIdx.x``."""
+        return self.block_id * self.config.block_dim + self.threads
+
+    @property
+    def warp_size(self) -> int:
+        return self.spec.warp_size
+
+    @property
+    def num_warps(self) -> int:
+        return (self.nthreads + self.warp_size - 1) // self.warp_size
+
+    def warps(self) -> List[np.ndarray]:
+        """Thread index ranges, one per warp."""
+        return [
+            self.threads[w * self.warp_size : (w + 1) * self.warp_size]
+            for w in range(self.num_warps)
+        ]
+
+    # -- shared memory ------------------------------------------------------
+    def alloc_shared(
+        self, shape, dtype=np.float32, name: str = "shm", zero: bool = False
+    ) -> TrackedArray:
+        """Allocate block-local shared memory, enforcing the device budget."""
+        arr = np.zeros(shape, dtype=dtype)
+        new_total = self._shared_used + arr.nbytes
+        if new_total > self.spec.shared_mem_per_block:
+            raise SharedMemoryError(
+                f"block {self.block_id} shared allocation of {arr.nbytes} B "
+                f"pushes usage to {new_total} B, over the "
+                f"{self.spec.shared_mem_per_block} B per-block limit"
+            )
+        self._shared_used = new_total
+        tracked = TrackedArray(arr, MemSpace.SHARED, self.counters, name=name)
+        self._shared_allocs.append(tracked)
+        if zero:
+            tracked.fill(0)
+        return tracked
+
+    @property
+    def shared_bytes_used(self) -> int:
+        return self._shared_used
+
+    def free_shared(self, arr: TrackedArray) -> None:
+        """Release a shared allocation (models the paper's L-overwrites-R
+        buffer reuse when a kernel explicitly recycles space)."""
+        if arr in self._shared_allocs:
+            self._shared_allocs.remove(arr)
+            self._shared_used -= arr.nbytes
+
+    def syncthreads(self) -> None:
+        """Barrier.  Functionally a no-op under block-serial simulation,
+        but counted so tests can assert a kernel's synchronization shape."""
+        self.sync_count += 1

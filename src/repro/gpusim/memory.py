@@ -1,0 +1,168 @@
+"""Tracked memory spaces.
+
+A :class:`TrackedArray` wraps a NumPy buffer, tags it with the
+:class:`~repro.gpusim.counters.MemSpace` it lives in, and records every
+element access into an :class:`~repro.gpusim.counters.AccessCounters`
+ledger.  Kernels in :mod:`repro.core.kernels` are written against this API
+in block-vectorized SPMD style: an index array stands for "each thread in
+the block reads its own element", and the tracker counts one access per
+(thread, element) pair — exactly the unit the paper's Eqs. 2-7 count.
+
+The read-only data cache is modelled by :class:`ReadOnlyView`, which
+forbids writes for the lifetime of the kernel (the paper: "it cannot be
+overwritten during the lifespan of the kernel").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .counters import AccessCounters, MemSpace
+from .errors import MemorySpaceError, OutOfBoundsError
+
+Index = Union[int, slice, np.ndarray, Sequence[int], tuple]
+
+
+def _access_count(array_shape: tuple, idx: Index) -> int:
+    """Number of element accesses implied by indexing ``idx``.
+
+    Computed by asking NumPy how many elements the selection produces;
+    cheap because we only build the result shape, not the data.
+    """
+    probe = np.empty(array_shape, dtype=np.bool_)
+    sel = probe[idx]
+    return int(sel.size) if isinstance(sel, np.ndarray) else 1
+
+
+class TrackedArray:
+    """A NumPy-backed allocation in one simulated memory space."""
+
+    __slots__ = ("data", "space", "counters", "name", "_broadcast_reads")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        space: MemSpace,
+        counters: AccessCounters,
+        name: str = "",
+        broadcast_reads: int = 1,
+    ) -> None:
+        self.data = data
+        self.space = space
+        self.counters = counters
+        self.name = name or f"{space.value}-array"
+        #: multiplier applied to read counts: a kernel reading one shared
+        #: element into *every* thread of a block is one access per thread,
+        #: not one per element.  Kernels set this per-read via ``ld(...,
+        #: fanout=...)`` instead; this default stays 1.
+        self._broadcast_reads = broadcast_reads
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # -- tracked element access -------------------------------------------
+    def ld(self, idx: Index = slice(None), *, fanout: int = 1) -> np.ndarray:
+        """Tracked read.
+
+        ``fanout`` is the number of threads receiving each selected
+        element (e.g. B for "every thread in the block reads R[j]").
+        Returns a copy so later writes cannot alias simulator state.
+        """
+        try:
+            values = self.data[idx]
+        except IndexError as exc:
+            raise OutOfBoundsError(f"read OOB on {self.name}: {exc}") from exc
+        n = values.size if isinstance(values, np.ndarray) else 1
+        self.counters.add_read(self.space, int(n) * fanout)
+        return np.array(values, copy=True)
+
+    def st(self, idx: Index, values: np.ndarray | float | int) -> None:
+        """Tracked write."""
+        if isinstance(self, ReadOnlyView):  # defensive; subclass overrides
+            raise MemorySpaceError(f"{self.name} is read-only")
+        try:
+            n = _access_count(self.data.shape, idx)
+            self.data[idx] = values
+        except IndexError as exc:
+            raise OutOfBoundsError(f"write OOB on {self.name}: {exc}") from exc
+        self.counters.add_write(self.space, n)
+
+    def fill(self, value: float) -> None:
+        """Tracked bulk initialization (counts one write per element)."""
+        self.data[...] = value
+        self.counters.add_write(self.space, self.size)
+
+    # -- untracked escape hatch ---------------------------------------------
+    def raw(self) -> np.ndarray:
+        """The underlying buffer, for assertions and host-side reads only."""
+        return self.data
+
+    def __repr__(self) -> str:
+        return (
+            f"TrackedArray({self.name}, space={self.space.value}, "
+            f"shape={self.data.shape}, dtype={self.data.dtype})"
+        )
+
+
+class ReadOnlyView(TrackedArray):
+    """Read-only data cache (texture path) view over global data.
+
+    Reads are counted against :attr:`MemSpace.ROC`.  Any write raises
+    :class:`MemorySpaceError`, matching the hardware restriction the paper
+    relies on when it rules the ROC out for output privatization.
+    """
+
+    def __init__(self, base: TrackedArray, counters: Optional[AccessCounters] = None):
+        super().__init__(
+            base.data,
+            MemSpace.ROC,
+            counters if counters is not None else base.counters,
+            name=f"roc({base.name})",
+        )
+
+    def st(self, idx: Index, values) -> None:  # noqa: D102 - forbidden
+        raise MemorySpaceError(
+            f"{self.name}: the read-only data cache cannot be written "
+            "during the lifespan of a kernel"
+        )
+
+    def fill(self, value: float) -> None:  # noqa: D102 - forbidden
+        raise MemorySpaceError(f"{self.name} is read-only")
+
+
+def bank_conflict_degree(indices: np.ndarray, banks: int = 32, element_words: int = 1) -> float:
+    """Worst-case shared-memory bank serialization for one warp access.
+
+    ``indices`` are the word addresses accessed by the lanes of a single
+    warp.  The returned degree is the maximum number of lanes hitting the
+    same bank with *different* addresses (hardware broadcasts identical
+    addresses for free), i.e. the number of replays the access needs.
+    """
+    idx = np.asarray(indices).ravel() * element_words
+    if idx.size == 0:
+        return 1.0
+    bank = idx % banks
+    worst = 1
+    for b in np.unique(bank):
+        distinct = np.unique(idx[bank == b]).size
+        worst = max(worst, distinct)
+    return float(worst)

@@ -1,0 +1,133 @@
+"""CUDA-style occupancy calculator.
+
+Occupancy — the fraction of a multiprocessor's warp slots that can be
+resident simultaneously — is the mechanism behind the paper's Fig. 5: as
+the SDH histogram (one privatized copy per block in shared memory) grows,
+fewer blocks fit on an SM, occupancy falls in steps, and runtime rises as
+a step function.  The calculator reproduces the real rules: blocks per SM
+are limited by the thread count, the block-count cap, the register file and
+the shared-memory pool, with hardware allocation granularities applied.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import LaunchConfigError, RegisterPressureError, SharedMemoryError
+from .spec import DeviceSpec
+
+
+def _round_up(value: int, granularity: int) -> int:
+    if granularity <= 1:
+        return value
+    return ((value + granularity - 1) // granularity) * granularity
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of an occupancy query for one kernel configuration."""
+
+    threads_per_block: int
+    regs_per_thread: int
+    shared_per_block: int
+    blocks_per_sm: int
+    active_threads_per_sm: int
+    active_warps_per_sm: int
+    occupancy: float
+    limiter: str  # "threads" | "blocks" | "registers" | "shared"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.occupancy:.1%} ({self.blocks_per_sm} blocks x "
+            f"{self.threads_per_block} thr, limited by {self.limiter})"
+        )
+
+
+def calculate_occupancy(
+    spec: DeviceSpec,
+    threads_per_block: int,
+    regs_per_thread: int = 32,
+    shared_per_block: int = 0,
+) -> Occupancy:
+    """Blocks-per-SM and occupancy under every hardware limit.
+
+    Raises when a *single* block already violates a device limit — such a
+    kernel cannot launch at all.
+    """
+    if threads_per_block <= 0:
+        raise LaunchConfigError("threads_per_block must be positive")
+    if threads_per_block > spec.max_threads_per_block:
+        raise LaunchConfigError(
+            f"block of {threads_per_block} threads exceeds device limit "
+            f"{spec.max_threads_per_block}"
+        )
+    if threads_per_block % spec.warp_size != 0:
+        # hardware rounds allocation up to whole warps
+        eff_threads = _round_up(threads_per_block, spec.warp_size)
+    else:
+        eff_threads = threads_per_block
+    if regs_per_thread > spec.max_registers_per_thread:
+        raise RegisterPressureError(
+            f"{regs_per_thread} registers/thread exceeds limit "
+            f"{spec.max_registers_per_thread}"
+        )
+    if shared_per_block > spec.shared_mem_per_block:
+        raise SharedMemoryError(
+            f"{shared_per_block} B shared/block exceeds per-block limit "
+            f"{spec.shared_mem_per_block} B"
+        )
+
+    limits = {}
+    limits["threads"] = spec.max_threads_per_sm // eff_threads
+    limits["blocks"] = spec.max_blocks_per_sm
+
+    regs_alloc = _round_up(max(regs_per_thread, 1), spec.register_alloc_granularity)
+    regs_per_block = regs_alloc * eff_threads
+    limits["registers"] = (
+        spec.registers_per_sm // regs_per_block if regs_per_block else limits["blocks"]
+    )
+
+    if shared_per_block > 0:
+        shm_alloc = _round_up(shared_per_block, spec.shared_mem_granularity)
+        limits["shared"] = spec.shared_mem_per_sm // shm_alloc
+    else:
+        limits["shared"] = limits["blocks"]
+
+    blocks = min(limits.values())
+    # report the binding constraint (ties broken in a stable, meaningful order)
+    limiter = min(
+        ("shared", "registers", "threads", "blocks"), key=lambda k: limits[k]
+    )
+    if blocks <= 0:
+        raise LaunchConfigError(
+            f"kernel needs more SM resources than one SM provides "
+            f"(per-limit block counts: {limits})"
+        )
+
+    warps = blocks * eff_threads // spec.warp_size
+    warps = min(warps, spec.max_warps_per_sm)
+    active_threads = warps * spec.warp_size
+    return Occupancy(
+        threads_per_block=threads_per_block,
+        regs_per_thread=regs_per_thread,
+        shared_per_block=shared_per_block,
+        blocks_per_sm=blocks,
+        active_threads_per_sm=active_threads,
+        active_warps_per_sm=warps,
+        occupancy=warps / spec.max_warps_per_sm,
+        limiter=limiter,
+    )
+
+
+def max_block_size_for_shared(spec: DeviceSpec, shared_per_thread_bytes: float) -> int:
+    """Largest warp-multiple block whose per-thread shared footprint fits.
+
+    Helper used by the planner when sizing tiles: ``B`` such that
+    ``B * shared_per_thread <= shared_mem_per_block``.
+    """
+    if shared_per_thread_bytes <= 0:
+        return spec.max_threads_per_block
+    b = int(spec.shared_mem_per_block // shared_per_thread_bytes)
+    b = (b // spec.warp_size) * spec.warp_size
+    return max(min(b, spec.max_threads_per_block), 0)

@@ -1,0 +1,136 @@
+"""Profiler-style reporting: the simulator's answer to ``nvprof``.
+
+Produces the quantities the paper reports in Tables II-IV: per-pipeline
+utilization (arithmetic / control-flow / memory) and achieved bandwidth per
+memory unit, derived from the same counters and timing the benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .counters import AccessCounters, MemSpace
+from .spec import DeviceSpec
+from .timing import KernelTiming
+
+_PIPE_TO_SPACE = {
+    "shared": MemSpace.SHARED,
+    "roc": MemSpace.ROC,
+    "global": MemSpace.GLOBAL,
+}
+
+
+@dataclass
+class SimReport:
+    """One kernel's simulated performance summary."""
+
+    kernel: str
+    n: int
+    seconds: float
+    occupancy: float
+    dominant: str
+    utilization: Dict[str, float]
+    achieved_bandwidth: Dict[str, float]  # bytes/sec per memory space
+    counters: Optional[AccessCounters] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def memory_summary(self) -> str:
+        """'<util%> (<space>)' for the busiest memory unit — the format of
+        the paper's 'Memory' column."""
+        best_space, best_util = None, 0.0
+        for pipe, space in _PIPE_TO_SPACE.items():
+            u = self.utilization.get(pipe, 0.0)
+            if u > best_util:
+                best_space, best_util = space, u
+        if best_space is None:
+            return "idle"
+        label = {"shared": "Shared Memory", "roc": "Data cache", "global": "Global"}[
+            best_space.value
+        ]
+        return f"{best_util:.0%} ({label})"
+
+
+def build_report(
+    kernel: str,
+    n: int,
+    timing: KernelTiming,
+    spec: DeviceSpec,
+    counters: Optional[AccessCounters] = None,
+    extras: Optional[Dict[str, float]] = None,
+) -> SimReport:
+    """Assemble a :class:`SimReport` from a timing result and counters."""
+    bandwidth: Dict[str, float] = {}
+    if counters is not None and timing.seconds > 0:
+        for space in (MemSpace.SHARED, MemSpace.ROC, MemSpace.GLOBAL, MemSpace.L2):
+            traffic = counters.bytes_for(space)
+            if traffic:
+                bandwidth[space.value] = traffic / timing.seconds
+    return SimReport(
+        kernel=kernel,
+        n=n,
+        seconds=timing.seconds,
+        occupancy=timing.occupancy,
+        dominant=timing.dominant,
+        utilization=dict(timing.utilization),
+        achieved_bandwidth=bandwidth,
+        counters=counters,
+        extras=dict(extras or {}),
+    )
+
+
+def format_bandwidth(bytes_per_sec: float) -> str:
+    """Human units matching the paper's Table III (GB/s, TB/s)."""
+    if bytes_per_sec >= 1e12:
+        return f"{bytes_per_sec / 1e12:.2f} TB/s"
+    if bytes_per_sec >= 1e9:
+        return f"{bytes_per_sec / 1e9:.0f} GB/s"
+    if bytes_per_sec >= 1e6:
+        return f"{bytes_per_sec / 1e6:.0f} MB/s"
+    return f"{bytes_per_sec:.0f} B/s"
+
+
+def utilization_table(reports: List[SimReport]) -> str:
+    """Render Tables II/IV: kernel, arithmetic, control-flow, memory."""
+    rows = [("Kernel", "Arithmetic", "Control-flow", "Memory")]
+    for r in reports:
+        rows.append(
+            (
+                r.kernel,
+                f"{r.utilization.get('arith', 0.0):.0%}",
+                f"{r.utilization.get('ctrl', 0.0):.0%}",
+                r.memory_summary,
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rows
+    ]
+    lines.insert(1, "-" * (sum(widths) + 6))
+    return "\n".join(lines)
+
+
+def bandwidth_table(reports: List[SimReport]) -> str:
+    """Render Table III: achieved bandwidth per memory unit per kernel."""
+    spaces = ["shared", "l2", "roc", "global"]
+    header = ("Kernel", "Shared Memory", "L2 Cache", "Data cache", "Global Load")
+    rows = [header]
+    for r in reports:
+        rows.append(
+            (
+                r.kernel,
+                *(
+                    format_bandwidth(r.achieved_bandwidth.get(s, 0.0))
+                    if r.achieved_bandwidth.get(s)
+                    else "0 B/s"
+                    for s in spaces
+                ),
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rows
+    ]
+    lines.insert(1, "-" * (sum(widths) + 8))
+    return "\n".join(lines)

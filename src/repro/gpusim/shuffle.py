@@ -1,0 +1,94 @@
+"""Warp shuffle instructions (Kepler+).
+
+The paper's Algorithm 4 uses ``__shfl`` broadcast to share register content
+among the lanes of a warp, tiling the R block through the register file
+instead of shared memory or the ROC.  Here a "register file" for a block is
+a NumPy array whose leading axis is the thread index within the block;
+shuffles permute along that axis within each aligned warp_size group.
+
+Shuffles are counted as register traffic only (they move data on the
+operand network, not through any cache), which is why Algorithm 4 frees
+both shared memory and the ROC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import GpuSimError, LaunchConfigError
+
+
+def _check(regs: np.ndarray, warp_size: int) -> int:
+    n = regs.shape[0]
+    if warp_size <= 0:
+        raise LaunchConfigError(f"warp_size must be positive, got {warp_size}")
+    if n % warp_size != 0:
+        raise LaunchConfigError(
+            f"register file of {n} lanes is not a whole number of "
+            f"{warp_size}-lane warps"
+        )
+    return n
+
+
+def shfl_broadcast(regs: np.ndarray, src_lane: int, warp_size: int = 32) -> np.ndarray:
+    """Every lane receives the value held by ``src_lane`` of *its own* warp.
+
+    Equivalent to CUDA ``__shfl_sync(mask, value, src_lane)``.
+    """
+    n = _check(regs, warp_size)
+    if not 0 <= src_lane < warp_size:
+        raise GpuSimError(f"src_lane {src_lane} outside warp of {warp_size}")
+    grouped = regs.reshape(n // warp_size, warp_size, *regs.shape[1:])
+    out = np.repeat(grouped[:, src_lane : src_lane + 1], warp_size, axis=1)
+    return out.reshape(regs.shape).copy()
+
+
+def shfl_down(regs: np.ndarray, delta: int, warp_size: int = 32) -> np.ndarray:
+    """Lane i receives lane i+delta's value (lanes past the end keep theirs).
+
+    Equivalent to ``__shfl_down_sync``; the staple of warp-level reductions.
+    """
+    n = _check(regs, warp_size)
+    grouped = regs.reshape(n // warp_size, warp_size, *regs.shape[1:])
+    out = grouped.copy()
+    if delta > 0:
+        valid = warp_size - delta
+        if valid > 0:
+            out[:, :valid] = grouped[:, delta:]
+    return out.reshape(regs.shape)
+
+
+def shfl_up(regs: np.ndarray, delta: int, warp_size: int = 32) -> np.ndarray:
+    """Lane i receives lane i-delta's value (low lanes keep theirs)."""
+    n = _check(regs, warp_size)
+    grouped = regs.reshape(n // warp_size, warp_size, *regs.shape[1:])
+    out = grouped.copy()
+    if delta > 0 and delta < warp_size:
+        out[:, delta:] = grouped[:, : warp_size - delta]
+    return out.reshape(regs.shape)
+
+
+def shfl_xor(regs: np.ndarray, mask: int, warp_size: int = 32) -> np.ndarray:
+    """Lane i exchanges with lane i XOR mask (butterfly reductions)."""
+    n = _check(regs, warp_size)
+    lanes = np.arange(warp_size)
+    partner = lanes ^ mask
+    if (partner >= warp_size).any():
+        raise GpuSimError(f"xor mask {mask} leaves the {warp_size}-lane warp")
+    grouped = regs.reshape(n // warp_size, warp_size, *regs.shape[1:])
+    out = grouped[:, partner]
+    return out.reshape(regs.shape).copy()
+
+
+def warp_reduce_sum(regs: np.ndarray, warp_size: int = 32) -> np.ndarray:
+    """Butterfly sum; every lane ends with its warp's total.
+
+    Implemented with :func:`shfl_xor` exactly as on hardware, log2(warp)
+    steps, so tests can validate the primitive composition.
+    """
+    acc = regs.astype(np.float64, copy=True) if regs.dtype.kind == "f" else regs.copy()
+    step = warp_size // 2
+    while step >= 1:
+        acc = acc + shfl_xor(acc, step, warp_size)
+        step //= 2
+    return acc.astype(regs.dtype, copy=False)

@@ -1,0 +1,168 @@
+"""Device specifications.
+
+The default :data:`TITAN_X` matches the paper's testbed (NVIDIA GeForce GTX
+Titan X, Maxwell GM200) as described in Section IV-B and the cited GTX 980
+whitepaper [15]: 24 SMs x 128 cores, 96 KB shared memory per SM, 12 GB of
+global memory, and the latency figures the paper quotes from [20], [21]
+(global 350, read-only cache 92, shared 28 clock cycles).
+
+Presets for the older generations the paper names in Section III-A (Fermi,
+Kepler) are included so the occupancy calculator and the planner can be
+exercised across architectures; ``supports_shuffle`` is the Kepler+ feature
+gate the paper calls out for Algorithm 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from .counters import MemSpace
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Raw access latencies in clock cycles (paper Section IV-A/IV-B)."""
+
+    global_mem: float = 350.0
+    roc: float = 92.0
+    shared: float = 28.0
+    register: float = 1.0
+    l2: float = 190.0  # between global and ROC; the paper folds it into "global"
+
+    def for_space(self, space: MemSpace) -> float:
+        return {
+            MemSpace.GLOBAL: self.global_mem,
+            MemSpace.ROC: self.roc,
+            MemSpace.SHARED: self.shared,
+            MemSpace.REGISTER: self.register,
+            MemSpace.L2: self.l2,
+            MemSpace.CONSTANT: self.roc,
+        }[space]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU."""
+
+    name: str
+    compute_capability: tuple[int, int]
+    sm_count: int
+    cores_per_sm: int
+    clock_hz: float
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    max_warps_per_sm: int = 64
+    shared_mem_per_sm: int = 96 * 1024
+    shared_mem_per_block: int = 48 * 1024
+    shared_mem_granularity: int = 256
+    registers_per_sm: int = 64 * 1024
+    registers_per_block_max: int = 64 * 1024
+    max_registers_per_thread: int = 255
+    register_alloc_granularity: int = 8  # registers, per thread
+    global_mem_bytes: int = 12 * 1024**3
+    #: Peak bandwidths in bytes/sec.  Shared-memory peak is the aggregate
+    #: figure the paper uses ("3TB/s vs. 1TB/s for the ROC"); global is the
+    #: 336 GB/s Titan X figure (the paper's "up to 224 GB/sec" refers to the
+    #: GTX 980).
+    global_bandwidth: float = 336e9
+    shared_bandwidth: float = 3e12
+    roc_bandwidth: float = 1e12
+    l2_bandwidth: float = 500e9
+    shared_banks: int = 32
+    latency: LatencyTable = field(default_factory=LatencyTable)
+    supports_shuffle: bool = True
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def peak_lane_cycles_per_sec(self) -> float:
+        """Total issue capacity: one cycle on one core lane per unit."""
+        return self.total_cores * self.clock_hz
+
+    def bandwidth_for(self, space: MemSpace) -> float:
+        return {
+            MemSpace.GLOBAL: self.global_bandwidth,
+            MemSpace.SHARED: self.shared_bandwidth,
+            MemSpace.ROC: self.roc_bandwidth,
+            MemSpace.L2: self.l2_bandwidth,
+            MemSpace.REGISTER: float("inf"),
+            MemSpace.CONSTANT: self.roc_bandwidth,
+        }[space]
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with selected fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+#: The paper's testbed GPU (Section IV-B).
+TITAN_X = DeviceSpec(
+    name="GeForce GTX Titan X (Maxwell GM200)",
+    compute_capability=(5, 2),
+    sm_count=24,
+    cores_per_sm=128,
+    clock_hz=1.0e9,
+)
+
+#: Maxwell GM204 (the whitepaper the paper cites for bandwidth numbers).
+GTX_980 = DeviceSpec(
+    name="GeForce GTX 980 (Maxwell GM204)",
+    compute_capability=(5, 2),
+    sm_count=16,
+    cores_per_sm=128,
+    clock_hz=1.126e9,
+    global_mem_bytes=4 * 1024**3,
+    global_bandwidth=224e9,
+)
+
+#: Kepler-generation card: first generation with warp shuffle.
+TESLA_K40 = DeviceSpec(
+    name="Tesla K40 (Kepler GK110)",
+    compute_capability=(3, 5),
+    sm_count=15,
+    cores_per_sm=192,
+    clock_hz=745e6,
+    shared_mem_per_sm=48 * 1024,
+    max_blocks_per_sm=16,
+    shared_bandwidth=2e12,
+    global_bandwidth=288e9,
+)
+
+#: Fermi-generation card: no shuffle, small shared memory.
+FERMI_M2090 = DeviceSpec(
+    name="Tesla M2090 (Fermi GF110)",
+    compute_capability=(2, 0),
+    sm_count=16,
+    cores_per_sm=32,
+    clock_hz=1.3e9,
+    max_threads_per_sm=1536,
+    max_warps_per_sm=48,
+    max_blocks_per_sm=8,
+    shared_mem_per_sm=48 * 1024,
+    registers_per_sm=32 * 1024,
+    shared_bandwidth=1e12,
+    global_bandwidth=177e9,
+    supports_shuffle=False,
+)
+
+PRESETS: Dict[str, DeviceSpec] = {
+    "titan-x": TITAN_X,
+    "gtx-980": GTX_980,
+    "k40": TESLA_K40,
+    "fermi": FERMI_M2090,
+}
+
+
+def get_device_spec(name: str) -> DeviceSpec:
+    """Look up a preset by key (``titan-x``, ``gtx-980``, ``k40``, ``fermi``)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

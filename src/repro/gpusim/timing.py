@@ -1,0 +1,275 @@
+"""Pipeline timing model: access counts -> cycles -> simulated seconds.
+
+The model views an SM as a set of issue pipelines — compute (split into
+arithmetic / control-flow / other, the way the paper's profiler tables
+report), shared memory, read-only cache, global memory, and the shuffle
+network.  A kernel's work is expressed as total *lane-cycles* consumed on
+each pipeline; runtime is set by the dominant pipeline plus a small
+interference contribution from the others, inflated when occupancy is too
+low to hide latency and when atomic updates serialize under conflicts.
+
+All shape parameters live in :mod:`repro.gpusim.calibration`, each pinned
+to a specific observation from the paper (see DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from .calibration import Calibration, ComputeCost, DEFAULT_CALIBRATION
+from .counters import AccessCounters, MemSpace
+from .spec import DeviceSpec
+
+
+@dataclass
+class TrafficProfile:
+    """What a kernel does, in units the calibration understands.
+
+    All counts are whole-launch totals in element accesses (per-lane), and
+    ``pairs`` is the number of distance-function evaluations the profile's
+    compute cost applies to.  ``issue_scale`` inflates the pair-proportional
+    compute work, which is how divergence (issued-but-idle lanes) enters.
+    """
+
+    pairs: float = 0.0
+    compute: Optional[ComputeCost] = None
+    issue_scale: float = 1.0
+    shm_reads: float = 0.0
+    shm_writes: float = 0.0
+    roc_reads: float = 0.0
+    global_stream: float = 0.0  # coalesced reads: tile loads, anchor loads
+    global_stream_writes: float = 0.0  # coalesced result stores / flushes
+    global_scattered: float = 0.0  # naive-style repeated reads
+    shm_atomics: float = 0.0
+    global_atomics: float = 0.0
+    shuffles: float = 0.0
+    conflict_degree: float = 1.0  # mean warp serialization of atomics
+
+    def __add__(self, other: "TrafficProfile") -> "TrafficProfile":
+        if (
+            self.compute is not None
+            and other.compute is not None
+            and self.compute != other.compute
+        ):
+            raise ValueError("cannot merge profiles with different compute costs")
+        total_pairs = self.pairs * self.issue_scale + other.pairs * other.issue_scale
+        raw_pairs = self.pairs + other.pairs
+        scale = total_pairs / raw_pairs if raw_pairs else 1.0
+        atomics = self.shm_atomics + other.shm_atomics
+        if atomics:
+            conflict = (
+                self.conflict_degree * self.shm_atomics
+                + other.conflict_degree * other.shm_atomics
+            ) / atomics
+        else:
+            conflict = max(self.conflict_degree, other.conflict_degree)
+        return TrafficProfile(
+            pairs=raw_pairs,
+            compute=self.compute or other.compute,
+            issue_scale=scale,
+            shm_reads=self.shm_reads + other.shm_reads,
+            shm_writes=self.shm_writes + other.shm_writes,
+            roc_reads=self.roc_reads + other.roc_reads,
+            global_stream=self.global_stream + other.global_stream,
+            global_stream_writes=self.global_stream_writes + other.global_stream_writes,
+            global_scattered=self.global_scattered + other.global_scattered,
+            shm_atomics=atomics,
+            global_atomics=self.global_atomics + other.global_atomics,
+            shuffles=self.shuffles + other.shuffles,
+            conflict_degree=conflict,
+        )
+
+    def expected_counters(self) -> AccessCounters:
+        """The AccessCounters this profile predicts (for cross-validation
+        against a functional run)."""
+        c = AccessCounters()
+        c.add_read(MemSpace.SHARED, round(self.shm_reads))
+        c.add_write(MemSpace.SHARED, round(self.shm_writes))
+        c.add_read(MemSpace.ROC, round(self.roc_reads))
+        c.add_read(MemSpace.GLOBAL, round(self.global_stream + self.global_scattered))
+        c.add_write(MemSpace.GLOBAL, round(self.global_stream_writes))
+        c.add_atomic(MemSpace.SHARED, round(self.shm_atomics))
+        c.add_atomic(MemSpace.GLOBAL, round(self.global_atomics))
+        c.add_read(MemSpace.REGISTER, round(self.shuffles))
+        return c
+
+
+@dataclass(frozen=True)
+class PipelineCycles:
+    """Total lane-cycles per pipeline for one launch."""
+
+    arith: float = 0.0
+    ctrl: float = 0.0
+    other: float = 0.0
+    shared: float = 0.0
+    roc: float = 0.0
+    global_: float = 0.0
+    shuffle: float = 0.0
+
+    @property
+    def compute(self) -> float:
+        return self.arith + self.ctrl + self.other
+
+    def __add__(self, other: "PipelineCycles") -> "PipelineCycles":
+        return PipelineCycles(
+            arith=self.arith + other.arith,
+            ctrl=self.ctrl + other.ctrl,
+            other=self.other + other.other,
+            shared=self.shared + other.shared,
+            roc=self.roc + other.roc,
+            global_=self.global_ + other.global_,
+            shuffle=self.shuffle + other.shuffle,
+        )
+
+    def scaled(self, factor: float) -> "PipelineCycles":
+        """All pipelines multiplied by ``factor`` (divergence applies to
+        the whole warp instruction stream, loads included)."""
+        return PipelineCycles(
+            arith=self.arith * factor,
+            ctrl=self.ctrl * factor,
+            other=self.other * factor,
+            shared=self.shared * factor,
+            roc=self.roc * factor,
+            global_=self.global_ * factor,
+            shuffle=self.shuffle * factor,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "compute": self.compute,
+            "shared": self.shared,
+            "roc": self.roc,
+            "global": self.global_,
+            "shuffle": self.shuffle,
+        }
+
+
+def cycles_from_traffic(
+    traffic: TrafficProfile, calib: Calibration = DEFAULT_CALIBRATION
+) -> PipelineCycles:
+    """Convert a traffic profile into per-pipeline cycle totals."""
+    comp = traffic.compute or ComputeCost(0.0, 0.0, 0.0)
+    scaled_pairs = traffic.pairs * traffic.issue_scale
+    contended_atomic = calib.shared_atomic * (
+        traffic.conflict_degree ** calib.conflict_exponent
+    )
+    return PipelineCycles(
+        arith=comp.arith * scaled_pairs,
+        ctrl=comp.ctrl * scaled_pairs,
+        other=comp.other * scaled_pairs,
+        shared=(traffic.shm_reads + traffic.shm_writes) * calib.shm_issue
+        + traffic.shm_atomics * contended_atomic,
+        roc=traffic.roc_reads * calib.roc_issue,
+        global_=(traffic.global_stream + traffic.global_stream_writes)
+        * calib.global_stream_issue
+        + traffic.global_scattered * calib.global_issue
+        + traffic.global_atomics
+        * calib.global_atomic
+        * (traffic.conflict_degree ** calib.conflict_exponent),
+        shuffle=traffic.shuffles * calib.shuffle_issue,
+    )
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Simulated runtime and the issue-slot breakdown behind it."""
+
+    seconds: float
+    total_issue_cycles: float
+    dominant: str
+    occupancy: float
+    pipeline_cycles: PipelineCycles
+    utilization: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def arithmetic_utilization(self) -> float:
+        return self.utilization.get("arith", 0.0)
+
+    @property
+    def control_utilization(self) -> float:
+        return self.utilization.get("ctrl", 0.0)
+
+
+def simulate_time(
+    cycles: PipelineCycles,
+    *,
+    spec: DeviceSpec,
+    occupancy: float = 1.0,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    fixed_overhead_s: Optional[float] = None,
+    extra_seconds: float = 0.0,
+) -> KernelTiming:
+    """Runtime of a launch whose work is ``cycles``.
+
+    ``extra_seconds`` carries sequential stages priced separately (e.g. the
+    output reduction kernel and device transfers).
+    """
+    if not 0.0 < occupancy <= 1.0:
+        raise ValueError(f"occupancy must be in (0, 1], got {occupancy}")
+    pipes = cycles.as_dict()
+    dominant = max(pipes, key=lambda k: pipes[k])
+    others = sum(v for k, v in pipes.items() if k != dominant)
+    total_issue = pipes[dominant] + calib.interference_kappa * others
+    slowdown = (1.0 / occupancy) ** calib.occupancy_gamma
+    overhead = calib.launch_overhead_s if fixed_overhead_s is None else fixed_overhead_s
+    seconds = (
+        total_issue * slowdown / spec.peak_lane_cycles_per_sec
+        + overhead
+        + extra_seconds
+    )
+    util = {}
+    if total_issue > 0:
+        util = {
+            "arith": cycles.arith / total_issue,
+            "ctrl": cycles.ctrl / total_issue,
+            "compute": cycles.compute / total_issue,
+            "shared": cycles.shared / total_issue,
+            "roc": cycles.roc / total_issue,
+            "global": cycles.global_ / total_issue,
+            "shuffle": cycles.shuffle / total_issue,
+        }
+    return KernelTiming(
+        seconds=seconds,
+        total_issue_cycles=total_issue,
+        dominant=dominant,
+        occupancy=occupancy,
+        pipeline_cycles=cycles,
+        utilization=util,
+    )
+
+
+def reduction_stage_seconds(
+    output_size: int,
+    num_private_copies: int,
+    spec: DeviceSpec,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> float:
+    """Cost of the privatized-output combine stage (paper Eq. 7 and Fig. 3).
+
+    Each of the ``Hs`` final elements is produced by one thread reading
+    ``M`` private copies from global memory and writing one result:
+    ``Hs * (M * (Cgw + Cshmr + Cgr) + Cgw)`` in the paper's notation.  We
+    price it as coalesced global traffic at stream cost, which keeps it
+    negligible exactly as the paper intends.
+    """
+    accesses = output_size * (2 * num_private_copies + 1)
+    cycles = accesses * calib.global_stream_issue
+    return cycles / spec.peak_lane_cycles_per_sec + calib.launch_overhead_s
+
+
+def scale_profile(traffic: TrafficProfile, factor: float) -> TrafficProfile:
+    """Uniformly scale a profile's work (utility for sweeps/ablations)."""
+    return replace(
+        traffic,
+        pairs=traffic.pairs * factor,
+        shm_reads=traffic.shm_reads * factor,
+        shm_writes=traffic.shm_writes * factor,
+        roc_reads=traffic.roc_reads * factor,
+        global_stream=traffic.global_stream * factor,
+        global_stream_writes=traffic.global_stream_writes * factor,
+        global_scattered=traffic.global_scattered * factor,
+        shm_atomics=traffic.shm_atomics * factor,
+        global_atomics=traffic.global_atomics * factor,
+        shuffles=traffic.shuffles * factor,
+    )

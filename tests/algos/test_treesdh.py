@@ -1,0 +1,158 @@
+"""Tests for the density-map (tree-based) SDH algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algos import TreeSdh, TreeSdhStats
+from repro.algos.treesdh import _ragged_cartesian
+from repro.cpu_ref import brute
+from repro.data import gaussian_clusters, uniform_points
+
+BOX = 10.0
+MAXD = BOX * math.sqrt(3.0)
+
+
+def make_tree(bins, dims=3, **kw):
+    maxd = BOX * math.sqrt(dims)
+    return TreeSdh(bins, maxd / bins, BOX, dims=dims, **kw), maxd / bins
+
+
+class TestRaggedCartesian:
+    def test_basic(self):
+        ci, li, ri = _ragged_cartesian(np.array([2, 1]), np.array([3, 2]))
+        assert ci.size == 8
+        assert (ci[:6] == 0).all() and (ci[6:] == 1).all()
+        assert li[:6].tolist() == [0, 0, 0, 1, 1, 1]
+        assert ri[:6].tolist() == [0, 1, 2, 0, 1, 2]
+
+    def test_empty(self):
+        ci, li, ri = _ragged_cartesian(np.array([0, 3]), np.array([5, 0]))
+        assert ci.size == 0
+
+
+class TestExactness:
+    @pytest.mark.parametrize("bins", [4, 16, 64])
+    def test_uniform_matches_brute(self, bins):
+        pts = uniform_points(2000, 3, BOX, seed=1)
+        tree, w = make_tree(bins)
+        assert np.array_equal(
+            tree.compute(pts), brute.sdh_histogram(pts, bins, w)
+        )
+
+    def test_clustered_matches_brute(self):
+        pts = np.clip(
+            gaussian_clusters(1500, 3, n_clusters=4, box=BOX, seed=2), 0, BOX
+        )
+        tree, w = make_tree(16)
+        assert np.array_equal(
+            tree.compute(pts), brute.sdh_histogram(pts, 16, w)
+        )
+
+    def test_2d(self):
+        pts = uniform_points(3000, 2, BOX, seed=3)
+        tree, w = make_tree(16, dims=2)
+        assert np.array_equal(
+            tree.compute(pts), brute.sdh_histogram(pts, 16, w)
+        )
+
+    def test_boundary_points(self):
+        pts = np.array(
+            [[0.0, 0.0, 0.0], [BOX, BOX, BOX], [BOX, 0.0, 0.0], [5.0, 5.0, 5.0]]
+        )
+        tree, w = make_tree(8)
+        assert np.array_equal(
+            tree.compute(pts), brute.sdh_histogram(pts, 8, w)
+        )
+
+    def test_duplicate_points(self):
+        pts = np.tile(uniform_points(50, 3, BOX, seed=4), (3, 1))
+        tree, w = make_tree(16)
+        assert np.array_equal(
+            tree.compute(pts), brute.sdh_histogram(pts, 16, w)
+        )
+
+    def test_frontier_cap_keeps_exactness(self):
+        pts = uniform_points(4000, 3, BOX, seed=5)
+        tree, w = make_tree(8, max_frontier=5_000)  # absurdly tight
+        assert np.array_equal(
+            tree.compute(pts), brute.sdh_histogram(pts, 8, w)
+        )
+
+    def test_mass_conservation(self):
+        pts = uniform_points(3000, 3, BOX, seed=6)
+        tree, _ = make_tree(32)
+        stats = TreeSdhStats()
+        hist = tree.compute(pts, stats)
+        n = len(pts)
+        assert hist.sum() == n * (n - 1) // 2
+        assert stats.total_pairs == n * (n - 1) // 2
+
+
+class TestWorkSavings:
+    def test_resolution_happens(self):
+        pts = uniform_points(8000, 3, BOX, seed=7)
+        tree, _ = make_tree(8)
+        stats = TreeSdhStats()
+        tree.compute(pts, stats)
+        assert stats.resolved_fraction > 0.3
+        assert stats.work < 8000 * 7999 // 2  # strictly beats brute force
+
+    def test_savings_grow_with_n(self):
+        ratios = []
+        for n in (2000, 8000):
+            pts = uniform_points(n, 3, BOX, seed=8)
+            tree, _ = make_tree(8)
+            stats = TreeSdhStats()
+            tree.compute(pts, stats)
+            ratios.append(stats.work / (n * (n - 1) // 2))
+        assert ratios[1] < ratios[0]
+
+    def test_start_level_geometry(self):
+        tree, w = make_tree(8)
+        lvl = tree.start_level()
+        edge = BOX / 2**lvl
+        assert 2 * edge * math.sqrt(3) <= w
+        assert 4 * edge * math.sqrt(3) > w  # one level up would not do
+
+
+class TestGpuPricing:
+    def test_tree_plus_gpu_beats_brute_kernel(self):
+        """Section II: the advanced algorithm shares the same pairwise
+        primitive — priced with the same model, fewer pairs means less
+        simulated time than the brute O(N^2) kernel."""
+        from repro import apps
+        from repro.core import make_kernel
+
+        n = 10_000
+        pts = uniform_points(n, 3, BOX, seed=9)
+        tree, w = make_tree(8)
+        stats = TreeSdhStats()
+        tree.compute(pts, stats)
+        tree_gpu = tree.simulate_gpu(stats)
+        problem = apps.sdh.make_problem(8, MAXD, box=BOX)
+        brute_gpu = make_kernel(
+            problem, "register-roc", "privatized-shm", 256
+        ).simulate(n).seconds
+        assert tree_gpu < brute_gpu
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            TreeSdh(0, 1.0, BOX)
+        with pytest.raises(ValueError):
+            TreeSdh(8, -1.0, BOX)
+        with pytest.raises(ValueError):
+            TreeSdh(8, 1.0, BOX, dims=4)
+
+    def test_points_outside_region(self):
+        tree, _ = make_tree(8)
+        with pytest.raises(ValueError, match="inside"):
+            tree.compute(np.array([[11.0, 0.0, 0.0]]))
+
+    def test_wrong_shape(self):
+        tree, _ = make_tree(8)
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            tree.compute(np.zeros((10, 2)))

@@ -1,0 +1,49 @@
+"""Tests for the relational band / spatial join application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import join
+from repro.cpu_ref import brute
+from repro.data import join_values, uniform_points
+
+
+def test_band_join_matches_oracle():
+    vals = join_values(250, duplicates=0.2, seed=1)
+    pairs, res = join.band_join(vals, 8.0)
+    assert np.array_equal(pairs, brute.band_join(vals, 8.0))
+    assert res.seconds > 0
+
+
+def test_duplicates_join_at_zero_eps():
+    vals = np.array([1.0, 2.0, 1.0, 3.0, 1.0])
+    pairs, _ = join.band_join(vals, 0.0)
+    assert {tuple(p) for p in pairs.tolist()} == {(0, 2), (0, 4), (2, 4)}
+
+
+def test_wide_band_joins_everything():
+    vals = join_values(60, seed=2)
+    pairs, _ = join.band_join(vals, 1e9)
+    assert len(pairs) == 60 * 59 // 2
+
+
+def test_spatial_join_matches_oracle():
+    pts = uniform_points(200, dims=3, box=10.0, seed=3)
+    pairs, _ = join.spatial_join(pts, 1.5)
+    assert np.array_equal(pairs, brute.spatial_band_join(pts, 1.5))
+
+
+def test_eps_validation():
+    with pytest.raises(ValueError, match="eps"):
+        join.make_problem(-1.0)
+
+
+def test_selectivity_parameter_flows_to_problem():
+    problem = join.make_problem(1.0, selectivity=0.25)
+    assert problem.output.selectivity == 0.25
+
+
+def test_emitted_pairs_are_unique():
+    vals = join_values(300, duplicates=0.3, seed=4)
+    pairs, _ = join.band_join(vals, 5.0)
+    assert len({tuple(p) for p in pairs.tolist()}) == len(pairs)

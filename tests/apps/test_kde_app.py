@@ -1,0 +1,48 @@
+"""Tests for the kernel density / regression application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import kde
+from repro.cpu_ref import brute
+from repro.data import gaussian_clusters, uniform_points
+
+
+def test_density_matches_oracle(small_points):
+    dens, _ = kde.density(small_points, 1.2, normalize=False)
+    assert np.allclose(dens, brute.kde_estimate(small_points, 1.2))
+
+
+def test_normalization_constant(small_points):
+    raw, _ = kde.density(small_points, 1.0, normalize=False)
+    norm, _ = kde.density(small_points, 1.0, normalize=True)
+    n = len(small_points)
+    const = (2 * np.pi) ** 1.5
+    assert np.allclose(norm, raw / ((n - 1) * const))
+
+
+def test_density_higher_in_clusters():
+    pts = gaussian_clusters(400, dims=3, n_clusters=2, spread=0.3, box=20.0, seed=2)
+    lone = np.array([[10.0, 19.5, 0.5]])
+    allpts = np.vstack([pts, lone])
+    dens, _ = kde.density(allpts, 1.0)
+    assert dens[-1] < np.percentile(dens[:-1], 20)
+
+
+def test_regression_recovers_smooth_function():
+    rng = np.random.default_rng(5)
+    x = rng.uniform(0, 10, size=(400, 1))
+    y = np.sin(x[:, 0]) + rng.normal(0, 0.05, 400)
+    yhat, _, _ = kde.regression(x, y, bandwidth=0.4)
+    rmse = np.sqrt(np.mean((yhat - np.sin(x[:, 0])) ** 2))
+    assert rmse < 0.12
+
+
+def test_regression_length_mismatch():
+    with pytest.raises(ValueError, match="targets"):
+        kde.regression(np.zeros((10, 2)), np.zeros(9), 1.0)
+
+
+def test_density_positive(small_points):
+    dens, _ = kde.density(small_points, 0.5)
+    assert (dens >= 0).all()

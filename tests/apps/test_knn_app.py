@@ -1,0 +1,55 @@
+"""Tests for the all-point k-nearest-neighbours application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import knn
+from repro.cpu_ref import brute, vectorized
+from repro.data import gaussian_clusters, uniform_points
+
+
+def test_matches_oracle(small_points):
+    d, ids, _ = knn.compute(small_points, 5)
+    rd, rids = brute.knn(small_points, 5)
+    assert np.allclose(d, rd)
+    # ties can permute ids at equal distance; compare distances strictly
+    # and id sets per row
+    assert all(set(a) == set(b) for a, b in zip(np.sort(ids, 1), np.sort(rids, 1)))
+
+
+def test_matches_threaded_host(small_points):
+    d, _, _ = knn.compute(small_points, 4)
+    hd, _ = vectorized.knn(small_points, 4, n_threads=2)
+    assert np.allclose(d, hd)
+
+
+def test_k_one(small_points):
+    d, ids, _ = knn.compute(small_points, 1)
+    rd, _ = brute.knn(small_points, 1)
+    assert np.allclose(d[:, 0], rd[:, 0])
+
+
+def test_never_returns_self(small_points):
+    _, ids, _ = knn.compute(small_points, 3)
+    own = np.arange(len(small_points))[:, None]
+    assert not (ids == own).any()
+
+
+def test_sorted_ascending(small_points):
+    d, _, _ = knn.compute(small_points, 6)
+    assert (np.diff(d, axis=1) >= 0).all()
+
+
+def test_k_validation(small_points):
+    with pytest.raises(ValueError):
+        knn.make_problem(0)
+    with pytest.raises(ValueError, match="k="):
+        knn.compute(small_points[:5], 5)
+
+
+def test_outlier_scores_flag_injected_outlier():
+    pts = gaussian_clusters(300, dims=3, n_clusters=4, spread=0.2, seed=1)
+    pts = np.vstack([pts, [[50.0, 50.0, 50.0]]])  # far outside the box
+    scores, _ = knn.outlier_scores(pts, k=5)
+    assert np.argmax(scores) == len(pts) - 1
+    assert scores[-1] > 10 * np.median(scores)

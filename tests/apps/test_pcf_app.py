@@ -1,0 +1,53 @@
+"""Tests for the 2-point correlation function application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import pcf
+from repro.cpu_ref import brute
+from repro.data import galaxy_mock, uniform_points
+
+
+def test_count_matches_oracle(small_points):
+    count, res = pcf.count_pairs(small_points, 1.5)
+    assert count == brute.pcf_count(small_points, 1.5)
+    assert res.seconds > 0
+
+
+def test_radius_validation():
+    with pytest.raises(ValueError, match="radius"):
+        pcf.make_problem(0.0)
+
+
+def test_monotone_in_radius(small_points):
+    counts = [pcf.count_pairs(small_points, r)[0] for r in (0.5, 1.0, 2.0, 4.0)]
+    assert counts == sorted(counts)
+
+
+def test_clustered_data_shows_positive_correlation():
+    """The astrophysics use case: a clustered catalogue must show
+    xi(r) > 0 against a random catalogue at small separations."""
+    data = galaxy_mock(600, box=50.0, seed=3)
+    randoms = uniform_points(600, dims=3, box=50.0, seed=4)
+    xi, _, _ = pcf.correlation_estimate(data, randoms, radius=2.0)
+    assert xi > 0.5
+
+
+def test_uniform_data_shows_no_correlation():
+    a = uniform_points(600, dims=3, box=50.0, seed=5)
+    b = uniform_points(600, dims=3, box=50.0, seed=6)
+    xi, _, _ = pcf.correlation_estimate(a, b, radius=5.0)
+    assert abs(xi) < 0.3
+
+
+def test_correlation_rejects_empty_rr():
+    a = uniform_points(50, dims=3, box=1000.0, seed=1)
+    b = uniform_points(50, dims=3, box=1000.0, seed=2) + 1e6
+    with pytest.raises(ValueError, match="zero pairs"):
+        pcf.correlation_estimate(a, b, radius=1e-9)
+
+
+def test_2d_points():
+    pts = uniform_points(200, dims=2, box=10.0, seed=9)
+    count, _ = pcf.count_pairs(pts, 1.0)
+    assert count == brute.pcf_count(pts, 1.0)

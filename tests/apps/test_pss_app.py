@@ -1,0 +1,46 @@
+"""Tests for the pairwise statistical significance application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import pss
+from repro.cpu_ref import brute
+from repro.data import feature_vectors
+
+
+@pytest.fixture
+def profiles(rng):
+    return feature_vectors(80, dims=20, seed=6)
+
+
+def test_scores_match_oracle(profiles):
+    scores, _, _ = pss.significance(profiles, n_perm=3)
+    assert np.allclose(scores, brute.pss_scores(profiles))
+
+
+def test_scores_symmetric(profiles):
+    scores, _, _ = pss.significance(profiles, n_perm=3)
+    assert np.allclose(scores, scores.T)
+
+
+def test_null_moments_reasonable(profiles):
+    mu0, sigma0 = pss.null_moments(profiles, n_perm=5)
+    assert sigma0 > 0
+    assert -1.0 <= mu0 <= 1.0
+
+
+def test_related_pair_is_significant(rng):
+    base = feature_vectors(60, dims=30, seed=7)
+    # plant a near-duplicate pair
+    planted = base.copy()
+    planted[1] = planted[0] + rng.normal(0, 0.01, 30)
+    _, z, _ = pss.significance(planted, n_perm=5)
+    zs = z[~np.eye(60, dtype=bool)]
+    assert z[0, 1] > np.percentile(zs, 99.5)
+    assert z[0, 1] > 3.0
+
+
+def test_determinism(profiles):
+    a = pss.significance(profiles, n_perm=3, seed=1)[1]
+    b = pss.significance(profiles, n_perm=3, seed=1)[1]
+    assert np.array_equal(a, b)

@@ -1,0 +1,52 @@
+"""Tests for the radial distribution function application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import rdf
+from repro.cpu_ref import brute
+from repro.data import liquid_configuration, uniform_points
+
+
+def test_matches_reference_normalization():
+    pts, box = liquid_configuration(216, seed=2)
+    r, g, _ = rdf.compute(pts, bins=40, r_max=box / 2, box_volume=box**3)
+    ref = brute.rdf(pts, 40, box / 2, box**3)
+    assert np.allclose(g, ref)
+    assert len(r) == 40
+    assert r[0] == pytest.approx(box / 160)
+
+
+def test_liquid_structure_has_first_shell_peak():
+    pts, box = liquid_configuration(512, density=0.9, jitter=0.05, seed=4)
+    r, g, _ = rdf.compute(pts, bins=60, r_max=box / 2, box_volume=box**3)
+    spacing = (1 / 0.9) ** (1 / 3)
+    # the nearest-neighbour shell sits near the lattice spacing
+    peak_r = r[np.argmax(g)]
+    assert abs(peak_r - spacing) < 0.35 * spacing
+    assert g.max() > 1.5
+
+
+def test_excluded_volume_near_zero():
+    pts, box = liquid_configuration(512, density=0.9, jitter=0.05, seed=4)
+    r, g, _ = rdf.compute(pts, bins=60, r_max=box / 2, box_volume=box**3)
+    assert g[0] == pytest.approx(0.0, abs=0.2)
+
+
+def test_ideal_gas_is_flat():
+    pts = uniform_points(800, dims=3, box=12.0, seed=8)
+    r, g, _ = rdf.compute(pts, bins=20, r_max=4.0, box_volume=12.0**3)
+    # away from r=0 noise, uniform data hovers around g=1 (minus modest
+    # edge depletion for a non-periodic box)
+    mid = g[3:15]
+    assert 0.7 < mid.mean() < 1.15
+
+
+def test_box_volume_validation():
+    with pytest.raises(ValueError, match="box_volume"):
+        rdf.compute(np.zeros((10, 3)), bins=8, r_max=1.0, box_volume=0.0)
+
+
+def test_normalize_zero_safe():
+    out = rdf.normalize(np.zeros(5, dtype=np.int64), 10, 1.0, 100.0)
+    assert (out == 0).all()

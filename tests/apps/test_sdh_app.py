@@ -1,0 +1,70 @@
+"""Tests for the spatial distance histogram application."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import sdh
+from repro.cpu_ref import brute, vectorized
+from repro.data import uniform_points
+
+MAXD = 10.0 * math.sqrt(3.0)
+
+
+def test_compute_matches_oracle(small_points):
+    hist, _ = sdh.compute(small_points, bins=80)
+    span = small_points.max(axis=0) - small_points.min(axis=0)
+    ref = brute.sdh_histogram(small_points, 80, float(np.linalg.norm(span)) / 80)
+    assert np.array_equal(hist, ref)
+
+
+def test_explicit_max_distance(small_points):
+    hist, _ = sdh.compute(small_points, bins=64, max_distance=MAXD)
+    ref = brute.sdh_histogram(small_points, 64, MAXD / 64)
+    assert np.array_equal(hist, ref)
+
+
+def test_distances_beyond_max_clamp_to_last_bucket(small_points):
+    hist, _ = sdh.compute(small_points, bins=10, max_distance=1.0)
+    n = len(small_points)
+    assert hist.sum() == n * (n - 1) // 2
+    assert hist[-1] > 0  # nearly everything lands in the clamp bucket
+
+
+def test_bucket_map_edges():
+    to_bucket = sdh.bucket_map(0.5, 8)
+    d = np.array([0.0, 0.49, 0.5, 3.99, 4.0, 100.0])
+    assert to_bucket(d).tolist() == [0, 0, 1, 7, 7, 7]
+
+
+def test_bucket_map_validation():
+    with pytest.raises(ValueError):
+        sdh.bucket_map(0.0, 8)
+    with pytest.raises(ValueError):
+        sdh.make_problem(0, 1.0)
+    with pytest.raises(ValueError):
+        sdh.make_problem(8, -1.0)
+
+
+def test_bin_probabilities_estimated_from_box():
+    problem = sdh.make_problem(100, MAXD, box=10.0)
+    probs = problem.output.bin_probabilities
+    assert probs is not None
+    assert probs.sum() == pytest.approx(1.0)
+    # uniform-box distance distribution peaks mid-range
+    assert np.argmax(probs) > 10
+
+
+def test_matches_threaded_host_implementation(small_points):
+    hist, _ = sdh.compute(small_points, bins=64, max_distance=MAXD)
+    host = vectorized.sdh_histogram(small_points, 64, MAXD / 64, n_threads=3)
+    assert np.array_equal(hist, host)
+
+
+def test_default_kernel_is_reg_roc_out():
+    problem = sdh.make_problem(64, MAXD)
+    kernel = sdh.default_kernel(problem)
+    assert kernel.name == "Reg-ROC-Out"
+    assert kernel.input.name == "Register-ROC"
+    assert kernel.output.name == "privatized-shm"

@@ -1,0 +1,65 @@
+"""The paper's conclusions must be architecture-robust: rerun the key
+shapes on the other device presets (Fermi / Kepler / GM204)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core import make_kernel, plan_kernel
+from repro.gpusim import FERMI_M2090, GTX_980, TESLA_K40, TITAN_X
+
+MAXD = 10.0 * math.sqrt(3.0)
+DEVICES = [TITAN_X, GTX_980, TESLA_K40, FERMI_M2090]
+
+
+@pytest.mark.parametrize("spec", DEVICES, ids=lambda s: s.name.split(" (")[0])
+class TestShapesAcrossDevices:
+    def test_register_shm_beats_naive_everywhere(self, spec):
+        problem = apps.pcf.make_problem(1.0)
+        naive = make_kernel(problem, "naive", "register", 256)
+        reg = make_kernel(problem, "register-shm", "register", 256)
+        n = 500_000
+        assert reg.simulate(n, spec=spec).seconds < naive.simulate(n, spec=spec).seconds / 3
+
+    def test_privatization_wins_everywhere(self, spec):
+        problem = apps.sdh.make_problem(2500, MAXD, box=10.0)
+        direct = make_kernel(problem, "register-shm", "global-atomic", 256)
+        private = make_kernel(problem, "register-shm", "privatized-shm", 256)
+        n = 500_000
+        assert (
+            private.simulate(n, spec=spec).seconds
+            < direct.simulate(n, spec=spec).seconds / 4
+        )
+
+    def test_planner_never_picks_naive(self, spec):
+        problem = apps.sdh.make_problem(1000, MAXD, box=10.0)
+        plan = plan_kernel(problem, 500_000, spec=spec, block_sizes=(128, 256))
+        assert plan.chosen.kernel.input.name != "Naive"
+
+
+def test_fermi_planner_excludes_shuffle():
+    problem = apps.pcf.make_problem(1.0)
+    plan = plan_kernel(problem, 200_000, spec=FERMI_M2090)
+    assert all("Shuffle" != c.kernel.input.name for c in plan.ranking)
+
+
+def test_newer_devices_are_faster():
+    """Sanity on the presets: Titan X > GTX 980 > K40 > Fermi raw speed."""
+    problem = apps.sdh.make_problem(2500, MAXD, box=10.0)
+    times = []
+    for spec in DEVICES:
+        kernel = make_kernel(problem, "register-shm", "privatized-shm", 256)
+        times.append(kernel.simulate(500_000, spec=spec).seconds)
+    assert times == sorted(times)
+
+
+def test_fig5_steps_shift_with_smaller_shared_memory():
+    """On a 48KB/SM device the occupancy staircase starts at smaller
+    histograms than on the paper's 96KB Titan X."""
+    problem_small = apps.sdh.make_problem(2000, MAXD)
+    kernel = make_kernel(problem_small, "register-roc", "privatized-shm", 256)
+    occ_titan = kernel.occupancy(TITAN_X).occupancy
+    occ_kepler = kernel.occupancy(TESLA_K40).occupancy
+    assert occ_kepler < occ_titan

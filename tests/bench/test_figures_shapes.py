@@ -1,0 +1,176 @@
+"""Shape tests for the reproduced figures.
+
+These encode the paper's qualitative claims as assertions: who wins, by
+roughly what factor, and where the knees fall.  They are the repository's
+statement of reproduction success (EXPERIMENTS.md records the numbers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    fig2_pcf_kernels,
+    fig4_sdh_kernels,
+    fig5_output_size,
+    fig7_load_balance,
+    fig9_shuffle,
+)
+
+SIZES = (204_800, 409_600, 819_200, 1_638_400)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return fig2_pcf_kernels(sizes=SIZES)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return fig4_sdh_kernels(sizes=SIZES)
+
+
+class TestFig2:
+    def test_quadratic_growth(self, fig2):
+        t = fig2.series["Register-SHM"].values
+        # 8x the points -> ~64x the time
+        assert t[-1] / t[0] == pytest.approx(64.0, rel=0.15)
+
+    def test_register_shm_wins(self, fig2):
+        for label, s in fig2.series.items():
+            if label != "Register-SHM":
+                assert all(
+                    a <= b for a, b in zip(fig2.series["Register-SHM"].values, s.values)
+                ), label
+
+    def test_speedups_match_paper(self, fig2):
+        """Paper: Reg-SHM 5.5x avg (max 6), SHM-SHM 5.3x, Reg-ROC 4.7x."""
+        sp = fig2.speedup_over("Naive")
+        assert np.mean(sp["Register-SHM"]) == pytest.approx(5.5, rel=0.1)
+        assert np.mean(sp["SHM-SHM"]) == pytest.approx(5.3, rel=0.1)
+        assert np.mean(sp["Register-ROC"]) == pytest.approx(4.7, rel=0.1)
+
+    def test_ordering(self, fig2):
+        sp = fig2.speedup_over("Naive")
+        assert np.mean(sp["Register-SHM"]) > np.mean(sp["SHM-SHM"]) > np.mean(
+            sp["Register-ROC"]
+        ) > 1.0
+
+
+class TestFig4:
+    def test_all_gpu_kernels_beat_cpu(self, fig4):
+        cpu = fig4.series["CPU"].values
+        for label, s in fig4.series.items():
+            if label != "CPU":
+                assert all(v < c for v, c in zip(s.values, cpu)), label
+
+    def test_best_kernel_about_50x_cpu(self, fig4):
+        sp = fig4.speedup_over("Reg-ROC-Out")  # ratios of others to best
+        cpu_speedup = [
+            c / v
+            for c, v in zip(
+                fig4.series["CPU"].values, fig4.series["Reg-ROC-Out"].values
+            )
+        ]
+        assert np.mean(cpu_speedup) == pytest.approx(50.0, rel=0.15)
+
+    def test_least_optimized_about_3_5x_cpu(self, fig4):
+        ratio = [
+            c / v
+            for c, v in zip(
+                fig4.series["CPU"].values, fig4.series["Register-SHM"].values
+            )
+        ]
+        assert np.mean(ratio) == pytest.approx(3.5, rel=0.2)
+
+    def test_privatization_about_order_of_magnitude(self, fig4):
+        """Section IV-D: kernels without output privatization run ~an
+        order of magnitude slower; Reg-ROC-Out ~11x Register-SHM."""
+        ratio = [
+            a / b
+            for a, b in zip(
+                fig4.series["Register-SHM"].values,
+                fig4.series["Reg-ROC-Out"].values,
+            )
+        ]
+        assert 8.0 < np.mean(ratio) < 16.0
+
+    def test_global_atomic_kernels_run_close_together(self, fig4):
+        """Paper: the three kernels without privatization run at almost
+        the same speed (the output path dominates)."""
+        a = np.array(fig4.series["Register-SHM"].values)
+        b = np.array(fig4.series["Register-ROC"].values)
+        assert np.allclose(a, b, rtol=0.1)
+
+    def test_roc_beats_shm_for_type2(self, fig4):
+        assert all(
+            r < s
+            for r, s in zip(
+                fig4.series["Reg-ROC-Out"].values,
+                fig4.series["Reg-SHM-Out"].values,
+            )
+        )
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return fig5_output_size(n=512_000)
+
+    def test_occupancy_steps_down(self, fig5):
+        occ = fig5.series["occupancy %"].values
+        assert occ[0] == 100.0
+        assert occ[-1] == 50.0
+        assert all(a >= b for a, b in zip(occ, occ[1:]))
+
+    def test_runtime_steps_up_with_occupancy_drops(self, fig5):
+        x = fig5.x_values
+        t = dict(zip(x, fig5.series["time"].values))
+        assert t[5000] > 1.4 * t[2500]
+
+    def test_small_bucket_contention_penalty(self, fig5):
+        x = fig5.x_values
+        t = dict(zip(x, fig5.series["time"].values))
+        assert t[16] > 1.8 * t[1000]
+
+    def test_u_shape(self, fig5):
+        t = fig5.series["time"].values
+        best = int(np.argmin(t))
+        assert 0 < best < len(t) - 1
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return fig7_load_balance(sizes=(614_400, 1_228_800, 3_072_000))
+
+    def test_gain_12_to_13_percent(self, fig7):
+        """Paper: 'a 12%-13% improvement can be seen'."""
+        plain = fig7.series["Register-SHM"].values
+        lb = fig7.series["Register-SHM-LB"].values
+        for p, l in zip(plain, lb):
+            assert 1.10 <= p / l <= 1.14
+
+    def test_linear_in_n(self, fig7):
+        # the intra-block pass is O(N B): 5x the points, 5x the time
+        t = fig7.series["Register-SHM"].values
+        assert t[-1] / t[0] == pytest.approx(5.0, rel=0.1)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return fig9_shuffle(sizes=SIZES[:3])
+
+    def test_shuffle_close_to_cache_tiling(self, fig9):
+        """Paper: 'almost the same performance as tiling with read-only
+        cache and tiling with shared memory'."""
+        sh = np.array(fig9.series["Shuffle"].values)
+        shm = np.array(fig9.series["Reg-SHM-Out"].values)
+        roc = np.array(fig9.series["Reg-ROC-Out"].values)
+        assert np.allclose(sh, shm, rtol=0.15)
+        assert np.allclose(sh, roc, rtol=0.25)
+
+    def test_all_an_order_over_cpu(self, fig9):
+        cpu = np.array(fig9.series["CPU"].values)
+        for label in ("Shuffle", "Reg-SHM-Out", "Reg-ROC-Out"):
+            assert (cpu / np.array(fig9.series[label].values) > 10).all()

@@ -1,0 +1,55 @@
+"""Unit tests for the bench harness utilities."""
+
+import pytest
+
+from repro.bench import FigureData, PAPER_SIZES, Series, crossover, geometric_sizes
+from repro.bench.harness import Series
+
+
+def make_fig():
+    fig = FigureData(name="t", x_label="n", x_values=[1.0, 2.0, 3.0])
+    fig.add("a", [2.0, 4.0, 6.0])
+    fig.add("b", [1.0, 2.0, 3.0])
+    return fig
+
+
+def test_add_checks_length():
+    fig = FigureData(name="t", x_label="n", x_values=[1.0, 2.0])
+    with pytest.raises(ValueError, match="values"):
+        fig.add("a", [1.0])
+
+
+def test_speedup_over():
+    fig = make_fig()
+    sp = fig.speedup_over("b")
+    assert sp["a"] == [0.5, 0.5, 0.5]
+    assert sp["b"] == [1.0, 1.0, 1.0]
+
+
+def test_series_ratio_checks_length():
+    with pytest.raises(ValueError, match="lengths"):
+        Series("a", [1.0]).ratio_to(Series("b", [1.0, 2.0]))
+
+
+def test_render_contains_all_series():
+    text = make_fig().render()
+    assert "a (s)" in text and "b (s)" in text
+    assert text.count("\n") >= 4
+
+
+def test_geometric_sizes():
+    sizes = geometric_sizes(100_000, 1_600_000, 5)
+    assert len(sizes) == 5
+    assert all(s % 1024 == 0 for s in sizes)
+    assert sizes == sorted(sizes)
+
+
+def test_paper_sizes_span_plot_range():
+    assert PAPER_SIZES[0] >= 100_000
+    assert PAPER_SIZES[-1] <= 1_700_000
+
+
+def test_crossover():
+    xs = [1, 2, 3, 4]
+    assert crossover(xs, [5, 4, 2, 1], [3, 3, 3, 3]) == 3
+    assert crossover(xs, [5, 5, 5, 5], [3, 3, 3, 3]) is None

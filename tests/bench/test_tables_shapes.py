@@ -1,0 +1,114 @@
+"""Shape tests for the reproduced profiler tables (Tables II-IV)."""
+
+import pytest
+
+from repro.bench import (
+    table2_pcf_utilization,
+    table3_sdh_bandwidth,
+    table4_sdh_utilization,
+)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    reports, text = table2_pcf_utilization(n=1_048_576)
+    return {r.kernel: r for r in reports}, text
+
+
+@pytest.fixture(scope="module")
+def table3():
+    reports, text = table3_sdh_bandwidth(n=512_000)
+    return {r.kernel: r for r in reports}, text
+
+
+class TestTable2:
+    def test_naive_is_memory_starved(self, table2):
+        reps, _ = table2
+        # paper: Naive at 15% arithmetic, memory-dominated
+        assert reps["Naive"].utilization["arith"] < 0.2
+        assert reps["Naive"].dominant == "global"
+
+    def test_cached_kernels_compute_bound(self, table2):
+        reps, _ = table2
+        # paper: SHM-SHM / Reg-SHM over 50% arithmetic ("compute bound")
+        assert reps["SHM-SHM"].utilization["arith"] > 0.4
+        assert reps["Reg-SHM"].utilization["arith"] > 0.45
+        assert reps["Reg-SHM"].dominant == "compute"
+
+    def test_reg_shm_around_35pct_shared(self, table2):
+        reps, _ = table2
+        assert 0.2 < reps["Reg-SHM"].utilization["shared"] < 0.45
+
+    def test_reg_roc_high_data_cache(self, table2):
+        reps, _ = table2
+        # paper: 65% data-cache utilization, lowest arithmetic of the
+        # cached kernels
+        assert reps["Reg-ROC"].utilization["roc"] > 0.6
+        assert (
+            reps["Reg-ROC"].utilization["arith"]
+            < reps["Reg-SHM"].utilization["arith"]
+        )
+
+    def test_render_contains_rows(self, table2):
+        _, text = table2
+        for k in ("Naive", "SHM-SHM", "Reg-SHM", "Reg-ROC"):
+            assert k in text
+
+
+class TestTable3:
+    def test_naive_uses_no_shared_memory(self, table3):
+        reps, _ = table3
+        assert reps["Naive"].achieved_bandwidth.get("shared", 0.0) == 0.0
+
+    def test_privatized_kernels_drive_shared_bandwidth(self, table3):
+        reps, _ = table3
+        shm_out = reps["Reg-SHM-Out"].achieved_bandwidth["shared"]
+        naive_out = reps["Naive-Out"].achieved_bandwidth["shared"]
+        assert shm_out > 1e12  # TB/s class, as in the paper's 2.86 TB/s
+        assert shm_out > 3 * naive_out
+
+    def test_roc_kernel_has_data_cache_traffic(self, table3):
+        reps, _ = table3
+        assert reps["Reg-ROC-Out"].achieved_bandwidth["roc"] > 1e11
+        assert reps["Reg-SHM-Out"].achieved_bandwidth.get("roc", 0.0) == 0.0
+
+    def test_ordering_matches_paper_rows(self, table3):
+        """Paper Table III orderings: Reg-SHM-Out has the highest shared
+        bandwidth; Naive-Out the highest global load."""
+        reps, _ = table3
+        assert (
+            reps["Reg-SHM-Out"].achieved_bandwidth["shared"]
+            >= reps["Reg-ROC-Out"].achieved_bandwidth["shared"]
+        )
+        assert (
+            reps["Naive-Out"].achieved_bandwidth["global"]
+            > reps["Reg-SHM-Out"].achieved_bandwidth["global"]
+        )
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def table4(self):
+        reports, text = table4_sdh_utilization(n=512_000)
+        return {r.kernel: r for r in reports}, text
+
+    def test_naive_negligible_arithmetic(self, table4):
+        reps, _ = table4
+        # paper: 5% arithmetic, memory maxed
+        assert reps["Naive"].utilization["arith"] < 0.1
+
+    def test_out_kernels_around_25pct_arith(self, table4):
+        reps, _ = table4
+        for k in ("Reg-SHM-Out", "Reg-ROC-Out"):
+            assert 0.15 < reps[k].utilization["arith"] < 0.35
+
+    def test_reg_shm_out_shared_bound(self, table4):
+        reps, _ = table4
+        # paper: 95.33% shared-memory utilization
+        assert reps["Reg-SHM-Out"].utilization["shared"] > 0.75
+        assert reps["Reg-SHM-Out"].dominant == "shared"
+
+    def test_reg_roc_out_splits_roc_and_shared(self, table4):
+        reps, _ = table4
+        u = reps["Reg-ROC-Out"].utilization
+        assert u["roc"] > 0.25 and u["shared"] > 0.4

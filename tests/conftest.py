@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps, data
+from repro.gpusim import Device, TITAN_X
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_points():
+    """300 uniform 3-D points in a 10-unit box (ragged vs B=64/128)."""
+    return data.uniform_points(300, dims=3, box=10.0, seed=7)
+
+
+@pytest.fixture
+def aligned_points():
+    """256 points: exactly one 256-block, power-of-two for tiling edges."""
+    return data.uniform_points(256, dims=3, box=10.0, seed=11)
+
+
+@pytest.fixture
+def device():
+    return Device(TITAN_X)
+
+
+@pytest.fixture
+def sdh_problem():
+    """64-bucket SDH over the 10-unit box diagonal."""
+    return apps.sdh.make_problem(64, 10.0 * math.sqrt(3.0), dims=3)
+
+
+@pytest.fixture
+def pcf_problem():
+    return apps.pcf.make_problem(2.0, dims=3)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (larger functional simulations)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: larger functional simulations")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip = pytest.mark.skip(reason="needs --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

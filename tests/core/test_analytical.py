@@ -1,0 +1,152 @@
+"""The paper's Eqs. 1-7 and the exact access-count layer.
+
+The load-bearing checks are the cross-validations: the exact closed forms
+must equal the functional simulator's counters access-for-access, and the
+paper's printed formulas must agree with the exact layer on the dominant
+terms they model.
+"""
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core import (
+    exact_naive,
+    exact_register_roc,
+    exact_register_shm,
+    exact_shm_shm,
+    exact_shuffle,
+    global_access_reduction,
+    make_kernel,
+    paper_eq1_num_blocks,
+    paper_eq2_naive_global,
+    paper_eq3_tiled_global,
+    paper_eq4_shm_shm_shared,
+    paper_eq5_register_shm_shared,
+    paper_eq6_update_stage,
+    paper_eq7_reduction_stage,
+)
+from repro.gpusim import Device, MemSpace
+
+N, B, DIMS = 256, 64, 3
+
+
+@pytest.fixture
+def run_kernel(aligned_points):
+    # a Type-I problem with register output: its output stage touches no
+    # cache, so the counters isolate exactly the input-stage accesses the
+    # exact_* formulas model
+    problem = apps.pcf.make_problem(2.0)
+
+    def _run(inp, out="register"):
+        dev = Device()
+        kernel = make_kernel(problem, inp, out, block_size=B)
+        kernel.execute(dev, aligned_points)
+        return dev.launches[0].counters  # main launch only
+
+    return _run
+
+
+def test_eq1():
+    assert paper_eq1_num_blocks(2048, 256) == 8.0
+
+
+def test_eq2_matches_exact_naive():
+    # Eq. 2 counts datum accesses; the exact layer counts elements
+    assert exact_naive(N, DIMS).global_reads == DIMS * paper_eq2_naive_global(N)
+
+
+def test_eq3_counts_tile_loads():
+    # Eq. 3 models anchor loads + R-tile streams (not the intra reload)
+    exact = exact_register_shm(N, B, DIMS)
+    eq3 = DIMS * paper_eq3_tiled_global(N, B)
+    # exact includes the intra-pass L reload (N more datum loads)
+    assert exact.global_reads == eq3 + DIMS * N
+
+
+def test_eq4_eq5_ratio():
+    # "Register-SHM cuts the number of accesses ... by half"
+    assert paper_eq4_shm_shm_shared(N, B) == 2 * paper_eq5_register_shm_shared(N, B)
+
+
+def test_eq5_matches_exact_reads():
+    assert exact_register_shm(N, B, DIMS).shm_reads == DIMS * paper_eq5_register_shm_shared(N, B)
+
+
+def test_eq4_matches_exact_reads():
+    assert exact_shm_shm(N, B, DIMS).shm_reads == DIMS * paper_eq4_shm_shm_shared(N, B)
+
+
+def test_roc_reads_equal_register_shm_reads():
+    # Section IV-B: "the number of accesses to this memory is the same as
+    # the number of accesses of Register-SHM to shared memory"
+    assert (
+        exact_register_roc(N, B, DIMS).roc_reads
+        == exact_register_shm(N, B, DIMS).shm_reads
+    )
+
+
+def test_eq6_is_one_atomic_per_pair():
+    assert paper_eq6_update_stage(N, B, 2.0) == N * (N - 1) / 2 * 2.0
+
+
+def test_eq7_structure():
+    assert paper_eq7_reduction_stage(10, 4, 1.0, 2.0, 3.0) == 10 * (4 * 6.0 + 1.0)
+
+
+def test_global_access_reduction_headline():
+    # Section IV-D: output-path global accesses drop from N^2-scale to
+    # Hs(2M + 1)
+    before, after = global_access_reduction(512_000, 256, 2500)
+    assert before == 512_000 * 511_999 // 2
+    assert after == 2500 * (2 * 2000 + 1)
+    assert after < before / 10_000
+
+
+# -- exact layer vs functional counters -----------------------------------------
+
+def test_exact_naive_matches_functional(run_kernel):
+    c = run_kernel("naive")
+    assert c.read_count(MemSpace.GLOBAL) == exact_naive(N, DIMS).global_reads
+
+
+def test_exact_shm_shm_matches_functional(run_kernel):
+    c = run_kernel("shm-shm")
+    e = exact_shm_shm(N, B, DIMS)
+    assert c.read_count(MemSpace.GLOBAL) == e.global_reads
+    assert c.read_count(MemSpace.SHARED) == e.shm_reads
+    assert c.write_count(MemSpace.SHARED) == e.shm_writes
+
+
+def test_exact_register_shm_matches_functional(run_kernel):
+    c = run_kernel("register-shm")
+    e = exact_register_shm(N, B, DIMS)
+    assert c.read_count(MemSpace.GLOBAL) == e.global_reads
+    assert c.read_count(MemSpace.SHARED) == e.shm_reads
+    assert c.write_count(MemSpace.SHARED) == e.shm_writes
+
+
+def test_exact_register_roc_matches_functional(run_kernel):
+    c = run_kernel("register-roc")
+    e = exact_register_roc(N, B, DIMS)
+    assert c.read_count(MemSpace.GLOBAL) == e.global_reads
+    assert c.read_count(MemSpace.ROC) == e.roc_reads
+
+
+def test_exact_shuffle_matches_functional(run_kernel):
+    c = run_kernel("shuffle")
+    e = exact_shuffle(N, B, DIMS)
+    assert c.read_count(MemSpace.GLOBAL) == e.global_reads
+    assert c.read_count(MemSpace.REGISTER) == e.shuffles
+
+
+def test_exact_layer_handles_ragged_blocks(small_points):
+    """N=300, B=64: the ragged last block must still match."""
+    problem = apps.pcf.make_problem(2.0)
+    dev = Device()
+    kernel = make_kernel(problem, "register-shm", "register", block_size=64)
+    kernel.execute(dev, small_points)
+    c = dev.launches[0].counters
+    e = exact_register_shm(300, 64, 3)
+    assert c.read_count(MemSpace.GLOBAL) == e.global_reads
+    assert c.read_count(MemSpace.SHARED) == e.shm_reads

@@ -1,0 +1,127 @@
+"""Tests for cross-dataset (A x B) kernels and their app wrappers."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro import apps, data
+from repro.core import CrossKernel
+from repro.gpusim import Device
+
+MAXD = 10.0 * math.sqrt(3.0)
+
+
+@pytest.fixture
+def ab():
+    return (
+        data.uniform_points(150, 3, 10.0, seed=21),
+        data.uniform_points(220, 3, 10.0, seed=22),
+    )
+
+
+class TestCrossKernel:
+    @pytest.mark.parametrize(
+        "inp", ["naive", "shm-shm", "register-shm", "register-roc"]
+    )
+    def test_histogram_matches_reference(self, ab, inp):
+        A, B = ab
+        problem = apps.sdh.make_problem(32, MAXD)
+        kernel = CrossKernel(problem, inp, block_size=64)
+        dev = Device()
+        hist, rec = kernel.execute(dev, A, B)
+        d = cdist(A, B).ravel()
+        ref = np.bincount(
+            np.minimum((d / (MAXD / 32)).astype(np.int64), 31), minlength=32
+        )
+        assert np.array_equal(hist, ref)
+        assert hist.sum() == len(A) * len(B)  # every cross pair once
+        got = rec.counters.as_dict()
+        assert got == kernel.traffic(len(A), len(B)).expected_counters().as_dict()
+
+    def test_scalar_sum(self, ab):
+        A, B = ab
+        problem = apps.pcf.make_problem(2.0)
+        kernel = CrossKernel(problem, "register-roc", block_size=64)
+        count, _ = kernel.execute(Device(), A, B)
+        assert int(round(count)) == int((cdist(A, B) <= 2.0).sum())
+
+    def test_matrix(self, ab):
+        A, B = ab
+        problem = apps.gram.make_problem(apps.gram.gaussian_kernel(1.0), dims=3)
+        kernel = CrossKernel(problem, "register-shm", block_size=64)
+        dev = Device()
+        M, rec = kernel.execute(dev, A, B)
+        assert M.shape == (150, 220)
+        assert np.allclose(M, np.exp(-cdist(A, B, "sqeuclidean") / 2.0))
+        got = rec.counters.as_dict()
+        assert got == kernel.traffic(150, 220).expected_counters().as_dict()
+
+    def test_topk(self, ab):
+        A, B = ab
+        problem = apps.knn.make_problem(5)
+        kernel = CrossKernel(problem, "register-shm", block_size=64)
+        (dists, ids), _ = kernel.execute(Device(), A, B)
+        full = cdist(A, B)
+        ref = np.sort(full, axis=1)[:, :5]
+        assert np.allclose(dists, ref)
+        rows = np.arange(150)[:, None]
+        assert np.allclose(full[rows, ids], dists)
+
+    def test_shuffle_not_supported(self):
+        problem = apps.pcf.make_problem(1.0)
+        with pytest.raises(ValueError, match="cross kernels support"):
+            CrossKernel(problem, "shuffle")
+
+    def test_dims_checked(self, ab):
+        A, B = ab
+        problem = apps.pcf.make_problem(1.0, dims=2)
+        kernel = CrossKernel(problem)
+        with pytest.raises(ValueError, match="2-d"):
+            kernel.execute(Device(), A, B)
+
+    def test_simulate_scales_with_product(self):
+        problem = apps.sdh.make_problem(100, MAXD)
+        kernel = CrossKernel(problem, "register-roc")
+        a = kernel.simulate(100_000, 100_000).seconds
+        b = kernel.simulate(200_000, 200_000).seconds
+        assert b / a == pytest.approx(4.0, rel=0.1)
+
+
+class TestCrossAppWrappers:
+    def test_cross_band_join(self):
+        va = data.join_values(120, seed=31)
+        vb = data.join_values(90, seed=32)
+        pairs = apps.join.cross_band_join(va, vb, 2.0)
+        ii, jj = np.nonzero(np.abs(va[:, None] - vb[None, :]) <= 2.0)
+        ref = np.stack([ii, jj], axis=1)
+        ref = ref[np.lexsort((ref[:, 1], ref[:, 0]))]
+        assert np.array_equal(pairs, ref)
+
+    def test_knn_query(self, ab):
+        A, B = ab
+        d, ids = apps.knn.query(A[:40], B, k=3)
+        ref = np.sort(cdist(A[:40], B), axis=1)[:, :3]
+        assert np.allclose(d, ref)
+        with pytest.raises(ValueError, match="corpus"):
+            apps.knn.query(A, B[:2], k=3)
+
+    def test_gram_cross(self, ab):
+        A, B = ab
+        M = apps.gram.cross(A[:50], B[:60], bandwidth=2.0)
+        assert np.allclose(M, np.exp(-cdist(A[:50], B[:60], "sqeuclidean") / 8.0))
+
+    def test_pcf_cross_count(self, ab):
+        A, B = ab
+        dr = apps.pcf.cross_count(A, B, 2.0)
+        assert dr == int((cdist(A, B) <= 2.0).sum())
+
+    def test_landy_szalay_detects_clustering(self):
+        galaxies = data.galaxy_mock(500, box=50.0, seed=41)
+        randoms = data.uniform_points(500, 3, 50.0, seed=42)
+        xi = apps.pcf.landy_szalay(galaxies, randoms, radius=2.0)
+        assert xi > 0.5
+        control = data.uniform_points(500, 3, 50.0, seed=43)
+        xi0 = apps.pcf.landy_szalay(control, randoms, radius=5.0)
+        assert abs(xi0) < 0.3

@@ -1,0 +1,121 @@
+"""Unit tests for pairwise distance / kernel functions."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.core import (
+    CHEBYSHEV,
+    COSINE,
+    DOT,
+    EUCLIDEAN,
+    JACCARD,
+    MANHATTAN,
+    SQ_EUCLIDEAN,
+    gaussian_kernel,
+    get_pair_function,
+    polynomial_kernel,
+)
+
+
+@pytest.fixture
+def blocks(rng):
+    A = rng.normal(size=(20, 3))
+    B = rng.normal(size=(15, 3))
+    return A, B
+
+
+def test_euclidean_matches_scipy(blocks):
+    A, B = blocks
+    assert np.allclose(EUCLIDEAN(A.T, B.T), cdist(A, B))
+
+
+def test_sq_euclidean(blocks):
+    A, B = blocks
+    assert np.allclose(SQ_EUCLIDEAN(A.T, B.T), cdist(A, B, "sqeuclidean"))
+
+
+def test_sq_euclidean_never_negative(rng):
+    # the a^2+b^2-2ab form cancels catastrophically at large magnitudes:
+    # the clip must keep it non-negative, and the residual must stay tiny
+    # relative to the scale of real distances
+    A = rng.normal(size=(5, 3)) * 1e8
+    d = SQ_EUCLIDEAN(A.T, A.T)
+    assert (d >= 0).all()
+    assert np.diag(d).max() <= 1e-9 * d.max()
+
+
+def test_manhattan(blocks):
+    A, B = blocks
+    assert np.allclose(MANHATTAN(A.T, B.T), cdist(A, B, "cityblock"))
+
+
+def test_chebyshev(blocks):
+    A, B = blocks
+    assert np.allclose(CHEBYSHEV(A.T, B.T), cdist(A, B, "chebyshev"))
+
+
+def test_dot(blocks):
+    A, B = blocks
+    assert np.allclose(DOT(A.T, B.T), A @ B.T)
+
+
+def test_cosine(blocks):
+    A, B = blocks
+    assert np.allclose(COSINE(A.T, B.T), cdist(A, B, "cosine"))
+
+
+def test_cosine_zero_vector_safe():
+    A = np.zeros((2, 3))
+    out = COSINE(A.T[:, :1].reshape(3, -1) * 0, A.T)
+    assert np.isfinite(out).all()
+
+
+def test_jaccard_binary_vectors():
+    A = np.array([[1, 1, 0, 0]], dtype=float)
+    B = np.array([[1, 0, 1, 0]], dtype=float)
+    # weighted Jaccard: min-sum 1, max-sum 3 -> distance 2/3
+    assert np.allclose(JACCARD(A.T, B.T), 2.0 / 3.0)
+
+
+def test_jaccard_identical_is_zero(rng):
+    A = np.abs(rng.normal(size=(6, 4)))
+    assert np.allclose(np.diag(JACCARD(A.T, A.T)), 0.0)
+
+
+def test_gaussian_kernel(blocks):
+    A, B = blocks
+    k = gaussian_kernel(0.7)
+    ref = np.exp(-cdist(A, B, "sqeuclidean") / (2 * 0.49))
+    assert np.allclose(k(A.T, B.T), ref)
+
+
+def test_gaussian_kernel_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        gaussian_kernel(0.0)
+
+
+def test_polynomial_kernel(blocks):
+    A, B = blocks
+    k = polynomial_kernel(3, c=2.0)
+    assert np.allclose(k(A.T, B.T), (A @ B.T + 2.0) ** 3)
+    with pytest.raises(ValueError):
+        polynomial_kernel(0)
+
+
+def test_dimension_mismatch_raises(blocks):
+    A, B = blocks
+    with pytest.raises(ValueError, match="dimension mismatch"):
+        EUCLIDEAN(A.T, B.T[:2])
+
+
+def test_registry_lookup():
+    assert get_pair_function("euclidean") is EUCLIDEAN
+    with pytest.raises(KeyError, match="unknown pair function"):
+        get_pair_function("hamming")
+
+
+def test_symmetry_flags():
+    assert EUCLIDEAN.symmetric
+    d = EUCLIDEAN(np.ones((3, 4)), np.ones((3, 4)))
+    assert d.shape == (4, 4)

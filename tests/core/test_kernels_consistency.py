@@ -1,0 +1,115 @@
+"""Consistency tests: the analytical traffic model must predict the
+functional simulator's access counters exactly — the invariant that makes
+paper-scale timing trustworthy.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core import PAPER_PCF, PAPER_SDH, make_kernel
+from repro.gpusim import Device, MemSpace
+
+MAXD = 10.0 * math.sqrt(3.0)
+
+
+def assert_counts_match(kernel, points):
+    dev = Device()
+    kernel.execute(dev, points)
+    got = dev.launches[0].counters.as_dict()
+    expected = kernel.traffic(len(points)).expected_counters().as_dict()
+    assert got == expected, f"{kernel.name}: {got} != {expected}"
+
+
+@pytest.mark.parametrize("display,inp,out", PAPER_SDH)
+def test_sdh_lineup_counts(small_points, display, inp, out):
+    problem = apps.sdh.make_problem(64, MAXD)
+    assert_counts_match(
+        make_kernel(problem, inp, out, block_size=64, name=display), small_points
+    )
+
+
+@pytest.mark.parametrize("display,inp,out", PAPER_PCF)
+def test_pcf_lineup_counts(small_points, display, inp, out):
+    problem = apps.pcf.make_problem(2.0)
+    assert_counts_match(
+        make_kernel(problem, inp, out, block_size=64, name=display), small_points
+    )
+
+
+@pytest.mark.parametrize("block_size", [32, 64, 128])
+@pytest.mark.parametrize("n", [65, 128, 300])
+def test_ragged_geometries(block_size, n):
+    """Counts must stay exact for every padding/raggedness combination."""
+    pts = np.random.default_rng(n).uniform(0, 10, (n, 3))
+    problem = apps.sdh.make_problem(32, MAXD)
+    for inp in ("naive", "shm-shm", "register-shm", "register-roc", "shuffle"):
+        assert_counts_match(
+            make_kernel(problem, inp, "privatized-shm", block_size=block_size), pts
+        )
+
+
+def test_full_row_mode_counts(small_points):
+    """kNN runs full-row (every pair seen twice): counts must still match."""
+    problem = apps.knn.make_problem(4)
+    assert_counts_match(
+        make_kernel(problem, "register-shm", "register", block_size=64), small_points
+    )
+
+
+def test_full_row_roc_counts(small_points):
+    problem = apps.kde.make_problem(1.0)
+    assert_counts_match(
+        make_kernel(problem, "register-roc", "register", block_size=64), small_points
+    )
+
+
+def test_matrix_output_counts(rng):
+    pts = rng.normal(size=(150, 4))
+    problem = apps.gram.make_problem(apps.gram.gaussian_kernel(1.0), dims=4)
+    assert_counts_match(
+        make_kernel(problem, "register-shm", "global-direct", block_size=64), pts
+    )
+
+
+def test_load_balanced_counts_unchanged(aligned_points):
+    """The cyclic schedule reorders work but touches the same data."""
+    problem = apps.sdh.make_problem(32, MAXD)
+    assert_counts_match(
+        make_kernel(
+            problem, "register-shm", "privatized-shm",
+            block_size=128, load_balanced=True,
+        ),
+        aligned_points,
+    )
+
+
+def test_reduction_launch_traffic(small_points):
+    """The Fig. 3 reduction kernel reads M copies + writes Hs elements."""
+    problem = apps.sdh.make_problem(64, MAXD)
+    kernel = make_kernel(problem, "register-shm", "privatized-shm", block_size=64)
+    dev = Device()
+    kernel.execute(dev, small_points)
+    assert len(dev.launches) == 2
+    red = dev.launches[1]
+    m = kernel.geometry(300).num_blocks
+    assert red.counters.read_count(MemSpace.GLOBAL) == 64 * m
+    assert red.counters.write_count(MemSpace.GLOBAL) == 64
+
+
+def test_intra_part_is_subset_of_both(small_points):
+    problem = apps.sdh.make_problem(64, MAXD)
+    kernel = make_kernel(problem, "register-shm", "privatized-shm", block_size=64)
+    both = kernel.traffic(300)
+    intra = kernel.traffic(300, part="intra")
+    assert intra.shm_atomics < both.shm_atomics
+    assert intra.shm_reads < both.shm_reads
+    assert intra.pairs == kernel.geometry(300).intra_pairs
+
+
+def test_traffic_rejects_unknown_part(sdh_problem):
+    kernel = make_kernel(sdh_problem, "register-shm", "privatized-shm")
+    with pytest.raises(ValueError, match="part"):
+        kernel.traffic(1000, part="outer")

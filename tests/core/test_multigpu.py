@@ -1,0 +1,110 @@
+"""Tests for the multi-GPU extension (the paper's Section V future work)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core import MultiGpuRunner, make_kernel, plan_shards
+from repro.cpu_ref import brute
+from repro.gpusim import Device
+
+MAXD = 10.0 * math.sqrt(3.0)
+
+
+class TestShardPlan:
+    def test_covers_all_rows(self):
+        plan = plan_shards(10_000, 4)
+        assert plan.boundaries[0][0] == 0
+        assert plan.boundaries[-1][1] == 10_000
+        for (s1, e1), (s2, e2) in zip(plan.boundaries, plan.boundaries[1:]):
+            assert e1 == s2
+
+    def test_pairs_partition_total(self):
+        n = 5000
+        plan = plan_shards(n, 3)
+        assert sum(plan.pairs_of(d) for d in range(3)) == n * (n - 1) // 2
+
+    def test_balanced_by_pairs_not_rows(self):
+        plan = plan_shards(100_000, 4)
+        assert plan.imbalance() < 1.02
+        # first stripe (heavy rows) must be shorter than the last
+        first = plan.boundaries[0][1] - plan.boundaries[0][0]
+        last = plan.boundaries[-1][1] - plan.boundaries[-1][0]
+        assert first < last
+
+    def test_single_device_degenerate(self):
+        plan = plan_shards(100, 1)
+        assert plan.boundaries == [(0, 100)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_shards(100, 0)
+        with pytest.raises(ValueError):
+            plan_shards(1, 2)
+
+
+@pytest.fixture
+def sdh_kernel():
+    problem = apps.sdh.make_problem(64, MAXD)
+    return make_kernel(problem, "register-roc", "privatized-shm", block_size=64)
+
+
+class TestMultiGpuExecution:
+    @pytest.mark.parametrize("devices", [1, 2, 3, 4])
+    def test_sdh_matches_single_device(self, small_points, sdh_kernel, devices):
+        ref, _ = sdh_kernel.execute(Device(), small_points)
+        multi = MultiGpuRunner(sdh_kernel, num_devices=devices)
+        out = multi.execute(small_points)
+        assert np.array_equal(out.result, ref)
+        assert len(out.per_device_seconds) == devices
+
+    def test_pcf_scalar(self, small_points):
+        problem = apps.pcf.make_problem(2.0)
+        kernel = make_kernel(problem, "register-shm", "register", block_size=64)
+        out = MultiGpuRunner(kernel, num_devices=3).execute(small_points)
+        assert int(round(out.result)) == brute.pcf_count(small_points, 2.0)
+
+    def test_kde_per_point(self, small_points):
+        problem = apps.kde.make_problem(1.0)
+        kernel = make_kernel(problem, "register-shm", "register", block_size=64)
+        out = MultiGpuRunner(kernel, num_devices=2).execute(small_points)
+        assert np.allclose(out.result, brute.kde_estimate(small_points, 1.0))
+
+    def test_join_pairs(self, rng):
+        vals = rng.uniform(0, 100, 200).reshape(-1, 1)
+        problem = apps.join.make_problem(5.0, dims=1)
+        kernel = make_kernel(problem, "register-shm", "global-direct", block_size=64)
+        out = MultiGpuRunner(kernel, num_devices=3).execute(vals)
+        got = np.sort(out.result, axis=1)
+        got = got[np.lexsort((got[:, 1], got[:, 0]))]
+        assert np.array_equal(got, brute.band_join(vals.ravel(), 5.0))
+
+    def test_matrix(self, rng):
+        pts = rng.normal(size=(120, 4))
+        problem = apps.gram.make_problem(apps.gram.gaussian_kernel(1.0), dims=4)
+        kernel = make_kernel(problem, "register-shm", "global-direct", block_size=64)
+        out = MultiGpuRunner(kernel, num_devices=2).execute(pts)
+        ref = brute.gram_matrix(pts, 1.0)
+        np.fill_diagonal(ref, 0.0)
+        assert np.allclose(out.result, ref)
+
+    def test_topk_rejected(self):
+        problem = apps.knn.make_problem(4)
+        kernel = make_kernel(problem, "register-shm", "register", block_size=64)
+        with pytest.raises(ValueError, match="TOPK"):
+            MultiGpuRunner(kernel, num_devices=2)
+
+
+class TestMultiGpuScaling:
+    def test_near_linear_speedup(self, sdh_kernel):
+        one = MultiGpuRunner(sdh_kernel, num_devices=1).simulate(1_000_000)
+        four = MultiGpuRunner(sdh_kernel, num_devices=4).simulate(1_000_000)
+        speedup = one.seconds / four.seconds
+        assert 3.3 < speedup <= 4.05
+
+    def test_transfer_term_counted(self, sdh_kernel):
+        out = MultiGpuRunner(sdh_kernel, num_devices=2).simulate(1_000_000)
+        assert out.transfer_seconds > 0
+        assert out.seconds > max(out.per_device_seconds)

@@ -1,0 +1,127 @@
+"""Unit tests for the output strategies (Section IV-C machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core import (
+    OutputClass,
+    OutputSpec,
+    TwoBodyProblem,
+    UpdateKind,
+    EUCLIDEAN,
+    analytic_conflict_degree,
+    make_kernel,
+    reduce_private_copies,
+)
+from repro.cpu_ref import brute
+from repro.gpusim import Device, LaunchConfig, MemSpace
+
+MAXD = 10.0 * math.sqrt(3.0)
+
+
+class TestReduction:
+    def test_sums_private_copies(self, device):
+        m, hs = 7, 300
+        rng = np.random.default_rng(1)
+        host = rng.integers(0, 50, size=(m, hs))
+        private = device.to_device(host)
+        out = device.alloc(hs, np.int64)
+        record = reduce_private_copies(device, private, out)
+        assert (device.to_host(out) == host.sum(axis=0)).all()
+        # one thread per output element (Section IV-C)
+        assert record.config.grid_dim == (hs + 255) // 256
+
+    def test_shape_mismatch(self, device):
+        private = device.to_device(np.zeros((2, 10), dtype=np.int64))
+        out = device.alloc(8, np.int64)
+        with pytest.raises(ValueError, match="Hs"):
+            reduce_private_copies(device, private, out)
+
+
+class TestPrivatizedShared:
+    def test_private_copies_flushed_per_block(self, small_points):
+        problem = apps.sdh.make_problem(32, MAXD)
+        kernel = make_kernel(problem, "register-shm", "privatized-shm", block_size=64)
+        dev = Device()
+        result, _ = kernel.execute(dev, small_points)
+        # the staging buffer holds one private copy per block whose rows
+        # sum to the final histogram
+        private = [a for n, a in dev._allocations.items() if "private" in n][0]
+        assert private.shape == (5, 32)
+        assert (private.raw().sum(axis=0) == result).all()
+
+    def test_shared_footprint_is_bins_times_4(self, sdh_problem):
+        kernel = make_kernel(sdh_problem, "register-roc", "privatized-shm")
+        assert kernel.output.shared_out_bytes(sdh_problem, 256) == 64 * 4
+
+    def test_roc_plus_privatized_frees_tile_space(self, sdh_problem):
+        roc = make_kernel(sdh_problem, "register-roc", "privatized-shm", block_size=256)
+        shm = make_kernel(sdh_problem, "register-shm", "privatized-shm", block_size=256)
+        # Section IV-D's whole point: the ROC kernel's shared usage is the
+        # histogram only; the SHM kernel adds the tile on top
+        assert roc.shared_bytes_per_block() == 64 * 4
+        assert shm.shared_bytes_per_block() == 64 * 4 + 256 * 3 * 4
+
+
+class TestGlobalAtomic:
+    def test_conflict_degree_scalar_sum_is_warp(self, pcf_problem):
+        assert analytic_conflict_degree(pcf_problem) == 32.0
+
+    def test_conflict_degree_histogram_uniform(self):
+        problem = apps.sdh.make_problem(1000, MAXD)
+        d = analytic_conflict_degree(problem)
+        assert 1.0 < d < 2.0
+
+    def test_conflict_degree_matrix_is_one(self):
+        problem = apps.gram.make_problem(EUCLIDEAN, dims=3)
+        assert analytic_conflict_degree(problem) == 1.0
+
+    def test_atomics_recorded_per_pair(self, small_points):
+        problem = apps.sdh.make_problem(32, MAXD)
+        kernel = make_kernel(problem, "register-shm", "global-atomic", block_size=64)
+        dev = Device()
+        kernel.execute(dev, small_points)
+        n = len(small_points)
+        assert dev.counters.atomic_count(MemSpace.GLOBAL) == n * (n - 1) // 2
+
+
+class TestRegisterOutput:
+    def test_scalar_partials_then_host_fold(self, small_points):
+        problem = apps.pcf.make_problem(2.0)
+        kernel = make_kernel(problem, "register-shm", "register", block_size=64)
+        dev = Device()
+        result, rec = kernel.execute(dev, small_points)
+        # one global write per thread at kernel exit
+        assert rec.counters.write_count(MemSpace.GLOBAL) == len(small_points)
+        assert int(round(result)) == brute.pcf_count(small_points, 2.0)
+
+    def test_topk_register_footprint_grows_with_k(self):
+        p4 = apps.knn.make_problem(4)
+        p16 = apps.knn.make_problem(16)
+        k4 = make_kernel(p4, "register-shm", "register")
+        k16 = make_kernel(p16, "register-shm", "register")
+        assert k16.regs_per_thread() > k4.regs_per_thread()
+
+
+class TestGlobalDirect:
+    def test_emit_ticket_counter_consistency(self, rng):
+        vals = rng.uniform(0, 100, size=200)
+        pairs, res = apps.join.band_join(vals, 3.0)
+        assert np.array_equal(pairs, brute.band_join(vals, 3.0))
+
+    def test_emit_no_matches(self):
+        vals = np.arange(0.0, 1000.0, 100.0)
+        pairs, _ = apps.join.band_join(vals, 1.0)
+        assert pairs.shape == (0, 2)
+
+    def test_matrix_write_counts(self, rng):
+        pts = rng.normal(size=(128, 3))
+        problem = apps.gram.make_problem(EUCLIDEAN, dims=3)
+        kernel = make_kernel(problem, "register-shm", "global-direct", block_size=64)
+        dev = Device()
+        kernel.execute(dev, pts)
+        pairs = 128 * 127 // 2
+        assert dev.launches[0].counters.write_count(MemSpace.GLOBAL) == 2 * pairs

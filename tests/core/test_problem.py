@@ -1,0 +1,75 @@
+"""Unit tests for problem descriptors and SoA layout."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EUCLIDEAN,
+    OutputClass,
+    OutputSpec,
+    TwoBodyProblem,
+    UpdateKind,
+    as_aos,
+    as_soa,
+)
+
+
+def spec(kind=UpdateKind.SCALAR_SUM, **kw):
+    defaults = dict(
+        klass=OutputClass.TYPE_I, kind=kind, size_fn=lambda n: 1
+    )
+    defaults.update(kw)
+    return OutputSpec(**defaults)
+
+
+def test_total_pairs():
+    p = TwoBodyProblem("t", 3, EUCLIDEAN, spec())
+    assert p.total_pairs(10) == 45
+    assert p.total_pairs(1) == 0
+
+
+def test_histogram_requires_bins():
+    with pytest.raises(ValueError, match="bin count"):
+        TwoBodyProblem(
+            "t", 3, EUCLIDEAN, spec(UpdateKind.HISTOGRAM, klass=OutputClass.TYPE_II)
+        )
+
+
+def test_topk_requires_k():
+    with pytest.raises(ValueError, match="positive k"):
+        TwoBodyProblem("t", 3, EUCLIDEAN, spec(UpdateKind.TOPK))
+
+
+def test_dims_must_be_positive():
+    with pytest.raises(ValueError, match="dims"):
+        TwoBodyProblem("t", 0, EUCLIDEAN, spec())
+
+
+def test_output_size_fn():
+    s = spec(UpdateKind.HISTOGRAM, klass=OutputClass.TYPE_II, bins=64,
+             size_fn=lambda n: 64)
+    assert s.size(1000) == 64
+
+
+class TestSoA:
+    def test_roundtrip(self, rng):
+        pts = rng.normal(size=(10, 3))
+        soa = as_soa(pts)
+        assert soa.shape == (3, 10)
+        assert np.allclose(as_aos(soa), pts)
+
+    def test_one_dimensional_input(self):
+        v = np.arange(5.0)
+        soa = as_soa(v)
+        assert soa.shape == (1, 5)
+
+    def test_contiguous_per_dimension(self, rng):
+        # "multiple arrays of single-dimension values" (Section IV-A):
+        # each dimension's values must be contiguous for coalesced access
+        soa = as_soa(rng.normal(size=(100, 3)))
+        assert soa.flags["C_CONTIGUOUS"]
+        assert soa[0].flags["C_CONTIGUOUS"]
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            as_soa(np.zeros((2, 3, 4)))

@@ -1,0 +1,51 @@
+"""Unit tests for the end-to-end runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate, make_kernel, run
+from repro.cpu_ref import brute
+from repro.gpusim import Device
+
+
+def test_run_returns_result_and_report(small_points, pcf_problem):
+    res = run(pcf_problem, small_points)
+    assert int(round(res.result)) == brute.pcf_count(small_points, 2.0)
+    assert res.seconds > 0
+    assert res.report.kernel == res.kernel.name
+    assert res.record.blocks_run == res.kernel.geometry(300).num_blocks
+
+
+def test_run_uses_measured_counters(small_points, pcf_problem):
+    res = run(pcf_problem, small_points)
+    assert res.report.counters is res.record.counters
+
+
+def test_run_with_explicit_kernel(small_points, pcf_problem):
+    kernel = make_kernel(pcf_problem, "register-roc", "register", block_size=128)
+    res = run(pcf_problem, small_points, kernel=kernel)
+    assert res.kernel is kernel
+
+
+def test_run_with_auto_plan(small_points, pcf_problem):
+    res = run(pcf_problem, small_points, auto_plan=True)
+    assert int(round(res.result)) == brute.pcf_count(small_points, 2.0)
+    assert res.kernel.input.name != "Naive"
+
+
+def test_run_reuses_supplied_device(small_points, pcf_problem):
+    dev = Device()
+    run(pcf_problem, small_points, device=dev)
+    assert len(dev.launches) >= 1
+
+
+def test_estimate_needs_no_data(pcf_problem):
+    report = estimate(pcf_problem, 1_000_000)
+    assert report.seconds > 0
+    assert report.n == 1_000_000
+
+
+def test_estimate_scales_quadratically(pcf_problem):
+    a = estimate(pcf_problem, 200_000).seconds
+    b = estimate(pcf_problem, 400_000).seconds
+    assert b / a == pytest.approx(4.0, rel=0.1)

@@ -1,0 +1,177 @@
+"""Tests for the prefix-scan kernel and the two-pass Type-III pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps, data
+from repro.core.kernels import SCAN_BLOCK, TwoPassJoinKernel, exclusive_scan
+from repro.cpu_ref import brute
+from repro.gpusim import Device, MemSpace
+
+
+class TestExclusiveScan:
+    @pytest.mark.parametrize(
+        "n", [1, 2, SCAN_BLOCK - 1, SCAN_BLOCK, SCAN_BLOCK + 1, 1000, 66_000]
+    )
+    def test_matches_cumsum(self, n, rng):
+        arr = rng.integers(0, 100, n)
+        dev = Device()
+        g = dev.to_device(arr.astype(np.int64))
+        out, total, _ = exclusive_scan(dev, g)
+        ref = np.concatenate([[0], np.cumsum(arr)[:-1]])
+        assert np.array_equal(dev.to_host(out), ref)
+        assert total == arr.sum()
+
+    def test_zeros(self):
+        dev = Device()
+        g = dev.to_device(np.zeros(500, dtype=np.int64))
+        out, total, _ = exclusive_scan(dev, g)
+        assert total == 0
+        assert not dev.to_host(out).any()
+
+    def test_empty_rejected(self):
+        dev = Device()
+        g = dev.to_device(np.zeros(1, dtype=np.int64))
+        # size-1 works; size-0 arrays cannot be allocated meaningfully
+        out, total, _ = exclusive_scan(dev, g)
+        assert total == 0
+
+    def test_recursion_depth_two(self, rng):
+        # > SCAN_BLOCK^2 elements forces a second recursion level
+        n = SCAN_BLOCK * SCAN_BLOCK + 5
+        arr = rng.integers(0, 3, n)
+        dev = Device()
+        out, total, records = exclusive_scan(dev, dev.to_device(arr.astype(np.int64)))
+        assert total == arr.sum()
+        assert len(records) >= 5  # blocks + sums-scan(+) + applies
+
+    def test_work_efficiency(self, rng):
+        """O(n) shared-memory traffic, not O(n log n) per element."""
+        n = 4 * SCAN_BLOCK
+        dev = Device()
+        g = dev.to_device(rng.integers(0, 5, n).astype(np.int64))
+        _, _, records = exclusive_scan(dev, g)
+        shm = sum(
+            r.counters.total(MemSpace.SHARED) for r in records
+        )
+        assert shm < 12 * n  # a few accesses per element, not ~log2(256)*4
+
+
+class TestTwoPassJoin:
+    def test_matches_oracle(self):
+        vals = data.join_values(500, duplicates=0.25, seed=3).reshape(-1, 1)
+        problem = apps.join.make_problem(3.0, dims=1)
+        kernel = TwoPassJoinKernel(problem, "register-shm", block_size=64)
+        res = kernel.execute(Device(), vals)
+        got = np.sort(res.pairs, axis=1)
+        got = got[np.lexsort((got[:, 1], got[:, 0]))]
+        assert np.array_equal(got, brute.band_join(vals.ravel(), 3.0))
+
+    def test_spatial(self, small_points):
+        problem = apps.join.make_problem(1.5, dims=3)
+        kernel = TwoPassJoinKernel(problem, "register-roc", block_size=64)
+        res = kernel.execute(Device(), small_points)
+        got = np.sort(res.pairs, axis=1)
+        got = got[np.lexsort((got[:, 1], got[:, 0]))]
+        assert np.array_equal(got, brute.spatial_band_join(small_points, 1.5))
+
+    def test_no_matches(self):
+        vals = np.arange(0.0, 5000.0, 100.0).reshape(-1, 1)
+        problem = apps.join.make_problem(1.0, dims=1)
+        res = TwoPassJoinKernel(problem, block_size=32).execute(Device(), vals)
+        assert res.total == 0
+        assert res.pairs.shape[0] == 0
+
+    def test_no_global_atomics_in_write_pass(self):
+        vals = data.join_values(300, seed=5).reshape(-1, 1)
+        problem = apps.join.make_problem(10.0, dims=1)
+        dev = Device()
+        TwoPassJoinKernel(problem, block_size=64).execute(dev, vals)
+        write = [r for r in dev.launches if r.kernel_name.endswith("-write")][0]
+        assert write.counters.atomic_count(MemSpace.GLOBAL) == 0
+
+    def test_rejects_non_emit_problems(self):
+        problem = apps.sdh.make_problem(16, math.sqrt(3) * 10)
+        with pytest.raises(ValueError, match="EMIT_PAIRS"):
+            TwoPassJoinKernel(problem)
+
+    def test_two_passes_cost_double_compute(self):
+        problem = apps.join.make_problem(1.0, dims=1, selectivity=0.01)
+        two = TwoPassJoinKernel(problem, "register-shm", block_size=256)
+        t = two.traffic(100_000)
+        geom_pairs = 100_000 * 99_999 / 2
+        assert t.pairs == pytest.approx(2 * geom_pairs, rel=1e-6)
+
+    def test_simulate(self):
+        problem = apps.join.make_problem(1.0, dims=1)
+        rep = TwoPassJoinKernel(problem).simulate(500_000)
+        assert rep.seconds > 0
+        assert rep.kernel.endswith("2Pass")
+
+
+class TestMultiCopyPrivatization:
+    MAXD = 10.0 * math.sqrt(3.0)
+
+    @pytest.mark.parametrize("copies", [1, 2, 4, 8])
+    def test_exact_results_and_counts(self, small_points, copies):
+        from repro.core import make_kernel
+
+        problem = apps.sdh.make_problem(64, self.MAXD)
+        kernel = make_kernel(
+            problem, "register-roc", "privatized-shm", block_size=64,
+            output_kwargs={"copies_per_block": copies},
+        )
+        dev = Device()
+        result, rec = kernel.execute(dev, small_points)
+        assert np.array_equal(
+            result, brute.sdh_histogram(small_points, 64, self.MAXD / 64)
+        )
+        assert rec.counters.as_dict() == kernel.traffic(300).expected_counters().as_dict()
+
+    def test_copies_reduce_conflicts(self, small_points):
+        from repro.core import make_kernel
+
+        problem = apps.sdh.make_problem(64, self.MAXD)
+        degrees = []
+        for copies in (1, 4):
+            kernel = make_kernel(
+                problem, "register-roc", "privatized-shm", block_size=64,
+                output_kwargs={"copies_per_block": copies},
+            )
+            dev = Device()
+            kernel.execute(dev, small_points)
+            degrees.append(dev.launches[0].counters.mean_conflict_degree())
+        assert degrees[1] < degrees[0]
+
+    def test_copies_cost_shared_memory(self):
+        from repro.core import make_kernel
+
+        problem = apps.sdh.make_problem(1000, self.MAXD)
+        k1 = make_kernel(problem, "register-roc", "privatized-shm",
+                         output_kwargs={"copies_per_block": 1})
+        k4 = make_kernel(problem, "register-roc", "privatized-shm",
+                         output_kwargs={"copies_per_block": 4})
+        assert k4.shared_bytes_per_block() == 4 * k1.shared_bytes_per_block()
+
+    def test_paper_config_prefers_single_copy(self):
+        """The paper's 'data not shown' claim: at 2500 buckets more
+        copies do NOT help (occupancy loss beats contention relief)."""
+        from repro.core import make_kernel
+
+        problem = apps.sdh.make_problem(2500, self.MAXD, box=10.0)
+        times = {}
+        for copies in (1, 2, 4):
+            kernel = make_kernel(
+                problem, "register-roc", "privatized-shm", block_size=256,
+                output_kwargs={"copies_per_block": copies},
+            )
+            times[copies] = kernel.simulate(1_000_000).seconds
+        assert times[1] < times[2] < times[4]
+
+    def test_invalid_copies(self):
+        from repro.core.kernels import PrivatizedSharedOutput
+
+        with pytest.raises(ValueError):
+            PrivatizedSharedOutput(copies_per_block=0)

@@ -1,0 +1,104 @@
+"""Unit tests for block decomposition and pair schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockDecomposition,
+    cyclic_pair_list,
+    cyclic_schedule,
+    cyclic_trips,
+    triangular_pair_mask,
+    triangular_trips,
+)
+from repro.gpusim import LaunchConfigError
+
+
+class TestBlockDecomposition:
+    def test_exact_division(self):
+        dec = BlockDecomposition(256, 64)
+        assert dec.num_blocks == 4
+        assert dec.block_range(3) == (192, 256)
+        assert dec.padded_n == 256
+
+    def test_ragged_last_block(self):
+        dec = BlockDecomposition(300, 64)
+        assert dec.num_blocks == 5
+        assert dec.block_size_of(4) == 44
+        assert dec.padded_n == 320
+
+    def test_block_indices(self):
+        dec = BlockDecomposition(100, 32)
+        assert (dec.block_indices(3) == np.arange(96, 100)).all()
+
+    def test_out_of_range_block(self):
+        dec = BlockDecomposition(100, 32)
+        with pytest.raises(IndexError):
+            dec.block_range(4)
+
+    def test_inter_block_pairs_upper_triangle(self):
+        dec = BlockDecomposition(256, 64)
+        pairs = list(dec.inter_block_pairs())
+        assert len(pairs) == 6
+        assert all(b < i for b, i in pairs)
+        assert dec.num_inter_block_tile_loads() == 6
+
+    def test_total_pairs(self):
+        assert BlockDecomposition(300, 64).total_pairs() == 300 * 299 // 2
+
+    def test_invalid_args(self):
+        with pytest.raises(LaunchConfigError):
+            BlockDecomposition(0, 64)
+        with pytest.raises(LaunchConfigError):
+            BlockDecomposition(10, 0)
+
+
+class TestTriangularMask:
+    def test_square(self):
+        m = triangular_pair_mask(4)
+        assert m.sum() == 6
+        assert not m.diagonal().any()
+        assert m[0, 3] and not m[3, 0]
+
+    def test_rectangular(self):
+        m = triangular_pair_mask(3, 5)
+        assert m.shape == (3, 5)
+        assert m[2, 4] and not m[2, 1]
+
+
+class TestCyclicSchedule:
+    @pytest.mark.parametrize("b", [4, 8, 32, 64, 256])
+    def test_covers_every_pair_exactly_once(self, b):
+        pairs = cyclic_pair_list(b)
+        canon = {tuple(sorted(p)) for p in pairs.tolist()}
+        assert len(canon) == b * (b - 1) // 2  # all pairs
+        assert len(pairs) == b * (b - 1) // 2  # no duplicates
+
+    def test_iteration_count(self):
+        sched = cyclic_schedule(64)
+        assert len(sched) == 32
+
+    def test_last_iteration_half_active(self):
+        sched = cyclic_schedule(8)
+        last = sched[-1]
+        assert (last[4:] == -1).all()
+        assert (last[:4] >= 0).all()
+
+    def test_partner_formula(self):
+        sched = cyclic_schedule(8)
+        # iteration j: thread t pairs with (t + j) % B
+        assert (sched[0] == (np.arange(8) + 1) % 8).all()
+
+    def test_odd_block_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            cyclic_schedule(7)
+
+    def test_trip_counts_match_schedule(self):
+        b = 32
+        trips = np.zeros(b, dtype=int)
+        for partners in cyclic_schedule(b):
+            trips += partners >= 0
+        assert (trips == cyclic_trips(b)).all()
+
+    def test_triangular_trips(self):
+        assert (triangular_trips(4) == [3, 2, 1, 0]).all()

@@ -1,0 +1,63 @@
+"""Tests for the real threaded host implementations against the oracles."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cpu_ref import brute, vectorized
+from repro.data import uniform_points
+
+MAXD = 10.0 * math.sqrt(3.0)
+
+
+@pytest.fixture(scope="module")
+def pts():
+    return uniform_points(700, dims=3, box=10.0, seed=13)
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 4])
+def test_sdh_threaded(pts, n_threads):
+    got = vectorized.sdh_histogram(pts, 50, MAXD / 50, n_threads=n_threads, chunk=128)
+    assert np.array_equal(got, brute.sdh_histogram(pts, 50, MAXD / 50))
+
+
+def test_sdh_chunk_invariance(pts):
+    a = vectorized.sdh_histogram(pts, 32, MAXD / 32, chunk=64)
+    b = vectorized.sdh_histogram(pts, 32, MAXD / 32, chunk=701)
+    assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("n_threads", [1, 3])
+def test_pcf_threaded(pts, n_threads):
+    assert vectorized.pcf_count(pts, 2.0, n_threads=n_threads) == brute.pcf_count(
+        pts, 2.0
+    )
+
+
+def test_knn_threaded(pts):
+    d, ids = vectorized.knn(pts, 5, n_threads=2)
+    rd, _ = brute.knn(pts, 5)
+    assert np.allclose(d, rd)
+
+
+def test_knn_k_validation(pts):
+    with pytest.raises(ValueError):
+        vectorized.knn(pts[:4], 4)
+
+
+def test_kde_threaded(pts):
+    got = vectorized.kde_estimate(pts, 1.3, n_threads=2)
+    assert np.allclose(got, brute.kde_estimate(pts, 1.3))
+
+
+def test_brute_rdf_tail_near_one():
+    pts = uniform_points(1500, dims=3, box=12.0, seed=5)
+    g = brute.rdf(pts, 24, 4.0, 12.0**3)
+    assert 0.75 < g[6:18].mean() < 1.1
+
+
+def test_brute_pss_scores_bounded(pts):
+    s = brute.pss_scores(pts[:50])
+    assert (np.abs(s) <= 1.0 + 1e-9).all()
+    assert np.allclose(np.diag(s), 0.0)

@@ -1,0 +1,88 @@
+"""Unit tests for thread-affinity policies."""
+
+import pytest
+
+from repro.cpusim import (
+    CpuSpec,
+    XEON_E5_2640V2,
+    balanced_affinity,
+    compact_affinity,
+    make_affinity,
+    scatter_affinity,
+)
+
+SPEC = XEON_E5_2640V2
+
+
+def test_spec_shape():
+    assert SPEC.physical_cores == 8
+    assert SPEC.hardware_threads == 16
+    assert SPEC.clock_hz == 2.0e9
+
+
+def test_spec_slot_validation():
+    with pytest.raises(ValueError):
+        SPEC.slot(8, 0)
+    with pytest.raises(ValueError):
+        SPEC.slot(0, 2)
+    assert SPEC.slot(3, 1) == (0, 7)
+
+
+def test_compact_fills_cores_first():
+    m = compact_affinity(SPEC, 4)
+    # threads 0,1 share core 0; threads 2,3 share core 1
+    assert [m.core_of(t) for t in range(4)] == [0, 0, 1, 1]
+    assert m.threads_per_core_used(SPEC)[:2] == [2, 2]
+
+
+def test_scatter_spreads_across_cores():
+    m = scatter_affinity(SPEC, 4)
+    assert [m.core_of(t) for t in range(4)] == [0, 1, 2, 3]
+
+
+def test_scatter_wraps_to_siblings():
+    m = scatter_affinity(SPEC, 10)
+    assert m.core_of(8) == 0 and m.placements[8][1] == 1
+
+
+def test_balanced_even_distribution():
+    m = balanced_affinity(SPEC, 12)
+    counts = m.threads_per_core_used(SPEC)
+    assert max(counts) - min(counts) <= 1
+    assert sum(counts) == 12
+
+
+def test_balanced_keeps_neighbours_adjacent():
+    m = balanced_affinity(SPEC, 12)
+    # consecutive ids sit on the same or the next core
+    cores = [m.core_of(t) for t in range(12)]
+    assert all(0 <= b - a <= 1 for a, b in zip(cores, cores[1:]))
+
+
+def test_effective_parallelism_ordering():
+    """At 8 threads: compact wastes cores (4 x 1.3 = 5.2 equivalents),
+    scatter/balanced use all 8 — the reason the paper avoids compact."""
+    compact = compact_affinity(SPEC, 8).effective_parallelism(SPEC)
+    scatter = scatter_affinity(SPEC, 8).effective_parallelism(SPEC)
+    balanced = balanced_affinity(SPEC, 8).effective_parallelism(SPEC)
+    assert compact == pytest.approx(4 * 1.3)
+    assert scatter == pytest.approx(8.0)
+    assert balanced == pytest.approx(8.0)
+
+
+def test_full_machine_all_policies_equal():
+    vals = {
+        p: make_affinity(p, SPEC, 16).effective_parallelism(SPEC)
+        for p in ("compact", "scatter", "balanced")
+    }
+    assert len(set(vals.values())) == 1
+
+
+def test_too_many_threads():
+    with pytest.raises(ValueError, match="exceed"):
+        compact_affinity(SPEC, 17)
+
+
+def test_unknown_policy():
+    with pytest.raises(KeyError, match="unknown affinity"):
+        make_affinity("random", SPEC, 4)

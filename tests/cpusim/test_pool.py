@@ -1,0 +1,90 @@
+"""Unit tests for the CPU 2-BS runner (the OpenMP baseline model)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.cpusim import CpuTwoBodyRunner
+from repro.cpu_ref import brute
+
+MAXD = 10.0 * math.sqrt(3.0)
+
+
+@pytest.fixture
+def sdh64(small_points):
+    return apps.sdh.make_problem(64, MAXD), brute.sdh_histogram(
+        small_points, 64, MAXD / 64
+    )
+
+
+@pytest.mark.parametrize("scheduler", ["static", "dynamic", "guided"])
+def test_sdh_correct_under_every_scheduler(small_points, sdh64, scheduler):
+    problem, ref = sdh64
+    runner = CpuTwoBodyRunner(problem, scheduler=scheduler)
+    result, info = runner.run(small_points)
+    assert np.array_equal(result, ref)
+    assert info.scheduler == scheduler
+
+
+@pytest.mark.parametrize("n_threads", [1, 3, 8, 16])
+def test_thread_count_invariance(small_points, sdh64, n_threads):
+    problem, ref = sdh64
+    result, _ = CpuTwoBodyRunner(problem, n_threads=n_threads).run(small_points)
+    assert np.array_equal(result, ref)
+
+
+def test_scalar_sum_problem(small_points, pcf_problem):
+    result, _ = CpuTwoBodyRunner(pcf_problem).run(small_points)
+    assert int(round(result)) == brute.pcf_count(small_points, 2.0)
+
+
+def test_unsupported_kind_rejected():
+    problem = apps.knn.make_problem(3)
+    with pytest.raises(ValueError, match="supports"):
+        CpuTwoBodyRunner(problem)
+
+
+def test_wrong_dims_rejected(small_points):
+    problem = apps.sdh.make_problem(16, MAXD, dims=5)
+    with pytest.raises(ValueError, match="5-d"):
+        CpuTwoBodyRunner(problem).run(small_points)
+
+
+def test_guided_beats_static_makespan(sdh64):
+    problem, _ = sdh64
+    static = CpuTwoBodyRunner(problem, scheduler="static").simulate(20_000)
+    guided = CpuTwoBodyRunner(problem, scheduler="guided").simulate(20_000)
+    assert guided.seconds < static.seconds
+    assert guided.imbalance < static.imbalance
+
+
+def test_compact_affinity_slower_at_half_threads(sdh64):
+    problem, _ = sdh64
+    compact = CpuTwoBodyRunner(problem, n_threads=8, affinity="compact").simulate(20_000)
+    balanced = CpuTwoBodyRunner(problem, n_threads=8, affinity="balanced").simulate(20_000)
+    assert compact.seconds > balanced.seconds * 1.2
+
+
+def test_simulate_matches_run_info(small_points, sdh64):
+    problem, _ = sdh64
+    runner = CpuTwoBodyRunner(problem)
+    sim = runner.simulate(len(small_points))
+    _, info = runner.run(small_points)
+    assert sim.seconds == info.seconds
+    assert (sim.thread_pairs == info.thread_pairs).all()
+
+
+def test_paper_scale_timing_pin(sdh64):
+    """Fig. 4's CPU anchor: ~300s at N=1M on the modeled Xeon."""
+    problem, _ = sdh64
+    secs = CpuTwoBodyRunner(problem).simulate(1_000_000).seconds
+    assert 200 < secs < 450
+
+
+def test_cycles_per_pair_override(sdh64, small_points):
+    problem, _ = sdh64
+    fast = CpuTwoBodyRunner(problem, cycles_per_pair=1.0).simulate(100_000)
+    slow = CpuTwoBodyRunner(problem, cycles_per_pair=10.0).simulate(100_000)
+    assert slow.seconds > fast.seconds * 5

@@ -1,0 +1,116 @@
+"""Unit tests for the OpenMP-model loop schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.cpusim import (
+    dynamic_schedule,
+    guided_schedule,
+    make_schedule,
+    static_schedule,
+    triangular_weight,
+)
+
+
+def assert_exact_cover(assignment, n_iters):
+    chunks = assignment.coverage()
+    assert chunks[0][0] == 0
+    assert chunks[-1][1] == n_iters
+    for (s1, e1), (s2, e2) in zip(chunks, chunks[1:]):
+        assert e1 == s2, "chunks must tile the space with no gaps/overlaps"
+
+
+@pytest.mark.parametrize("n,t", [(100, 4), (101, 4), (7, 16), (1000, 16)])
+def test_static_default_covers(n, t):
+    assert_exact_cover(static_schedule(n, t), n)
+
+
+def test_static_default_is_one_block_per_thread():
+    a = static_schedule(100, 4)
+    assert all(len(c) <= 1 for c in a.per_thread)
+    assert a.iterations_of(0) == 25
+
+
+def test_static_chunked_round_robin():
+    a = static_schedule(100, 4, chunk=10)
+    assert_exact_cover(a, 100)
+    # thread 0 gets chunks 0, 4, 8 -> starts 0, 400.., i.e. 0-10, 40-50, 80-90
+    assert a.chunks_of(0) == [(0, 10), (40, 50), (80, 90)]
+
+
+@pytest.mark.parametrize("n,t,chunk", [(100, 4, 7), (1000, 16, 64), (5, 8, 2)])
+def test_dynamic_covers(n, t, chunk):
+    assert_exact_cover(dynamic_schedule(n, t, chunk=chunk), n)
+
+
+def test_dynamic_balances_triangular_load():
+    n, t = 2000, 8
+    a = dynamic_schedule(n, t, chunk=25, weight_fn=triangular_weight(n))
+    work = a.thread_work(triangular_weight(n))
+    assert work.max() / work.mean() < 1.1
+
+
+@pytest.mark.parametrize("n,t", [(100, 4), (10_000, 16), (33, 8)])
+def test_guided_covers(n, t):
+    assert_exact_cover(guided_schedule(n, t), n)
+
+
+def test_guided_chunks_decay():
+    a = guided_schedule(10_000, 8, min_chunk=16)
+    sizes = [e - s for s, e in sorted(a.coverage())]
+    # geometric decay until the floor
+    assert sizes[0] > sizes[len(sizes) // 2] >= 16
+    assert all(x >= 16 or i == len(sizes) - 1 for i, x in enumerate(sizes))
+
+
+def test_guided_first_chunk_is_remaining_over_2t():
+    a = guided_schedule(16_000, 8)
+    first = sorted(a.coverage())[0]
+    assert first == (0, 1000)  # 16000 / (2*8)
+
+
+def test_guided_balances_triangular_load():
+    n = 4096
+    a = guided_schedule(n, 16, min_chunk=16, weight_fn=triangular_weight(n))
+    work = a.thread_work(triangular_weight(n))
+    assert work.max() / work.mean() < 1.15
+
+
+def test_static_imbalanced_on_triangular():
+    """The reason the paper tunes schedulers: static contiguous gives the
+    first thread nearly 2x the mean pair load."""
+    n = 4096
+    a = static_schedule(n, 16)
+    work = a.thread_work(triangular_weight(n))
+    assert work.max() / work.mean() > 1.7
+    assert np.argmax(work) == 0
+
+
+def test_triangular_weight_total():
+    n = 100
+    w = triangular_weight(n)
+    assert w(0, n) == n * (n - 1) / 2
+    assert w(0, 10) + w(10, n) == w(0, n)
+
+
+def test_make_schedule_dispatch():
+    a = make_schedule("static", 10, 2)
+    assert a.n_threads == 2
+    with pytest.raises(KeyError, match="unknown scheduler"):
+        make_schedule("fair", 10, 2)
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        static_schedule(-1, 2)
+    with pytest.raises(ValueError):
+        static_schedule(10, 0)
+    with pytest.raises(ValueError):
+        dynamic_schedule(10, 2, chunk=0)
+    with pytest.raises(ValueError):
+        guided_schedule(10, 2, min_chunk=0)
+
+
+def test_zero_iterations():
+    a = guided_schedule(0, 4)
+    assert a.total_chunks() == 0

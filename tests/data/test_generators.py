@@ -1,0 +1,96 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    feature_vectors,
+    galaxy_mock,
+    gaussian_clusters,
+    join_values,
+    liquid_configuration,
+    sdh_bucket_probabilities,
+    uniform_points,
+)
+
+
+def test_uniform_shape_and_range():
+    pts = uniform_points(500, dims=3, box=7.0, seed=1)
+    assert pts.shape == (500, 3)
+    assert pts.min() >= 0 and pts.max() <= 7.0
+
+
+def test_uniform_deterministic():
+    assert np.array_equal(
+        uniform_points(50, seed=9), uniform_points(50, seed=9)
+    )
+    assert not np.array_equal(
+        uniform_points(50, seed=9), uniform_points(50, seed=10)
+    )
+
+
+def test_uniform_validation():
+    with pytest.raises(ValueError):
+        uniform_points(0)
+    with pytest.raises(ValueError):
+        uniform_points(10, dims=0)
+
+
+def test_gaussian_clusters_are_clustered():
+    pts = gaussian_clusters(600, dims=3, n_clusters=3, spread=0.2, seed=2)
+    uni = uniform_points(600, dims=3, seed=2)
+    # clustered data has far more close pairs
+    from repro.cpu_ref import brute
+
+    assert brute.pcf_count(pts, 0.5) > 5 * brute.pcf_count(uni, 0.5)
+
+
+def test_liquid_configuration_in_box():
+    pts, box = liquid_configuration(343, density=0.8, seed=3)
+    assert pts.shape == (343, 3)
+    assert pts.min() >= 0 and pts.max() <= box
+    # density honoured: N / box^3 ~ requested
+    assert 343 / box**3 == pytest.approx(0.8, rel=0.05)
+
+
+def test_liquid_has_minimum_separation():
+    pts, box = liquid_configuration(216, density=0.7, jitter=0.02, seed=4)
+    from scipy.spatial.distance import pdist
+
+    spacing = (1 / 0.7) ** (1 / 3)
+    assert pdist(pts).min() > 0.5 * spacing
+
+
+def test_galaxy_mock_in_box():
+    pts = galaxy_mock(400, box=60.0, seed=5)
+    assert pts.shape == (400, 3)
+    assert pts.min() >= 0 and pts.max() <= 60.0
+
+
+def test_feature_vectors_nonnegative():
+    v = feature_vectors(100, dims=8, seed=6)
+    assert (v >= 0).all()
+    sparse = feature_vectors(100, dims=8, sparsity=0.9, seed=6)
+    assert (sparse == 0).mean() > 0.7
+
+
+def test_join_values_duplicates():
+    vals = join_values(1000, duplicates=0.3, seed=7)
+    _, counts = np.unique(vals, return_counts=True)
+    assert (counts > 1).sum() > 50
+
+
+def test_sdh_bucket_probabilities_normalized():
+    p = sdh_bucket_probabilities(200, box=10.0)
+    assert p.shape == (200,)
+    assert p.sum() == pytest.approx(1.0)
+    assert (p > 0).all()
+    # distance pdf of a uniform box peaks mid-range, vanishes at extremes
+    assert p[:3].sum() < 0.01
+    assert np.argmax(p) > 30
+
+
+def test_sdh_bucket_probabilities_deterministic():
+    assert np.array_equal(
+        sdh_bucket_probabilities(64), sdh_bucket_probabilities(64)
+    )

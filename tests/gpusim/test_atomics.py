@@ -1,0 +1,100 @@
+"""Unit tests for atomic operations and conflict accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    AccessCounters,
+    MemSpace,
+    MemorySpaceError,
+    TrackedArray,
+    atomic_add,
+    atomic_max,
+    atomic_ticket,
+)
+
+
+def shared(n=16, dtype=np.int64):
+    c = AccessCounters()
+    return TrackedArray(np.zeros(n, dtype=dtype), MemSpace.SHARED, c, "shm"), c
+
+
+def test_atomic_add_is_correct_under_duplicates():
+    arr, c = shared(4)
+    idx = np.array([0, 0, 1, 3, 3, 3])
+    atomic_add(arr, idx, np.ones(6, dtype=np.int64))
+    assert arr.raw().tolist() == [2, 1, 0, 3]
+    assert c.atomic_count(MemSpace.SHARED) == 6
+
+
+def test_atomic_add_scalar_value_broadcast():
+    arr, _ = shared(4)
+    atomic_add(arr, np.array([1, 1]), 5)
+    assert arr.raw()[1] == 10
+
+
+def test_atomic_add_shape_mismatch():
+    arr, _ = shared(4)
+    with pytest.raises(ValueError, match="differ"):
+        atomic_add(arr, np.array([0, 1]), np.ones(3))
+
+
+def test_conflict_degree_all_same_address():
+    arr, c = shared(4)
+    atomic_add(arr, np.zeros(32, dtype=int), np.ones(32, dtype=np.int64))
+    assert c.mean_conflict_degree() == pytest.approx(32.0)
+
+
+def test_conflict_degree_distinct_addresses():
+    arr, c = shared(32)
+    atomic_add(arr, np.arange(32), np.ones(32, dtype=np.int64))
+    assert c.mean_conflict_degree() == pytest.approx(1.0)
+
+
+def test_conflict_degree_two_warps_mixed():
+    arr, c = shared(64)
+    idx = np.concatenate([np.zeros(32, dtype=int), np.arange(32)])
+    atomic_add(arr, idx, np.ones(64, dtype=np.int64))
+    # warp 0 fully serialized (32), warp 1 conflict-free (1)
+    assert c.mean_conflict_degree() == pytest.approx(16.5)
+    assert c.atomic_conflict_issues == 2
+
+
+def test_conflict_sample_override():
+    arr, c = shared(8)
+    atomic_add(arr, np.arange(8), np.ones(8, dtype=np.int64), conflict_sample=(6.0, 2))
+    assert c.mean_conflict_degree() == pytest.approx(3.0)
+
+
+def test_atomics_rejected_on_roc():
+    c = AccessCounters()
+    roc = TrackedArray(np.zeros(4), MemSpace.ROC, c, "roc")
+    with pytest.raises(MemorySpaceError):
+        atomic_add(roc, np.array([0]), np.array([1.0]))
+
+
+def test_atomic_max():
+    arr, c = shared(4, dtype=np.float64)
+    atomic_max(arr, np.array([0, 0, 1]), np.array([3.0, 7.0, 2.0]))
+    assert arr.raw()[0] == 7.0
+    assert arr.raw()[1] == 2.0
+    assert c.atomic_count(MemSpace.SHARED) == 3
+
+
+class TestTicket:
+    def make_counter(self):
+        c = AccessCounters()
+        return TrackedArray(np.zeros(1, dtype=np.int64), MemSpace.GLOBAL, c, "tk"), c
+
+    def test_reservations_are_consecutive(self):
+        counter, c = self.make_counter()
+        assert atomic_ticket(counter, 5) == 0
+        assert atomic_ticket(counter, 3) == 5
+        assert atomic_ticket(counter, 1) == 8
+        assert c.atomic_count(MemSpace.GLOBAL) == 3
+
+    def test_ticket_requires_global(self):
+        c = AccessCounters()
+        shm = TrackedArray(np.zeros(1, dtype=np.int64), MemSpace.SHARED, c, "s")
+        with pytest.raises(MemorySpaceError):
+            atomic_ticket(shm, 1)

@@ -1,0 +1,67 @@
+"""Sanity tests for the calibration layer: the pins must stay honest."""
+
+import pytest
+
+from repro.gpusim import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    DEFAULT_CPU_CALIBRATION,
+    PCF_COMPUTE,
+    SDH_COMPUTE,
+)
+
+
+def test_cache_cost_ordering():
+    """Effective per-access costs must respect the hardware hierarchy the
+    paper quotes: shared < ROC < streamed global < scattered global."""
+    c = DEFAULT_CALIBRATION
+    assert c.shm_issue < c.roc_issue < c.global_stream_issue < c.global_issue
+
+
+def test_atomic_costs_dominate_plain_access():
+    c = DEFAULT_CALIBRATION
+    assert c.shared_atomic > c.shm_issue
+    assert c.global_atomic > c.global_issue
+    assert c.global_atomic > 5 * c.shared_atomic  # the privatization gap
+
+
+def test_shuffle_close_to_shared():
+    """Fig. 9's pin: register shuffles cost about a shared access."""
+    c = DEFAULT_CALIBRATION
+    assert c.shuffle_issue == pytest.approx(c.shm_issue, rel=0.25)
+
+
+def test_interference_is_a_small_fraction():
+    assert 0.0 < DEFAULT_CALIBRATION.interference_kappa < 0.5
+
+
+def test_occupancy_gamma_sublinear():
+    assert 0.0 < DEFAULT_CALIBRATION.occupancy_gamma <= 1.0
+
+
+def test_compute_cost_totals_match_profiler_shares():
+    """Table II/IV pins: arith share of the per-pair compute budget."""
+    assert PCF_COMPUTE.arith / PCF_COMPUTE.total == pytest.approx(0.54, abs=0.1)
+    assert SDH_COMPUTE.arith / SDH_COMPUTE.total == pytest.approx(0.32, abs=0.1)
+
+
+def test_calibration_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_CALIBRATION.shm_issue = 1.0
+
+
+def test_custom_calibration_changes_predictions():
+    from repro.gpusim import PipelineCycles, TITAN_X, simulate_time
+
+    cheap = Calibration(interference_kappa=0.0)
+    c = PipelineCycles(arith=1e9, shared=5e8)
+    with_k = simulate_time(c, spec=TITAN_X, fixed_overhead_s=0.0)
+    without_k = simulate_time(c, spec=TITAN_X, calib=cheap, fixed_overhead_s=0.0)
+    assert without_k.seconds < with_k.seconds
+
+
+def test_cpu_calibration_magnitudes():
+    c = DEFAULT_CPU_CALIBRATION
+    # vectorized histogram loop: order 10 cycles/pair, chunk grabs ~1000x
+    assert 5 < c.cycles_per_pair_sdh < 30
+    assert c.chunk_overhead_cycles > 100 * c.cycles_per_pair_sdh

@@ -1,0 +1,106 @@
+"""Unit tests for the atomic-contention statistics."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    collision_rate,
+    effective_bins,
+    expected_max_multiplicity,
+    monte_carlo_max_multiplicity,
+    warp_conflict_degrees,
+)
+
+
+def test_collision_rate_uniform():
+    p = np.full(10, 0.1)
+    assert collision_rate(p) == pytest.approx(0.1)
+    assert effective_bins(p) == pytest.approx(10.0)
+
+
+def test_collision_rate_concentrated():
+    p = np.array([0.9, 0.1])
+    assert effective_bins(p) < 2.0
+
+
+def test_collision_rate_unnormalized_input():
+    assert collision_rate(np.array([2.0, 2.0])) == pytest.approx(0.5)
+
+
+def test_expected_max_bounds():
+    p = np.full(100, 0.01)
+    e = expected_max_multiplicity(p, 32)
+    assert 1.0 <= e <= 32.0
+
+
+def test_expected_max_single_bin():
+    assert expected_max_multiplicity(np.array([1.0]), 32) == 32.0
+
+
+def test_expected_max_one_thrower():
+    assert expected_max_multiplicity(np.full(4, 0.25), 1) == 1.0
+
+
+@pytest.mark.parametrize("k", [8, 32, 100, 1000, 5000])
+def test_expected_max_matches_monte_carlo_uniform(k):
+    p = np.full(k, 1.0 / k)
+    analytic = expected_max_multiplicity(p, 32)
+    mc = monte_carlo_max_multiplicity(p, 32, trials=600, seed=1)
+    assert analytic == pytest.approx(mc, rel=0.12)
+
+
+def test_expected_max_matches_monte_carlo_skewed():
+    rng = np.random.default_rng(2)
+    p = rng.dirichlet(np.full(64, 0.3))
+    analytic = expected_max_multiplicity(p, 32)
+    mc = monte_carlo_max_multiplicity(p, 32, trials=800, seed=3)
+    assert analytic == pytest.approx(mc, rel=0.35)
+
+
+def test_expected_max_decreases_with_bins():
+    values = [
+        expected_max_multiplicity(np.full(k, 1.0 / k), 32)
+        for k in (4, 16, 64, 256, 1024)
+    ]
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+class TestWarpConflictDegrees:
+    def test_conflict_free_matrix(self):
+        bins = np.arange(32)[:, None] * np.ones((1, 4), dtype=int)
+        degree_sum, issues = warp_conflict_degrees(bins)
+        assert issues == 4
+        assert degree_sum == 4.0  # every column conflict-free
+
+    def test_fully_conflicting_column(self):
+        bins = np.zeros((32, 1), dtype=int)
+        degree_sum, issues = warp_conflict_degrees(bins)
+        assert (degree_sum, issues) == (32.0, 1)
+
+    def test_two_warps(self):
+        bins = np.concatenate([np.zeros(32, dtype=int), np.arange(32)])[:, None]
+        degree_sum, issues = warp_conflict_degrees(bins)
+        assert issues == 2
+        assert degree_sum == 33.0
+
+    def test_padding_does_not_conflict(self):
+        bins = np.zeros((8, 3), dtype=int)  # 8 threads padded to one warp
+        degree_sum, issues = warp_conflict_degrees(bins)
+        assert issues == 3
+        assert degree_sum == 3 * 8.0
+
+    def test_matches_bincount_reference(self):
+        rng = np.random.default_rng(5)
+        bins = rng.integers(0, 7, size=(64, 5))
+        degree_sum, issues = warp_conflict_degrees(bins)
+        ref = 0.0
+        for col in range(5):
+            for w in range(2):
+                warp = bins[w * 32 : (w + 1) * 32, col]
+                ref += np.bincount(warp).max()
+        assert degree_sum == ref
+        assert issues == 10
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            warp_conflict_degrees(np.zeros(32, dtype=int))

@@ -1,0 +1,84 @@
+"""Unit tests for the access-counter ledger."""
+
+import pytest
+
+from repro.gpusim import AccessCounters, ELEMENT_BYTES, MemSpace
+
+
+def test_counts_start_empty():
+    c = AccessCounters()
+    for space in MemSpace:
+        assert c.total(space) == 0
+    assert c.mean_conflict_degree() == 1.0
+
+
+def test_add_and_query():
+    c = AccessCounters()
+    c.add_read(MemSpace.SHARED, 10)
+    c.add_write(MemSpace.SHARED, 3)
+    c.add_atomic(MemSpace.SHARED, 4)
+    assert c.read_count(MemSpace.SHARED) == 10
+    assert c.write_count(MemSpace.SHARED) == 3
+    assert c.atomic_count(MemSpace.SHARED) == 4
+    assert c.total(MemSpace.SHARED) == 17
+    assert c.total(MemSpace.GLOBAL) == 0
+
+
+def test_bytes_counts_atomics_twice():
+    c = AccessCounters()
+    c.add_read(MemSpace.GLOBAL, 5)
+    c.add_atomic(MemSpace.GLOBAL, 2)
+    assert c.bytes_for(MemSpace.GLOBAL) == ELEMENT_BYTES * (5 + 4)
+
+
+def test_merge_accumulates():
+    a = AccessCounters()
+    a.add_read(MemSpace.ROC, 7)
+    b = AccessCounters()
+    b.add_read(MemSpace.ROC, 5)
+    b.add_write(MemSpace.GLOBAL, 2)
+    a.merge(b)
+    assert a.read_count(MemSpace.ROC) == 12
+    assert a.write_count(MemSpace.GLOBAL) == 2
+
+
+def test_sum_classmethod():
+    parts = []
+    for i in range(4):
+        c = AccessCounters()
+        c.add_read(MemSpace.SHARED, i + 1)
+        parts.append(c)
+    total = AccessCounters.sum(parts)
+    assert total.read_count(MemSpace.SHARED) == 10
+
+
+def test_conflict_sample_mean():
+    c = AccessCounters()
+    c.add_conflict_sample(2.0, issues=3)
+    c.add_conflict_sample(1.0, issues=1)
+    assert c.mean_conflict_degree() == pytest.approx(7.0 / 4.0)
+
+
+def test_conflict_sample_rejects_degree_below_one():
+    c = AccessCounters()
+    with pytest.raises(ValueError):
+        c.add_conflict_sample(0.5)
+
+
+def test_equality_compares_counts_only():
+    a = AccessCounters()
+    a.add_read(MemSpace.SHARED, 3)
+    a.add_conflict_sample(4.0, 2)
+    b = AccessCounters()
+    b.add_read(MemSpace.SHARED, 3)
+    assert a == b
+    b.add_write(MemSpace.SHARED, 1)
+    assert a != b
+
+
+def test_as_dict_omits_empty_spaces():
+    c = AccessCounters()
+    c.add_read(MemSpace.SHARED, 1)
+    d = c.as_dict()
+    assert d["reads"] == {"shared": 1}
+    assert d["writes"] == {}

@@ -1,0 +1,151 @@
+"""Unit tests for the simulated device and kernel launches."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    Device,
+    DeviceAllocationError,
+    LaunchConfig,
+    LaunchConfigError,
+    MemSpace,
+    SharedMemoryError,
+    TITAN_X,
+)
+
+
+def test_alloc_and_transfer(device):
+    host = np.arange(10, dtype=np.float32)
+    arr = device.to_device(host)
+    assert (device.to_host(arr) == host).all()
+    assert device.bytes_allocated == host.nbytes
+
+
+def test_alloc_respects_capacity():
+    small = TITAN_X.with_overrides(global_mem_bytes=1024)
+    dev = Device(small)
+    with pytest.raises(DeviceAllocationError):
+        dev.alloc((1024,), np.float64)
+
+
+def test_free_returns_capacity(device):
+    arr = device.alloc((1000,), np.float32)
+    assert device.bytes_allocated == 4000
+    device.free(arr)
+    assert device.bytes_allocated == 0
+    with pytest.raises(DeviceAllocationError):
+        device.free(arr)
+
+
+def test_launch_runs_every_block(device):
+    seen = []
+
+    def kernel(ctx):
+        seen.append(ctx.block_id)
+        assert ctx.nthreads == 64
+        assert (ctx.global_thread_ids == ctx.block_id * 64 + np.arange(64)).all()
+
+    record = device.launch(kernel, LaunchConfig(5, 64))
+    assert seen == list(range(5))
+    assert record.blocks_run == 5
+
+
+def test_launch_validates_config(device):
+    with pytest.raises(LaunchConfigError):
+        device.launch(lambda ctx: None, LaunchConfig(0, 64))
+    with pytest.raises(LaunchConfigError):
+        device.launch(lambda ctx: None, LaunchConfig(1, 4096))
+
+
+def test_launch_counters_include_global_traffic(device):
+    data = device.to_device(np.zeros(64, dtype=np.float32))
+
+    def kernel(ctx):
+        data.ld(np.arange(64))
+
+    record = device.launch(kernel, LaunchConfig(2, 32))
+    assert record.counters.read_count(MemSpace.GLOBAL) == 128
+    # and the device total agrees
+    assert device.counters.read_count(MemSpace.GLOBAL) == 128
+
+
+def test_per_launch_counters_are_isolated(device):
+    data = device.to_device(np.zeros(8, dtype=np.float32))
+
+    def k1(ctx):
+        data.ld(np.arange(8))
+
+    def k2(ctx):
+        data.ld(np.arange(4))
+
+    r1 = device.launch(k1, LaunchConfig(1, 32))
+    r2 = device.launch(k2, LaunchConfig(1, 32))
+    assert r1.counters.read_count(MemSpace.GLOBAL) == 8
+    assert r2.counters.read_count(MemSpace.GLOBAL) == 4
+    assert device.counters.read_count(MemSpace.GLOBAL) == 12
+
+
+def test_shared_allocation_budget(device):
+    def kernel(ctx):
+        ctx.alloc_shared((TITAN_X.shared_mem_per_block // 4 + 1,), np.float32)
+
+    with pytest.raises(SharedMemoryError):
+        device.launch(kernel, LaunchConfig(1, 32))
+
+
+def test_shared_budget_accumulates(device):
+    def kernel(ctx):
+        ctx.alloc_shared((6000,), np.float32)  # 24,000 B
+        ctx.alloc_shared((6000,), np.float32)  # 48,000 of 49,152 B used
+        with pytest.raises(SharedMemoryError):
+            ctx.alloc_shared((300,), np.float32)  # 1,200 B more: over
+
+    device.launch(kernel, LaunchConfig(1, 32))
+
+
+def test_free_shared_releases_budget(device):
+    def kernel(ctx):
+        tile = ctx.alloc_shared((6000,), np.float32)
+        ctx.free_shared(tile)
+        ctx.alloc_shared((6000,), np.float32)  # fits again
+
+    record = device.launch(kernel, LaunchConfig(1, 32))
+    assert record.max_shared_bytes == 24000
+
+
+def test_sync_counts_recorded(device):
+    def kernel(ctx):
+        ctx.syncthreads()
+        ctx.syncthreads()
+
+    record = device.launch(kernel, LaunchConfig(3, 32))
+    assert record.sync_counts == [2, 2, 2]
+
+
+def test_warp_partitioning(device):
+    def kernel(ctx):
+        warps = ctx.warps()
+        assert len(warps) == 2
+        assert (warps[0] == np.arange(32)).all()
+        assert (warps[1] == np.arange(32, 64)).all()
+
+    device.launch(kernel, LaunchConfig(1, 64))
+
+
+def test_readonly_binding_counts_roc(device):
+    data = device.to_device(np.zeros(16, dtype=np.float32))
+    view = device.readonly(data)
+
+    def kernel(ctx):
+        view.ld(np.arange(16))
+
+    record = device.launch(kernel, LaunchConfig(1, 32))
+    assert record.counters.read_count(MemSpace.ROC) == 16
+
+
+def test_reset_counters(device):
+    data = device.to_device(np.zeros(8, dtype=np.float32))
+    device.launch(lambda ctx: data.ld(np.arange(8)), LaunchConfig(1, 32))
+    device.reset_counters()
+    assert device.counters.read_count(MemSpace.GLOBAL) == 0
+    assert device.launches == []

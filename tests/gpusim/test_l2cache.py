@@ -1,0 +1,105 @@
+"""Tests for the L2 cache model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import DEFAULT_CALIBRATION, TITAN_X
+from repro.gpusim.l2cache import (
+    NaiveL2Analysis,
+    SetAssociativeCache,
+    analyze_naive_kernel,
+)
+
+
+def small_cache():
+    # 4 sets x 2 ways x 32-byte lines = 256 bytes
+    return SetAssociativeCache(size_bytes=256, line_bytes=32, ways=2)
+
+
+class TestSetAssociativeCache:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=100, line_bytes=32, ways=2)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=0)
+
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        stats = c.access([0, 4, 8, 31])  # same 32-byte line
+        assert stats.accesses == 4
+        assert stats.hits == 3
+        assert stats.misses == 1
+
+    def test_distinct_lines_all_miss(self):
+        c = small_cache()
+        stats = c.access([0, 32, 64, 96])
+        assert stats.hits == 0
+
+    def test_lru_eviction(self):
+        c = small_cache()
+        # set 0 holds lines 0 and 4 (stride num_sets * line = 128)
+        c.access([0, 128, 256])  # third line evicts line 0
+        stats = c.access([0])
+        assert stats.hits == 0 + 3 - 3  # line 0 was evicted: miss
+        assert c.stats.misses == 4
+
+    def test_lru_order_updated_on_hit(self):
+        c = small_cache()
+        c.access([0, 128])  # set 0: [0, 128]
+        c.access([0])  # touch 0: LRU is now 128
+        c.access([256])  # evicts 128, not 0
+        stats = c.access([0])
+        assert stats.hits >= 2  # the touch and this final access hit
+
+    def test_streaming_over_capacity(self):
+        c = small_cache()
+        addrs = np.arange(0, 4096, 4)  # 16x the capacity, sequential
+        stats = c.access(addrs)
+        # one miss per 32-byte line, hits for the 7 other words
+        assert stats.hit_rate == pytest.approx(7 / 8)
+
+    def test_flush(self):
+        c = small_cache()
+        c.access([0])
+        c.flush()
+        assert c.stats.accesses == 0
+        assert c.access([0]).hits == 0
+
+
+class TestNaiveAnalysis:
+    def test_high_hit_rate_within_l2(self):
+        a = analyze_naive_kernel(100_000)
+        assert a.fits_in_l2
+        assert a.hit_rate > 0.95
+
+    def test_effective_latency_far_below_raw_dram(self):
+        """The point of the analysis: even at paper scale the L2 keeps
+        the mean pre-hiding latency far below the raw 350 cycles, which
+        is why the calibrated ``global_issue`` (53 cycles, pinned by
+        Fig. 2's 5.5x) is physically plausible."""
+        a = analyze_naive_kernel(1_000_000)
+        assert a.effective_cycles < TITAN_X.latency.global_mem / 2.5
+        assert a.effective_cycles > DEFAULT_CALIBRATION.global_issue
+
+    def test_degrades_when_working_set_overflows(self):
+        small = analyze_naive_kernel(100_000)  # 1.2 MB: fits 3 MB L2
+        huge = analyze_naive_kernel(5_000_000)  # 60 MB: does not
+        assert not huge.fits_in_l2
+        assert huge.hit_rate < small.hit_rate
+        assert huge.effective_cycles > small.effective_cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_naive_kernel(0)
+
+    def test_simulated_warp_stream_confirms_model(self):
+        """Drive the exact cache with the Naive pattern (whole warps
+        reading consecutive elements) and compare hit rates."""
+        cache = SetAssociativeCache(size_bytes=8192, line_bytes=32, ways=4)
+        # a warp reads element j (4 bytes) 32 times, j advancing
+        addrs = []
+        for j in range(512):
+            addrs.extend([4 * j] * 32)
+        stats = cache.access(addrs)
+        model = analyze_naive_kernel(512, dims=1, l2_bytes=8192)
+        assert stats.hit_rate == pytest.approx(model.hit_rate, abs=0.01)

@@ -1,0 +1,111 @@
+"""Unit tests for tracked memory spaces."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    AccessCounters,
+    MemSpace,
+    MemorySpaceError,
+    OutOfBoundsError,
+    ReadOnlyView,
+    TrackedArray,
+    bank_conflict_degree,
+)
+
+
+def make(shape=(16,), space=MemSpace.SHARED):
+    c = AccessCounters()
+    return TrackedArray(np.zeros(shape, dtype=np.float32), space, c, "t"), c
+
+
+def test_ld_counts_element_accesses():
+    arr, c = make((8,))
+    arr.ld(np.array([0, 1, 2]))
+    assert c.read_count(MemSpace.SHARED) == 3
+
+
+def test_ld_fanout_multiplies():
+    arr, c = make((8,))
+    arr.ld(np.array([5]), fanout=32)  # one element broadcast to 32 threads
+    assert c.read_count(MemSpace.SHARED) == 32
+
+
+def test_ld_returns_copy():
+    arr, _ = make((4,))
+    out = arr.ld(slice(None))
+    out[0] = 99.0
+    assert arr.raw()[0] == 0.0
+
+
+def test_st_counts_and_writes():
+    arr, c = make((4, 8))
+    arr.st((slice(None), slice(0, 3)), 1.0)
+    assert c.write_count(MemSpace.SHARED) == 12
+    assert arr.raw()[:, :3].sum() == 12.0
+
+
+def test_fill_counts_every_element():
+    arr, c = make((4, 4))
+    arr.fill(2.0)
+    assert c.write_count(MemSpace.SHARED) == 16
+    assert (arr.raw() == 2.0).all()
+
+
+def test_out_of_bounds_read_raises():
+    arr, _ = make((4,))
+    with pytest.raises(OutOfBoundsError):
+        arr.ld(np.array([10]))
+
+
+def test_out_of_bounds_write_raises():
+    arr, _ = make((4,))
+    with pytest.raises(OutOfBoundsError):
+        arr.st(np.array([10]), 1.0)
+
+
+def test_readonly_view_counts_as_roc():
+    base, c = make((8,), MemSpace.GLOBAL)
+    view = ReadOnlyView(base)
+    view.ld(np.array([1, 2]))
+    assert c.read_count(MemSpace.ROC) == 2
+    assert c.read_count(MemSpace.GLOBAL) == 0
+
+
+def test_readonly_view_forbids_writes():
+    base, _ = make((8,), MemSpace.GLOBAL)
+    view = ReadOnlyView(base)
+    with pytest.raises(MemorySpaceError):
+        view.st(np.array([0]), 1.0)
+    with pytest.raises(MemorySpaceError):
+        view.fill(0.0)
+
+
+def test_readonly_view_shares_buffer():
+    base, _ = make((8,), MemSpace.GLOBAL)
+    view = ReadOnlyView(base)
+    base.st(np.array([3]), 7.0)
+    assert view.ld(np.array([3]))[0] == 7.0
+
+
+class TestBankConflicts:
+    def test_sequential_access_conflict_free(self):
+        # lane i -> word i: each bank hit once
+        assert bank_conflict_degree(np.arange(32)) == 1.0
+
+    def test_same_address_broadcasts(self):
+        # all lanes read word 0: hardware broadcast, no replay
+        assert bank_conflict_degree(np.zeros(32, dtype=int)) == 1.0
+
+    def test_stride_two_doubles(self):
+        assert bank_conflict_degree(np.arange(32) * 2) == 2.0
+
+    def test_stride_32_fully_serializes(self):
+        assert bank_conflict_degree(np.arange(32) * 32) == 32.0
+
+    def test_multiword_elements(self):
+        # float2 elements (2 words) behave like stride 2
+        assert bank_conflict_degree(np.arange(32), element_words=2) == 2.0
+
+    def test_empty_indices(self):
+        assert bank_conflict_degree(np.array([])) == 1.0

@@ -1,0 +1,107 @@
+"""Unit tests for the occupancy calculator (the engine behind Fig. 5)."""
+
+import pytest
+
+from repro.gpusim import (
+    LaunchConfigError,
+    RegisterPressureError,
+    SharedMemoryError,
+    TITAN_X,
+    calculate_occupancy,
+    max_block_size_for_shared,
+)
+
+
+def test_full_occupancy_small_kernel():
+    occ = calculate_occupancy(TITAN_X, 256, regs_per_thread=32, shared_per_block=0)
+    assert occ.occupancy == 1.0
+    assert occ.blocks_per_sm == 8
+    assert occ.active_warps_per_sm == 64
+
+
+def test_thread_limit():
+    occ = calculate_occupancy(TITAN_X, 1024, regs_per_thread=16, shared_per_block=0)
+    assert occ.blocks_per_sm == 2  # 2048 / 1024
+
+
+def test_shared_memory_steps():
+    """The Fig. 5 staircase: growing shared usage knocks out blocks."""
+    prev_blocks = None
+    drops = 0
+    for hist_bytes in (4_000, 13_000, 17_000, 20_000, 33_000):
+        occ = calculate_occupancy(
+            TITAN_X, 256, regs_per_thread=32, shared_per_block=hist_bytes
+        )
+        if prev_blocks is not None and occ.blocks_per_sm < prev_blocks:
+            drops += 1
+        prev_blocks = occ.blocks_per_sm
+    assert drops >= 3  # several distinct steps
+
+
+def test_shared_limited_reports_limiter():
+    occ = calculate_occupancy(TITAN_X, 256, regs_per_thread=32, shared_per_block=20_000)
+    assert occ.limiter == "shared"
+    assert occ.blocks_per_sm == 4  # 96KB / 20KB (rounded to 20,224 B)
+    assert occ.occupancy == 0.5
+
+
+def test_register_limited():
+    occ = calculate_occupancy(TITAN_X, 256, regs_per_thread=128, shared_per_block=0)
+    # 128 regs x 256 thr = 32768 per block -> 2 blocks on a 64K-reg SM
+    assert occ.blocks_per_sm == 2
+    assert occ.limiter == "registers"
+
+
+def test_register_granularity_rounding():
+    a = calculate_occupancy(TITAN_X, 256, regs_per_thread=33)
+    b = calculate_occupancy(TITAN_X, 256, regs_per_thread=40)
+    assert a.blocks_per_sm == b.blocks_per_sm  # 33 rounds up to 40
+
+
+def test_partial_warp_rounds_up():
+    occ = calculate_occupancy(TITAN_X, 48, regs_per_thread=32)
+    # 48 threads allocate 2 warps
+    assert occ.active_threads_per_sm % 32 == 0
+
+
+def test_block_too_large_raises():
+    with pytest.raises(LaunchConfigError):
+        calculate_occupancy(TITAN_X, 2048)
+
+
+def test_zero_threads_raises():
+    with pytest.raises(LaunchConfigError):
+        calculate_occupancy(TITAN_X, 0)
+
+
+def test_too_many_registers_raises():
+    with pytest.raises(RegisterPressureError):
+        calculate_occupancy(TITAN_X, 256, regs_per_thread=300)
+
+
+def test_shared_over_block_limit_raises():
+    with pytest.raises(SharedMemoryError):
+        calculate_occupancy(TITAN_X, 256, shared_per_block=49 * 1024)
+
+
+def test_occupancy_monotone_in_shared_usage():
+    values = [
+        calculate_occupancy(TITAN_X, 256, 32, s).occupancy
+        for s in range(0, 40_000, 2_000)
+    ]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_max_block_size_for_shared():
+    # 12 bytes/thread tiles (3-d fp32): full blocks still fit
+    assert max_block_size_for_shared(TITAN_X, 12) == 1024
+    # enormous per-thread footprint: block shrinks to a warp multiple
+    b = max_block_size_for_shared(TITAN_X, 100.0)
+    assert b % 32 == 0
+    assert b * 100 <= TITAN_X.shared_mem_per_block
+    assert max_block_size_for_shared(TITAN_X, 0) == 1024
+
+
+def test_str_mentions_limiter():
+    occ = calculate_occupancy(TITAN_X, 256, 32, 20_000)
+    assert "shared" in str(occ)

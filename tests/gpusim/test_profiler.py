@@ -1,0 +1,67 @@
+"""Unit tests for profiler-style reporting (Tables II-IV machinery)."""
+
+import pytest
+
+from repro.gpusim import (
+    AccessCounters,
+    MemSpace,
+    PipelineCycles,
+    TITAN_X,
+    bandwidth_table,
+    build_report,
+    format_bandwidth,
+    simulate_time,
+    utilization_table,
+)
+
+
+def make_report(shared_reads=1000, seconds_scale=1.0):
+    counters = AccessCounters()
+    counters.add_read(MemSpace.SHARED, shared_reads)
+    counters.add_read(MemSpace.GLOBAL, 10)
+    timing = simulate_time(
+        PipelineCycles(arith=1e9 * seconds_scale, shared=5e8),
+        spec=TITAN_X,
+        fixed_overhead_s=0.0,
+    )
+    return build_report("Test", 1000, timing, TITAN_X, counters=counters)
+
+
+def test_bandwidth_derivation():
+    rep = make_report(shared_reads=1000)
+    expected = 1000 * 4 / rep.seconds
+    assert rep.achieved_bandwidth["shared"] == pytest.approx(expected)
+
+
+def test_memory_summary_picks_busiest_unit():
+    rep = make_report()
+    assert "Shared Memory" in rep.memory_summary
+
+
+def test_format_bandwidth_units():
+    assert format_bandwidth(2.86e12) == "2.86 TB/s"
+    assert format_bandwidth(270e9) == "270 GB/s"
+    assert format_bandwidth(5e6) == "5 MB/s"
+    assert format_bandwidth(10) == "10 B/s"
+
+
+def test_utilization_table_renders_all_kernels():
+    reps = [make_report(), make_report(shared_reads=5)]
+    reps[1].kernel = "Other"
+    table = utilization_table(reps)
+    assert "Test" in table and "Other" in table
+    assert "Arithmetic" in table and "Control-flow" in table
+
+
+def test_bandwidth_table_has_paper_columns():
+    table = bandwidth_table([make_report()])
+    for col in ("Shared Memory", "L2 Cache", "Data cache", "Global Load"):
+        assert col in table
+
+
+def test_report_without_counters_has_no_bandwidth():
+    timing = simulate_time(
+        PipelineCycles(arith=1e9), spec=TITAN_X, fixed_overhead_s=0.0
+    )
+    rep = build_report("NoCounters", 10, timing, TITAN_X)
+    assert rep.achieved_bandwidth == {}

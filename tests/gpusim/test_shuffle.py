@@ -1,0 +1,94 @@
+"""Unit tests for warp shuffle semantics (Algorithm 4's primitive)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    GpuSimError,
+    LaunchConfigError,
+    shfl_broadcast,
+    shfl_down,
+    shfl_up,
+    shfl_xor,
+    warp_reduce_sum,
+)
+
+
+def test_broadcast_within_each_warp():
+    regs = np.arange(64.0)
+    out = shfl_broadcast(regs, 5)
+    assert (out[:32] == 5.0).all()
+    assert (out[32:] == 37.0).all()
+
+
+def test_broadcast_matches_paper_figure8():
+    # Fig. 8: lanes hold 32..39 (warp of 8); broadcast from tid 0 -> all 32
+    regs = np.arange(32, 40, dtype=float)
+    out = shfl_broadcast(regs, 0, warp_size=8)
+    assert (out == 32.0).all()
+    out1 = shfl_broadcast(regs, 1, warp_size=8)
+    assert (out1 == 33.0).all()
+
+
+def test_broadcast_leaves_input_untouched():
+    regs = np.arange(32.0)
+    shfl_broadcast(regs, 3)
+    assert regs[0] == 0.0
+
+
+def test_broadcast_vector_payload():
+    regs = np.stack([np.arange(32.0), np.arange(32.0) * 10], axis=1)
+    out = shfl_broadcast(regs, 2)
+    assert (out[:, 0] == 2.0).all()
+    assert (out[:, 1] == 20.0).all()
+
+
+def test_broadcast_rejects_bad_lane():
+    with pytest.raises(GpuSimError):
+        shfl_broadcast(np.arange(32.0), 32)
+
+
+def test_requires_whole_warps():
+    with pytest.raises(LaunchConfigError):
+        shfl_broadcast(np.arange(33.0), 0)
+
+
+def test_shfl_down():
+    regs = np.arange(32.0)
+    out = shfl_down(regs, 4)
+    assert out[0] == 4.0
+    assert out[27] == 31.0
+    # lanes past the end keep their own value
+    assert (out[28:] == regs[28:]).all()
+
+
+def test_shfl_up():
+    regs = np.arange(32.0)
+    out = shfl_up(regs, 4)
+    assert out[4] == 0.0
+    assert (out[:4] == regs[:4]).all()
+
+
+def test_shfl_xor_is_involution():
+    regs = np.arange(64.0)
+    once = shfl_xor(regs, 5)
+    twice = shfl_xor(once, 5)
+    assert (twice == regs).all()
+
+
+def test_shfl_xor_rejects_escaping_mask():
+    with pytest.raises(GpuSimError):
+        shfl_xor(np.arange(16.0), 16, warp_size=16)
+
+
+def test_warp_reduce_sum_every_lane_gets_total():
+    rng = np.random.default_rng(3)
+    regs = rng.normal(size=64)
+    out = warp_reduce_sum(regs)
+    assert np.allclose(out[:32], regs[:32].sum())
+    assert np.allclose(out[32:], regs[32:].sum())
+
+
+def test_warp_reduce_sum_int():
+    regs = np.arange(32)
+    assert (warp_reduce_sum(regs) == 496).all()

@@ -1,0 +1,69 @@
+"""Unit tests for device specifications."""
+
+import pytest
+
+from repro.gpusim import (
+    FERMI_M2090,
+    GTX_980,
+    MemSpace,
+    PRESETS,
+    TESLA_K40,
+    TITAN_X,
+    get_device_spec,
+)
+
+
+def test_titan_x_matches_paper_testbed():
+    # Section IV-B: Titan X with 12 GB of global memory
+    assert TITAN_X.global_mem_bytes == 12 * 1024**3
+    assert TITAN_X.sm_count == 24
+    assert TITAN_X.cores_per_sm == 128
+    assert TITAN_X.total_cores == 3072
+    assert TITAN_X.warp_size == 32
+    # Section III-A: shared memory of size 96KB per multiprocessor
+    assert TITAN_X.shared_mem_per_sm == 96 * 1024
+
+
+def test_paper_latencies():
+    # Section IV-B: "350, 92, and 28 clock cycles, respectively"
+    lat = TITAN_X.latency
+    assert lat.for_space(MemSpace.GLOBAL) == 350.0
+    assert lat.for_space(MemSpace.ROC) == 92.0
+    assert lat.for_space(MemSpace.SHARED) == 28.0
+    assert lat.for_space(MemSpace.REGISTER) == 1.0
+
+
+def test_paper_bandwidth_ordering():
+    # "3TB/s vs 1TB/s for the ROC", global far below both
+    assert TITAN_X.shared_bandwidth > TITAN_X.roc_bandwidth > TITAN_X.global_bandwidth
+    assert TITAN_X.bandwidth_for(MemSpace.SHARED) == 3e12
+
+
+def test_generations_feature_gate():
+    # Section III-A: shuffle instructions start with Kepler
+    assert not FERMI_M2090.supports_shuffle
+    assert TESLA_K40.supports_shuffle
+    assert TITAN_X.supports_shuffle
+
+
+def test_gtx980_has_paper_quoted_bandwidth():
+    # Section III-A quotes "up to 224 GB/sec" from the GTX 980 whitepaper
+    assert GTX_980.global_bandwidth == 224e9
+
+
+def test_preset_lookup():
+    assert get_device_spec("titan-x") is TITAN_X
+    with pytest.raises(KeyError, match="unknown device preset"):
+        get_device_spec("gtx-9999")
+    assert set(PRESETS) == {"titan-x", "gtx-980", "k40", "fermi"}
+
+
+def test_with_overrides_returns_copy():
+    slow = TITAN_X.with_overrides(clock_hz=5e8)
+    assert slow.clock_hz == 5e8
+    assert TITAN_X.clock_hz == 1e9
+    assert slow.sm_count == TITAN_X.sm_count
+
+
+def test_peak_lane_cycles():
+    assert TITAN_X.peak_lane_cycles_per_sec == 3072 * 1e9

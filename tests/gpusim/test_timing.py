@@ -1,0 +1,165 @@
+"""Unit tests for the pipeline timing model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    Calibration,
+    ComputeCost,
+    MemSpace,
+    PipelineCycles,
+    TITAN_X,
+    TrafficProfile,
+    cycles_from_traffic,
+    reduction_stage_seconds,
+    scale_profile,
+    simulate_time,
+)
+
+CAL = Calibration()
+
+
+def test_cycles_from_compute_only():
+    t = TrafficProfile(pairs=100, compute=ComputeCost(10, 2, 3))
+    c = cycles_from_traffic(t, CAL)
+    assert c.arith == 1000
+    assert c.ctrl == 200
+    assert c.compute == 1500
+    assert c.shared == 0
+
+
+def test_issue_scale_inflates_compute():
+    t = TrafficProfile(pairs=100, compute=ComputeCost(10, 0, 0), issue_scale=1.5)
+    assert cycles_from_traffic(t, CAL).arith == 1500
+
+
+def test_memory_pipelines_use_calibration():
+    t = TrafficProfile(shm_reads=10, shm_writes=5, roc_reads=4, global_scattered=2)
+    c = cycles_from_traffic(t, CAL)
+    assert c.shared == pytest.approx(15 * CAL.shm_issue)
+    assert c.roc == pytest.approx(4 * CAL.roc_issue)
+    assert c.global_ == pytest.approx(2 * CAL.global_issue)
+
+
+def test_atomic_contention_scales_cost():
+    base = cycles_from_traffic(TrafficProfile(shm_atomics=100), CAL).shared
+    contended = cycles_from_traffic(
+        TrafficProfile(shm_atomics=100, conflict_degree=2.0), CAL
+    ).shared
+    assert contended == pytest.approx(2.0 * base)
+
+
+def test_stream_writes_priced_like_stream_reads():
+    a = cycles_from_traffic(TrafficProfile(global_stream=10), CAL).global_
+    b = cycles_from_traffic(TrafficProfile(global_stream_writes=10), CAL).global_
+    assert a == b
+
+
+def test_profile_addition_merges_counts():
+    a = TrafficProfile(pairs=10, compute=ComputeCost(1, 1, 1), shm_reads=5)
+    b = TrafficProfile(pairs=20, compute=ComputeCost(1, 1, 1), shm_reads=7)
+    c = a + b
+    assert c.pairs == 30
+    assert c.shm_reads == 12
+
+
+def test_profile_addition_weights_issue_scale():
+    a = TrafficProfile(pairs=10, issue_scale=1.0)
+    b = TrafficProfile(pairs=10, issue_scale=2.0)
+    assert (a + b).issue_scale == pytest.approx(1.5)
+
+
+def test_profile_addition_weights_conflicts_by_atomics():
+    a = TrafficProfile(shm_atomics=10, conflict_degree=1.0)
+    b = TrafficProfile(shm_atomics=30, conflict_degree=3.0)
+    assert (a + b).conflict_degree == pytest.approx(2.5)
+
+
+def test_profile_addition_rejects_different_compute():
+    a = TrafficProfile(pairs=1, compute=ComputeCost(1, 1, 1))
+    b = TrafficProfile(pairs=1, compute=ComputeCost(2, 2, 2))
+    with pytest.raises(ValueError):
+        a + b
+
+
+def test_expected_counters_roundtrip():
+    t = TrafficProfile(
+        shm_reads=10, shm_writes=3, roc_reads=7,
+        global_stream=5, global_stream_writes=4, global_scattered=2,
+        shm_atomics=6, global_atomics=1, shuffles=9,
+    )
+    c = t.expected_counters()
+    assert c.read_count(MemSpace.SHARED) == 10
+    assert c.write_count(MemSpace.SHARED) == 3
+    assert c.read_count(MemSpace.ROC) == 7
+    assert c.read_count(MemSpace.GLOBAL) == 7
+    assert c.write_count(MemSpace.GLOBAL) == 4
+    assert c.atomic_count(MemSpace.SHARED) == 6
+    assert c.atomic_count(MemSpace.GLOBAL) == 1
+    assert c.read_count(MemSpace.REGISTER) == 9
+
+
+def test_scale_profile():
+    t = TrafficProfile(pairs=10, shm_reads=4, global_atomics=2)
+    s = scale_profile(t, 2.5)
+    assert s.pairs == 25
+    assert s.shm_reads == 10
+    assert s.global_atomics == 5
+
+
+class TestSimulateTime:
+    def test_dominant_pipeline_sets_time(self):
+        c = PipelineCycles(arith=3.072e12)  # exactly 1 second of lane work
+        t = simulate_time(c, spec=TITAN_X, fixed_overhead_s=0.0)
+        assert t.seconds == pytest.approx(1.0)
+        assert t.dominant == "compute"
+
+    def test_interference_adds_secondary_pipelines(self):
+        c = PipelineCycles(arith=1e9, shared=1e8)
+        t = simulate_time(c, spec=TITAN_X, fixed_overhead_s=0.0)
+        expected = (1e9 + CAL.interference_kappa * 1e8) / TITAN_X.peak_lane_cycles_per_sec
+        assert t.seconds == pytest.approx(expected)
+
+    def test_low_occupancy_slows_down(self):
+        c = PipelineCycles(arith=1e9)
+        full = simulate_time(c, spec=TITAN_X, occupancy=1.0, fixed_overhead_s=0.0)
+        half = simulate_time(c, spec=TITAN_X, occupancy=0.5, fixed_overhead_s=0.0)
+        assert half.seconds == pytest.approx(
+            full.seconds * 2.0 ** CAL.occupancy_gamma
+        )
+
+    def test_invalid_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_time(PipelineCycles(), spec=TITAN_X, occupancy=0.0)
+        with pytest.raises(ValueError):
+            simulate_time(PipelineCycles(), spec=TITAN_X, occupancy=1.5)
+
+    def test_utilization_fractions(self):
+        c = PipelineCycles(arith=50, ctrl=10, other=20, shared=100)
+        t = simulate_time(c, spec=TITAN_X, fixed_overhead_s=0.0)
+        assert t.dominant == "shared"
+        assert t.utilization["shared"] > t.utilization["compute"]
+        assert t.utilization["arith"] == pytest.approx(
+            50 / t.total_issue_cycles
+        )
+
+    def test_extra_seconds_added(self):
+        c = PipelineCycles(arith=1e6)
+        base = simulate_time(c, spec=TITAN_X, fixed_overhead_s=0.0)
+        plus = simulate_time(c, spec=TITAN_X, fixed_overhead_s=0.0, extra_seconds=0.5)
+        assert plus.seconds == pytest.approx(base.seconds + 0.5)
+
+
+def test_pipeline_cycles_add_and_scale():
+    a = PipelineCycles(arith=1, shared=2)
+    b = PipelineCycles(arith=3, roc=4)
+    c = a + b
+    assert c.arith == 4 and c.shared == 2 and c.roc == 4
+    s = c.scaled(2.0)
+    assert s.arith == 8 and s.roc == 8
+
+
+def test_reduction_stage_is_cheap():
+    # Eq. 7's point: the combine stage is negligible against the O(N^2) pass
+    secs = reduction_stage_seconds(2500, 4000, TITAN_X)
+    assert secs < 0.01

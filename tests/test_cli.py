@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(args, capsys):
+    code = main(args)
+    return code, capsys.readouterr().out
+
+
+def test_devices(capsys):
+    code, out = run(["devices"], capsys)
+    assert code == 0
+    assert "Titan X" in out and "paper testbed" in out
+    assert "shuffle=no" in out  # Fermi
+
+
+def test_estimate_sdh(capsys):
+    code, out = run(["estimate", "-n", "500000", "--problem", "sdh"], capsys)
+    assert code == 0
+    assert "predicted time" in out
+    assert "occupancy" in out
+
+
+def test_estimate_pcf_explicit_kernel(capsys):
+    code, out = run(
+        ["estimate", "-n", "200000", "--problem", "pcf", "--input",
+         "register-shm", "--output", "register", "--block-size", "1024"],
+        capsys,
+    )
+    assert code == 0
+    assert "Register-SHM" in out
+
+
+def test_estimate_on_other_device(capsys):
+    code, out = run(
+        ["estimate", "-n", "200000", "--device", "fermi"], capsys
+    )
+    assert code == 0
+    assert "Fermi" in out
+
+
+def test_plan(capsys):
+    code, out = run(["plan", "-n", "500000", "--bins", "2500"], capsys)
+    assert code == 0
+    assert "chosen:" in out
+
+
+def test_sdh_compute(capsys):
+    code, out = run(["sdh", "-n", "512", "--bins", "32"], capsys)
+    assert code == 0
+    assert "total pairs 130,816" in out  # 512*511/2
+
+
+def test_pcf_compute(capsys):
+    code, out = run(["pcf", "-n", "512", "--radius", "2.0"], capsys)
+    assert code == 0
+    assert "pairs within radius" in out
+
+
+def test_figures_single(capsys):
+    code, out = run(["figures", "table2"], capsys)
+    assert code == 0
+    assert "Reg-SHM" in out
+
+
+def test_figures_unknown(capsys):
+    code = main(["figures", "fig99"])
+    assert code == 2

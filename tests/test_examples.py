@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run end-to-end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, argv=()):
+    path = EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(path), *argv]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    except SystemExit as exc:  # argparse-based scripts exit 0
+        assert exc.code in (0, None)
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Reg-ROC-Out" in out
+    assert "plan for" in out
+
+
+def test_molecular_rdf(capsys):
+    run_example("molecular_rdf.py")
+    out = capsys.readouterr().out
+    assert "first coordination shell" in out
+
+
+def test_astro_correlation(capsys):
+    run_example("astro_correlation.py")
+    out = capsys.readouterr().out
+    assert "clustering signal detected" in out
+
+
+def test_recommender_similarity(capsys):
+    run_example("recommender_similarity.py")
+    out = capsys.readouterr().out
+    assert "top substitute recommendations" in out
+    assert "band join" in out
+
+
+def test_outlier_detection(capsys):
+    run_example("outlier_detection.py")
+    out = capsys.readouterr().out
+    assert "detector agreement" in out
+
+
+@pytest.mark.slow
+def test_reproduce_paper_quick(capsys):
+    run_example("reproduce_paper.py", argv=["--quick"])
+    out = capsys.readouterr().out
+    assert "Fig. 2" in out and "Fig. 9" in out

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) on core data structures & invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import apps
+from repro.core import (
+    BlockDecomposition,
+    compute_geometry,
+    cyclic_pair_list,
+    make_kernel,
+)
+from repro.cpusim import (
+    dynamic_schedule,
+    guided_schedule,
+    static_schedule,
+    triangular_weight,
+)
+from repro.cpu_ref import brute
+from repro.gpusim import (
+    Device,
+    TITAN_X,
+    calculate_occupancy,
+    shfl_broadcast,
+    shfl_xor,
+    warp_loop_cycles,
+)
+
+MAXD = 10.0 * math.sqrt(3.0)
+
+
+# -- tiling geometry ------------------------------------------------------------
+
+@given(n=st.integers(1, 5000), b=st.integers(1, 1024))
+def test_block_decomposition_partitions_points(n, b):
+    dec = BlockDecomposition(n, b)
+    total = sum(dec.block_size_of(i) for i in range(dec.num_blocks))
+    assert total == n
+    assert dec.num_blocks * b >= n > (dec.num_blocks - 1) * b
+
+
+@given(n=st.integers(2, 2000), b=st.integers(1, 256), full=st.booleans())
+def test_geometry_pair_conservation(n, b, full):
+    """inter + intra pairs always equals the problem's total pair count."""
+    geom = compute_geometry(n, b, full)
+    expected = n * (n - 1) if full else n * (n - 1) // 2
+    assert geom.pairs == expected
+
+
+@given(b=st.integers(1, 128).map(lambda x: 2 * x))
+def test_cyclic_schedule_is_a_perfect_matching_sequence(b):
+    pairs = cyclic_pair_list(b)
+    canon = {tuple(sorted(p)) for p in pairs.tolist()}
+    assert len(canon) == len(pairs) == b * (b - 1) // 2
+
+
+# -- divergence ------------------------------------------------------------------
+
+@given(
+    trips=st.lists(st.integers(0, 200), min_size=1, max_size=256).map(np.array)
+)
+def test_divergence_bounds(trips):
+    prof = warp_loop_cycles(trips)
+    assert prof.warp_iterations >= math.ceil(trips.max() if trips.size else 0)
+    assert prof.thread_iterations <= prof.lane_slots
+    assert 0.0 <= prof.efficiency <= 1.0
+
+
+# -- occupancy --------------------------------------------------------------------
+
+@given(
+    threads=st.integers(1, 32).map(lambda w: w * 32),
+    regs=st.integers(16, 128),
+    shared=st.integers(0, 48 * 1024),
+)
+def test_occupancy_in_unit_range(threads, regs, shared):
+    from repro.gpusim import LaunchConfigError
+
+    try:
+        occ = calculate_occupancy(TITAN_X, threads, regs, shared)
+    except LaunchConfigError:
+        # legal only when a single block genuinely exceeds the SM's
+        # register file (the real driver rejects such launches too)
+        granulated = ((regs + 7) // 8) * 8
+        assert granulated * threads > TITAN_X.registers_per_sm
+        return
+    assert 0.0 < occ.occupancy <= 1.0
+    assert occ.blocks_per_sm >= 1
+    assert occ.active_warps_per_sm <= TITAN_X.max_warps_per_sm
+
+
+@given(threads=st.sampled_from([128, 256, 512]), regs=st.integers(16, 64))
+def test_occupancy_antitone_in_shared(threads, regs):
+    prev = None
+    for shared in (0, 8_192, 20_480, 32_768, 45_056):
+        occ = calculate_occupancy(TITAN_X, threads, regs, shared).occupancy
+        if prev is not None:
+            assert occ <= prev
+        prev = occ
+
+
+# -- shuffle ----------------------------------------------------------------------
+
+@given(
+    data=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=32, max_size=32
+    ),
+    lane=st.integers(0, 31),
+)
+def test_shuffle_broadcast_delivers_source_lane(data, lane):
+    regs = np.array(data)
+    out = shfl_broadcast(regs, lane)
+    assert (out == regs[lane]).all()
+
+
+@given(
+    data=st.lists(st.integers(-1000, 1000), min_size=64, max_size=64),
+    mask=st.sampled_from([1, 2, 4, 8, 16]),
+)
+def test_shuffle_xor_involution(data, mask):
+    regs = np.array(data)
+    assert (shfl_xor(shfl_xor(regs, mask), mask) == regs).all()
+
+
+# -- schedulers --------------------------------------------------------------------
+
+schedule_strategy = st.sampled_from(
+    [
+        lambda n, t: static_schedule(n, t),
+        lambda n, t: static_schedule(n, t, chunk=13),
+        lambda n, t: dynamic_schedule(n, t, chunk=17),
+        lambda n, t: guided_schedule(n, t, min_chunk=8),
+        lambda n, t: guided_schedule(
+            n, t, min_chunk=4, weight_fn=triangular_weight(n)
+        ),
+    ]
+)
+
+
+@given(n=st.integers(0, 3000), t=st.integers(1, 16), make=schedule_strategy)
+def test_schedules_tile_iteration_space(n, t, make):
+    a = make(n, t)
+    chunks = a.coverage()
+    assert sum(e - s for s, e in chunks) == n
+    for (s1, e1), (s2, e2) in zip(chunks, chunks[1:]):
+        assert e1 == s2
+    assert all(s < e for s, e in chunks)
+
+
+# -- histogram invariants (functional kernels) ------------------------------------
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(20, 140),
+    bins=st.integers(4, 48),
+    seed=st.integers(0, 1000),
+    inp=st.sampled_from(["naive", "register-shm", "register-roc", "shuffle"]),
+)
+def test_sdh_mass_conservation_and_oracle(n, bins, seed, inp):
+    pts = np.random.default_rng(seed).uniform(0, 10, (n, 3))
+    problem = apps.sdh.make_problem(bins, MAXD)
+    kernel = make_kernel(problem, inp, "privatized-shm", block_size=32)
+    result, _ = kernel.execute(Device(), pts)
+    assert result.sum() == n * (n - 1) // 2
+    assert np.array_equal(result, brute.sdh_histogram(pts, bins, MAXD / bins))
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(10, 120), r=st.floats(0.1, 20.0), seed=st.integers(0, 100))
+def test_pcf_count_bounds_and_oracle(n, r, seed):
+    pts = np.random.default_rng(seed).uniform(0, 10, (n, 3))
+    count, _ = apps.pcf.count_pairs(pts, r)
+    assert 0 <= count <= n * (n - 1) // 2
+    assert count == brute.pcf_count(pts, r)
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(30, 100), k=st.integers(1, 6), seed=st.integers(0, 50))
+def test_knn_distance_properties(n, k, seed):
+    pts = np.random.default_rng(seed).uniform(0, 10, (n, 3))
+    d, ids, _ = apps.knn.compute(pts, k)
+    assert (np.diff(d, axis=1) >= 0).all()  # sorted
+    assert (ids != np.arange(n)[:, None]).all()  # never self
+    rd, _ = brute.knn(pts, k)
+    assert np.allclose(d, rd)
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(20, 90), eps=st.floats(0.0, 50.0), seed=st.integers(0, 50))
+def test_join_symmetric_and_complete(n, eps, seed):
+    vals = np.random.default_rng(seed).uniform(0, 100, n)
+    pairs, _ = apps.join.band_join(vals, eps)
+    assert np.array_equal(pairs, brute.band_join(vals, eps))
+    # every emitted pair satisfies the predicate
+    if len(pairs):
+        assert (np.abs(vals[pairs[:, 0]] - vals[pairs[:, 1]]) <= eps).all()
