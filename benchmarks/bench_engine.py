@@ -1,0 +1,131 @@
+"""Engine benchmark: sequential vs batched vs parallel simulator launch.
+
+Times the functional simulator itself (host wall time, not simulated GPU
+time) on the paper's flagship SDH kernel (Register-ROC x Privatized-SHM,
+B=256) across the three engine modes:
+
+* ``sequential`` — workers=1, batch_tiles=1: the seed's tile-at-a-time loop;
+* ``batched``    — workers=1, batch auto: R-tiles stacked per pair_fn call;
+* ``parallel``   — workers=4, batch auto: block-parallel launch on top.
+
+Every mode's histogram is checked against the sequential result before a
+time is reported.  Run as a script to produce ``BENCH_engine.json`` at the
+repo root::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+or run the ``bench_smoke`` subset in CI::
+
+    PYTHONPATH=src python -m pytest benchmarks -m bench_smoke -q
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core.kernels import make_kernel
+from repro.gpusim import Device, TITAN_X
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+SDH_BINS = 256
+BLOCK = 256
+SIZES = (2048, 4096, 8192)
+WORKERS = 4
+
+#: (row name, workers, batch_tiles) — batch None = engine auto
+MODES = (
+    ("sequential", 1, 1),
+    ("batched", 1, None),
+    ("parallel", WORKERS, None),
+)
+
+
+def _points(n: int) -> np.ndarray:
+    rng = np.random.default_rng(20160808)
+    return rng.uniform(0.0, 10.0, size=(n, 3))
+
+
+def _kernel():
+    problem = apps.sdh.make_problem(SDH_BINS, 10.0 * math.sqrt(3.0), dims=3)
+    return make_kernel(
+        problem, "register-roc", "privatized-shm", block_size=BLOCK
+    )
+
+
+def _time_mode(points: np.ndarray, workers: int, batch, repeats: int = 1):
+    """Best-of-``repeats`` wall time plus the histogram for verification."""
+    kernel = _kernel()
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        device = Device(TITAN_X)
+        t0 = time.perf_counter()
+        result, _ = kernel.execute(
+            device, points, workers=workers, batch_tiles=batch
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_suite(sizes=SIZES, repeats: int = 4):
+    """Time every mode at every size; returns the BENCH_engine.json rows."""
+    rows = []
+    for n in sizes:
+        points = _points(n)
+        baseline_seconds = None
+        baseline_hist = None
+        for bench, workers, batch in MODES:
+            seconds, hist = _time_mode(points, workers, batch, repeats)
+            if baseline_seconds is None:
+                baseline_seconds, baseline_hist = seconds, hist
+            else:
+                np.testing.assert_array_equal(baseline_hist, hist)
+            rows.append({
+                "bench": bench,
+                "n": n,
+                "seconds": round(seconds, 6),
+                "speedup": round(baseline_seconds / seconds, 3),
+            })
+    return rows
+
+
+def main() -> None:
+    rows = run_suite()
+    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    width = max(len(r["bench"]) for r in rows)
+    for r in rows:
+        print(
+            f"N={r['n']:>6}  {r['bench']:<{width}}  "
+            f"{r['seconds']:>9.4f}s  {r['speedup']:>6.2f}x"
+        )
+    print(f"wrote {OUT_PATH}")
+
+
+# -- CI smoke subset -----------------------------------------------------------
+
+@pytest.mark.bench_smoke
+def test_engine_bench_smoke(save_artifact):
+    """Quick cross-check at N=2048: all modes agree, batching is faster."""
+    rows = run_suite(sizes=(2048,), repeats=1)
+    by_mode = {r["bench"]: r for r in rows}
+    assert set(by_mode) == {m[0] for m in MODES}
+    # run_suite already asserted the histograms are identical; here we pin
+    # the perf contract at smoke scale (generous bound: CI machines vary)
+    assert by_mode["batched"]["speedup"] > 1.2
+    save_artifact(
+        "bench_engine_smoke",
+        json.dumps(rows, indent=2),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -29,7 +29,14 @@ def bucket_map(bucket_width: float, bins: int):
         raise ValueError(f"bucket width must be positive, got {bucket_width}")
 
     def to_bucket(d: np.ndarray) -> np.ndarray:
-        return np.minimum((d / bucket_width).astype(np.int64), bins - 1)
+        # int32 buckets: the histogram fast path sorts/bincounts these by
+        # the batch, and the narrow dtype halves that memory traffic.
+        # Dividing straight into the int32 buffer (the 'unsafe' cast is
+        # the same truncation `.astype` performs) skips the float64
+        # intermediate entirely.
+        b = np.empty(np.shape(d), dtype=np.int32)
+        np.divide(d, bucket_width, out=b, casting="unsafe")
+        return np.minimum(b, bins - 1, out=b)
 
     return to_bucket
 

@@ -16,6 +16,9 @@ model (the dominant O(N^2) read terms).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from .tiling import BlockDecomposition
 
@@ -89,18 +92,31 @@ class StageCounts:
     shuffles: int = 0
 
 
-def _geometry(n: int, b: int) -> tuple[BlockDecomposition, int, int, int]:
+def _block_sizes(n: int, b: int) -> np.ndarray:
     dec = BlockDecomposition(n, b)
-    inter_pairs = 0
-    intra_pairs = 0
-    for blk in range(dec.num_blocks):
-        nl = dec.block_size_of(blk)
-        intra_pairs += nl * (nl - 1) // 2
-        for r in range(blk + 1, dec.num_blocks):
-            inter_pairs += nl * dec.block_size_of(r)
+    sizes = np.full(dec.num_blocks, b, dtype=np.int64)
+    sizes[-1] = n - (dec.num_blocks - 1) * b
+    return sizes
+
+
+def _geometry(n: int, b: int) -> tuple[BlockDecomposition, int, int, int]:
+    """(decomposition, inter pairs, intra pairs, M) in closed/vectorized
+    O(M) form — figure sweeps evaluate this at M in the thousands."""
+    dec = BlockDecomposition(n, b)
+    sizes = _block_sizes(n, b)
+    intra_pairs = int((sizes * (sizes - 1) // 2).sum())
+    inter_pairs = n * (n - 1) // 2 - intra_pairs
     return dec, inter_pairs, intra_pairs, dec.num_blocks
 
 
+def _tile_points(n: int, b: int) -> int:
+    """Points staged by R-tile loads: block r is streamed once per
+    lower-indexed anchor, so the total is sum_r r * size_r."""
+    sizes = _block_sizes(n, b)
+    return int((np.arange(sizes.size, dtype=np.int64) * sizes).sum())
+
+
+@lru_cache(maxsize=4096)
 def exact_naive(n: int, dims: int) -> StageCounts:
     """Naive (Algorithm 1): one global point-read for currentPt, then one
     global point-read per pair."""
@@ -108,14 +124,12 @@ def exact_naive(n: int, dims: int) -> StageCounts:
     return StageCounts(global_reads=dims * (n + pairs))
 
 
+@lru_cache(maxsize=4096)
 def exact_shm_shm(n: int, b: int, dims: int) -> StageCounts:
     """SHM-SHM: cooperative tile loads (global read + shared write) for L
     and every R; two shared point-reads per pair."""
-    dec, inter, intra, m = _geometry(n, b)
-    tile_points = sum(
-        dec.block_size_of(r) for blk in range(m) for r in range(blk + 1, m)
-    )
-    loads = n + tile_points  # L once per block + each streamed R tile
+    _, inter, intra, m = _geometry(n, b)
+    loads = n + _tile_points(n, b)  # L once per block + each streamed R tile
     return StageCounts(
         global_reads=dims * loads,
         shm_writes=dims * loads,
@@ -123,21 +137,18 @@ def exact_shm_shm(n: int, b: int, dims: int) -> StageCounts:
     )
 
 
+@lru_cache(maxsize=4096)
 def exact_register_shm(n: int, b: int, dims: int) -> StageCounts:
     """Register-SHM (Algorithm 3): anchor datum read straight into
     registers (global), R tiles staged in shared memory, one shared
     point-read per pair; the intra-block pass reloads L into R's buffer
     (Algorithm 3 line 10)."""
-    dec, inter, intra, m = _geometry(n, b)
-    tile_points = sum(
-        dec.block_size_of(r) for blk in range(m) for r in range(blk + 1, m)
-    )
+    _, inter, intra, m = _geometry(n, b)
+    sizes = _block_sizes(n, b)
     # R tiles + the L reload for the intra pass (blocks of a single point
     # have no intra pass and skip the reload)
-    reload_points = sum(
-        dec.block_size_of(blk) for blk in range(m) if dec.block_size_of(blk) > 1
-    )
-    staged = tile_points + reload_points
+    reload_points = int(sizes[sizes > 1].sum())
+    staged = _tile_points(n, b) + reload_points
     return StageCounts(
         global_reads=dims * (n + staged),
         shm_writes=dims * staged,
@@ -145,16 +156,18 @@ def exact_register_shm(n: int, b: int, dims: int) -> StageCounts:
     )
 
 
+@lru_cache(maxsize=4096)
 def exact_register_roc(n: int, b: int, dims: int) -> StageCounts:
     """Register-ROC: anchor in registers, every partner read served by the
     read-only data cache (no staging writes — the ROC is hardware-managed)."""
-    dec, inter, intra, m = _geometry(n, b)
+    _, inter, intra, m = _geometry(n, b)
     return StageCounts(
         global_reads=dims * n,
         roc_reads=dims * (inter + intra),
     )
 
 
+@lru_cache(maxsize=4096)
 def exact_shuffle(n: int, b: int, dims: int, warp: int = 32) -> StageCounts:
     """Shuffle tiling (Algorithm 4): partner data moves through registers.
 
@@ -162,20 +175,22 @@ def exact_shuffle(n: int, b: int, dims: int, warp: int = 32) -> StageCounts:
     ``ceil(nL/warp) * nR`` loads per block pair — then broadcasts each
     loaded datum to all ``warp`` lanes; broadcasts are issued for every
     evaluation slot regardless of the intra-block mask.
+
+    Vectorized over blocks: with ``suffix[blk] = sum_{r>blk} size_r`` and
+    ``suffix_ceil[blk] = sum_{r>blk} ceil(size_r/warp)`` the double loop
+    collapses to O(M) prefix sums.
     """
-    dec, inter, intra, m = _geometry(n, b)
-    loads = 0
-    shuffles = 0
-    for blk in range(m):
-        nl = dec.block_size_of(blk)
-        wl = (nl + warp - 1) // warp
-        for r in range(blk + 1, m):
-            nr = dec.block_size_of(r)
-            loads += wl * nr
-            shuffles += nl * warp * ((nr + warp - 1) // warp)
-        if nl > 1:  # single-point blocks skip the intra pass
-            loads += wl * nl
-            shuffles += nl * warp * ((nl + warp - 1) // warp)
+    sizes = _block_sizes(n, b)
+    wl = (sizes + warp - 1) // warp
+    ceil_r = wl  # ceil(size_r / warp), same array
+    suffix = n - np.cumsum(sizes)  # sum of sizes after each block
+    suffix_ceil = ceil_r.sum() - np.cumsum(ceil_r)
+    inner = sizes > 1  # single-point blocks skip the intra pass
+    loads = int((wl * suffix).sum() + (wl * sizes)[inner].sum())
+    shuffles = int(
+        (sizes * warp * suffix_ceil).sum()
+        + (sizes * warp * ceil_r)[inner].sum()
+    )
     return StageCounts(
         global_reads=dims * (n + loads),
         shuffles=dims * shuffles,

@@ -94,7 +94,12 @@ class CrossKernel:
 
     # -- functional --------------------------------------------------------------
     def execute(
-        self, device: Device, points_a: np.ndarray, points_b: np.ndarray
+        self,
+        device: Device,
+        points_a: np.ndarray,
+        points_b: np.ndarray,
+        *,
+        workers: Optional[int] = None,
     ) -> Tuple[Any, LaunchRecord]:
         problem = self.problem
         soa_a, soa_b = as_soa(points_a), as_soa(points_b)
@@ -116,7 +121,7 @@ class CrossKernel:
         else:
             bufs = {
                 "ticket": device.alloc(1, np.int64, name="cross-ticket"),
-                "emitted": [],
+                "emitted": {},  # keyed by block id: deterministic under workers
             }
 
         def kernel(ctx: BlockContext) -> None:
@@ -139,10 +144,10 @@ class CrossKernel:
                 self.input.charge_pair_reads(
                     ctx, nl, ids_b.size, nl * ids_b.size, dims
                 )
-                mask = np.ones((nl, ids_b.size), dtype=bool)
                 if self.output is not None:
+                    # mask=None: every cross pair is active, skip the mask
                     self.output.update(
-                        ctx, state, bufs, problem, ids_a, ids_b, values, mask
+                        ctx, state, bufs, problem, ids_a, ids_b, values, None
                     )
                 elif kind is UpdateKind.MATRIX:
                     vals = np.asarray(problem.output.map_fn(values), dtype=np.float64)
@@ -154,7 +159,7 @@ class CrossKernel:
                         from ..gpusim.atomics import atomic_ticket
 
                         atomic_ticket(bufs["ticket"], ii.size)
-                        bufs["emitted"].append(
+                        bufs["emitted"].setdefault(int(ba), []).append(
                             np.stack([ids_a[ii], ids_b[jj]], axis=1)
                         )
                         ctx.counters.add_write(MemSpace.GLOBAL, 2 * ii.size)
@@ -169,15 +174,21 @@ class CrossKernel:
                 shared_bytes=self.shared_bytes_per_block(),
             ),
             name=self.name,
+            workers=workers,
         )
         if self.output is not None:
             result = self.output.finalize(device, bufs, problem, n_a)
         elif kind is UpdateKind.MATRIX:
             result = device.to_host(bufs["matrix"])
         else:
+            chunks = [
+                arr
+                for bid in sorted(bufs["emitted"])
+                for arr in bufs["emitted"][bid]
+            ]
             result = (
-                np.concatenate(bufs["emitted"], axis=0)
-                if bufs["emitted"]
+                np.concatenate(chunks, axis=0)
+                if chunks
                 else np.empty((0, 2), dtype=np.int64)
             )
         return result, record

@@ -50,15 +50,23 @@ class PairFunction:
 
 def _sq_euclidean(A: np.ndarray, B: np.ndarray) -> np.ndarray:
     # (a-b)^2 = a^2 + b^2 - 2ab, accumulated per dimension to stay O(dims)
-    # in temporaries; clip tiny negatives from cancellation.
+    # in temporaries; clip tiny negatives from cancellation.  In-place ops
+    # keep the operation tree (and therefore every result bit) identical
+    # to `maximum(aa + bb - 2(A'B), 0)` while avoiding three temporaries.
+    # Doubling the (tiny) anchor block instead of the (nA, nB) product is
+    # bit-exact — scaling by a power of two commutes with every rounding
+    # step of the GEMM — and drops one full pass over the value matrix.
     aa = (A * A).sum(axis=0)[:, None]
     bb = (B * B).sum(axis=0)[None, :]
-    d2 = aa + bb - 2.0 * (A.T @ B)
-    return np.maximum(d2, 0.0)
+    ab = (A + A).T @ B
+    d2 = aa + bb
+    d2 -= ab
+    return np.maximum(d2, 0.0, out=d2)
 
 
 def _euclidean(A, B):
-    return np.sqrt(_sq_euclidean(A, B))
+    d2 = _sq_euclidean(A, B)
+    return np.sqrt(d2, out=d2)
 
 
 def _manhattan(A, B):

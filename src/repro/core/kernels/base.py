@@ -24,9 +24,11 @@ Kernels the paper names map to compositions:
 from __future__ import annotations
 
 import math
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +39,7 @@ from ...gpusim.divergence import warp_loop_cycles
 from ...gpusim.grid import BlockContext, LaunchConfig
 from ...gpusim.memory import TrackedArray
 from ...gpusim.occupancy import Occupancy, calculate_occupancy
+from ...gpusim.parallel import resolve_workers
 from ...gpusim.profiler import SimReport, build_report
 from ...gpusim.spec import DeviceSpec, TITAN_X
 from ...gpusim.timing import (
@@ -58,8 +61,21 @@ from ..tiling import (
 #: partners (each unordered pair is evaluated from both endpoints).
 FULL_ROW_KINDS = frozenset({UpdateKind.TOPK, UpdateKind.PER_POINT_SUM})
 
+#: Column budget for one batched tile evaluation: the auto tile-batch width
+#: is ``TILE_BATCH_COLUMNS // block_size`` R-tiles, so a whole batch of
+#: pair values is evaluated (and its output charged) in one vectorized
+#: call regardless of the block size.  The budget is deliberately modest:
+#: a batch's float64 value matrix plus its bin/sort shadows must stay
+#: cache-resident per worker, and sweeps on the reference host show wide
+#: batches (32+ tiles) losing ~15% to cache misses versus 2-4 tiles.
+TILE_BATCH_COLUMNS = 512
 
-@dataclass
+#: Environment override for the tile batch width ("auto" or an integer
+#: number of R-tiles per batch; "1" disables batching).
+TILE_BATCH_ENV = "REPRO_SIM_TILE_BATCH"
+
+
+@dataclass(frozen=True)
 class PairGeometry:
     """Pair/tile counts for one launch, shared by both strategy kinds."""
 
@@ -84,11 +100,13 @@ def block_sizes(n: int, block_size: int) -> np.ndarray:
     return sizes
 
 
+@lru_cache(maxsize=4096)
 def compute_geometry(n: int, block_size: int, full_rows: bool) -> PairGeometry:
     """Exact pair/tile-load counts, ragged last block included.
 
     Closed/vectorized forms (O(M), not O(M^2)) — benchmarks call this at
-    M in the thousands.
+    M in the thousands.  Memoized (:class:`PairGeometry` is frozen):
+    planner and figure sweeps re-derive the same geometry constantly.
     """
     sizes = block_sizes(n, block_size)
     m = sizes.size
@@ -110,6 +128,15 @@ def compute_geometry(n: int, block_size: int, full_rows: bool) -> PairGeometry:
         tile_loads_points=tiles,
         full_rows=full_rows,
     )
+
+
+@lru_cache(maxsize=256)
+def _offdiag_mask(n: int) -> np.ndarray:
+    """Cached, read-only (n, n) mask excluding the diagonal — the intra
+    mask of full-row kernels (each pair seen from both endpoints)."""
+    mask = ~np.eye(n, dtype=bool)
+    mask.setflags(write=False)
+    return mask
 
 
 class InputStrategy(ABC):
@@ -234,9 +261,63 @@ class OutputStrategy(ABC):
         ids_l: np.ndarray,
         ids_r: np.ndarray,
         values: np.ndarray,
-        mask: np.ndarray,
+        mask: Optional[np.ndarray],
     ) -> None:
-        """Fold a (nL, nR) value matrix (restricted to ``mask``) in."""
+        """Fold a (nL, nR) value matrix (restricted to ``mask``) in.
+
+        ``mask=None`` means "all pairs active" — strategies take a fast
+        path that skips masked fancy-indexing entirely (the inter-block
+        tiles, which dominate, are always all-active).
+        """
+
+    def update_batch(
+        self,
+        ctx: BlockContext,
+        state: Any,
+        bufs: Dict[str, Any],
+        problem: TwoBodyProblem,
+        ids_l: np.ndarray,
+        ids_r_tiles: List[np.ndarray],
+        values: np.ndarray,
+    ) -> None:
+        """Fold a horizontal stack of all-active partner tiles in.
+
+        ``values`` is ``(nL, sum of tile widths)`` — the per-tile value
+        matrices concatenated along axis 1, every pair active.  The
+        default walks the tiles and charges per tile (bit-identical to the
+        unbatched engine); strategies override it to charge the ledger in
+        aggregated form — one vectorized charge per batch — while keeping
+        the recorded counts equal to the per-tile sum.
+        """
+        off = 0
+        for ids_r in ids_r_tiles:
+            w = ids_r.size
+            self.update(
+                ctx, state, bufs, problem, ids_l, ids_r,
+                values[:, off:off + w], None,
+            )
+            off += w
+
+    def update_dense(
+        self,
+        ctx: BlockContext,
+        state: Any,
+        bufs: Dict[str, Any],
+        problem: TwoBodyProblem,
+        ids_l: np.ndarray,
+        ids_r: np.ndarray,
+        values: np.ndarray,
+        mask: Optional[np.ndarray],
+    ) -> None:
+        """Masked update, batched-engine flavour.
+
+        Semantically identical to :meth:`update` (same results, same
+        ledger charges); strategies may override it with vectorized
+        profiling fast paths that only pay off on the batched engine's
+        dense intra-block masks.  The sequential engine never calls this,
+        so the seed's tile-at-a-time behaviour stays byte-for-byte.
+        """
+        self.update(ctx, state, bufs, problem, ids_l, ids_r, values, mask)
 
     @abstractmethod
     def block_fini(
@@ -306,6 +387,7 @@ class ComposedKernel:
         self.block_size = block_size
         self.load_balanced = load_balanced
         self.name = name or f"{input_strategy.name}{output_strategy.suffix}"
+        self._traffic_cache: Dict[Tuple[int, str], TrafficProfile] = {}
 
     # -- properties -----------------------------------------------------------
     @property
@@ -343,13 +425,52 @@ class ComposedKernel:
         )
 
     # -- functional path --------------------------------------------------------
+    def _resolve_tile_batch(
+        self, batch_tiles: Optional[int], workers: int = 1
+    ) -> int:
+        """R-tiles stacked per pair_fn evaluation.
+
+        ``None`` consults ``REPRO_SIM_TILE_BATCH`` and otherwise picks the
+        auto width: :data:`TILE_BATCH_COLUMNS` columns *aggregate across
+        workers*, so concurrent workers' batch matrices do not blow the
+        cache budget a single worker would use.  EMIT_PAIRS kernels always
+        run tile-at-a-time: their one-ticket-per-tile atomic count is part
+        of the contract with the analytical model.
+        """
+        if self.problem.output.kind is UpdateKind.EMIT_PAIRS:
+            return 1
+        if batch_tiles is None:
+            env = os.environ.get(TILE_BATCH_ENV, "").strip().lower()
+            if env and env != "auto":
+                batch_tiles = int(env)
+            else:
+                per_worker = TILE_BATCH_COLUMNS // max(1, workers)
+                # floor of 2 keeps the dense batched update path engaged
+                # even when many workers split the column budget
+                return max(2, per_worker // self.block_size)
+        if batch_tiles < 1:
+            raise ValueError(f"batch_tiles must be >= 1, got {batch_tiles}")
+        return batch_tiles
+
     def execute(
-        self, device: Device, points: np.ndarray
+        self,
+        device: Device,
+        points: np.ndarray,
+        *,
+        workers: Optional[int] = None,
+        batch_tiles: Optional[int] = None,
     ) -> Tuple[Any, LaunchRecord]:
         """Run the kernel on the simulated device.
 
         Returns ``(result, main_launch_record)``; any reduction launch is
         recorded on the device's launch list.
+
+        ``workers`` selects the block-parallel engine (see
+        :meth:`repro.gpusim.device.Device.launch`); ``batch_tiles`` the
+        number of partner R-tiles stacked into one pair_fn evaluation
+        (``1`` = the legacy tile-at-a-time loop).  Both engines charge
+        access counters identical to the legacy path; float outputs may
+        differ within the usual re-association tolerance.
         """
         problem = self.problem
         soa = as_soa(points)
@@ -360,6 +481,8 @@ class ComposedKernel:
                 f"got {dims}-d"
             )
         dec = BlockDecomposition(n, self.block_size)
+        resolved_workers = resolve_workers(workers, dec.num_blocks)
+        batch = self._resolve_tile_batch(batch_tiles, resolved_workers)
         data_g = device.to_device(soa, name="input")
         in_state = self.input.prepare(device, data_g)
         bufs = self.output.create(device, problem, n, dec.num_blocks, self.block_size)
@@ -373,23 +496,66 @@ class ComposedKernel:
             reg_l = self.input.load_anchor(ctx, data_g, in_state, block_state, ids_l)
             out_state = self.output.block_init(ctx, bufs, problem, ids_l)
             partner_blocks = (
-                (i for i in range(dec.num_blocks) if i != b)
+                [i for i in range(dec.num_blocks) if i != b]
                 if full
-                else range(b + 1, dec.num_blocks)
+                else list(range(b + 1, dec.num_blocks))
             )
-            for i in partner_blocks:
-                ids_r = dec.block_indices(i)
-                vals_r = self.input.load_tile(
-                    ctx, data_g, in_state, block_state, ids_r, nl
-                )
-                values = problem.pair_fn(reg_l, vals_r)
-                self.input.charge_pair_reads(
-                    ctx, nl, ids_r.size, nl * ids_r.size, dims
-                )
-                mask = np.ones((nl, ids_r.size), dtype=bool)
-                self.output.update(
-                    ctx, out_state, bufs, problem, ids_l, ids_r, values, mask
-                )
+            if batch <= 1:
+                # legacy tile-at-a-time loop; the all-ones mask is hoisted
+                # and reused across equally-sized tiles instead of being
+                # re-allocated per tile
+                ones_mask: Optional[np.ndarray] = None
+                for i in partner_blocks:
+                    ids_r = dec.block_indices(i)
+                    vals_r = self.input.load_tile(
+                        ctx, data_g, in_state, block_state, ids_r, nl
+                    )
+                    values = problem.pair_fn(reg_l, vals_r)
+                    self.input.charge_pair_reads(
+                        ctx, nl, ids_r.size, nl * ids_r.size, dims
+                    )
+                    if ones_mask is None or ones_mask.shape != (nl, ids_r.size):
+                        ones_mask = np.ones((nl, ids_r.size), dtype=bool)
+                    self.output.update(
+                        ctx, out_state, bufs, problem, ids_l, ids_r, values,
+                        ones_mask,
+                    )
+            else:
+                # batched tile path: stage `batch` R-tiles (charging their
+                # staging traffic per tile, as the hardware would), then
+                # evaluate pair_fn once over the stacked columns and fold
+                # the whole batch into the output with one aggregated call
+                for start in range(0, len(partner_blocks), batch):
+                    ids_r_tiles: List[np.ndarray] = []
+                    val_tiles: List[np.ndarray] = []
+                    for i in partner_blocks[start : start + batch]:
+                        ids_r = dec.block_indices(i)
+                        vals_r = self.input.load_tile(
+                            ctx, data_g, in_state, block_state, ids_r, nl
+                        )
+                        self.input.charge_pair_reads(
+                            ctx, nl, ids_r.size, nl * ids_r.size, dims
+                        )
+                        ids_r_tiles.append(ids_r)
+                        val_tiles.append(vals_r)
+                    if not ids_r_tiles:
+                        continue
+                    stacked = (
+                        val_tiles[0]
+                        if len(val_tiles) == 1
+                        else np.concatenate(val_tiles, axis=1)
+                    )
+                    values = problem.pair_fn(reg_l, stacked)
+                    if len(ids_r_tiles) == 1:
+                        self.output.update(
+                            ctx, out_state, bufs, problem, ids_l,
+                            ids_r_tiles[0], values, None,
+                        )
+                    else:
+                        self.output.update_batch(
+                            ctx, out_state, bufs, problem, ids_l,
+                            ids_r_tiles, values,
+                        )
             # intra-block pass (skipped entirely for single-point blocks,
             # matching the analytical model's zero-intra accounting)
             n_intra = nl * (nl - 1) if full else nl * (nl - 1) // 2
@@ -399,29 +565,45 @@ class ComposedKernel:
             vals_l = self.input.load_intra(ctx, data_g, in_state, block_state, ids_l)
             values = problem.pair_fn(reg_l, vals_l)
             self.input.charge_pair_reads(ctx, nl, nl, n_intra, dims)
+            # the batched engine routes the dense intra-block masks through
+            # update_dense (same results and charges, vectorized profiling);
+            # the cyclic schedule keeps plain update() — its per-iteration
+            # masks are sparse, where the gather path is already cheapest
+            intra_update = (
+                self.output.update_dense if batch > 1 else self.output.update
+            )
             if full:
-                mask = ~np.eye(nl, dtype=bool)
-                self.output.update(
-                    ctx, out_state, bufs, problem, ids_l, ids_l, values, mask
+                intra_update(
+                    ctx, out_state, bufs, problem, ids_l, ids_l, values,
+                    _offdiag_mask(nl),
                 )
             elif self.load_balanced and nl == self.block_size and nl % 2 == 0:
                 # cyclic schedule: one update() per iteration, matching the
-                # hardware's warp-synchronous issue pattern (Fig. 6 right)
+                # hardware's warp-synchronous issue pattern (Fig. 6 right);
+                # one mask buffer is reused across iterations (set the
+                # active pairs, update, clear them again)
+                mask_buf = np.zeros((nl, nl), dtype=bool)
                 for partners in cyclic_schedule(nl):
-                    mask = np.zeros((nl, nl), dtype=bool)
                     active = partners >= 0
-                    mask[np.nonzero(active)[0], partners[active]] = True
+                    rows = np.nonzero(active)[0]
+                    cols = partners[active]
+                    mask_buf[rows, cols] = True
                     self.output.update(
-                        ctx, out_state, bufs, problem, ids_l, ids_l, values, mask
+                        ctx, out_state, bufs, problem, ids_l, ids_l, values,
+                        mask_buf,
                     )
+                    mask_buf[rows, cols] = False
             else:
-                mask = triangular_pair_mask(nl)
-                self.output.update(
-                    ctx, out_state, bufs, problem, ids_l, ids_l, values, mask
+                intra_update(
+                    ctx, out_state, bufs, problem, ids_l, ids_l, values,
+                    triangular_pair_mask(nl),
                 )
             self.output.block_fini(ctx, out_state, bufs, problem, ids_l, b)
 
-        record = device.launch(kernel, self.launch_config(n), name=self.name)
+        record = device.launch(
+            kernel, self.launch_config(n), name=self.name,
+            workers=resolved_workers,
+        )
         result = self.output.finalize(device, bufs, problem, n)
         return result, record
 
@@ -443,12 +625,16 @@ class ComposedKernel:
         """
         if part not in ("both", "intra"):
             raise ValueError(f"part must be 'both' or 'intra', got {part!r}")
+        cached = self._traffic_cache.get((n, part))
+        if cached is not None:
+            return cached
         geom = self.geometry(n)
         dims = self.problem.dims
         pairs = geom.pairs if part == "both" else geom.intra_pairs
         profile = TrafficProfile(pairs=pairs, compute=self.problem.compute_cost)
         profile = profile + self.input.traffic(geom, dims, part=part)
         profile = profile + self.output.traffic(geom, dims, self.problem, part=part)
+        self._traffic_cache[(n, part)] = profile
         return profile
 
     def pipeline_cycles(

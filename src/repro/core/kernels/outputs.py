@@ -16,13 +16,17 @@ Three designs matching the paper's taxonomy plus the Type-III direct path:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ...gpusim.atomics import atomic_add, atomic_ticket
+from ...gpusim.atomics import atomic_add, atomic_add_dense, atomic_ticket
 from ...gpusim.calibration import Calibration
-from ...gpusim.contention import expected_max_multiplicity, warp_conflict_degrees
+from ...gpusim.contention import (
+    expected_max_multiplicity,
+    warp_conflict_degrees,
+    warp_conflict_degrees_dense,
+)
 from ...gpusim.counters import MemSpace
 from ...gpusim.device import Device
 from ...gpusim.grid import BlockContext
@@ -55,6 +59,9 @@ def analytic_conflict_degree(
     return 1.0
 
 
+_INT32_MAX = np.iinfo(np.int32).max
+
+
 def _masked_bins_with_sentinels(
     bins: np.ndarray, mask: np.ndarray
 ) -> np.ndarray:
@@ -69,21 +76,134 @@ def _histogram_update(
     target,
     problem: TwoBodyProblem,
     values: np.ndarray,
-    mask: np.ndarray,
+    mask: Optional[np.ndarray],
     copies: int = 1,
+    dense_masked: bool = False,
 ) -> None:
     """Shared HISTOGRAM update path: bin, bounds-check, atomic, profile.
 
     With ``copies > 1`` the target is a flat (copies * bins) array and
     lane t updates copy ``t % copies`` — the lane-interleaved multi-copy
     privatization whose conflict reduction the profiler then measures.
+
+    ``mask=None`` ("all pairs active") takes the dense fast path: no
+    sentinel substitution, no masked gather, and the scatter-add becomes a
+    ``bincount`` folded in with one aggregated charge.  The recorded
+    counters are identical to the masked path with an all-true mask
+    (:func:`~repro.gpusim.contention.warp_conflict_degrees` is computed
+    per (warp, column), so column-stacked tiles sum exactly).
     """
-    bins = np.asarray(problem.output.map_fn(values), dtype=np.int64)
+    bins = np.asarray(problem.output.map_fn(values))
+    if bins.dtype.kind not in "iu":
+        bins = bins.astype(np.int64)
     if bins.shape != values.shape:
         raise ValueError(
             f"histogram map_fn changed shape: {values.shape} -> {bins.shape}"
         )
+    if mask is None:
+        nbins = problem.output.bins
+        total = copies * nbins
+        narrow = total < _INT32_MAX
+        if bins.dtype.itemsize > 4:
+            # values wider than int32 are bounds-checked BEFORE narrowing
+            # (a wrapped value could alias into range); natively-narrow
+            # bins rely on the per-copy bincount faults below instead
+            if bins.size:
+                lo, hi = int(bins.min()), int(bins.max())
+                if lo < 0 or hi >= nbins:
+                    raise IndexError(
+                        f"bin index outside [0, {nbins}): [{lo}, {hi}]"
+                    )
+            if narrow:
+                bins = bins.astype(np.int32)
+        if copies > 1:
+            # conflicts are profiled on composite (copy, bin) keys; the
+            # per-lane offsets are folded into the profiler's transpose
+            # buffer so no offset matrix is materialized, and the
+            # scatter-add runs per copy so an out-of-range bin faults
+            # loudly (no silent aliasing into a neighbour copy's range)
+            if np.iinfo(bins.dtype).max < total:
+                bins = bins.astype(np.int32 if narrow else np.int64)
+            lane_offsets = (
+                np.arange(bins.shape[0], dtype=bins.dtype) % copies
+            ) * nbins
+            degree_sum, issues = warp_conflict_degrees_dense(
+                bins, ctx.warp_size, lane_offsets=lane_offsets
+            )
+            slabs = []
+            for c in range(copies):
+                try:
+                    cnt = np.bincount(
+                        bins[c::copies, :].ravel(), minlength=nbins
+                    )
+                except ValueError:  # negative bin: loud, like the min check
+                    raise IndexError(
+                        f"bin index outside [0, {nbins}): negative bin"
+                    ) from None
+                if cnt.size > nbins:
+                    raise IndexError(
+                        f"bin index outside [0, {nbins}): {cnt.size - 1}"
+                    )
+                slabs.append(cnt)
+            counts = np.concatenate(slabs)
+        else:
+            degree_sum, issues = warp_conflict_degrees_dense(
+                bins, ctx.warp_size
+            )
+            try:
+                counts = np.bincount(bins.ravel(), minlength=target.size)
+            except ValueError:  # negative bin: loud, like the min check
+                raise IndexError(
+                    f"bin index outside [0, {nbins}): negative bin"
+                ) from None
+            if counts.size > target.size:
+                raise IndexError(
+                    f"bin index outside [0, {nbins}): {counts.size - 1}"
+                )
+        atomic_add_dense(
+            target, counts, bins.size, conflict_sample=(degree_sum, issues)
+        )
+        return
     active = mask
+    if dense_masked:
+        # Batched-engine flavour of the masked update: same bounds check,
+        # same conflict sample (the dense profiler returns exactly the
+        # reference per-(warp, issue) maxima), and the scatter-add folded
+        # into a bincount with one aggregated ledger charge.  Only the
+        # batched engine routes here; the sequential path below is the
+        # seed's, untouched.
+        nbins = problem.output.bins
+        flat_bins = bins[active]
+        if flat_bins.size:
+            lo, hi = flat_bins.min(), flat_bins.max()
+            if lo < 0 or hi >= nbins:
+                raise IndexError(
+                    f"bin index outside [0, {nbins}): [{lo}, {hi}]"
+                )
+        if copies > 1:
+            lane_copy = (np.arange(bins.shape[0]) % copies)[:, None]
+            bins = bins + lane_copy * nbins
+            flat_bins = bins[active]
+        # sentinels in the narrowest dtype that can hold them, so the
+        # profiler's sort stays on the fast int32 path
+        if (
+            np.issubdtype(bins.dtype, np.signedinteger)
+            and np.iinfo(bins.dtype).min < -bins.shape[0]
+        ):
+            lanes = np.arange(bins.shape[0], dtype=bins.dtype)[:, None]
+        else:
+            lanes = np.arange(bins.shape[0])[:, None]
+        degree_sum, issues = warp_conflict_degrees_dense(
+            np.where(active, bins, -(lanes + 1)), ctx.warp_size
+        )
+        counts = np.bincount(flat_bins, minlength=target.size)
+        atomic_add_dense(
+            target,
+            counts,
+            flat_bins.size,
+            conflict_sample=(degree_sum, issues),
+        )
+        return
     if bins[active].size:
         lo, hi = bins[active].min(), bins[active].max()
         if lo < 0 or hi >= problem.output.bins:
@@ -139,7 +259,7 @@ class RegisterOutput(OutputStrategy):
         kind = problem.output.kind
         if kind is UpdateKind.TOPK:
             k = problem.output.k
-            cand = np.where(mask, values, np.inf)
+            cand = values if mask is None else np.where(mask, values, np.inf)
             all_d = np.concatenate([state["d"], cand], axis=1)
             all_i = np.concatenate(
                 [state["i"], np.broadcast_to(ids_r, cand.shape)], axis=1
@@ -150,7 +270,21 @@ class RegisterOutput(OutputStrategy):
             state["i"] = all_i[rows, pick]
         else:
             weights = np.asarray(problem.output.map_fn(values), dtype=np.float64)
-            state["acc"] += np.where(mask, weights, 0.0).sum(axis=1)
+            if mask is None:
+                state["acc"] += weights.sum(axis=1)
+            else:
+                state["acc"] += np.where(mask, weights, 0.0).sum(axis=1)
+
+    def update_batch(self, ctx, state, bufs, problem, ids_l, ids_r_tiles, values):
+        if problem.output.kind is UpdateKind.TOPK:
+            # per-tile selection keeps tie-breaking identical to the
+            # sequential engine on equidistant neighbours
+            super().update_batch(
+                ctx, state, bufs, problem, ids_l, ids_r_tiles, values
+            )
+            return
+        weights = np.asarray(problem.output.map_fn(values), dtype=np.float64)
+        state["acc"] += weights.sum(axis=1)
 
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         if problem.output.kind is UpdateKind.TOPK:
@@ -203,7 +337,7 @@ class GlobalAtomicOutput(OutputStrategy):
             _histogram_update(ctx, bufs["hist"], problem, values, mask)
         else:
             weights = np.asarray(problem.output.map_fn(values), dtype=np.float64)
-            flat = weights[mask]
+            flat = weights.ravel() if mask is None else weights[mask]
             # one atomic per pair, all to the same address: worst case
             atomic_add(
                 bufs["acc"],
@@ -216,6 +350,41 @@ class GlobalAtomicOutput(OutputStrategy):
                     (flat.size + ctx.warp_size - 1) // ctx.warp_size,
                 ),
             )
+
+    def update_dense(self, ctx, state, bufs, problem, ids_l, ids_r, values, mask):
+        if problem.output.kind is UpdateKind.HISTOGRAM:
+            _histogram_update(
+                ctx, bufs["hist"], problem, values, mask, dense_masked=True
+            )
+        else:
+            self.update(ctx, state, bufs, problem, ids_l, ids_r, values, mask)
+
+    def update_batch(self, ctx, state, bufs, problem, ids_l, ids_r_tiles, values):
+        if problem.output.kind is UpdateKind.HISTOGRAM:
+            _histogram_update(ctx, bufs["hist"], problem, values, None)
+            return
+        # aggregated scalar path: fold the whole batch's weight sum in with
+        # one single-slot add, but charge the ledger exactly what the
+        # per-tile loop would have — one atomic per pair, and the per-tile
+        # worst-case conflict samples summed
+        weights = np.asarray(problem.output.map_fn(values), dtype=np.float64)
+        nl = values.shape[0]
+        ws = ctx.warp_size
+        degree_sum = 0.0
+        issues = 0
+        for ids_r in ids_r_tiles:
+            sz = nl * ids_r.size
+            iss = (sz + ws - 1) // ws
+            degree_sum += float(min(sz, ws)) * iss
+            issues += iss
+        acc = bufs["acc"]
+        acc.atomic_add_at(
+            np.zeros(1, dtype=np.int64),
+            np.asarray([weights.sum()], dtype=np.float64),
+        )
+        acc.counters.add_atomic(acc.space, weights.size)
+        if issues:
+            acc.counters.add_conflict_sample(degree_sum / issues, issues)
 
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         pass
@@ -275,6 +444,15 @@ class PrivatizedSharedOutput(OutputStrategy):
     def update(self, ctx, state, bufs, problem, ids_l, ids_r, values, mask):
         _histogram_update(ctx, state, problem, values, mask, copies=self.copies)
 
+    def update_dense(self, ctx, state, bufs, problem, ids_l, ids_r, values, mask):
+        _histogram_update(
+            ctx, state, problem, values, mask,
+            copies=self.copies, dense_masked=True,
+        )
+
+    def update_batch(self, ctx, state, bufs, problem, ids_l, ids_r_tiles, values):
+        _histogram_update(ctx, state, problem, values, None, copies=self.copies)
+
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         # Algorithm 3 line 15: copy the private output to global scope,
         # folding the block's lane-interleaved copies first
@@ -327,7 +505,10 @@ class GlobalDirectOutput(OutputStrategy):
             return {"matrix": device.alloc((n, n), np.float64, name="pair-matrix")}
         return {
             "ticket": device.alloc(1, np.int64, name="emit-ticket"),
-            "emitted": [],  # host-side spill of the emitted pair list
+            # host-side spill of the emitted pair list, keyed by block id so
+            # the concatenation order is deterministic under block-parallel
+            # launches (each block is handled by exactly one worker)
+            "emitted": {},
         }
 
     def block_init(self, ctx, bufs, problem, ids_l):
@@ -336,22 +517,41 @@ class GlobalDirectOutput(OutputStrategy):
     def update(self, ctx, state, bufs, problem, ids_l, ids_r, values, mask):
         if problem.output.kind is UpdateKind.MATRIX:
             vals = np.asarray(problem.output.map_fn(values), dtype=np.float64)
-            ii, jj = np.nonzero(mask)
-            gi, gj = ids_l[ii], ids_r[jj]
-            bufs["matrix"].st((gi, gj), vals[ii, jj])
-            bufs["matrix"].st((gj, gi), vals[ii, jj])  # symmetric fill
+            if mask is None:
+                gi = np.repeat(ids_l, ids_r.size)
+                gj = np.tile(ids_r, ids_l.size)
+                flat = vals.ravel()
+            else:
+                ii, jj = np.nonzero(mask)
+                gi, gj = ids_l[ii], ids_r[jj]
+                flat = vals[ii, jj]
+            bufs["matrix"].st((gi, gj), flat)
+            bufs["matrix"].st((gj, gi), flat)  # symmetric fill
         else:
-            pred = np.asarray(problem.output.map_fn(values), dtype=bool) & mask
+            pred = np.asarray(problem.output.map_fn(values), dtype=bool)
+            if mask is not None:
+                pred = pred & mask
             ii, jj = np.nonzero(pred)
             nm = ii.size
             if nm == 0:
                 return
             atomic_ticket(bufs["ticket"], nm)  # reserve nm output slots
-            bufs["emitted"].append(
+            bufs["emitted"].setdefault(int(ctx.block_id), []).append(
                 np.stack([ids_l[ii], ids_r[jj]], axis=1).astype(np.int64)
             )
             # the pair writes themselves (two int columns per match)
             ctx.counters.add_write(MemSpace.GLOBAL, 2 * nm)
+
+    def update_batch(self, ctx, state, bufs, problem, ids_l, ids_r_tiles, values):
+        if problem.output.kind is UpdateKind.MATRIX:
+            self.update(
+                ctx, state, bufs, problem, ids_l,
+                np.concatenate(ids_r_tiles), values, None,
+            )
+        else:  # EMIT_PAIRS is never batched (ticket-per-tile contract)
+            super().update_batch(
+                ctx, state, bufs, problem, ids_l, ids_r_tiles, values
+            )
 
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         pass
@@ -359,8 +559,11 @@ class GlobalDirectOutput(OutputStrategy):
     def finalize(self, device, bufs, problem, n):
         if problem.output.kind is UpdateKind.MATRIX:
             return device.to_host(bufs["matrix"])
-        if bufs["emitted"]:
-            pairs = np.concatenate(bufs["emitted"], axis=0)
+        chunks = [
+            arr for bid in sorted(bufs["emitted"]) for arr in bufs["emitted"][bid]
+        ]
+        if chunks:
+            pairs = np.concatenate(chunks, axis=0)
         else:
             pairs = np.empty((0, 2), dtype=np.int64)
         count = int(device.to_host(bufs["ticket"])[0])

@@ -39,12 +39,18 @@ def run(
     spec: DeviceSpec = TITAN_X,
     calib: Calibration = DEFAULT_CALIBRATION,
     auto_plan: bool = False,
+    workers: Optional[int] = None,
+    batch_tiles: Optional[int] = None,
 ) -> RunResult:
     """Execute ``problem`` over ``points`` on the simulated device.
 
     With ``auto_plan`` the planner chooses the composition; otherwise a
     default Register-SHM kernel (or the one supplied) is used.  The
     functional result is exact; the report carries the simulated timing.
+
+    ``workers`` / ``batch_tiles`` tune the simulator's parallel, batched
+    execution engine (see :meth:`ComposedKernel.execute`); defaults follow
+    the ``REPRO_SIM_WORKERS`` / ``REPRO_SIM_TILE_BATCH`` environment.
     """
     n = np.asarray(points).shape[0]
     if kernel is None:
@@ -53,7 +59,9 @@ def run(
         else:
             kernel = make_kernel(problem)
     dev = device if device is not None else Device(spec)
-    result, record = kernel.execute(dev, points)
+    result, record = kernel.execute(
+        dev, points, workers=workers, batch_tiles=batch_tiles
+    )
     report = kernel.simulate(n, spec=spec, calib=calib)
     # splice the *measured* counters into the report so profiler tables can
     # be driven by the functional run when one happened

@@ -11,6 +11,7 @@ load-balanced schedule of Section IV-E.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List, Tuple
 
 import numpy as np
@@ -72,25 +73,38 @@ class BlockDecomposition:
 
 
 # -- intra-block schedules ----------------------------------------------------
+#
+# These are pure functions of the block size, called once per simulated
+# block with identical arguments; every one is memoized and returns
+# *read-only* arrays so the cached buffers cannot be corrupted by callers.
 
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    arr.setflags(write=False)
+    return arr
+
+
+@lru_cache(maxsize=1024)
 def triangular_pair_mask(nL: int, nR: int | None = None) -> np.ndarray:
     """(nL, nR) boolean mask selecting j > t — the plain intra-block loop
     (Algorithm 2 lines 9-12).  With nR defaulting to nL this is the strict
-    upper triangle."""
+    upper triangle.  Cached; the returned array is read-only."""
     nR = nL if nR is None else nR
     t = np.arange(nL)[:, None]
     j = np.arange(nR)[None, :]
-    return j > t
+    return _frozen(j > t)
 
 
-def cyclic_schedule(block_size: int) -> List[np.ndarray]:
+@lru_cache(maxsize=1024)
+def cyclic_schedule(block_size: int) -> Tuple[np.ndarray, ...]:
     """The load-balanced intra-block schedule (Fig. 6, right).
 
     Returns one partner array per iteration: at iteration j (1-based),
     thread t pairs with datum ``(t + j) % B``; in the final iteration
     (j = B/2) only the lower half of the threads are active, so entries for
     the upper half are -1.  Every unordered pair within the block is
-    produced exactly once — validated in tests.
+    produced exactly once — validated in tests.  Cached; the returned
+    arrays are read-only.
     """
     if block_size % 2 != 0:
         raise LaunchConfigError("cyclic schedule requires an even block size")
@@ -102,10 +116,11 @@ def cyclic_schedule(block_size: int) -> List[np.ndarray]:
         if j == b // 2:
             partners = partners.copy()
             partners[b // 2 :] = -1  # upper half idles in the last iteration
-        schedule.append(partners)
-    return schedule
+        schedule.append(_frozen(partners))
+    return tuple(schedule)
 
 
+@lru_cache(maxsize=1024)
 def cyclic_pair_list(block_size: int) -> np.ndarray:
     """All (t, partner) pairs the cyclic schedule emits, shape (P, 2)."""
     pairs = []
@@ -113,14 +128,16 @@ def cyclic_pair_list(block_size: int) -> np.ndarray:
         active = partners >= 0
         t = np.nonzero(active)[0]
         pairs.append(np.stack([t, partners[active]], axis=1))
-    return np.concatenate(pairs, axis=0)
+    return _frozen(np.concatenate(pairs, axis=0))
 
 
+@lru_cache(maxsize=1024)
 def triangular_trips(block_size: int) -> np.ndarray:
     """Per-thread trip counts of the plain schedule: B-1-t."""
-    return np.arange(block_size - 1, -1, -1)
+    return _frozen(np.arange(block_size - 1, -1, -1))
 
 
+@lru_cache(maxsize=1024)
 def cyclic_trips(block_size: int) -> np.ndarray:
     """Per-thread trip counts of the cyclic schedule."""
     if block_size % 2 != 0:
@@ -128,4 +145,4 @@ def cyclic_trips(block_size: int) -> np.ndarray:
     half = block_size // 2
     trips = np.full(block_size, half, dtype=np.int64)
     trips[half:] = half - 1
-    return trips
+    return _frozen(trips)

@@ -14,7 +14,7 @@ paper (see DESIGN.md Section 2).  It has two cooperating layers:
   paper's figures and profiler tables report.
 """
 
-from .atomics import atomic_add, atomic_max, atomic_ticket
+from .atomics import atomic_add, atomic_add_dense, atomic_max, atomic_ticket
 from .calibration import (
     Calibration,
     ComputeCost,
@@ -35,6 +35,7 @@ from .contention import (
     expected_max_multiplicity,
     monte_carlo_max_multiplicity,
     warp_conflict_degrees,
+    warp_conflict_degrees_dense,
 )
 from .counters import AccessCounters, ELEMENT_BYTES, MemSpace
 from .device import Device, LaunchRecord
@@ -63,6 +64,14 @@ from .l2cache import (
 )
 from .memory import ReadOnlyView, TrackedArray, bank_conflict_degree
 from .occupancy import Occupancy, calculate_occupancy, max_block_size_for_shared
+from .parallel import (
+    ArrayShadow,
+    ParallelLaunchError,
+    ParallelSession,
+    WORKERS_ENV,
+    resolve_workers,
+    run_blocks_parallel,
+)
 from .profiler import (
     SimReport,
     bandwidth_table,
@@ -101,8 +110,11 @@ __all__ = [
     "TrackedArray", "ReadOnlyView", "bank_conflict_degree", "Device",
     "LaunchRecord", "BlockContext", "LaunchConfig",
     # atomics & shuffle
-    "atomic_add", "atomic_max", "atomic_ticket", "shfl_broadcast",
-    "shfl_down", "shfl_up", "shfl_xor", "warp_reduce_sum",
+    "atomic_add", "atomic_add_dense", "atomic_max", "atomic_ticket",
+    "shfl_broadcast", "shfl_down", "shfl_up", "shfl_xor", "warp_reduce_sum",
+    # parallel launch engine
+    "ArrayShadow", "ParallelLaunchError", "ParallelSession", "WORKERS_ENV",
+    "resolve_workers", "run_blocks_parallel",
     # occupancy & divergence
     "Occupancy", "calculate_occupancy", "max_block_size_for_shared",
     "DivergenceProfile", "warp_loop_cycles", "triangular_trip_counts",
@@ -122,6 +134,7 @@ __all__ = [
     # contention
     "collision_rate", "effective_bins", "expected_max_multiplicity",
     "monte_carlo_max_multiplicity", "warp_conflict_degrees",
+    "warp_conflict_degrees_dense",
     # errors
     "GpuSimError", "LaunchConfigError", "SharedMemoryError",
     "RegisterPressureError", "MemorySpaceError", "OutOfBoundsError",

@@ -65,7 +65,7 @@ def atomic_add(
         if np.ndim(values) == 0 else np.asarray(values).ravel()
     if vals.shape != idx.shape:
         raise ValueError(f"indices {idx.shape} and values {vals.shape} differ")
-    np.add.at(target.data, idx, vals)
+    target.atomic_add_at(idx, vals)
     target.counters.add_atomic(target.space, idx.size)
     if conflict_sample is not None:
         degree_sum, issues = conflict_sample
@@ -77,13 +77,47 @@ def atomic_add(
             target.counters.add_conflict_sample(degree_sum / issues, issues)
 
 
+def atomic_add_dense(
+    target: TrackedArray,
+    counts: np.ndarray,
+    n_ops: int,
+    *,
+    conflict_sample: Optional[tuple[float, int]] = None,
+) -> None:
+    """Aggregated form of :func:`atomic_add`: fold a dense per-address
+    contribution array in with ONE vectorized charge.
+
+    Equivalent to ``n_ops`` single-element atomic adds whose per-address
+    totals are ``counts`` — integer histograms merge bit-identically, and
+    the ledger records the same atomic count and conflict statistics.  The
+    batched execution engine uses this so a whole R-tile batch charges the
+    counters once instead of once per tile.
+    """
+    if target.space not in (MemSpace.GLOBAL, MemSpace.SHARED):
+        raise MemorySpaceError(
+            f"atomics are only supported on global/shared memory, "
+            f"not {target.space.value}"
+        )
+    if counts.shape != target.shape:
+        raise ValueError(
+            f"dense contribution shape {counts.shape} does not match "
+            f"target {target.shape}"
+        )
+    target.atomic_add_dense(counts.astype(target.dtype, copy=False))
+    target.counters.add_atomic(target.space, int(n_ops))
+    if conflict_sample is not None:
+        degree_sum, issues = conflict_sample
+        if issues:
+            target.counters.add_conflict_sample(degree_sum / issues, issues)
+
+
 def atomic_max(target: TrackedArray, indices: np.ndarray, values: np.ndarray) -> None:
     """Atomic element-wise max (used by kNN-style Type-I reductions)."""
     if target.space not in (MemSpace.GLOBAL, MemSpace.SHARED):
         raise MemorySpaceError("atomics require global or shared memory")
     idx = np.asarray(indices).ravel()
     vals = np.asarray(values).ravel()
-    np.maximum.at(target.data, idx, vals)
+    target.atomic_max_at(idx, vals)
     target.counters.add_atomic(target.space, idx.size)
 
 
@@ -96,7 +130,6 @@ def atomic_ticket(counter: TrackedArray, n: int) -> int:
     """
     if counter.space is not MemSpace.GLOBAL:
         raise MemorySpaceError("ticket counters live in global memory")
-    base = int(counter.data[0])
-    counter.data[0] = base + int(n)
+    base = counter.fetch_add0(int(n))
     counter.counters.add_atomic(MemSpace.GLOBAL, 1)
     return base

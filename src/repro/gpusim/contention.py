@@ -105,3 +105,79 @@ def warp_conflict_degrees(
         runs[:, lane, :] = np.where(same, runs[:, lane - 1, :] + 1, 1)
     degrees = runs.max(axis=1)  # (warps, iterations)
     return float(degrees.sum()), int(degrees.size)
+
+
+def warp_conflict_degrees_dense(
+    bin_matrix: np.ndarray,
+    warp_size: int = 32,
+    lane_offsets: np.ndarray | None = None,
+) -> tuple[float, int]:
+    """Same statistic as :func:`warp_conflict_degrees`, tuned for the large
+    matrices the batched engine produces.
+
+    Lanes are transposed next to each other so the sort runs over a
+    contiguous axis, and the per-lane Python loop is replaced by a
+    prefix-sum run-length computation (a handful of full-array passes in a
+    narrow dtype).  Returns exactly the per-(warp, issue) maxima sums of
+    the reference implementation.
+
+    ``lane_offsets`` (one non-negative value per thread row) is added to
+    each lane's targets *inside the transpose buffer*, so multi-copy
+    privatized outputs can profile conflicts on composite (copy, bin) keys
+    without materializing the offset matrix.  Equivalent to calling with
+    ``bin_matrix + lane_offsets[:, None]``.
+    """
+    bins = np.asarray(bin_matrix)
+    if bins.ndim != 2:
+        raise ValueError("bin matrix must be (threads, iterations)")
+    threads, iters = bins.shape
+    orig_threads = threads
+    if threads % warp_size != 0:
+        pad = warp_size - threads % warp_size
+        filler = (
+            np.arange(pad)[:, None]
+            - (1 + np.arange(iters))[None, :] * warp_size
+        )
+        if np.issubdtype(bins.dtype, np.integer) and (
+            iters == 0
+            or filler[-1, -1] >= np.iinfo(bins.dtype).min
+        ):
+            filler = filler.astype(bins.dtype)
+        bins = np.vstack([bins, filler])
+        threads += pad
+    if warp_size == 1 or iters == 0:
+        # single-lane issues can never conflict, offsets notwithstanding
+        return float(bins.size), int(bins.size)
+    # (warps * iters, warp_size): each issue's lane targets contiguous
+    issues_mat = np.ascontiguousarray(
+        bins.reshape(threads // warp_size, warp_size, iters).swapaxes(1, 2)
+    ).reshape(-1, warp_size)
+    if lane_offsets is not None:
+        offs = np.asarray(lane_offsets, dtype=issues_mat.dtype)
+        if offs.shape != (orig_threads,):
+            raise ValueError("lane_offsets must have one entry per thread")
+        if orig_threads != threads:  # padded sentinel lanes stay offset-free
+            offs = np.concatenate(
+                [offs, np.zeros(threads - orig_threads, dtype=offs.dtype)]
+            )
+        issues_mat.reshape(threads // warp_size, iters, warp_size)[...] += (
+            offs.reshape(threads // warp_size, 1, warp_size)
+        )
+    issues_mat.sort(axis=-1)
+    n_issues = issues_mat.shape[0]
+    # Max multiplicity per sorted row = 1 + its longest adjacent-equal
+    # run.  One equality pass builds the run mask, stored lane-major so
+    # each scan step reads a contiguous slice; the scan then walks lanes
+    # with three in-place ops on thin per-issue vectors (`run` resets to
+    # zero wherever the mask breaks), which stays cache-resident and is
+    # insensitive to the collision density.
+    eq = np.ascontiguousarray(
+        (issues_mat[:, 1:] == issues_mat[:, :-1]).T
+    )
+    run = np.zeros(n_issues, dtype=np.int32)
+    best = np.zeros(n_issues, dtype=np.int32)
+    for lane in range(warp_size - 1):
+        run += 1
+        run *= eq[lane]
+        np.maximum(best, run, out=best)
+    return float(n_issues + int(best.sum())), int(n_issues)

@@ -105,6 +105,18 @@ class AccessCounters:
         return self.atomic_conflict_degree / self.atomic_conflict_issues
 
     # -- composition -------------------------------------------------------
+    def copy(self) -> "AccessCounters":
+        """Independent snapshot — used for per-worker privatized ledgers."""
+        out = AccessCounters(
+            reads=dict(self.reads),
+            writes=dict(self.writes),
+            atomics=dict(self.atomics),
+        )
+        out.atomic_conflict_degree = self.atomic_conflict_degree
+        out.atomic_conflict_issues = self.atomic_conflict_issues
+        out.bank_conflict_replays = self.bank_conflict_replays
+        return out
+
     def merge(self, other: "AccessCounters") -> "AccessCounters":
         """Fold ``other`` into ``self`` (in place) and return ``self``."""
         for space, n in other.reads.items():

@@ -10,9 +10,10 @@ functional path and the analytical path can be compared exactly.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from .counters import AccessCounters, MemSpace
 from .errors import DeviceAllocationError
 from .grid import BlockContext, LaunchConfig
 from .memory import ReadOnlyView, TrackedArray
+from .parallel import resolve_workers, run_blocks_parallel
 from .spec import DeviceSpec, TITAN_X
 
 KernelFn = Callable[[BlockContext], None]
@@ -35,6 +37,7 @@ class LaunchRecord:
     blocks_run: int
     wall_seconds: float  # host-side simulation time, NOT simulated GPU time
     sync_counts: List[int] = field(default_factory=list)
+    workers: int = 1  # simulator worker threads used for this launch
 
     @property
     def max_shared_bytes(self) -> int:
@@ -47,7 +50,9 @@ class _ActiveCounters:
     """Forwarding ledger: device-global arrays record into whatever counter
     set is *active* — the device ledger between launches, the launch's own
     ledger while a kernel runs — so per-launch records include the global
-    traffic those arrays generate."""
+    traffic those arrays generate.  The active ledger is thread-local, so
+    a block-parallel launch routes each worker's global traffic into that
+    worker's privatized counters."""
 
     __slots__ = ("_device",)
 
@@ -76,11 +81,22 @@ class Device:
     def __init__(self, spec: DeviceSpec = TITAN_X) -> None:
         self.spec = spec
         self.counters = AccessCounters()
-        self._active = self.counters
+        self._tls = threading.local()
         self._sink = _ActiveCounters(self)
         self._allocated = 0
         self._allocations: Dict[str, TrackedArray] = {}
         self.launches: List[LaunchRecord] = []
+
+    @property
+    def _active(self) -> AccessCounters:
+        """The ledger the calling thread should charge: a launch/worker
+        ledger while a kernel runs on this thread, the device ledger
+        otherwise."""
+        override = getattr(self._tls, "active", None)
+        return override if override is not None else self.counters
+
+    def _set_active(self, counters: Optional[AccessCounters]) -> None:
+        self._tls.active = counters
 
     # -- memory management ---------------------------------------------------
     def alloc(self, shape, dtype=np.float32, name: str = "", zero: bool = True) -> TrackedArray:
@@ -131,14 +147,46 @@ class Device:
         config: LaunchConfig,
         *,
         name: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> LaunchRecord:
-        """Run ``kernel`` once per block, merging access counters."""
+        """Run ``kernel`` once per block, merging access counters.
+
+        ``workers`` selects the block-parallel engine: ``None`` consults the
+        ``REPRO_SIM_WORKERS`` environment variable (default 1, block-serial),
+        ``0`` means one worker per core, ``N > 1`` runs simulated blocks on
+        ``N`` threads with privatized counters and output shards merged by a
+        deterministic final reduction (:mod:`repro.gpusim.parallel`).
+        """
         config.validate(self.spec)
         t0 = time.perf_counter()
+        resolved = resolve_workers(workers, config.grid_dim)
+        if resolved <= 1:
+            merged, sync_counts, max_shared = self._run_serial(kernel, config)
+        else:
+            merged, sync_counts, max_shared = self._run_parallel(
+                kernel, config, resolved
+            )
+        self.counters.merge(merged)
+        record = LaunchRecord(
+            kernel_name=name or getattr(kernel, "__name__", "kernel"),
+            config=config,
+            counters=merged,
+            blocks_run=config.grid_dim,
+            wall_seconds=time.perf_counter() - t0,
+            sync_counts=sync_counts,
+            workers=resolved,
+        )
+        record._max_shared = max_shared
+        self.launches.append(record)
+        return record
+
+    def _run_serial(
+        self, kernel: KernelFn, config: LaunchConfig
+    ) -> Tuple[AccessCounters, List[int], int]:
         merged = AccessCounters()
         sync_counts: List[int] = []
         max_shared = 0
-        self._active = merged  # device-global traffic lands on this launch
+        self._set_active(merged)  # device-global traffic lands on this launch
         try:
             for b in range(config.grid_dim):
                 ctx = BlockContext(
@@ -148,21 +196,35 @@ class Device:
                 sync_counts.append(ctx.sync_count)
                 max_shared = max(max_shared, ctx.shared_bytes_used)
         finally:
-            self._active = self.counters
-        self.counters.merge(merged)
-        record = LaunchRecord(
-            kernel_name=name or getattr(kernel, "__name__", "kernel"),
-            config=config,
-            counters=merged,
-            blocks_run=config.grid_dim,
-            wall_seconds=time.perf_counter() - t0,
-            sync_counts=sync_counts,
+            self._set_active(None)
+        return merged, sync_counts, max_shared
+
+    def _run_parallel(
+        self, kernel: KernelFn, config: LaunchConfig, num_workers: int
+    ) -> Tuple[AccessCounters, List[int], int]:
+        """Block-parallel execution: each worker owns privatized counters
+        and output shards; a final reduction restores the sequential
+        semantics (see :mod:`repro.gpusim.parallel`)."""
+        sync_counts = [0] * config.grid_dim
+        shared_used = [0] * config.grid_dim
+
+        def run_block(b: int, ledger: AccessCounters) -> None:
+            ctx = BlockContext(
+                spec=self.spec, config=config, block_id=b, counters=ledger
+            )
+            kernel(ctx)
+            sync_counts[b] = ctx.sync_count
+            shared_used[b] = ctx.shared_bytes_used
+
+        merged = run_blocks_parallel(
+            num_workers,
+            config.grid_dim,
+            run_block,
+            list(self._allocations.values()),
+            self._set_active,
         )
-        record._max_shared = max_shared
-        self.launches.append(record)
-        return record
+        return merged, sync_counts, max(shared_used, default=0)
 
     def reset_counters(self) -> None:
         self.counters = AccessCounters()
-        self._active = self.counters
         self.launches.clear()

@@ -37,9 +37,17 @@ def _access_count(array_shape: tuple, idx: Index) -> int:
 
 
 class TrackedArray:
-    """A NumPy-backed allocation in one simulated memory space."""
+    """A NumPy-backed allocation in one simulated memory space.
 
-    __slots__ = ("data", "space", "counters", "name", "_broadcast_reads")
+    During a block-parallel launch (:mod:`repro.gpusim.parallel`) the
+    device attaches an ``ArrayShadow`` to every global allocation; all
+    reads and mutations are then routed to the calling worker's privatized
+    shard, and a final reduction folds the shards back into the base
+    buffer.  Outside parallel launches ``_shadow`` is ``None`` and every
+    access goes straight to the base buffer, as before.
+    """
+
+    __slots__ = ("_data", "space", "counters", "name", "_broadcast_reads", "_shadow")
 
     def __init__(
         self,
@@ -49,7 +57,7 @@ class TrackedArray:
         name: str = "",
         broadcast_reads: int = 1,
     ) -> None:
-        self.data = data
+        self._data = data
         self.space = space
         self.counters = counters
         self.name = name or f"{space.value}-array"
@@ -58,26 +66,35 @@ class TrackedArray:
         #: not one per element.  Kernels set this per-read via ``ld(...,
         #: fanout=...)`` instead; this default stays 1.
         self._broadcast_reads = broadcast_reads
+        self._shadow = None  # ArrayShadow during parallel launches
+
+    @property
+    def data(self) -> np.ndarray:
+        """The buffer this thread should see (worker shard when parallel)."""
+        shadow = self._shadow
+        if shadow is None:
+            return self._data
+        return shadow.read_array()
 
     # -- geometry ----------------------------------------------------------
     @property
     def shape(self) -> tuple:
-        return self.data.shape
+        return self._data.shape
 
     @property
     def dtype(self) -> np.dtype:
-        return self.data.dtype
+        return self._data.dtype
 
     @property
     def size(self) -> int:
-        return int(self.data.size)
+        return int(self._data.size)
 
     @property
     def nbytes(self) -> int:
-        return int(self.data.nbytes)
+        return int(self._data.nbytes)
 
     def __len__(self) -> int:
-        return len(self.data)
+        return len(self._data)
 
     # -- tracked element access -------------------------------------------
     def ld(self, idx: Index = slice(None), *, fanout: int = 1) -> np.ndarray:
@@ -99,17 +116,61 @@ class TrackedArray:
         """Tracked write."""
         if isinstance(self, ReadOnlyView):  # defensive; subclass overrides
             raise MemorySpaceError(f"{self.name} is read-only")
+        shadow = self._shadow
         try:
-            n = _access_count(self.data.shape, idx)
-            self.data[idx] = values
+            n = _access_count(self._data.shape, idx)
+            if shadow is None:
+                self._data[idx] = values
+            else:
+                shadow.write(idx, values)
         except IndexError as exc:
             raise OutOfBoundsError(f"write OOB on {self.name}: {exc}") from exc
         self.counters.add_write(self.space, n)
 
     def fill(self, value: float) -> None:
         """Tracked bulk initialization (counts one write per element)."""
-        self.data[...] = value
+        shadow = self._shadow
+        if shadow is None:
+            self._data[...] = value
+        else:
+            shadow.fill(value)
         self.counters.add_write(self.space, self.size)
+
+    # -- atomic primitives (shadow-aware; counters charged by the caller) ---
+    def atomic_add_at(self, idx: np.ndarray, values: np.ndarray) -> None:
+        """Scattered commutative add (``np.add.at`` semantics)."""
+        shadow = self._shadow
+        if shadow is None:
+            np.add.at(self._data, idx, values)
+        else:
+            shadow.add_at(idx, values)
+
+    def atomic_add_dense(self, counts: np.ndarray) -> None:
+        """Aggregated add of a dense per-address contribution array."""
+        shadow = self._shadow
+        if shadow is None:
+            self._data += counts
+        else:
+            shadow.add_dense(counts)
+
+    def atomic_max_at(self, idx: np.ndarray, values: np.ndarray) -> None:
+        """Scattered commutative max (``np.maximum.at`` semantics)."""
+        shadow = self._shadow
+        if shadow is None:
+            np.maximum.at(self._data, idx, values)
+        else:
+            shadow.max_at(idx, values)
+
+    def fetch_add0(self, n: int) -> int:
+        """Fetch-and-add on element 0 (ticket counters).  Under a parallel
+        launch the returned offset is worker-local; totals still merge
+        exactly because the per-worker deltas sum."""
+        shadow = self._shadow
+        if shadow is None:
+            base = int(self._data[0])
+            self._data[0] = base + int(n)
+            return base
+        return shadow.fetch_add0(int(n))
 
     # -- untracked escape hatch ---------------------------------------------
     def raw(self) -> np.ndarray:

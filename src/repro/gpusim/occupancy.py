@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from .errors import LaunchConfigError, RegisterPressureError, SharedMemoryError
 from .spec import DeviceSpec
@@ -44,6 +45,7 @@ class Occupancy:
         )
 
 
+@lru_cache(maxsize=4096)
 def calculate_occupancy(
     spec: DeviceSpec,
     threads_per_block: int,
@@ -54,6 +56,9 @@ def calculate_occupancy(
 
     Raises when a *single* block already violates a device limit — such a
     kernel cannot launch at all.
+
+    Memoized: both :class:`DeviceSpec` and :class:`Occupancy` are frozen,
+    and planner/figure sweeps issue the same queries thousands of times.
     """
     if threads_per_block <= 0:
         raise LaunchConfigError("threads_per_block must be positive")

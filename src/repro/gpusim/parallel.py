@@ -1,0 +1,290 @@
+"""Block-parallel launch engine: privatized shards + deterministic reduction.
+
+The simulator's launch loop exploits the same invariant the paper's kernels
+do: thread blocks are independent except for commutative atomic updates
+(``device.py`` module docstring).  That makes block execution embarrassingly
+parallel *if* the mutable state is privatized — which is exactly the
+paper's Section IV-C medicine, applied to the simulator itself:
+
+* every worker owns a **private ledger** (:class:`~repro.gpusim.counters.
+  AccessCounters`), merged in worker order after the join so the combined
+  counts are deterministic and equal to the sequential launch;
+* every device-global allocation is wrapped in an :class:`ArrayShadow`
+  holding one **privatized shard per worker** — plain writes are tracked
+  with a written-mask (blocks write disjoint slices; overlap raises),
+  atomic adds accumulate in a per-worker **delta** array, atomic maxima in
+  a per-worker running copy — and a final **reduction** folds the shards
+  back into the base buffer in worker order.
+
+Floating-point note: integer outputs (histograms, tickets) merge exactly;
+float atomic accumulations are re-associated by the worker grouping, so
+they are deterministic for a fixed worker count but may differ from the
+sequential path in the last ulp (the usual tolerance for commutative
+atomics, documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .counters import AccessCounters
+from .errors import GpuSimError
+
+#: Environment variable overriding the default worker count for simulated
+#: launches.  Unset / "1" keeps the block-serial loop; "auto" or "0" uses
+#: every available core; any other integer is used as-is.
+WORKERS_ENV = "REPRO_SIM_WORKERS"
+
+
+class ParallelLaunchError(GpuSimError):
+    """A parallel launch violated the block-independence invariant."""
+
+
+def resolve_workers(workers: Optional[int], grid_dim: int) -> int:
+    """Resolve a ``workers`` request to a concrete count in [1, grid_dim].
+
+    ``None`` consults :data:`WORKERS_ENV`; ``0`` (or the env value
+    ``"auto"``) means one worker per available core.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip().lower()
+        if not env:
+            return 1
+        workers = 0 if env == "auto" else int(env)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, grid_dim))
+
+
+class _Shard:
+    """One worker's privatized view of a global allocation.
+
+    The value copy is materialized lazily on first mutation, so read-only
+    arrays (inputs, ROC-bound data) cost nothing per worker.
+    """
+
+    __slots__ = ("copy", "written", "delta", "maxed")
+
+    def __init__(self) -> None:
+        self.copy: Optional[np.ndarray] = None
+        self.written: Optional[np.ndarray] = None
+        self.delta: Optional[np.ndarray] = None
+        self.maxed: Optional[np.ndarray] = None
+
+    def materialize(self, base: np.ndarray) -> np.ndarray:
+        if self.copy is None:
+            self.copy = base.copy()
+        return self.copy
+
+
+class ArrayShadow:
+    """Per-worker shards over one base buffer, plus the merge (reduction).
+
+    All mutation entry points mirror :class:`~repro.gpusim.memory.
+    TrackedArray`'s primitives: ``write`` / ``fill`` (plain stores),
+    ``add_at`` / ``add_dense`` (commutative atomic adds, accumulated in a
+    delta so base values are never double-counted), ``max_at`` and
+    ``fetch_add0`` (ticket counters).
+    """
+
+    def __init__(self, session: "ParallelSession", base: np.ndarray) -> None:
+        self._session = session
+        self._base = base
+        self._shards: dict[int, _Shard] = {}
+        self._lock = threading.Lock()
+
+    # -- worker-side access -------------------------------------------------
+    def _shard(self) -> _Shard:
+        w = self._session.worker()
+        try:
+            return self._shards[w]
+        except KeyError:
+            with self._lock:
+                return self._shards.setdefault(w, _Shard())
+
+    def read_array(self) -> np.ndarray:
+        """The array this worker should read: its shard if it has mutated
+        the buffer, the pristine base otherwise."""
+        w = self._session.worker()
+        shard = self._shards.get(w)
+        if shard is None or shard.copy is None:
+            return self._base
+        return shard.copy
+
+    def write(self, idx, values) -> None:
+        shard = self._shard()
+        copy = shard.materialize(self._base)
+        if shard.written is None:
+            shard.written = np.zeros(self._base.shape, dtype=bool)
+        copy[idx] = values
+        shard.written[idx] = True
+
+    def fill(self, value) -> None:
+        self.write(..., value)
+
+    def add_at(self, idx, values) -> None:
+        shard = self._shard()
+        copy = shard.materialize(self._base)
+        if shard.delta is None:
+            shard.delta = np.zeros(self._base.shape, dtype=self._base.dtype)
+        np.add.at(copy, idx, values)
+        np.add.at(shard.delta, idx, values)
+
+    def add_dense(self, counts: np.ndarray) -> None:
+        """Aggregated commutative add of a dense per-address count/weight
+        array (the batched engine's one-charge-per-batch path)."""
+        shard = self._shard()
+        copy = shard.materialize(self._base)
+        if shard.delta is None:
+            shard.delta = np.zeros(self._base.shape, dtype=self._base.dtype)
+        copy += counts
+        shard.delta += counts
+
+    def max_at(self, idx, values) -> None:
+        shard = self._shard()
+        copy = shard.materialize(self._base)
+        if shard.maxed is None:
+            shard.maxed = np.zeros(self._base.shape, dtype=bool)
+        np.maximum.at(copy, idx, values)
+        shard.maxed[idx] = True
+
+    def fetch_add0(self, n: int) -> int:
+        """Worker-local ticket counter: returns this worker's running
+        offset.  Offsets are local to the shard; the merged total equals
+        the sequential count because the deltas sum."""
+        shard = self._shard()
+        copy = shard.materialize(self._base)
+        if shard.delta is None:
+            shard.delta = np.zeros(self._base.shape, dtype=self._base.dtype)
+        base = int(copy[0])
+        copy[0] += n
+        shard.delta[0] += n
+        return base
+
+    # -- reduction ----------------------------------------------------------
+    def merge(self, name: str) -> None:
+        """Fold all shards into the base buffer, in worker-index order."""
+        seen_writes: Optional[np.ndarray] = None
+        for w in sorted(self._shards):
+            shard = self._shards[w]
+            if shard.copy is None:
+                continue
+            if shard.written is not None and shard.written.any():
+                if shard.delta is not None or shard.maxed is not None:
+                    raise ParallelLaunchError(
+                        f"{name}: plain writes mixed with atomic updates in "
+                        "one parallel launch; the merge order would be "
+                        "ambiguous"
+                    )
+                if seen_writes is None:
+                    seen_writes = shard.written
+                else:
+                    overlap = seen_writes & shard.written
+                    if overlap.any():
+                        raise ParallelLaunchError(
+                            f"{name}: {int(overlap.sum())} element(s) "
+                            "written by more than one block shard — the "
+                            "kernel violates the block-independence "
+                            "invariant parallel launches rely on"
+                        )
+                    seen_writes = seen_writes | shard.written
+                self._base[shard.written] = shard.copy[shard.written]
+            if shard.delta is not None:
+                self._base += shard.delta
+            if shard.maxed is not None:
+                m = shard.maxed
+                np.maximum(self._base, np.where(m, shard.copy, self._base),
+                           out=self._base)
+
+
+class ParallelSession:
+    """State of one block-parallel launch: worker identity + shadows."""
+
+    def __init__(self, num_workers: int) -> None:
+        self.num_workers = num_workers
+        self._tls = threading.local()
+        self._shadowed: List = []  # TrackedArray objects with shadows attached
+
+    def worker(self) -> int:
+        w = getattr(self._tls, "worker", None)
+        if w is None:
+            raise ParallelLaunchError(
+                "device memory accessed from a thread that is not a launch "
+                "worker"
+            )
+        return w
+
+    def enter_worker(self, w: int) -> None:
+        self._tls.worker = w
+
+    def attach(self, arrays: Sequence) -> None:
+        """Shadow every live device allocation for the launch's duration."""
+        for arr in arrays:
+            if arr._shadow is not None:
+                raise ParallelLaunchError(
+                    f"{arr.name}: already shadowed — concurrent parallel "
+                    "launches on one device are not supported"
+                )
+            arr._shadow = ArrayShadow(self, arr._data)
+            self._shadowed.append(arr)
+
+    def detach(self) -> None:
+        for arr in self._shadowed:
+            arr._shadow = None
+
+    def merge(self) -> None:
+        for arr in self._shadowed:
+            arr._shadow.merge(arr.name)
+
+
+def run_blocks_parallel(
+    num_workers: int,
+    grid_dim: int,
+    run_block: Callable[[int, AccessCounters], None],
+    arrays: Sequence,
+    set_active: Callable[[Optional[AccessCounters]], None],
+) -> AccessCounters:
+    """Execute ``run_block`` for every block id with ``num_workers``
+    privatized workers and reduce the results.
+
+    Blocks are dealt round-robin (block ``b`` to worker ``b % W``) — the
+    balanced decomposition for the triangular inter-block workload, where
+    per-block cost decays linearly with block id.  ``set_active`` points
+    the device's thread-local ledger at the worker's private counters so
+    device-global traffic lands in the right shard.  Returns the merged
+    ledger (worker order, deterministic).
+    """
+    session = ParallelSession(num_workers)
+    session.attach(arrays)
+    ledgers = [AccessCounters() for _ in range(num_workers)]
+
+    def worker_fn(w: int) -> None:
+        session.enter_worker(w)
+        set_active(ledgers[w])
+        try:
+            for b in range(w, grid_dim, num_workers):
+                run_block(b, ledgers[w])
+        finally:
+            set_active(None)
+
+    try:
+        with ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="gpusim-block"
+        ) as pool:
+            futures = [pool.submit(worker_fn, w) for w in range(num_workers)]
+            for f in futures:
+                f.result()
+        session.merge()
+    finally:
+        session.detach()
+    merged = AccessCounters()
+    for ledger in ledgers:
+        merged.merge(ledger)
+    return merged

@@ -9,6 +9,7 @@ from repro.gpusim import (
     expected_max_multiplicity,
     monte_carlo_max_multiplicity,
     warp_conflict_degrees,
+    warp_conflict_degrees_dense,
 )
 
 
@@ -104,3 +105,70 @@ class TestWarpConflictDegrees:
     def test_rejects_non_2d(self):
         with pytest.raises(ValueError):
             warp_conflict_degrees(np.zeros(32, dtype=int))
+
+
+class TestWarpConflictDegreesDense:
+    """The batched engine's fast profiler must return exactly the
+    reference statistic for every input shape."""
+
+    @pytest.mark.parametrize("threads", [8, 32, 64, 100, 256])
+    @pytest.mark.parametrize("iters", [1, 5, 33])
+    @pytest.mark.parametrize("nbins", [1, 4, 300])
+    def test_matches_reference(self, threads, iters, nbins):
+        rng = np.random.default_rng(threads * 1000 + iters * 10 + nbins)
+        bins = rng.integers(0, nbins, size=(threads, iters))
+        assert warp_conflict_degrees_dense(bins) == warp_conflict_degrees(
+            bins
+        )
+
+    @pytest.mark.parametrize("warp_size", [1, 2, 8, 32])
+    def test_matches_reference_warp_sizes(self, warp_size):
+        rng = np.random.default_rng(9)
+        bins = rng.integers(0, 11, size=(96, 7))
+        assert warp_conflict_degrees_dense(
+            bins, warp_size
+        ) == warp_conflict_degrees(bins, warp_size)
+
+    @pytest.mark.parametrize("dtype", [np.int16, np.int32, np.int64])
+    def test_matches_reference_dtypes(self, dtype):
+        rng = np.random.default_rng(10)
+        bins = rng.integers(0, 50, size=(40, 6)).astype(dtype)
+        assert warp_conflict_degrees_dense(bins) == warp_conflict_degrees(
+            bins
+        )
+
+    def test_all_equal(self):
+        bins = np.zeros((64, 3), dtype=np.int32)
+        assert warp_conflict_degrees_dense(bins) == (3 * 2 * 32.0, 6)
+
+    def test_empty_iterations(self):
+        bins = np.zeros((32, 0), dtype=np.int64)
+        assert warp_conflict_degrees_dense(bins) == (0.0, 0)
+
+    def test_lane_offsets_equal_materialized(self):
+        rng = np.random.default_rng(11)
+        for threads in (32, 40, 128):
+            bins = rng.integers(0, 16, size=(threads, 9)).astype(np.int32)
+            offsets = (
+                (np.arange(threads, dtype=np.int32) % 4) * 16
+            )
+            assert warp_conflict_degrees_dense(
+                bins, lane_offsets=offsets
+            ) == warp_conflict_degrees(bins + offsets[:, None])
+
+    def test_lane_offsets_do_not_mutate_input(self):
+        bins = np.zeros((32, 2), dtype=np.int32)
+        offsets = np.arange(32, dtype=np.int32)
+        warp_conflict_degrees_dense(bins, lane_offsets=offsets)
+        assert np.array_equal(bins, np.zeros((32, 2), dtype=np.int32))
+
+    def test_lane_offsets_shape_checked(self):
+        with pytest.raises(ValueError, match="one entry per thread"):
+            warp_conflict_degrees_dense(
+                np.zeros((32, 2), dtype=np.int32),
+                lane_offsets=np.zeros(8, dtype=np.int32),
+            )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            warp_conflict_degrees_dense(np.zeros(32, dtype=int))

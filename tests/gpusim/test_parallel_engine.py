@@ -1,0 +1,260 @@
+"""Differential tests for the parallel, batched execution engine.
+
+The contract (ISSUE 1): for every kernel composition, the batched tile
+path and the block-parallel launch loop must produce outputs equal to the
+sequential tile-at-a-time engine and *identical* merged ``AccessCounters``.
+Integer outputs (histograms, emitted pairs, kNN ids) must match exactly;
+float accumulations are compared under the documented re-association
+tolerance (batching and worker grouping change the summation order of
+commutative float atomics, nothing else).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core.distances import EUCLIDEAN
+from repro.core.kernels import make_kernel
+from repro.core.kernels.base import compute_geometry
+from repro.core.tiling import (
+    cyclic_schedule,
+    cyclic_trips,
+    triangular_pair_mask,
+    triangular_trips,
+)
+from repro.gpusim import (
+    Device,
+    LaunchConfig,
+    MemSpace,
+    ParallelLaunchError,
+    TITAN_X,
+    calculate_occupancy,
+    resolve_workers,
+)
+from repro.gpusim.parallel import WORKERS_ENV
+
+BLOCK = 64
+
+#: (problem factory, input strategy, output strategy, load_balanced)
+COMPOSITIONS = [
+    # SDH (Type-II histogram): every input x both atomic output designs
+    *[("sdh", inp, out, False)
+      for inp in ("naive", "shm-shm", "register-shm", "register-roc", "shuffle")
+      for out in ("global-atomic", "privatized-shm")],
+    ("sdh", "register-roc", "privatized-shm", True),  # cyclic schedule
+    # PCF (Type-I scalar sum): register accumulation and the atomic baseline
+    *[("pcf", inp, "register", False)
+      for inp in ("naive", "shm-shm", "register-shm", "register-roc", "shuffle")],
+    ("pcf", "register-shm", "global-atomic", False),
+    # full-row Type-I kinds
+    ("kde", "register-shm", "register", False),
+    ("knn", "register-roc", "register", False),
+    # Type-III direct outputs
+    ("gram", "register-shm", "global-direct", False),
+    ("join", "register-shm", "global-direct", False),
+]
+
+#: (workers, batch_tiles) engine modes checked against (1, 1)
+MODES = [(1, 3), (4, 1), (4, 3)]
+
+
+def _problem(name: str):
+    if name == "sdh":
+        return apps.sdh.make_problem(64, 10.0 * math.sqrt(3.0), dims=3)
+    if name == "pcf":
+        return apps.pcf.make_problem(2.0, dims=3)
+    if name == "kde":
+        return apps.kde.make_problem(1.5, dims=3)
+    if name == "knn":
+        return apps.knn.make_problem(4, dims=3)
+    if name == "gram":
+        return apps.gram.make_problem(EUCLIDEAN, dims=3)
+    if name == "join":
+        return apps.join.make_problem(1.0, dims=3)
+    raise KeyError(name)
+
+
+def _run(problem, inp, out, lb, points, workers, batch_tiles):
+    kernel = make_kernel(
+        problem, inp, out, block_size=BLOCK, load_balanced=lb
+    )
+    device = Device(TITAN_X)
+    result, record = kernel.execute(
+        device, points, workers=workers, batch_tiles=batch_tiles
+    )
+    return result, record
+
+
+def _assert_result_equal(expected, got, *, exact_float=False):
+    if isinstance(expected, tuple):
+        assert isinstance(got, tuple) and len(got) == len(expected)
+        for e, g in zip(expected, got):
+            _assert_result_equal(e, g, exact_float=exact_float)
+        return
+    if isinstance(expected, float):
+        assert got == pytest.approx(expected, rel=1e-12, abs=1e-12)
+        return
+    e = np.asarray(expected)
+    g = np.asarray(got)
+    assert e.shape == g.shape
+    if np.issubdtype(e.dtype, np.integer) or e.dtype == bool or exact_float:
+        np.testing.assert_array_equal(e, g)
+    else:
+        np.testing.assert_allclose(e, g, rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("prob,inp,out,lb", COMPOSITIONS)
+@pytest.mark.parametrize("workers,batch", MODES)
+def test_engine_matches_sequential(
+    small_points, prob, inp, out, lb, workers, batch
+):
+    problem = _problem(prob)
+    base_result, base_record = _run(problem, inp, out, lb, small_points, 1, 1)
+    result, record = _run(problem, inp, out, lb, small_points, workers, batch)
+    # merged access counters are identical (exact integer equality by space)
+    assert record.counters == base_record.counters, (
+        f"{prob}/{inp}/{out}: counters diverge\n"
+        f"  base: {base_record.counters.as_dict()}\n"
+        f"  got:  {record.counters.as_dict()}"
+    )
+    # conflict statistics agree too (float sums: tolerance for ordering)
+    assert record.counters.atomic_conflict_issues == \
+        base_record.counters.atomic_conflict_issues
+    assert record.counters.atomic_conflict_degree == pytest.approx(
+        base_record.counters.atomic_conflict_degree, rel=1e-9
+    )
+    assert record.workers == min(workers, base_record.blocks_run)
+    assert record.blocks_run == base_record.blocks_run
+    assert record.sync_counts == base_record.sync_counts
+    assert record.max_shared_bytes == base_record.max_shared_bytes
+    _assert_result_equal(base_result, result)
+
+
+def test_emitted_pairs_deterministic_under_workers(small_points):
+    problem = _problem("join")
+    base, _ = _run(problem, "register-shm", "global-direct", False,
+                   small_points, 1, 1)
+    for _ in range(3):
+        got, _ = _run(problem, "register-shm", "global-direct", False,
+                      small_points, 4, 1)
+        np.testing.assert_array_equal(base, got)
+
+
+def test_workers_env_override(small_points, monkeypatch):
+    problem = _problem("sdh")
+    monkeypatch.setenv(WORKERS_ENV, "4")
+    _, record = _run(problem, "register-roc", "privatized-shm", False,
+                     small_points, None, 1)
+    assert record.workers == 4
+    monkeypatch.setenv(WORKERS_ENV, "auto")
+    _, record = _run(problem, "register-roc", "privatized-shm", False,
+                     small_points, None, 1)
+    assert record.workers >= 1
+    monkeypatch.delenv(WORKERS_ENV)
+    _, record = _run(problem, "register-roc", "privatized-shm", False,
+                     small_points, None, 1)
+    assert record.workers == 1
+
+
+def test_resolve_workers():
+    assert resolve_workers(1, 10) == 1
+    assert resolve_workers(8, 3) == 3  # clamped to the grid
+    assert resolve_workers(0, 10) >= 1  # auto: one per core
+    with pytest.raises(ValueError):
+        resolve_workers(-2, 10)
+
+
+def test_parallel_write_overlap_raises():
+    """Two blocks writing the same global element violates the
+    block-independence invariant and must be detected, not merged."""
+    device = Device(TITAN_X)
+    out = device.alloc(4, np.float64, name="clash")
+
+    def kernel(ctx):
+        out.st(0, float(ctx.block_id))  # every block writes element 0
+
+    config = LaunchConfig(grid_dim=4, block_dim=32)
+    with pytest.raises(ParallelLaunchError, match="written by more than one"):
+        device.launch(kernel, config, workers=2)
+
+
+def test_parallel_write_plus_atomic_raises():
+    device = Device(TITAN_X)
+    out = device.alloc(4, np.float64, name="mixed")
+
+    def kernel(ctx):
+        out.st(ctx.block_id, 1.0)
+        out.atomic_add_at(np.array([ctx.block_id]), np.array([1.0]))
+
+    config = LaunchConfig(grid_dim=4, block_dim=32)
+    with pytest.raises(ParallelLaunchError, match="mixed with atomic"):
+        device.launch(kernel, config, workers=2)
+
+
+def test_parallel_disjoint_writes_and_tickets_merge_exactly():
+    device = Device(TITAN_X)
+    out = device.alloc(8, np.float64, name="rows")
+    hist = device.alloc(4, np.int64, name="h")
+    ticket = device.alloc(1, np.int64, name="t")
+
+    def kernel(ctx):
+        b = ctx.block_id
+        out.st(b, float(b + 1))
+        hist.atomic_add_at(np.array([b % 4]), np.array([1]))
+        hist.counters.add_atomic(MemSpace.GLOBAL, 1)
+        ticket.fetch_add0(2)
+
+    config = LaunchConfig(grid_dim=8, block_dim=32)
+    device.launch(kernel, config, workers=3)
+    np.testing.assert_array_equal(
+        device.to_host(out), np.arange(1.0, 9.0)
+    )
+    np.testing.assert_array_equal(device.to_host(hist), np.full(4, 2))
+    assert int(device.to_host(ticket)[0]) == 16
+
+
+def test_device_counters_accumulate_across_parallel_launches(small_points):
+    problem = _problem("sdh")
+    kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                         block_size=BLOCK)
+    device = Device(TITAN_X)
+    _, record = kernel.execute(device, small_points, workers=4)
+    # device ledger includes the launch's counters (plus the reduction pass)
+    for space, n in record.counters.reads.items():
+        assert device.counters.reads.get(space, 0) >= n
+
+
+# -- memoization layer ---------------------------------------------------------
+
+def test_tiling_caches_return_frozen_singletons():
+    a = triangular_pair_mask(32)
+    b = triangular_pair_mask(32)
+    assert a is b and not a.flags.writeable
+    s1 = cyclic_schedule(32)
+    s2 = cyclic_schedule(32)
+    assert s1 is s2 and isinstance(s1, tuple)
+    assert all(not p.flags.writeable for p in s1)
+    assert triangular_trips(32) is triangular_trips(32)
+    assert cyclic_trips(32) is cyclic_trips(32)
+    with pytest.raises((ValueError, RuntimeError)):
+        a[0, 0] = True  # read-only: cached buffers cannot be corrupted
+
+
+def test_geometry_and_occupancy_memoized():
+    g1 = compute_geometry(10_000, 256, False)
+    g2 = compute_geometry(10_000, 256, False)
+    assert g1 is g2
+    assert compute_geometry.cache_info().hits >= 1
+    o1 = calculate_occupancy(TITAN_X, 256, 32, 1024)
+    o2 = calculate_occupancy(TITAN_X, 256, 32, 1024)
+    assert o1 is o2
+
+
+def test_geometry_is_immutable():
+    g = compute_geometry(1000, 128, False)
+    with pytest.raises(AttributeError):
+        g.n = 5
