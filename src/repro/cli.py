@@ -23,7 +23,7 @@ import numpy as np
 from . import bench
 from .apps import pcf as pcf_app
 from .apps import sdh as sdh_app
-from .core import make_kernel, plan_kernel
+from .core import make_kernel, plan_kernel, run
 from .core.kernels import INPUT_STRATEGIES, OUTPUT_STRATEGIES
 from .data import uniform_points
 from .gpusim import PRESETS, get_device_spec
@@ -64,22 +64,44 @@ def cmd_plan(args) -> int:
 
 def cmd_sdh(args) -> int:
     pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
-    hist, res = sdh_app.compute(pts, bins=args.bins)
+    if args.faults is not None:
+        span = pts.max(axis=0) - pts.min(axis=0)
+        maxd = float(np.linalg.norm(span)) or 1.0
+        problem = sdh_app.make_problem(args.bins, maxd, dims=3)
+        # workers=2 keeps the parallel engine (hence the worker-crash and
+        # shard-corruption fault sites) live under the chaos plan
+        res = run(problem, pts, kernel=sdh_app.default_kernel(problem),
+                  faults=args.faults, retries=args.retries, workers=2)
+        hist = res.result
+    else:
+        hist, res = sdh_app.compute(pts, bins=args.bins)
     print(f"SDH of {args.n} uniform points, {args.bins} buckets "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
     peak = int(np.argmax(hist))
     print(f"total pairs {hist.sum():,}; busiest bucket {peak} "
           f"({hist[peak]:,} pairs)")
+    if res.resilience is not None:
+        print(f"-- fault injection (seed {args.faults}) --")
+        print(res.resilience.summary())
     return 0
 
 
 def cmd_pcf(args) -> int:
     pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
-    count, res = pcf_app.count_pairs(pts, args.radius)
+    if args.faults is not None:
+        problem = pcf_app.make_problem(args.radius)
+        res = run(problem, pts, kernel=make_kernel(problem),
+                  faults=args.faults, retries=args.retries, workers=2)
+        count = int(round(res.result))
+    else:
+        count, res = pcf_app.count_pairs(pts, args.radius)
     total = args.n * (args.n - 1) // 2
     print(f"2-PCF of {args.n} uniform points at r={args.radius:g} "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
     print(f"pairs within radius: {count:,} of {total:,} ({count / total:.3%})")
+    if res.resilience is not None:
+        print(f"-- fault injection (seed {args.faults}) --")
+        print(res.resilience.summary())
     return 0
 
 
@@ -116,6 +138,18 @@ def cmd_devices(args) -> int:
     return 0
 
 
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--faults", type=int, default=None, metavar="SEED",
+        help="inject the deterministic chaos fault plan for SEED and run "
+             "under the resilience supervisor",
+    )
+    p.add_argument(
+        "--retries", type=int, default=3,
+        help="supervisor retry budget per fault site (with --faults)",
+    )
+
+
 def _add_problem_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--problem", choices=["sdh", "pcf"], default="sdh")
     p.add_argument("--bins", type=int, default=2500, help="SDH buckets")
@@ -147,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=256)
     p.add_argument("--box", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_fault_args(p)
     p.set_defaults(fn=cmd_sdh)
 
     p = sub.add_parser("pcf", help="compute a 2-PCF on generated data")
@@ -154,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--radius", type=float, default=1.0)
     p.add_argument("--box", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_fault_args(p)
     p.set_defaults(fn=cmd_pcf)
 
     p = sub.add_parser("figures", help="regenerate paper figures/tables")

@@ -80,6 +80,17 @@ from .problem import (
     as_aos,
     as_soa,
 )
+from .resilience import (
+    DEGRADATION_LADDER,
+    ResilienceEvent,
+    ResilienceReport,
+    ResilientResult,
+    RetryPolicy,
+    degrade_kernel,
+    expected_pair_count,
+    resilient_run,
+    verify_result,
+)
 from .runner import RunResult, estimate, run
 from .tiling import (
     BlockDecomposition,
@@ -107,6 +118,9 @@ __all__ = [
     "run", "estimate", "RunResult", "periodic_euclidean",
     "MultiGpuRunner", "MultiGpuResult", "ShardPlan", "plan_shards",
     "PCIE_BANDWIDTH", "CrossKernel",
+    "DEGRADATION_LADDER", "ResilienceEvent", "ResilienceReport",
+    "ResilientResult", "RetryPolicy", "degrade_kernel",
+    "expected_pair_count", "resilient_run", "verify_result",
     "StageCounts", "EXACT_BY_STRATEGY", "exact_naive", "exact_shm_shm",
     "exact_register_shm", "exact_register_roc", "exact_shuffle",
     "paper_eq1_num_blocks", "paper_eq2_naive_global",

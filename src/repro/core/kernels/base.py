@@ -28,7 +28,7 @@ import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -459,6 +459,7 @@ class ComposedKernel:
         *,
         workers: Optional[int] = None,
         batch_tiles: Optional[int] = None,
+        blocks: Optional[Sequence[int]] = None,
     ) -> Tuple[Any, LaunchRecord]:
         """Run the kernel on the simulated device.
 
@@ -471,6 +472,13 @@ class ComposedKernel:
         (``1`` = the legacy tile-at-a-time loop).  Both engines charge
         access counters identical to the legacy path; float outputs may
         differ within the usual re-association tolerance.
+
+        ``blocks`` restricts execution to a subset of anchor blocks — a
+        device stripe in the multi-GPU decomposition, or the failed block
+        range the resilience supervisor re-executes.  Each selected block
+        still sees the full dataset as partners, so the partial outputs of
+        disjoint block subsets merge exactly like the privatized copies of
+        paper Fig. 3.
         """
         problem = self.problem
         soa = as_soa(points)
@@ -481,7 +489,15 @@ class ComposedKernel:
                 f"got {dims}-d"
             )
         dec = BlockDecomposition(n, self.block_size)
-        resolved_workers = resolve_workers(workers, dec.num_blocks)
+        if blocks is not None:
+            blocks = list(blocks)
+            bad = [b for b in blocks if not 0 <= b < dec.num_blocks]
+            if bad:
+                raise ValueError(
+                    f"block ids {bad} outside grid [0, {dec.num_blocks})"
+                )
+        grid_blocks = dec.num_blocks if blocks is None else max(1, len(blocks))
+        resolved_workers = resolve_workers(workers, grid_blocks)
         batch = self._resolve_tile_batch(batch_tiles, resolved_workers)
         data_g = device.to_device(soa, name="input")
         in_state = self.input.prepare(device, data_g)
@@ -602,7 +618,7 @@ class ComposedKernel:
 
         record = device.launch(
             kernel, self.launch_config(n), name=self.name,
-            workers=resolved_workers,
+            workers=resolved_workers, blocks=blocks,
         )
         result = self.output.finalize(device, bufs, problem, n)
         return result, record

@@ -29,6 +29,7 @@ from ...gpusim.contention import (
 )
 from ...gpusim.counters import MemSpace
 from ...gpusim.device import Device
+from ...gpusim.errors import OutputCorruptionError
 from ...gpusim.grid import BlockContext
 from ...gpusim.spec import DeviceSpec
 from ...gpusim.timing import TrafficProfile, reduction_stage_seconds
@@ -512,6 +513,11 @@ class GlobalDirectOutput(OutputStrategy):
         }
 
     def block_init(self, ctx, bufs, problem, ids_l):
+        if problem.output.kind is UpdateKind.EMIT_PAIRS:
+            # a re-executed block (crash recovery) must not duplicate the
+            # pairs it spilled before dying: starting a block resets its
+            # spill list, making block re-execution idempotent
+            bufs["emitted"][int(ctx.block_id)] = []
         return None
 
     def update(self, ctx, state, bufs, problem, ids_l, ids_r, values, mask):
@@ -564,10 +570,19 @@ class GlobalDirectOutput(OutputStrategy):
         ]
         if chunks:
             pairs = np.concatenate(chunks, axis=0)
+            # canonical lexicographic order: emitted pairs are bit-identical
+            # no matter how blocks were dealt to workers or striped across
+            # devices (block-id concatenation alone would differ per stripe)
+            pairs = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
         else:
             pairs = np.empty((0, 2), dtype=np.int64)
         count = int(device.to_host(bufs["ticket"])[0])
-        assert count == pairs.shape[0], "ticket counter out of sync"
+        if count != pairs.shape[0]:
+            raise OutputCorruptionError(
+                f"emit ticket counter out of sync: reserved {count} slots "
+                f"but {pairs.shape[0]} pairs were emitted — output shard "
+                "corrupted"
+            )
         return pairs
 
     def traffic(self, geom, dims, problem, part="both") -> TrafficProfile:

@@ -56,28 +56,55 @@ class ShardPlan:
         return float(pairs.max() / pairs.mean()) if pairs.mean() else 1.0
 
 
-def plan_shards(n: int, num_devices: int) -> ShardPlan:
+def plan_shards(
+    n: int,
+    num_devices: int,
+    rows: Optional[Tuple[int, int]] = None,
+) -> ShardPlan:
     """Split anchor rows so each device gets ~equal pair counts.
 
     Row i carries (n-1-i) pairs, so equal-pair boundaries follow
     cumulative triangular mass — same math as the CPU guided scheduler.
+
+    The device count is clamped to the number of pair-bearing rows (rows
+    ``0 .. n-2``; the last row anchors no pairs), so no stripe is ever
+    degenerate: asking for more devices than there is work returns a plan
+    with fewer, non-empty stripes rather than zero-pair stripes whose
+    ``imbalance()`` would divide by a near-zero mean.
+
+    ``rows=(s, e)`` plans only the anchor-row range ``[s, e)`` of the full
+    n-point triangular workload — the failover path re-striping a dead
+    device's rows across the survivors.
     """
     if num_devices <= 0:
         raise ValueError(f"need at least one device, got {num_devices}")
     if n < 2:
         raise ValueError(f"need at least two points, got {n}")
-    weights = (n - 1 - np.arange(n)).astype(np.float64)
+    s, e = (0, n) if rows is None else rows
+    if not 0 <= s < e <= n:
+        raise ValueError(f"rows must satisfy 0 <= s < e <= {n}, got ({s}, {e})")
+    # rows with at least one pair in [s, e): those below n-1
+    useful_rows = min(e, n - 1) - s
+    num_devices = min(num_devices, max(1, useful_rows))
+    weights = (n - 1 - np.arange(s, e)).astype(np.float64)
     cum = np.cumsum(weights)
     total = cum[-1]
+    if total <= 0:  # the range holds only the pairless last row
+        return ShardPlan(n=n, boundaries=[(s, e)])
     boundaries = []
-    start = 0
+    start = s
     for d in range(num_devices):
         target = total * (d + 1) / num_devices
-        end = int(np.searchsorted(cum, target)) + 1 if d < num_devices - 1 else n
-        end = max(end, start + 1) if start < n else n
-        end = min(end, n)
+        end = (
+            s + int(np.searchsorted(cum, target)) + 1
+            if d < num_devices - 1
+            else e
+        )
+        end = max(end, start + 1) if start < e else e
+        end = min(end, e)
         boundaries.append((start, end))
         start = end
+    boundaries = [(bs, be) for bs, be in boundaries if be > bs]
     return ShardPlan(n=n, boundaries=boundaries)
 
 
@@ -108,6 +135,10 @@ def _combine(problem: TwoBodyProblem, parts: List[Any]):
             if any(len(p) for p in parts)
             else np.empty((0, 2), dtype=np.int64)
         )
+        # canonical lexicographic order: bit-identical results no matter
+        # how many devices (or recovery re-executions) produced the parts
+        if len(stacked):
+            stacked = stacked[np.lexsort((stacked[:, 1], stacked[:, 0]))]
         return stacked
     if kind is UpdateKind.MATRIX:
         # every unordered pair belongs to exactly one stripe, so the

@@ -1,0 +1,493 @@
+"""Resilient execution supervisor: retry, degrade, re-execute, fail over.
+
+The ROADMAP's north star is production-scale operation, and production
+runs fail: devices go briefly out of memory, worker threads die mid-block,
+a DMA engine corrupts a merged shard, a whole device drops off the bus.
+The fault injector (:mod:`repro.gpusim.faults`) makes those failures
+deterministic simulated events; this module is the *policy* layer that
+turns them into recovered runs:
+
+* **Retry with backoff.**  :class:`TransientFault` launches are retried
+  under an exponential backoff with deterministic, plan-seeded jitter.
+* **Targeted re-execution.**  A crashed worker loses only its own
+  privatized shards, so recovery re-runs just its block deal
+  (:class:`~repro.gpusim.parallel.CrashRecovery`); a corrupted stripe is
+  detected by output invariants and re-executed whole.
+* **Degradation.**  Resource exhaustion (shared-memory overflow, register
+  pressure) walks the input-strategy ladder Register-ROC -> Register-SHM
+  -> SHM-SHM -> Naive; allocation failure halves the tile batch first.
+* **Failover.**  A dead simulated device's anchor-block stripe is
+  re-striped across the survivors with the same triangular-weighted
+  :func:`~repro.core.multigpu.plan_shards` math, and partial outputs merge
+  exactly like the privatized copies of paper Fig. 3 — so the recovered
+  result is bit-identical to the fault-free run for every integer output,
+  and exact for the framework's float outputs too (disjoint-support adds
+  and integer-valued sums; see DESIGN.md Section 6).
+* **Verification.**  Every stripe result and the final merge pass output
+  invariants (histogram mass equals the stripe's pair count, Gram
+  symmetry, finiteness, emitted-pair canonical form) so silent corruption
+  becomes a detected, re-executable event.
+
+Everything that happened — injected faults and the actions taken — lands
+in a :class:`ResilienceReport` whose :meth:`~ResilienceReport.to_dict` is
+deterministic for a given fault seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gpusim.device import Device, LaunchRecord
+from ..gpusim.errors import (
+    DeviceAllocationError,
+    OutputCorruptionError,
+    RegisterPressureError,
+    SharedMemoryError,
+    TransientFault,
+    WorkerCrashError,
+)
+from ..gpusim.faults import FaultInjector, as_injector
+from ..gpusim.parallel import CrashRecovery
+from ..gpusim.spec import DeviceSpec, TITAN_X
+from .kernels import ComposedKernel, make_kernel
+from .kernels.base import block_sizes
+from .multigpu import ShardPlan, _combine, plan_shards
+from .problem import TwoBodyProblem, UpdateKind
+
+#: Input strategies ordered by resource appetite; resource exhaustion
+#: degrades to the next entry (same output strategy, same block size).
+DEGRADATION_LADDER: Tuple[str, ...] = (
+    "register-roc", "register-shm", "shm-shm", "naive",
+)
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff/retry knobs for the supervisor.
+
+    The jitter multiplier is drawn from the plan-seeded generator, so the
+    recorded delays (hence the whole report) are deterministic per seed.
+    ``sleep=False`` records the computed delays without actually sleeping
+    — what the test suite uses.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.001
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    sleep: bool = True
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        scale = self.backoff_base * self.backoff_factor ** attempt
+        return scale * (1.0 + self.jitter * float(rng.random()))
+
+
+@dataclass
+class ResilienceEvent:
+    """One recovery action the supervisor took."""
+
+    action: str  # retry-transient | retry-alloc | halve-batch |
+    #             degrade-input | re-executed-blocks | re-execute-corrupt |
+    #             failover | verified
+    device: int
+    detail: str = ""
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "action": self.action,
+            "device": self.device,
+            "detail": self.detail,
+            "data": dict(self.data),
+        }
+
+
+class ResilienceReport:
+    """Flight recorder for one supervised run: every injected fault (from
+    the shared injector) plus every recovery action, in firing order."""
+
+    def __init__(self, injector: Optional[FaultInjector] = None) -> None:
+        self.injector = injector
+        self.events: List[ResilienceEvent] = []
+
+    @property
+    def faults(self):
+        return list(self.injector.events) if self.injector is not None else []
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.injector.plan.seed if self.injector is not None else None
+
+    def record(
+        self, action: str, device: int, detail: str = "", **data: Any
+    ) -> None:
+        self.events.append(
+            ResilienceEvent(action=action, device=device, detail=detail,
+                            data=data)
+        )
+
+    def actions(self) -> List[str]:
+        return [e.action for e in self.events]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic serialization: no timestamps, no object ids —
+        the same seed and run configuration reproduce it byte for byte."""
+        return {
+            "seed": self.seed,
+            "faults": [f.as_dict() for f in self.faults],
+            "recoveries": [e.as_dict() for e in self.events],
+        }
+
+    def summary(self) -> str:
+        lines = [f"faults injected : {len(self.faults)}"]
+        for f in self.faults:
+            where = f"device {f.device}"
+            if f.launch is not None:
+                where += f" launch {f.launch}"
+            if f.block is not None:
+                where += f" block {f.block}"
+            if f.array is not None:
+                where += f" array {f.array!r}[{f.index}]"
+            lines.append(f"  - {f.kind.value:15s} @ {where}: {f.detail}")
+        lines.append(f"recovery actions: {len(self.events)}")
+        for e in self.events:
+            lines.append(f"  - {e.action:15s} @ device {e.device}: {e.detail}")
+        return "\n".join(lines)
+
+
+def expected_pair_count(
+    n: int,
+    block_size: int,
+    blocks: Optional[Sequence[int]] = None,
+    full_rows: bool = False,
+) -> int:
+    """Distance evaluations anchored in ``blocks`` (default: the full grid).
+
+    Non-full-row kernels evaluate each unordered pair once, from the
+    lower-indexed anchor block; full-row kernels evaluate it from both
+    endpoints.  This is the reference mass a histogram stripe must hit.
+    """
+    sizes = block_sizes(n, block_size)
+    ids = range(sizes.size) if blocks is None else blocks
+    total = 0
+    for b in ids:
+        nb = int(sizes[b])
+        if full_rows:
+            total += nb * (n - nb) + nb * (nb - 1)
+        else:
+            total += nb * int(sizes[b + 1:].sum()) + nb * (nb - 1) // 2
+    return total
+
+
+def verify_result(
+    problem: TwoBodyProblem,
+    result: Any,
+    *,
+    n: Optional[int] = None,
+    expected_pairs: Optional[int] = None,
+) -> None:
+    """Check output invariants; raise :class:`OutputCorruptionError` if any
+    fail.  These are exactly the checks that catch the injector's two
+    corruption modes: NaN poison (finiteness) and a flipped high bit
+    (histogram mass / emitted-pair bounds reconciliation)."""
+    kind = problem.output.kind
+    if kind is UpdateKind.HISTOGRAM:
+        hist = np.asarray(result)
+        if np.issubdtype(hist.dtype, np.floating) and not np.all(
+            np.isfinite(hist)
+        ):
+            raise OutputCorruptionError("histogram contains non-finite counts")
+        if (hist < 0).any():
+            raise OutputCorruptionError("histogram contains negative counts")
+        if expected_pairs is not None and int(hist.sum()) != expected_pairs:
+            raise OutputCorruptionError(
+                f"histogram mass {int(hist.sum())} != expected pair count "
+                f"{expected_pairs}"
+            )
+    elif kind is UpdateKind.SCALAR_SUM:
+        if not np.isfinite(result):
+            raise OutputCorruptionError(f"scalar sum is non-finite: {result!r}")
+    elif kind is UpdateKind.PER_POINT_SUM:
+        arr = np.asarray(result)
+        if not np.all(np.isfinite(arr)):
+            raise OutputCorruptionError("per-point sums contain non-finite values")
+    elif kind is UpdateKind.MATRIX:
+        mat = np.asarray(result)
+        if not np.all(np.isfinite(mat)):
+            raise OutputCorruptionError("matrix contains non-finite values")
+        if mat.ndim == 2 and mat.shape[0] == mat.shape[1] and not np.array_equal(
+            mat, mat.T
+        ):
+            raise OutputCorruptionError("matrix is not symmetric")
+    elif kind is UpdateKind.EMIT_PAIRS:
+        pairs = np.asarray(result)
+        if pairs.size:
+            if (pairs[:, 0] >= pairs[:, 1]).any():
+                raise OutputCorruptionError("emitted pair with i >= j")
+            if (pairs < 0).any() or (n is not None and (pairs >= n).any()):
+                raise OutputCorruptionError("emitted pair index out of bounds")
+            if np.unique(pairs, axis=0).shape[0] != pairs.shape[0]:
+                raise OutputCorruptionError("duplicate emitted pairs")
+    # TOPK: order statistics carry no cheap global invariant; the ticket
+    # reconciliation inside finalize is the only corruption net there.
+
+
+def degrade_kernel(kernel: ComposedKernel) -> Optional[ComposedKernel]:
+    """The next-weaker kernel on the degradation ladder, or ``None`` if
+    the kernel is already at the bottom (Naive).  Output strategy, block
+    size and load balancing are preserved — only the input staging (the
+    resource-hungry half) steps down."""
+    name = kernel.input.name.lower()  # display names are cased (Register-SHM)
+    if name in DEGRADATION_LADDER:
+        candidates = DEGRADATION_LADDER[DEGRADATION_LADDER.index(name) + 1:]
+    else:  # shuffle or a custom strategy: fall onto the standard ladder
+        candidates = DEGRADATION_LADDER[1:]
+    if not candidates:
+        return None
+    return make_kernel(
+        kernel.problem,
+        candidates[0],
+        kernel.output.name,
+        block_size=kernel.block_size,
+        load_balanced=kernel.load_balanced,
+    )
+
+
+@dataclass
+class ResilientResult:
+    """Outcome of a supervised (possibly multi-device) run."""
+
+    result: Any
+    report: ResilienceReport
+    records: List[LaunchRecord]
+    kernel: ComposedKernel  # the kernel that actually completed (may have degraded)
+    plan: Optional[ShardPlan] = None
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.report.faults)
+
+
+def _supervised_execute(
+    kernel: ComposedKernel,
+    points: np.ndarray,
+    *,
+    injector: Optional[FaultInjector],
+    policy: RetryPolicy,
+    report: ResilienceReport,
+    rng: np.random.Generator,
+    spec: DeviceSpec,
+    ordinal: int,
+    blocks: Optional[List[int]],
+    workers: Optional[int],
+    batch_tiles: Optional[int],
+    expected_pairs: Optional[int],
+    n: int,
+) -> Tuple[Any, LaunchRecord, ComposedKernel]:
+    """Execute one stripe (or the whole grid) under supervision.
+
+    Retries transient faults, degrades the kernel on resource exhaustion,
+    halves the tile batch on allocation failure, re-executes on detected
+    corruption.  Raises :class:`DeviceAllocationError` once the retry
+    budget is spent — the caller's signal to declare the device dead.
+    """
+    current = kernel
+    bt = batch_tiles
+    transient = alloc = corrupt = 0
+    while True:
+
+        def note_recovery(ev: Dict[str, Any]) -> None:
+            report.record(
+                "re-executed-blocks",
+                int(ev.get("device", ordinal)),
+                detail=(
+                    f"worker crash absorbed: re-ran blocks "
+                    f"{ev.get('blocks')} (attempt {ev.get('attempt')})"
+                ),
+                blocks=list(ev.get("blocks") or []),
+                workers_lost=list(ev.get("workers_lost") or []),
+                attempt=ev.get("attempt"),
+            )
+
+        device = Device(
+            spec,
+            ordinal=ordinal,
+            faults=injector,
+            crash_recovery=CrashRecovery(
+                max_retries=policy.max_retries, on_recover=note_recovery
+            ),
+        )
+        try:
+            result, record = current.execute(
+                device, points, workers=workers, batch_tiles=bt, blocks=blocks
+            )
+            verify_result(
+                current.problem, result, n=n, expected_pairs=expected_pairs
+            )
+            return result, record, current
+        except TransientFault as exc:
+            transient += 1
+            if transient > policy.max_retries:
+                raise
+            d = policy.delay(transient - 1, rng)
+            report.record(
+                "retry-transient", ordinal, detail=str(exc),
+                attempt=transient, delay=round(d, 6),
+            )
+            if policy.sleep:
+                time.sleep(d)
+        except (SharedMemoryError, RegisterPressureError) as exc:
+            nxt = degrade_kernel(current)
+            if nxt is None:
+                raise
+            report.record(
+                "degrade-input", ordinal,
+                detail=f"{current.input.name} -> {nxt.input.name}: {exc}",
+            )
+            current = nxt
+        except DeviceAllocationError as exc:
+            alloc += 1
+            if bt is not None and bt > 1:
+                bt = max(1, bt // 2)
+                report.record(
+                    "halve-batch", ordinal,
+                    detail=f"batch_tiles -> {bt}: {exc}", batch_tiles=bt,
+                )
+            elif alloc > policy.max_retries:
+                raise
+            else:
+                d = policy.delay(alloc - 1, rng)
+                report.record(
+                    "retry-alloc", ordinal, detail=str(exc),
+                    attempt=alloc, delay=round(d, 6),
+                )
+                if policy.sleep:
+                    time.sleep(d)
+        except OutputCorruptionError as exc:
+            corrupt += 1
+            if corrupt > policy.max_retries:
+                raise
+            report.record(
+                "re-execute-corrupt", ordinal,
+                detail=f"invariant check failed, re-executing stripe: {exc}",
+                blocks=list(blocks) if blocks is not None else None,
+            )
+
+
+def resilient_run(
+    problem: TwoBodyProblem,
+    points: np.ndarray,
+    *,
+    kernel: Optional[ComposedKernel] = None,
+    num_devices: int = 1,
+    faults: "FaultInjector | int | None" = None,
+    retry: Optional[RetryPolicy] = None,
+    spec: DeviceSpec = TITAN_X,
+    workers: Optional[int] = None,
+    batch_tiles: Optional[int] = None,
+) -> ResilientResult:
+    """Run ``problem`` under the resilience supervisor.
+
+    ``faults`` is a :class:`~repro.gpusim.faults.FaultInjector`, a
+    :class:`~repro.gpusim.faults.FaultPlan`, an ``int`` seed (builds the
+    chaos plan: transient allocation failure + worker crash + corrupted
+    shard + dead device when ``num_devices > 1``) or ``None``.
+
+    With ``num_devices > 1`` the grid's anchor blocks are striped across
+    simulated devices by :func:`~repro.core.multigpu.plan_shards` (block
+    units), each stripe runs supervised on its own :class:`Device`, a
+    device whose retry budget is exhausted is declared dead and its block
+    range is re-striped across the survivors, and the partial outputs are
+    merged canonically.  Integer outputs are bit-identical to the
+    fault-free run; the framework's float outputs are too, because every
+    output element is produced by exactly one block (disjoint-support
+    adds) or is an integer-valued sum (see DESIGN.md Section 6).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    k = kernel if kernel is not None else make_kernel(problem)
+    injector = as_injector(faults, num_devices=num_devices)
+    policy = retry if retry is not None else RetryPolicy()
+    report = ResilienceReport(injector)
+    seed = injector.plan.seed if injector is not None else 0
+    # jitter stream decoupled from the injector's corruption stream
+    rng = np.random.default_rng(seed + 0x5EED)
+    full = k.full_rows
+    m = k.geometry(n).num_blocks
+    common = dict(
+        injector=injector, policy=policy, report=report, rng=rng, spec=spec,
+        workers=workers, batch_tiles=batch_tiles, n=n,
+    )
+
+    if num_devices <= 1 or m < 2:
+        result, record, kfinal = _supervised_execute(
+            k, pts, ordinal=0, blocks=None,
+            expected_pairs=expected_pair_count(n, k.block_size, None, full),
+            **common,
+        )
+        report.record(
+            "verified", 0,
+            detail=f"{problem.output.kind.value} invariants hold",
+        )
+        return ResilientResult(result, report, [record], kfinal, None)
+
+    plan = plan_shards(m, num_devices)
+    pending: List[Tuple[int, int, int]] = [
+        (d, s, e) for d, (s, e) in enumerate(plan.boundaries)
+    ]
+    parts: Dict[Tuple[int, int], Any] = {}
+    records: List[LaunchRecord] = []
+    dead: List[int] = []
+    kfinal = k
+    while pending:
+        d, s, e = pending.pop(0)
+        stripe = list(range(s, e))
+        try:
+            result, record, kfinal = _supervised_execute(
+                k, pts, ordinal=d, blocks=stripe,
+                expected_pairs=expected_pair_count(
+                    n, k.block_size, stripe, full
+                ),
+                **common,
+            )
+        except (DeviceAllocationError, WorkerCrashError) as exc:
+            # retry budget spent (or crashes keep recurring): the device
+            # is dead.  Re-stripe its anchor-block range across survivors.
+            dead.append(d)
+            survivors = [x for x in range(num_devices) if x not in dead]
+            if not survivors:
+                raise
+            sub = plan_shards(m, len(survivors), rows=(s, e))
+            report.record(
+                "failover", d,
+                detail=(
+                    f"device {d} lost ({exc}); re-striping blocks "
+                    f"[{s}, {e}) across devices {survivors}"
+                ),
+                blocks=[s, e], survivors=survivors,
+            )
+            pending.extend(
+                (survivors[i % len(survivors)], ss, se)
+                for i, (ss, se) in enumerate(sub.boundaries)
+            )
+            continue
+        parts[(s, e)] = result
+        records.append(record)
+
+    merged = _combine(problem, [parts[key] for key in sorted(parts)])
+    verify_result(
+        problem, merged, n=n,
+        expected_pairs=expected_pair_count(n, k.block_size, None, full),
+    )
+    report.record(
+        "verified", -1,
+        detail=(
+            f"merged {len(parts)} stripe(s); "
+            f"{problem.output.kind.value} invariants hold"
+        ),
+    )
+    return ResilientResult(merged, report, records, kfinal, plan)

@@ -24,6 +24,9 @@ class RunResult:
     report: SimReport
     record: LaunchRecord
     kernel: ComposedKernel
+    #: recovery flight recorder, populated only on supervised runs
+    #: (``faults``/``retries`` arguments); ``None`` otherwise.
+    resilience: Optional[Any] = None
 
     @property
     def seconds(self) -> float:
@@ -41,6 +44,8 @@ def run(
     auto_plan: bool = False,
     workers: Optional[int] = None,
     batch_tiles: Optional[int] = None,
+    faults: Optional[Any] = None,
+    retries: Optional[Any] = None,
 ) -> RunResult:
     """Execute ``problem`` over ``points`` on the simulated device.
 
@@ -51,6 +56,12 @@ def run(
     ``workers`` / ``batch_tiles`` tune the simulator's parallel, batched
     execution engine (see :meth:`ComposedKernel.execute`); defaults follow
     the ``REPRO_SIM_WORKERS`` / ``REPRO_SIM_TILE_BATCH`` environment.
+
+    ``faults`` (a seed, :class:`~repro.gpusim.faults.FaultPlan` or
+    injector) and/or ``retries`` (an int budget or
+    :class:`~repro.core.resilience.RetryPolicy`) route execution through
+    the resilience supervisor; the returned result carries the
+    :class:`~repro.core.resilience.ResilienceReport` in ``resilience``.
     """
     n = np.asarray(points).shape[0]
     if kernel is None:
@@ -58,6 +69,24 @@ def run(
             kernel = plan_kernel(problem, n, spec=spec, calib=calib).chosen.kernel
         else:
             kernel = make_kernel(problem)
+    if faults is not None or retries is not None:
+        from .resilience import RetryPolicy, resilient_run
+
+        policy = (
+            RetryPolicy(max_retries=retries)
+            if isinstance(retries, int)
+            else retries
+        )
+        rr = resilient_run(
+            problem, points, kernel=kernel, faults=faults, retry=policy,
+            spec=spec, workers=workers, batch_tiles=batch_tiles,
+        )
+        report = rr.kernel.simulate(n, spec=spec, calib=calib)
+        report.counters = rr.records[-1].counters
+        return RunResult(
+            result=rr.result, report=report, record=rr.records[-1],
+            kernel=rr.kernel, resilience=rr.report,
+        )
     dev = device if device is not None else Device(spec)
     result, record = kernel.execute(
         dev, points, workers=workers, batch_tiles=batch_tiles

@@ -52,8 +52,20 @@ from .errors import (
     LaunchConfigError,
     MemorySpaceError,
     OutOfBoundsError,
+    OutputCorruptionError,
     RegisterPressureError,
     SharedMemoryError,
+    TransientFault,
+    WorkerCrashError,
+)
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedAllocationFailure,
+    as_injector,
 )
 from .grid import BlockContext, LaunchConfig
 from .l2cache import (
@@ -66,6 +78,7 @@ from .memory import ReadOnlyView, TrackedArray, bank_conflict_degree
 from .occupancy import Occupancy, calculate_occupancy, max_block_size_for_shared
 from .parallel import (
     ArrayShadow,
+    CrashRecovery,
     ParallelLaunchError,
     ParallelSession,
     WORKERS_ENV,
@@ -113,8 +126,11 @@ __all__ = [
     "atomic_add", "atomic_add_dense", "atomic_max", "atomic_ticket",
     "shfl_broadcast", "shfl_down", "shfl_up", "shfl_xor", "warp_reduce_sum",
     # parallel launch engine
-    "ArrayShadow", "ParallelLaunchError", "ParallelSession", "WORKERS_ENV",
-    "resolve_workers", "run_blocks_parallel",
+    "ArrayShadow", "CrashRecovery", "ParallelLaunchError", "ParallelSession",
+    "WORKERS_ENV", "resolve_workers", "run_blocks_parallel",
+    # fault injection
+    "FaultEvent", "FaultInjector", "FaultKind", "FaultPlan", "FaultSpec",
+    "InjectedAllocationFailure", "as_injector",
     # occupancy & divergence
     "Occupancy", "calculate_occupancy", "max_block_size_for_shared",
     "DivergenceProfile", "warp_loop_cycles", "triangular_trip_counts",
@@ -138,5 +154,6 @@ __all__ = [
     # errors
     "GpuSimError", "LaunchConfigError", "SharedMemoryError",
     "RegisterPressureError", "MemorySpaceError", "OutOfBoundsError",
-    "DeviceAllocationError",
+    "DeviceAllocationError", "TransientFault", "WorkerCrashError",
+    "OutputCorruptionError",
 ]

@@ -57,6 +57,11 @@ class AccessCounters:
     atomic_conflict_issues: int = 0
     #: Shared-memory bank conflict excess (replays beyond the first cycle).
     bank_conflict_replays: int = 0
+    #: Simulated faults that fired while this ledger was active, and the
+    #: recovery actions (block re-executions, retries) absorbed against it
+    #: — the per-launch observability feed of the resilience layer.
+    faults_injected: int = 0
+    recoveries: int = 0
 
     # -- recording ---------------------------------------------------------
     def add_read(self, space: MemSpace, n: int = 1) -> None:
@@ -115,6 +120,8 @@ class AccessCounters:
         out.atomic_conflict_degree = self.atomic_conflict_degree
         out.atomic_conflict_issues = self.atomic_conflict_issues
         out.bank_conflict_replays = self.bank_conflict_replays
+        out.faults_injected = self.faults_injected
+        out.recoveries = self.recoveries
         return out
 
     def merge(self, other: "AccessCounters") -> "AccessCounters":
@@ -128,6 +135,8 @@ class AccessCounters:
         self.atomic_conflict_degree += other.atomic_conflict_degree
         self.atomic_conflict_issues += other.atomic_conflict_issues
         self.bank_conflict_replays += other.bank_conflict_replays
+        self.faults_injected += other.faults_injected
+        self.recoveries += other.recoveries
         return self
 
     @classmethod

@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,8 +21,11 @@ from .counters import AccessCounters, MemSpace
 from .errors import DeviceAllocationError
 from .grid import BlockContext, LaunchConfig
 from .memory import ReadOnlyView, TrackedArray
-from .parallel import resolve_workers, run_blocks_parallel
+from .parallel import CrashRecovery, resolve_workers, run_blocks_parallel
 from .spec import DeviceSpec, TITAN_X
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultInjector
 
 KernelFn = Callable[[BlockContext], None]
 
@@ -78,7 +81,14 @@ class _ActiveCounters:
 class Device:
     """A simulated GPU with tracked global memory."""
 
-    def __init__(self, spec: DeviceSpec = TITAN_X) -> None:
+    def __init__(
+        self,
+        spec: DeviceSpec = TITAN_X,
+        *,
+        ordinal: int = 0,
+        faults: "Optional[FaultInjector]" = None,
+        crash_recovery: Optional[CrashRecovery] = None,
+    ) -> None:
         self.spec = spec
         self.counters = AccessCounters()
         self._tls = threading.local()
@@ -86,6 +96,15 @@ class Device:
         self._allocated = 0
         self._allocations: Dict[str, TrackedArray] = {}
         self.launches: List[LaunchRecord] = []
+        #: position of this simulated device in a multi-device plan; the
+        #: coordinate fault plans address devices by.
+        self.ordinal = ordinal
+        #: optional deterministic fault injector (see gpusim.faults).
+        self.faults = faults
+        #: optional in-launch worker-crash recovery policy; ``None`` means
+        #: crashes propagate as :class:`WorkerCrashError`.
+        self.crash_recovery = crash_recovery
+        self._launch_attempts = 0
 
     @property
     def _active(self) -> AccessCounters:
@@ -148,6 +167,7 @@ class Device:
         *,
         name: Optional[str] = None,
         workers: Optional[int] = None,
+        blocks: Optional[Sequence[int]] = None,
     ) -> LaunchRecord:
         """Run ``kernel`` once per block, merging access counters.
 
@@ -156,22 +176,42 @@ class Device:
         ``0`` means one worker per core, ``N > 1`` runs simulated blocks on
         ``N`` threads with privatized counters and output shards merged by a
         deterministic final reduction (:mod:`repro.gpusim.parallel`).
+
+        ``blocks`` restricts the launch to a subset of block ids — the
+        unit of partial re-execution (a device stripe, a recovered block
+        range) the resilience layer relies on.  ``None`` runs the full
+        grid, exactly as before.
+
+        If a fault injector is attached, its launch hook runs first and
+        may raise (transient allocation failure, dead device, shared
+        memory overflow); block/merge hooks fire inside the parallel
+        engine.
         """
         config.validate(self.spec)
+        attempt = self._launch_attempts
+        self._launch_attempts += 1
+        if self.faults is not None:
+            self.faults.on_launch(self.ordinal, attempt)
+        block_ids = list(range(config.grid_dim)) if blocks is None else list(blocks)
         t0 = time.perf_counter()
-        resolved = resolve_workers(workers, config.grid_dim)
+        pre_faults = self.faults.injected_count if self.faults is not None else 0
+        resolved = resolve_workers(workers, max(1, len(block_ids)))
         if resolved <= 1:
-            merged, sync_counts, max_shared = self._run_serial(kernel, config)
+            merged, sync_counts, max_shared = self._run_serial(
+                kernel, config, block_ids
+            )
         else:
             merged, sync_counts, max_shared = self._run_parallel(
-                kernel, config, resolved
+                kernel, config, resolved, block_ids
             )
+        if self.faults is not None:
+            merged.faults_injected += self.faults.injected_count - pre_faults
         self.counters.merge(merged)
         record = LaunchRecord(
             kernel_name=name or getattr(kernel, "__name__", "kernel"),
             config=config,
             counters=merged,
-            blocks_run=config.grid_dim,
+            blocks_run=len(block_ids),
             wall_seconds=time.perf_counter() - t0,
             sync_counts=sync_counts,
             workers=resolved,
@@ -181,14 +221,14 @@ class Device:
         return record
 
     def _run_serial(
-        self, kernel: KernelFn, config: LaunchConfig
+        self, kernel: KernelFn, config: LaunchConfig, block_ids: List[int]
     ) -> Tuple[AccessCounters, List[int], int]:
         merged = AccessCounters()
         sync_counts: List[int] = []
         max_shared = 0
         self._set_active(merged)  # device-global traffic lands on this launch
         try:
-            for b in range(config.grid_dim):
+            for b in block_ids:
                 ctx = BlockContext(
                     spec=self.spec, config=config, block_id=b, counters=merged
                 )
@@ -200,13 +240,17 @@ class Device:
         return merged, sync_counts, max_shared
 
     def _run_parallel(
-        self, kernel: KernelFn, config: LaunchConfig, num_workers: int
+        self,
+        kernel: KernelFn,
+        config: LaunchConfig,
+        num_workers: int,
+        block_ids: List[int],
     ) -> Tuple[AccessCounters, List[int], int]:
         """Block-parallel execution: each worker owns privatized counters
         and output shards; a final reduction restores the sequential
         semantics (see :mod:`repro.gpusim.parallel`)."""
-        sync_counts = [0] * config.grid_dim
-        shared_used = [0] * config.grid_dim
+        sync_counts = {b: 0 for b in block_ids}
+        shared_used = {b: 0 for b in block_ids}
 
         def run_block(b: int, ledger: AccessCounters) -> None:
             ctx = BlockContext(
@@ -222,8 +266,13 @@ class Device:
             run_block,
             list(self._allocations.values()),
             self._set_active,
+            block_ids=block_ids,
+            injector=self.faults,
+            device_ordinal=self.ordinal,
+            crash_recovery=self.crash_recovery,
         )
-        return merged, sync_counts, max(shared_used, default=0)
+        ordered = [sync_counts[b] for b in block_ids]
+        return merged, ordered, max(shared_used.values(), default=0)
 
     def reset_counters(self) -> None:
         self.counters = AccessCounters()

@@ -46,3 +46,48 @@ class OutOfBoundsError(GpuSimError):
 
 class DeviceAllocationError(GpuSimError):
     """The device ran out of simulated global memory."""
+
+
+class TransientFault(GpuSimError):
+    """A failure expected to clear on retry (injected or environmental).
+
+    The resilience supervisor (:mod:`repro.core.resilience`) retries
+    transient faults with exponential backoff before escalating to
+    degradation or failover.
+    """
+
+
+class WorkerCrashError(GpuSimError):
+    """A simulator worker thread died mid-block during a parallel launch.
+
+    Carries enough context for targeted recovery: the simulated device
+    ordinal, the block being executed when the crash hit, and (filled in
+    by the launch engine) the block ids whose effects were lost and must
+    be re-executed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        device: int = 0,
+        block: int = -1,
+        worker: int = -1,
+    ) -> None:
+        super().__init__(message)
+        self.device = device
+        self.block = block
+        self.worker = worker
+        #: block ids whose output shards were discarded with the crashed
+        #: worker (set by the parallel engine before re-raising).
+        self.pending_blocks: list = []
+
+
+class OutputCorruptionError(GpuSimError):
+    """A merged output failed an integrity invariant.
+
+    Raised when a corruption detector (ticket-counter reconciliation,
+    histogram mass conservation, matrix symmetry) catches a damaged
+    output shard; the supervisor responds by re-executing the affected
+    launch or device stripe.
+    """

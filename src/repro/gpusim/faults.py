@@ -1,0 +1,310 @@
+"""Deterministic fault injection for the simulator.
+
+The ROADMAP's north star is a production-scale system, and production
+means failures: allocation errors, crashed workers, corrupted transfers,
+stragglers, dead devices.  This module makes those failures *first-class
+simulated events* so the resilience layer (:mod:`repro.core.resilience`)
+can be tested exhaustively and deterministically.
+
+Design rules:
+
+* **Well-defined injection points.**  Faults fire only at named hooks the
+  simulator already passes through — :meth:`FaultInjector.on_launch`
+  (kernel launch on a device), :meth:`FaultInjector.on_block` (one block
+  starting on a parallel worker), :meth:`FaultInjector.on_merge` (the
+  shard reduction folding privatized output back into device memory).
+* **Determinism.**  A :class:`FaultPlan` is an explicit list of
+  :class:`FaultSpec` triggers plus a seed.  The same plan produces the
+  same fault sequence, byte for byte: trigger matching is by explicit
+  (device, launch, block) coordinates, and the only randomness — which
+  output element a corruption hits, backoff jitter — comes from the
+  plan-seeded generator.
+* **No policy.**  The injector only *breaks* things.  Retry, degradation,
+  failover and verification live in :mod:`repro.core.resilience`.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .errors import (
+    DeviceAllocationError,
+    SharedMemoryError,
+    TransientFault,
+    WorkerCrashError,
+)
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the simulator can inject."""
+
+    #: transient :class:`InjectedAllocationFailure` on a kernel launch —
+    #: models a device briefly out of memory (fragmentation, co-tenant).
+    ALLOC_TRANSIENT = "alloc-transient"
+    #: :class:`~repro.gpusim.errors.SharedMemoryError` on a kernel launch —
+    #: models a shared-memory overflow / misconfigured dynamic allocation.
+    SHM_OVERFLOW = "shm-overflow"
+    #: :class:`~repro.gpusim.errors.WorkerCrashError` as a parallel worker
+    #: starts a block — the block's shard effects are lost mid-flight.
+    WORKER_CRASH = "worker-crash"
+    #: a worker sleeps ``delay_seconds`` before a block — a straggler.
+    STRAGGLER = "straggler"
+    #: one element of one merged output shard is corrupted (NaN poison for
+    #: float buffers, a flipped high bit for integer buffers).
+    CORRUPT_SHARD = "corrupt-shard"
+    #: every launch on the device fails — the device is gone for good.
+    DEVICE_DEAD = "device-dead"
+
+
+class InjectedAllocationFailure(TransientFault, DeviceAllocationError):
+    """A transient allocation failure planted by the fault injector.
+
+    Inherits both :class:`TransientFault` (the supervisor retries it) and
+    :class:`DeviceAllocationError` (callers that only know the ordinary
+    hierarchy still classify it correctly).
+    """
+
+
+@dataclass
+class FaultSpec:
+    """One planned fault trigger.
+
+    ``None`` coordinates are wildcards; ``count=None`` means the trigger
+    never exhausts (used for :data:`FaultKind.DEVICE_DEAD`).  For
+    :data:`FaultKind.WORKER_CRASH` / :data:`FaultKind.STRAGGLER` pin
+    ``block`` explicitly — worker threads race, and a wildcard block would
+    make the firing order (hence the fault sequence) nondeterministic.
+    """
+
+    kind: FaultKind
+    device: Optional[int] = None
+    launch: Optional[int] = None
+    block: Optional[int] = None
+    count: Optional[int] = 1
+    delay_seconds: float = 0.002
+
+    def matches(self, **coords: Optional[int]) -> bool:
+        for name, got in coords.items():
+            want = getattr(self, name)
+            if want is not None and want != got:
+                return False
+        return True
+
+
+@dataclass
+class FaultEvent:
+    """One fault that actually fired (the injector's flight recorder)."""
+
+    kind: FaultKind
+    device: int
+    launch: Optional[int] = None
+    block: Optional[int] = None
+    array: Optional[str] = None
+    index: Optional[int] = None
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind.value,
+            "device": self.device,
+            "launch": self.launch,
+            "block": self.block,
+            "array": self.array,
+            "index": self.index,
+            "detail": self.detail,
+        }
+
+
+class FaultPlan:
+    """An ordered list of fault triggers plus the seed that fixes every
+    remaining degree of freedom (corruption targets, backoff jitter)."""
+
+    def __init__(self, specs: Optional[List[FaultSpec]] = None, seed: int = 0):
+        self.specs: List[FaultSpec] = list(specs or [])
+        self.seed = int(seed)
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(s.kind.value for s in self.specs)
+        return f"FaultPlan(seed={self.seed}, [{kinds}])"
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        num_devices: int = 1,
+        crash_block: int = 1,
+        straggler: bool = False,
+    ) -> "FaultPlan":
+        """The acceptance-test plan: one transient allocation failure, one
+        worker crash, one corrupted output shard and (multi-device) one
+        dead device, with the victims chosen by the seed.
+
+        Deterministic: the same ``(seed, num_devices)`` always yields the
+        same plan, hence the same fault sequence under the same run
+        configuration.
+        """
+        rng = np.random.default_rng(seed)
+        plan = cls(seed=seed)
+        # choose the dead device first (multi-device only) so the other
+        # faults can target survivors — a dead device never runs a block,
+        # so faults aimed at it would silently not fire.  The victim comes
+        # from the tail: device 0 always survives as a failover target.
+        dead_dev = int(rng.integers(1, num_devices)) if num_devices > 1 else None
+        survivors = [d for d in range(max(1, num_devices)) if d != dead_dev]
+        alloc_dev = int(rng.choice(survivors))
+        plan.add(FaultSpec(FaultKind.ALLOC_TRANSIENT, device=alloc_dev, launch=0))
+        # device wildcards: block 1 lands on exactly one device per run
+        # configuration, and the first mutated-shard merge is likewise
+        # unique, so firing stays deterministic
+        plan.add(FaultSpec(FaultKind.WORKER_CRASH, block=crash_block))
+        plan.add(FaultSpec(FaultKind.CORRUPT_SHARD))
+        if straggler:
+            plan.add(FaultSpec(FaultKind.STRAGGLER, block=0))
+        if dead_dev is not None:
+            plan.add(FaultSpec(FaultKind.DEVICE_DEAD, device=dead_dev, count=None))
+        return plan
+
+
+#: Integer corruption flips this bit; high enough to break any histogram
+#: mass or ticket count, low enough to stay in int32 range.
+_CORRUPT_BIT = 1 << 30
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the simulator's injection hooks.
+
+    Thread-safe: parallel launch workers call :meth:`on_block`
+    concurrently.  All bookkeeping (trigger consumption, the event log,
+    the corruption RNG) is guarded by one lock, and block-targeted
+    triggers are pinned to explicit block ids so concurrency cannot
+    reorder the fault sequence.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.events: List[FaultEvent] = []
+        self._remaining: List[Optional[int]] = [s.count for s in plan.specs]
+        self._lock = threading.Lock()
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _take(self, kind: FaultKind, **coords: Optional[int]) -> Optional[FaultSpec]:
+        """Consume and return the first live trigger matching ``coords``."""
+        with self._lock:
+            for i, spec in enumerate(self.plan.specs):
+                if spec.kind is not kind:
+                    continue
+                left = self._remaining[i]
+                if left is not None and left <= 0:
+                    continue
+                if not spec.matches(**coords):
+                    continue
+                if left is not None:
+                    self._remaining[i] = left - 1
+                return spec
+        return None
+
+    def _record(self, event: FaultEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    @property
+    def injected_count(self) -> int:
+        return len(self.events)
+
+    # -- hooks ---------------------------------------------------------------
+    def on_launch(self, device: int, launch: int) -> None:
+        """Called by :meth:`Device.launch` before running any block.
+
+        May raise :class:`InjectedAllocationFailure` (transient),
+        :class:`DeviceAllocationError` (dead device — permanent) or
+        :class:`SharedMemoryError` (overflow).
+        """
+        if self._take(FaultKind.DEVICE_DEAD, device=device) is not None:
+            self._record(FaultEvent(FaultKind.DEVICE_DEAD, device, launch=launch,
+                                    detail="device unreachable"))
+            raise DeviceAllocationError(
+                f"simulated device {device} is dead (fault injection)"
+            )
+        if self._take(FaultKind.ALLOC_TRANSIENT, device=device, launch=launch) is not None:
+            self._record(FaultEvent(FaultKind.ALLOC_TRANSIENT, device, launch=launch,
+                                    detail="transient allocation failure"))
+            raise InjectedAllocationFailure(
+                f"transient allocation failure on device {device}, "
+                f"launch {launch} (fault injection)"
+            )
+        if self._take(FaultKind.SHM_OVERFLOW, device=device, launch=launch) is not None:
+            self._record(FaultEvent(FaultKind.SHM_OVERFLOW, device, launch=launch,
+                                    detail="shared-memory overflow"))
+            raise SharedMemoryError(
+                f"injected shared-memory overflow on device {device}, "
+                f"launch {launch}"
+            )
+
+    def on_block(self, device: int, block: int) -> None:
+        """Called by the parallel launch engine as a worker picks up a
+        block.  May sleep (straggler) or raise :class:`WorkerCrashError`."""
+        spec = self._take(FaultKind.STRAGGLER, device=device, block=block)
+        if spec is not None:
+            self._record(FaultEvent(FaultKind.STRAGGLER, device, block=block,
+                                    detail=f"delayed {spec.delay_seconds:.3f}s"))
+            time.sleep(spec.delay_seconds)
+        if self._take(FaultKind.WORKER_CRASH, device=device, block=block) is not None:
+            self._record(FaultEvent(FaultKind.WORKER_CRASH, device, block=block,
+                                    detail="worker thread crashed mid-block"))
+            raise WorkerCrashError(
+                f"injected worker crash on device {device}, block {block}",
+                device=device,
+                block=block,
+            )
+
+    def on_merge(self, device: int, arrays: Dict[str, np.ndarray]) -> None:
+        """Called once per parallel launch after the shard reduction, with
+        every output buffer that was mutated.  May corrupt one element of
+        one buffer in place: NaN poison for float buffers (caught by
+        finiteness checks downstream), a flipped high bit for integer
+        buffers (caught by mass/ticket reconciliation)."""
+        if not arrays:
+            return
+        if self._take(FaultKind.CORRUPT_SHARD, device=device) is None:
+            return
+        with self._lock:
+            name = sorted(arrays)[int(self.rng.integers(len(arrays)))]
+            arr = arrays[name]
+            idx = int(self.rng.integers(arr.size))
+        if np.issubdtype(arr.dtype, np.floating):
+            arr.flat[idx] = np.nan
+            detail = "NaN poison"
+        else:
+            arr.flat[idx] ^= _CORRUPT_BIT
+            detail = f"bit {int(np.log2(_CORRUPT_BIT))} flipped"
+        self._record(FaultEvent(FaultKind.CORRUPT_SHARD, device, array=name,
+                                index=idx, detail=detail))
+
+
+def as_injector(
+    faults: "FaultInjector | FaultPlan | int | None",
+    num_devices: int = 1,
+) -> Optional[FaultInjector]:
+    """Coerce the user-facing ``faults`` argument (seed, plan or injector)
+    into a live injector.  An ``int`` builds the chaos plan for that seed."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultPlan):
+        return FaultInjector(faults)
+    return FaultInjector(FaultPlan.chaos(int(faults), num_devices=num_devices))

@@ -28,12 +28,16 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .counters import AccessCounters
-from .errors import GpuSimError
+from .errors import GpuSimError, WorkerCrashError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultInjector
 
 #: Environment variable overriding the default worker count for simulated
 #: launches.  Unset / "1" keeps the block-serial loop; "auto" or "0" uses
@@ -168,6 +172,16 @@ class ArrayShadow:
         shard.delta[0] += n
         return base
 
+    def drop(self, w: int) -> None:
+        """Discard worker ``w``'s shard — its (possibly partial) effects
+        vanish, as if the worker never ran.  Crash recovery re-executes
+        the dropped worker's blocks afterwards."""
+        self._shards.pop(w, None)
+
+    @property
+    def mutated(self) -> bool:
+        return any(s.copy is not None for s in self._shards.values())
+
     # -- reduction ----------------------------------------------------------
     def merge(self, name: str) -> None:
         """Fold all shards into the base buffer, in worker-index order."""
@@ -239,9 +253,45 @@ class ParallelSession:
         for arr in self._shadowed:
             arr._shadow = None
 
-    def merge(self) -> None:
+    def drop_worker(self, w: int) -> None:
+        """Discard every shard worker ``w`` produced (crash recovery)."""
         for arr in self._shadowed:
+            arr._shadow.drop(w)
+
+    def merge(
+        self,
+        injector: "Optional[FaultInjector]" = None,
+        device_ordinal: int = 0,
+    ) -> None:
+        mutated: Dict[str, np.ndarray] = {}
+        for arr in self._shadowed:
+            if arr._shadow.mutated:
+                mutated[arr.name] = arr._data
             arr._shadow.merge(arr.name)
+        if injector is not None:
+            # shard-corruption injection point: the fold back into device
+            # memory is where a flaky interconnect / DMA engine would bite
+            injector.on_merge(device_ordinal, mutated)
+
+
+@dataclass
+class CrashRecovery:
+    """Policy + flight recorder for in-launch worker-crash recovery.
+
+    When attached to a launch, a :class:`WorkerCrashError` does not abort:
+    the crashed worker's privatized shards and ledger are discarded (its
+    partial block is never merged) and only its block range is re-executed
+    — the surviving workers' completed blocks are kept, which is exactly
+    what output privatization buys (paper Fig. 3: shards merge by a
+    commutative reduction, so a partial result set is safely mergeable).
+    """
+
+    max_retries: int = 2
+    on_recover: Optional[Callable[[Dict[str, object]], None]] = None
+
+    def record(self, event: Dict[str, object]) -> None:
+        if self.on_recover is not None:
+            self.on_recover(event)
 
 
 def run_blocks_parallel(
@@ -250,6 +300,11 @@ def run_blocks_parallel(
     run_block: Callable[[int, AccessCounters], None],
     arrays: Sequence,
     set_active: Callable[[Optional[AccessCounters]], None],
+    *,
+    block_ids: Optional[Sequence[int]] = None,
+    injector: "Optional[FaultInjector]" = None,
+    device_ordinal: int = 0,
+    crash_recovery: Optional[CrashRecovery] = None,
 ) -> AccessCounters:
     """Execute ``run_block`` for every block id with ``num_workers``
     privatized workers and reduce the results.
@@ -260,17 +315,30 @@ def run_blocks_parallel(
     the device's thread-local ledger at the worker's private counters so
     device-global traffic lands in the right shard.  Returns the merged
     ledger (worker order, deterministic).
+
+    ``block_ids`` restricts the launch to a subset of blocks (a device
+    stripe re-executed by the resilience layer); ``injector`` plants
+    deterministic faults at the block and merge hooks; ``crash_recovery``
+    turns worker crashes into targeted block re-execution instead of a
+    launch failure.
     """
+    blocks = list(range(grid_dim)) if block_ids is None else list(block_ids)
     session = ParallelSession(num_workers)
     session.attach(arrays)
     ledgers = [AccessCounters() for _ in range(num_workers)]
+    crashes: List[Optional[WorkerCrashError]] = [None] * num_workers
 
     def worker_fn(w: int) -> None:
         session.enter_worker(w)
         set_active(ledgers[w])
         try:
-            for b in range(w, grid_dim, num_workers):
+            for b in blocks[w::num_workers]:
+                if injector is not None:
+                    injector.on_block(device_ordinal, b)
                 run_block(b, ledgers[w])
+        except WorkerCrashError as crash:
+            crash.worker = w
+            crashes[w] = crash
         finally:
             set_active(None)
 
@@ -281,10 +349,94 @@ def run_blocks_parallel(
             futures = [pool.submit(worker_fn, w) for w in range(num_workers)]
             for f in futures:
                 f.result()
-        session.merge()
+        crashed = [w for w in range(num_workers) if crashes[w] is not None]
+        recovered = 0
+        if crashed:
+            recovered = _recover_crashes(
+                session, blocks, num_workers, crashed, crashes, ledgers,
+                run_block, set_active, injector, device_ordinal,
+                crash_recovery,
+            )
+        session.merge(injector=injector, device_ordinal=device_ordinal)
     finally:
         session.detach()
     merged = AccessCounters()
     for ledger in ledgers:
         merged.merge(ledger)
+    merged.recoveries += recovered
     return merged
+
+
+def _recover_crashes(
+    session: ParallelSession,
+    blocks: List[int],
+    num_workers: int,
+    crashed: List[int],
+    crashes: List[Optional[WorkerCrashError]],
+    ledgers: List[AccessCounters],
+    run_block: Callable[[int, AccessCounters], None],
+    set_active: Callable[[Optional[AccessCounters]], None],
+    injector: "Optional[FaultInjector]",
+    device_ordinal: int,
+    crash_recovery: Optional[CrashRecovery],
+) -> int:
+    """Discard crashed workers' shards and re-run only their block ranges.
+
+    Recovery runs in the calling thread under fresh worker ids (appended
+    after the survivors, so the deterministic worker-order reduction is
+    preserved).  Raises the first crash if no recovery policy is attached
+    or its retry budget is exhausted.  Returns the number of crashes
+    absorbed.
+    """
+    # every block dealt to a crashed worker is lost with its shard — even
+    # the ones it completed before crashing — so the pending range is the
+    # worker's whole strided deal
+    pending: List[int] = sorted(
+        b for w in crashed for b in blocks[w::num_workers]
+    )
+    first = crashes[crashed[0]]
+    assert first is not None
+    if crash_recovery is None:
+        first.pending_blocks = pending
+        raise first
+    for w in crashed:
+        session.drop_worker(w)
+        ledgers[w] = AccessCounters()  # its charges died with its shard
+    recovered = 0
+    attempt = 0
+    while pending:
+        if attempt > crash_recovery.max_retries:
+            first.pending_blocks = pending
+            raise first
+        recovery_worker = num_workers + attempt
+        session.enter_worker(recovery_worker)
+        ledger = AccessCounters()
+        ledgers.append(ledger)
+        set_active(ledger)
+        done: List[int] = []
+        try:
+            for b in pending:
+                if injector is not None:
+                    injector.on_block(device_ordinal, b)
+                run_block(b, ledger)
+                done.append(b)
+            crash_recovery.record({
+                "action": "re-executed-blocks",
+                "device": device_ordinal,
+                "blocks": list(pending),
+                "workers_lost": list(crashed),
+                "attempt": attempt,
+            })
+            recovered = len(crashed)
+            pending = []
+        except WorkerCrashError as crash:
+            # crashed again during recovery: drop this recovery shard too
+            # and retry the still-missing range on the next attempt
+            session.drop_worker(recovery_worker)
+            ledgers.pop()
+            first = crash
+            first.worker = recovery_worker
+        finally:
+            set_active(None)
+        attempt += 1
+    return recovered

@@ -44,6 +44,42 @@ class TestShardPlan:
         with pytest.raises(ValueError):
             plan_shards(1, 2)
 
+    def test_more_devices_than_rows_clamps(self):
+        # only rows 0..3 carry pairs (row 4 anchors none), so 10 requested
+        # devices collapse to at most 4 non-empty covering stripes
+        plan = plan_shards(5, 10)
+        assert 1 <= plan.num_devices <= 4
+        assert plan.boundaries[0][0] == 0
+        assert plan.boundaries[-1][1] == 5
+        for (s1, e1), (s2, e2) in zip(plan.boundaries, plan.boundaries[1:]):
+            assert e1 == s2
+        assert all(e > s for s, e in plan.boundaries)
+        assert all(plan.pairs_of(d) > 0 for d in range(plan.num_devices))
+
+    def test_two_points_many_devices_single_stripe(self):
+        plan = plan_shards(2, 8)
+        assert plan.boundaries == [(0, 2)]
+
+    def test_rows_subrange_covers_and_partitions(self):
+        n = 100
+        plan = plan_shards(n, 3, rows=(20, 60))
+        assert plan.boundaries[0][0] == 20
+        assert plan.boundaries[-1][1] == 60
+        for (s1, e1), (s2, e2) in zip(plan.boundaries, plan.boundaries[1:]):
+            assert e1 == s2
+        whole = int((n - 1 - np.arange(20, 60)).sum())
+        assert sum(plan.pairs_of(d) for d in range(plan.num_devices)) == whole
+
+    def test_rows_pairless_tail_single_stripe(self):
+        # the last row anchors no pairs: one degenerate stripe, no devices
+        plan = plan_shards(100, 4, rows=(99, 100))
+        assert plan.boundaries == [(99, 100)]
+
+    def test_rows_validation(self):
+        for bad in [(-1, 5), (5, 5), (7, 3), (0, 101)]:
+            with pytest.raises(ValueError):
+                plan_shards(100, 2, rows=bad)
+
 
 @pytest.fixture
 def sdh_kernel():

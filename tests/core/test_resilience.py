@@ -1,0 +1,231 @@
+"""Differential recovery tests for the resilience supervisor.
+
+The acceptance bar: for every application, a run under the chaos fault
+plan (transient allocation failure + worker crash + corrupted shard + one
+dead device) produces results **bit-identical** to the fault-free run,
+the report enumerates each injected fault with a recovery action, and the
+same seed reproduces the same fault sequence and report.
+
+``REPRO_FAULT_SEED`` (CI matrix) narrows the seed sweep to one value;
+``REPRO_SIM_WORKERS`` sets the engine width (with 1 worker the serial
+engine runs, so block/merge fault sites are structurally silent — the
+tests only require recovery actions for faults that actually fired).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps import gram, join, kde, pcf, sdh
+from repro.core import make_kernel, run
+from repro.core.distances import DOT
+from repro.core.resilience import (
+    DEGRADATION_LADDER,
+    ResilienceReport,
+    RetryPolicy,
+    degrade_kernel,
+    expected_pair_count,
+    resilient_run,
+    verify_result,
+)
+from repro.data import uniform_points
+from repro.gpusim import FaultKind, FaultPlan, OutputCorruptionError
+
+SEEDS = (
+    [int(os.environ["REPRO_FAULT_SEED"])]
+    if os.environ.get("REPRO_FAULT_SEED")
+    else [0, 1, 2]
+)
+WORKERS = int(os.environ.get("REPRO_SIM_WORKERS") or 2)
+
+#: injected fault kind -> the supervisor action that must answer it
+EXPECTED_ACTION = {
+    FaultKind.ALLOC_TRANSIENT: "retry-transient",
+    FaultKind.WORKER_CRASH: "re-executed-blocks",
+    FaultKind.CORRUPT_SHARD: "re-execute-corrupt",
+    FaultKind.DEVICE_DEAD: "failover",
+}
+
+N = 150
+BLOCK = 32  # 5 blocks: enough stripes for 2 devices plus failover
+
+
+def _points():
+    return uniform_points(N, dims=3, box=8.0, seed=11)
+
+
+def _apps():
+    box_diag = 8.0 * math.sqrt(3.0)
+    cases = []
+    p = sdh.make_problem(32, box_diag, dims=3)
+    cases.append(("sdh", p, make_kernel(p, "register-shm", "privatized-shm",
+                                        block_size=BLOCK)))
+    # the RDF pipeline is SDH with an overflow bucket (apps/rdf.py)
+    p = sdh.make_problem(33, box_diag + box_diag / 32, dims=3)
+    cases.append(("rdf", p, make_kernel(p, "register-shm", "privatized-shm",
+                                        block_size=BLOCK)))
+    p = pcf.make_problem(2.5)
+    cases.append(("pcf", p, make_kernel(p, block_size=BLOCK)))
+    p = kde.make_problem(1.0, dims=3)
+    cases.append(("kde", p, make_kernel(p, "register-shm", "register",
+                                        block_size=BLOCK)))
+    p = gram.make_problem(DOT, dims=3)
+    cases.append(("gram", p, make_kernel(p, "register-shm", "global-direct",
+                                         block_size=BLOCK)))
+    p = join.make_problem(1.2, dims=3)
+    cases.append(("join", p, make_kernel(p, "register-shm", "global-direct",
+                                         block_size=BLOCK)))
+    return cases
+
+
+APPS = _apps()
+RUN_KW = dict(num_devices=2, workers=WORKERS, batch_tiles=2,
+              retry=RetryPolicy(sleep=False))
+
+
+def _identical(a, b) -> bool:
+    if np.isscalar(a):
+        return a == b
+    return np.array_equal(np.asarray(a), np.asarray(b))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name,problem,kernel", APPS,
+                         ids=[c[0] for c in APPS])
+def test_differential_recovery(name, problem, kernel, seed):
+    pts = _points()
+    clean = resilient_run(problem, pts, kernel=kernel, faults=None, **RUN_KW)
+    faulty = resilient_run(problem, pts, kernel=kernel, faults=seed, **RUN_KW)
+
+    # bit-identical result despite allocation failure, worker crash,
+    # corrupted shard and a dead device
+    assert _identical(clean.result, faulty.result)
+    assert clean.report.faults == []
+    assert faulty.recovered
+
+    # every fault that fired is answered by its recovery action
+    fired = {e.kind for e in faulty.report.faults}
+    assert FaultKind.ALLOC_TRANSIENT in fired
+    assert FaultKind.DEVICE_DEAD in fired
+    if WORKERS > 1:  # block/merge fault sites need the parallel engine
+        assert FaultKind.WORKER_CRASH in fired
+        assert FaultKind.CORRUPT_SHARD in fired
+    actions = set(faulty.report.actions())
+    for kind in fired:
+        assert EXPECTED_ACTION[kind] in actions, (
+            f"{kind.value} fired but {EXPECTED_ACTION[kind]} missing "
+            f"from {sorted(actions)}"
+        )
+    assert "verified" in actions
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_same_seed_same_fault_sequence_and_report(seed):
+    name, problem, kernel = APPS[0]
+    pts = _points()
+    a = resilient_run(problem, pts, kernel=kernel, faults=seed, **RUN_KW)
+    b = resilient_run(problem, pts, kernel=kernel, faults=seed, **RUN_KW)
+    assert a.report.to_dict() == b.report.to_dict()
+    assert _identical(a.result, b.result)
+
+
+def test_single_device_supervised_matches_plain_run(sdh_problem,
+                                                    small_points):
+    kernel = make_kernel(sdh_problem, "register-shm", "privatized-shm",
+                         block_size=64)
+    plain = run(sdh_problem, small_points, kernel=kernel, workers=WORKERS,
+                batch_tiles=2)
+    supervised = resilient_run(
+        sdh_problem, small_points, kernel=kernel, num_devices=1,
+        faults=0, workers=WORKERS, batch_tiles=2,
+        retry=RetryPolicy(sleep=False),
+    )
+    assert np.array_equal(plain.result, supervised.result)
+    assert supervised.plan is None
+
+
+def test_runner_faults_argument_routes_through_supervisor(sdh_problem,
+                                                          small_points):
+    kernel = make_kernel(sdh_problem, "register-shm", "privatized-shm",
+                         block_size=64)
+    baseline = run(sdh_problem, small_points, kernel=kernel,
+                   workers=WORKERS, batch_tiles=2)
+    res = run(sdh_problem, small_points, kernel=kernel, faults=1, retries=3,
+              workers=WORKERS, batch_tiles=2)
+    assert isinstance(res.resilience, ResilienceReport)
+    assert np.array_equal(baseline.result, res.result)
+    assert baseline.resilience is None
+
+
+# -- verification & degradation units ----------------------------------------
+def test_verify_result_catches_histogram_mass_mismatch(sdh_problem):
+    hist = np.zeros(64, dtype=np.int64)
+    hist[3] = 10
+    verify_result(sdh_problem, hist, expected_pairs=10)
+    with pytest.raises(OutputCorruptionError):
+        verify_result(sdh_problem, hist, expected_pairs=10 + (1 << 30))
+
+
+def test_verify_result_catches_nan_and_asymmetry():
+    p = gram.make_problem(DOT, dims=3)
+    good = np.ones((4, 4))
+    verify_result(p, good)
+    bad = good.copy()
+    bad[1, 2] = np.nan
+    with pytest.raises(OutputCorruptionError):
+        verify_result(p, bad)
+    askew = good.copy()
+    askew[1, 2] = 7.0
+    with pytest.raises(OutputCorruptionError):
+        verify_result(p, askew)
+
+
+def test_verify_result_catches_bad_pairs():
+    p = join.make_problem(1.0, dims=3)
+    verify_result(p, np.array([[0, 1], [2, 5]]), n=6)
+    with pytest.raises(OutputCorruptionError):  # i >= j
+        verify_result(p, np.array([[3, 1]]), n=6)
+    with pytest.raises(OutputCorruptionError):  # out of bounds
+        verify_result(p, np.array([[0, 1 << 30]]), n=6)
+    with pytest.raises(OutputCorruptionError):  # duplicates
+        verify_result(p, np.array([[0, 1], [0, 1]]), n=6)
+
+
+def test_expected_pair_count_partitions_over_stripes():
+    full = expected_pair_count(N, BLOCK)
+    assert full == N * (N - 1) // 2
+    split = (expected_pair_count(N, BLOCK, [0, 1])
+             + expected_pair_count(N, BLOCK, [2, 3, 4]))
+    assert split == full
+    # full-row kernels see each pair from both endpoints
+    assert expected_pair_count(N, BLOCK, full_rows=True) == N * (N - 1)
+
+
+def test_degradation_ladder_walks_to_naive(sdh_problem):
+    kernel = make_kernel(sdh_problem, "register-roc", "privatized-shm",
+                         block_size=64)
+    seen = [kernel.input.name.lower()]
+    while True:
+        kernel = degrade_kernel(kernel)
+        if kernel is None:
+            break
+        seen.append(kernel.input.name.lower())
+        assert kernel.output.name == "privatized-shm"  # output preserved
+        assert kernel.block_size == 64
+    assert tuple(seen) == DEGRADATION_LADDER
+
+
+def test_degraded_kernels_agree(sdh_problem, small_points):
+    results = []
+    kernel = make_kernel(sdh_problem, "register-roc", "privatized-shm",
+                         block_size=64)
+    while kernel is not None:
+        res = run(sdh_problem, small_points, kernel=kernel)
+        results.append(res.result)
+        kernel = degrade_kernel(kernel)
+    for r in results[1:]:
+        assert np.array_equal(results[0], r)

@@ -1,0 +1,169 @@
+"""Unit tests for the deterministic fault-injection framework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    DeviceAllocationError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedAllocationFailure,
+    SharedMemoryError,
+    TransientFault,
+    WorkerCrashError,
+    as_injector,
+)
+
+
+# -- plans --------------------------------------------------------------------
+def test_chaos_plan_is_deterministic_per_seed():
+    a = FaultPlan.chaos(7, num_devices=3)
+    b = FaultPlan.chaos(7, num_devices=3)
+    assert [(s.kind, s.device, s.launch, s.block, s.count) for s in a.specs] \
+        == [(s.kind, s.device, s.launch, s.block, s.count) for s in b.specs]
+    c = FaultPlan.chaos(8, num_devices=3)
+    assert [(s.kind, s.device) for s in a.specs] != [
+        (s.kind, s.device) for s in c.specs
+    ] or a.seed != c.seed
+
+
+def test_chaos_plan_contents():
+    plan = FaultPlan.chaos(0, num_devices=2)
+    kinds = [s.kind for s in plan.specs]
+    assert kinds == [
+        FaultKind.ALLOC_TRANSIENT,
+        FaultKind.WORKER_CRASH,
+        FaultKind.CORRUPT_SHARD,
+        FaultKind.DEVICE_DEAD,
+    ]
+    dead = plan.specs[-1]
+    assert dead.device != 0  # device 0 always survives as failover target
+    assert dead.count is None  # dead forever
+    alloc = plan.specs[0]
+    assert alloc.device != dead.device  # targets a survivor
+    # single device: no dead-device trigger
+    assert FaultKind.DEVICE_DEAD not in [
+        s.kind for s in FaultPlan.chaos(0, num_devices=1).specs
+    ]
+
+
+def test_spec_matching_wildcards():
+    spec = FaultSpec(FaultKind.WORKER_CRASH, device=None, block=3)
+    assert spec.matches(device=0, block=3)
+    assert spec.matches(device=5, block=3)
+    assert not spec.matches(device=0, block=2)
+
+
+# -- hooks --------------------------------------------------------------------
+def test_on_launch_raises_and_consumes_transient():
+    inj = FaultInjector(FaultPlan(
+        [FaultSpec(FaultKind.ALLOC_TRANSIENT, device=0, launch=0)]
+    ))
+    with pytest.raises(InjectedAllocationFailure):
+        inj.on_launch(0, 0)
+    inj.on_launch(0, 0)  # consumed: second identical launch is clean
+    assert [e.kind for e in inj.events] == [FaultKind.ALLOC_TRANSIENT]
+
+
+def test_on_launch_dead_device_never_exhausts():
+    inj = FaultInjector(FaultPlan(
+        [FaultSpec(FaultKind.DEVICE_DEAD, device=1, count=None)]
+    ))
+    for _ in range(4):
+        with pytest.raises(DeviceAllocationError):
+            inj.on_launch(1, 0)
+    inj.on_launch(0, 0)  # other devices unaffected
+    assert len(inj.events) == 4
+
+
+def test_on_launch_shm_overflow():
+    inj = FaultInjector(FaultPlan(
+        [FaultSpec(FaultKind.SHM_OVERFLOW, device=0, launch=1)]
+    ))
+    inj.on_launch(0, 0)
+    with pytest.raises(SharedMemoryError):
+        inj.on_launch(0, 1)
+
+
+def test_on_block_crash_is_block_pinned():
+    inj = FaultInjector(FaultPlan(
+        [FaultSpec(FaultKind.WORKER_CRASH, block=2)]
+    ))
+    inj.on_block(0, 0)
+    inj.on_block(0, 1)
+    with pytest.raises(WorkerCrashError):
+        inj.on_block(0, 2)
+    inj.on_block(0, 2)  # consumed
+
+
+def test_on_merge_poisons_float_with_nan():
+    inj = FaultInjector(FaultPlan([FaultSpec(FaultKind.CORRUPT_SHARD)], seed=5))
+    arr = np.zeros(16, dtype=np.float64)
+    inj.on_merge(0, {"out": arr})
+    assert np.isnan(arr).sum() == 1
+    ev = inj.events[0]
+    assert ev.kind is FaultKind.CORRUPT_SHARD
+    assert ev.array == "out"
+    assert np.isnan(arr[ev.index])
+
+
+def test_on_merge_flips_bit_in_int_buffer():
+    inj = FaultInjector(FaultPlan([FaultSpec(FaultKind.CORRUPT_SHARD)], seed=5))
+    arr = np.zeros(16, dtype=np.int64)
+    inj.on_merge(0, {"hist": arr})
+    assert arr.sum() == 1 << 30
+
+
+def test_on_merge_target_deterministic_per_seed():
+    picks = []
+    for _ in range(2):
+        inj = FaultInjector(
+            FaultPlan([FaultSpec(FaultKind.CORRUPT_SHARD)], seed=9)
+        )
+        a = np.zeros(64)
+        b = np.zeros(64)
+        inj.on_merge(0, {"a": a, "b": b})
+        ev = inj.events[0]
+        picks.append((ev.array, ev.index))
+    assert picks[0] == picks[1]
+
+
+def test_on_merge_skips_when_nothing_mutated():
+    inj = FaultInjector(FaultPlan([FaultSpec(FaultKind.CORRUPT_SHARD)]))
+    inj.on_merge(0, {})
+    assert inj.events == []  # trigger not consumed either
+    arr = np.zeros(4)
+    inj.on_merge(0, {"x": arr})
+    assert len(inj.events) == 1
+
+
+def test_straggler_delays_without_error():
+    inj = FaultInjector(FaultPlan(
+        [FaultSpec(FaultKind.STRAGGLER, block=0, delay_seconds=0.0)]
+    ))
+    inj.on_block(0, 0)  # sleeps 0s, records, no raise
+    assert [e.kind for e in inj.events] == [FaultKind.STRAGGLER]
+
+
+# -- coercion -----------------------------------------------------------------
+def test_as_injector_coercions():
+    assert as_injector(None) is None
+    inj = FaultInjector(FaultPlan(seed=3))
+    assert as_injector(inj) is inj
+    plan = FaultPlan([FaultSpec(FaultKind.CORRUPT_SHARD)], seed=2)
+    wrapped = as_injector(plan)
+    assert isinstance(wrapped, FaultInjector) and wrapped.plan is plan
+    seeded = as_injector(4, num_devices=2)
+    assert isinstance(seeded, FaultInjector)
+    assert seeded.plan.seed == 4
+    assert FaultKind.DEVICE_DEAD in [s.kind for s in seeded.plan.specs]
+
+
+def test_injected_failure_is_transient_and_allocation_error():
+    exc = InjectedAllocationFailure("x")
+    assert isinstance(exc, TransientFault)
+    assert isinstance(exc, DeviceAllocationError)
