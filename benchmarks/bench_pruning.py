@@ -1,0 +1,177 @@
+"""Pruning benchmark: bounds-pruned vs unpruned batched engine.
+
+Times the functional simulator's host wall time on the two flagship
+statistics with bounds pruning on and off:
+
+* ``pcf-clustered`` — 2-PCF at a realistic correlation radius on
+  clustered data: far tiles *skip* (zero weight beyond the radius);
+* ``sdh-clustered`` — SDH with a short max distance on the same data:
+  beyond-max tiles *bulk-resolve* into the clamped top bucket;
+* ``sdh-uniform``   — the honest control: dense uniform data where the
+  bounds prove almost nothing, so pruning must cost ~nothing.
+
+Every pruned result is checked bit-identical against its unpruned twin
+before a time is reported.  Run as a script to produce
+``BENCH_pruning.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_pruning.py
+
+or run the ``bench_smoke`` subset in CI::
+
+    PYTHONPATH=src python -m pytest benchmarks -m bench_smoke -q
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core.bounds import prune_stats, spatial_sort
+from repro.core.kernels import make_kernel
+from repro.data import gaussian_clusters, uniform_points
+from repro.gpusim import Device, TITAN_X
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_pruning.json"
+ENGINE_JSON = REPO_ROOT / "BENCH_engine.json"
+
+BLOCK = 64
+SIZES = (2048, 4096)
+BOX = 100.0
+PCF_RADIUS = 2.5
+SDH_BINS = 64
+SDH_MAXD = 12.0
+
+
+def _clustered(n: int) -> np.ndarray:
+    pts = gaussian_clusters(
+        n, dims=3, n_clusters=12, box=BOX, spread=0.6, seed=2016
+    )
+    return pts[spatial_sort(pts)]
+
+
+def _uniform(n: int) -> np.ndarray:
+    return uniform_points(n, dims=3, box=BOX, seed=2016)
+
+
+#: (row name, points factory, problem factory, input, output)
+SCENARIOS = (
+    (
+        "pcf-clustered",
+        _clustered,
+        lambda: apps.pcf.make_problem(PCF_RADIUS),
+        "register-shm",
+        "register",
+    ),
+    (
+        "sdh-clustered",
+        _clustered,
+        lambda: apps.sdh.make_problem(SDH_BINS, SDH_MAXD),
+        "register-roc",
+        "privatized-shm",
+    ),
+    (
+        "sdh-uniform",
+        _uniform,
+        lambda: apps.sdh.make_problem(SDH_BINS, BOX * math.sqrt(3.0)),
+        "register-roc",
+        "privatized-shm",
+    ),
+)
+
+
+def _time_kernel(kernel, points: np.ndarray, repeats: int):
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        device = Device(TITAN_X)
+        t0 = time.perf_counter()
+        result, _ = kernel.execute(device, points)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_suite(sizes=SIZES, repeats: int = 3):
+    """Time pruned vs unpruned per scenario; BENCH_pruning.json rows."""
+    rows = []
+    for bench, points_fn, problem_fn, inp, out in SCENARIOS:
+        problem = problem_fn()
+        for n in sizes:
+            points = points_fn(n)
+            stats = prune_stats(points, BLOCK, problem)
+            base = make_kernel(problem, inp, out, block_size=BLOCK)
+            pruned = make_kernel(
+                problem, inp, out, block_size=BLOCK, prune=True
+            )
+            base_s, base_res = _time_kernel(base, points, repeats)
+            prune_s, prune_res = _time_kernel(pruned, points, repeats)
+            np.testing.assert_array_equal(base_res, prune_res)
+            rows.append({
+                "bench": bench,
+                "n": n,
+                "unpruned_seconds": round(base_s, 6),
+                "pruned_seconds": round(prune_s, 6),
+                "speedup": round(base_s / prune_s, 3),
+                "prune_fraction": round(stats.prune_fraction, 4),
+                "tiles_skipped": stats.tiles_skipped,
+                "tiles_bulk": stats.tiles_bulk,
+            })
+    return rows
+
+
+def main() -> None:
+    rows = run_suite()
+    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    width = max(len(r["bench"]) for r in rows)
+    for r in rows:
+        print(
+            f"N={r['n']:>6}  {r['bench']:<{width}}  "
+            f"base {r['unpruned_seconds']:>8.4f}s  "
+            f"pruned {r['pruned_seconds']:>8.4f}s  "
+            f"{r['speedup']:>6.2f}x  "
+            f"({r['prune_fraction']:.0%} of tiles pruned)"
+        )
+    print(f"wrote {OUT_PATH}")
+
+
+# -- CI smoke subset -----------------------------------------------------------
+
+@pytest.mark.bench_smoke
+def test_pruning_bench_smoke(save_artifact):
+    """Quick pruned-vs-unpruned cross-check at N=2048: results identical,
+    clustered scenarios actually prune and actually speed up."""
+    rows = run_suite(sizes=(2048,), repeats=1)
+    by_bench = {r["bench"]: r for r in rows}
+    assert set(by_bench) == {s[0] for s in SCENARIOS}
+    for name in ("pcf-clustered", "sdh-clustered"):
+        assert by_bench[name]["prune_fraction"] > 0.5
+        # acceptance bar is 2x at full scale; smoke keeps a CI-safe margin
+        assert by_bench[name]["speedup"] > 1.5
+    save_artifact("bench_pruning_smoke", json.dumps(rows, indent=2))
+
+
+@pytest.mark.bench_smoke
+def test_engine_bench_regression_guard():
+    """The engine-benchmark artifact must keep its batching/parallel win:
+    a refactor that drags any recorded speedup below 1.5x is a perf
+    regression, not a cleanup."""
+    if not ENGINE_JSON.exists():
+        pytest.skip("BENCH_engine.json not generated on this checkout")
+    rows = json.loads(ENGINE_JSON.read_text())
+    for row in rows:
+        if row["bench"] == "sequential":
+            continue
+        assert row["speedup"] >= 1.5, (
+            f"{row['bench']} at N={row['n']} regressed to "
+            f"{row['speedup']}x (< 1.5x floor)"
+        )
+
+
+if __name__ == "__main__":
+    main()

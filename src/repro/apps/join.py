@@ -16,7 +16,13 @@ import numpy as np
 
 from ..core.distances import EUCLIDEAN, MANHATTAN
 from ..core.kernels import ComposedKernel, make_kernel
-from ..core.problem import OutputClass, OutputSpec, TwoBodyProblem, UpdateKind
+from ..core.problem import (
+    OutputClass,
+    OutputSpec,
+    PruningSpec,
+    TwoBodyProblem,
+    UpdateKind,
+)
 from ..core.runner import RunResult, run
 from ..gpusim.calibration import JOIN_COMPUTE
 from ..gpusim.device import Device
@@ -43,15 +49,26 @@ def make_problem(
         pair_fn=pair_fn,
         output=spec,
         compute_cost=JOIN_COMPUTE,
+        # the join predicate is a monotone indicator: tiles beyond eps
+        # skip (constant-False), tiles entirely within eps bulk-emit the
+        # full nl*nr cross product without evaluating a distance
+        pruning=PruningSpec(
+            cutoff=eps,
+            monotone_map=True,
+            metric="manhattan" if dims == 1 else "euclidean",
+            note="band predicate is constant outside/inside eps",
+        ),
     )
 
 
-def default_kernel(problem: TwoBodyProblem, block_size: int = 256) -> ComposedKernel:
+def default_kernel(
+    problem: TwoBodyProblem, block_size: int = 256, prune: bool = False
+) -> ComposedKernel:
     """Type-III default: Register-SHM input (shared memory is free — the
     output needs none) with direct global output."""
     return make_kernel(
         problem, "register-shm", "global-direct", block_size=block_size,
-        name="Reg-SHM-Gmem",
+        name="Reg-SHM-Gmem+prune" if prune else "Reg-SHM-Gmem", prune=prune,
     )
 
 
@@ -60,11 +77,12 @@ def band_join(
     eps: float,
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
+    prune: bool = False,
 ) -> Tuple[np.ndarray, RunResult]:
     """Self band-join over 1-D keys; returns sorted (P, 2) index pairs."""
     v = np.asarray(values, dtype=np.float64).reshape(-1, 1)
     problem = make_problem(eps, dims=1)
-    krn = kernel or default_kernel(problem)
+    krn = kernel or default_kernel(problem, prune=prune)
     res = run(problem, v, kernel=krn, device=device)
     pairs = np.asarray(res.result)
     if pairs.size:
@@ -78,11 +96,12 @@ def spatial_join(
     eps: float,
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
+    prune: bool = False,
 ) -> Tuple[np.ndarray, RunResult]:
     """Self spatial join: pairs within Euclidean distance ``eps``."""
     pts = np.asarray(points, dtype=np.float64)
     problem = make_problem(eps, dims=pts.shape[1])
-    krn = kernel or default_kernel(problem)
+    krn = kernel or default_kernel(problem, prune=prune)
     res = run(problem, pts, kernel=krn, device=device)
     pairs = np.asarray(res.result)
     if pairs.size:

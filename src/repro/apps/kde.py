@@ -14,10 +14,27 @@ import numpy as np
 
 from ..core.distances import gaussian_kernel
 from ..core.kernels import ComposedKernel, make_kernel
-from ..core.problem import OutputClass, OutputSpec, TwoBodyProblem, UpdateKind
+from ..core.problem import (
+    OutputClass,
+    OutputSpec,
+    PruningSpec,
+    TwoBodyProblem,
+    UpdateKind,
+)
 from ..core.runner import RunResult, run
 from ..gpusim.calibration import KDE_COMPUTE
 from ..gpusim.device import Device
+
+#: exp(-x) is *exactly* 0.0 in float64 once x exceeds ~745.1 (past the
+#: smallest subnormal); at d^2/(2h^2) >= 760 the Gaussian weight underflows
+#: to the additive identity, so tiles beyond h*sqrt(2*760) contribute
+#: nothing and can be skipped without changing a single output bit.
+_UNDERFLOW_EXPONENT = 760.0
+
+
+def underflow_cutoff(bandwidth: float) -> float:
+    """Distance beyond which the Gaussian kernel is exactly 0.0."""
+    return bandwidth * float(np.sqrt(2.0 * _UNDERFLOW_EXPONENT))
 
 
 def make_problem(bandwidth: float, dims: int = 3) -> TwoBodyProblem:
@@ -33,13 +50,23 @@ def make_problem(bandwidth: float, dims: int = 3) -> TwoBodyProblem:
         pair_fn=gaussian_kernel(bandwidth),
         output=spec,
         compute_cost=KDE_COMPUTE,
+        # beyond the float64 underflow horizon the kernel weight is exactly
+        # zero, so skipping those tiles preserves bit-identity; no
+        # monotone_map — per-point sums have no bulk-resolvable cell
+        pruning=PruningSpec(
+            cutoff=underflow_cutoff(bandwidth),
+            metric="euclidean",
+            note="Gaussian weight underflows to exactly 0.0",
+        ),
     )
 
 
-def default_kernel(problem: TwoBodyProblem, block_size: int = 256) -> ComposedKernel:
+def default_kernel(
+    problem: TwoBodyProblem, block_size: int = 256, prune: bool = False
+) -> ComposedKernel:
     return make_kernel(
         problem, "register-shm", "register", block_size=block_size,
-        name="Register-SHM",
+        name="Register-SHM+prune" if prune else "Register-SHM", prune=prune,
     )
 
 
@@ -49,16 +76,21 @@ def density(
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
     normalize: bool = True,
+    prune: bool = False,
 ) -> Tuple[np.ndarray, RunResult]:
     """Leave-one-out KDE at every data point.
 
     With ``normalize`` the raw kernel sums are scaled by the Gaussian
-    normalization constant and (N-1).
+    normalization constant and (N-1).  ``prune`` skips tiles past the
+    kernel's float64 underflow horizon — bit-identical under the
+    tile-at-a-time engine (``batch_tiles=1``; each skipped tile is an
+    exact ``+= 0.0``); the batched engine regroups surviving tiles, so
+    its usual float re-association tolerance applies.
     """
     pts = np.asarray(points, dtype=np.float64)
     n, dims = pts.shape
     problem = make_problem(bandwidth, dims=dims)
-    krn = kernel or default_kernel(problem)
+    krn = kernel or default_kernel(problem, prune=prune)
     res = run(problem, pts, kernel=krn, device=device)
     sums = res.result
     if normalize:

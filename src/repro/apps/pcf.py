@@ -18,7 +18,7 @@ import numpy as np
 
 from ..core.distances import EUCLIDEAN
 from ..core.kernels import ComposedKernel, make_kernel
-from ..core.problem import OutputClass, OutputSpec, TwoBodyProblem
+from ..core.problem import OutputClass, OutputSpec, PruningSpec, TwoBodyProblem
 from ..core.problem import UpdateKind
 from ..core.runner import RunResult, run
 from ..gpusim.calibration import PCF_COMPUTE
@@ -45,17 +45,26 @@ def make_problem(radius: float, dims: int = 3) -> TwoBodyProblem:
         pair_fn=EUCLIDEAN,
         output=spec,
         compute_cost=PCF_COMPUTE,
+        # the 0/1 indicator is monotone in the distance and exactly zero
+        # past the radius: tiles beyond it skip, tiles entirely within it
+        # bulk-resolve to nl*nr counted pairs
+        pruning=PruningSpec(
+            cutoff=radius,
+            monotone_map=True,
+            metric="euclidean",
+            note="indicator weight is 0 beyond the radius, 1 within",
+        ),
     )
 
 
 def default_kernel(
-    problem: TwoBodyProblem, block_size: int = 1024
+    problem: TwoBodyProblem, block_size: int = 1024, prune: bool = False
 ) -> ComposedKernel:
     """The paper's winner for Type-I: Register-SHM with register output
     (B=1024 per the optimization model the paper cites [23])."""
     return make_kernel(
         problem, "register-shm", "register", block_size=block_size,
-        name="Register-SHM",
+        name="Register-SHM+prune" if prune else "Register-SHM", prune=prune,
     )
 
 
@@ -64,11 +73,12 @@ def count_pairs(
     radius: float,
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
+    prune: bool = False,
 ) -> Tuple[int, RunResult]:
     """Count pairs within ``radius`` on the simulated GPU."""
     pts = np.asarray(points, dtype=np.float64)
     problem = make_problem(radius, dims=pts.shape[1])
-    k = kernel or default_kernel(problem)
+    k = kernel or default_kernel(problem, prune=prune)
     res = run(problem, pts, kernel=k, device=device)
     return int(round(res.result)), res
 

@@ -39,12 +39,16 @@ def compute(
     box_volume: float,
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
+    prune: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray, RunResult]:
     """RDF of a particle configuration.
 
     Returns ``(r_centers, g_of_r, run_result)``.  Distances beyond
     ``r_max`` land in the clamped top bucket, which is dropped from the
     normalized curve (standard practice: analyze r < r_max only).
+    ``prune`` enables bounds-based tile pruning on the underlying SDH —
+    especially effective here, since every beyond-``r_max`` tile
+    bulk-resolves into the overflow bucket.
     """
     if box_volume <= 0:
         raise ValueError(f"box_volume must be positive, got {box_volume}")
@@ -54,7 +58,7 @@ def compute(
     width = r_max / bins
     hist, res = sdh_app.compute(
         pts, bins=bins + 1, max_distance=r_max + width, kernel=kernel,
-        device=device,
+        device=device, prune=prune,
     )
     g = normalize(hist[:bins], len(pts), r_max, box_volume)
     centers = (np.arange(bins) + 0.5) * width

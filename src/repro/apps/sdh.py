@@ -16,7 +16,13 @@ import numpy as np
 
 from ..core.distances import EUCLIDEAN
 from ..core.kernels import ComposedKernel, make_kernel
-from ..core.problem import OutputClass, OutputSpec, TwoBodyProblem, UpdateKind
+from ..core.problem import (
+    OutputClass,
+    OutputSpec,
+    PruningSpec,
+    TwoBodyProblem,
+    UpdateKind,
+)
 from ..core.runner import RunResult, run
 from ..data.generators import sdh_bucket_probabilities
 from ..gpusim.calibration import SDH_COMPUTE
@@ -75,17 +81,26 @@ def make_problem(
         pair_fn=EUCLIDEAN,
         output=spec,
         compute_cost=SDH_COMPUTE,
+        # the bucket map is monotone in the Euclidean distance, so a tile
+        # whose distance bounds fall in one bucket (including the clamped
+        # top bucket every beyond-max tile lands in) bulk-resolves exactly
+        # — the DM-SDH property the tree algorithm exploits
+        pruning=PruningSpec(
+            monotone_map=True,
+            metric="euclidean",
+            note="bucket map monotone; beyond-max tiles clamp to top bucket",
+        ),
     )
 
 
 def default_kernel(
-    problem: TwoBodyProblem, block_size: int = 256
+    problem: TwoBodyProblem, block_size: int = 256, prune: bool = False
 ) -> ComposedKernel:
     """The paper's winner for Type-II: Reg-ROC-Out — ROC tiling keeps
     shared memory free for the privatized histogram (Section IV-D)."""
     return make_kernel(
         problem, "register-roc", "privatized-shm", block_size=block_size,
-        name="Reg-ROC-Out",
+        name="Reg-ROC-Out+prune" if prune else "Reg-ROC-Out", prune=prune,
     )
 
 
@@ -95,17 +110,19 @@ def compute(
     max_distance: Optional[float] = None,
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
+    prune: bool = False,
 ) -> Tuple[np.ndarray, RunResult]:
     """Compute the SDH on the simulated GPU.
 
     ``max_distance`` defaults to the data's bounding-box diagonal (so no
-    distance is clamped).
+    distance is clamped).  ``prune`` turns on bounds-based tile pruning
+    (bit-identical histogram, fewer pair evaluations on clustered data).
     """
     pts = np.asarray(points, dtype=np.float64)
     if max_distance is None:
         span = pts.max(axis=0) - pts.min(axis=0)
         max_distance = float(np.linalg.norm(span)) or 1.0
     problem = make_problem(bins, max_distance, dims=pts.shape[1])
-    k = kernel or default_kernel(problem)
+    k = kernel or default_kernel(problem, prune=prune)
     res = run(problem, pts, kernel=k, device=device)
     return res.result, res

@@ -70,16 +70,22 @@ def cmd_sdh(args) -> int:
         problem = sdh_app.make_problem(args.bins, maxd, dims=3)
         # workers=2 keeps the parallel engine (hence the worker-crash and
         # shard-corruption fault sites) live under the chaos plan
-        res = run(problem, pts, kernel=sdh_app.default_kernel(problem),
+        res = run(problem,
+                  pts,
+                  kernel=sdh_app.default_kernel(problem, prune=args.prune),
                   faults=args.faults, retries=args.retries, workers=2)
         hist = res.result
     else:
-        hist, res = sdh_app.compute(pts, bins=args.bins)
+        hist, res = sdh_app.compute(pts, bins=args.bins, prune=args.prune)
     print(f"SDH of {args.n} uniform points, {args.bins} buckets "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
     peak = int(np.argmax(hist))
     print(f"total pairs {hist.sum():,}; busiest bucket {peak} "
           f"({hist[peak]:,} pairs)")
+    stats = getattr(res.record, "prune", None)
+    if stats is not None:
+        print(f"pruned {stats.tiles_pruned}/{stats.tiles} tiles "
+              f"({stats.pairs_pruned:,} pair evaluations avoided)")
     if res.resilience is not None:
         print(f"-- fault injection (seed {args.faults}) --")
         print(res.resilience.summary())
@@ -90,15 +96,19 @@ def cmd_pcf(args) -> int:
     pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
     if args.faults is not None:
         problem = pcf_app.make_problem(args.radius)
-        res = run(problem, pts, kernel=make_kernel(problem),
+        res = run(problem, pts, kernel=make_kernel(problem, prune=args.prune),
                   faults=args.faults, retries=args.retries, workers=2)
         count = int(round(res.result))
     else:
-        count, res = pcf_app.count_pairs(pts, args.radius)
+        count, res = pcf_app.count_pairs(pts, args.radius, prune=args.prune)
     total = args.n * (args.n - 1) // 2
     print(f"2-PCF of {args.n} uniform points at r={args.radius:g} "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
     print(f"pairs within radius: {count:,} of {total:,} ({count / total:.3%})")
+    stats = getattr(res.record, "prune", None)
+    if stats is not None:
+        print(f"pruned {stats.tiles_pruned}/{stats.tiles} tiles "
+              f"({stats.pairs_pruned:,} pair evaluations avoided)")
     if res.resilience is not None:
         print(f"-- fault injection (seed {args.faults}) --")
         print(res.resilience.summary())
@@ -181,6 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=256)
     p.add_argument("--box", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--prune", action="store_true",
+                   help="enable bounds-based tile pruning")
     _add_fault_args(p)
     p.set_defaults(fn=cmd_sdh)
 
@@ -189,6 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--radius", type=float, default=1.0)
     p.add_argument("--box", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--prune", action="store_true",
+                   help="enable bounds-based tile pruning")
     _add_fault_args(p)
     p.set_defaults(fn=cmd_pcf)
 

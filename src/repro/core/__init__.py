@@ -22,6 +22,16 @@ from .analytical import (
     paper_eq5_register_shm_shared,
     paper_eq6_update_stage,
     paper_eq7_reduction_stage,
+    pruned_geometry,
+)
+from .bounds import (
+    PruneStats,
+    TileClasses,
+    TilePruner,
+    block_bounds,
+    prune_stats,
+    spatial_sort,
+    tile_distance_bounds,
 )
 from .distances import (
     CHEBYSHEV,
@@ -75,6 +85,7 @@ from .planner import DEFAULT_BLOCK_SIZES, Plan, PlanCandidate, plan_kernel
 from .problem import (
     OutputClass,
     OutputSpec,
+    PruningSpec,
     TwoBodyProblem,
     UpdateKind,
     as_aos,
@@ -127,4 +138,7 @@ __all__ = [
     "paper_eq3_tiled_global", "paper_eq4_shm_shm_shared",
     "paper_eq5_register_shm_shared", "paper_eq6_update_stage",
     "paper_eq7_reduction_stage", "global_access_reduction",
+    "PruningSpec", "PruneStats", "TileClasses", "TilePruner",
+    "block_bounds", "tile_distance_bounds", "prune_stats", "spatial_sort",
+    "pruned_geometry",
 ]

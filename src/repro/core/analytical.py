@@ -15,7 +15,7 @@ model (the dominant O(N^2) read terms).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 
 import numpy as np
@@ -195,6 +195,34 @@ def exact_shuffle(n: int, b: int, dims: int, warp: int = 32) -> StageCounts:
         global_reads=dims * (n + loads),
         shuffles=dims * shuffles,
     )
+
+
+# -- pruned-tile accounting ----------------------------------------------------
+#
+# Bounds pruning (core/bounds.py) removes whole inter-block tiles from the
+# pairwise stage before any per-point work: *skipped* tiles vanish, and
+# *bulk-resolved* tiles shrink to one O(1) output update.  The analytical
+# model absorbs this through an *effective geometry*: the same closed-form
+# per-strategy traffic expressions, evaluated on pair/tile-load counts
+# with the pruned population subtracted.  Bulk updates themselves are
+# data-output work and are priced by the output strategies (one atomic per
+# bulk tile), keeping ``simulate()`` predictions and functional counters
+# in exact agreement.
+
+
+def pruned_geometry(geom, stats):
+    """Effective :class:`~repro.core.kernels.base.PairGeometry` after
+    pruning: inter pairs and R-tile staging shrink by what the bounds
+    eliminated (``stats`` is a :class:`~repro.core.bounds.PruneStats`).
+    Intra-block work is untouched — the diagonal tile's lower distance
+    bound is always zero, so it is never pruned."""
+    inter = geom.inter_pairs - stats.pairs_skipped - stats.pairs_bulk
+    loads = geom.tile_loads_points - stats.tile_points_pruned
+    if inter < 0 or loads < 0:
+        raise ValueError(
+            f"prune stats exceed geometry: inter={inter}, tile_loads={loads}"
+        )
+    return replace(geom, inter_pairs=inter, tile_loads_points=loads)
 
 
 EXACT_BY_STRATEGY = {

@@ -1,0 +1,315 @@
+"""Per-block bounding volumes and distance-bound tile pruning.
+
+The paper's "Beyond" direction (Section II's DM-SDH line) resolves whole
+node *pairs* from distance bounds instead of touching points.  This module
+brings that idea to the composed-kernel engine: one cheap O(N) pass
+derives an axis-aligned bounding box per anchor block, and every
+inter-block (L, R) tile pair gets a certified distance interval
+``[dmin, dmax]`` from the two boxes.  A tile whose interval proves its
+pairs contribute nothing is *skipped*; a tile whose interval maps to a
+single output cell is *bulk-resolved* — ``nL * nR`` is folded into that
+cell with zero distance evaluations, exactly as DM-SDH resolves tree-node
+pairs.  Everything else falls through to the ordinary tile path, so the
+result is bit-identical to the unpruned engine while the dominant
+O(N^2/B^2) tile population shrinks with data clustering.
+
+Exactness argument (the reason pruning preserves bit-identity):
+
+* **skip** is only taken when every pair's contribution is *exactly* the
+  additive identity — a weight the problem maps to ``0.0`` (2-PCF beyond
+  the radius, a Gaussian kernel past its float64 underflow horizon) or a
+  join predicate that is False — so omitting the update leaves every
+  accumulator bit untouched (``x + 0.0 == x`` for the non-negative
+  accumulators these kernels keep);
+* **bulk** is only taken for *monotone* output maps whose value at
+  ``dmin`` equals its value at ``dmax``: the map is then constant over
+  the whole interval, and folding ``nL * nR`` into one histogram bucket
+  (integer adds commute) or ``value * nR`` into a count accumulator
+  (integer-valued floats below 2^53) reproduces the evaluated result
+  bit-for-bit;
+* bounds are *padded* by the pair function's worst-case rounding slack,
+  so a computed distance can never fall outside its certified interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .problem import TwoBodyProblem, UpdateKind, as_soa
+from .tiling import BlockDecomposition
+
+#: metrics the bound derivation understands (must match the problem's
+#: pair function, or the monotone distance underlying it).
+SUPPORTED_METRICS = ("euclidean", "manhattan", "chebyshev")
+
+#: rounding-slack multiplier, in units of eps * (coordinate scale): the
+#: GEMM-style `a^2 + b^2 - 2ab` evaluation can leave the exact distance by
+#: a few ulps of the squared magnitudes, so intervals are widened by a
+#: generous multiple before classification.  Orders of magnitude smaller
+#: than any realistic bucket width, but it makes skip/bulk certificates
+#: robust to the evaluator's rounding.
+_PAD_ULPS = 256.0
+
+
+def block_bounds(
+    soa: np.ndarray, block_size: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-block coordinate bounds of SoA data: two (dims, M) arrays
+    (lo, hi), ragged tail included.  One vectorized reduceat pass."""
+    dims, n = soa.shape
+    dec = BlockDecomposition(n, block_size)
+    starts = np.arange(dec.num_blocks) * block_size
+    lo = np.minimum.reduceat(soa, starts, axis=1)
+    hi = np.maximum.reduceat(soa, starts, axis=1)
+    return lo, hi
+
+
+def _rounding_pad(lo: np.ndarray, hi: np.ndarray, metric: str) -> float:
+    """Worst-case rounding slack of the pair evaluators, in the metric's
+    units (squared units for euclidean)."""
+    eps = np.finfo(np.float64).eps
+    mag = np.maximum(np.abs(lo), np.abs(hi)).max(axis=1)  # per-dim scale
+    if metric == "euclidean":
+        return _PAD_ULPS * eps * float((mag * mag).sum() + 1.0)
+    if metric == "manhattan":
+        return _PAD_ULPS * eps * float(mag.sum() + 1.0)
+    return _PAD_ULPS * eps * float(mag.max(initial=0.0) + 1.0)
+
+
+def tile_distance_bounds(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    b: int,
+    metric: str = "euclidean",
+    pad: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Certified [dmin, dmax] between block ``b``'s box and every block.
+
+    ``pad`` widens the interval (squared units for euclidean) to absorb
+    the pair evaluator's rounding, so every *computed* pairwise value is
+    guaranteed to land inside its tile's interval.
+    """
+    if metric not in SUPPORTED_METRICS:
+        raise ValueError(
+            f"unsupported pruning metric {metric!r}; "
+            f"supported: {SUPPORTED_METRICS}"
+        )
+    gap = np.maximum(lo[:, [b]] - hi, lo - hi[:, [b]])
+    np.maximum(gap, 0.0, out=gap)  # overlapping boxes: dmin = 0
+    span = np.maximum(hi - lo[:, [b]], hi[:, [b]] - lo)
+    if metric == "euclidean":
+        dmin2 = (gap * gap).sum(axis=0) - pad
+        dmax2 = (span * span).sum(axis=0) + pad
+        return (
+            np.sqrt(np.maximum(dmin2, 0.0)),
+            np.sqrt(np.maximum(dmax2, 0.0)),
+        )
+    if metric == "manhattan":
+        return (
+            np.maximum(gap.sum(axis=0) - pad, 0.0),
+            span.sum(axis=0) + pad,
+        )
+    return (
+        np.maximum(gap.max(axis=0) - pad, 0.0),
+        span.max(axis=0) + pad,
+    )
+
+
+@dataclass(frozen=True)
+class TileClasses:
+    """Classification of one anchor block's partner tiles (arrays of
+    length M, indexed by partner block id)."""
+
+    skip: np.ndarray  # tile proves zero contribution: no work at all
+    bulk: np.ndarray  # tile resolves to one output cell: O(1) update
+    value: Optional[np.ndarray]  # the resolved map value per bulk tile
+
+
+@dataclass(frozen=True)
+class PruneStats:
+    """Whole-launch pruning aggregates, the analytical model's view.
+
+    All counts cover *inter-block* tiles of the anchors considered (both
+    (L, R) directions in full-row mode, upper-triangle otherwise).
+    ``tile_points_pruned`` is the sum of partner-block sizes over pruned
+    tiles — the R-tile staging the engine never performs.
+    """
+
+    tiles: int = 0
+    tiles_skipped: int = 0
+    tiles_bulk: int = 0
+    pairs_skipped: int = 0
+    pairs_bulk: int = 0
+    tile_points_pruned: int = 0
+
+    @property
+    def tiles_pruned(self) -> int:
+        return self.tiles_skipped + self.tiles_bulk
+
+    @property
+    def pairs_pruned(self) -> int:
+        return self.pairs_skipped + self.pairs_bulk
+
+    @property
+    def prune_fraction(self) -> float:
+        return self.tiles_pruned / self.tiles if self.tiles else 0.0
+
+
+class TilePruner:
+    """Launch-lifetime pruning oracle for one (data, block size, problem).
+
+    Classification is a pure function of the inputs — independent of
+    worker count, tile batching, and ``blocks=`` stripes — which is what
+    keeps pruned execution bit-identical under every engine mode.
+    Per-anchor results are cached; with M blocks the whole table costs
+    O(M^2 * dims), negligible next to the tiles it eliminates.
+    """
+
+    def __init__(
+        self, soa: np.ndarray, block_size: int, problem: TwoBodyProblem
+    ) -> None:
+        spec = problem.pruning
+        if spec is None:
+            raise ValueError(
+                f"problem {problem.name!r} carries no PruningSpec"
+            )
+        self.problem = problem
+        self.spec = spec
+        self.block_size = block_size
+        self.sizes = np.diff(
+            np.append(
+                np.arange(0, soa.shape[1], block_size), soa.shape[1]
+            )
+        ).astype(np.int64)
+        self.num_blocks = self.sizes.size
+        self.lo, self.hi = block_bounds(soa, block_size)
+        self.pad = _rounding_pad(self.lo, self.hi, spec.metric)
+        self._cache: Dict[int, TileClasses] = {}
+
+    def classify(self, b: int) -> TileClasses:
+        cached = self._cache.get(b)
+        if cached is not None:
+            return cached
+        spec = self.spec
+        out = self.problem.output
+        dmin, dmax = tile_distance_bounds(
+            self.lo, self.hi, b, metric=spec.metric, pad=self.pad
+        )
+        m = self.num_blocks
+        skip = np.zeros(m, dtype=bool)
+        bulk = np.zeros(m, dtype=bool)
+        value: Optional[np.ndarray] = None
+        if spec.cutoff is not None:
+            # beyond the cutoff every pair's contribution is exactly zero
+            skip = dmin > spec.cutoff
+        if spec.monotone_map and out.kind in (
+            UpdateKind.HISTOGRAM,
+            UpdateKind.SCALAR_SUM,
+            UpdateKind.EMIT_PAIRS,
+        ):
+            vlo = np.asarray(out.map_fn(dmin))
+            vhi = np.asarray(out.map_fn(dmax))
+            same = vlo == vhi
+            if out.kind is UpdateKind.HISTOGRAM:
+                # a one-bucket interval bulk-resolves (this covers the
+                # clamped top bucket: every beyond-max tile lands there)
+                bulk = same & ~skip
+            elif out.kind is UpdateKind.SCALAR_SUM:
+                # constant zero weight contributes nothing; constant
+                # non-zero weight bulk-resolves
+                skip |= same & (vlo == 0)
+                bulk = same & ~skip
+            else:  # EMIT_PAIRS: predicate constant-False / constant-True
+                truth = vlo.astype(bool)
+                skip |= same & ~truth
+                bulk = same & truth & ~skip
+            value = vlo
+        # the diagonal is the intra pass, never a partner tile
+        skip[b] = False
+        bulk[b] = False
+        result = TileClasses(skip=skip, bulk=bulk, value=value)
+        self._cache[b] = result
+        return result
+
+    def stats(
+        self,
+        full_rows: bool = False,
+        anchors: Optional[Iterable[int]] = None,
+    ) -> PruneStats:
+        """Aggregate classification over ``anchors`` (default: the whole
+        grid) — the quantity the analytical traffic model consumes."""
+        m = self.num_blocks
+        anchor_list = range(m) if anchors is None else anchors
+        tiles = tiles_s = tiles_b = 0
+        pairs_s = pairs_b = points_p = 0
+        for b in anchor_list:
+            cls = self.classify(b)
+            if full_rows:
+                partners = np.ones(m, dtype=bool)
+                partners[b] = False
+            else:
+                partners = np.zeros(m, dtype=bool)
+                partners[b + 1 :] = True
+            nl = int(self.sizes[b])
+            nr = self.sizes
+            skip = cls.skip & partners
+            bulk = cls.bulk & partners
+            tiles += int(partners.sum())
+            tiles_s += int(skip.sum())
+            tiles_b += int(bulk.sum())
+            pairs_s += nl * int(nr[skip].sum())
+            pairs_b += nl * int(nr[bulk].sum())
+            points_p += int(nr[skip | bulk].sum())
+        return PruneStats(
+            tiles=tiles,
+            tiles_skipped=tiles_s,
+            tiles_bulk=tiles_b,
+            pairs_skipped=pairs_s,
+            pairs_bulk=pairs_b,
+            tile_points_pruned=points_p,
+        )
+
+
+def prune_stats(
+    points: np.ndarray,
+    block_size: int,
+    problem: TwoBodyProblem,
+    full_rows: bool = False,
+    anchors: Optional[Sequence[int]] = None,
+) -> PruneStats:
+    """Classification aggregates for ``points`` without executing anything
+    — what the planner prices pruned kernel variants with."""
+    pruner = TilePruner(as_soa(points), block_size, problem)
+    return pruner.stats(full_rows=full_rows, anchors=anchors)
+
+
+def spatial_sort(points: np.ndarray) -> np.ndarray:
+    """Permutation ordering ``points`` along a Morton (Z-order) curve.
+
+    Bounds pruning works on *block* bounding boxes, so it needs spatially
+    coherent blocks; data arriving in arbitrary order (e.g. shuffled
+    cluster draws) should be permuted by this order first.  Reordering
+    input is legal for every self-2-BS statistic except those reporting
+    per-point results, whose outputs must be inverse-permuted.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts[:, None]
+    n, dims = pts.shape
+    # interleaved key must fit a signed int64: bits * dims <= 62; 21 bits
+    # per axis (2M cells) is ample resolution for ordering
+    bits = max(1, min(62 // max(dims, 1), 21))
+    cells = np.int64(1) << bits
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    span = np.where(span > 0, span, 1.0)
+    q = ((pts - lo) / span * float(cells)).astype(np.int64)
+    np.clip(q, 0, int(cells) - 1, out=q)
+    key = np.zeros(n, dtype=np.int64)
+    for bit in range(bits):
+        for d in range(dims):
+            key |= ((q[:, d] >> bit) & 1) << (bit * dims + d)
+    return np.argsort(key, kind="stable")

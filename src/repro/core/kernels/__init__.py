@@ -63,6 +63,7 @@ def make_kernel(
     load_balanced: bool = False,
     name: Optional[str] = None,
     output_kwargs: Optional[dict] = None,
+    prune: bool = False,
 ) -> ComposedKernel:
     """Compose a 2-BS kernel by strategy names.
 
@@ -70,7 +71,8 @@ def make_kernel(
     problems whose kind the register path cannot hold that is an error the
     strategy's ``check`` reports.  ``output_kwargs`` are forwarded to the
     output strategy's constructor (e.g. ``copies_per_block`` for
-    privatized-shm).
+    privatized-shm).  ``prune`` enables bounds-based tile pruning — the
+    problem must carry a :class:`~repro.core.problem.PruningSpec`.
     """
     try:
         input_cls = INPUT_STRATEGIES[input_strategy]
@@ -94,6 +96,7 @@ def make_kernel(
         block_size=block_size,
         load_balanced=load_balanced,
         name=name,
+        prune=prune,
     )
 
 

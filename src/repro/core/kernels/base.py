@@ -48,6 +48,8 @@ from ...gpusim.timing import (
     cycles_from_traffic,
     simulate_time,
 )
+from ..analytical import pruned_geometry
+from ..bounds import PruneStats, TilePruner
 from ..problem import OutputSpec, TwoBodyProblem, UpdateKind, as_soa
 from ..tiling import (
     BlockDecomposition,
@@ -73,6 +75,44 @@ TILE_BATCH_COLUMNS = 512
 #: Environment override for the tile batch width ("auto" or an integer
 #: number of R-tiles per batch; "1" disables batching).
 TILE_BATCH_ENV = "REPRO_SIM_TILE_BATCH"
+
+#: memoized (raw env string, parsed value) pair — sweeps call ``execute``
+#: thousands of times and must not re-parse the environment each time.
+_TILE_BATCH_CACHE: Tuple[str, Optional[int]] = ("", None)
+
+
+def _tile_batch_from_env() -> Optional[int]:
+    """Parsed ``REPRO_SIM_TILE_BATCH`` (``None`` = unset / ``"auto"``).
+
+    The parse is memoized on the raw string: repeated ``execute()`` calls
+    pay one dict lookup, not a strip/lower/int round-trip, while an env
+    change between calls (tests monkeypatching, sweep drivers) is still
+    picked up.  A malformed value names the variable and the accepted
+    forms instead of surfacing a bare ``int()`` ValueError.
+    """
+    global _TILE_BATCH_CACHE
+    raw = os.environ.get(TILE_BATCH_ENV, "")
+    cached_raw, cached_val = _TILE_BATCH_CACHE
+    if raw == cached_raw:
+        return cached_val
+    env = raw.strip().lower()
+    if not env or env == "auto":
+        value: Optional[int] = None
+    else:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"invalid {TILE_BATCH_ENV}={raw!r}: expected 'auto' or a "
+                "positive integer number of R-tiles per batch"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"invalid {TILE_BATCH_ENV}={raw!r}: expected 'auto' or a "
+                "positive integer number of R-tiles per batch"
+            )
+    _TILE_BATCH_CACHE = (raw, value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -147,6 +187,10 @@ class InputStrategy(ABC):
     #: L[t] and R[j]; register-anchored strategies pay 1).
     reads_per_pair: int = 1
     uses_shared_tile: bool = False
+    #: whether the analytical traffic model can account for bounds-pruned
+    #: tiles through the effective geometry (shuffle tiling cannot: its
+    #: warp-padded loads depend on *which* tiles survive, not how many).
+    supports_pruning: bool = True
 
     def prepare(self, device: Device, data_g: TrackedArray) -> Any:
         """Launch-level setup (e.g. bind the ROC view).  Returns state."""
@@ -319,6 +363,29 @@ class OutputStrategy(ABC):
         """
         self.update(ctx, state, bufs, problem, ids_l, ids_r, values, mask)
 
+    def bulk_update(
+        self,
+        ctx: BlockContext,
+        state: Any,
+        bufs: Dict[str, Any],
+        problem: TwoBodyProblem,
+        ids_l: np.ndarray,
+        ids_r: np.ndarray,
+        value: Any,
+    ) -> None:
+        """Resolve a whole all-active tile whose map value is constant.
+
+        The bounds layer proved every pair of this (L, R) tile maps to the
+        same output cell ``value``; fold ``len(ids_l) * len(ids_r)`` pairs
+        in with one O(1) update (and one ledger charge) instead of
+        evaluating the tile.  Only the kinds the pruner marks bulk ever
+        arrive here, so strategies implement exactly those.
+        """
+        raise NotImplementedError(
+            f"output strategy {self.name!r} cannot bulk-resolve "
+            f"{problem.output.kind.value!r} tiles"
+        )
+
     @abstractmethod
     def block_fini(
         self,
@@ -351,9 +418,15 @@ class OutputStrategy(ABC):
         dims: int,
         problem: TwoBodyProblem,
         part: str = "both",
+        prune: Optional[PruneStats] = None,
     ) -> TrafficProfile:
         """Analytical output-side traffic for the main launch (``part`` as
-        in :meth:`InputStrategy.traffic`)."""
+        in :meth:`InputStrategy.traffic`).
+
+        With ``prune`` the geometry is already *effective* (pruned pairs
+        subtracted); strategies add the O(1) bulk-resolve charges —
+        typically one atomic per bulk tile — on top.
+        """
 
     def extra_seconds(
         self,
@@ -377,17 +450,36 @@ class ComposedKernel:
         block_size: int = 256,
         load_balanced: bool = False,
         name: Optional[str] = None,
+        prune: bool = False,
     ) -> None:
         output_strategy.check(problem)
         if block_size <= 0:
             raise ValueError(f"block size must be positive, got {block_size}")
+        if prune:
+            if problem.pruning is None:
+                raise ValueError(
+                    f"bounds pruning requested but problem {problem.name!r} "
+                    "carries no PruningSpec"
+                )
+            if not input_strategy.supports_pruning:
+                raise ValueError(
+                    f"input strategy {input_strategy.name!r} does not "
+                    "support bounds pruning"
+                )
         self.problem = problem
         self.input = input_strategy
         self.output = output_strategy
         self.block_size = block_size
         self.load_balanced = load_balanced
-        self.name = name or f"{input_strategy.name}{output_strategy.suffix}"
-        self._traffic_cache: Dict[Tuple[int, str], TrafficProfile] = {}
+        self.prune = prune
+        if name is None:
+            name = f"{input_strategy.name}{output_strategy.suffix}"
+            if prune:
+                name += "+prune"
+        self.name = name
+        self._traffic_cache: Dict[
+            Tuple[int, str, Optional[PruneStats]], TrafficProfile
+        ] = {}
 
     # -- properties -----------------------------------------------------------
     @property
@@ -440,10 +532,8 @@ class ComposedKernel:
         if self.problem.output.kind is UpdateKind.EMIT_PAIRS:
             return 1
         if batch_tiles is None:
-            env = os.environ.get(TILE_BATCH_ENV, "").strip().lower()
-            if env and env != "auto":
-                batch_tiles = int(env)
-            else:
+            batch_tiles = _tile_batch_from_env()
+            if batch_tiles is None:
                 per_worker = TILE_BATCH_COLUMNS // max(1, workers)
                 # floor of 2 keeps the dense batched update path engaged
                 # even when many workers split the column budget
@@ -503,6 +593,10 @@ class ComposedKernel:
         in_state = self.input.prepare(device, data_g)
         bufs = self.output.create(device, problem, n, dec.num_blocks, self.block_size)
         full = self.full_rows
+        # classification is a pure function of (data, block size, problem),
+        # so pruned execution stays bit-identical across worker counts,
+        # tile batching, and blocks= stripes
+        pruner = TilePruner(soa, self.block_size, problem) if self.prune else None
 
         def kernel(ctx: BlockContext) -> None:
             b = ctx.block_id
@@ -516,6 +610,22 @@ class ComposedKernel:
                 if full
                 else list(range(b + 1, dec.num_blocks))
             )
+            if pruner is not None:
+                cls = pruner.classify(b)
+                survivors: List[int] = []
+                for i in partner_blocks:
+                    if cls.skip[i]:
+                        continue  # certified zero contribution: no work
+                    if cls.bulk[i]:
+                        # whole tile maps to one output cell: O(1) update,
+                        # never staged or evaluated
+                        self.output.bulk_update(
+                            ctx, out_state, bufs, problem, ids_l,
+                            dec.block_indices(i), cls.value[i],
+                        )
+                    else:
+                        survivors.append(i)
+                partner_blocks = survivors
             if batch <= 1:
                 # legacy tile-at-a-time loop; the all-ones mask is hoisted
                 # and reused across equally-sized tiles instead of being
@@ -620,6 +730,8 @@ class ComposedKernel:
             kernel, self.launch_config(n), name=self.name,
             workers=resolved_workers, blocks=blocks,
         )
+        if pruner is not None:
+            record.prune = pruner.stats(full_rows=full, anchors=blocks)
         result = self.output.finalize(device, bufs, problem, n)
         return result, record
 
@@ -632,29 +744,56 @@ class ComposedKernel:
         trips = cyclic_trips(b) if (self.load_balanced and b % 2 == 0) else triangular_trips(b)
         return warp_loop_cycles(trips).penalty
 
-    def traffic(self, n: int, part: str = "both") -> TrafficProfile:
+    def traffic(
+        self,
+        n: int,
+        part: str = "both",
+        prune: Optional[PruneStats] = None,
+    ) -> TrafficProfile:
         """Analytical traffic profile.
 
         ``part="both"`` covers the whole launch (what the consistency
         tests compare against functional counters); ``part="intra"``
         isolates the intra-block pass (Fig. 7's measured slice).
+
+        ``prune`` is the launch's measured (or planner-predicted)
+        :class:`~repro.core.bounds.PruneStats`; strategy traffic is then
+        evaluated on the *effective* geometry — pruned pairs and tile
+        loads subtracted — plus the O(1) bulk-resolve charges, keeping
+        the profile equal to the pruned launch's functional counters.
+        The intra slice never prunes (the diagonal's lower bound is 0).
         """
         if part not in ("both", "intra"):
             raise ValueError(f"part must be 'both' or 'intra', got {part!r}")
-        cached = self._traffic_cache.get((n, part))
+        if part == "intra":
+            prune = None  # pruning never touches the intra-block pass
+        if prune is not None and not self.input.supports_pruning:
+            raise ValueError(
+                f"input strategy {self.input.name!r} has no pruned-traffic "
+                "model"
+            )
+        key = (n, part, prune)
+        cached = self._traffic_cache.get(key)
         if cached is not None:
             return cached
         geom = self.geometry(n)
+        if prune is not None:
+            geom = pruned_geometry(geom, prune)
         dims = self.problem.dims
         pairs = geom.pairs if part == "both" else geom.intra_pairs
         profile = TrafficProfile(pairs=pairs, compute=self.problem.compute_cost)
         profile = profile + self.input.traffic(geom, dims, part=part)
-        profile = profile + self.output.traffic(geom, dims, self.problem, part=part)
-        self._traffic_cache[(n, part)] = profile
+        profile = profile + self.output.traffic(
+            geom, dims, self.problem, part=part, prune=prune
+        )
+        self._traffic_cache[key] = profile
         return profile
 
     def pipeline_cycles(
-        self, n: int, calib: Calibration = DEFAULT_CALIBRATION
+        self,
+        n: int,
+        calib: Calibration = DEFAULT_CALIBRATION,
+        prune: Optional[PruneStats] = None,
     ) -> PipelineCycles:
         """Total per-lane issue cycles, divergence included.
 
@@ -662,7 +801,7 @@ class ComposedKernel:
         intra-block pass (idle lanes still occupy compute and memory issue
         slots), so the penalty scales every pipeline of the intra slice.
         """
-        full = cycles_from_traffic(self.traffic(n), calib)
+        full = cycles_from_traffic(self.traffic(n, prune=prune), calib)
         penalty = self.intra_issue_scale()
         if penalty > 1.0:
             intra = cycles_from_traffic(self.traffic(n, part="intra"), calib)
@@ -674,11 +813,17 @@ class ComposedKernel:
         n: int,
         spec: DeviceSpec = TITAN_X,
         calib: Calibration = DEFAULT_CALIBRATION,
+        prune: Optional[PruneStats] = None,
     ) -> SimReport:
-        """Predicted performance at paper scale (no functional execution)."""
+        """Predicted performance at paper scale (no functional execution).
+
+        ``prune`` folds a pruning outcome (measured on a launch or
+        predicted by :func:`~repro.core.bounds.prune_stats`) into the
+        traffic and timing model.
+        """
         geom = self.geometry(n)
-        profile = self.traffic(n)
-        cycles = self.pipeline_cycles(n, calib)
+        profile = self.traffic(n, prune=prune)
+        cycles = self.pipeline_cycles(n, calib, prune=prune)
         occ = self.occupancy(spec)
         extra = self.output.extra_seconds(geom, self.problem, spec, calib)
         timing = simulate_time(
@@ -700,6 +845,9 @@ class ComposedKernel:
             },
         )
         report.extras["shared_bytes_per_block"] = float(self.shared_bytes_per_block())
+        if prune is not None:
+            report.extras["pairs_pruned"] = float(prune.pairs_pruned)
+            report.extras["tiles_pruned"] = float(prune.tiles_pruned)
         return report
 
     def simulate_intra(

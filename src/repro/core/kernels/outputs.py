@@ -287,6 +287,14 @@ class RegisterOutput(OutputStrategy):
         weights = np.asarray(problem.output.map_fn(values), dtype=np.float64)
         state["acc"] += weights.sum(axis=1)
 
+    def bulk_update(self, ctx, state, bufs, problem, ids_l, ids_r, value):
+        # only SCALAR_SUM tiles are ever bulk-resolved here: each lane's
+        # constant row sum folds into its register accumulator for free
+        if problem.output.kind is not UpdateKind.SCALAR_SUM:
+            super().bulk_update(ctx, state, bufs, problem, ids_l, ids_r, value)
+            return
+        state["acc"] += float(value) * ids_r.size
+
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         if problem.output.kind is UpdateKind.TOPK:
             order = np.argsort(state["d"], axis=1, kind="stable")
@@ -310,9 +318,10 @@ class RegisterOutput(OutputStrategy):
             return 2 * problem.output.k + 2
         return 3
 
-    def traffic(self, geom, dims, problem, part="both") -> TrafficProfile:
+    def traffic(self, geom, dims, problem, part="both", prune=None) -> TrafficProfile:
         if part == "intra":
             return TrafficProfile()  # register updates cost nothing extra
+        # bulk resolves land in registers too: nothing extra to charge
         kind = problem.output.kind
         writes = 2 * problem.output.k * geom.n if kind is UpdateKind.TOPK else geom.n
         return TrafficProfile(global_stream_writes=writes)
@@ -387,6 +396,26 @@ class GlobalAtomicOutput(OutputStrategy):
         if issues:
             acc.counters.add_conflict_sample(degree_sum / issues, issues)
 
+    def bulk_update(self, ctx, state, bufs, problem, ids_l, ids_r, value):
+        # one folded atomic for the whole tile — single lane, conflict-free
+        npairs = ids_l.size * ids_r.size
+        if problem.output.kind is UpdateKind.HISTOGRAM:
+            atomic_add(
+                bufs["hist"],
+                np.asarray([int(value)], dtype=np.int64),
+                np.asarray([npairs], dtype=np.int64),
+                warp_size=ctx.warp_size,
+                conflict_sample=(1.0, 1),
+            )
+        else:
+            atomic_add(
+                bufs["acc"],
+                np.zeros(1, dtype=np.int64),
+                np.asarray([float(value) * npairs]),
+                warp_size=ctx.warp_size,
+                conflict_sample=(1.0, 1),
+            )
+
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         pass
 
@@ -395,10 +424,13 @@ class GlobalAtomicOutput(OutputStrategy):
             return device.to_host(bufs["hist"])
         return float(device.to_host(bufs["acc"])[0])
 
-    def traffic(self, geom, dims, problem, part="both") -> TrafficProfile:
+    def traffic(self, geom, dims, problem, part="both", prune=None) -> TrafficProfile:
         pairs = geom.pairs if part == "both" else geom.intra_pairs
+        atomics = pairs
+        if prune is not None and part == "both":
+            atomics += prune.tiles_bulk  # one folded add per bulk tile
         return TrafficProfile(
-            global_atomics=pairs,
+            global_atomics=atomics,
             conflict_degree=analytic_conflict_degree(problem),
         )
 
@@ -454,6 +486,18 @@ class PrivatizedSharedOutput(OutputStrategy):
     def update_batch(self, ctx, state, bufs, problem, ids_l, ids_r_tiles, values):
         _histogram_update(ctx, state, problem, values, None, copies=self.copies)
 
+    def bulk_update(self, ctx, state, bufs, problem, ids_l, ids_r, value):
+        # fold the whole tile into copy 0 of the private histogram with
+        # one conflict-free shared atomic; block_fini sums the copies, so
+        # the flushed result is identical whichever copy receives it
+        atomic_add(
+            state,
+            np.asarray([int(value)], dtype=np.int64),
+            np.asarray([ids_l.size * ids_r.size], dtype=np.int64),
+            warp_size=ctx.warp_size,
+            conflict_sample=(1.0, 1),
+        )
+
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         # Algorithm 3 line 15: copy the private output to global scope,
         # folding the block's lane-interleaved copies first
@@ -472,7 +516,7 @@ class PrivatizedSharedOutput(OutputStrategy):
             problem, lanes_per_copy=max(32 // self.copies, 1)
         )
 
-    def traffic(self, geom, dims, problem, part="both") -> TrafficProfile:
+    def traffic(self, geom, dims, problem, part="both", prune=None) -> TrafficProfile:
         if part == "intra":
             return TrafficProfile(
                 shm_atomics=geom.intra_pairs,
@@ -480,9 +524,12 @@ class PrivatizedSharedOutput(OutputStrategy):
             )
         hs = problem.output.bins * self.copies
         m = geom.num_blocks
+        shm_atomics = geom.pairs
+        if prune is not None:
+            shm_atomics += prune.tiles_bulk  # one folded add per bulk tile
         return TrafficProfile(
             shm_writes=hs * m,  # zero-initialization, every block
-            shm_atomics=geom.pairs,
+            shm_atomics=shm_atomics,
             shm_reads=hs * m,  # flush reads
             global_stream_writes=problem.output.bins * m,  # flush writes
             conflict_degree=self._degree(problem),
@@ -559,6 +606,23 @@ class GlobalDirectOutput(OutputStrategy):
                 ctx, state, bufs, problem, ids_l, ids_r_tiles, values
             )
 
+    def bulk_update(self, ctx, state, bufs, problem, ids_l, ids_r, value):
+        # EMIT_PAIRS with a constant-True predicate: reserve nl*nr slots
+        # with one ticket (the per-tile atomic contract holds) and spill
+        # the full cross product without evaluating a single distance
+        if problem.output.kind is not UpdateKind.EMIT_PAIRS:
+            super().bulk_update(ctx, state, bufs, problem, ids_l, ids_r, value)
+            return
+        nm = ids_l.size * ids_r.size
+        atomic_ticket(bufs["ticket"], nm)
+        bufs["emitted"].setdefault(int(ctx.block_id), []).append(
+            np.stack(
+                [np.repeat(ids_l, ids_r.size), np.tile(ids_r, ids_l.size)],
+                axis=1,
+            ).astype(np.int64)
+        )
+        ctx.counters.add_write(MemSpace.GLOBAL, 2 * nm)
+
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         pass
 
@@ -585,7 +649,7 @@ class GlobalDirectOutput(OutputStrategy):
             )
         return pairs
 
-    def traffic(self, geom, dims, problem, part="both") -> TrafficProfile:
+    def traffic(self, geom, dims, problem, part="both", prune=None) -> TrafficProfile:
         pairs = geom.pairs if part == "both" else geom.intra_pairs
         if problem.output.kind is UpdateKind.MATRIX:
             return TrafficProfile(global_stream_writes=2 * pairs)
@@ -598,6 +662,11 @@ class GlobalDirectOutput(OutputStrategy):
         else:
             batches = m * (m - 1) // 2 + m
         matches = problem.output.selectivity * pairs
+        if prune is not None and part == "both":
+            # skipped tiles never issue a ticket; bulk tiles keep their one
+            # ticket and emit every pair (constant-True predicate)
+            batches -= prune.tiles_skipped
+            matches += prune.pairs_bulk
         return TrafficProfile(
             global_atomics=batches,
             global_stream_writes=2 * matches,

@@ -43,6 +43,9 @@ class ShuffleInput(InputStrategy):
     name = "Shuffle"
     reads_per_pair = 1  # one broadcast receive per evaluation
     uses_shared_tile = False
+    # warp-padded loads/broadcasts depend on *which* tiles survive, not how
+    # many — aggregate PruneStats cannot reproduce them analytically
+    supports_pruning = False
 
     def __init__(self, warp_size: int = 32, demonstrate: bool = True) -> None:
         """``demonstrate``: run a real shfl_broadcast round on the first

@@ -13,12 +13,15 @@ with the full ranking so callers can inspect the rationale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..gpusim.calibration import Calibration, DEFAULT_CALIBRATION
 from ..gpusim.errors import GpuSimError, LaunchConfigError, SharedMemoryError
 from ..gpusim.spec import DeviceSpec, TITAN_X
-from .kernels import ComposedKernel, make_kernel
+from .bounds import PruneStats, prune_stats
+from .kernels import ComposedKernel, FULL_ROW_KINDS, make_kernel
 from .problem import OutputClass, TwoBodyProblem, UpdateKind
 
 #: candidate block sizes (warp multiples spanning the practical range; the
@@ -33,11 +36,15 @@ class PlanCandidate:
     kernel: ComposedKernel
     predicted_seconds: float
     note: str = ""
+    #: predicted pruning aggregates when this candidate runs with bounds
+    #: pruning enabled (None for unpruned candidates)
+    prune: Optional[PruneStats] = None
 
     @property
     def label(self) -> str:
+        tag = "+prune" if self.kernel.prune else ""
         return (
-            f"{self.kernel.input.name} x {self.kernel.output.name} "
+            f"{self.kernel.input.name} x {self.kernel.output.name}{tag} "
             f"(B={self.kernel.block_size})"
         )
 
@@ -95,12 +102,29 @@ def plan_kernel(
     block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
     allow_shuffle: bool = True,
     load_balanced: bool = True,
+    points: Optional[np.ndarray] = None,
 ) -> Plan:
     """Pick the predicted-fastest legal composition for ``problem`` at
-    size ``n`` on ``spec``."""
+    size ``n`` on ``spec``.
+
+    With ``points`` (a concrete (n, dims) dataset) and a problem carrying
+    a :class:`~repro.core.problem.PruningSpec`, the planner additionally
+    prices a bounds-pruned variant of every eligible composition — pruning
+    outcomes are data-dependent, so they can only be ranked against a
+    dataset, not against ``n`` alone.
+    """
     inputs = ["naive", "shm-shm", "register-shm", "register-roc"]
     if allow_shuffle and spec.supports_shuffle:
         inputs.append("shuffle")
+    prunable = problem.pruning is not None and points is not None
+    if prunable and np.asarray(points).shape[0] != n:
+        raise ValueError(
+            f"planner points carry {np.asarray(points).shape[0]} rows "
+            f"but n={n}"
+        )
+    #: measured pruning aggregates per block size, shared across candidates
+    stats_by_block: Dict[int, PruneStats] = {}
+    full = problem.output.kind in FULL_ROW_KINDS
     candidates: List[PlanCandidate] = []
     rejected: List[Tuple[str, str]] = []
     for out_name, note in _legal_outputs(problem, spec):
@@ -121,6 +145,36 @@ def plan_kernel(
                     continue
                 candidates.append(
                     PlanCandidate(kernel=kernel, predicted_seconds=report.seconds, note=note)
+                )
+                if not prunable or not kernel.input.supports_pruning:
+                    continue
+                try:
+                    stats = stats_by_block.get(b)
+                    if stats is None:
+                        stats = prune_stats(points, b, problem, full_rows=full)
+                        stats_by_block[b] = stats
+                    kernel_p = make_kernel(
+                        problem,
+                        in_name,
+                        out_name,
+                        block_size=b,
+                        load_balanced=load_balanced and b % 2 == 0,
+                        prune=True,
+                    )
+                    report_p = kernel_p.simulate(
+                        n, spec=spec, calib=calib, prune=stats
+                    )
+                except (SharedMemoryError, LaunchConfigError, GpuSimError, ValueError) as exc:
+                    rejected.append((f"{label} +prune", str(exc)))
+                    continue
+                candidates.append(
+                    PlanCandidate(
+                        kernel=kernel_p,
+                        predicted_seconds=report_p.seconds,
+                        note=f"{note}; bounds-pruned "
+                        f"({stats.prune_fraction:.0%} of tiles)",
+                        prune=stats,
+                    )
                 )
     if not candidates:
         raise GpuSimError(

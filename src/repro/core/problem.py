@@ -81,6 +81,47 @@ class OutputSpec:
 
 
 @dataclass(frozen=True)
+class PruningSpec:
+    """What distance-bound tile pruning may legally do to this problem.
+
+    Attaching a spec asserts two app-level facts the engine cannot derive:
+
+    * ``cutoff`` — every pair at distance strictly greater than ``cutoff``
+      contributes *exactly nothing* to the output (a weight of ``0.0``, a
+      False join predicate), so a tile whose lower distance bound exceeds
+      it can be skipped outright;
+    * ``monotone_map`` — the pair function equals the declared ``metric``
+      and ``map_fn`` is monotone in it, so a tile whose bounds map to the
+      same output cell is constant over the tile and can be bulk-resolved
+      (``nL * nR`` folded into that cell with zero pair evaluations).
+
+    ``metric`` names the distance the bounding-box bounds are derived in;
+    it must match the pair function (or, for KDE-style kernels, the
+    monotone distance underlying it).  See :mod:`repro.core.bounds` for
+    the exactness argument.
+    """
+
+    cutoff: Optional[float] = None
+    monotone_map: bool = False
+    metric: str = "euclidean"
+    note: str = ""
+
+    def validate(self) -> None:
+        if self.metric not in ("euclidean", "manhattan", "chebyshev"):
+            raise ValueError(
+                f"unsupported pruning metric {self.metric!r}"
+            )
+        if self.cutoff is not None and self.cutoff < 0:
+            raise ValueError(
+                f"pruning cutoff must be non-negative, got {self.cutoff}"
+            )
+        if self.cutoff is None and not self.monotone_map:
+            raise ValueError(
+                "PruningSpec needs a cutoff, a monotone map, or both"
+            )
+
+
+@dataclass(frozen=True)
 class TwoBodyProblem:
     """A complete 2-BS instance: data shape, pair function, output."""
 
@@ -93,11 +134,16 @@ class TwoBodyProblem:
     compute_cost: ComputeCost = field(
         default_factory=lambda: ComputeCost(arith=12.0, ctrl=3.0, other=12.0)
     )
+    #: what bounds-based tile pruning may legally do; ``None`` (default)
+    #: means the composed engine never prunes this problem.
+    pruning: Optional[PruningSpec] = None
 
     def __post_init__(self) -> None:
         if self.dims <= 0:
             raise ValueError(f"dims must be positive, got {self.dims}")
         self.output.validate()
+        if self.pruning is not None:
+            self.pruning.validate()
 
     @property
     def output_class(self) -> OutputClass:

@@ -46,12 +46,17 @@ def run(
     batch_tiles: Optional[int] = None,
     faults: Optional[Any] = None,
     retries: Optional[Any] = None,
+    prune: bool = False,
 ) -> RunResult:
     """Execute ``problem`` over ``points`` on the simulated device.
 
     With ``auto_plan`` the planner chooses the composition; otherwise a
     default Register-SHM kernel (or the one supplied) is used.  The
     functional result is exact; the report carries the simulated timing.
+
+    ``prune`` enables bounds-based tile pruning (the problem must carry a
+    :class:`~repro.core.problem.PruningSpec`); with ``auto_plan`` the
+    planner then ranks pruned variants against the concrete dataset.
 
     ``workers`` / ``batch_tiles`` tune the simulator's parallel, batched
     execution engine (see :meth:`ComposedKernel.execute`); defaults follow
@@ -66,9 +71,12 @@ def run(
     n = np.asarray(points).shape[0]
     if kernel is None:
         if auto_plan:
-            kernel = plan_kernel(problem, n, spec=spec, calib=calib).chosen.kernel
+            kernel = plan_kernel(
+                problem, n, spec=spec, calib=calib,
+                points=points if prune else None,
+            ).chosen.kernel
         else:
-            kernel = make_kernel(problem)
+            kernel = make_kernel(problem, prune=prune)
     if faults is not None or retries is not None:
         from .resilience import RetryPolicy, resilient_run
 
@@ -81,7 +89,10 @@ def run(
             problem, points, kernel=kernel, faults=faults, retry=policy,
             spec=spec, workers=workers, batch_tiles=batch_tiles,
         )
-        report = rr.kernel.simulate(n, spec=spec, calib=calib)
+        report = rr.kernel.simulate(
+            n, spec=spec, calib=calib,
+            prune=getattr(rr.records[-1], "prune", None),
+        )
         report.counters = rr.records[-1].counters
         return RunResult(
             result=rr.result, report=report, record=rr.records[-1],
@@ -91,7 +102,7 @@ def run(
     result, record = kernel.execute(
         dev, points, workers=workers, batch_tiles=batch_tiles
     )
-    report = kernel.simulate(n, spec=spec, calib=calib)
+    report = kernel.simulate(n, spec=spec, calib=calib, prune=record.prune)
     # splice the *measured* counters into the report so profiler tables can
     # be driven by the functional run when one happened
     report.counters = record.counters

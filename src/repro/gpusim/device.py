@@ -41,6 +41,9 @@ class LaunchRecord:
     wall_seconds: float  # host-side simulation time, NOT simulated GPU time
     sync_counts: List[int] = field(default_factory=list)
     workers: int = 1  # simulator worker threads used for this launch
+    #: bounds-pruning aggregates (a repro.core.bounds.PruneStats) when the
+    #: kernel ran with tile pruning enabled, else None
+    prune: Optional[Any] = None
 
     @property
     def max_shared_bytes(self) -> int:

@@ -1,0 +1,186 @@
+"""Bound-soundness tests for the tile-pruning layer (core/bounds.py).
+
+The pruning engine's whole correctness story rests on one invariant: for
+every inter-block tile, every *computed* pairwise value lies inside the
+certified ``[dmin, dmax]`` interval.  These tests check that invariant
+directly against brute-force pairwise distances, per metric, on adversarial
+data (clustered, collinear, ragged tails, negative coordinates).
+"""
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core.bounds import (
+    SUPPORTED_METRICS,
+    TilePruner,
+    block_bounds,
+    prune_stats,
+    spatial_sort,
+    tile_distance_bounds,
+)
+from repro.data import gaussian_clusters, uniform_points
+
+
+def _pairwise(pts: np.ndarray, metric: str) -> np.ndarray:
+    diff = np.abs(pts[:, None, :] - pts[None, :, :])
+    if metric == "euclidean":
+        return np.sqrt((diff * diff).sum(axis=2))
+    if metric == "manhattan":
+        return diff.sum(axis=2)
+    return diff.max(axis=2)
+
+
+DATASETS = [
+    uniform_points(300, dims=3, box=10.0, seed=3),
+    gaussian_clusters(400, dims=3, n_clusters=5, box=20.0, spread=0.3, seed=1),
+    # negative coordinates and a degenerate (collinear) dimension
+    np.stack([np.linspace(-50, 50, 257), np.zeros(257), np.zeros(257)], axis=1),
+]
+
+
+class TestBlockBounds:
+    def test_boxes_cover_their_blocks(self):
+        pts = uniform_points(300, dims=3, box=10.0, seed=3)
+        soa = pts.T.copy()
+        lo, hi = block_bounds(soa, 64)
+        assert lo.shape == hi.shape == (3, 5)  # 4 full blocks + tail of 44
+        for b in range(5):
+            chunk = soa[:, b * 64 : (b + 1) * 64]
+            assert np.array_equal(lo[:, b], chunk.min(axis=1))
+            assert np.array_equal(hi[:, b], chunk.max(axis=1))
+
+    def test_ragged_tail_of_one(self):
+        soa = np.arange(9, dtype=np.float64).reshape(1, 9)
+        lo, hi = block_bounds(soa, 4)
+        assert lo.shape == (1, 3)
+        assert lo[0, 2] == hi[0, 2] == 8.0  # tail block = single point
+
+
+class TestTileDistanceBounds:
+    @pytest.mark.parametrize("metric", SUPPORTED_METRICS)
+    @pytest.mark.parametrize("pts", DATASETS, ids=["uniform", "clusters", "line"])
+    @pytest.mark.parametrize("block_size", [64, 100])
+    def test_bounds_contain_all_pair_distances(self, pts, metric, block_size):
+        order = spatial_sort(pts)
+        pts = np.asarray(pts, dtype=np.float64)[order]
+        soa = pts.T.copy()
+        lo, hi = block_bounds(soa, block_size)
+        dist = _pairwise(pts, metric)
+        m = lo.shape[1]
+        for b in range(m):
+            dmin, dmax = tile_distance_bounds(lo, hi, b, metric=metric)
+            sl_b = slice(b * block_size, (b + 1) * block_size)
+            for r in range(m):
+                sl_r = slice(r * block_size, (r + 1) * block_size)
+                tile = dist[sl_b, sl_r]
+                assert tile.min() >= dmin[r] - 1e-12, (b, r)
+                assert tile.max() <= dmax[r] + 1e-12, (b, r)
+
+    def test_diagonal_tile_lower_bound_is_zero(self):
+        pts = DATASETS[1]
+        soa = np.asarray(pts, dtype=np.float64).T.copy()
+        lo, hi = block_bounds(soa, 64)
+        for b in range(lo.shape[1]):
+            dmin, _ = tile_distance_bounds(lo, hi, b)
+            assert dmin[b] == 0.0
+
+    def test_pad_widens_interval(self):
+        soa = np.asarray(DATASETS[0], dtype=np.float64).T.copy()
+        lo, hi = block_bounds(soa, 64)
+        tight_lo, tight_hi = tile_distance_bounds(lo, hi, 0, pad=0.0)
+        wide_lo, wide_hi = tile_distance_bounds(lo, hi, 0, pad=1.0)
+        assert np.all(wide_lo <= tight_lo)
+        assert np.all(wide_hi >= tight_hi)
+        assert np.all(wide_lo >= 0.0)  # padding never goes negative
+
+    def test_unknown_metric_rejected(self):
+        lo = hi = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="unsupported pruning metric"):
+            tile_distance_bounds(lo, hi, 0, metric="cosine")
+
+
+class TestTilePruner:
+    def test_requires_pruning_spec(self):
+        import dataclasses
+
+        problem = dataclasses.replace(
+            apps.sdh.make_problem(16, 10.0), pruning=None
+        )
+        soa = np.zeros((3, 32))
+        with pytest.raises(ValueError, match="no PruningSpec"):
+            TilePruner(soa, 16, problem)
+
+    def test_skip_and_bulk_disjoint_and_off_diagonal(self):
+        pts = gaussian_clusters(
+            600, dims=3, n_clusters=4, box=40.0, spread=0.2, seed=2
+        )
+        pts = pts[spatial_sort(pts)]
+        problem = apps.pcf.make_problem(1.0)
+        pruner = TilePruner(pts.T.copy(), 64, problem)
+        saw_skip = False
+        for b in range(pruner.num_blocks):
+            cls = pruner.classify(b)
+            assert not np.any(cls.skip & cls.bulk)
+            assert not cls.skip[b] and not cls.bulk[b]
+            saw_skip |= bool(cls.skip.any())
+        assert saw_skip  # well-separated clusters must skip far tiles
+
+    def test_stats_match_manual_aggregation(self):
+        pts = gaussian_clusters(
+            500, dims=3, n_clusters=4, box=30.0, spread=0.3, seed=5
+        )
+        pts = pts[spatial_sort(pts)]
+        problem = apps.pcf.make_problem(1.5)
+        pruner = TilePruner(pts.T.copy(), 64, problem)
+        stats = pruner.stats(full_rows=False)
+        m = pruner.num_blocks
+        pairs_s = 0
+        for b in range(m):
+            cls = pruner.classify(b)
+            for r in range(b + 1, m):
+                if cls.skip[r]:
+                    pairs_s += int(pruner.sizes[b] * pruner.sizes[r])
+        assert stats.pairs_skipped == pairs_s
+        assert stats.tiles == m * (m - 1) // 2
+        assert stats.tiles_pruned == stats.tiles_skipped + stats.tiles_bulk
+        assert stats.pairs_pruned == stats.pairs_skipped + stats.pairs_bulk
+        assert 0.0 <= stats.prune_fraction <= 1.0
+
+    def test_anchor_subset_stats_partition(self):
+        """blocks= stripes: stats over disjoint anchor sets sum to the
+        whole-grid stats (the supervisor/multi-GPU merge invariant)."""
+        pts = gaussian_clusters(
+            500, dims=3, n_clusters=4, box=30.0, spread=0.3, seed=5
+        )
+        pts = pts[spatial_sort(pts)]
+        problem = apps.pcf.make_problem(1.5)
+        whole = prune_stats(pts, 64, problem)
+        m = (len(pts) + 63) // 64
+        half = m // 2
+        a = prune_stats(pts, 64, problem, anchors=range(half))
+        b = prune_stats(pts, 64, problem, anchors=range(half, m))
+        assert a.tiles + b.tiles == whole.tiles
+        assert a.pairs_skipped + b.pairs_skipped == whole.pairs_skipped
+        assert a.pairs_bulk + b.pairs_bulk == whole.pairs_bulk
+
+
+class TestSpatialSort:
+    def test_is_a_permutation(self):
+        pts = gaussian_clusters(333, dims=3, n_clusters=7, seed=9)
+        order = spatial_sort(pts)
+        assert sorted(order.tolist()) == list(range(333))
+
+    def test_1d_input(self):
+        vals = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        order = spatial_sort(vals)
+        assert np.array_equal(vals[order], np.sort(vals))
+
+    def test_improves_prunability_on_shuffled_clusters(self):
+        pts = gaussian_clusters(
+            800, dims=3, n_clusters=6, box=60.0, spread=0.25, seed=3
+        )
+        problem = apps.pcf.make_problem(1.0)
+        before = prune_stats(pts, 64, problem)
+        after = prune_stats(pts[spatial_sort(pts)], 64, problem)
+        assert after.tiles_pruned > before.tiles_pruned

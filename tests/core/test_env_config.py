@@ -1,0 +1,70 @@
+"""Tests for the ``REPRO_SIM_TILE_BATCH`` environment override (satellite
+of the pruning PR: the parse moved into a memoized helper and malformed
+values now raise a named error instead of a bare ``int()`` ValueError).
+"""
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core.kernels.base import TILE_BATCH_ENV, _tile_batch_from_env
+from repro.gpusim import Device
+
+
+def _kernel():
+    problem = apps.pcf.make_problem(2.0)
+    return apps.pcf.default_kernel(problem, block_size=64)
+
+
+class TestParseHelper:
+    def test_unset_means_auto(self, monkeypatch):
+        monkeypatch.delenv(TILE_BATCH_ENV, raising=False)
+        assert _tile_batch_from_env() is None
+
+    @pytest.mark.parametrize("raw", ["auto", "AUTO", "  auto  ", ""])
+    def test_auto_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(TILE_BATCH_ENV, raw)
+        assert _tile_batch_from_env() is None
+
+    def test_positive_integer(self, monkeypatch):
+        monkeypatch.setenv(TILE_BATCH_ENV, "7")
+        assert _tile_batch_from_env() == 7
+
+    @pytest.mark.parametrize("raw", ["fast", "3.5", "1e3", "batch=4"])
+    def test_malformed_names_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv(TILE_BATCH_ENV, raw)
+        with pytest.raises(ValueError) as exc:
+            _tile_batch_from_env()
+        msg = str(exc.value)
+        assert TILE_BATCH_ENV in msg and "auto" in msg and raw in msg
+
+    @pytest.mark.parametrize("raw", ["0", "-3"])
+    def test_non_positive_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv(TILE_BATCH_ENV, raw)
+        with pytest.raises(ValueError, match=TILE_BATCH_ENV):
+            _tile_batch_from_env()
+
+    def test_memoization_tracks_changes(self, monkeypatch):
+        """The cache is keyed on the raw string, so monkeypatched changes
+        are picked up immediately — no stale value survives."""
+        monkeypatch.setenv(TILE_BATCH_ENV, "3")
+        assert _tile_batch_from_env() == 3
+        assert _tile_batch_from_env() == 3  # cached hit
+        monkeypatch.setenv(TILE_BATCH_ENV, "5")
+        assert _tile_batch_from_env() == 5
+        monkeypatch.delenv(TILE_BATCH_ENV)
+        assert _tile_batch_from_env() is None
+
+
+class TestEngineUsesEnv:
+    def test_env_batch_matches_explicit(self, monkeypatch, small_points):
+        kernel = _kernel()
+        res_explicit, _ = kernel.execute(Device(), small_points, batch_tiles=3)
+        monkeypatch.setenv(TILE_BATCH_ENV, "3")
+        res_env, _ = kernel.execute(Device(), small_points)
+        assert np.array_equal(res_explicit, res_env)
+
+    def test_malformed_env_fails_at_launch(self, monkeypatch, small_points):
+        monkeypatch.setenv(TILE_BATCH_ENV, "fast")
+        with pytest.raises(ValueError, match=TILE_BATCH_ENV):
+            _kernel().execute(Device(), small_points)

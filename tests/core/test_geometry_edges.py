@@ -1,0 +1,82 @@
+"""Edge-case tests for ``compute_geometry`` against brute-force tile
+enumeration (satellite of the bounds-pruning PR: the pruned effective
+geometry subtracts from these counts, so the base counts must be exact
+in every degenerate shape — block_size > n, n == 1, ragged tails of 1).
+"""
+
+import pytest
+
+from repro.core.kernels.base import block_sizes, compute_geometry
+
+
+def brute_geometry(n: int, block_size: int, full_rows: bool):
+    """Enumerate every (anchor, partner) tile the engine would visit."""
+    sizes = [
+        min(block_size, n - s) for s in range(0, n, block_size)
+    ] or [0]
+    m = len(sizes)
+    inter = intra = tiles = 0
+    for b in range(m):
+        for r in range(m):
+            if r == b:
+                if full_rows:
+                    intra += sizes[b] * (sizes[b] - 1)
+                else:
+                    intra += sizes[b] * (sizes[b] - 1) // 2
+            elif full_rows or r > b:
+                inter += sizes[b] * sizes[r]
+                tiles += sizes[r]
+    return inter, intra, tiles, m
+
+
+CASES = [
+    (1, 64),      # single point: no pairs at all
+    (1, 1),       # single point, single-point blocks
+    (2, 64),      # one tiny block
+    (40, 64),     # block_size > n
+    (64, 64),     # exactly one full block
+    (65, 64),     # ragged tail of exactly 1
+    (129, 64),    # two full blocks + tail of 1
+    (129, 128),
+    (7, 2),       # many blocks, tail of 1
+    (300, 64),    # the suite's standard ragged shape
+    (256, 32),    # aligned, many blocks
+]
+
+
+@pytest.mark.parametrize("n,block_size", CASES)
+@pytest.mark.parametrize("full_rows", [False, True])
+def test_matches_brute_force(n, block_size, full_rows):
+    geom = compute_geometry(n, block_size, full_rows)
+    inter, intra, tiles, m = brute_geometry(n, block_size, full_rows)
+    assert geom.inter_pairs == inter
+    assert geom.intra_pairs == intra
+    assert geom.tile_loads_points == tiles
+    assert geom.num_blocks == m
+    # the two pair populations partition all ordered/unordered pairs
+    total = n * (n - 1) if full_rows else n * (n - 1) // 2
+    assert geom.pairs == total
+
+
+@pytest.mark.parametrize("n,block_size", CASES)
+def test_block_sizes_partition_n(n, block_size):
+    sizes = block_sizes(n, block_size)
+    assert sizes.sum() == n
+    assert (sizes > 0).all()
+    assert (sizes[:-1] == block_size).all()  # only the tail may be ragged
+
+
+def test_single_point_has_no_pairs():
+    for full in (False, True):
+        geom = compute_geometry(1, 64, full)
+        assert geom.pairs == 0
+        assert geom.tile_loads_points == 0
+        assert geom.num_blocks == 1
+
+
+def test_block_larger_than_n_is_one_block():
+    geom = compute_geometry(40, 64, False)
+    assert geom.num_blocks == 1
+    assert geom.inter_pairs == 0
+    assert geom.intra_pairs == 40 * 39 // 2
+    assert geom.tile_loads_points == 0

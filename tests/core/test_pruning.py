@@ -1,0 +1,328 @@
+"""Differential tests for the bounds-pruned tile engine.
+
+The contract under test: enabling ``prune=True`` changes *how much work*
+the engine does — never a single output bit.  Every test compares a pruned
+run against its unpruned twin (same data, same kernel shape) and demands
+exact equality, across engine modes (sequential, batched, parallel
+workers, ``blocks=`` stripes) and across the app surface (SDH, RDF, PCF,
+band join, KDE).  The companion consistency checks pin the analytical
+model: ``traffic(n, prune=record.prune)`` must predict the pruned launch's
+functional counters access-for-access.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core import make_kernel, plan_kernel
+from repro.core.bounds import prune_stats, spatial_sort
+from repro.data import gaussian_clusters, uniform_points
+from repro.gpusim import Device, MemSpace
+
+#: clustered, spatially sorted dataset with many 64-point blocks — tight,
+#: well-separated clusters so both skip (cutoff) and bulk (one-bucket)
+#: tiles actually occur
+N_CLUSTERED = 1600
+BLOCK = 64
+
+
+@pytest.fixture(scope="module")
+def clustered_points():
+    pts = gaussian_clusters(
+        N_CLUSTERED, dims=3, n_clusters=8, box=60.0, spread=0.4, seed=42
+    )
+    return pts[spatial_sort(pts)]
+
+
+def _pair_evals(record) -> int:
+    """Distance evaluations actually performed, from the access counters
+    (register-anchored strategies charge exactly one partner read per
+    evaluation, in ROC or shared memory)."""
+    c = record.counters
+    reads = c.reads[MemSpace.ROC] + c.reads[MemSpace.SHARED]
+    return reads
+
+
+def _run_pair(problem, inp, out, points, block_size=BLOCK, **kw):
+    """Execute the unpruned and pruned twins; returns both results and
+    both launch records."""
+    base = make_kernel(problem, inp, out, block_size=block_size)
+    pruned = make_kernel(problem, inp, out, block_size=block_size, prune=True)
+    dev_b, dev_p = Device(), Device()
+    res_b, rec_b = base.execute(dev_b, points, **kw)
+    res_p, rec_p = pruned.execute(dev_p, points, **kw)
+    return res_b, res_p, rec_b, rec_p
+
+
+class TestBitIdentity:
+    """Pruned output == unpruned output, bit for bit."""
+
+    def test_sdh_histogram(self, clustered_points):
+        problem = apps.sdh.make_problem(32, 8.0)  # most tiles beyond max
+        hist, hist_p, _, rec_p = _run_pair(
+            problem, "register-roc", "privatized-shm", clustered_points
+        )
+        assert np.array_equal(hist, hist_p)
+        assert rec_p.prune is not None and rec_p.prune.tiles_bulk > 0
+
+    def test_sdh_global_atomic_output(self, clustered_points):
+        problem = apps.sdh.make_problem(32, 8.0)
+        hist, hist_p, _, _ = _run_pair(
+            problem, "register-shm", "global-atomic", clustered_points
+        )
+        assert np.array_equal(hist, hist_p)
+
+    def test_rdf_curve(self, clustered_points):
+        r, g, res = apps.rdf.compute(
+            clustered_points, 24, 6.0, box_volume=60.0**3
+        )
+        r_p, g_p, res_p = apps.rdf.compute(
+            clustered_points, 24, 6.0, box_volume=60.0**3, prune=True
+        )
+        assert np.array_equal(r, r_p)
+        assert np.array_equal(g, g_p)
+        assert res_p.record.prune.tiles_pruned > 0
+
+    def test_pcf_count(self, clustered_points):
+        problem = apps.pcf.make_problem(2.0)
+        cnt, cnt_p, _, rec_p = _run_pair(
+            problem, "register-shm", "register", clustered_points
+        )
+        assert cnt == cnt_p
+        # separated clusters: far tiles skip, intra-cluster tiles may bulk
+        assert rec_p.prune.tiles_skipped > 0
+
+    def test_join_pair_set(self, clustered_points):
+        # sorted 1-D keys, small blocks: inter-cluster tiles skip, dense
+        # same-cluster tiles bulk-emit their whole cross product
+        keys = np.sort(clustered_points[:600, 0])
+        problem = apps.join.make_problem(0.5, dims=1)
+        base = apps.join.default_kernel(problem, block_size=BLOCK)
+        pruned = apps.join.default_kernel(problem, block_size=BLOCK, prune=True)
+        pairs, _ = apps.join.band_join(keys, 0.5, kernel=base)
+        pairs_p, res_p = apps.join.band_join(keys, 0.5, kernel=pruned)
+        assert np.array_equal(pairs, pairs_p)
+        assert res_p.record.prune.tiles_skipped > 0
+
+    def test_kde_underflow_skip(self):
+        # tiny bandwidth: the underflow horizon (h * sqrt(1520)) sits well
+        # inside the inter-cluster gaps, so far tiles skip exactly.  The
+        # tile-at-a-time engine is bit-identical (each skipped tile's
+        # contribution is an exact += 0.0); the batched engine regroups
+        # surviving tiles, so it gets the engine's usual re-association
+        # tolerance — same rule the seed applies across engine modes.
+        pts = gaussian_clusters(
+            800, dims=3, n_clusters=4, box=200.0, spread=0.2, seed=7
+        )
+        pts = pts[spatial_sort(pts)]
+        problem = apps.kde.make_problem(0.05, dims=3)
+        base = apps.kde.default_kernel(problem)
+        pruned = apps.kde.default_kernel(problem, prune=True)
+        sums, _ = base.execute(Device(), pts, batch_tiles=1)
+        sums_p, rec_p = pruned.execute(Device(), pts, batch_tiles=1)
+        assert np.array_equal(sums, sums_p)
+        assert rec_p.prune.tiles_skipped > 0 and rec_p.prune.tiles_bulk == 0
+        dens, _ = apps.kde.density(pts, bandwidth=0.05)
+        dens_p, _ = apps.kde.density(pts, bandwidth=0.05, prune=True)
+        np.testing.assert_allclose(dens_p, dens, rtol=1e-12)
+
+    def test_uniform_data_still_identical(self):
+        """No prunable tiles is the degenerate case — still exact."""
+        pts = uniform_points(500, dims=3, box=4.0, seed=0)
+        problem = apps.sdh.make_problem(64, 4.0 * math.sqrt(3.0))
+        hist, hist_p, _, _ = _run_pair(
+            problem, "register-roc", "privatized-shm", pts
+        )
+        assert np.array_equal(hist, hist_p)
+
+
+class TestEngineModes:
+    """Identity must survive every execution engine the kernel offers."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_workers(self, clustered_points, workers):
+        problem = apps.sdh.make_problem(32, 8.0)
+        hist, hist_p, _, _ = _run_pair(
+            problem, "register-roc", "privatized-shm", clustered_points,
+            workers=workers,
+        )
+        assert np.array_equal(hist, hist_p)
+
+    @pytest.mark.parametrize("batch_tiles", [1, 3, 8])
+    def test_tile_batching(self, clustered_points, batch_tiles):
+        problem = apps.pcf.make_problem(2.0)
+        cnt, cnt_p, _, _ = _run_pair(
+            problem, "register-shm", "register", clustered_points,
+            batch_tiles=batch_tiles,
+        )
+        assert cnt == cnt_p
+
+    def test_blocks_stripes_merge(self, clustered_points):
+        """Disjoint blocks= stripes of a pruned run merge to the full
+        result — and each stripe equals its unpruned twin."""
+        problem = apps.sdh.make_problem(32, 8.0)
+        full, full_p, _, _ = _run_pair(
+            problem, "register-roc", "privatized-shm", clustered_points
+        )
+        m = (len(clustered_points) + BLOCK - 1) // BLOCK
+        half = m // 2
+        merged = None
+        for stripe in (range(half), range(half, m)):
+            part, part_p, _, rec_p = _run_pair(
+                problem, "register-roc", "privatized-shm", clustered_points,
+                blocks=list(stripe),
+            )
+            assert np.array_equal(part, part_p)
+            # the record's stats cover exactly this stripe's anchors
+            assert rec_p.prune == prune_stats(
+                clustered_points, BLOCK, problem, anchors=list(stripe)
+            )
+            merged = part_p if merged is None else merged + part_p
+        assert np.array_equal(merged, full)
+        assert np.array_equal(merged, full_p)
+
+    def test_workers_and_batching_combined(self, clustered_points):
+        problem = apps.sdh.make_problem(32, 8.0)
+        hist, hist_p, _, _ = _run_pair(
+            problem, "register-shm", "global-atomic", clustered_points,
+            workers=3, batch_tiles=4,
+        )
+        assert np.array_equal(hist, hist_p)
+
+
+class TestWorkReduction:
+    """Pruning must actually remove work on clustered data."""
+
+    def test_strictly_fewer_pair_evaluations(self, clustered_points):
+        problem = apps.sdh.make_problem(32, 8.0)
+        _, _, rec_b, rec_p = _run_pair(
+            problem, "register-roc", "privatized-shm", clustered_points
+        )
+        assert _pair_evals(rec_p) < _pair_evals(rec_b)
+        stats = rec_p.prune
+        assert stats.pairs_pruned > 0
+        # the counter delta is exactly dims * pruned pair population
+        assert _pair_evals(rec_b) - _pair_evals(rec_p) == 3 * stats.pairs_pruned
+
+    def test_fewer_shared_atomics_when_tiles_bulk(self, clustered_points):
+        problem = apps.sdh.make_problem(32, 8.0)
+        _, _, rec_b, rec_p = _run_pair(
+            problem, "register-roc", "privatized-shm", clustered_points
+        )
+        a_b = rec_b.counters.atomics[MemSpace.SHARED]
+        a_p = rec_p.counters.atomics[MemSpace.SHARED]
+        stats = rec_p.prune
+        # each bulk tile costs one shared atomic instead of nL*nR
+        assert a_b - a_p == stats.pairs_pruned - stats.tiles_bulk
+
+    def test_record_stats_match_pure_prediction(self, clustered_points):
+        """The launch-recorded stats equal what prune_stats() predicts
+        from the data alone (classification is execution-independent)."""
+        problem = apps.pcf.make_problem(2.0)
+        _, _, _, rec_p = _run_pair(
+            problem, "register-shm", "register", clustered_points
+        )
+        assert rec_p.prune == prune_stats(clustered_points, BLOCK, problem)
+
+
+class TestModelConsistency:
+    """traffic(n, prune=stats) predicts pruned functional counters."""
+
+    @pytest.mark.parametrize(
+        "inp,out",
+        [
+            ("register-roc", "privatized-shm"),
+            ("register-shm", "global-atomic"),
+            ("register-shm", "register"),
+        ],
+    )
+    def test_sdh_pcf_counter_agreement(self, clustered_points, inp, out):
+        problem = (
+            apps.sdh.make_problem(32, 8.0)
+            if out != "register"
+            else apps.pcf.make_problem(2.0)
+        )
+        kernel = make_kernel(problem, inp, out, block_size=BLOCK, prune=True)
+        dev = Device()
+        kernel.execute(dev, clustered_points)
+        rec = dev.launches[0]
+        got = rec.counters.as_dict()
+        want = kernel.traffic(
+            len(clustered_points), prune=rec.prune
+        ).expected_counters().as_dict()
+        assert got == want
+
+    def test_simulate_reports_prune_extras(self, clustered_points):
+        problem = apps.sdh.make_problem(32, 8.0)
+        kernel = make_kernel(
+            problem, "register-roc", "privatized-shm",
+            block_size=BLOCK, prune=True,
+        )
+        dev = Device()
+        _, rec = kernel.execute(dev, clustered_points)
+        report = kernel.simulate(len(clustered_points), prune=rec.prune)
+        assert report.extras["pairs_pruned"] == rec.prune.pairs_pruned
+        assert report.extras["tiles_pruned"] == rec.prune.tiles_pruned
+        # pruned prediction must beat the unpruned one
+        base = make_kernel(
+            problem, "register-roc", "privatized-shm", block_size=BLOCK
+        )
+        assert report.seconds < base.simulate(len(clustered_points)).seconds
+
+
+class TestGuards:
+    def test_prune_without_spec_raises(self):
+        import dataclasses
+
+        problem = dataclasses.replace(
+            apps.sdh.make_problem(16, 10.0), pruning=None
+        )
+        with pytest.raises(ValueError, match="no PruningSpec"):
+            make_kernel(problem, "register-roc", "privatized-shm", prune=True)
+
+    def test_prune_on_shuffle_input_raises(self):
+        problem = apps.pcf.make_problem(1.0)
+        with pytest.raises(ValueError, match="does not support"):
+            make_kernel(problem, "shuffle", "register", prune=True)
+
+    def test_traffic_prune_on_shuffle_raises(self):
+        problem = apps.pcf.make_problem(1.0)
+        kernel = make_kernel(problem, "shuffle", "register")
+        stats = prune_stats(
+            uniform_points(200, dims=3, box=5.0, seed=1), 64, problem
+        )
+        with pytest.raises(ValueError, match="pruned-traffic"):
+            kernel.traffic(200, prune=stats)
+
+    def test_pruned_kernel_name_tagged(self):
+        problem = apps.pcf.make_problem(1.0)
+        kernel = make_kernel(problem, "register-shm", "register", prune=True)
+        assert "+prune" in kernel.name
+
+
+class TestPlanner:
+    def test_planner_ranks_pruned_candidates(self, clustered_points):
+        problem = apps.sdh.make_problem(32, 8.0)
+        plan = plan_kernel(
+            problem, len(clustered_points), points=clustered_points
+        )
+        labels = [c.label for c in plan.ranking]
+        assert any("+prune" in lbl for lbl in labels)
+        # clustered data: the winner should be a pruned variant, and its
+        # candidate carries the stats it was priced with
+        best = plan.ranking[0]
+        if best.kernel.prune:
+            assert best.prune is not None and best.prune.tiles_pruned > 0
+
+    def test_planner_without_points_has_no_pruned_candidates(self):
+        problem = apps.sdh.make_problem(32, 8.0)
+        plan = plan_kernel(problem, 1024)
+        assert not any("+prune" in c.label for c in plan.ranking)
+
+    def test_planner_rejects_mismatched_points(self):
+        problem = apps.pcf.make_problem(1.0)
+        pts = uniform_points(100, dims=3, box=5.0, seed=0)
+        with pytest.raises(ValueError, match="100 rows"):
+            plan_kernel(problem, 200, points=pts)
