@@ -1,0 +1,139 @@
+"""Benchmark regression guard: fresh run vs the committed baselines.
+
+Re-runs the engine and pruning benchmark suites and diffs them against
+the committed ``BENCH_engine.json`` / ``BENCH_pruning.json``.  The
+comparison is on *speedup ratios* (batched-vs-sequential, pruned-vs-
+unpruned), not absolute seconds — ratios are a property of the code,
+absolute times are a property of the machine, so the guard is meaningful
+on any CI runner.  A drop of more than ``--tolerance`` (default 20%) on
+any ``(bench, n)`` pair present in both sets exits nonzero.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare.py            # full suites
+    PYTHONPATH=src python benchmarks/compare.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/compare.py --smoke --trace trace.json
+
+``--trace`` additionally exports a Chrome trace of one supervised,
+pruned, parallel run (the observability acceptance configuration) so CI
+can upload it as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import bench_engine  # noqa: E402
+import bench_pruning  # noqa: E402
+
+#: (label, baseline file, fresh-rows thunk, smoke thunk, speedup key)
+SUITES = {
+    "engine": (
+        REPO_ROOT / "BENCH_engine.json",
+        lambda: bench_engine.run_suite(),
+        lambda: bench_engine.run_suite(sizes=(2048,), repeats=2),
+    ),
+    "pruning": (
+        REPO_ROOT / "BENCH_pruning.json",
+        lambda: bench_pruning.run_suite(),
+        # repeats=2: pruned-vs-unpruned ratios at a single size are noisy
+        # enough at repeats=1 to trip the 20% floor on an idle machine
+        lambda: bench_pruning.run_suite(sizes=(2048,), repeats=2),
+    ),
+}
+
+
+def _by_key(rows):
+    return {(r["bench"], r["n"]): r for r in rows}
+
+
+def compare_rows(baseline, fresh, tolerance: float):
+    """Diff two row sets on their (bench, n) intersection.
+
+    Returns ``(lines, regressions)``: human-readable report lines and the
+    list of keys whose fresh speedup fell more than ``tolerance`` below
+    the committed one.
+    """
+    base = _by_key(baseline)
+    new = _by_key(fresh)
+    lines, regressions = [], []
+    for key in sorted(new):
+        if key not in base:
+            lines.append(f"  {key[0]:<16} n={key[1]:<6} (no baseline, skipped)")
+            continue
+        b, f = base[key]["speedup"], new[key]["speedup"]
+        floor = b * (1.0 - tolerance)
+        status = "ok"
+        if f < floor:
+            status = "REGRESSION"
+            regressions.append(key)
+        lines.append(
+            f"  {key[0]:<16} n={key[1]:<6} baseline {b:>6.2f}x  "
+            f"fresh {f:>6.2f}x  floor {floor:>6.2f}x  {status}"
+        )
+    return lines, regressions
+
+
+def export_acceptance_trace(path: str) -> None:
+    """One supervised + pruned + parallel run, exported as a Chrome trace."""
+    import numpy as np
+
+    from repro.apps import sdh as sdh_app
+    from repro.core.runner import run
+    from repro.data import uniform_points
+
+    pts = uniform_points(1024, dims=3, box=10.0, seed=5)
+    problem = sdh_app.make_problem(64, 10.0 * math.sqrt(3), dims=3)
+    kernel = sdh_app.default_kernel(problem, prune=True)
+    res = run(
+        problem, pts, kernel=kernel, workers=4, prune=True,
+        faults=1, retries=3, trace=path,
+    )
+    assert np.all(res.result >= 0)
+    events = len(res.trace.all_spans())
+    print(f"acceptance trace written to {path} ({events} events)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: smallest size, fewest repeats")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional speedup drop (default 0.2)")
+    parser.add_argument("--suite", choices=[*SUITES, "all"], default="all")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="also export the acceptance Chrome trace here")
+    args = parser.parse_args(argv)
+
+    wanted = list(SUITES) if args.suite == "all" else [args.suite]
+    failed = False
+    for name in wanted:
+        baseline_path, full, smoke = SUITES[name]
+        if not baseline_path.exists():
+            print(f"{name}: no committed baseline at {baseline_path}, skipped")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        print(f"{name}: running {'smoke' if args.smoke else 'full'} suite ...")
+        fresh = smoke() if args.smoke else full()
+        lines, regressions = compare_rows(baseline, fresh, args.tolerance)
+        print("\n".join(lines))
+        if regressions:
+            failed = True
+            print(f"{name}: {len(regressions)} regression(s) beyond "
+                  f"{args.tolerance:.0%}: {regressions}")
+        else:
+            print(f"{name}: within {args.tolerance:.0%} of baseline")
+    if args.trace:
+        export_acceptance_trace(args.trace)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,9 @@ Layout
     The 2-BS family: 2-PCF, SDH, RDF, kNN, KDE, joins, Gram matrices, PSS.
 :mod:`repro.data`
     Synthetic dataset generators.
+:mod:`repro.obs`
+    Observability: deterministic execution tracing (Chrome-trace export),
+    the run-wide metrics registry and reproducibility manifests.
 :mod:`repro.bench`
     Harness regenerating every table and figure of the paper's evaluation.
 
@@ -33,8 +36,11 @@ Quickstart
 True
 """
 
-from . import apps, core, cpu_ref, cpusim, data, gpusim
+from . import apps, core, cpu_ref, cpusim, data, gpusim, obs
 
 __version__ = "1.0.0"
 
-__all__ = ["gpusim", "core", "cpusim", "cpu_ref", "apps", "data", "__version__"]
+__all__ = [
+    "gpusim", "core", "cpusim", "cpu_ref", "apps", "data", "obs",
+    "__version__",
+]

@@ -74,12 +74,14 @@ def count_pairs(
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
     prune: bool = False,
+    trace=None,
 ) -> Tuple[int, RunResult]:
-    """Count pairs within ``radius`` on the simulated GPU."""
+    """Count pairs within ``radius`` on the simulated GPU.  ``trace``
+    enables execution tracing (see :func:`repro.core.runner.run`)."""
     pts = np.asarray(points, dtype=np.float64)
     problem = make_problem(radius, dims=pts.shape[1])
     k = kernel or default_kernel(problem, prune=prune)
-    res = run(problem, pts, kernel=k, device=device)
+    res = run(problem, pts, kernel=k, device=device, trace=trace)
     return int(round(res.result)), res
 
 

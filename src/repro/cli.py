@@ -6,6 +6,8 @@ Subcommands:
 * ``plan``     — run the model-driven planner for a problem;
 * ``sdh`` / ``pcf`` — compute a statistic over generated data on the
   simulated device;
+* ``stats``    — run a problem and print the full metrics registry (the
+  paper-style utilization table plus every counter/gauge);
 * ``figures``  — regenerate the paper's figures/tables (see also
   ``examples/reproduce_paper.py``);
 * ``devices``  — list the built-in GPU presets.
@@ -26,7 +28,7 @@ from .apps import sdh as sdh_app
 from .core import make_kernel, plan_kernel, run
 from .core.kernels import INPUT_STRATEGIES, OUTPUT_STRATEGIES
 from .data import uniform_points
-from .gpusim import PRESETS, get_device_spec
+from .gpusim import PRESETS, get_device_spec, utilization_table
 
 
 def _problem(args):
@@ -62,6 +64,28 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def _report_run(args, res) -> None:
+    """Shared post-run report: pruning, fault injection and trace export,
+    driven by the run's metrics registry (the same numbers the trace and
+    ``stats`` views aggregate)."""
+    m = res.metrics
+    tiles = m.counter_value("prune.tiles")
+    if tiles:
+        pruned = (m.counter_value("prune.tiles_skipped")
+                  + m.counter_value("prune.tiles_bulk"))
+        pairs = (m.counter_value("prune.pairs_skipped")
+                 + m.counter_value("prune.pairs_bulk"))
+        print(f"pruned {pruned}/{tiles} tiles "
+              f"({pairs:,} pair evaluations avoided)")
+    if res.resilience is not None:
+        print(f"-- fault injection (seed {args.faults}) --")
+        print(res.resilience.summary())
+    if args.trace and res.trace is not None:
+        events = len(res.trace.all_spans())
+        print(f"trace written to {args.trace} ({events} events; load in "
+              "Perfetto or chrome://tracing)")
+
+
 def cmd_sdh(args) -> int:
     pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
     if args.faults is not None:
@@ -73,22 +97,18 @@ def cmd_sdh(args) -> int:
         res = run(problem,
                   pts,
                   kernel=sdh_app.default_kernel(problem, prune=args.prune),
-                  faults=args.faults, retries=args.retries, workers=2)
+                  faults=args.faults, retries=args.retries, workers=2,
+                  trace=args.trace)
         hist = res.result
     else:
-        hist, res = sdh_app.compute(pts, bins=args.bins, prune=args.prune)
+        hist, res = sdh_app.compute(pts, bins=args.bins, prune=args.prune,
+                                    trace=args.trace)
     print(f"SDH of {args.n} uniform points, {args.bins} buckets "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
     peak = int(np.argmax(hist))
     print(f"total pairs {hist.sum():,}; busiest bucket {peak} "
           f"({hist[peak]:,} pairs)")
-    stats = getattr(res.record, "prune", None)
-    if stats is not None:
-        print(f"pruned {stats.tiles_pruned}/{stats.tiles} tiles "
-              f"({stats.pairs_pruned:,} pair evaluations avoided)")
-    if res.resilience is not None:
-        print(f"-- fault injection (seed {args.faults}) --")
-        print(res.resilience.summary())
+    _report_run(args, res)
     return 0
 
 
@@ -97,21 +117,43 @@ def cmd_pcf(args) -> int:
     if args.faults is not None:
         problem = pcf_app.make_problem(args.radius)
         res = run(problem, pts, kernel=make_kernel(problem, prune=args.prune),
-                  faults=args.faults, retries=args.retries, workers=2)
+                  faults=args.faults, retries=args.retries, workers=2,
+                  trace=args.trace)
         count = int(round(res.result))
     else:
-        count, res = pcf_app.count_pairs(pts, args.radius, prune=args.prune)
+        count, res = pcf_app.count_pairs(pts, args.radius, prune=args.prune,
+                                         trace=args.trace)
     total = args.n * (args.n - 1) // 2
     print(f"2-PCF of {args.n} uniform points at r={args.radius:g} "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
     print(f"pairs within radius: {count:,} of {total:,} ({count / total:.3%})")
-    stats = getattr(res.record, "prune", None)
-    if stats is not None:
-        print(f"pruned {stats.tiles_pruned}/{stats.tiles} tiles "
-              f"({stats.pairs_pruned:,} pair evaluations avoided)")
-    if res.resilience is not None:
-        print(f"-- fault injection (seed {args.faults}) --")
-        print(res.resilience.summary())
+    _report_run(args, res)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
+    if args.problem == "sdh":
+        maxd = args.box * math.sqrt(3)
+        problem = sdh_app.make_problem(args.bins, maxd, box=args.box, dims=3)
+        kernel = sdh_app.default_kernel(problem, prune=args.prune)
+    else:
+        problem = pcf_app.make_problem(args.radius)
+        kernel = pcf_app.default_kernel(problem, prune=args.prune)
+    spec = get_device_spec(args.device)
+    # retries only matter under fault injection; passing them alone would
+    # route a fault-free run through the supervisor
+    extra = {}
+    if args.faults is not None:
+        extra = {"faults": args.faults, "retries": args.retries}
+    res = run(problem, pts, kernel=kernel, spec=spec, workers=args.workers,
+              prune=args.prune, trace=args.trace, **extra)
+    # the utilization table and the registry dump below are two views of
+    # the same MetricsRegistry the trace was built from
+    print(utilization_table([res.metrics.sim_report()]))
+    print()
+    print(res.metrics.render())
+    _report_run(args, res)
     return 0
 
 
@@ -146,6 +188,15 @@ def cmd_devices(args) -> int:
               f"{spec.shared_mem_per_sm // 1024} KB shm/SM, "
               f"shuffle={'yes' if spec.supports_shuffle else 'no'}")
     return 0
+
+
+def _add_trace_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome-trace JSON of the run to PATH (open in "
+             "Perfetto or chrome://tracing); timestamps come from "
+             "simulated kernel time, so the file is reproducible",
+    )
 
 
 def _add_fault_args(p: argparse.ArgumentParser) -> None:
@@ -194,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prune", action="store_true",
                    help="enable bounds-based tile pruning")
     _add_fault_args(p)
+    _add_trace_arg(p)
     p.set_defaults(fn=cmd_sdh)
 
     p = sub.add_parser("pcf", help="compute a 2-PCF on generated data")
@@ -204,7 +256,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prune", action="store_true",
                    help="enable bounds-based tile pruning")
     _add_fault_args(p)
+    _add_trace_arg(p)
     p.set_defaults(fn=cmd_pcf)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a problem and print its full metrics registry",
+        description="Execute a problem on the simulated device and print "
+                    "the paper-style utilization table plus every counter, "
+                    "gauge and histogram the run produced — the same "
+                    "registry a --trace export is built from.",
+    )
+    p.add_argument("--problem", choices=["sdh", "pcf"], default="sdh")
+    p.add_argument("-n", type=int, default=4096)
+    p.add_argument("--bins", type=int, default=256, help="SDH buckets")
+    p.add_argument("--radius", type=float, default=1.0, help="2-PCF radius")
+    p.add_argument("--box", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--device", choices=sorted(PRESETS), default="titan-x")
+    p.add_argument("--workers", type=int, default=None,
+                   help="simulator worker threads (default: env/serial)")
+    p.add_argument("--prune", action="store_true",
+                   help="enable bounds-based tile pruning")
+    _add_fault_args(p)
+    _add_trace_arg(p)
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("figures", help="regenerate paper figures/tables")
     p.add_argument("which", nargs="*", help="fig2 fig4 fig5 fig7 fig9 "

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER
 from .problem import TwoBodyProblem, UpdateKind, as_soa
 from .tiling import BlockDecomposition
 
@@ -169,7 +170,11 @@ class TilePruner:
     """
 
     def __init__(
-        self, soa: np.ndarray, block_size: int, problem: TwoBodyProblem
+        self,
+        soa: np.ndarray,
+        block_size: int,
+        problem: TwoBodyProblem,
+        tracer=None,
     ) -> None:
         spec = problem.pruning
         if spec is None:
@@ -178,6 +183,10 @@ class TilePruner:
             )
         self.problem = problem
         self.spec = spec
+        #: execution tracer; first-time classifications land as
+        #: ``prune-classify`` instants (the oracle's view, distinct from
+        #: the engine's per-anchor ``prune`` decision events).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.block_size = block_size
         self.sizes = np.diff(
             np.append(
@@ -232,6 +241,15 @@ class TilePruner:
         bulk[b] = False
         result = TileClasses(skip=skip, bulk=bulk, value=value)
         self._cache[b] = result
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "prune-classify", cat="prune",
+                args={
+                    "block": int(b),
+                    "skip": int(skip.sum()),
+                    "bulk": int(bulk.sum()),
+                },
+            )
         return result
 
     def stats(

@@ -48,6 +48,7 @@ from ...gpusim.timing import (
     cycles_from_traffic,
     simulate_time,
 )
+from ...obs.tracer import NULL_TRACER, US_PER_PAIR
 from ..analytical import pruned_geometry
 from ..bounds import PruneStats, TilePruner
 from ..problem import OutputSpec, TwoBodyProblem, UpdateKind, as_soa
@@ -593,10 +594,19 @@ class ComposedKernel:
         in_state = self.input.prepare(device, data_g)
         bufs = self.output.create(device, problem, n, dec.num_blocks, self.block_size)
         full = self.full_rows
+        tr = getattr(device, "tracer", NULL_TRACER)
+        trace_on = tr.enabled
         # classification is a pure function of (data, block size, problem),
         # so pruned execution stays bit-identical across worker counts,
         # tile batching, and blocks= stripes
-        pruner = TilePruner(soa, self.block_size, problem) if self.prune else None
+        pruner = (
+            TilePruner(soa, self.block_size, problem, tracer=tr)
+            if self.prune
+            else None
+        )
+        # per-block point counts, used only to price tile spans in
+        # simulated time when tracing is live
+        bsizes = block_sizes(n, self.block_size) if trace_on else None
 
         def kernel(ctx: BlockContext) -> None:
             b = ctx.block_id
@@ -613,117 +623,177 @@ class ComposedKernel:
             if pruner is not None:
                 cls = pruner.classify(b)
                 survivors: List[int] = []
+                n_skip = n_bulk = 0
                 for i in partner_blocks:
                     if cls.skip[i]:
+                        n_skip += 1
                         continue  # certified zero contribution: no work
                     if cls.bulk[i]:
                         # whole tile maps to one output cell: O(1) update,
                         # never staged or evaluated
+                        n_bulk += 1
                         self.output.bulk_update(
                             ctx, out_state, bufs, problem, ids_l,
                             dec.block_indices(i), cls.value[i],
                         )
                     else:
                         survivors.append(i)
+                if trace_on:
+                    tr.instant(
+                        "prune", cat="prune",
+                        args={
+                            "block": int(b), "skipped": n_skip,
+                            "bulk": n_bulk, "evaluate": len(survivors),
+                        },
+                    )
                 partner_blocks = survivors
+
+            # NOTE on structure: the tile/batch/intra bodies stay INLINE in
+            # this frame rather than factored into helpers.  Their ~1 MB
+            # value matrices then live until the next loop iteration
+            # rebinds them, so the allocator hands back the same hot pages
+            # each time; a helper function would free them at every return
+            # and large-block reuse (and its warm pages) would be lost —
+            # measured at ~15% wall time on the batched engine.  Tracing
+            # wraps each body in a span that is the shared no-op context
+            # when disabled, keeping the hot path allocation-free.
             if batch <= 1:
                 # legacy tile-at-a-time loop; the all-ones mask is hoisted
                 # and reused across equally-sized tiles instead of being
                 # re-allocated per tile
                 ones_mask: Optional[np.ndarray] = None
                 for i in partner_blocks:
-                    ids_r = dec.block_indices(i)
-                    vals_r = self.input.load_tile(
-                        ctx, data_g, in_state, block_state, ids_r, nl
-                    )
-                    values = problem.pair_fn(reg_l, vals_r)
-                    self.input.charge_pair_reads(
-                        ctx, nl, ids_r.size, nl * ids_r.size, dims
-                    )
-                    if ones_mask is None or ones_mask.shape != (nl, ids_r.size):
-                        ones_mask = np.ones((nl, ids_r.size), dtype=bool)
-                    self.output.update(
-                        ctx, out_state, bufs, problem, ids_l, ids_r, values,
-                        ones_mask,
-                    )
+                    if trace_on:
+                        pairs = nl * int(bsizes[i])
+                        span = tr.span(
+                            "tile", cat="engine", key=i,
+                            cost_us=pairs * US_PER_PAIR,
+                            args={
+                                "block": int(b), "partner": int(i),
+                                "pairs": pairs,
+                            },
+                        )
+                    else:
+                        span = tr.span("tile")
+                    with span:
+                        ids_r = dec.block_indices(i)
+                        vals_r = self.input.load_tile(
+                            ctx, data_g, in_state, block_state, ids_r, nl
+                        )
+                        values = problem.pair_fn(reg_l, vals_r)
+                        self.input.charge_pair_reads(
+                            ctx, nl, ids_r.size, nl * ids_r.size, dims
+                        )
+                        if ones_mask is None or ones_mask.shape != (nl, ids_r.size):
+                            ones_mask = np.ones((nl, ids_r.size), dtype=bool)
+                        self.output.update(
+                            ctx, out_state, bufs, problem, ids_l, ids_r, values,
+                            ones_mask,
+                        )
             else:
                 # batched tile path: stage `batch` R-tiles (charging their
                 # staging traffic per tile, as the hardware would), then
                 # evaluate pair_fn once over the stacked columns and fold
                 # the whole batch into the output with one aggregated call
                 for start in range(0, len(partner_blocks), batch):
-                    ids_r_tiles: List[np.ndarray] = []
-                    val_tiles: List[np.ndarray] = []
-                    for i in partner_blocks[start : start + batch]:
-                        ids_r = dec.block_indices(i)
-                        vals_r = self.input.load_tile(
-                            ctx, data_g, in_state, block_state, ids_r, nl
-                        )
-                        self.input.charge_pair_reads(
-                            ctx, nl, ids_r.size, nl * ids_r.size, dims
-                        )
-                        ids_r_tiles.append(ids_r)
-                        val_tiles.append(vals_r)
-                    if not ids_r_tiles:
-                        continue
-                    stacked = (
-                        val_tiles[0]
-                        if len(val_tiles) == 1
-                        else np.concatenate(val_tiles, axis=1)
-                    )
-                    values = problem.pair_fn(reg_l, stacked)
-                    if len(ids_r_tiles) == 1:
-                        self.output.update(
-                            ctx, out_state, bufs, problem, ids_l,
-                            ids_r_tiles[0], values, None,
+                    chunk = partner_blocks[start : start + batch]
+                    if trace_on:
+                        pairs = nl * int(bsizes[chunk].sum())
+                        span = tr.span(
+                            "tile-batch", cat="engine", key=start,
+                            cost_us=pairs * US_PER_PAIR,
+                            args={
+                                "block": int(b), "tiles": len(chunk),
+                                "pairs": pairs,
+                            },
                         )
                     else:
-                        self.output.update_batch(
-                            ctx, out_state, bufs, problem, ids_l,
-                            ids_r_tiles, values,
+                        span = tr.span("tile-batch")
+                    with span:
+                        ids_r_tiles: List[np.ndarray] = []
+                        val_tiles: List[np.ndarray] = []
+                        for i in chunk:
+                            ids_r = dec.block_indices(i)
+                            vals_r = self.input.load_tile(
+                                ctx, data_g, in_state, block_state, ids_r, nl
+                            )
+                            self.input.charge_pair_reads(
+                                ctx, nl, ids_r.size, nl * ids_r.size, dims
+                            )
+                            ids_r_tiles.append(ids_r)
+                            val_tiles.append(vals_r)
+                        if not ids_r_tiles:
+                            continue
+                        stacked = (
+                            val_tiles[0]
+                            if len(val_tiles) == 1
+                            else np.concatenate(val_tiles, axis=1)
                         )
+                        values = problem.pair_fn(reg_l, stacked)
+                        if len(ids_r_tiles) == 1:
+                            self.output.update(
+                                ctx, out_state, bufs, problem, ids_l,
+                                ids_r_tiles[0], values, None,
+                            )
+                        else:
+                            self.output.update_batch(
+                                ctx, out_state, bufs, problem, ids_l,
+                                ids_r_tiles, values,
+                            )
             # intra-block pass (skipped entirely for single-point blocks,
             # matching the analytical model's zero-intra accounting)
             n_intra = nl * (nl - 1) if full else nl * (nl - 1) // 2
             if n_intra == 0:
                 self.output.block_fini(ctx, out_state, bufs, problem, ids_l, b)
                 return
-            vals_l = self.input.load_intra(ctx, data_g, in_state, block_state, ids_l)
-            values = problem.pair_fn(reg_l, vals_l)
-            self.input.charge_pair_reads(ctx, nl, nl, n_intra, dims)
-            # the batched engine routes the dense intra-block masks through
-            # update_dense (same results and charges, vectorized profiling);
-            # the cyclic schedule keeps plain update() — its per-iteration
-            # masks are sparse, where the gather path is already cheapest
-            intra_update = (
-                self.output.update_dense if batch > 1 else self.output.update
-            )
-            if full:
-                intra_update(
-                    ctx, out_state, bufs, problem, ids_l, ids_l, values,
-                    _offdiag_mask(nl),
+            if trace_on:
+                span = tr.span(
+                    "intra", cat="engine", key=dec.num_blocks,
+                    cost_us=n_intra * US_PER_PAIR,
+                    args={"block": int(b), "pairs": int(n_intra)},
                 )
-            elif self.load_balanced and nl == self.block_size and nl % 2 == 0:
-                # cyclic schedule: one update() per iteration, matching the
-                # hardware's warp-synchronous issue pattern (Fig. 6 right);
-                # one mask buffer is reused across iterations (set the
-                # active pairs, update, clear them again)
-                mask_buf = np.zeros((nl, nl), dtype=bool)
-                for partners in cyclic_schedule(nl):
-                    active = partners >= 0
-                    rows = np.nonzero(active)[0]
-                    cols = partners[active]
-                    mask_buf[rows, cols] = True
-                    self.output.update(
-                        ctx, out_state, bufs, problem, ids_l, ids_l, values,
-                        mask_buf,
-                    )
-                    mask_buf[rows, cols] = False
             else:
-                intra_update(
-                    ctx, out_state, bufs, problem, ids_l, ids_l, values,
-                    triangular_pair_mask(nl),
+                span = tr.span("intra")
+            with span:
+                vals_l = self.input.load_intra(
+                    ctx, data_g, in_state, block_state, ids_l
                 )
+                values = problem.pair_fn(reg_l, vals_l)
+                self.input.charge_pair_reads(ctx, nl, nl, n_intra, dims)
+                # the batched engine routes the dense intra-block masks
+                # through update_dense (same results and charges, vectorized
+                # profiling); the cyclic schedule keeps plain update() — its
+                # per-iteration masks are sparse, where the gather path is
+                # already cheapest
+                intra_update = (
+                    self.output.update_dense if batch > 1 else self.output.update
+                )
+                if full:
+                    intra_update(
+                        ctx, out_state, bufs, problem, ids_l, ids_l, values,
+                        _offdiag_mask(nl),
+                    )
+                elif self.load_balanced and nl == self.block_size and nl % 2 == 0:
+                    # cyclic schedule: one update() per iteration, matching
+                    # the hardware's warp-synchronous issue pattern (Fig. 6
+                    # right); one mask buffer is reused across iterations
+                    # (set the active pairs, update, clear them again)
+                    mask_buf = np.zeros((nl, nl), dtype=bool)
+                    for partners in cyclic_schedule(nl):
+                        active = partners >= 0
+                        rows = np.nonzero(active)[0]
+                        cols = partners[active]
+                        mask_buf[rows, cols] = True
+                        self.output.update(
+                            ctx, out_state, bufs, problem, ids_l, ids_l,
+                            values, mask_buf,
+                        )
+                        mask_buf[rows, cols] = False
+                else:
+                    intra_update(
+                        ctx, out_state, bufs, problem, ids_l, ids_l, values,
+                        triangular_pair_mask(nl),
+                    )
             self.output.block_fini(ctx, out_state, bufs, problem, ids_l, b)
 
         record = device.launch(

@@ -33,6 +33,7 @@ from ...gpusim.errors import OutputCorruptionError
 from ...gpusim.grid import BlockContext
 from ...gpusim.spec import DeviceSpec
 from ...gpusim.timing import TrafficProfile, reduction_stage_seconds
+from ...obs.tracer import NULL_TRACER, PHASE_MERGE
 from ..problem import OutputSpec, TwoBodyProblem, UpdateKind
 from .base import OutputStrategy, PairGeometry
 from .reduction import reduce_private_copies
@@ -505,7 +506,21 @@ class PrivatizedSharedOutput(OutputStrategy):
         bufs["private"].st((block_id, slice(None)), vals)
 
     def finalize(self, device, bufs, problem, n):
-        reduce_private_copies(device, bufs["private"], bufs["final"])
+        tr = getattr(device, "tracer", NULL_TRACER)
+        if tr.enabled:
+            # the tree-reduction launches recorded inside nest under this
+            # span, so the trace shows the output stage as one unit
+            ctx = tr.span(
+                "reduce-output", cat="engine", phase=PHASE_MERGE,
+                args={
+                    "bins": problem.output.bins,
+                    "copies": int(bufs["private"].shape[0]),
+                },
+            )
+        else:
+            ctx = tr.span("reduce-output")
+        with ctx:
+            reduce_private_copies(device, bufs["private"], bufs["final"])
         return device.to_host(bufs["final"])
 
     def shared_out_bytes(self, problem, block_size) -> int:
@@ -629,6 +644,18 @@ class GlobalDirectOutput(OutputStrategy):
     def finalize(self, device, bufs, problem, n):
         if problem.output.kind is UpdateKind.MATRIX:
             return device.to_host(bufs["matrix"])
+        tr = getattr(device, "tracer", NULL_TRACER)
+        if tr.enabled:
+            ctx = tr.span(
+                "finalize-pairs", cat="engine", phase=PHASE_MERGE,
+                args={"blocks": len(bufs["emitted"])},
+            )
+        else:
+            ctx = tr.span("finalize-pairs")
+        with ctx:
+            return self._finalize_pairs(device, bufs)
+
+    def _finalize_pairs(self, device, bufs):
         chunks = [
             arr for bid in sorted(bufs["emitted"]) for arr in bufs["emitted"][bid]
         ]

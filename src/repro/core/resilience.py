@@ -53,6 +53,7 @@ from ..gpusim.errors import (
 from ..gpusim.faults import FaultInjector, as_injector
 from ..gpusim.parallel import CrashRecovery
 from ..gpusim.spec import DeviceSpec, TITAN_X
+from ..obs.tracer import NULL_TRACER
 from .kernels import ComposedKernel, make_kernel
 from .kernels.base import block_sizes
 from .multigpu import ShardPlan, _combine, plan_shards
@@ -110,9 +111,16 @@ class ResilienceReport:
     """Flight recorder for one supervised run: every injected fault (from
     the shared injector) plus every recovery action, in firing order."""
 
-    def __init__(self, injector: Optional[FaultInjector] = None) -> None:
+    def __init__(
+        self,
+        injector: Optional[FaultInjector] = None,
+        tracer=None,
+    ) -> None:
         self.injector = injector
         self.events: List[ResilienceEvent] = []
+        #: execution tracer; recovery actions land as ``recovery:<action>``
+        #: instant events at the trace position where they were taken.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def faults(self):
@@ -129,6 +137,11 @@ class ResilienceReport:
             ResilienceEvent(action=action, device=device, detail=detail,
                             data=data)
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "recovery:" + action, cat="resilience",
+                args={"device": device, "detail": detail, **data},
+            )
 
     def actions(self) -> List[str]:
         return [e.action for e in self.events]
@@ -287,6 +300,7 @@ def _supervised_execute(
     batch_tiles: Optional[int],
     expected_pairs: Optional[int],
     n: int,
+    tracer=None,
 ) -> Tuple[Any, LaunchRecord, ComposedKernel]:
     """Execute one stripe (or the whole grid) under supervision.
 
@@ -320,6 +334,7 @@ def _supervised_execute(
             crash_recovery=CrashRecovery(
                 max_retries=policy.max_retries, on_recover=note_recovery
             ),
+            tracer=tracer,
         )
         try:
             result, record = current.execute(
@@ -389,6 +404,7 @@ def resilient_run(
     spec: DeviceSpec = TITAN_X,
     workers: Optional[int] = None,
     batch_tiles: Optional[int] = None,
+    tracer=None,
 ) -> ResilientResult:
     """Run ``problem`` under the resilience supervisor.
 
@@ -412,7 +428,10 @@ def resilient_run(
     k = kernel if kernel is not None else make_kernel(problem)
     injector = as_injector(faults, num_devices=num_devices)
     policy = retry if retry is not None else RetryPolicy()
-    report = ResilienceReport(injector)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if injector is not None and tracer.enabled:
+        injector.tracer = tracer
+    report = ResilienceReport(injector, tracer=tracer)
     seed = injector.plan.seed if injector is not None else 0
     # jitter stream decoupled from the injector's corruption stream
     rng = np.random.default_rng(seed + 0x5EED)
@@ -420,7 +439,7 @@ def resilient_run(
     m = k.geometry(n).num_blocks
     common = dict(
         injector=injector, policy=policy, report=report, rng=rng, spec=spec,
-        workers=workers, batch_tiles=batch_tiles, n=n,
+        workers=workers, batch_tiles=batch_tiles, n=n, tracer=tracer,
     )
 
     if num_devices <= 1 or m < 2:

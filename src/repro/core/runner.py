@@ -11,6 +11,9 @@ from ..gpusim.calibration import Calibration, DEFAULT_CALIBRATION
 from ..gpusim.device import Device, LaunchRecord
 from ..gpusim.profiler import SimReport
 from ..gpusim.spec import DeviceSpec, TITAN_X
+from ..obs.manifest import build_manifest
+from ..obs.metrics import MetricsRegistry, collect_metrics
+from ..obs.tracer import resolve_trace
 from .kernels import ComposedKernel, make_kernel
 from .planner import plan_kernel
 from .problem import TwoBodyProblem
@@ -27,6 +30,16 @@ class RunResult:
     #: recovery flight recorder, populated only on supervised runs
     #: (``faults``/``retries`` arguments); ``None`` otherwise.
     resilience: Optional[Any] = None
+    #: the execution tracer (a :class:`~repro.obs.tracer.Tracer` when
+    #: ``trace=`` was requested, else the no-op tracer); carries the
+    #: span tree and exports Chrome-trace / JSONL views.
+    trace: Optional[Any] = None
+    #: run-wide :class:`~repro.obs.metrics.MetricsRegistry` aggregating
+    #: access counters, prune stats and resilience events.
+    metrics: Optional[MetricsRegistry] = None
+    #: reproducibility manifest (seed, kernel config, device spec,
+    #: calibration, git revision) — also embedded in trace exports.
+    manifest: Optional[dict] = None
 
     @property
     def seconds(self) -> float:
@@ -47,6 +60,7 @@ def run(
     faults: Optional[Any] = None,
     retries: Optional[Any] = None,
     prune: bool = False,
+    trace: Optional[Any] = None,
 ) -> RunResult:
     """Execute ``problem`` over ``points`` on the simulated device.
 
@@ -67,8 +81,15 @@ def run(
     :class:`~repro.core.resilience.RetryPolicy`) route execution through
     the resilience supervisor; the returned result carries the
     :class:`~repro.core.resilience.ResilienceReport` in ``resilience``.
+
+    ``trace`` enables execution tracing: ``True`` collects spans in
+    memory (``result.trace``), a path string additionally writes a
+    Chrome-trace JSON there, and a live :class:`~repro.obs.tracer.Tracer`
+    is used as-is.  Timestamps come from *simulated* kernel time, so the
+    exported trace is byte-identical for identical run configurations.
     """
     n = np.asarray(points).shape[0]
+    tracer, trace_path = resolve_trace(trace)
     if kernel is None:
         if auto_plan:
             kernel = plan_kernel(
@@ -88,25 +109,42 @@ def run(
         rr = resilient_run(
             problem, points, kernel=kernel, faults=faults, retry=policy,
             spec=spec, workers=workers, batch_tiles=batch_tiles,
+            tracer=tracer,
         )
         report = rr.kernel.simulate(
             n, spec=spec, calib=calib,
             prune=getattr(rr.records[-1], "prune", None),
         )
         report.counters = rr.records[-1].counters
-        return RunResult(
+        res = RunResult(
             result=rr.result, report=report, record=rr.records[-1],
             kernel=rr.kernel, resilience=rr.report,
         )
-    dev = device if device is not None else Device(spec)
-    result, record = kernel.execute(
-        dev, points, workers=workers, batch_tiles=batch_tiles
+    else:
+        dev = device if device is not None else Device(spec, tracer=tracer)
+        if device is not None and tracer.enabled:
+            dev.tracer = tracer
+        result, record = kernel.execute(
+            dev, points, workers=workers, batch_tiles=batch_tiles
+        )
+        report = kernel.simulate(n, spec=spec, calib=calib, prune=record.prune)
+        # splice the *measured* counters into the report so profiler tables
+        # can be driven by the functional run when one happened
+        report.counters = record.counters
+        res = RunResult(result=result, report=report, record=record,
+                        kernel=kernel)
+    res.metrics = collect_metrics(res)
+    res.manifest = build_manifest(
+        problem=problem, kernel=res.kernel, spec=spec, calib=calib, n=n,
+        workers=workers, batch_tiles=batch_tiles, prune=prune,
+        faults=faults, retries=retries,
     )
-    report = kernel.simulate(n, spec=spec, calib=calib, prune=record.prune)
-    # splice the *measured* counters into the report so profiler tables can
-    # be driven by the functional run when one happened
-    report.counters = record.counters
-    return RunResult(result=result, report=report, record=record, kernel=kernel)
+    if tracer.enabled:
+        tracer.manifest = res.manifest
+        res.trace = tracer
+        if trace_path is not None:
+            tracer.export_chrome(trace_path)
+    return res
 
 
 def estimate(

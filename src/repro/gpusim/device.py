@@ -13,10 +13,15 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.tracer import (
+    BLOCK_OVERHEAD_US,
+    LAUNCH_OVERHEAD_US,
+    NULL_TRACER,
+)
 from .counters import AccessCounters, MemSpace
 from .errors import DeviceAllocationError
 from .grid import BlockContext, LaunchConfig
@@ -91,6 +96,7 @@ class Device:
         ordinal: int = 0,
         faults: "Optional[FaultInjector]" = None,
         crash_recovery: Optional[CrashRecovery] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.spec = spec
         self.counters = AccessCounters()
@@ -107,6 +113,10 @@ class Device:
         #: optional in-launch worker-crash recovery policy; ``None`` means
         #: crashes propagate as :class:`WorkerCrashError`.
         self.crash_recovery = crash_recovery
+        #: execution tracer (see :mod:`repro.obs`); defaults to the no-op
+        #: :data:`~repro.obs.tracer.NULL_TRACER`, keeping launches
+        #: allocation-free unless tracing was requested.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._launch_attempts = 0
 
     @property
@@ -193,25 +203,44 @@ class Device:
         config.validate(self.spec)
         attempt = self._launch_attempts
         self._launch_attempts += 1
-        if self.faults is not None:
-            self.faults.on_launch(self.ordinal, attempt)
         block_ids = list(range(config.grid_dim)) if blocks is None else list(blocks)
-        t0 = time.perf_counter()
-        pre_faults = self.faults.injected_count if self.faults is not None else 0
         resolved = resolve_workers(workers, max(1, len(block_ids)))
-        if resolved <= 1:
-            merged, sync_counts, max_shared = self._run_serial(
-                kernel, config, block_ids
+        kernel_name = name or getattr(kernel, "__name__", "kernel")
+        tr = self.tracer
+        if tr.enabled:
+            launch_ctx = tr.span(
+                "launch", cat="engine", cost_us=LAUNCH_OVERHEAD_US,
+                device=self.ordinal,
+                args={
+                    "kernel": kernel_name, "grid_dim": config.grid_dim,
+                    "blocks": len(block_ids), "workers": resolved,
+                    "attempt": attempt,
+                },
             )
         else:
-            merged, sync_counts, max_shared = self._run_parallel(
-                kernel, config, resolved, block_ids
+            launch_ctx = tr.span("launch")
+        with launch_ctx as launch_span:
+            # the fault hook runs inside the span so an injected launch
+            # failure shows up as an (empty) launch with its fault event
+            if self.faults is not None:
+                self.faults.on_launch(self.ordinal, attempt)
+            t0 = time.perf_counter()
+            pre_faults = (
+                self.faults.injected_count if self.faults is not None else 0
             )
+            if resolved <= 1:
+                merged, sync_counts, max_shared = self._run_serial(
+                    kernel, config, block_ids
+                )
+            else:
+                merged, sync_counts, max_shared = self._run_parallel(
+                    kernel, config, resolved, block_ids, launch_span
+                )
         if self.faults is not None:
             merged.faults_injected += self.faults.injected_count - pre_faults
         self.counters.merge(merged)
         record = LaunchRecord(
-            kernel_name=name or getattr(kernel, "__name__", "kernel"),
+            kernel_name=kernel_name,
             config=config,
             counters=merged,
             blocks_run=len(block_ids),
@@ -229,13 +258,21 @@ class Device:
         merged = AccessCounters()
         sync_counts: List[int] = []
         max_shared = 0
+        tr = self.tracer
         self._set_active(merged)  # device-global traffic lands on this launch
         try:
             for b in block_ids:
                 ctx = BlockContext(
                     spec=self.spec, config=config, block_id=b, counters=merged
                 )
-                kernel(ctx)
+                if tr.enabled:
+                    with tr.span(
+                        "block", cat="engine", key=b,
+                        cost_us=BLOCK_OVERHEAD_US, args={"block": b},
+                    ):
+                        kernel(ctx)
+                else:
+                    kernel(ctx)
                 sync_counts.append(ctx.sync_count)
                 max_shared = max(max_shared, ctx.shared_bytes_used)
         finally:
@@ -248,6 +285,7 @@ class Device:
         config: LaunchConfig,
         num_workers: int,
         block_ids: List[int],
+        launch_span: Optional[Any] = None,
     ) -> Tuple[AccessCounters, List[int], int]:
         """Block-parallel execution: each worker owns privatized counters
         and output shards; a final reduction restores the sequential
@@ -273,6 +311,8 @@ class Device:
             injector=self.faults,
             device_ordinal=self.ordinal,
             crash_recovery=self.crash_recovery,
+            tracer=self.tracer,
+            launch_span=launch_span,
         )
         ordered = [sync_counts[b] for b in block_ids]
         return merged, ordered, max(shared_used.values(), default=0)

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER
 from .errors import (
     DeviceAllocationError,
     SharedMemoryError,
@@ -199,6 +200,10 @@ class FaultInjector:
         self.events: List[FaultEvent] = []
         self._remaining: List[Optional[int]] = [s.count for s in plan.specs]
         self._lock = threading.Lock()
+        #: execution tracer; fired faults land as ``fault:<kind>`` instant
+        #: events at the trace position where they bit (the supervisor
+        #: attaches a live tracer; defaults to the no-op tracer).
+        self.tracer = NULL_TRACER
 
     # -- bookkeeping ---------------------------------------------------------
     def _take(self, kind: FaultKind, **coords: Optional[int]) -> Optional[FaultSpec]:
@@ -220,6 +225,11 @@ class FaultInjector:
     def _record(self, event: FaultEvent) -> None:
         with self._lock:
             self.events.append(event)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault:" + event.kind.value, cat="fault",
+                args=event.as_dict(),
+            )
 
     @property
     def injected_count(self) -> int:

@@ -33,6 +33,15 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.tracer import (
+    BLOCK_OVERHEAD_US,
+    MERGE_OVERHEAD_US,
+    NULL_TRACER,
+    PHASE_MERGE,
+    PHASE_RECOVERY,
+    PHASE_WORKERS,
+    WORKER_OVERHEAD_US,
+)
 from .counters import AccessCounters
 from .errors import GpuSimError, WorkerCrashError
 
@@ -305,6 +314,8 @@ def run_blocks_parallel(
     injector: "Optional[FaultInjector]" = None,
     device_ordinal: int = 0,
     crash_recovery: Optional[CrashRecovery] = None,
+    tracer=None,
+    launch_span=None,
 ) -> AccessCounters:
     """Execute ``run_block`` for every block id with ``num_workers``
     privatized workers and reduce the results.
@@ -321,8 +332,14 @@ def run_blocks_parallel(
     deterministic faults at the block and merge hooks; ``crash_recovery``
     turns worker crashes into targeted block re-execution instead of a
     launch failure.
+
+    ``tracer`` (default :data:`~repro.obs.tracer.NULL_TRACER`) records a
+    span per worker, block, recovery attempt and the merge; worker spans
+    attach to ``launch_span`` explicitly because they open on pool threads
+    whose thread-local span stack is empty.
     """
     blocks = list(range(grid_dim)) if block_ids is None else list(block_ids)
+    tracer = tracer if tracer is not None else NULL_TRACER
     session = ParallelSession(num_workers)
     session.attach(arrays)
     ledgers = [AccessCounters() for _ in range(num_workers)]
@@ -331,16 +348,34 @@ def run_blocks_parallel(
     def worker_fn(w: int) -> None:
         session.enter_worker(w)
         set_active(ledgers[w])
-        try:
-            for b in blocks[w::num_workers]:
-                if injector is not None:
-                    injector.on_block(device_ordinal, b)
-                run_block(b, ledgers[w])
-        except WorkerCrashError as crash:
-            crash.worker = w
-            crashes[w] = crash
-        finally:
-            set_active(None)
+        deal = blocks[w::num_workers]
+        if tracer.enabled:
+            worker_ctx = tracer.span(
+                "worker", cat="engine", phase=PHASE_WORKERS, key=w, lane=w,
+                parent=launch_span, cost_us=WORKER_OVERHEAD_US,
+                args={"worker": w, "blocks": [int(b) for b in deal]},
+            )
+        else:
+            worker_ctx = tracer.span("worker")
+        with worker_ctx:
+            try:
+                for b in deal:
+                    if tracer.enabled:
+                        block_ctx = tracer.span(
+                            "block", cat="engine", key=b,
+                            cost_us=BLOCK_OVERHEAD_US, args={"block": int(b)},
+                        )
+                    else:
+                        block_ctx = tracer.span("block")
+                    with block_ctx:
+                        if injector is not None:
+                            injector.on_block(device_ordinal, b)
+                        run_block(b, ledgers[w])
+            except WorkerCrashError as crash:
+                crash.worker = w
+                crashes[w] = crash
+            finally:
+                set_active(None)
 
     try:
         with ThreadPoolExecutor(
@@ -355,9 +390,18 @@ def run_blocks_parallel(
             recovered = _recover_crashes(
                 session, blocks, num_workers, crashed, crashes, ledgers,
                 run_block, set_active, injector, device_ordinal,
-                crash_recovery,
+                crash_recovery, tracer,
             )
-        session.merge(injector=injector, device_ordinal=device_ordinal)
+        if tracer.enabled:
+            merge_ctx = tracer.span(
+                "merge", cat="engine", phase=PHASE_MERGE,
+                cost_us=MERGE_OVERHEAD_US,
+                args={"arrays": len(arrays), "workers": num_workers},
+            )
+        else:
+            merge_ctx = tracer.span("merge")
+        with merge_ctx:
+            session.merge(injector=injector, device_ordinal=device_ordinal)
     finally:
         session.detach()
     merged = AccessCounters()
@@ -379,6 +423,7 @@ def _recover_crashes(
     injector: "Optional[FaultInjector]",
     device_ordinal: int,
     crash_recovery: Optional[CrashRecovery],
+    tracer=None,
 ) -> int:
     """Discard crashed workers' shards and re-run only their block ranges.
 
@@ -399,6 +444,7 @@ def _recover_crashes(
     if crash_recovery is None:
         first.pending_blocks = pending
         raise first
+    tracer = tracer if tracer is not None else NULL_TRACER
     for w in crashed:
         session.drop_worker(w)
         ledgers[w] = AccessCounters()  # its charges died with its shard
@@ -414,29 +460,50 @@ def _recover_crashes(
         ledgers.append(ledger)
         set_active(ledger)
         done: List[int] = []
-        try:
-            for b in pending:
-                if injector is not None:
-                    injector.on_block(device_ordinal, b)
-                run_block(b, ledger)
-                done.append(b)
-            crash_recovery.record({
-                "action": "re-executed-blocks",
-                "device": device_ordinal,
-                "blocks": list(pending),
-                "workers_lost": list(crashed),
-                "attempt": attempt,
-            })
-            recovered = len(crashed)
-            pending = []
-        except WorkerCrashError as crash:
-            # crashed again during recovery: drop this recovery shard too
-            # and retry the still-missing range on the next attempt
-            session.drop_worker(recovery_worker)
-            ledgers.pop()
-            first = crash
-            first.worker = recovery_worker
-        finally:
-            set_active(None)
+        if tracer.enabled:
+            recovery_ctx = tracer.span(
+                "recovery", cat="resilience", phase=PHASE_RECOVERY,
+                key=attempt, cost_us=WORKER_OVERHEAD_US,
+                args={
+                    "attempt": attempt,
+                    "blocks": [int(b) for b in pending],
+                    "workers_lost": [int(w) for w in crashed],
+                },
+            )
+        else:
+            recovery_ctx = tracer.span("recovery")
+        with recovery_ctx:
+            try:
+                for b in pending:
+                    if tracer.enabled:
+                        block_ctx = tracer.span(
+                            "block", cat="engine", key=b,
+                            cost_us=BLOCK_OVERHEAD_US, args={"block": int(b)},
+                        )
+                    else:
+                        block_ctx = tracer.span("block")
+                    with block_ctx:
+                        if injector is not None:
+                            injector.on_block(device_ordinal, b)
+                        run_block(b, ledger)
+                    done.append(b)
+                crash_recovery.record({
+                    "action": "re-executed-blocks",
+                    "device": device_ordinal,
+                    "blocks": list(pending),
+                    "workers_lost": list(crashed),
+                    "attempt": attempt,
+                })
+                recovered = len(crashed)
+                pending = []
+            except WorkerCrashError as crash:
+                # crashed again during recovery: drop this recovery shard
+                # too and retry the still-missing range on the next attempt
+                session.drop_worker(recovery_worker)
+                ledgers.pop()
+                first = crash
+                first.worker = recovery_worker
+            finally:
+                set_active(None)
         attempt += 1
     return recovered

@@ -14,11 +14,16 @@ from .counters import AccessCounters, MemSpace
 from .spec import DeviceSpec
 from .timing import KernelTiming
 
-_PIPE_TO_SPACE = {
-    "shared": MemSpace.SHARED,
-    "roc": MemSpace.ROC,
-    "global": MemSpace.GLOBAL,
-}
+#: Memory pipes in fixed priority order.  Utilization ties resolve to the
+#: earlier entry (shared > roc > global) — an explicit rule, so the
+#: summary never depends on how a caller happened to order the
+#: utilization dict.  The on-chip-first priority mirrors the paper's
+#: tables, which report the closest memory unit when several saturate.
+_MEMORY_PIPES = (
+    ("shared", MemSpace.SHARED, "Shared Memory"),
+    ("roc", MemSpace.ROC, "Data cache"),
+    ("global", MemSpace.GLOBAL, "Global"),
+)
 
 
 @dataclass
@@ -38,18 +43,16 @@ class SimReport:
     @property
     def memory_summary(self) -> str:
         """'<util%> (<space>)' for the busiest memory unit — the format of
-        the paper's 'Memory' column."""
-        best_space, best_util = None, 0.0
-        for pipe, space in _PIPE_TO_SPACE.items():
+        the paper's 'Memory' column.  Ties break by the fixed
+        :data:`_MEMORY_PIPES` priority (shared, then roc, then global)."""
+        best_label, best_util = None, 0.0
+        for pipe, _space, label in _MEMORY_PIPES:
             u = self.utilization.get(pipe, 0.0)
             if u > best_util:
-                best_space, best_util = space, u
-        if best_space is None:
+                best_label, best_util = label, u
+        if best_label is None:
             return "idle"
-        label = {"shared": "Shared Memory", "roc": "Data cache", "global": "Global"}[
-            best_space.value
-        ]
-        return f"{best_util:.0%} ({label})"
+        return f"{best_util:.0%} ({best_label})"
 
 
 def build_report(

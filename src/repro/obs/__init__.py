@@ -1,0 +1,63 @@
+"""Observability subsystem: tracing, metrics, manifests, exporters.
+
+The engine's execution layers (device launches, the block-parallel
+engine, the fault injector, the resilience supervisor, the tile pruner)
+all carry hooks into this package:
+
+* :class:`~repro.obs.tracer.Tracer` — deterministic nested spans and
+  typed instant events; exported as Chrome-trace JSON (Perfetto-loadable)
+  or JSONL, timestamped from *simulated* kernel time so traces are
+  byte-identical across reruns and worker counts;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  histograms aggregating access ledgers, prune stats, occupancy and
+  retry ladders into one queryable view that can also rebuild the
+  profiler's paper tables;
+* :func:`~repro.obs.manifest.build_manifest` — the per-run attribution
+  record (seed, kernel config, device spec, calibration, git describe).
+
+The default everywhere is :data:`~repro.obs.tracer.NULL_TRACER`, whose
+hooks are allocation-free no-ops — tracing costs nothing until asked for
+via ``run(trace=...)`` or the CLI's ``--trace``.
+"""
+
+from .export import (
+    TRACE_SCHEMA,
+    chrome_json,
+    chrome_trace,
+    jsonl_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .manifest import MANIFEST_SCHEMA, build_manifest, git_describe
+from .metrics import MetricsRegistry, collect_metrics
+from .tracer import (
+    BLOCK_OVERHEAD_US,
+    LAUNCH_OVERHEAD_US,
+    MERGE_OVERHEAD_US,
+    NULL_TRACER,
+    NullTracer,
+    PHASE_BODY,
+    PHASE_MERGE,
+    PHASE_RECOVERY,
+    PHASE_WORKERS,
+    Span,
+    Tracer,
+    US_PER_PAIR,
+    WORKER_OVERHEAD_US,
+    resolve_trace,
+)
+
+__all__ = [
+    # tracer
+    "Tracer", "NullTracer", "NULL_TRACER", "Span", "resolve_trace",
+    "US_PER_PAIR", "LAUNCH_OVERHEAD_US", "WORKER_OVERHEAD_US",
+    "BLOCK_OVERHEAD_US", "MERGE_OVERHEAD_US",
+    "PHASE_BODY", "PHASE_WORKERS", "PHASE_RECOVERY", "PHASE_MERGE",
+    # metrics
+    "MetricsRegistry", "collect_metrics",
+    # manifest
+    "build_manifest", "git_describe", "MANIFEST_SCHEMA",
+    # exporters
+    "chrome_trace", "chrome_json", "write_chrome_trace",
+    "jsonl_events", "write_jsonl", "TRACE_SCHEMA",
+]

@@ -1,0 +1,142 @@
+"""Trace exporters: Chrome Trace Event JSON and JSONL event logs.
+
+The Chrome format (one ``{"traceEvents": [...]}`` object) loads directly
+in ``chrome://tracing`` and https://ui.perfetto.dev.  Spans become complete
+events (``ph: "X"``) with microsecond timestamps taken from the tracer's
+*simulated* layout — never the wall clock — so the exported bytes are a
+pure function of the recorded tree: same seed and run configuration, same
+file, byte for byte.  Serialization pins the remaining degrees of freedom
+(``sort_keys``, fixed separators, fixed float rounding).
+
+Timeline lanes: ``pid`` is the device ordinal + 1 (Perfetto hides pid 0),
+``tid`` 0 is the engine lane and ``tid`` ``w + 1`` is worker ``w``;
+metadata events name both so the UI reads "device 0 / worker 3".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .tracer import Span, Tracer
+
+#: Chrome trace format version stamp carried in ``otherData``.
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays (and nested containers) to JSON types."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _events(tracer: Tracer) -> List[Dict[str, Any]]:
+    tracer.layout()
+    events: List[Dict[str, Any]] = []
+    lanes: Dict[tuple, str] = {}
+
+    def visit(span: Span, lane: int, device: int) -> None:
+        lane = span.lane + 1 if span.lane is not None else lane
+        device = span.device + 1 if span.device is not None else device
+        lanes.setdefault(
+            (device, lane),
+            "engine" if lane == 0 else f"worker-{lane - 1}",
+        )
+        ev: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.cat,
+            "ts": round(span.ts, 4),
+            "pid": device,
+            "tid": lane,
+        }
+        if span.args:
+            ev["args"] = _jsonable(span.args)
+        if span.kind == "instant":
+            ev["ph"] = "i"
+            ev["s"] = "t"  # thread-scoped instant
+        else:
+            ev["ph"] = "X"
+            ev["dur"] = round(span.dur, 4)
+        events.append(ev)
+        for child in sorted(span.children, key=Span.sort_key):
+            visit(child, lane, device)
+
+    for root in sorted(tracer.roots, key=Span.sort_key):
+        visit(root, 0, 1)
+
+    meta: List[Dict[str, Any]] = []
+    for (pid, tid), label in sorted(lanes.items()):
+        if tid == 0:
+            meta.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"device {pid - 1}"},
+            })
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": label},
+        })
+    return meta + events
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The Chrome Trace Event object for a recorded tracer.  The run
+    manifest rides along under ``otherData.manifest`` (it keeps its own
+    schema stamp), so one file carries both the timeline and the exact
+    configuration that produced it."""
+    other: Dict[str, Any] = {"schema": TRACE_SCHEMA}
+    if tracer.manifest:
+        other["manifest"] = tracer.manifest
+    return {
+        "traceEvents": _events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": _jsonable(other),
+    }
+
+
+def chrome_json(tracer: Tracer) -> str:
+    """Canonical serialization: deterministic bytes for a given tree."""
+    return json.dumps(
+        chrome_trace(tracer), sort_keys=True, separators=(",", ":")
+    ) + "\n"
+
+
+def write_chrome_trace(tracer: Tracer, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_json(tracer))
+
+
+def jsonl_events(tracer: Tracer) -> str:
+    """One JSON object per line, depth-first in canonical order — the
+    grep-friendly flat view of the same tree."""
+    tracer.layout()
+    lines = []
+    for span in tracer.all_spans():
+        lines.append(json.dumps(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "kind": span.kind,
+                "ts": round(span.ts, 4),
+                "dur": round(span.dur, 4),
+                "args": _jsonable(span.args),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_jsonl(tracer: Tracer, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(jsonl_events(tracer))

@@ -1,0 +1,128 @@
+"""Per-run manifests: every benchmark number gets an attribution record.
+
+A manifest captures everything needed to re-run (and trust) one execution:
+the problem and kernel configuration, the simulated device, the
+calibration constants, engine knobs, fault seed, and the repo state
+(``git describe``).  It deliberately contains **no wall-clock timestamp**
+— manifests ride inside exported traces, and traces must stay
+byte-identical across reruns of the same configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import platform
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+#: Manifest schema version.
+MANIFEST_SCHEMA = "repro-manifest-v1"
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+@functools.lru_cache(maxsize=1)
+def git_describe() -> str:
+    """``git describe --always --dirty`` of the repo, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=_REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _as_plain(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _as_plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _as_plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_as_plain(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _fault_seed(faults: Any) -> Optional[int]:
+    """The seed behind a ``faults=`` argument (int, plan or injector)."""
+    if faults is None:
+        return None
+    if isinstance(faults, int):
+        return faults
+    plan = getattr(faults, "plan", faults)
+    seed = getattr(plan, "seed", None)
+    return int(seed) if seed is not None else None
+
+
+def build_manifest(
+    *,
+    problem: Any = None,
+    kernel: Any = None,
+    spec: Any = None,
+    calib: Any = None,
+    n: Optional[int] = None,
+    workers: Optional[int] = None,
+    batch_tiles: Optional[int] = None,
+    prune: bool = False,
+    faults: Any = None,
+    retries: Any = None,
+) -> Dict[str, Any]:
+    """Assemble the deterministic attribution record for one run."""
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "git": git_describe(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": sys.platform,
+        "n": n,
+        "workers": workers,
+        "batch_tiles": batch_tiles,
+        "prune": bool(prune),
+        "fault_seed": _fault_seed(faults),
+    }
+    if retries is not None:
+        manifest["retries"] = _as_plain(
+            retries if isinstance(retries, int)
+            else getattr(retries, "max_retries", repr(retries))
+        )
+    if problem is not None:
+        manifest["problem"] = {
+            "name": problem.name,
+            "dims": problem.dims,
+            "output_kind": problem.output.kind.value,
+        }
+    if kernel is not None:
+        manifest["kernel"] = {
+            "name": kernel.name,
+            "input": kernel.input.name,
+            "output": kernel.output.name,
+            "block_size": kernel.block_size,
+            "load_balanced": bool(kernel.load_balanced),
+            "prune": bool(getattr(kernel, "prune", False)),
+        }
+    if spec is not None:
+        manifest["device"] = {
+            "name": spec.name,
+            "sm_count": spec.sm_count,
+            "cores_per_sm": spec.cores_per_sm,
+            "clock_hz": spec.clock_hz,
+            "shared_mem_per_block": spec.shared_mem_per_block,
+        }
+    if calib is not None:
+        manifest["calibration"] = _as_plain(calib)
+    return manifest

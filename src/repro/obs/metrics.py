@@ -1,0 +1,213 @@
+"""One queryable view over every number the engine produces.
+
+A :class:`MetricsRegistry` aggregates the quantities that previously lived
+in four unrelated objects — :class:`~repro.gpusim.counters.AccessCounters`
+(functional traffic), :class:`~repro.core.bounds.PruneStats` (tile
+pruning), :class:`~repro.gpusim.profiler.SimReport` (simulated timing,
+occupancy, utilization) and the resilience flight recorder — into flat
+counter/gauge/histogram namespaces with deterministic serialization.
+
+The registry is also *round-trippable* back into the profiler's
+paper-table renderers: :meth:`MetricsRegistry.sim_report` rebuilds a
+:class:`~repro.gpusim.profiler.SimReport` from the stored gauges, so
+``repro stats`` prints Tables II/IV from the very same registry a trace
+was built from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..gpusim.counters import AccessCounters, MemSpace
+from ..gpusim.profiler import SimReport
+
+
+class MetricsRegistry:
+    """Flat, deterministic counters / gauges / histograms / labels."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, List[float]] = {}
+        self.labels: Dict[str, str] = {}
+
+    # -- primitive instruments ----------------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histograms.setdefault(name, []).append(float(value))
+
+    def set_label(self, name: str, value: str) -> None:
+        self.labels[name] = str(value)
+
+    def counter_value(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        return self.gauges.get(name, default)
+
+    # -- ingesters -----------------------------------------------------------
+    def ingest_access_counters(self, counters: AccessCounters) -> None:
+        """Fold a functional launch ledger into ``mem.*`` counters."""
+        for kind, table in (
+            ("reads", counters.reads),
+            ("writes", counters.writes),
+            ("atomics", counters.atomics),
+        ):
+            for space, n in table.items():
+                if n:
+                    self.inc(f"mem.{kind}.{space.value}", n)
+        if counters.atomic_conflict_issues:
+            self.set_gauge(
+                "mem.conflict_degree", counters.mean_conflict_degree()
+            )
+        if counters.faults_injected:
+            self.inc("fault.injected", counters.faults_injected)
+        if counters.recoveries:
+            self.inc("fault.recoveries", counters.recoveries)
+
+    def ingest_prune(self, stats: Any) -> None:
+        """Fold a :class:`~repro.core.bounds.PruneStats` into ``prune.*``."""
+        self.inc("prune.tiles", stats.tiles)
+        self.inc("prune.tiles_skipped", stats.tiles_skipped)
+        self.inc("prune.tiles_bulk", stats.tiles_bulk)
+        self.inc("prune.pairs_skipped", stats.pairs_skipped)
+        self.inc("prune.pairs_bulk", stats.pairs_bulk)
+        self.inc("prune.tile_points_pruned", stats.tile_points_pruned)
+        self.set_gauge("prune.fraction", stats.prune_fraction)
+
+    def ingest_sim_report(self, report: SimReport) -> None:
+        """Fold the analytical view: timing, occupancy, utilization,
+        achieved bandwidth, model extras — plus the measured counters the
+        runner spliced in, when present."""
+        self.set_label("kernel", report.kernel)
+        self.set_label("dominant", report.dominant)
+        self.set_gauge("sim.n", float(report.n))
+        self.set_gauge("sim.seconds", report.seconds)
+        self.set_gauge("sim.occupancy", report.occupancy)
+        for pipe, util in report.utilization.items():
+            self.set_gauge(f"util.{pipe}", util)
+        for space, bw in report.achieved_bandwidth.items():
+            self.set_gauge(f"bandwidth.{space}", bw)
+        for key, val in report.extras.items():
+            self.set_gauge(f"model.{key}", val)
+        if report.counters is not None:
+            self.ingest_access_counters(report.counters)
+
+    def ingest_resilience(self, report: Any) -> None:
+        """Fold a resilience flight recorder: one counter per fault kind
+        and recovery action, delays into a histogram."""
+        if report.seed is not None:
+            self.set_gauge("fault.seed", float(report.seed))
+        for fault in report.faults:
+            self.inc(f"fault.{fault.kind.value}")
+        for event in report.events:
+            self.inc(f"recovery.{event.action}")
+            delay = event.data.get("delay")
+            if delay is not None:
+                self.observe("recovery.delay_seconds", delay)
+
+    # -- views ---------------------------------------------------------------
+    def sim_report(self) -> SimReport:
+        """Rebuild a :class:`SimReport` from the stored gauges/labels, so
+        the profiler's paper-table renderers can be driven straight from
+        the registry."""
+        utilization = {
+            name[len("util."):]: value
+            for name, value in self.gauges.items()
+            if name.startswith("util.")
+        }
+        bandwidth = {
+            name[len("bandwidth."):]: value
+            for name, value in self.gauges.items()
+            if name.startswith("bandwidth.")
+        }
+        extras = {
+            name[len("model."):]: value
+            for name, value in self.gauges.items()
+            if name.startswith("model.")
+        }
+        return SimReport(
+            kernel=self.labels.get("kernel", "?"),
+            n=int(self.gauge_value("sim.n")),
+            seconds=self.gauge_value("sim.seconds"),
+            occupancy=self.gauge_value("sim.occupancy"),
+            dominant=self.labels.get("dominant", "?"),
+            utilization=utilization,
+            achieved_bandwidth=bandwidth,
+            extras=extras,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict snapshot (sorted keys, histograms
+        summarized) — what the JSON surfaces serialize."""
+        hist = {}
+        for name in sorted(self.histograms):
+            values = self.histograms[name]
+            hist[name] = {
+                "count": len(values),
+                "min": min(values),
+                "max": max(values),
+                "sum": sum(values),
+            }
+        return {
+            "labels": dict(sorted(self.labels.items())),
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": hist,
+        }
+
+    def render(self) -> str:
+        """Aligned text view of the whole registry."""
+        lines: List[str] = []
+        if self.labels:
+            lines.append("labels:")
+            width = max(len(k) for k in self.labels)
+            for k in sorted(self.labels):
+                lines.append(f"  {k:<{width}}  {self.labels[k]}")
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(k) for k in self.counters)
+            for k in sorted(self.counters):
+                lines.append(f"  {k:<{width}}  {self.counters[k]:,}")
+        if self.gauges:
+            lines.append("gauges:")
+            width = max(len(k) for k in self.gauges)
+            for k in sorted(self.gauges):
+                lines.append(f"  {k:<{width}}  {self.gauges[k]:.6g}")
+        if self.histograms:
+            lines.append("histograms:")
+            width = max(len(k) for k in self.histograms)
+            for k in sorted(self.histograms):
+                v = self.histograms[k]
+                lines.append(
+                    f"  {k:<{width}}  count={len(v)} min={min(v):.6g} "
+                    f"max={max(v):.6g} sum={sum(v):.6g}"
+                )
+        return "\n".join(lines)
+
+
+def collect_metrics(res: Any) -> MetricsRegistry:
+    """Build the registry for one run outcome (a
+    :class:`~repro.core.runner.RunResult` or anything shaped like one)."""
+    registry = MetricsRegistry()
+    report = getattr(res, "report", None)
+    if report is not None:
+        registry.ingest_sim_report(report)
+    record = getattr(res, "record", None)
+    if record is not None:
+        if report is None or report.counters is not record.counters:
+            registry.ingest_access_counters(record.counters)
+        registry.set_gauge("engine.workers", float(record.workers))
+        registry.inc("engine.blocks_run", record.blocks_run)
+        prune = getattr(record, "prune", None)
+        if prune is not None:
+            registry.ingest_prune(prune)
+    resilience = getattr(res, "resilience", None)
+    if resilience is not None:
+        registry.ingest_resilience(resilience)
+    return registry

@@ -1,0 +1,346 @@
+"""Deterministic execution tracing: nested spans and typed instant events.
+
+The tracer answers "what did the engine *do*" the way ``nvprof``'s timeline
+answers it for a real GPU: a launch opens a span, workers and blocks nest
+under it, tile batches nest under blocks, faults and recovery actions land
+as instant events at the point they fired.  Two properties make it safe to
+run everywhere:
+
+* **Determinism.**  No wall-clock value ever enters a span.  Timestamps
+  are assigned at *export* time from simulated work (a fixed cost per pair
+  evaluation plus small per-structure overheads), and children are laid
+  out in a canonical ``(phase, key, seq)`` order, so the emitted trace is
+  byte-identical for a fixed run configuration no matter how the host OS
+  schedules the simulator's worker threads.
+* **Zero hot-path cost by default.**  :data:`NULL_TRACER` (a
+  :class:`NullTracer`) is the default everywhere; every hook is guarded by
+  ``tracer.enabled`` so the disabled path performs no allocation — one
+  attribute read per hook site.
+
+Span parentage is thread-local: a span opened on a thread nests under the
+innermost span open *on that thread*, except that worker spans pass the
+launch span explicitly (they run on pool threads whose local stack is
+empty).  The recording order of same-thread siblings is captured in a
+global sequence number; cross-thread races cannot reorder the export
+because siblings from different threads always differ in ``(phase, key)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Simulated microseconds charged per pair evaluation when laying out the
+#: exported timeline.  The absolute scale is arbitrary (it is *simulated*
+#: kernel time); what matters is that it is a pure function of the work.
+US_PER_PAIR = 1e-3
+#: Fixed simulated overheads (microseconds) for the engine's structural
+#: spans, so zero-pair spans still have visible, deterministic extent.
+LAUNCH_OVERHEAD_US = 5.0
+WORKER_OVERHEAD_US = 1.0
+BLOCK_OVERHEAD_US = 0.5
+MERGE_OVERHEAD_US = 2.0
+
+#: Canonical ordering phases for a launch's children: serial blocks and
+#: in-block activity first, then the parallel worker group, then crash
+#: recovery, then the shard merge.  Siblings sort by (phase, key, seq).
+PHASE_BODY = 0
+PHASE_WORKERS = 1
+PHASE_RECOVERY = 2
+PHASE_MERGE = 3
+
+
+@dataclass
+class Span:
+    """One traced interval (or instant) in the canonical tree."""
+
+    name: str
+    cat: str = "engine"
+    args: Dict[str, Any] = field(default_factory=dict)
+    #: own simulated work in µs, before children are added
+    cost_us: float = 0.0
+    phase: int = PHASE_BODY
+    key: int = 0
+    #: worker lane for timeline layout; ``None`` inherits the parent's.
+    #: Sibling spans with a lane are laid out concurrently.
+    lane: Optional[int] = None
+    #: device ordinal (trace process); ``None`` inherits the parent's.
+    device: Optional[int] = None
+    kind: str = "span"  # "span" | "instant"
+    seq: int = 0
+    children: List["Span"] = field(default_factory=list)
+    # set by the export-time layout
+    ts: float = 0.0
+    dur: float = 0.0
+
+    def sort_key(self):
+        return (self.phase, self.key, self.seq)
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendants (self included) with the given name."""
+        out = []
+        if self.name == name:
+            out.append(self)
+        for c in self.children:
+            out.extend(c.find(name))
+        return out
+
+
+class _NullCtx:
+    """Reusable no-op context manager (no allocation per use)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CTX = _NullCtx()
+
+
+class NullTracer:
+    """Disabled tracer: every hook is a no-op and allocates nothing.
+
+    Hook sites must guard argument construction with ``tracer.enabled``;
+    the methods here accept and ignore whatever they are given so a
+    missing guard degrades to a cheap call rather than an error.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def span(self, name, **kwargs):
+        return _NULL_CTX
+
+    def begin(self, name, **kwargs):
+        return None
+
+    def end(self, span):
+        return None
+
+    def instant(self, name, **kwargs):
+        return None
+
+
+#: The process-wide disabled tracer every hook defaults to.
+NULL_TRACER = NullTracer()
+
+
+class _SpanCtx:
+    """Context manager binding a span to the recording thread's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Collects the span tree; see the module docstring for the model."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self.roots: List[Span] = []
+        self._seq = 0
+        #: run manifest attached by the runner; exported as trace metadata
+        self.manifest: Dict[str, Any] = {}
+
+    # -- recording -----------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if span in stack:
+            # tolerate mismatched exits instead of corrupting the stack
+            del stack[stack.index(span):]
+
+    def _attach(self, span: Span, parent: Optional[Span]) -> Span:
+        par = parent if parent is not None else self.current()
+        with self._lock:
+            self._seq += 1
+            span.seq = self._seq
+            (self.roots if par is None else par.children).append(span)
+        return span
+
+    def begin(
+        self,
+        name: str,
+        *,
+        cat: str = "engine",
+        args: Optional[Dict[str, Any]] = None,
+        cost_us: float = 0.0,
+        phase: int = PHASE_BODY,
+        key: int = 0,
+        lane: Optional[int] = None,
+        device: Optional[int] = None,
+        parent: Optional[Span] = None,
+    ) -> Span:
+        """Record and return a span without pushing it on the thread stack
+        (use :meth:`span` for the usual ``with`` form)."""
+        span = Span(
+            name=name, cat=cat, args=dict(args or {}), cost_us=float(cost_us),
+            phase=phase, key=int(key), lane=lane, device=device,
+        )
+        return self._attach(span, parent)
+
+    def end(self, span: Span) -> None:
+        self._pop(span)
+
+    def span(self, name: str, **kwargs) -> _SpanCtx:
+        """``with tracer.span("launch", ...) as s:`` — children recorded on
+        this thread inside the block nest under ``s``."""
+        return _SpanCtx(self, self.begin(name, **kwargs))
+
+    def instant(
+        self,
+        name: str,
+        *,
+        cat: str = "event",
+        args: Optional[Dict[str, Any]] = None,
+        phase: int = PHASE_BODY,
+        key: int = 0,
+        parent: Optional[Span] = None,
+    ) -> Span:
+        """Record a zero-duration typed event at the current position."""
+        span = Span(
+            name=name, cat=cat, args=dict(args or {}), phase=phase,
+            key=int(key), kind="instant",
+        )
+        return self._attach(span, parent)
+
+    # -- queries -------------------------------------------------------------
+    def find(self, name: str) -> List[Span]:
+        out: List[Span] = []
+        for root in self.roots:
+            out.extend(root.find(name))
+        return out
+
+    def all_spans(self) -> List[Span]:
+        """Every span/instant, depth-first in canonical order."""
+        out: List[Span] = []
+
+        def visit(span: Span) -> None:
+            out.append(span)
+            for c in sorted(span.children, key=Span.sort_key):
+                visit(c)
+
+        for root in sorted(self.roots, key=Span.sort_key):
+            visit(root)
+        return out
+
+    # -- layout: simulated timestamps ---------------------------------------
+    def layout(self) -> None:
+        """Assign deterministic ``ts``/``dur`` (simulated µs) to the tree.
+
+        Children are visited in canonical ``(phase, key, seq)`` order.
+        Within one parent, consecutive lane-bearing spans (worker spans)
+        start at the same cursor and run concurrently; everything else is
+        sequential.  Idempotent: the layout is a pure function of the
+        recorded tree.
+        """
+        t = 0.0
+        for root in sorted(self.roots, key=Span.sort_key):
+            t = self._layout_span(root, t)
+
+    def _layout_span(self, span: Span, t0: float) -> float:
+        if span.kind == "instant":
+            span.ts, span.dur = t0, 0.0
+            return t0
+        span.ts = t0
+        cursor = t0 + span.cost_us
+        children = sorted(span.children, key=Span.sort_key)
+        i = 0
+        while i < len(children):
+            child = children[i]
+            if child.kind == "span" and child.lane is not None:
+                # concurrent group: every consecutive lane-bearing sibling
+                # starts together; the parent resumes at the latest end
+                group_end = cursor
+                while (
+                    i < len(children)
+                    and children[i].kind == "span"
+                    and children[i].lane is not None
+                ):
+                    group_end = max(
+                        group_end, self._layout_span(children[i], cursor)
+                    )
+                    i += 1
+                cursor = group_end
+            else:
+                cursor = self._layout_span(child, cursor)
+                i += 1
+        span.dur = max(cursor - t0, span.cost_us)
+        return span.ts + span.dur
+
+    # -- export convenience (see repro.obs.export) ----------------------------
+    def chrome_trace(self) -> Dict[str, Any]:
+        from .export import chrome_trace
+
+        return chrome_trace(self)
+
+    def chrome_json(self) -> str:
+        from .export import chrome_json
+
+        return chrome_json(self)
+
+    def export_chrome(self, path) -> None:
+        from .export import write_chrome_trace
+
+        write_chrome_trace(self, path)
+
+    def jsonl(self) -> str:
+        from .export import jsonl_events
+
+        return jsonl_events(self)
+
+    def export_jsonl(self, path) -> None:
+        from .export import write_jsonl
+
+        write_jsonl(self, path)
+
+
+def resolve_trace(trace) -> tuple:
+    """Coerce a ``run(trace=...)`` argument into ``(tracer, export_path)``.
+
+    ``None``/``False`` selects :data:`NULL_TRACER`; ``True`` a fresh live
+    :class:`Tracer`; an existing tracer is used as-is; anything else is
+    treated as a filesystem path to export a Chrome trace to (implies a
+    fresh live tracer).
+    """
+    import os
+
+    if trace is None or trace is False:
+        return NULL_TRACER, None
+    if trace is True:
+        return Tracer(), None
+    if isinstance(trace, (Tracer, NullTracer)):
+        return trace, None
+    return Tracer(), os.fspath(trace)

@@ -65,3 +65,28 @@ def test_report_without_counters_has_no_bandwidth():
     )
     rep = build_report("NoCounters", 10, timing, TITAN_X)
     assert rep.achieved_bandwidth == {}
+
+
+def _summary_for(utilization):
+    rep = make_report()
+    rep.utilization = utilization
+    return rep.memory_summary
+
+
+def test_memory_summary_tie_breaks_deterministically():
+    # exact ties resolve by the fixed priority shared > roc > global,
+    # regardless of the utilization dict's insertion order
+    tied = {"shared": 0.5, "roc": 0.5, "global": 0.5}
+    reordered = {"global": 0.5, "roc": 0.5, "shared": 0.5}
+    assert _summary_for(tied) == _summary_for(reordered)
+    assert "Shared Memory" in _summary_for(tied)
+    assert "Data cache" in _summary_for({"roc": 0.4, "global": 0.4})
+
+
+def test_memory_summary_idle_when_all_zero():
+    assert _summary_for({}) == "idle"
+    assert _summary_for({"shared": 0.0, "global": 0.0}) == "idle"
+
+
+def test_memory_summary_strict_maximum_still_wins():
+    assert "Global" in _summary_for({"shared": 0.1, "global": 0.9})

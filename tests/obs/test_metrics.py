@@ -1,0 +1,125 @@
+"""Unit tests for the metrics registry and the run manifest."""
+
+import numpy as np
+import pytest
+
+from repro.apps import sdh as sdh_app
+from repro.core.runner import run
+from repro.data import uniform_points
+from repro.gpusim.counters import AccessCounters, MemSpace
+from repro.obs.manifest import build_manifest, git_describe
+from repro.obs.metrics import MetricsRegistry, collect_metrics
+
+
+def test_primitive_instruments():
+    m = MetricsRegistry()
+    m.inc("a")
+    m.inc("a", 4)
+    m.set_gauge("g", 1.5)
+    m.observe("h", 1.0)
+    m.observe("h", 3.0)
+    m.set_label("k", "v")
+    assert m.counter_value("a") == 5
+    assert m.counter_value("missing") == 0
+    assert m.gauge_value("g") == 1.5
+    assert m.histograms["h"] == [1.0, 3.0]
+    assert m.labels["k"] == "v"
+
+
+def test_ingest_access_counters():
+    c = AccessCounters()
+    c.add_read(MemSpace.SHARED, 10)
+    c.add_write(MemSpace.GLOBAL, 3)
+    c.add_atomic(MemSpace.SHARED, 7)
+    c.add_conflict_sample(4.0, 2)
+    m = MetricsRegistry()
+    m.ingest_access_counters(c)
+    assert m.counter_value("mem.reads.shared") == 10
+    assert m.counter_value("mem.writes.global") == 3
+    assert m.counter_value("mem.atomics.shared") == 7
+    assert m.gauge_value("mem.conflict_degree") == pytest.approx(4.0)
+
+
+def _run_small(**kw):
+    prune = kw.pop("prune", False)
+    pts = uniform_points(300, dims=3, box=10.0, seed=3)
+    problem = sdh_app.make_problem(32, 10.0 * np.sqrt(3), dims=3)
+    kernel = sdh_app.default_kernel(problem, prune=prune)
+    return run(problem, pts, kernel=kernel, prune=prune, **kw)
+
+
+def test_collect_metrics_populates_run_views():
+    res = _run_small(workers=2, prune=True)
+    m = res.metrics
+    assert m.labels["kernel"] == res.kernel.name
+    assert m.gauge_value("engine.workers") == 2
+    assert m.counter_value("engine.blocks_run") == res.record.blocks_run
+    assert m.counter_value("prune.tiles") == res.record.prune.tiles
+    # traffic must not be double-counted through report + record
+    assert (m.counter_value("mem.atomics.shared")
+            == res.record.counters.atomics.get(MemSpace.SHARED, 0))
+
+
+def test_sim_report_round_trip():
+    res = _run_small()
+    rebuilt = res.metrics.sim_report()
+    assert rebuilt.kernel == res.report.kernel
+    assert rebuilt.n == res.report.n
+    assert rebuilt.seconds == pytest.approx(res.report.seconds)
+    assert rebuilt.occupancy == pytest.approx(res.report.occupancy)
+    assert rebuilt.dominant == res.report.dominant
+    for pipe, util in res.report.utilization.items():
+        assert rebuilt.utilization[pipe] == pytest.approx(util)
+    assert rebuilt.memory_summary == res.report.memory_summary
+
+
+def test_resilience_metrics():
+    res = _run_small(workers=2, faults=1, retries=3)
+    m = res.metrics
+    assert m.gauge_value("fault.seed") == 1
+    assert m.counter_value("fault.alloc-transient") == 1
+    assert m.counter_value("fault.worker-crash") == 1
+    assert m.counter_value("recovery.retry-transient") == 1
+
+
+def test_to_dict_and_render_deterministic():
+    a = _run_small(workers=2).metrics
+    b = _run_small(workers=2).metrics
+    assert a.to_dict() == b.to_dict()
+    assert a.render() == b.render()
+    assert "counters:" in a.render()
+
+
+def test_manifest_contents_are_plain_and_complete():
+    res = _run_small(workers=2, prune=True)
+    man = res.manifest
+    assert man["schema"] == "repro-manifest-v1"
+    assert man["n"] == 300
+    assert man["workers"] == 2
+    assert man["prune"] is True
+    assert man["problem"]["dims"] == 3
+    assert man["kernel"]["name"] == res.kernel.name
+    assert man["device"]["name"]
+    assert "calibration" in man
+    # reproducibility: no wall-clock / timestamp fields anywhere
+    flat = repr(sorted(man))
+    assert "time" not in flat and "date" not in flat
+
+
+def test_manifest_fault_seed():
+    res = _run_small(workers=2, faults=7, retries=3)
+    assert res.manifest["fault_seed"] == 7
+
+
+def test_git_describe_returns_string():
+    assert isinstance(git_describe(), str)
+    assert git_describe()  # non-empty ("unknown" fallback at worst)
+
+
+def test_build_manifest_direct():
+    man = build_manifest(n=10)
+    assert man["n"] == 10
+    assert "problem" not in man and "kernel" not in man
+    man2 = build_manifest(n=10, faults=7, retries=2)
+    assert man2["fault_seed"] == 7
+    assert man2["retries"] == 2

@@ -1,0 +1,150 @@
+"""End-to-end tracing acceptance: a supervised, pruned, parallel run
+exports a Chrome trace with the full event vocabulary, byte-identical
+across reruns, and the default (no tracing) path stays allocation-free."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import sdh as sdh_app
+from repro.core.runner import run
+from repro.data import uniform_points
+from repro.gpusim.device import Device
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+def _traced_run(trace=True, workers=4, seed=5):
+    pts = uniform_points(384, dims=3, box=10.0, seed=seed)
+    problem = sdh_app.make_problem(32, 10.0 * np.sqrt(3), dims=3)
+    kernel = sdh_app.default_kernel(problem, prune=True)
+    return run(
+        problem, pts, kernel=kernel, workers=workers, prune=True,
+        faults=1, retries=3, trace=trace,
+    )
+
+
+def test_supervised_trace_has_full_vocabulary():
+    res = _traced_run()
+    tr = res.trace
+    assert isinstance(tr, Tracer)
+    names = {s.name for s in tr.all_spans()}
+    # structural spans
+    for required in ("launch", "worker", "merge"):
+        assert required in names, f"missing {required} span"
+    # fault + recovery instants from the chaos plan (seed 1 injects a
+    # transient allocation failure, a worker crash and a corrupt shard)
+    assert "fault:alloc-transient" in names
+    assert "fault:worker-crash" in names
+    assert "recovery:retry-transient" in names
+    # prune decisions
+    assert "prune" in names
+    assert "prune-classify" in names
+
+
+def test_trace_bytes_identical_across_runs(tmp_path):
+    j1 = _traced_run().trace.chrome_json()
+    j2 = _traced_run().trace.chrome_json()
+    assert j1 == j2
+    # and through the file-export path
+    p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+    _traced_run(trace=p1)
+    _traced_run(trace=p2)
+    assert p1.read_bytes() == p2.read_bytes()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_trace_reproducible_per_worker_count(workers):
+    a = _traced_run(workers=workers).trace.chrome_json()
+    b = _traced_run(workers=workers).trace.chrome_json()
+    assert a == b
+
+
+def test_chrome_trace_schema(tmp_path):
+    out = tmp_path / "trace.json"
+    res = _traced_run(trace=out)
+    doc = json.loads(out.read_text())
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["otherData"]["schema"] == "repro-trace-v1"
+    # the manifest rides inside the trace
+    man = doc["otherData"]["manifest"]
+    assert man["schema"] == "repro-manifest-v1"
+    assert man["prune"] is True and man["fault_seed"] == 1
+    events = doc["traceEvents"]
+    assert events, "trace must contain events"
+    phases = {e["ph"] for e in events}
+    assert phases <= {"X", "i", "M"}
+    for e in events:
+        assert isinstance(e["name"], str) and "pid" in e and "tid" in e
+        if e["ph"] == "X":
+            assert e["dur"] >= 0 and e["ts"] >= 0
+        if e["ph"] == "i":
+            assert e["s"] == "t"
+    # metadata names both the device process and the worker lanes
+    meta = {(e["pid"], e["tid"]): e["args"]["name"]
+            for e in events if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert meta[(1, 0)] == "engine"
+    assert any(v.startswith("worker-") for v in meta.values())
+
+
+def test_worker_spans_nest_under_launch_with_lanes():
+    res = _traced_run()
+    tr = res.trace
+    launches = tr.find("launch")
+    assert launches
+    workers = [s for L in launches for s in L.children if s.name == "worker"]
+    assert workers
+    assert all(s.lane is not None for s in workers)
+    # every worker span records the blocks it was dealt
+    assert all("blocks" in s.args for s in workers)
+
+
+def test_layout_timestamps_are_simulated_not_wall():
+    res = _traced_run()
+    tr = res.trace
+    tr.layout()
+    spans = [s for s in tr.all_spans() if s.kind == "span"]
+    # children stay inside their parent's extent
+    def check(span):
+        for c in span.children:
+            if c.kind == "span":
+                assert c.ts >= span.ts - 1e-9
+                assert c.ts + c.dur <= span.ts + span.dur + 1e-9
+                check(c)
+    for root in tr.roots:
+        check(root)
+    assert all(s.dur >= 0 for s in spans)
+
+
+def test_default_run_has_no_trace():
+    pts = uniform_points(256, dims=3, box=10.0, seed=2)
+    problem = sdh_app.make_problem(16, 10.0 * np.sqrt(3), dims=3)
+    res = run(problem, pts)
+    assert res.trace is None
+    assert res.metrics is not None  # metrics are always collected
+
+
+def test_null_tracer_is_default_on_device():
+    dev = Device()
+    assert dev.tracer is NULL_TRACER
+
+
+def test_results_unchanged_by_tracing():
+    pts = uniform_points(300, dims=3, box=10.0, seed=9)
+    problem = sdh_app.make_problem(24, 10.0 * np.sqrt(3), dims=3)
+    kernel = sdh_app.default_kernel(problem, prune=True)
+    plain = run(problem, pts, kernel=kernel, workers=2, prune=True)
+    traced = run(problem, pts, kernel=kernel, workers=2, prune=True,
+                 trace=True)
+    np.testing.assert_array_equal(plain.result, traced.result)
+
+
+def test_jsonl_export(tmp_path):
+    res = _traced_run()
+    out = tmp_path / "events.jsonl"
+    res.trace.export_jsonl(out)
+    lines = out.read_text().strip().splitlines()
+    assert lines
+    for line in lines:
+        ev = json.loads(line)
+        assert {"name", "cat", "kind", "ts", "dur", "args"} <= set(ev)

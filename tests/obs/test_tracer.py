@@ -1,0 +1,146 @@
+"""Unit tests for the deterministic tracer: nesting, ordering, layout."""
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    PHASE_MERGE,
+    PHASE_WORKERS,
+    Span,
+    Tracer,
+    resolve_trace,
+)
+
+
+def test_span_nesting_follows_thread_stack():
+    tr = Tracer()
+    with tr.span("launch") as launch:
+        with tr.span("block", key=0):
+            tr.instant("fault:test", cat="fault")
+        with tr.span("block", key=1):
+            pass
+    assert [s.name for s in tr.roots] == ["launch"]
+    assert [c.name for c in launch.children] == ["block", "block"]
+    assert [c.name for c in launch.children[0].children] == ["fault:test"]
+
+
+def test_explicit_parent_overrides_stack():
+    tr = Tracer()
+    with tr.span("launch") as launch:
+        pass
+    # worker spans on pool threads pass the launch span explicitly
+    with tr.span("worker", phase=PHASE_WORKERS, lane=0, parent=launch):
+        pass
+    assert [c.name for c in launch.children] == ["worker"]
+
+
+def test_canonical_order_is_phase_key_seq():
+    tr = Tracer()
+    with tr.span("launch") as launch:
+        tr.begin("merge", phase=PHASE_MERGE)
+        tr.begin("worker", phase=PHASE_WORKERS, key=1, lane=1)
+        tr.begin("worker", phase=PHASE_WORKERS, key=0, lane=0)
+        tr.begin("block", key=3)
+    ordered = sorted(launch.children, key=Span.sort_key)
+    assert [(s.name, s.key) for s in ordered] == [
+        ("block", 3), ("worker", 0), ("worker", 1), ("merge", 0),
+    ]
+
+
+def test_layout_sequential_children_advance_cursor():
+    tr = Tracer()
+    with tr.span("launch", cost_us=5.0):
+        with tr.span("block", key=0, cost_us=2.0):
+            pass
+        with tr.span("block", key=1, cost_us=3.0):
+            pass
+    tr.layout()
+    launch = tr.roots[0]
+    b0, b1 = sorted(launch.children, key=Span.sort_key)
+    assert launch.ts == 0.0
+    assert b0.ts == pytest.approx(5.0)
+    assert b1.ts == pytest.approx(7.0)
+    assert launch.dur == pytest.approx(10.0)
+
+
+def test_layout_lane_siblings_run_concurrently():
+    tr = Tracer()
+    with tr.span("launch", cost_us=1.0) as launch:
+        pass
+    for w, cost in enumerate((4.0, 7.0)):
+        tr.begin(
+            "worker", phase=PHASE_WORKERS, key=w, lane=w,
+            cost_us=cost, parent=launch,
+        )
+    tr.begin("merge", phase=PHASE_MERGE, cost_us=2.0, parent=launch)
+    tr.layout()
+    w0, w1, merge = sorted(launch.children, key=Span.sort_key)
+    assert w0.ts == w1.ts == pytest.approx(1.0)  # concurrent start
+    # the parent resumes at the slowest worker's end
+    assert merge.ts == pytest.approx(1.0 + 7.0)
+    assert launch.dur == pytest.approx(1.0 + 7.0 + 2.0)
+
+
+def test_layout_is_idempotent():
+    tr = Tracer()
+    with tr.span("launch", cost_us=5.0):
+        with tr.span("block", cost_us=2.0):
+            pass
+    tr.layout()
+    first = [(s.ts, s.dur) for s in tr.all_spans()]
+    tr.layout()
+    assert [(s.ts, s.dur) for s in tr.all_spans()] == first
+
+
+def test_mismatched_exit_does_not_corrupt_stack():
+    tr = Tracer()
+    ctx_outer = tr.span("outer")
+    outer = ctx_outer.__enter__()
+    ctx_inner = tr.span("inner")
+    ctx_inner.__enter__()
+    # exiting the outer span first pops the inner one too
+    ctx_outer.__exit__(None, None, None)
+    assert tr.current() is None
+    assert outer in tr.roots
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    ctx = NULL_TRACER.span("anything")
+    with ctx as s:
+        assert s is None
+    assert NULL_TRACER.span("x") is ctx  # one reusable context object
+    assert NULL_TRACER.instant("x") is None
+    assert NULL_TRACER.begin("x") is None
+
+
+def test_resolve_trace_coercions(tmp_path):
+    tracer, path = resolve_trace(None)
+    assert tracer is NULL_TRACER and path is None
+    tracer, path = resolve_trace(False)
+    assert tracer is NULL_TRACER and path is None
+    tracer, path = resolve_trace(True)
+    assert isinstance(tracer, Tracer) and path is None
+    live = Tracer()
+    tracer, path = resolve_trace(live)
+    assert tracer is live and path is None
+    null = NullTracer()
+    tracer, path = resolve_trace(null)
+    assert tracer is null and path is None
+    out = tmp_path / "t.json"
+    tracer, path = resolve_trace(out)
+    assert isinstance(tracer, Tracer) and path == str(out)
+
+
+def test_find_and_all_spans():
+    tr = Tracer()
+    with tr.span("launch"):
+        with tr.span("block", key=1):
+            tr.instant("prune", cat="prune")
+        with tr.span("block", key=0):
+            pass
+    assert len(tr.find("block")) == 2
+    names = [s.name for s in tr.all_spans()]
+    # canonical depth-first order: key 0 block before key 1 block
+    assert names == ["launch", "block", "block", "prune"]
