@@ -30,6 +30,7 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
+import bench_backend  # noqa: E402
 import bench_engine  # noqa: E402
 import bench_pruning  # noqa: E402
 
@@ -46,6 +47,13 @@ SUITES = {
         # repeats=2: pruned-vs-unpruned ratios at a single size are noisy
         # enough at repeats=1 to trip the 20% floor on an idle machine
         lambda: bench_pruning.run_suite(sizes=(2048,), repeats=2),
+    ),
+    "backend": (
+        REPO_ROOT / "BENCH_backend.json",
+        lambda: bench_backend.run_suite(),
+        # interleaved rounds already even out drift; two keep the best-of
+        # stable enough for the 20% floor on a loaded CI runner
+        lambda: bench_backend.run_suite(sizes=(4096,), repeats=2),
     ),
 }
 

@@ -75,13 +75,16 @@ def count_pairs(
     device: Optional[Device] = None,
     prune: bool = False,
     trace=None,
+    backend: Optional[str] = None,
 ) -> Tuple[int, RunResult]:
     """Count pairs within ``radius`` on the simulated GPU.  ``trace``
-    enables execution tracing (see :func:`repro.core.runner.run`)."""
+    enables execution tracing and ``backend`` selects the host execution
+    engine (see :func:`repro.core.runner.run`)."""
     pts = np.asarray(points, dtype=np.float64)
     problem = make_problem(radius, dims=pts.shape[1])
     k = kernel or default_kernel(problem, prune=prune)
-    res = run(problem, pts, kernel=k, device=device, trace=trace)
+    res = run(problem, pts, kernel=k, device=device, trace=trace,
+              backend=backend)
     return int(round(res.result)), res
 
 

@@ -112,13 +112,15 @@ def compute(
     device: Optional[Device] = None,
     prune: bool = False,
     trace=None,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, RunResult]:
     """Compute the SDH on the simulated GPU.
 
     ``max_distance`` defaults to the data's bounding-box diagonal (so no
     distance is clamped).  ``prune`` turns on bounds-based tile pruning
     (bit-identical histogram, fewer pair evaluations on clustered data).
-    ``trace`` enables execution tracing (see :func:`repro.core.runner.run`).
+    ``trace`` enables execution tracing and ``backend`` selects the host
+    execution engine (see :func:`repro.core.runner.run`).
     """
     pts = np.asarray(points, dtype=np.float64)
     if max_distance is None:
@@ -126,5 +128,6 @@ def compute(
         max_distance = float(np.linalg.norm(span)) or 1.0
     problem = make_problem(bins, max_distance, dims=pts.shape[1])
     k = kernel or default_kernel(problem, prune=prune)
-    res = run(problem, pts, kernel=k, device=device, trace=trace)
+    res = run(problem, pts, kernel=k, device=device, trace=trace,
+              backend=backend)
     return res.result, res

@@ -28,7 +28,7 @@ from .apps import sdh as sdh_app
 from .core import make_kernel, plan_kernel, run
 from .core.kernels import INPUT_STRATEGIES, OUTPUT_STRATEGIES
 from .data import uniform_points
-from .gpusim import PRESETS, get_device_spec, utilization_table
+from .gpusim import BACKENDS, PRESETS, get_device_spec, utilization_table
 
 
 def _problem(args):
@@ -98,11 +98,11 @@ def cmd_sdh(args) -> int:
                   pts,
                   kernel=sdh_app.default_kernel(problem, prune=args.prune),
                   faults=args.faults, retries=args.retries, workers=2,
-                  trace=args.trace)
+                  trace=args.trace, backend=args.backend)
         hist = res.result
     else:
         hist, res = sdh_app.compute(pts, bins=args.bins, prune=args.prune,
-                                    trace=args.trace)
+                                    trace=args.trace, backend=args.backend)
     print(f"SDH of {args.n} uniform points, {args.bins} buckets "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
     peak = int(np.argmax(hist))
@@ -118,11 +118,12 @@ def cmd_pcf(args) -> int:
         problem = pcf_app.make_problem(args.radius)
         res = run(problem, pts, kernel=make_kernel(problem, prune=args.prune),
                   faults=args.faults, retries=args.retries, workers=2,
-                  trace=args.trace)
+                  trace=args.trace, backend=args.backend)
         count = int(round(res.result))
     else:
         count, res = pcf_app.count_pairs(pts, args.radius, prune=args.prune,
-                                         trace=args.trace)
+                                         trace=args.trace,
+                                         backend=args.backend)
     total = args.n * (args.n - 1) // 2
     print(f"2-PCF of {args.n} uniform points at r={args.radius:g} "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
@@ -147,7 +148,8 @@ def cmd_stats(args) -> int:
     if args.faults is not None:
         extra = {"faults": args.faults, "retries": args.retries}
     res = run(problem, pts, kernel=kernel, spec=spec, workers=args.workers,
-              prune=args.prune, trace=args.trace, **extra)
+              backend=args.backend, prune=args.prune, trace=args.trace,
+              **extra)
     # the utilization table and the registry dump below are two views of
     # the same MetricsRegistry the trace was built from
     print(utilization_table([res.metrics.sim_report()]))
@@ -188,6 +190,17 @@ def cmd_devices(args) -> int:
               f"{spec.shared_mem_per_sm // 1024} KB shm/SM, "
               f"shuffle={'yes' if spec.supports_shuffle else 'no'}")
     return 0
+
+
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="host execution engine: sequential, threads, processes "
+             "(shared-memory worker processes) or megabatch (one stacked "
+             "evaluation per kernel stage); default follows "
+             "REPRO_SIM_BACKEND / auto.  Results are bit-identical across "
+             "backends; only wall time differs",
+    )
 
 
 def _add_trace_arg(p: argparse.ArgumentParser) -> None:
@@ -244,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--prune", action="store_true",
                    help="enable bounds-based tile pruning")
+    _add_backend_arg(p)
     _add_fault_args(p)
     _add_trace_arg(p)
     p.set_defaults(fn=cmd_sdh)
@@ -255,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--prune", action="store_true",
                    help="enable bounds-based tile pruning")
+    _add_backend_arg(p)
     _add_fault_args(p)
     _add_trace_arg(p)
     p.set_defaults(fn=cmd_pcf)
@@ -278,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulator worker threads (default: env/serial)")
     p.add_argument("--prune", action="store_true",
                    help="enable bounds-based tile pruning")
+    _add_backend_arg(p)
     _add_fault_args(p)
     _add_trace_arg(p)
     p.set_defaults(fn=cmd_stats)

@@ -81,7 +81,14 @@ from .kernels import (
     paper_kernels,
     reduce_private_copies,
 )
-from .planner import DEFAULT_BLOCK_SIZES, Plan, PlanCandidate, plan_kernel
+from .planner import (
+    BackendChoice,
+    DEFAULT_BLOCK_SIZES,
+    Plan,
+    PlanCandidate,
+    plan_backend,
+    plan_kernel,
+)
 from .problem import (
     OutputClass,
     OutputSpec,
@@ -126,6 +133,7 @@ __all__ = [
     "paper_kernels", "PAPER_PCF", "PAPER_SDH", "INPUT_STRATEGIES",
     "OUTPUT_STRATEGIES", "DEFAULT_OUTPUT_FOR_CLASS", "reduce_private_copies",
     "plan_kernel", "Plan", "PlanCandidate", "DEFAULT_BLOCK_SIZES",
+    "plan_backend", "BackendChoice",
     "run", "estimate", "RunResult", "periodic_euclidean",
     "MultiGpuRunner", "MultiGpuResult", "ShardPlan", "plan_shards",
     "PCIE_BANDWIDTH", "CrossKernel",

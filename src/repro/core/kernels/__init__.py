@@ -121,6 +121,7 @@ PAPER_SDH: Tuple[Tuple[str, str, str], ...] = (
 
 
 # imported after INPUT_STRATEGIES exists (twopass reads the registry)
+from .megabatch import MEGA_PANEL_COLUMNS, PanelStack, run_mega_block  # noqa: E402
 from .scan import SCAN_BLOCK, exclusive_scan  # noqa: E402
 from .twopass import TwoPassJoinKernel, TwoPassResult  # noqa: E402
 
@@ -148,4 +149,5 @@ __all__ = [
     "INPUT_STRATEGIES", "OUTPUT_STRATEGIES", "DEFAULT_OUTPUT_FOR_CLASS",
     "make_kernel", "PAPER_PCF", "PAPER_SDH", "paper_kernels",
     "exclusive_scan", "SCAN_BLOCK", "TwoPassJoinKernel", "TwoPassResult",
+    "MEGA_PANEL_COLUMNS", "PanelStack", "run_mega_block",
 ]

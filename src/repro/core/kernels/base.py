@@ -39,7 +39,7 @@ from ...gpusim.divergence import warp_loop_cycles
 from ...gpusim.grid import BlockContext, LaunchConfig
 from ...gpusim.memory import TrackedArray
 from ...gpusim.occupancy import Occupancy, calculate_occupancy
-from ...gpusim.parallel import resolve_workers
+from ...gpusim.parallel import resolve_backend, resolve_workers
 from ...gpusim.profiler import SimReport, build_report
 from ...gpusim.spec import DeviceSpec, TITAN_X
 from ...gpusim.timing import (
@@ -229,6 +229,31 @@ class InputStrategy(ABC):
         """Stage partner block ``ids`` and return its values (dims, nR),
         counting whatever traffic the staging costs."""
 
+    def load_tile_batch(
+        self,
+        ctx: BlockContext,
+        data_g: TrackedArray,
+        state: Any,
+        block_state: Any,
+        ids_r_tiles: List[np.ndarray],
+        anchor_n: int,
+    ) -> np.ndarray:
+        """Stage several partner tiles and return their values stacked
+        column-wise, ``(dims, sum of tile widths)``.
+
+        Default: per-tile :meth:`load_tile` calls concatenated — same
+        staging traffic and sync counts as the tile-at-a-time engine, so
+        shared-memory strategies inherit a bit-identical ledger for free.
+        Strategies whose staging is a pure uncharged-or-aggregable gather
+        override this with one fancy-indexed gather over the concatenated
+        ids (identical recorded totals, one numpy call).
+        """
+        tiles = [
+            self.load_tile(ctx, data_g, state, block_state, ids, anchor_n)
+            for ids in ids_r_tiles
+        ]
+        return tiles[0] if len(tiles) == 1 else np.concatenate(tiles, axis=1)
+
     @abstractmethod
     def load_intra(
         self,
@@ -342,6 +367,44 @@ class OutputStrategy(ABC):
                 values[:, off:off + w], None,
             )
             off += w
+
+    def update_mega(
+        self,
+        ctx: BlockContext,
+        state: Any,
+        bufs: Dict[str, Any],
+        problem: TwoBodyProblem,
+        ids_l: np.ndarray,
+        ids_r_tiles: List[np.ndarray],
+        panels: "PanelStack",
+    ) -> None:
+        """Fold one block's entire surviving partner stack in at once.
+
+        ``panels`` is a lazy :class:`~.megabatch.PanelStack` over the
+        column-stacked partner values (every pair active).  The default
+        materializes the full value matrix and reuses the batched fold —
+        bit-identical charges by construction.  Histogram strategies
+        override this to stream fixed-width panels into one aggregated
+        accumulate, never holding the whole matrix.
+        """
+        values = panels.materialize()
+        if len(ids_r_tiles) == 1:
+            self.update(
+                ctx, state, bufs, problem, ids_l, ids_r_tiles[0], values, None
+            )
+        else:
+            self.update_batch(
+                ctx, state, bufs, problem, ids_l, ids_r_tiles, values
+            )
+
+    def host_channels(self, bufs: Dict[str, Any]) -> tuple:
+        """Transport hooks for host-side (non-device) output state, for
+        engines that run blocks in worker *processes* (see
+        :class:`repro.gpusim.procpool.HostChannel`).  Device allocations
+        travel through the shared-memory shard path automatically; only
+        strategies whose kernels mutate plain host objects override this.
+        """
+        return ()
 
     def update_dense(
         self,
@@ -551,6 +614,7 @@ class ComposedKernel:
         workers: Optional[int] = None,
         batch_tiles: Optional[int] = None,
         blocks: Optional[Sequence[int]] = None,
+        backend: Optional[str] = None,
     ) -> Tuple[Any, LaunchRecord]:
         """Run the kernel on the simulated device.
 
@@ -563,6 +627,15 @@ class ComposedKernel:
         (``1`` = the legacy tile-at-a-time loop).  Both engines charge
         access counters identical to the legacy path; float outputs may
         differ within the usual re-association tolerance.
+
+        ``backend`` picks the execution engine (``None`` defers to
+        ``REPRO_SIM_BACKEND``, then ``"auto"``): ``"sequential"`` forces
+        one in-thread worker, ``"threads"``/``"processes"`` select the
+        block-parallel engines, and ``"megabatch"`` swaps the per-block
+        kernel body for the mega-batch path (one stacked evaluation of
+        all surviving partner tiles per stage — see
+        :mod:`repro.core.kernels.megabatch`), riding whichever block
+        engine the worker count resolves to.
 
         ``blocks`` restricts execution to a subset of anchor blocks — a
         device stripe in the multi-GPU decomposition, or the failed block
@@ -588,7 +661,12 @@ class ComposedKernel:
                     f"block ids {bad} outside grid [0, {dec.num_blocks})"
                 )
         grid_blocks = dec.num_blocks if blocks is None else max(1, len(blocks))
-        resolved_workers = resolve_workers(workers, grid_blocks)
+        engine = resolve_backend(backend)
+        if engine == "sequential":
+            resolved_workers = 1
+        else:
+            resolved_workers = resolve_workers(workers, grid_blocks)
+        mega = engine == "megabatch"
         batch = self._resolve_tile_batch(batch_tiles, resolved_workers)
         data_g = device.to_device(soa, name="input")
         in_state = self.input.prepare(device, data_g)
@@ -796,9 +874,21 @@ class ComposedKernel:
                     )
             self.output.block_fini(ctx, out_state, bufs, problem, ids_l, b)
 
+        if mega:
+            # the mega-batch body replaces the inline tile loop wholesale;
+            # the lazy import keeps base <-> megabatch acyclic at load time
+            from .megabatch import run_mega_block
+
+            def kernel(ctx: BlockContext) -> None:  # noqa: F811
+                run_mega_block(
+                    self, ctx, dec, data_g, in_state, bufs, pruner, tr,
+                    trace_on, bsizes, dims, full,
+                )
+
         record = device.launch(
             kernel, self.launch_config(n), name=self.name,
-            workers=resolved_workers, blocks=blocks,
+            workers=resolved_workers, blocks=blocks, backend=engine,
+            host_channels=self.output.host_channels(bufs),
         )
         if pruner is not None:
             record.prune = pruner.stats(full_rows=full, anchors=blocks)

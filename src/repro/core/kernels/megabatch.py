@@ -1,0 +1,219 @@
+"""Mega-batch execution path: one stacked evaluation per kernel stage.
+
+The batched engine (``base.py``, ``batch_tiles > 1``) already amortizes
+Python dispatch by stacking a few R-tiles per ``pair_fn`` call, but its
+batch width is capped so each batch's value matrix stays cache-resident —
+and every batch still pays a full round of interpreter-level staging,
+binning and output bookkeeping per anchor block.
+
+This module removes the cap by splitting *evaluation* from *staging*: per
+anchor block, ALL surviving partner tiles are staged once (one aggregated
+gather for register-anchored strategies) and handed to the output stage as
+a :class:`PanelStack` — a **lazy** pair-value provider that evaluates
+``pair_fn`` over fixed-width column panels on demand.  Histogram outputs
+stream the panels (map, profile, bincount) into one aggregated atomic
+charge without ever materializing the full (block, n) value matrix, so the
+working set per step stays at the cache-friendly panel width while the
+per-tile interpreter overhead is paid exactly once per block.
+
+Bit-identity contract: every pair function in this codebase computes each
+matrix element independently of the column slicing (elementwise op trees
+over broadcast operands), so panel-evaluated values equal the per-tile
+values bit-for-bit — the same invariant the batched engine's column
+stacking already relies on, and what keeps the differential suites exact.
+Integer outputs (histogram counts, tickets) are therefore bit-identical;
+float accumulations re-associate within the usual documented tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ...gpusim.grid import BlockContext
+from ...obs.tracer import US_PER_PAIR
+from ..tiling import cyclic_schedule, triangular_pair_mask
+from .base import _offdiag_mask
+
+#: Column width of one evaluation/binning panel.  A panel's float64 value
+#: matrix plus its bin matrix and sort shadow must stay cache-resident
+#: while the histogram fold walks it — sweeps on the reference host put
+#: the knee at ~512 columns per 256-lane block, the same cliff that sizes
+#: ``TILE_BATCH_COLUMNS``; what the mega path removes is not the panel
+#: width but the per-tile staging, per-batch atomics, and output dispatch
+#: the batched engine re-pays at every step.
+MEGA_PANEL_COLUMNS = 512
+
+
+class PanelStack:
+    """Lazy pair-value provider over one anchor block and its full stack
+    of staged partner columns.
+
+    ``partners`` is the (dims, total) column-stack of every surviving
+    partner tile.  :meth:`panels` evaluates ``pair_fn`` one ``panel_cols``
+    slab at a time and yields ``(column offset, values panel)``.  Slabs
+    are plain views: a column slice keeps unit stride along the partner
+    axis — the axis every ufunc inner loop walks — so compacting it first
+    would cost a full extra memory pass for nothing.
+    :meth:`materialize` evaluates the whole stack in one call (the
+    fallback for output strategies without a streaming path).
+    """
+
+    __slots__ = ("pair_fn", "reg_l", "partners", "panel_cols")
+
+    def __init__(
+        self,
+        pair_fn,
+        reg_l: np.ndarray,
+        partners: np.ndarray,
+        panel_cols: int = MEGA_PANEL_COLUMNS,
+    ) -> None:
+        self.pair_fn = pair_fn
+        self.reg_l = reg_l
+        self.partners = partners
+        self.panel_cols = max(1, int(panel_cols))
+
+    @property
+    def total_cols(self) -> int:
+        return int(self.partners.shape[1])
+
+    def panels(self) -> Iterator[Tuple[int, np.ndarray]]:
+        step = self.panel_cols
+        partners = self.partners
+        total = partners.shape[1]
+        for start in range(0, total, step):
+            yield start, self.pair_fn(self.reg_l, partners[:, start : start + step])
+
+    def materialize(self) -> np.ndarray:
+        return self.pair_fn(self.reg_l, self.partners)
+
+
+def run_mega_block(
+    k,
+    ctx: BlockContext,
+    dec,
+    data_g,
+    in_state,
+    bufs,
+    pruner,
+    tr,
+    trace_on: bool,
+    bsizes,
+    dims: int,
+    full: bool,
+) -> None:
+    """Mega-batch body for one anchor block of a :class:`ComposedKernel`.
+
+    Structurally the batched engine's block body with the tile-batch loop
+    collapsed to a single stage-everything step: identical pruning
+    decisions, identical staging and pair-read charges per tile, identical
+    intra-block pass — only the inter-tile evaluation and output fold go
+    through :meth:`OutputStrategy.update_mega` once per block.  Runs in
+    its own frame (one call per block, not per tile) so the block's staged
+    stack and panel shadows stay live until the next block rebinds them.
+    """
+    problem = k.problem
+    b = ctx.block_id
+    ids_l = dec.block_indices(b)
+    nl = ids_l.size
+    block_state = k.input.block_setup(ctx, dims)
+    reg_l = k.input.load_anchor(ctx, data_g, in_state, block_state, ids_l)
+    out_state = k.output.block_init(ctx, bufs, problem, ids_l)
+    partner_blocks = (
+        [i for i in range(dec.num_blocks) if i != b]
+        if full
+        else list(range(b + 1, dec.num_blocks))
+    )
+    if pruner is not None:
+        cls = pruner.classify(b)
+        survivors: List[int] = []
+        n_skip = n_bulk = 0
+        for i in partner_blocks:
+            if cls.skip[i]:
+                n_skip += 1
+                continue
+            if cls.bulk[i]:
+                n_bulk += 1
+                k.output.bulk_update(
+                    ctx, out_state, bufs, problem, ids_l,
+                    dec.block_indices(i), cls.value[i],
+                )
+            else:
+                survivors.append(i)
+        if trace_on:
+            tr.instant(
+                "prune", cat="prune",
+                args={
+                    "block": int(b), "skipped": n_skip,
+                    "bulk": n_bulk, "evaluate": len(survivors),
+                },
+            )
+        partner_blocks = survivors
+    if partner_blocks:
+        if trace_on:
+            pairs = nl * int(bsizes[partner_blocks].sum())
+            span = tr.span(
+                "mega", cat="engine", key=0,
+                cost_us=pairs * US_PER_PAIR,
+                args={
+                    "block": int(b), "tiles": len(partner_blocks),
+                    "pairs": pairs,
+                },
+            )
+        else:
+            span = tr.span("mega")
+        with span:
+            ids_r_tiles = [dec.block_indices(i) for i in partner_blocks]
+            stacked = k.input.load_tile_batch(
+                ctx, data_g, in_state, block_state, ids_r_tiles, nl
+            )
+            for ids_r in ids_r_tiles:
+                k.input.charge_pair_reads(
+                    ctx, nl, ids_r.size, nl * ids_r.size, dims
+                )
+            panels = PanelStack(problem.pair_fn, reg_l, stacked)
+            k.output.update_mega(
+                ctx, out_state, bufs, problem, ids_l, ids_r_tiles, panels
+            )
+    # intra-block pass: byte-for-byte the batched engine's (megabatching
+    # only touches the inter-tile stage; the diagonal is one tile already)
+    n_intra = nl * (nl - 1) if full else nl * (nl - 1) // 2
+    if n_intra == 0:
+        k.output.block_fini(ctx, out_state, bufs, problem, ids_l, b)
+        return
+    if trace_on:
+        span = tr.span(
+            "intra", cat="engine", key=dec.num_blocks,
+            cost_us=n_intra * US_PER_PAIR,
+            args={"block": int(b), "pairs": int(n_intra)},
+        )
+    else:
+        span = tr.span("intra")
+    with span:
+        vals_l = k.input.load_intra(ctx, data_g, in_state, block_state, ids_l)
+        values = problem.pair_fn(reg_l, vals_l)
+        k.input.charge_pair_reads(ctx, nl, nl, n_intra, dims)
+        if full:
+            k.output.update_dense(
+                ctx, out_state, bufs, problem, ids_l, ids_l, values,
+                _offdiag_mask(nl),
+            )
+        elif k.load_balanced and nl == k.block_size and nl % 2 == 0:
+            mask_buf = np.zeros((nl, nl), dtype=bool)
+            for partners in cyclic_schedule(nl):
+                active = partners >= 0
+                rows = np.nonzero(active)[0]
+                cols = partners[active]
+                mask_buf[rows, cols] = True
+                k.output.update(
+                    ctx, out_state, bufs, problem, ids_l, ids_l, values,
+                    mask_buf,
+                )
+                mask_buf[rows, cols] = False
+        else:
+            k.output.update_dense(
+                ctx, out_state, bufs, problem, ids_l, ids_l, values,
+                triangular_pair_mask(nl),
+            )
+    k.output.block_fini(ctx, out_state, bufs, problem, ids_l, b)

@@ -41,6 +41,19 @@ class NaiveInput(InputStrategy):
         # global reads are charged in charge_pair_reads.
         return data_g.raw()[:, ids]
 
+    def load_tile_batch(
+        self, ctx, data_g, state, block_state, ids_r_tiles, anchor_n
+    ) -> np.ndarray:
+        # staging is a single uncharged gather, so the whole stack can be
+        # fancy-indexed in one call (the per-pair reads are still charged
+        # per tile by the engine)
+        ids = (
+            ids_r_tiles[0]
+            if len(ids_r_tiles) == 1
+            else np.concatenate(ids_r_tiles)
+        )
+        return data_g.raw()[:, ids]
+
     def load_intra(self, ctx, data_g, state, block_state, ids) -> np.ndarray:
         return data_g.raw()[:, ids]
 

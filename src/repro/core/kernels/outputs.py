@@ -31,6 +31,7 @@ from ...gpusim.counters import MemSpace
 from ...gpusim.device import Device
 from ...gpusim.errors import OutputCorruptionError
 from ...gpusim.grid import BlockContext
+from ...gpusim.procpool import HostChannel
 from ...gpusim.spec import DeviceSpec
 from ...gpusim.timing import TrafficProfile, reduction_stage_seconds
 from ...obs.tracer import NULL_TRACER, PHASE_MERGE
@@ -228,6 +229,96 @@ def _histogram_update(
     )
 
 
+def _histogram_update_mega(
+    ctx: BlockContext,
+    target,
+    problem: TwoBodyProblem,
+    panels,
+    copies: int = 1,
+) -> None:
+    """Mega-batch HISTOGRAM fold: stream lazy value panels into ONE
+    aggregated atomic charge.
+
+    Each panel runs exactly the ``mask=None`` dense path of
+    :func:`_histogram_update` (map, bounds check, conflict profile,
+    bincount), but instead of issuing one :func:`atomic_add_dense` per
+    panel the counts and conflict samples accumulate across the whole
+    stack and land in a single call.  The conflict profile is computed
+    per (warp, column) group, so panel sums equal the per-tile sums no
+    matter where the panel boundaries fall; the recorded op count is the
+    total pair count — identical totals to the tile-at-a-time engine,
+    with the whole (block, n) value matrix never materialized.
+    """
+    nbins = problem.output.bins
+    total = copies * nbins
+    narrow = total < _INT32_MAX
+    counts = np.zeros(target.size, dtype=np.int64)
+    degree_sum = 0.0
+    issues = 0
+    n_ops = 0
+    lane_offsets: Optional[np.ndarray] = None
+    for _, values in panels.panels():
+        bins = np.asarray(problem.output.map_fn(values))
+        if bins.dtype.kind not in "iu":
+            bins = bins.astype(np.int64)
+        if bins.shape != values.shape:
+            raise ValueError(
+                f"histogram map_fn changed shape: {values.shape} -> {bins.shape}"
+            )
+        if bins.dtype.itemsize > 4:
+            if bins.size:
+                lo, hi = int(bins.min()), int(bins.max())
+                if lo < 0 or hi >= nbins:
+                    raise IndexError(
+                        f"bin index outside [0, {nbins}): [{lo}, {hi}]"
+                    )
+            if narrow:
+                bins = bins.astype(np.int32)
+        if copies > 1:
+            if np.iinfo(bins.dtype).max < total:
+                bins = bins.astype(np.int32 if narrow else np.int64)
+            if lane_offsets is None or lane_offsets.dtype != bins.dtype:
+                lane_offsets = (
+                    np.arange(bins.shape[0], dtype=bins.dtype) % copies
+                ) * nbins
+            d, i = warp_conflict_degrees_dense(
+                bins, ctx.warp_size, lane_offsets=lane_offsets
+            )
+            for c in range(copies):
+                try:
+                    cnt = np.bincount(
+                        bins[c::copies, :].ravel(), minlength=nbins
+                    )
+                except ValueError:  # negative bin: loud, like the min check
+                    raise IndexError(
+                        f"bin index outside [0, {nbins}): negative bin"
+                    ) from None
+                if cnt.size > nbins:
+                    raise IndexError(
+                        f"bin index outside [0, {nbins}): {cnt.size - 1}"
+                    )
+                counts[c * nbins : (c + 1) * nbins] += cnt
+        else:
+            d, i = warp_conflict_degrees_dense(bins, ctx.warp_size)
+            try:
+                cnt = np.bincount(bins.ravel(), minlength=target.size)
+            except ValueError:  # negative bin: loud, like the min check
+                raise IndexError(
+                    f"bin index outside [0, {nbins}): negative bin"
+                ) from None
+            if cnt.size > target.size:
+                raise IndexError(
+                    f"bin index outside [0, {nbins}): {cnt.size - 1}"
+                )
+            counts += cnt
+        degree_sum += d
+        issues += i
+        n_ops += bins.size
+    atomic_add_dense(
+        target, counts, n_ops, conflict_sample=(degree_sum, issues)
+    )
+
+
 class RegisterOutput(OutputStrategy):
     """Type-I: output lives in per-thread registers until kernel exit."""
 
@@ -397,6 +488,15 @@ class GlobalAtomicOutput(OutputStrategy):
         if issues:
             acc.counters.add_conflict_sample(degree_sum / issues, issues)
 
+    def update_mega(self, ctx, state, bufs, problem, ids_l, ids_r_tiles, panels):
+        if problem.output.kind is UpdateKind.HISTOGRAM:
+            _histogram_update_mega(ctx, bufs["hist"], problem, panels)
+        else:
+            # scalar sums ride the aggregated update_batch fold
+            super().update_mega(
+                ctx, state, bufs, problem, ids_l, ids_r_tiles, panels
+            )
+
     def bulk_update(self, ctx, state, bufs, problem, ids_l, ids_r, value):
         # one folded atomic for the whole tile — single lane, conflict-free
         npairs = ids_l.size * ids_r.size
@@ -486,6 +586,11 @@ class PrivatizedSharedOutput(OutputStrategy):
 
     def update_batch(self, ctx, state, bufs, problem, ids_l, ids_r_tiles, values):
         _histogram_update(ctx, state, problem, values, None, copies=self.copies)
+
+    def update_mega(self, ctx, state, bufs, problem, ids_l, ids_r_tiles, panels):
+        _histogram_update_mega(
+            ctx, state, problem, panels, copies=self.copies
+        )
 
     def bulk_update(self, ctx, state, bufs, problem, ids_l, ids_r, value):
         # fold the whole tile into copy 0 of the private histogram with
@@ -640,6 +745,22 @@ class GlobalDirectOutput(OutputStrategy):
 
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         pass
+
+    def host_channels(self, bufs) -> tuple:
+        # the EMIT_PAIRS spill dict is plain host state: under the process
+        # engine each worker ships its deal's entries back explicitly (the
+        # shared-memory shard path only carries device allocations)
+        if "emitted" not in bufs:
+            return ()
+        emitted = bufs["emitted"]
+
+        def collect(deal):
+            return {int(b): emitted.get(int(b), []) for b in deal}
+
+        def install(worker, deal, payload):
+            emitted.update(payload)
+
+        return (HostChannel(collect=collect, install=install),)
 
     def finalize(self, device, bufs, problem, n):
         if problem.output.kind is UpdateKind.MATRIX:

@@ -37,6 +37,18 @@ class RegisterRocInput(InputStrategy):
         # are charged in charge_pair_reads
         return state.raw()[:, ids]
 
+    def load_tile_batch(
+        self, ctx, data_g, state: ReadOnlyView, block_state, ids_r_tiles, anchor_n
+    ):
+        # cache-served gather with no staging charge: fancy-index the whole
+        # partner stack at once (per-pair ROC reads still charged per tile)
+        ids = (
+            ids_r_tiles[0]
+            if len(ids_r_tiles) == 1
+            else np.concatenate(ids_r_tiles)
+        )
+        return state.raw()[:, ids]
+
     def load_intra(self, ctx, data_g, state: ReadOnlyView, block_state, ids):
         return state.raw()[:, ids]
 

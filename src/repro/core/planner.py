@@ -12,13 +12,15 @@ with the full ranking so callers can inspect the rationale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..gpusim.calibration import Calibration, DEFAULT_CALIBRATION
 from ..gpusim.errors import GpuSimError, LaunchConfigError, SharedMemoryError
+from ..gpusim.parallel import resolve_workers
 from ..gpusim.spec import DeviceSpec, TITAN_X
 from .bounds import PruneStats, prune_stats
 from .kernels import ComposedKernel, FULL_ROW_KINDS, make_kernel
@@ -27,6 +29,99 @@ from .problem import OutputClass, TwoBodyProblem, UpdateKind
 #: candidate block sizes (warp multiples spanning the practical range; the
 #: paper uses 1024 for 2-PCF per its prior model [23] and 256 for SDH).
 DEFAULT_BLOCK_SIZES: Tuple[int, ...] = (128, 256, 512, 1024)
+
+# ---------------------------------------------------------------------------
+# Host execution-backend pricing.
+#
+# The analytical model above prices *simulated GPU* seconds; the knobs
+# below price *host wall time* of the functional run itself, so the
+# planner can also recommend which execution engine
+# (sequential / threads / processes / megabatch) to hand to ``run``.
+# Constants are calibrated against BENCH_backend.json on the reference
+# host: the tile-at-a-time sequential engine spends roughly half its wall
+# time in per-tile interpreter dispatch, which batching (threads engine)
+# and mega-batching amortize almost entirely; the ufunc share then scales
+# across cores — imperfectly for threads (the interpreter between ufuncs
+# holds the GIL), near-linearly for processes (own interpreters over
+# shared-memory buffers, at the price of a fork/segment setup toll).
+
+#: ufunc (vectorized-math) share of the sequential engine's wall time
+VECTOR_FRACTION = 0.45
+#: per-tile dispatch share left after auto tile batching (threads engine)
+DISPATCH_RESIDUAL_BATCHED = 0.05
+#: dispatch share left after mega-batch stacking (one stage per block)
+DISPATCH_RESIDUAL_MEGA = 0.02
+#: marginal per-extra-core scaling of the ufunc share under the GIL
+THREAD_EFFICIENCY = 0.55
+#: marginal per-extra-core scaling for worker processes (GIL-free)
+PROCESS_EFFICIENCY = 0.85
+#: fork + shared-memory-segment setup toll, relative to a sequential run
+PROCESS_STARTUP_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """One host execution backend with its predicted relative speedup."""
+
+    backend: str
+    #: predicted host wall-time speedup over the sequential engine
+    predicted_speedup: float
+    note: str = ""
+
+
+def plan_backend(
+    n: int,
+    block_size: int = 256,
+    workers: Optional[int] = None,
+    cpu_count: Optional[int] = None,
+) -> List[BackendChoice]:
+    """Rank the host execution backends for a run of size ``n``.
+
+    Returns every backend with its predicted wall-time speedup over the
+    sequential (tile-at-a-time) engine, best first.  ``workers`` follows
+    ``REPRO_SIM_WORKERS`` when ``None``; ``cpu_count`` defaults to the
+    machine's.  The model is deliberately coarse — its job is picking the
+    right engine per host, not predicting milliseconds: on a single-core
+    host it correctly refuses to recommend worker processes (fork toll,
+    no parallel gain), while on a multi-core host processes and the
+    mega-batch path overtake the thread plateau.
+    """
+    grid_blocks = max(1, -(-int(n) // int(block_size)))
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    w = resolve_workers(workers, grid_blocks)
+    p = max(1, min(w, cores))
+    thread_scale = 1.0 + (p - 1) * THREAD_EFFICIENCY
+    process_scale = 1.0 + (p - 1) * PROCESS_EFFICIENCY
+    times = {
+        "sequential": 1.0,
+        "threads": DISPATCH_RESIDUAL_BATCHED + VECTOR_FRACTION / thread_scale,
+        "processes": (
+            DISPATCH_RESIDUAL_BATCHED
+            + VECTOR_FRACTION / process_scale
+            + PROCESS_STARTUP_FRACTION
+        ),
+        "megabatch": DISPATCH_RESIDUAL_MEGA + VECTOR_FRACTION / thread_scale,
+    }
+    notes = {
+        "sequential": "tile-at-a-time baseline",
+        "threads": f"auto tile batching, {p} worker thread(s)",
+        "processes": (
+            f"{p} shared-memory worker process(es) on {cores} core(s)"
+        ),
+        "megabatch": "one stacked evaluation per kernel stage",
+    }
+    ranked = sorted(
+        (
+            BackendChoice(
+                backend=name,
+                predicted_speedup=round(1.0 / t, 3),
+                note=notes[name],
+            )
+            for name, t in times.items()
+        ),
+        key=lambda c: (-c.predicted_speedup, c.backend),
+    )
+    return ranked
 
 
 @dataclass(frozen=True)
@@ -58,6 +153,14 @@ class Plan:
     chosen: PlanCandidate
     ranking: List[PlanCandidate]
     rejected: List[Tuple[str, str]]  # (label, reason)
+    #: host execution backends ranked by predicted wall-time speedup
+    #: (:func:`plan_backend`); empty when backend pricing was skipped
+    backends: List[BackendChoice] = field(default_factory=list)
+
+    @property
+    def backend(self) -> Optional[BackendChoice]:
+        """The recommended host execution backend (best-ranked), if priced."""
+        return self.backends[0] if self.backends else None
 
     def explain(self) -> str:
         lines = [
@@ -71,6 +174,13 @@ class Plan:
             )
         for label, reason in self.rejected:
             lines.append(f"  ruled out: {label} ({reason})")
+        if self.backends:
+            best = self.backends[0]
+            lines.append(
+                f"  backend: {best.backend} "
+                f"(predicted {best.predicted_speedup:.2f}x host speedup; "
+                f"{best.note})"
+            )
         return "\n".join(lines)
 
 
@@ -187,4 +297,5 @@ def plan_kernel(
         chosen=ranking[0],
         ranking=ranking,
         rejected=rejected,
+        backends=plan_backend(n, block_size=ranking[0].kernel.block_size),
     )

@@ -298,6 +298,7 @@ def _supervised_execute(
     blocks: Optional[List[int]],
     workers: Optional[int],
     batch_tiles: Optional[int],
+    backend: Optional[str],
     expected_pairs: Optional[int],
     n: int,
     tracer=None,
@@ -338,7 +339,8 @@ def _supervised_execute(
         )
         try:
             result, record = current.execute(
-                device, points, workers=workers, batch_tiles=bt, blocks=blocks
+                device, points, workers=workers, batch_tiles=bt,
+                blocks=blocks, backend=backend,
             )
             verify_result(
                 current.problem, result, n=n, expected_pairs=expected_pairs
@@ -404,6 +406,7 @@ def resilient_run(
     spec: DeviceSpec = TITAN_X,
     workers: Optional[int] = None,
     batch_tiles: Optional[int] = None,
+    backend: Optional[str] = None,
     tracer=None,
 ) -> ResilientResult:
     """Run ``problem`` under the resilience supervisor.
@@ -439,7 +442,8 @@ def resilient_run(
     m = k.geometry(n).num_blocks
     common = dict(
         injector=injector, policy=policy, report=report, rng=rng, spec=spec,
-        workers=workers, batch_tiles=batch_tiles, n=n, tracer=tracer,
+        workers=workers, batch_tiles=batch_tiles, backend=backend, n=n,
+        tracer=tracer,
     )
 
     if num_devices <= 1 or m < 2:

@@ -9,6 +9,7 @@ import numpy as np
 
 from ..gpusim.calibration import Calibration, DEFAULT_CALIBRATION
 from ..gpusim.device import Device, LaunchRecord
+from ..gpusim.parallel import resolve_backend
 from ..gpusim.profiler import SimReport
 from ..gpusim.spec import DeviceSpec, TITAN_X
 from ..obs.manifest import build_manifest
@@ -57,6 +58,7 @@ def run(
     auto_plan: bool = False,
     workers: Optional[int] = None,
     batch_tiles: Optional[int] = None,
+    backend: Optional[str] = None,
     faults: Optional[Any] = None,
     retries: Optional[Any] = None,
     prune: bool = False,
@@ -75,6 +77,11 @@ def run(
     ``workers`` / ``batch_tiles`` tune the simulator's parallel, batched
     execution engine (see :meth:`ComposedKernel.execute`); defaults follow
     the ``REPRO_SIM_WORKERS`` / ``REPRO_SIM_TILE_BATCH`` environment.
+    ``backend`` picks the host execution engine — ``"sequential"``,
+    ``"threads"``, ``"processes"`` (shared-memory worker processes) or
+    ``"megabatch"`` (one stacked evaluation per kernel stage); ``None`` /
+    ``"auto"`` follows ``REPRO_SIM_BACKEND``.  All backends produce
+    bit-identical results; only host wall time differs.
 
     ``faults`` (a seed, :class:`~repro.gpusim.faults.FaultPlan` or
     injector) and/or ``retries`` (an int budget or
@@ -109,7 +116,7 @@ def run(
         rr = resilient_run(
             problem, points, kernel=kernel, faults=faults, retry=policy,
             spec=spec, workers=workers, batch_tiles=batch_tiles,
-            tracer=tracer,
+            backend=backend, tracer=tracer,
         )
         report = rr.kernel.simulate(
             n, spec=spec, calib=calib,
@@ -125,7 +132,8 @@ def run(
         if device is not None and tracer.enabled:
             dev.tracer = tracer
         result, record = kernel.execute(
-            dev, points, workers=workers, batch_tiles=batch_tiles
+            dev, points, workers=workers, batch_tiles=batch_tiles,
+            backend=backend,
         )
         report = kernel.simulate(n, spec=spec, calib=calib, prune=record.prune)
         # splice the *measured* counters into the report so profiler tables
@@ -137,7 +145,7 @@ def run(
     res.manifest = build_manifest(
         problem=problem, kernel=res.kernel, spec=spec, calib=calib, n=n,
         workers=workers, batch_tiles=batch_tiles, prune=prune,
-        faults=faults, retries=retries,
+        faults=faults, retries=retries, backend=resolve_backend(backend),
     )
     if tracer.enabled:
         tracer.manifest = res.manifest

@@ -78,13 +78,17 @@ from .memory import ReadOnlyView, TrackedArray, bank_conflict_degree
 from .occupancy import Occupancy, calculate_occupancy, max_block_size_for_shared
 from .parallel import (
     ArrayShadow,
+    BACKEND_ENV,
+    BACKENDS,
     CrashRecovery,
     ParallelLaunchError,
     ParallelSession,
     WORKERS_ENV,
+    resolve_backend,
     resolve_workers,
     run_blocks_parallel,
 )
+from .procpool import HostChannel, run_blocks_process_parallel
 from .profiler import (
     SimReport,
     bandwidth_table,
@@ -128,6 +132,9 @@ __all__ = [
     # parallel launch engine
     "ArrayShadow", "CrashRecovery", "ParallelLaunchError", "ParallelSession",
     "WORKERS_ENV", "resolve_workers", "run_blocks_parallel",
+    # execution backends
+    "BACKEND_ENV", "BACKENDS", "resolve_backend",
+    "HostChannel", "run_blocks_process_parallel",
     # fault injection
     "FaultEvent", "FaultInjector", "FaultKind", "FaultPlan", "FaultSpec",
     "InjectedAllocationFailure", "as_injector",

@@ -166,18 +166,40 @@ def warp_conflict_degrees_dense(
     issues_mat.sort(axis=-1)
     n_issues = issues_mat.shape[0]
     # Max multiplicity per sorted row = 1 + its longest adjacent-equal
-    # run.  One equality pass builds the run mask, stored lane-major so
-    # each scan step reads a contiguous slice; the scan then walks lanes
-    # with three in-place ops on thin per-issue vectors (`run` resets to
-    # zero wherever the mask breaks), which stays cache-resident and is
-    # insensitive to the collision density.
-    eq = np.ascontiguousarray(
-        (issues_mat[:, 1:] == issues_mat[:, :-1]).T
-    )
+    # run.  Pack each row's adjacent-equal mask into one machine word and
+    # smear it: AND-ing a word with itself shifted right by one shortens
+    # every run of set bits by one, so the count of words still nonzero
+    # after k smears is the number of issues whose longest run exceeds k
+    # — and summing those counts over k reproduces the per-issue maxima
+    # sum exactly (sum of max-run lengths == sum over k of #{run > k}).
+    # The loop therefore runs longest-run times over a single word per
+    # issue instead of warp_size times over three per-issue vectors, and
+    # a conflict-free matrix costs one reduction.
+    eq = issues_mat[:, 1:] == issues_mat[:, :-1]
+    if not eq.any():
+        # conflict-free: every issue's degree is 1
+        return float(n_issues), int(n_issues)
+    if warp_size <= 65:  # the (warp_size - 1)-bit mask fits one word
+        packed = np.packbits(eq, axis=1, bitorder="little")
+        width = 4 if warp_size <= 33 else 8
+        short = -packed.shape[1] % width
+        if short:  # pad bytes are zero: they never extend a run
+            packed = np.pad(packed, ((0, 0), (0, short)))
+        words = packed.view(f"<u{width}").ravel()
+        total = n_issues
+        while True:
+            alive = int(np.count_nonzero(words))
+            if not alive:
+                break
+            total += alive
+            words &= words >> 1  # every run loses its lowest bit
+        return float(total), int(n_issues)
+    # exotic warp widths beyond one machine word: lane-major scan with
+    # three thin in-place ops per lane (`run` zeroes where the mask breaks)
     run = np.zeros(n_issues, dtype=np.int32)
     best = np.zeros(n_issues, dtype=np.int32)
-    for lane in range(warp_size - 1):
+    for lane_eq in eq.T:
         run += 1
-        run *= eq[lane]
+        run *= lane_eq
         np.maximum(best, run, out=best)
     return float(n_issues + int(best.sum())), int(n_issues)

@@ -26,7 +26,13 @@ from .counters import AccessCounters, MemSpace
 from .errors import DeviceAllocationError
 from .grid import BlockContext, LaunchConfig
 from .memory import ReadOnlyView, TrackedArray
-from .parallel import CrashRecovery, resolve_workers, run_blocks_parallel
+from .parallel import (
+    CrashRecovery,
+    resolve_backend,
+    resolve_workers,
+    run_blocks_parallel,
+)
+from .procpool import HostChannel, run_blocks_process_parallel
 from .spec import DeviceSpec, TITAN_X
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,10 +51,14 @@ class LaunchRecord:
     blocks_run: int
     wall_seconds: float  # host-side simulation time, NOT simulated GPU time
     sync_counts: List[int] = field(default_factory=list)
-    workers: int = 1  # simulator worker threads used for this launch
+    workers: int = 1  # simulator workers (threads or processes) used
     #: bounds-pruning aggregates (a repro.core.bounds.PruneStats) when the
     #: kernel ran with tile pruning enabled, else None
     prune: Optional[Any] = None
+    #: execution engine that actually ran the blocks: "sequential",
+    #: "threads" or "processes" (the kernel-level "megabatch" path reports
+    #: whichever block engine it rode on)
+    backend: str = "sequential"
 
     @property
     def max_shared_bytes(self) -> int:
@@ -181,6 +191,8 @@ class Device:
         name: Optional[str] = None,
         workers: Optional[int] = None,
         blocks: Optional[Sequence[int]] = None,
+        backend: Optional[str] = None,
+        host_channels: Sequence[HostChannel] = (),
     ) -> LaunchRecord:
         """Run ``kernel`` once per block, merging access counters.
 
@@ -189,6 +201,15 @@ class Device:
         ``0`` means one worker per core, ``N > 1`` runs simulated blocks on
         ``N`` threads with privatized counters and output shards merged by a
         deterministic final reduction (:mod:`repro.gpusim.parallel`).
+
+        ``backend`` picks the execution engine explicitly (``None`` consults
+        ``REPRO_SIM_BACKEND``): ``"sequential"`` forces the block-serial
+        loop regardless of ``workers``, ``"threads"`` / ``"processes"``
+        select the pool flavour when more than one worker resolves, and
+        ``"auto"`` / ``"megabatch"`` keep the historical behaviour (threads
+        when parallel — megabatching happens above the launch seam).
+        ``host_channels`` ships kernel host-side state across the process
+        boundary (ignored by the in-process engines, which share memory).
 
         ``blocks`` restricts the launch to a subset of block ids — the
         unit of partial re-execution (a device stripe, a recovered block
@@ -204,7 +225,17 @@ class Device:
         attempt = self._launch_attempts
         self._launch_attempts += 1
         block_ids = list(range(config.grid_dim)) if blocks is None else list(blocks)
-        resolved = resolve_workers(workers, max(1, len(block_ids)))
+        engine = resolve_backend(backend)
+        if engine == "sequential":
+            resolved = 1
+        else:
+            resolved = resolve_workers(workers, max(1, len(block_ids)))
+        if resolved <= 1:
+            run_backend = "sequential"
+        elif engine == "processes":
+            run_backend = "processes"
+        else:
+            run_backend = "threads"
         kernel_name = name or getattr(kernel, "__name__", "kernel")
         tr = self.tracer
         if tr.enabled:
@@ -214,7 +245,7 @@ class Device:
                 args={
                     "kernel": kernel_name, "grid_dim": config.grid_dim,
                     "blocks": len(block_ids), "workers": resolved,
-                    "attempt": attempt,
+                    "attempt": attempt, "backend": run_backend,
                 },
             )
         else:
@@ -228,9 +259,14 @@ class Device:
             pre_faults = (
                 self.faults.injected_count if self.faults is not None else 0
             )
-            if resolved <= 1:
+            if run_backend == "sequential":
                 merged, sync_counts, max_shared = self._run_serial(
                     kernel, config, block_ids
+                )
+            elif run_backend == "processes":
+                merged, sync_counts, max_shared = self._run_processes(
+                    kernel, config, resolved, block_ids, launch_span,
+                    host_channels,
                 )
             else:
                 merged, sync_counts, max_shared = self._run_parallel(
@@ -247,6 +283,7 @@ class Device:
             wall_seconds=time.perf_counter() - t0,
             sync_counts=sync_counts,
             workers=resolved,
+            backend=run_backend,
         )
         record._max_shared = max_shared
         self.launches.append(record)
@@ -313,6 +350,61 @@ class Device:
             crash_recovery=self.crash_recovery,
             tracer=self.tracer,
             launch_span=launch_span,
+        )
+        ordered = [sync_counts[b] for b in block_ids]
+        return merged, ordered, max(shared_used.values(), default=0)
+
+    def _run_processes(
+        self,
+        kernel: KernelFn,
+        config: LaunchConfig,
+        num_workers: int,
+        block_ids: List[int],
+        launch_span: Optional[Any] = None,
+        host_channels: Sequence[HostChannel] = (),
+    ) -> Tuple[AccessCounters, List[int], int]:
+        """Block-parallel execution on forked worker processes: the same
+        deal and reduction as :meth:`_run_parallel`, but each worker runs
+        on its own interpreter over shared-memory arrays
+        (:mod:`repro.gpusim.procpool`).  The per-block sync/shared-usage
+        bookkeeping lives in host dicts, so it rides its own channel."""
+        sync_counts = {b: 0 for b in block_ids}
+        shared_used = {b: 0 for b in block_ids}
+
+        def run_block(b: int, ledger: AccessCounters) -> None:
+            ctx = BlockContext(
+                spec=self.spec, config=config, block_id=b, counters=ledger
+            )
+            kernel(ctx)
+            sync_counts[b] = ctx.sync_count
+            shared_used[b] = ctx.shared_bytes_used
+
+        def collect_block_stats(deal: Sequence[int]):
+            return [
+                (int(sync_counts[b]), int(shared_used[b])) for b in deal
+            ]
+
+        def install_block_stats(w: int, deal: Sequence[int], payload) -> None:
+            for b, (sync, shared) in zip(deal, payload):
+                sync_counts[b] = sync
+                shared_used[b] = shared
+
+        channels = (
+            HostChannel(collect=collect_block_stats, install=install_block_stats),
+        ) + tuple(host_channels)
+        merged = run_blocks_process_parallel(
+            num_workers,
+            config.grid_dim,
+            run_block,
+            list(self._allocations.values()),
+            self._set_active,
+            block_ids=block_ids,
+            injector=self.faults,
+            device_ordinal=self.ordinal,
+            crash_recovery=self.crash_recovery,
+            tracer=self.tracer,
+            launch_span=launch_span,
+            host_channels=channels,
         )
         ordered = [sync_counts[b] for b in block_ids]
         return merged, ordered, max(shared_used.values(), default=0)

@@ -235,6 +235,40 @@ class FaultInjector:
     def injected_count(self) -> int:
         return len(self.events)
 
+    # -- cross-process state transport ---------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Bookkeeping snapshot taken in the parent before forking process
+        workers; children ship back only the delta relative to it."""
+        with self._lock:
+            return {
+                "events": len(self.events),
+                "remaining": list(self._remaining),
+            }
+
+    def delta_since(self, snapshot: Dict[str, object]) -> Dict[str, object]:
+        """Child-side: the events recorded and triggers consumed by this
+        process since ``snapshot`` (picklable, order-preserving)."""
+        with self._lock:
+            events = list(self.events[snapshot["events"]:])
+            consumed = [
+                (before - after) if before is not None else 0
+                for before, after in zip(
+                    snapshot["remaining"], self._remaining
+                )
+            ]
+        return {"events": events, "consumed": consumed}
+
+    def apply_delta(self, delta: Dict[str, object]) -> None:
+        """Parent-side: fold one process worker's delta in.  Deltas are
+        applied in worker order — and before any crash recovery runs — so
+        the merged event log and the remaining trigger budgets match what
+        a thread-pool launch of the same plan would leave behind."""
+        with self._lock:
+            self.events.extend(delta["events"])
+            for i, used in enumerate(delta["consumed"]):
+                if used and self._remaining[i] is not None:
+                    self._remaining[i] = max(0, self._remaining[i] - used)
+
     # -- hooks ---------------------------------------------------------------
     def on_launch(self, device: int, launch: int) -> None:
         """Called by :meth:`Device.launch` before running any block.

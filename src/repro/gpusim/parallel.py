@@ -29,7 +29,7 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,9 +53,61 @@ if TYPE_CHECKING:  # pragma: no cover
 #: every available core; any other integer is used as-is.
 WORKERS_ENV = "REPRO_SIM_WORKERS"
 
+#: Environment variable selecting the execution backend for simulated
+#: launches and engine runs (see :func:`resolve_backend`).
+BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+#: Recognized backend names.  ``auto`` keeps the historical behaviour
+#: (thread pool when workers > 1, block-serial otherwise); ``sequential``
+#: forces the serial loop; ``threads`` / ``processes`` pick the worker
+#: pool flavour; ``megabatch`` selects the stacked-tile vectorized engine
+#: (a kernel-level path — block execution itself follows ``auto``).
+BACKENDS = ("auto", "sequential", "threads", "processes", "megabatch")
+
+#: memoized (raw env string, parsed value) pairs — sweeps resolve these
+#: once per ``execute`` call and must not re-parse the environment.
+_WORKERS_CACHE: Tuple[str, Optional[int]] = ("", None)
+_BACKEND_CACHE: Tuple[str, str] = ("", "auto")
+
 
 class ParallelLaunchError(GpuSimError):
     """A parallel launch violated the block-independence invariant."""
+
+
+def _workers_from_env() -> Optional[int]:
+    """Parsed ``REPRO_SIM_WORKERS`` (``None`` = unset).
+
+    Memoized on the raw string, like ``REPRO_SIM_TILE_BATCH``: repeated
+    ``execute()`` calls pay one dict lookup, while an env change between
+    calls (tests monkeypatching, sweep drivers) is still picked up.  A
+    malformed value names the variable and the accepted forms instead of
+    surfacing a bare ``int()`` ValueError.
+    """
+    global _WORKERS_CACHE
+    raw = os.environ.get(WORKERS_ENV, "")
+    cached_raw, cached_val = _WORKERS_CACHE
+    if raw == cached_raw:
+        return cached_val
+    env = raw.strip().lower()
+    if not env:
+        value: Optional[int] = None
+    elif env == "auto":
+        value = 0
+    else:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"invalid {WORKERS_ENV}={raw!r}: expected 'auto' or a "
+                "non-negative integer worker count"
+            ) from None
+        if value < 0:
+            raise ValueError(
+                f"invalid {WORKERS_ENV}={raw!r}: expected 'auto' or a "
+                "non-negative integer worker count"
+            )
+    _WORKERS_CACHE = (raw, value)
+    return value
 
 
 def resolve_workers(workers: Optional[int], grid_dim: int) -> int:
@@ -65,15 +117,44 @@ def resolve_workers(workers: Optional[int], grid_dim: int) -> int:
     ``"auto"``) means one worker per available core.
     """
     if workers is None:
-        env = os.environ.get(WORKERS_ENV, "").strip().lower()
-        if not env:
+        workers = _workers_from_env()
+        if workers is None:
             return 1
-        workers = 0 if env == "auto" else int(env)
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     if workers == 0:
         workers = os.cpu_count() or 1
     return max(1, min(workers, grid_dim))
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a ``backend`` request to one of :data:`BACKENDS`.
+
+    ``None`` consults :data:`BACKEND_ENV` (memoized on the raw string;
+    unset means ``"auto"``).  Unknown names raise a ``ValueError`` that
+    lists the accepted backends.
+    """
+    if backend is None:
+        global _BACKEND_CACHE
+        raw = os.environ.get(BACKEND_ENV, "")
+        cached_raw, cached_val = _BACKEND_CACHE
+        if raw == cached_raw:
+            return cached_val
+        value = raw.strip().lower() or "auto"
+        if value not in BACKENDS:
+            raise ValueError(
+                f"invalid {BACKEND_ENV}={raw!r}: expected one of "
+                + ", ".join(BACKENDS)
+            )
+        _BACKEND_CACHE = (raw, value)
+        return value
+    name = str(backend).strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}: expected one of "
+            + ", ".join(BACKENDS)
+        )
+    return name
 
 
 class _Shard:

@@ -1,0 +1,417 @@
+"""Process-parallel launch engine: forked workers over shared-memory arrays.
+
+The thread engine in :mod:`repro.gpusim.parallel` removes all *algorithmic*
+serialization — privatized shards merge by a commutative reduction — but
+every worker still contends for one CPython interpreter lock.  This module
+runs the same dealt-block protocol in **forked worker processes** so the
+numpy work executes on independent interpreters:
+
+* Device allocations are rehomed into POSIX shared memory for the launch
+  (:class:`SharedArena`): the children inherit the mappings over ``fork``
+  and read inputs with zero copies or pickling.
+* Each child executes exactly the thread backend's strided deal
+  (``blocks[w::num_workers]``), charging a private
+  :class:`~repro.gpusim.counters.AccessCounters` ledger and producing the
+  same privatized :class:`~repro.gpusim.parallel._Shard` state — which it
+  exports back through one shared-memory segment per worker plus a small
+  pickled manifest over a pipe.
+* The parent installs every worker's results **in worker-index order**
+  (ledgers, shards, fault events, trace spans), so the reduction, the
+  merged counters and the exported trace are bit-identical to the thread
+  backend for the same configuration.
+
+Crash semantics match the thread pool: a :class:`WorkerCrashError` raised
+inside a child (fault injection) — or the child process dying outright —
+discards that worker's shards and ledger, and the crashed deals are
+re-executed in the parent through the shared
+:func:`~repro.gpusim.parallel._recover_crashes` path.
+
+Host-side state that lives outside device allocations (per-block sync
+counts, emitted-pair host buffers) does not travel over ``fork`` writes;
+kernels ship it explicitly through :class:`HostChannel` collect/install
+hooks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs.tracer import (
+    BLOCK_OVERHEAD_US,
+    MERGE_OVERHEAD_US,
+    NULL_TRACER,
+    PHASE_MERGE,
+    PHASE_WORKERS,
+    WORKER_OVERHEAD_US,
+    Span,
+)
+from .counters import AccessCounters
+from .errors import WorkerCrashError
+from .parallel import ParallelSession, _recover_crashes, _Shard
+
+#: _Shard fields a child exports; each is either ``None`` or an ndarray.
+_SHARD_FIELDS = ("copy", "written", "delta", "maxed")
+
+
+# Resource-tracker note: on this interpreter line creating a segment
+# registers it and ``unlink()`` unregisters it, while attaching by name
+# does neither.  Every segment below is created in one process (parent
+# arena, child shard export) and unlinked exactly once in the parent, and
+# parent and children share one tracker over the fork, so the ledger
+# balances with no manual (un)registration — and a segment orphaned by a
+# crash is still reclaimed by the tracker at interpreter exit.
+
+
+@dataclass(frozen=True)
+class HostChannel:
+    """Transport for host-side state a kernel body mutates outside device
+    allocations (plain Python dicts in the launch closure).
+
+    Under the thread backend such state is shared memory for free; under
+    the process backend each child's writes stay in its own address space.
+    ``collect(deal)`` runs in the child after its blocks finish and returns
+    a picklable payload; ``install(worker, deal, payload)`` runs in the
+    parent, in worker-index order, to replay the writes.  Crashed workers'
+    payloads are discarded — recovery re-executes their blocks in the
+    parent, regenerating the host state directly.
+    """
+
+    collect: Callable[[Sequence[int]], Any]
+    install: Callable[[int, Sequence[int], Any], None]
+
+
+class SharedArena:
+    """Rehome every tracked allocation's backing buffer into POSIX shared
+    memory for the duration of one launch.
+
+    ``TrackedArray._data`` is repointed at a shared-memory-backed ndarray
+    holding the same values; children inherit the mapping over ``fork``.
+    :meth:`restore` copies the (merged) values back into the original
+    buffers and repoints the arrays, so references taken before the launch
+    (e.g. result views held by callers) observe the final state.
+    """
+
+    def __init__(self, arrays: Sequence) -> None:
+        self._entries: List[Tuple[Any, np.ndarray, shared_memory.SharedMemory]]
+        self._entries = []
+        for arr in arrays:
+            orig = arr._data
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, orig.nbytes)
+            )
+            view = np.ndarray(orig.shape, dtype=orig.dtype, buffer=shm.buf)
+            view[...] = orig
+            arr._data = view
+            self._entries.append((arr, orig, shm))
+
+    def restore(self) -> None:
+        for arr, orig, _ in self._entries:
+            orig[...] = arr._data
+            arr._data = orig
+        for _, _, shm in self._entries:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._entries = []
+
+
+def _pack_shards(session: ParallelSession, w: int):
+    """Export worker ``w``'s shard arrays into one shared-memory segment.
+
+    Returns ``(segment name or None, manifest)`` where the manifest lists
+    ``(array index, field, dtype, shape, byte offset)`` rows — everything
+    the parent needs to reconstruct the :class:`_Shard` objects without
+    pickling bulk data through the pipe.
+    """
+    parts = []
+    for ai, arr in enumerate(session._shadowed):
+        shard = arr._shadow._shards.get(w)
+        if shard is None:
+            continue
+        for name in _SHARD_FIELDS:
+            val = getattr(shard, name)
+            if val is not None:
+                parts.append((ai, name, np.ascontiguousarray(val)))
+    if not parts:
+        return None, []
+    total = sum(int(val.nbytes) for _, _, val in parts)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    manifest = []
+    offset = 0
+    for ai, name, val in parts:
+        np.ndarray(val.shape, dtype=val.dtype, buffer=shm.buf, offset=offset)[
+            ...
+        ] = val
+        manifest.append((ai, name, val.dtype.str, val.shape, offset))
+        offset += int(val.nbytes)
+    seg_name = shm.name
+    shm.close()
+    return seg_name, manifest
+
+
+def _install_shards(
+    session: ParallelSession, w: int, seg_name: Optional[str], manifest
+) -> None:
+    """Reconstruct worker ``w``'s shards in the parent from its segment."""
+    if seg_name is None:
+        return
+    shm = shared_memory.SharedMemory(name=seg_name)
+    try:
+        shards: Dict[int, _Shard] = {}
+        for ai, field_name, dtype, shape, offset in manifest:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+            )
+            shard = shards.get(ai)
+            if shard is None:
+                shard = shards[ai] = _Shard()
+            setattr(shard, field_name, np.array(view, copy=True))
+        for ai, shard in shards.items():
+            session._shadowed[ai]._shadow._shards[w] = shard
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def _picklable_error(exc: BaseException) -> BaseException:
+    """Make sure a child-side failure can cross the pipe."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _child_main(
+    w: int,
+    conn,
+    blocks: List[int],
+    num_workers: int,
+    run_block: Callable[[int, AccessCounters], None],
+    session: ParallelSession,
+    ledger: AccessCounters,
+    set_active: Callable[[Optional[AccessCounters]], None],
+    injector,
+    device_ordinal: int,
+    tracer,
+    channels: Sequence[HostChannel],
+    fault_snapshot,
+) -> None:
+    """Worker-process body: run the deal, report, exit without cleanup.
+
+    Mirrors the thread backend's ``worker_fn`` exactly — same strided deal,
+    same span shapes, same crash capture — then serializes the results.
+    ``os._exit`` skips interpreter teardown so inherited parent state
+    (pipes, shm mappings, atexit hooks) is never double-finalized.
+    """
+    status = 0
+    report: Dict[str, Any] = {
+        "worker": int(w), "ledger": ledger, "crash": None, "error": None,
+        "spans": None, "faults": None, "channels": None,
+        "shm": None, "shards": [],
+    }
+    trace_on = tracer.enabled
+    try:
+        # record on the inherited copy of the parent's tracer — the kernel
+        # body's hook sites hold closure references to this exact object,
+        # so engine spans opened inside ``run_block`` (tile batches, prune
+        # decisions, mega stages) nest under the block spans via the
+        # tracer's thread-local stack and ship with the worker subtree.
+        # The copy's lock and thread-locals never cross the pipe: only the
+        # plain :class:`Span` tree does, adopted in worker-index order.
+        if injector is not None:
+            # fault instants must nest inside the shipped subtree
+            injector.tracer = tracer
+        session.enter_worker(w)
+        set_active(ledger)
+        deal = blocks[w::num_workers]
+        worker_span: Optional[Span] = None
+        if trace_on:
+            worker_ctx = tracer.span(
+                "worker", cat="engine", phase=PHASE_WORKERS, key=w, lane=w,
+                cost_us=WORKER_OVERHEAD_US,
+                args={"worker": int(w), "blocks": [int(b) for b in deal]},
+            )
+        else:
+            worker_ctx = tracer.span("worker")
+        try:
+            with worker_ctx as worker_span:
+                try:
+                    for b in deal:
+                        if trace_on:
+                            block_ctx = tracer.span(
+                                "block", cat="engine", key=b,
+                                cost_us=BLOCK_OVERHEAD_US,
+                                args={"block": int(b)},
+                            )
+                        else:
+                            block_ctx = tracer.span("block")
+                        with block_ctx:
+                            if injector is not None:
+                                injector.on_block(device_ordinal, b)
+                            run_block(b, ledger)
+                except WorkerCrashError as crash:
+                    report["crash"] = {
+                        "message": str(crash),
+                        "device": crash.device,
+                        "block": crash.block,
+                    }
+                finally:
+                    set_active(None)
+        finally:
+            if trace_on:
+                report["spans"] = worker_span
+        if report["crash"] is None:
+            report["shm"], report["shards"] = _pack_shards(session, w)
+            report["channels"] = [ch.collect(deal) for ch in channels]
+    except BaseException as exc:  # noqa: BLE001 - ships to the parent
+        report["error"] = _picklable_error(exc)
+    try:
+        if injector is not None:
+            report["faults"] = injector.delta_since(fault_snapshot)
+        conn.send(report)
+        conn.close()
+    except BaseException:  # pragma: no cover - parent sees EOF instead
+        status = 1
+    os._exit(status)
+
+
+def run_blocks_process_parallel(
+    num_workers: int,
+    grid_dim: int,
+    run_block: Callable[[int, AccessCounters], None],
+    arrays: Sequence,
+    set_active: Callable[[Optional[AccessCounters]], None],
+    *,
+    block_ids: Optional[Sequence[int]] = None,
+    injector=None,
+    device_ordinal: int = 0,
+    crash_recovery=None,
+    tracer=None,
+    launch_span=None,
+    host_channels: Sequence[HostChannel] = (),
+) -> AccessCounters:
+    """Process-pool twin of :func:`~repro.gpusim.parallel.
+    run_blocks_parallel`: same deal, same reduction, forked executors.
+
+    The call contract is identical (plus ``host_channels``); the returned
+    merged ledger, the shard reduction and the recorded trace are
+    bit-identical to the thread backend for a fixed configuration.  Uses
+    raw ``fork`` + one pipe per worker: results are installed strictly in
+    worker-index order regardless of completion order, and a child that
+    dies without reporting is synthesized into a :class:`WorkerCrashError`
+    feeding the normal crash-recovery path.
+    """
+    if multiprocessing.get_start_method(allow_none=False) != "fork" or not hasattr(
+        os, "fork"
+    ):  # pragma: no cover - non-POSIX fallback guard
+        raise RuntimeError(
+            "backend 'processes' requires fork-capable multiprocessing"
+        )
+    blocks = list(range(grid_dim)) if block_ids is None else list(block_ids)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    arena = SharedArena(arrays)
+    session = ParallelSession(num_workers)
+    ledgers = [AccessCounters() for _ in range(num_workers)]
+    crashes: List[Optional[WorkerCrashError]] = [None] * num_workers
+    channels = tuple(host_channels)
+    try:
+        session.attach(arrays)
+        fault_snapshot = injector.snapshot() if injector is not None else None
+        pids: List[int] = []
+        conns = []
+        for w in range(num_workers):
+            recv_conn, send_conn = multiprocessing.Pipe(duplex=False)
+            pid = os.fork()
+            if pid == 0:
+                recv_conn.close()
+                _child_main(
+                    w, send_conn, blocks, num_workers, run_block, session,
+                    ledgers[w], set_active, injector, device_ordinal,
+                    tracer, channels, fault_snapshot,
+                )
+                os._exit(1)  # pragma: no cover - _child_main never returns
+            send_conn.close()
+            pids.append(pid)
+            conns.append(recv_conn)
+        reports: List[Optional[Dict[str, Any]]] = []
+        for w in range(num_workers):
+            try:
+                reports.append(conns[w].recv())
+            except (EOFError, OSError):
+                reports.append(None)
+            finally:
+                conns[w].close()
+            os.waitpid(pids[w], 0)
+        # install in worker-index order: fault state first (recovery may
+        # consult remaining budgets), then ledgers, spans, shards, host
+        # channels — completion order never leaks into the results
+        first_error: Optional[BaseException] = None
+        for w, report in enumerate(reports):
+            if report is None:
+                crash = WorkerCrashError(
+                    f"worker process {w} died before reporting",
+                    device=device_ordinal,
+                )
+                crash.worker = w
+                crashes[w] = crash
+                continue
+            if injector is not None and report["faults"] is not None:
+                injector.apply_delta(report["faults"])
+            ledgers[w] = report["ledger"]
+            if tracer.enabled and report["spans"] is not None:
+                tracer.adopt(report["spans"], parent=launch_span)
+            if report["error"] is not None:
+                if first_error is None:
+                    first_error = report["error"]
+                continue
+            if report["crash"] is not None:
+                info = report["crash"]
+                crash = WorkerCrashError(
+                    info["message"], device=info["device"], block=info["block"]
+                )
+                crash.worker = w
+                crashes[w] = crash
+                continue
+            _install_shards(session, w, report["shm"], report["shards"])
+            for ch, payload in zip(channels, report["channels"]):
+                ch.install(w, blocks[w::num_workers], payload)
+        if first_error is not None:
+            # matches the thread pool: the first worker's exception (in
+            # worker order) propagates after every worker has joined
+            raise first_error
+        crashed = [w for w in range(num_workers) if crashes[w] is not None]
+        recovered = 0
+        if crashed:
+            recovered = _recover_crashes(
+                session, blocks, num_workers, crashed, crashes, ledgers,
+                run_block, set_active, injector, device_ordinal,
+                crash_recovery, tracer,
+            )
+        if tracer.enabled:
+            merge_ctx = tracer.span(
+                "merge", cat="engine", phase=PHASE_MERGE,
+                cost_us=MERGE_OVERHEAD_US,
+                args={"arrays": len(arrays), "workers": num_workers},
+            )
+        else:
+            merge_ctx = tracer.span("merge")
+        with merge_ctx:
+            session.merge(injector=injector, device_ordinal=device_ordinal)
+    finally:
+        session.detach()
+        arena.restore()
+    merged = AccessCounters()
+    for ledger in ledgers:
+        merged.merge(ledger)
+    merged.recoveries += recovered
+    return merged

@@ -78,6 +78,7 @@ def build_manifest(
     n: Optional[int] = None,
     workers: Optional[int] = None,
     batch_tiles: Optional[int] = None,
+    backend: Optional[str] = None,
     prune: bool = False,
     faults: Any = None,
     retries: Any = None,
@@ -92,6 +93,10 @@ def build_manifest(
         "n": n,
         "workers": workers,
         "batch_tiles": batch_tiles,
+        # the *resolved* engine name (callers resolve env/auto first) so
+        # two runs with the same manifest really ran the same engine —
+        # never a pid, worker count realization, or any wall-clock value
+        "backend": backend,
         "prune": bool(prune),
         "fault_seed": _fault_seed(faults),
     }

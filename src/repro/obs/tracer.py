@@ -236,6 +236,28 @@ class Tracer:
         )
         return self._attach(span, parent)
 
+    def adopt(self, span: Span, parent: Optional[Span] = None) -> Span:
+        """Attach a span subtree recorded by another tracer (typically a
+        child process) under ``parent`` (or as a root).
+
+        The subtree's sequence numbers were assigned by the child's own
+        counter; they are renumbered here, depth-first in the child's
+        canonical order, so the merged tree's ``(phase, key, seq)`` sort
+        is a pure function of adoption order and subtree shape — the same
+        bytes on export no matter what pids or interleavings produced the
+        subtrees.
+        """
+        with self._lock:
+            def renumber(s: Span) -> None:
+                self._seq += 1
+                s.seq = self._seq
+                for c in sorted(s.children, key=Span.sort_key):
+                    renumber(c)
+
+            renumber(span)
+            (self.roots if parent is None else parent.children).append(span)
+        return span
+
     # -- queries -------------------------------------------------------------
     def find(self, name: str) -> List[Span]:
         out: List[Span] = []

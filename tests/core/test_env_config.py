@@ -1,6 +1,9 @@
-"""Tests for the ``REPRO_SIM_TILE_BATCH`` environment override (satellite
-of the pruning PR: the parse moved into a memoized helper and malformed
-values now raise a named error instead of a bare ``int()`` ValueError).
+"""Tests for the engine environment overrides.
+
+``REPRO_SIM_TILE_BATCH`` (from the pruning PR: the parse moved into a
+memoized helper and malformed values raise a named error instead of a
+bare ``int()`` ValueError), ``REPRO_SIM_WORKERS`` (same treatment) and
+``REPRO_SIM_BACKEND`` (execution backend selection).
 """
 
 import numpy as np
@@ -8,7 +11,12 @@ import pytest
 
 from repro import apps
 from repro.core.kernels.base import TILE_BATCH_ENV, _tile_batch_from_env
-from repro.gpusim import Device
+from repro.gpusim import BACKEND_ENV, BACKENDS, Device, WORKERS_ENV
+from repro.gpusim.parallel import (
+    _workers_from_env,
+    resolve_backend,
+    resolve_workers,
+)
 
 
 def _kernel():
@@ -68,3 +76,91 @@ class TestEngineUsesEnv:
         monkeypatch.setenv(TILE_BATCH_ENV, "fast")
         with pytest.raises(ValueError, match=TILE_BATCH_ENV):
             _kernel().execute(Device(), small_points)
+
+
+class TestWorkersEnv:
+    def test_unset_means_default_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert _workers_from_env() is None
+        assert resolve_workers(None, 16) == 1
+
+    @pytest.mark.parametrize("raw", ["auto", "AUTO", " auto "])
+    def test_auto_means_per_core(self, monkeypatch, raw):
+        monkeypatch.setenv(WORKERS_ENV, raw)
+        assert _workers_from_env() == 0
+        assert resolve_workers(None, 16) >= 1
+
+    def test_explicit_count_clamped_to_grid(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(None, 16) == 3
+        assert resolve_workers(None, 2) == 2
+
+    @pytest.mark.parametrize("raw", ["fast", "3.5", "two", "-2"])
+    def test_malformed_names_the_variable(self, monkeypatch, raw):
+        """The historical failure mode was a bare ``int()`` ValueError (or
+        silently treating a negative as valid); both now raise an error
+        naming the variable, the offending value and the accepted forms."""
+        monkeypatch.setenv(WORKERS_ENV, raw)
+        with pytest.raises(ValueError) as exc:
+            _workers_from_env()
+        msg = str(exc.value)
+        assert WORKERS_ENV in msg and "auto" in msg and raw in msg
+
+    def test_memoization_tracks_changes(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        assert _workers_from_env() == 2
+        assert _workers_from_env() == 2  # cached hit
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert _workers_from_env() == 4
+        monkeypatch.delenv(WORKERS_ENV)
+        assert _workers_from_env() is None
+
+    def test_malformed_env_fails_at_launch(self, monkeypatch, small_points):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            _kernel().execute(Device(), small_points)
+
+
+class TestBackendEnv:
+    def test_unset_means_auto(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend() == "auto"
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_env_spellings(self, monkeypatch, name):
+        monkeypatch.setenv(BACKEND_ENV, f"  {name.upper()} ")
+        assert resolve_backend() == name
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "processes")
+        assert resolve_backend("threads") == "threads"
+
+    def test_malformed_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "gpu")
+        with pytest.raises(ValueError) as exc:
+            resolve_backend()
+        msg = str(exc.value)
+        assert BACKEND_ENV in msg and "gpu" in msg
+        for name in BACKENDS:
+            assert name in msg
+
+    def test_unknown_explicit_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("cluster")
+
+    def test_memoization_tracks_changes(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "threads")
+        assert resolve_backend() == "threads"
+        monkeypatch.setenv(BACKEND_ENV, "megabatch")
+        assert resolve_backend() == "megabatch"
+        monkeypatch.delenv(BACKEND_ENV)
+        assert resolve_backend() == "auto"
+
+    def test_env_backend_matches_explicit(self, monkeypatch, small_points):
+        kernel = _kernel()
+        res_explicit, _ = kernel.execute(
+            Device(), small_points, backend="megabatch"
+        )
+        monkeypatch.setenv(BACKEND_ENV, "megabatch")
+        res_env, _ = kernel.execute(Device(), small_points)
+        assert res_explicit == res_env

@@ -1,0 +1,209 @@
+"""Differential tests for the mega-batch execution path.
+
+Contract (the GIL-ceiling PR): ``backend="megabatch"`` stacks every
+surviving post-pruning partner tile of an anchor block into one staged
+evaluation per kernel stage — changing only *how often the interpreter is
+dispatched*, never an output bit, a counter, a sync count or a pruning
+decision.  Every test compares a mega-batch run against the sequential
+tile-at-a-time engine (the reference the parallel-engine suite pins).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core.bounds import spatial_sort
+from repro.core.distances import EUCLIDEAN
+from repro.core.kernels import make_kernel
+from repro.core.kernels.megabatch import MEGA_PANEL_COLUMNS, PanelStack
+from repro.data import gaussian_clusters
+from repro.gpusim import Device, TITAN_X
+
+BLOCK = 64
+
+#: every composition family the mega fold must reproduce bit-for-bit
+COMPOSITIONS = [
+    *[("sdh", inp, out, False)
+      for inp in ("naive", "shm-shm", "register-shm", "register-roc", "shuffle")
+      for out in ("global-atomic", "privatized-shm")],
+    ("sdh", "register-roc", "privatized-shm", True),  # cyclic intra schedule
+    *[("pcf", inp, "register", False)
+      for inp in ("naive", "shm-shm", "register-shm", "register-roc", "shuffle")],
+    ("pcf", "register-shm", "global-atomic", False),
+    ("kde", "register-shm", "register", False),     # full-row per-point sums
+    ("knn", "register-roc", "register", False),     # TOPK order statistics
+    ("gram", "register-shm", "global-direct", False),
+    ("join", "register-shm", "global-direct", False),  # EMIT_PAIRS tickets
+]
+
+
+def _problem(name: str):
+    if name == "sdh":
+        return apps.sdh.make_problem(64, 10.0 * math.sqrt(3.0), dims=3)
+    if name == "pcf":
+        return apps.pcf.make_problem(2.0, dims=3)
+    if name == "kde":
+        return apps.kde.make_problem(1.5, dims=3)
+    if name == "knn":
+        return apps.knn.make_problem(4, dims=3)
+    if name == "gram":
+        return apps.gram.make_problem(EUCLIDEAN, dims=3)
+    if name == "join":
+        return apps.join.make_problem(1.0, dims=3)
+    raise KeyError(name)
+
+
+def _run(problem, inp, out, lb, points, *, backend, workers=1, prune=False):
+    kernel = make_kernel(
+        problem, inp, out, block_size=BLOCK, load_balanced=lb, prune=prune
+    )
+    return kernel.execute(
+        Device(TITAN_X), points, workers=workers, backend=backend
+    )
+
+
+def _assert_result_equal(expected, got):
+    if isinstance(expected, tuple):
+        assert isinstance(got, tuple) and len(got) == len(expected)
+        for e, g in zip(expected, got):
+            _assert_result_equal(e, g)
+        return
+    if isinstance(expected, float):
+        assert got == pytest.approx(expected, rel=1e-12, abs=1e-12)
+        return
+    e = np.asarray(expected)
+    g = np.asarray(got)
+    assert e.shape == g.shape
+    if np.issubdtype(e.dtype, np.integer) or e.dtype == bool:
+        np.testing.assert_array_equal(e, g)
+    else:
+        np.testing.assert_allclose(e, g, rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("prob,inp,out,lb", COMPOSITIONS)
+@pytest.mark.parametrize("workers", [1, 4])
+def test_megabatch_matches_sequential(small_points, prob, inp, out, lb, workers):
+    problem = _problem(prob)
+    base_result, base_record = _run(
+        problem, inp, out, lb, small_points, backend="sequential"
+    )
+    result, record = _run(
+        problem, inp, out, lb, small_points, backend="megabatch",
+        workers=workers,
+    )
+    assert record.counters == base_record.counters, (
+        f"{prob}/{inp}/{out}: counters diverge\n"
+        f"  sequential: {base_record.counters.as_dict()}\n"
+        f"  megabatch:  {record.counters.as_dict()}"
+    )
+    assert record.counters.atomic_conflict_issues == \
+        base_record.counters.atomic_conflict_issues
+    assert record.counters.atomic_conflict_degree == pytest.approx(
+        base_record.counters.atomic_conflict_degree, rel=1e-9
+    )
+    assert record.blocks_run == base_record.blocks_run
+    assert record.sync_counts == base_record.sync_counts
+    assert record.max_shared_bytes == base_record.max_shared_bytes
+    _assert_result_equal(base_result, result)
+
+
+def test_megabatch_preserves_pruning_decisions():
+    """Pruning classifies tiles before stacking, so the mega path must skip
+    and bulk-resolve exactly the same tiles — identical PruneStats, bits."""
+    pts = gaussian_clusters(600, dims=3, n_clusters=8, box=60.0, spread=0.4,
+                            seed=42)
+    pts = pts[spatial_sort(pts)]
+    problem = apps.sdh.make_problem(32, 8.0)  # most tiles beyond max
+    base_result, base_record = _run(
+        problem, "register-roc", "privatized-shm", False, pts,
+        backend="sequential", prune=True,
+    )
+    result, record = _run(
+        problem, "register-roc", "privatized-shm", False, pts,
+        backend="megabatch", prune=True,
+    )
+    assert base_record.prune is not None
+    assert base_record.prune.tiles_pruned > 0  # the pruner actually fired
+    assert record.prune == base_record.prune
+    assert record.counters == base_record.counters
+    np.testing.assert_array_equal(base_result, result)
+
+
+def test_megabatch_pruned_pcf_bulk_updates():
+    pts = gaussian_clusters(600, dims=3, n_clusters=8, box=60.0, spread=0.4,
+                            seed=42)
+    pts = pts[spatial_sort(pts)]
+    problem = apps.pcf.make_problem(2.0)
+    base_result, base_record = _run(
+        problem, "register-shm", "register", False, pts,
+        backend="sequential", prune=True,
+    )
+    result, record = _run(
+        problem, "register-shm", "register", False, pts,
+        backend="megabatch", prune=True,
+    )
+    assert record.prune == base_record.prune
+    assert base_record.prune.tiles_skipped > 0
+    _assert_result_equal(base_result, result)
+
+
+def test_megabatch_rides_thread_engine(small_points):
+    """With workers > 1 the mega kernel body runs on the block-parallel
+    engine; the record reports the block engine it rode."""
+    problem = _problem("sdh")
+    _, rec1 = _run(problem, "register-roc", "privatized-shm", False,
+                   small_points, backend="megabatch", workers=1)
+    _, rec4 = _run(problem, "register-roc", "privatized-shm", False,
+                   small_points, backend="megabatch", workers=4)
+    assert rec1.backend == "sequential"
+    assert rec4.backend == "threads"
+    assert rec4.workers == min(4, rec4.blocks_run)
+
+
+def test_emitted_pairs_identical_under_megabatch(small_points):
+    problem = _problem("join")
+    base, _ = _run(problem, "register-shm", "global-direct", False,
+                   small_points, backend="sequential")
+    got, _ = _run(problem, "register-shm", "global-direct", False,
+                  small_points, backend="megabatch")
+    np.testing.assert_array_equal(base, got)
+
+
+# -- PanelStack ---------------------------------------------------------------
+
+def test_panel_stack_covers_all_columns_contiguously():
+    rng = np.random.default_rng(5)
+    anchors = rng.uniform(0.0, 10.0, (3, 8))
+    partners = np.asfortranarray(rng.uniform(0.0, 10.0, (3, 1200)))
+    stack = PanelStack(EUCLIDEAN, anchors, partners, panel_cols=512)
+    full = stack.materialize()
+    seen = 0
+    for start, panel in stack.panels():
+        assert start == seen
+        # panel evaluation is bit-identical to the full evaluation: the
+        # pair functions are elementwise in the partner columns
+        np.testing.assert_array_equal(
+            panel, full[:, start:start + panel.shape[1]]
+        )
+        seen += panel.shape[1]
+    assert seen == stack.total_cols == 1200
+
+
+def test_panel_stack_single_panel_skips_copy():
+    rng = np.random.default_rng(6)
+    anchors = rng.uniform(0.0, 10.0, (3, 4))
+    partners = rng.uniform(0.0, 10.0, (3, 100))
+    stack = PanelStack(EUCLIDEAN, anchors, partners, panel_cols=512)
+    panels = list(stack.panels())
+    assert len(panels) == 1
+    np.testing.assert_array_equal(panels[0][1], stack.materialize())
+
+
+def test_default_panel_width_is_cache_sized():
+    assert PanelStack(EUCLIDEAN, np.zeros((3, 1)), np.zeros((3, 1))).panel_cols \
+        == MEGA_PANEL_COLUMNS
+    assert MEGA_PANEL_COLUMNS >= 128

@@ -83,3 +83,93 @@ def test_explain_mentions_choice(pcf_problem):
     plan = plan_kernel(pcf_problem, 100_000)
     text = plan.explain()
     assert "chosen:" in text and pcf_problem.name in text
+
+
+# -- host backend pricing (the GIL-ceiling PR) --------------------------------
+
+from repro.core.planner import (  # noqa: E402
+    DISPATCH_RESIDUAL_BATCHED,
+    DISPATCH_RESIDUAL_MEGA,
+    THREAD_EFFICIENCY,
+    VECTOR_FRACTION,
+    BackendChoice,
+    plan_backend,
+)
+
+
+def _speedups(choices):
+    return {c.backend: c.predicted_speedup for c in choices}
+
+
+def test_plan_backend_covers_every_engine():
+    ranked = plan_backend(8192, cpu_count=4, workers=4)
+    assert [c.backend for c in ranked] == sorted(
+        (c.backend for c in ranked),
+        key=lambda b: -_speedups(ranked)[b],
+    )
+    assert {c.backend for c in ranked} == {
+        "sequential", "threads", "processes", "megabatch"
+    }
+    assert _speedups(ranked)["sequential"] == 1.0
+    assert ranked[-1].backend == "sequential"
+
+
+def test_plan_backend_single_core_ranking():
+    """On one core nothing runs concurrently: the win comes purely from
+    dispatch amortization, so mega-batch leads and processes trail threads
+    (same serialized math plus the fork toll)."""
+    ranked = plan_backend(8192, cpu_count=1, workers=8)
+    names = [c.backend for c in ranked]
+    assert names[0] == "megabatch"
+    assert names.index("threads") < names.index("processes")
+    s = _speedups(ranked)
+    assert s["megabatch"] == pytest.approx(
+        1.0 / (DISPATCH_RESIDUAL_MEGA + VECTOR_FRACTION), abs=1e-3
+    )
+    assert s["threads"] == pytest.approx(
+        1.0 / (DISPATCH_RESIDUAL_BATCHED + VECTOR_FRACTION), abs=1e-3
+    )
+
+
+def test_plan_backend_scales_with_cores():
+    one = _speedups(plan_backend(8192, workers=8, cpu_count=1))
+    four = _speedups(plan_backend(8192, workers=8, cpu_count=4))
+    for backend in ("threads", "processes", "megabatch"):
+        assert four[backend] > one[backend]
+    assert four["sequential"] == one["sequential"] == 1.0
+    # processes shed the GIL: their per-worker scaling efficiency prices
+    # higher than the thread pool's
+    thread_gain = four["threads"] / one["threads"]
+    process_gain = four["processes"] / one["processes"]
+    assert process_gain > thread_gain
+
+
+def test_plan_backend_clamps_workers_to_grid():
+    # 256 points in 256-wide blocks is one block: no parallelism to buy
+    ranked = _speedups(plan_backend(256, block_size=256, workers=8,
+                                    cpu_count=8))
+    assert ranked["threads"] == pytest.approx(
+        1.0 / (DISPATCH_RESIDUAL_BATCHED + VECTOR_FRACTION), abs=1e-3
+    )
+
+
+def test_plan_backend_honors_workers_env(monkeypatch):
+    from repro.gpusim import WORKERS_ENV
+
+    monkeypatch.setenv(WORKERS_ENV, "3")
+    s = _speedups(plan_backend(8192, cpu_count=8))
+    expected = 1.0 / (
+        DISPATCH_RESIDUAL_BATCHED
+        + VECTOR_FRACTION / (1.0 + 2 * THREAD_EFFICIENCY)
+    )
+    assert s["threads"] == pytest.approx(expected, abs=1e-3)
+
+
+def test_plan_kernel_recommends_backend(pcf_problem):
+    plan = plan_kernel(pcf_problem, 100_000)
+    assert plan.backends
+    assert isinstance(plan.backend, BackendChoice)
+    assert plan.backend is plan.backends[0]
+    speeds = [c.predicted_speedup for c in plan.backends]
+    assert speeds == sorted(speeds, reverse=True)
+    assert "backend:" in plan.explain()

@@ -110,9 +110,12 @@ class TestBitIdentity:
         # tiny bandwidth: the underflow horizon (h * sqrt(1520)) sits well
         # inside the inter-cluster gaps, so far tiles skip exactly.  The
         # tile-at-a-time engine is bit-identical (each skipped tile's
-        # contribution is an exact += 0.0); the batched engine regroups
-        # surviving tiles, so it gets the engine's usual re-association
-        # tolerance — same rule the seed applies across engine modes.
+        # contribution is an exact += 0.0); the batched and mega engines
+        # regroup surviving tiles, so they get the engine's usual
+        # re-association tolerance — same rule the seed applies across
+        # engine modes.  The sequential backend is pinned explicitly so a
+        # REPRO_SIM_BACKEND override (the CI backend matrix) cannot swap
+        # the engine this exactness claim is about.
         pts = gaussian_clusters(
             800, dims=3, n_clusters=4, box=200.0, spread=0.2, seed=7
         )
@@ -120,8 +123,12 @@ class TestBitIdentity:
         problem = apps.kde.make_problem(0.05, dims=3)
         base = apps.kde.default_kernel(problem)
         pruned = apps.kde.default_kernel(problem, prune=True)
-        sums, _ = base.execute(Device(), pts, batch_tiles=1)
-        sums_p, rec_p = pruned.execute(Device(), pts, batch_tiles=1)
+        sums, _ = base.execute(
+            Device(), pts, batch_tiles=1, backend="sequential"
+        )
+        sums_p, rec_p = pruned.execute(
+            Device(), pts, batch_tiles=1, backend="sequential"
+        )
         assert np.array_equal(sums, sums_p)
         assert rec_p.prune.tiles_skipped > 0 and rec_p.prune.tiles_bulk == 0
         dens, _ = apps.kde.density(pts, bandwidth=0.05)

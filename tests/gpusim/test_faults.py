@@ -167,3 +167,102 @@ def test_injected_failure_is_transient_and_allocation_error():
     exc = InjectedAllocationFailure("x")
     assert isinstance(exc, TransientFault)
     assert isinstance(exc, DeviceAllocationError)
+
+
+# -- thread pool vs process pool under injected faults ------------------------
+#
+# The process backend snapshots the injector before the fork and replays
+# each child's fault delta in worker order, so a given plan must fire the
+# same faults, trigger the same recoveries and leave the same bits as the
+# thread pool.
+
+import math  # noqa: E402
+
+from repro import apps  # noqa: E402
+from repro.core.kernels import make_kernel  # noqa: E402
+from repro.core.resilience import RetryPolicy, resilient_run  # noqa: E402
+from repro.gpusim import Device, TITAN_X  # noqa: E402
+from repro.gpusim.parallel import CrashRecovery  # noqa: E402
+
+
+def _sdh_kernel():
+    problem = apps.sdh.make_problem(64, 10.0 * math.sqrt(3.0), dims=3)
+    return problem, make_kernel(
+        problem, "register-roc", "privatized-shm", block_size=64
+    )
+
+
+def _crash_run(points, backend, plan):
+    _, kernel = _sdh_kernel()
+    recoveries = []
+    device = Device(
+        TITAN_X,
+        faults=FaultInjector(plan),
+        crash_recovery=CrashRecovery(
+            max_retries=3, on_recover=recoveries.append
+        ),
+    )
+    hist, record = kernel.execute(
+        device, points, workers=3, backend=backend
+    )
+    return hist, record, device.faults.events, recoveries
+
+
+def test_block_crash_recovery_identical_across_pools(small_points):
+    """A block-pinned worker crash kills one deal per pool flavour; after
+    re-execution both pools must hold identical bits and ledgers."""
+    plan = FaultPlan(
+        [FaultSpec(FaultKind.WORKER_CRASH, block=2),
+         FaultSpec(FaultKind.WORKER_CRASH, block=4)],
+        seed=3,
+    )
+    h_thr, rec_thr, ev_thr, rcv_thr = _crash_run(small_points, "threads", plan)
+    h_prc, rec_prc, ev_prc, rcv_prc = _crash_run(small_points, "processes", plan)
+    np.testing.assert_array_equal(h_thr, h_prc)
+    assert rec_prc.counters == rec_thr.counters
+    assert rec_prc.counters.recoveries == rec_thr.counters.recoveries >= 1
+    assert [(e.kind, e.device, e.block) for e in ev_prc] == \
+        [(e.kind, e.device, e.block) for e in ev_thr]
+    assert [sorted(r["blocks"]) for r in rcv_prc] == \
+        [sorted(r["blocks"]) for r in rcv_thr]
+
+
+def test_corrupt_shard_fires_identically_across_pools(small_points):
+    """CORRUPT_SHARD consumes parent-side RNG at merge time; the fork must
+    not desynchronize the stream, so even the *corrupted* output matches."""
+    plan = FaultPlan([FaultSpec(FaultKind.CORRUPT_SHARD)], seed=11)
+    h_thr, _, ev_thr, _ = _crash_run(small_points, "threads", plan)
+    h_prc, _, ev_prc, _ = _crash_run(small_points, "processes", plan)
+    assert [(e.kind, e.array, e.index) for e in ev_prc] == \
+        [(e.kind, e.array, e.index) for e in ev_thr]
+    np.testing.assert_array_equal(h_thr, h_prc)
+
+
+@pytest.mark.parametrize("seed", [1, 9])
+def test_supervised_chaos_identical_across_pools(small_points, seed):
+    """The full resilience supervisor (retries + crash recovery +
+    corruption re-execution) lands on the same bits whichever pool runs
+    the blocks."""
+    problem, kernel = _sdh_kernel()
+    kw = dict(kernel=kernel, workers=2, retry=RetryPolicy(sleep=False))
+    thr = resilient_run(problem, small_points, faults=seed,
+                        backend="threads", **kw)
+    prc = resilient_run(problem, small_points, faults=seed,
+                        backend="processes", **kw)
+    clean = resilient_run(problem, small_points, faults=None,
+                          backend="processes", **kw)
+    np.testing.assert_array_equal(thr.result, prc.result)
+    np.testing.assert_array_equal(clean.result, prc.result)
+    assert prc.recovered
+    assert {e.kind for e in prc.report.faults} == \
+        {e.kind for e in thr.report.faults}
+
+
+def test_supervised_process_report_deterministic(small_points):
+    problem, kernel = _sdh_kernel()
+    kw = dict(kernel=kernel, workers=2, retry=RetryPolicy(sleep=False),
+              backend="processes")
+    a = resilient_run(problem, small_points, faults=4, **kw)
+    b = resilient_run(problem, small_points, faults=4, **kw)
+    assert a.report.to_dict() == b.report.to_dict()
+    np.testing.assert_array_equal(a.result, b.result)

@@ -1,0 +1,242 @@
+"""Differential tests for the process-parallel launch backend.
+
+Contract (the GIL-ceiling PR): for every kernel composition, forked
+shared-memory worker processes must produce outputs, merged
+``AccessCounters``, sync counts and shard reductions identical to the
+thread backend — which the parallel-engine suite already pins to the
+sequential engine.  Host-side state that lives outside device allocations
+(emitted-pair buffers, per-block sync counts) must cross the process
+boundary through :class:`~repro.gpusim.procpool.HostChannel` without
+changing a byte.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core.distances import EUCLIDEAN
+from repro.core.kernels import make_kernel
+from repro.gpusim import (
+    Device,
+    LaunchConfig,
+    MemSpace,
+    ParallelLaunchError,
+    TITAN_X,
+    WorkerCrashError,
+)
+from repro.gpusim.parallel import CrashRecovery
+
+BLOCK = 64
+
+#: representative (problem, input, output, load_balanced) compositions —
+#: one per output mechanism the shard reduction and host channels handle
+COMPOSITIONS = [
+    ("sdh", "naive", "global-atomic", False),       # global atomic histogram
+    ("sdh", "register-roc", "privatized-shm", False),  # privatized copies
+    ("sdh", "shuffle", "privatized-shm", True),     # cyclic schedule
+    ("pcf", "register-shm", "register", False),     # register scalar sum
+    ("pcf", "register-shm", "global-atomic", False),   # atomic scalar
+    ("kde", "register-shm", "register", False),     # full-row per-point sums
+    ("knn", "register-roc", "register", False),     # TOPK order statistics
+    ("gram", "register-shm", "global-direct", False),  # direct matrix rows
+    ("join", "register-shm", "global-direct", False),  # EMIT_PAIRS tickets
+]
+
+
+def _problem(name: str):
+    if name == "sdh":
+        return apps.sdh.make_problem(64, 10.0 * math.sqrt(3.0), dims=3)
+    if name == "pcf":
+        return apps.pcf.make_problem(2.0, dims=3)
+    if name == "kde":
+        return apps.kde.make_problem(1.5, dims=3)
+    if name == "knn":
+        return apps.knn.make_problem(4, dims=3)
+    if name == "gram":
+        return apps.gram.make_problem(EUCLIDEAN, dims=3)
+    if name == "join":
+        return apps.join.make_problem(1.0, dims=3)
+    raise KeyError(name)
+
+
+def _run(problem, inp, out, lb, points, *, backend, workers, batch_tiles=1):
+    kernel = make_kernel(problem, inp, out, block_size=BLOCK, load_balanced=lb)
+    return kernel.execute(
+        Device(TITAN_X), points, workers=workers, batch_tiles=batch_tiles,
+        backend=backend,
+    )
+
+
+def _assert_result_equal(expected, got):
+    if isinstance(expected, tuple):
+        assert isinstance(got, tuple) and len(got) == len(expected)
+        for e, g in zip(expected, got):
+            _assert_result_equal(e, g)
+        return
+    if isinstance(expected, float):
+        assert got == pytest.approx(expected, rel=1e-12, abs=1e-12)
+        return
+    e = np.asarray(expected)
+    g = np.asarray(got)
+    assert e.shape == g.shape
+    if np.issubdtype(e.dtype, np.integer) or e.dtype == bool:
+        np.testing.assert_array_equal(e, g)
+    else:
+        np.testing.assert_allclose(e, g, rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("prob,inp,out,lb", COMPOSITIONS)
+def test_process_backend_matches_thread_backend(small_points, prob, inp, out, lb):
+    problem = _problem(prob)
+    base_result, base_record = _run(
+        problem, inp, out, lb, small_points, backend="threads", workers=3
+    )
+    result, record = _run(
+        problem, inp, out, lb, small_points, backend="processes", workers=3
+    )
+    assert record.backend == "processes"
+    assert record.counters == base_record.counters, (
+        f"{prob}/{inp}/{out}: counters diverge\n"
+        f"  threads:   {base_record.counters.as_dict()}\n"
+        f"  processes: {record.counters.as_dict()}"
+    )
+    assert record.counters.atomic_conflict_issues == \
+        base_record.counters.atomic_conflict_issues
+    assert record.counters.atomic_conflict_degree == pytest.approx(
+        base_record.counters.atomic_conflict_degree, rel=1e-9
+    )
+    assert record.workers == base_record.workers
+    assert record.blocks_run == base_record.blocks_run
+    assert record.sync_counts == base_record.sync_counts
+    assert record.max_shared_bytes == base_record.max_shared_bytes
+    _assert_result_equal(base_result, result)
+
+
+def test_process_backend_matches_sequential(small_points):
+    problem = _problem("sdh")
+    seq, _ = _run(problem, "register-roc", "privatized-shm", False,
+                  small_points, backend="sequential", workers=1)
+    proc, _ = _run(problem, "register-roc", "privatized-shm", False,
+                   small_points, backend="processes", workers=4)
+    np.testing.assert_array_equal(seq, proc)
+
+
+def test_single_worker_processes_degrades_to_serial(small_points):
+    """One worker never pays the fork toll: the dispatcher falls back to
+    the block-serial loop and records it honestly."""
+    problem = _problem("pcf")
+    _, record = _run(problem, "register-shm", "register", False,
+                     small_points, backend="processes", workers=1)
+    assert record.backend == "sequential"
+
+
+def test_emitted_pairs_cross_process_deterministic(small_points):
+    """EMIT_PAIRS writes host-side python dict state; the HostChannel must
+    replay it in worker order so repeated runs are byte-identical."""
+    problem = _problem("join")
+    base, _ = _run(problem, "register-shm", "global-direct", False,
+                   small_points, backend="threads", workers=1)
+    for _ in range(3):
+        got, _ = _run(problem, "register-shm", "global-direct", False,
+                      small_points, backend="processes", workers=3)
+        np.testing.assert_array_equal(base, got)
+
+
+def test_process_backend_with_tile_batching(small_points):
+    problem = _problem("sdh")
+    base, base_rec = _run(problem, "register-shm", "global-atomic", False,
+                          small_points, backend="sequential", workers=1)
+    got, rec = _run(problem, "register-shm", "global-atomic", False,
+                    small_points, backend="processes", workers=3,
+                    batch_tiles=3)
+    assert rec.counters == base_rec.counters
+    np.testing.assert_array_equal(base, got)
+
+
+def test_parallel_write_overlap_raises_across_processes():
+    """The block-independence invariant is enforced by the shard merge in
+    the parent, so a violation inside a child still surfaces."""
+    device = Device(TITAN_X)
+    out = device.alloc(4, np.float64, name="clash")
+
+    def kernel(ctx):
+        out.st(0, float(ctx.block_id))  # every block writes element 0
+
+    config = LaunchConfig(grid_dim=4, block_dim=32)
+    with pytest.raises(ParallelLaunchError, match="written by more than one"):
+        device.launch(kernel, config, workers=2, backend="processes")
+
+
+def test_disjoint_writes_and_tickets_merge_exactly_across_processes():
+    device = Device(TITAN_X)
+    out = device.alloc(8, np.float64, name="rows")
+    hist = device.alloc(4, np.int64, name="h")
+    ticket = device.alloc(1, np.int64, name="t")
+
+    def kernel(ctx):
+        b = ctx.block_id
+        out.st(b, float(b + 1))
+        hist.atomic_add_at(np.array([b % 4]), np.array([1]))
+        hist.counters.add_atomic(MemSpace.GLOBAL, 1)
+        ticket.fetch_add0(2)
+
+    config = LaunchConfig(grid_dim=8, block_dim=32)
+    record = device.launch(kernel, config, workers=3, backend="processes")
+    assert record.backend == "processes"
+    np.testing.assert_array_equal(device.to_host(out), np.arange(1.0, 9.0))
+    np.testing.assert_array_equal(device.to_host(hist), np.full(4, 2))
+    assert int(device.to_host(ticket)[0]) == 16
+
+
+def test_child_exception_propagates_to_parent():
+    device = Device(TITAN_X)
+
+    def kernel(ctx):
+        if ctx.block_id == 2:
+            raise RuntimeError("boom in child")
+
+    config = LaunchConfig(grid_dim=4, block_dim=32)
+    with pytest.raises(RuntimeError, match="boom in child"):
+        device.launch(kernel, config, workers=2, backend="processes")
+
+
+def test_hard_worker_death_raises_crash_error():
+    """A child that dies without reporting (here: ``os._exit``) must become
+    a WorkerCrashError, not a hang or a silently-partial result."""
+    device = Device(TITAN_X)
+
+    def kernel(ctx):
+        if ctx.block_id == 1:
+            os._exit(17)
+
+    config = LaunchConfig(grid_dim=4, block_dim=32)
+    with pytest.raises(WorkerCrashError, match="died before reporting"):
+        device.launch(kernel, config, workers=2, backend="processes")
+
+
+def test_hard_worker_death_recovers_with_budget():
+    """With a CrashRecovery budget the dead worker's whole deal re-runs in
+    the parent and the result is complete."""
+    events = []
+    device = Device(
+        TITAN_X,
+        crash_recovery=CrashRecovery(max_retries=2, on_recover=events.append),
+    )
+    out = device.alloc(6, np.int64, name="done")
+    parent_pid = os.getpid()
+
+    def kernel(ctx):
+        if ctx.block_id == 3 and os.getpid() != parent_pid:
+            os._exit(11)  # dies only in the child; the parent re-run survives
+        out.st(ctx.block_id, ctx.block_id + 1)
+
+    config = LaunchConfig(grid_dim=6, block_dim=32)
+    record = device.launch(kernel, config, workers=2, backend="processes")
+    np.testing.assert_array_equal(device.to_host(out), np.arange(1, 7))
+    assert record.counters.recoveries >= 1
+    assert events and 3 in events[0]["blocks"]

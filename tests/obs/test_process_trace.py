@@ -1,0 +1,101 @@
+"""Tracing determinism for the process and mega-batch backends.
+
+A forked worker records its span subtree in its own interpreter and ships
+it over a pipe; the parent adopts each subtree under the launch span in
+worker-index order, renumbering span sequence ids deterministically.  So
+a process-backend Chrome-trace export must be byte-identical across
+repeated runs of one configuration — and must match the thread backend's
+export byte for byte, because nothing pid- or wall-clock-shaped is ever
+recorded.
+"""
+
+import json
+
+import numpy as np
+
+from repro.apps import sdh as sdh_app
+from repro.core.runner import run
+from repro.data import uniform_points
+
+
+def _traced_run(backend, trace=True, workers=3, prune=False):
+    pts = uniform_points(384, dims=3, box=10.0, seed=5)
+    problem = sdh_app.make_problem(32, 10.0 * np.sqrt(3), dims=3)
+    kernel = sdh_app.default_kernel(problem, prune=prune)
+    return run(
+        problem, pts, kernel=kernel, workers=workers, prune=prune,
+        trace=trace, backend=backend,
+    )
+
+
+def test_process_trace_bytes_identical_across_runs(tmp_path):
+    j1 = _traced_run("processes").trace.chrome_json()
+    j2 = _traced_run("processes").trace.chrome_json()
+    assert j1 == j2
+    # and through the file-export path
+    p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+    _traced_run("processes", trace=p1)
+    _traced_run("processes", trace=p2)
+    assert p1.read_bytes() == p2.read_bytes()
+
+
+def test_process_trace_structurally_matches_thread_trace():
+    """The two pool flavours run the same deal, so the span vocabulary,
+    per-name counts and worker-lane structure must agree (bytes may not:
+    the manifest names the backend, and adoption order shifts layout)."""
+    thr = _traced_run("threads").trace
+    prc = _traced_run("processes").trace
+    count = lambda tr: sorted(
+        (s.name, s.cat, s.kind) for s in tr.all_spans()
+    )
+    assert count(thr) == count(prc)
+    lanes = lambda tr: sorted(
+        (s.lane, tuple(s.args["blocks"]))
+        for L in tr.find("launch") for s in L.children if s.name == "worker"
+    )
+    assert lanes(thr) == lanes(prc)
+
+
+def test_megabatch_trace_bytes_identical_across_runs():
+    a = _traced_run("megabatch", prune=True).trace.chrome_json()
+    b = _traced_run("megabatch", prune=True).trace.chrome_json()
+    assert a == b
+    names = {s.name for s in _traced_run("megabatch", prune=True)
+             .trace.all_spans()}
+    assert "mega" in names      # the stacked-evaluation stage is visible
+    assert "prune" in names     # pruning decisions still traced per block
+
+
+def test_adopted_worker_spans_nest_with_lanes_and_blocks():
+    tr = _traced_run("processes").trace
+    launches = tr.find("launch")
+    assert launches
+    assert launches[0].args.get("backend") == "processes"
+    workers = [s for L in launches for s in L.children if s.name == "worker"]
+    assert workers
+    lanes = sorted(s.lane for s in workers)
+    assert lanes == list(range(len(workers)))  # worker ids, no pids
+    assert all("blocks" in s.args for s in workers)
+    # every dealt block appears exactly once across the worker subtrees
+    dealt = sorted(b for s in workers for b in s.args["blocks"])
+    assert dealt == list(range(len(dealt)))
+
+
+def test_process_manifest_has_no_pids_or_timestamps(tmp_path):
+    out = tmp_path / "trace.json"
+    _traced_run("processes", trace=out)
+    doc = json.loads(out.read_text())
+    man = doc["otherData"]["manifest"]
+    assert man["backend"] == "processes"
+    # (clock_hz is a static device-spec constant, not a wall-clock value)
+    text = json.dumps(man).lower()
+    for forbidden in ("pid", "time", "date", "wall", "seconds"):
+        assert forbidden not in text, f"manifest leaks {forbidden!r}"
+    # chrome events use the synthetic device pid (1), never os pids
+    assert {e["pid"] for e in doc["traceEvents"]} == {1}
+
+
+def test_process_trace_results_unchanged():
+    plain = _traced_run("processes", trace=False)
+    traced = _traced_run("processes", trace=True)
+    np.testing.assert_array_equal(plain.result, traced.result)
