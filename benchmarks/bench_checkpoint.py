@@ -1,0 +1,153 @@
+"""Checkpoint overhead benchmark: durability tax vs chunk granularity.
+
+Times the flagship SDH composition (Register-ROC x Privatized-SHM,
+B=256) through the chunked checkpoint driver at three granularities
+against the same run with no checkpointing:
+
+* ``no-checkpoint`` — ``run_checkpointed`` bypassed entirely (1.0x);
+* ``k1``  — a durable chunk after every anchor block: worst-case tax,
+  every block pays a pickle + fsync + manifest rewrite;
+* ``k8``  — the default granularity; the acceptance bar is <= 5%
+  overhead here (speedup >= 0.95x);
+* ``k64`` — chunks larger than the grid: one payload for the whole run,
+  the floor of the durability cost.
+
+Every mode must produce the bit-identical histogram (asserted before any
+time is reported).  Checkpointed shots write into a **fresh** temporary
+store each time — reusing a store would let resume replay finished
+chunks and time a no-op.  Modes are interleaved round-robin per repeat
+round, best round per mode, same as the other suites.  Run as a script
+to produce ``BENCH_checkpoint.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py
+
+or the CI-sized subset::
+
+    PYTHONPATH=src python -m pytest benchmarks -m bench_smoke -q
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import shutil
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core.checkpoint import CheckpointConfig, run_checkpointed
+from repro.core.kernels import make_kernel
+from repro.gpusim import Device, TITAN_X
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_checkpoint.json"
+
+SDH_BINS = 256
+BLOCK = 256
+SIZES = (4096, 8192)
+
+#: (row name, checkpoint_every) — None = no checkpointing at all
+MODES = (
+    ("no-checkpoint", None),
+    ("k1", 1),
+    ("k8", 8),
+    ("k64", 64),
+)
+
+
+def _points(n: int) -> np.ndarray:
+    rng = np.random.default_rng(20160808)
+    return rng.uniform(0.0, 10.0, size=(n, 3))
+
+
+def _problem_kernel():
+    problem = apps.sdh.make_problem(SDH_BINS, 10.0 * math.sqrt(3.0), dims=3)
+    return problem, make_kernel(
+        problem, "register-roc", "privatized-shm", block_size=BLOCK
+    )
+
+
+def _time_once(problem, kernel, points, every):
+    if every is None:
+        device = Device(TITAN_X)
+        t0 = time.perf_counter()
+        result, _ = kernel.execute(device, points)
+        return time.perf_counter() - t0, result
+    store = tempfile.mkdtemp(prefix="bench-ckpt-")
+    try:
+        t0 = time.perf_counter()
+        result, _, _, _ = run_checkpointed(
+            problem, points, kernel,
+            config=CheckpointConfig(store, every=every),
+        )
+        return time.perf_counter() - t0, result
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+
+
+def run_suite(sizes=SIZES, repeats: int = 3):
+    """Time every granularity at every size; BENCH_checkpoint.json rows."""
+    rows = []
+    for n in sizes:
+        points = _points(n)
+        problem, kernel = _problem_kernel()
+        best = {name: math.inf for name, _ in MODES}
+        baseline_hist = None
+        for _ in range(repeats):
+            for name, every in MODES:
+                seconds, hist = _time_once(problem, kernel, points, every)
+                best[name] = min(best[name], seconds)
+                if baseline_hist is None:
+                    baseline_hist = hist
+                else:
+                    np.testing.assert_array_equal(baseline_hist, hist)
+        baseline_seconds = best["no-checkpoint"]
+        for name, _ in MODES:
+            rows.append({
+                "bench": name,
+                "n": n,
+                "seconds": round(best[name], 6),
+                "speedup": round(baseline_seconds / best[name], 3),
+            })
+    return rows
+
+
+def main() -> None:
+    rows = run_suite()
+    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    width = max(len(r["bench"]) for r in rows)
+    for r in rows:
+        print(
+            f"N={r['n']:>6}  {r['bench']:<{width}}  "
+            f"{r['seconds']:>9.4f}s  {r['speedup']:>6.2f}x"
+        )
+    print(f"wrote {OUT_PATH}")
+
+
+# -- CI smoke subset -----------------------------------------------------------
+
+@pytest.mark.bench_smoke
+def test_checkpoint_bench_smoke(save_artifact):
+    """Quick cross-check at N=4096: every granularity agrees bit-for-bit
+    and the default chunking clears the <=5% overhead acceptance bar."""
+    # three interleaved rounds: at repeats=2 a single noisy no-checkpoint
+    # round can push the k8 ratio past the 5% envelope on a busy runner
+    rows = run_suite(sizes=(4096,), repeats=3)
+    by_mode = {r["bench"]: r for r in rows}
+    assert set(by_mode) == {m[0] for m in MODES}
+    # run_suite already asserted bit-identity; the durability tax at the
+    # default granularity must stay within the acceptance envelope
+    assert by_mode["k8"]["speedup"] >= 0.95
+    assert by_mode["k64"]["speedup"] >= by_mode["k1"]["speedup"] * 0.8
+    save_artifact(
+        "bench_checkpoint_smoke",
+        json.dumps(rows, indent=2),
+    )
+
+
+if __name__ == "__main__":
+    main()

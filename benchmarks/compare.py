@@ -31,6 +31,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 import bench_backend  # noqa: E402
+import bench_checkpoint  # noqa: E402
 import bench_engine  # noqa: E402
 import bench_pruning  # noqa: E402
 
@@ -54,6 +55,11 @@ SUITES = {
         # interleaved rounds already even out drift; two keep the best-of
         # stable enough for the 20% floor on a loaded CI runner
         lambda: bench_backend.run_suite(sizes=(4096,), repeats=2),
+    ),
+    "checkpoint": (
+        REPO_ROOT / "BENCH_checkpoint.json",
+        lambda: bench_checkpoint.run_suite(),
+        lambda: bench_checkpoint.run_suite(sizes=(4096,), repeats=2),
     ),
 }
 

@@ -27,6 +27,7 @@ from .apps import pcf as pcf_app
 from .apps import sdh as sdh_app
 from .core import make_kernel, plan_kernel, run
 from .core.kernels import INPUT_STRATEGIES, OUTPUT_STRATEGIES
+from .core.lifecycle import RunAbandoned
 from .data import uniform_points
 from .gpusim import BACKENDS, PRESETS, get_device_spec, utilization_table
 
@@ -78,7 +79,10 @@ def _report_run(args, res) -> None:
         print(f"pruned {pruned}/{tiles} tiles "
               f"({pairs:,} pair evaluations avoided)")
     if res.resilience is not None:
-        print(f"-- fault injection (seed {args.faults}) --")
+        if getattr(args, "faults", None) is not None:
+            print(f"-- fault injection (seed {args.faults}) --")
+        else:
+            print("-- run lifecycle --")
         print(res.resilience.summary())
     if args.trace and res.trace is not None:
         events = len(res.trace.all_spans())
@@ -88,7 +92,8 @@ def _report_run(args, res) -> None:
 
 def cmd_sdh(args) -> int:
     pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
-    if args.faults is not None:
+    lk = _lifecycle_kwargs(args)
+    if args.faults is not None or lk:
         span = pts.max(axis=0) - pts.min(axis=0)
         maxd = float(np.linalg.norm(span)) or 1.0
         problem = sdh_app.make_problem(args.bins, maxd, dims=3)
@@ -97,8 +102,9 @@ def cmd_sdh(args) -> int:
         res = run(problem,
                   pts,
                   kernel=sdh_app.default_kernel(problem, prune=args.prune),
-                  faults=args.faults, retries=args.retries, workers=2,
-                  trace=args.trace, backend=args.backend)
+                  faults=args.faults,
+                  retries=args.retries if args.faults is not None else None,
+                  workers=2, trace=args.trace, backend=args.backend, **lk)
         hist = res.result
     else:
         hist, res = sdh_app.compute(pts, bins=args.bins, prune=args.prune,
@@ -114,11 +120,13 @@ def cmd_sdh(args) -> int:
 
 def cmd_pcf(args) -> int:
     pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
-    if args.faults is not None:
+    lk = _lifecycle_kwargs(args)
+    if args.faults is not None or lk:
         problem = pcf_app.make_problem(args.radius)
         res = run(problem, pts, kernel=make_kernel(problem, prune=args.prune),
-                  faults=args.faults, retries=args.retries, workers=2,
-                  trace=args.trace, backend=args.backend)
+                  faults=args.faults,
+                  retries=args.retries if args.faults is not None else None,
+                  workers=2, trace=args.trace, backend=args.backend, **lk)
         count = int(round(res.result))
     else:
         count, res = pcf_app.count_pairs(pts, args.radius, prune=args.prune,
@@ -149,7 +157,7 @@ def cmd_stats(args) -> int:
         extra = {"faults": args.faults, "retries": args.retries}
     res = run(problem, pts, kernel=kernel, spec=spec, workers=args.workers,
               backend=args.backend, prune=args.prune, trace=args.trace,
-              **extra)
+              **extra, **_lifecycle_kwargs(args))
     # the utilization table and the registry dump below are two views of
     # the same MetricsRegistry the trace was built from
     print(utilization_table([res.metrics.sim_report()]))
@@ -224,6 +232,44 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_lifecycle_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="checkpoint the run into DIR, one durable chunk every "
+             "--checkpoint-every anchor blocks; an interrupted run can be "
+             "finished later with --resume DIR",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="anchor blocks per checkpoint chunk (default 8)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on breach the run stops cooperatively "
+             "(leaving a resumable checkpoint when --checkpoint-dir is set) "
+             "and exits with status 3",
+    )
+    p.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume from the checkpoint store at DIR: completed chunks "
+             "are replayed, only the remainder executes, and outputs are "
+             "bit-identical to an uninterrupted run",
+    )
+
+
+def _lifecycle_kwargs(args) -> dict:
+    kw = {}
+    if getattr(args, "checkpoint_dir", None) is not None:
+        kw["checkpoint_dir"] = args.checkpoint_dir
+    if getattr(args, "checkpoint_every", None) is not None:
+        kw["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "deadline", None) is not None:
+        kw["deadline"] = args.deadline
+    if getattr(args, "resume", None) is not None:
+        kw["resume"] = args.resume
+    return kw
+
+
 def _add_problem_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--problem", choices=["sdh", "pcf"], default="sdh")
     p.add_argument("--bins", type=int, default=2500, help="SDH buckets")
@@ -260,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(p)
     _add_fault_args(p)
     _add_trace_arg(p)
+    _add_lifecycle_args(p)
     p.set_defaults(fn=cmd_sdh)
 
     p = sub.add_parser("pcf", help="compute a 2-PCF on generated data")
@@ -272,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(p)
     _add_fault_args(p)
     _add_trace_arg(p)
+    _add_lifecycle_args(p)
     p.set_defaults(fn=cmd_pcf)
 
     p = sub.add_parser(
@@ -296,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(p)
     _add_fault_args(p)
     _add_trace_arg(p)
+    _add_lifecycle_args(p)
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("figures", help="regenerate paper figures/tables")
@@ -310,7 +359,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except RunAbandoned as exc:
+        print(f"run abandoned: {exc}", file=sys.stderr)
+        if getattr(exc, "checkpoint", None) is not None:
+            print(
+                f"completed chunks are checkpointed in {exc.checkpoint}; "
+                f"finish the run with --resume {exc.checkpoint}",
+                file=sys.stderr,
+            )
+        return 3
 
 
 if __name__ == "__main__":

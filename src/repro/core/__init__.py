@@ -98,6 +98,24 @@ from .problem import (
     as_aos,
     as_soa,
 )
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointConfig,
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointStore,
+    chunk_plan,
+    run_checkpointed,
+)
+from .lifecycle import (
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    RunAbandoned,
+    RunCancelled,
+    check_lifecycle,
+)
 from .resilience import (
     DEGRADATION_LADDER,
     ResilienceEvent,
@@ -149,4 +167,8 @@ __all__ = [
     "PruningSpec", "PruneStats", "TileClasses", "TilePruner",
     "block_bounds", "tile_distance_bounds", "prune_stats", "spatial_sort",
     "pruned_geometry",
+    "CHECKPOINT_SCHEMA", "CheckpointConfig", "CheckpointCorrupt",
+    "CheckpointError", "CheckpointMismatch", "CheckpointStore",
+    "chunk_plan", "run_checkpointed", "CancelToken", "Deadline",
+    "DeadlineExceeded", "RunAbandoned", "RunCancelled", "check_lifecycle",
 ]

@@ -1,0 +1,568 @@
+"""Block-granular checkpointing: interrupt, resume, and still be exact.
+
+A 2-BS run over a large dataset is hours of work whose entire value is one
+final reduction — the worst possible shape for preemptible machines.  This
+module makes long runs *restartable* by exploiting the same algebraic seam
+the multi-GPU decomposition uses: every anchor block's contribution has
+disjoint support (or is a commutative sum), so the grid can be executed as
+consecutive **chunks** of anchor blocks, each chunk's partial output
+persisted durably, and the final result assembled with exactly the
+:func:`~repro.core.multigpu._combine` merge that makes device stripes
+bit-identical to a single-device run.
+
+Crash-consistency rules (see DESIGN.md Section 10):
+
+* Every file is written via temp-file + ``fsync`` + ``os.replace``; a
+  checkpoint directory never holds a torn file, only a missing one.
+* The manifest is rewritten (atomically) *after* each chunk payload lands,
+  and names each payload with its SHA-256 — a payload the manifest does
+  not reference does not exist, and a corrupted one is detected on load.
+* A chunk interrupted mid-flight is simply absent: resume re-executes it
+  from the previous chunk's persisted cursor state (fault-injector budgets
+  and RNG, backoff-jitter RNG, degraded-kernel descriptor, tile batch), so
+  the re-execution replays the exact event stream the lost attempt saw.
+* The manifest binds a configuration fingerprint (problem, kernel, device
+  spec, dataset digest, engine knobs, fault seed, chunking) — resuming
+  under *any* other configuration is refused, not silently merged.
+
+Determinism contract: a run that is killed and resumed any number of times
+produces bit-identical outputs, counters, prune stats and exported Chrome
+traces to the same checkpointed configuration run uninterrupted.  (A
+*chunked* run's integer outputs also match the unchunked run exactly —
+disjoint support again — but its counters differ benignly: every chunk
+finalizes its own reduction, so checkpointing is a run-shape choice made
+up front, recorded in the fingerprint.)
+
+TOPK outputs are rejected: order statistics do not merge by block-disjoint
+addition (the same reason they are not supported multi-GPU).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..gpusim.counters import AccessCounters
+from ..gpusim.device import LaunchRecord
+from ..gpusim.faults import as_injector
+from ..gpusim.parallel import resolve_backend
+from ..gpusim.spec import DeviceSpec, TITAN_X
+from ..obs.manifest import MANIFEST_SCHEMA, git_describe
+from ..obs.tracer import NULL_TRACER
+from .bounds import PruneStats
+from .kernels import ComposedKernel, make_kernel
+from .lifecycle import RunAbandoned
+from .multigpu import _combine
+from .problem import TwoBodyProblem, UpdateKind
+from .resilience import (
+    ResilienceEvent,
+    ResilienceReport,
+    RetryPolicy,
+    _supervised_execute,
+    expected_pair_count,
+    verify_result,
+)
+
+#: Checkpoint store schema version.
+CHECKPOINT_SCHEMA = "repro-checkpoint-v1"
+
+#: Default chunk size: checkpoint after every K anchor blocks.
+DEFAULT_CHECKPOINT_EVERY = 8
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint store cannot be used."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """The store was written under a different run configuration."""
+
+
+class CheckpointCorrupt(CheckpointError):
+    """A referenced payload is missing or fails its integrity check."""
+
+
+@dataclass
+class CheckpointConfig:
+    """Where and how often to checkpoint.
+
+    ``after_chunk(index, entry)`` is an observation hook called after each
+    chunk's payload and manifest are durably on disk — the seam the
+    interrupted-run tests use to SIGKILL the process at a chosen chunk.
+    """
+
+    dir: Any
+    every: int = DEFAULT_CHECKPOINT_EVERY
+    after_chunk: Optional[Callable[[int, Dict[str, Any]], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.every}"
+            )
+        self.dir = Path(self.dir)
+
+    @classmethod
+    def coerce(
+        cls, value: Any, every: Optional[int] = None
+    ) -> "CheckpointConfig":
+        """A ``CheckpointConfig`` passes through (``every`` overrides if
+        given); anything else is treated as a directory path."""
+        if isinstance(value, cls):
+            if every is not None and every != value.every:
+                return cls(value.dir, every=every,
+                           after_chunk=value.after_chunk)
+            return value
+        return cls(value, every=every if every is not None
+                   else DEFAULT_CHECKPOINT_EVERY)
+
+
+def chunk_plan(num_blocks: int, every: int) -> List[List[int]]:
+    """Partition anchor block ids into consecutive chunks of ``every``."""
+    if num_blocks < 1:
+        raise ValueError(f"need at least one block, got {num_blocks}")
+    if every < 1:
+        raise ValueError(f"chunk size must be >= 1, got {every}")
+    return [
+        list(range(s, min(s + every, num_blocks)))
+        for s in range(0, num_blocks, every)
+    ]
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """temp + fsync + rename: the file is whole or absent, never torn."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _kernel_descriptor(kernel: ComposedKernel) -> Dict[str, Any]:
+    """The rebuildable identity of a kernel — what degradation changes."""
+    return {
+        "input": kernel.input.name.lower(),
+        "output": kernel.output.name.lower(),
+        "block_size": int(kernel.block_size),
+        "load_balanced": bool(kernel.load_balanced),
+    }
+
+
+def _rebuild_kernel(
+    problem: TwoBodyProblem, desc: Dict[str, Any]
+) -> ComposedKernel:
+    # same call shape as resilience.degrade_kernel, so a resumed run holds
+    # the identical kernel object an uninterrupted degraded run would
+    return make_kernel(
+        problem,
+        desc["input"],
+        desc["output"],
+        block_size=desc["block_size"],
+        load_balanced=desc["load_balanced"],
+    )
+
+
+def fingerprint(
+    *,
+    problem: TwoBodyProblem,
+    kernel: ComposedKernel,
+    spec: DeviceSpec,
+    points: np.ndarray,
+    workers: Optional[int],
+    batch_tiles: Optional[int],
+    backend: Optional[str],
+    fault_seed: Optional[int],
+    max_retries: int,
+    every: int,
+    num_blocks: int,
+) -> Dict[str, Any]:
+    """The configuration subset a store is bound to.
+
+    Everything that changes the computed bits (or the chunking they are
+    computed in) is included; everything that is wall-history (git rev,
+    timestamps, whether this run is itself a resume) is not.
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    return {
+        "schema": CHECKPOINT_SCHEMA,
+        "problem": {
+            "name": problem.name,
+            "dims": int(problem.dims),
+            "output_kind": problem.output.kind.value,
+        },
+        "kernel": dict(
+            _kernel_descriptor(kernel), prune=bool(kernel.prune)
+        ),
+        "device": spec.name,
+        "n": int(pts.shape[0]),
+        "points_sha256": _sha256(pts.tobytes()),
+        "workers": workers,
+        "batch_tiles": batch_tiles,
+        "backend": resolve_backend(backend),
+        "fault_seed": fault_seed,
+        "max_retries": int(max_retries),
+        "every": int(every),
+        "num_blocks": int(num_blocks),
+    }
+
+
+def _fingerprint_digest(fp: Dict[str, Any]) -> str:
+    return _sha256(
+        json.dumps(fp, sort_keys=True, separators=(",", ":")).encode()
+    )
+
+
+class CheckpointStore:
+    """One run's checkpoint directory: a manifest plus chunk payloads."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory) -> None:
+        self.dir = Path(directory)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.dir / self.MANIFEST
+
+    def exists(self) -> bool:
+        return self.manifest_path.is_file()
+
+    def chunk_path(self, index: int) -> Path:
+        return self.dir / f"chunk-{index:06d}.pkl"
+
+    def load_manifest(self) -> Dict[str, Any]:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointCorrupt(
+                f"cannot read checkpoint manifest {self.manifest_path}: {exc}"
+            ) from exc
+
+    def write_manifest(self, manifest: Dict[str, Any]) -> None:
+        self.dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            self.manifest_path,
+            (json.dumps(manifest, sort_keys=True, indent=1) + "\n").encode(),
+        )
+
+    def write_chunk(self, index: int, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Persist one chunk payload; returns its manifest entry."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self.chunk_path(index)
+        _atomic_write(path, data)
+        return {
+            "index": int(index),
+            "file": path.name,
+            "sha256": _sha256(data),
+            "blocks": [int(payload["blocks"][0]),
+                       int(payload["blocks"][-1]) + 1],
+        }
+
+    def load_chunk(self, entry: Dict[str, Any]) -> Dict[str, Any]:
+        """Load a payload named by a manifest entry, verifying integrity."""
+        path = self.dir / entry["file"]
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise CheckpointCorrupt(
+                f"chunk payload {path} is missing or unreadable: {exc}"
+            ) from exc
+        digest = _sha256(data)
+        if digest != entry["sha256"]:
+            raise CheckpointCorrupt(
+                f"chunk payload {path.name} fails its integrity check: "
+                f"sha256 {digest} != recorded {entry['sha256']}"
+            )
+        return pickle.loads(data)
+
+
+def _merge_prune(parts: List[Any]) -> Optional[PruneStats]:
+    stats = [p for p in parts if p is not None]
+    if not stats:
+        return None
+    return PruneStats(
+        tiles=sum(s.tiles for s in stats),
+        tiles_skipped=sum(s.tiles_skipped for s in stats),
+        tiles_bulk=sum(s.tiles_bulk for s in stats),
+        pairs_skipped=sum(s.pairs_skipped for s in stats),
+        pairs_bulk=sum(s.pairs_bulk for s in stats),
+        tile_points_pruned=sum(s.tile_points_pruned for s in stats),
+    )
+
+
+def _merge_records(
+    kernel: ComposedKernel, records: List[LaunchRecord]
+) -> LaunchRecord:
+    """One launch-record view over all chunks, in chunk (= block) order."""
+    counters = AccessCounters()
+    sync: List[int] = []
+    for rec in records:
+        counters.merge(rec.counters)
+        sync.extend(rec.sync_counts)
+    merged = LaunchRecord(
+        kernel_name=kernel.name,
+        config=records[-1].config,
+        counters=counters,
+        blocks_run=sum(r.blocks_run for r in records),
+        wall_seconds=sum(r.wall_seconds for r in records),
+        sync_counts=sync,
+        workers=records[-1].workers,
+        prune=_merge_prune([r.prune for r in records]),
+        backend=records[-1].backend,
+    )
+    merged._max_shared = max(r.max_shared_bytes for r in records)
+    return merged
+
+
+def _chunk_spans(tracer, roots_before: int) -> List[Any]:
+    """Root spans recorded since ``roots_before``, minus lifecycle instants
+    (wall history: a resumed run legitimately differs there)."""
+    if not tracer.enabled:
+        return []
+    return [
+        s for s in tracer.roots[roots_before:] if s.cat != "lifecycle"
+    ]
+
+
+def run_checkpointed(
+    problem: TwoBodyProblem,
+    points: np.ndarray,
+    kernel: ComposedKernel,
+    *,
+    config: CheckpointConfig,
+    spec: DeviceSpec = TITAN_X,
+    workers: Optional[int] = None,
+    batch_tiles: Optional[int] = None,
+    backend: Optional[str] = None,
+    faults: Any = None,
+    retry: Optional[RetryPolicy] = None,
+    tracer=None,
+    deadline=None,
+    cancel=None,
+    watchdog: Optional[float] = None,
+    resume: bool = False,
+) -> Tuple[Any, LaunchRecord, ComposedKernel, ResilienceReport]:
+    """Execute ``kernel`` chunk by chunk, checkpointing after each chunk.
+
+    Returns ``(result, merged_record, final_kernel, report)``.  With
+    ``resume=True`` the store must already hold a manifest; its completed
+    chunks are verified, loaded and replayed (outputs, counters, trace
+    subtrees, fault/RNG cursors), and only the unfinished chunks execute.
+    Without ``resume``, an existing manifest for the *same* fingerprint is
+    also picked up (idempotent restart); a mismatched one is refused.
+
+    On a deadline breach or cancellation, everything completed so far is
+    already durable: the raised :class:`~repro.core.lifecycle.RunAbandoned`
+    carries the store path (``exc.checkpoint``) and the flight recorder
+    (``exc.report``), and ``resume`` finishes the run later.
+    """
+    if problem.output.kind is UpdateKind.TOPK:
+        raise CheckpointError(
+            "TOPK outputs do not merge by block-disjoint addition; "
+            "checkpointing is not supported (same reason as multi-GPU)"
+        )
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    n = int(pts.shape[0])
+    tracer = tracer if tracer is not None else NULL_TRACER
+    injector = as_injector(faults)
+    policy = retry if retry is not None else RetryPolicy()
+    if injector is not None and tracer.enabled:
+        injector.tracer = tracer
+    report = ResilienceReport(injector, tracer=tracer)
+    seed = injector.plan.seed if injector is not None else 0
+    rng = np.random.default_rng(seed + 0x5EED)  # supervisor jitter stream
+
+    m = kernel.geometry(n).num_blocks
+    chunks = chunk_plan(m, config.every)
+    fp = fingerprint(
+        problem=problem, kernel=kernel, spec=spec, points=pts,
+        workers=workers, batch_tiles=batch_tiles, backend=backend,
+        fault_seed=injector.plan.seed if injector is not None else None,
+        max_retries=policy.max_retries, every=config.every, num_blocks=m,
+    )
+    digest = _fingerprint_digest(fp)
+    store = CheckpointStore(config.dir)
+
+    entries: List[Dict[str, Any]] = []
+    if store.exists():
+        manifest = store.load_manifest()
+        if manifest.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointMismatch(
+                f"store {store.dir} has schema "
+                f"{manifest.get('schema')!r}, expected {CHECKPOINT_SCHEMA!r}"
+            )
+        if manifest.get("fingerprint_sha256") != digest:
+            raise CheckpointMismatch(
+                f"store {store.dir} was written under a different run "
+                "configuration (fingerprint mismatch); refusing to merge "
+                "incompatible partial results"
+            )
+        entries = list(manifest.get("chunks") or [])
+        entries.sort(key=lambda e: e["index"])
+    elif resume:
+        raise CheckpointError(
+            f"resume requested but {store.manifest_path} does not exist"
+        )
+
+    def write_manifest() -> None:
+        store.write_manifest({
+            "schema": CHECKPOINT_SCHEMA,
+            "manifest_schema": MANIFEST_SCHEMA,
+            "git": git_describe(),
+            "fingerprint": fp,
+            "fingerprint_sha256": digest,
+            "num_chunks": len(chunks),
+            "chunks": entries,
+        })
+
+    full = kernel.full_rows
+    # expected-mass verification only holds when every pair is evaluated;
+    # pruning legitimately skips out-of-range pairs
+    check_mass = not kernel.prune
+
+    # -- replay completed chunks --------------------------------------------
+    parts: List[Any] = []
+    records: List[LaunchRecord] = []
+    current = kernel
+    bt = batch_tiles
+    done = 0
+    last_payload: Optional[Dict[str, Any]] = None
+    for entry in entries:
+        payload = store.load_chunk(entry)
+        parts.append(payload["part"])
+        records.append(payload["record"])
+        for span in payload["spans"]:
+            tracer.adopt(span)
+        last_payload = payload
+        done += 1
+        report.record_lifecycle(
+            "checkpoint-load", detail=(
+                f"chunk {payload['index']} "
+                f"(blocks {entry['blocks'][0]}..{entry['blocks'][1] - 1}) "
+                f"from {entry['file']}"
+            ),
+            chunk=int(payload["index"]),
+        )
+    if last_payload is not None:
+        # restore the execution cursor exactly where the last durable
+        # chunk left it: degraded kernel + tile batch, fault budgets and
+        # corruption RNG, backoff-jitter RNG, recovery event stream
+        desc = last_payload["kernel"]
+        if desc != _kernel_descriptor(current):
+            current = _rebuild_kernel(problem, desc)
+        bt = last_payload["batch_tiles"]
+        rng.bit_generator.state = last_payload["rng_state"]
+        if injector is not None and last_payload["injector"] is not None:
+            injector.restore(last_payload["injector"])
+        report.events = [
+            ResilienceEvent.from_dict(e) for e in last_payload["events"]
+        ]
+        report.record_lifecycle(
+            "resumed", detail=(
+                f"{done}/{len(chunks)} chunk(s) restored from {store.dir}"
+            ),
+            chunks_done=done, chunks_total=len(chunks),
+        )
+
+    # -- execute the remaining chunks ---------------------------------------
+    # the manifest goes down before any work so that a run abandoned ahead
+    # of its first chunk still leaves a valid (empty, fingerprinted) store
+    # behind — resume then simply executes everything
+    write_manifest()
+    try:
+        for index in range(done, len(chunks)):
+            chunk = chunks[index]
+            if cancel is not None:
+                cancel.check()
+            if deadline is not None:
+                deadline.check()
+            roots_before = len(tracer.roots) if tracer.enabled else 0
+            part, record, current, bt = _supervised_execute(
+                current, pts,
+                injector=injector, policy=policy, report=report, rng=rng,
+                spec=spec, ordinal=0, blocks=chunk, workers=workers,
+                batch_tiles=bt, backend=backend,
+                expected_pairs=(
+                    expected_pair_count(n, current.block_size, chunk, full)
+                    if check_mass else None
+                ),
+                n=n, tracer=tracer, deadline=deadline, cancel=cancel,
+                watchdog=watchdog,
+            )
+            parts.append(part)
+            records.append(record)
+            payload = {
+                "index": int(index),
+                "blocks": [int(b) for b in chunk],
+                "part": part,
+                "record": record,
+                "spans": _chunk_spans(tracer, roots_before),
+                "kernel": _kernel_descriptor(current),
+                "batch_tiles": bt,
+                "injector": injector.state() if injector is not None else None,
+                "rng_state": rng.bit_generator.state,
+                "events": [e.as_dict() for e in report.events],
+            }
+            entry = store.write_chunk(index, payload)
+            entries.append(entry)
+            write_manifest()
+            report.record_lifecycle(
+                "checkpoint-write", detail=(
+                    f"chunk {index} (blocks {chunk[0]}..{chunk[-1]}) "
+                    f"-> {entry['file']}"
+                ),
+                chunk=int(index),
+            )
+            if config.after_chunk is not None:
+                config.after_chunk(index, entry)
+    except RunAbandoned as exc:
+        # everything persisted so far is durable and consistent; hand the
+        # caller the resume handle alongside the flight recorder
+        action = (
+            "cancelled" if type(exc).__name__ == "RunCancelled"
+            else "deadline-breach"
+        )
+        if not report.lifecycle or report.lifecycle[-1].action != action:
+            report.record_lifecycle(action, detail=str(exc))
+        report.record_lifecycle(
+            "checkpoint-exit", detail=(
+                f"{len(entries)}/{len(chunks)} chunk(s) durable in "
+                f"{store.dir}; resume to finish"
+            ),
+            chunks_done=len(entries), chunks_total=len(chunks),
+        )
+        exc.checkpoint = store.dir
+        exc.report = report
+        raise
+
+    # -- merge, verify, report ----------------------------------------------
+    result = parts[0] if len(parts) == 1 else _combine(problem, parts)
+    verify_result(
+        problem, result, n=n,
+        expected_pairs=(
+            expected_pair_count(n, current.block_size, None, full)
+            if check_mass else None
+        ),
+    )
+    report.record(
+        "verified", -1,
+        detail=(
+            f"merged {len(parts)} chunk(s); "
+            f"{problem.output.kind.value} invariants hold"
+        ),
+    )
+    return result, _merge_records(current, records), current, report

@@ -1,0 +1,141 @@
+"""Run-lifecycle controls: deadlines, cooperative cancellation, watchdog.
+
+Long 2-BS runs (cosmology-scale SDH/2PCF, the service layer's admitted
+jobs) need to stop *cleanly*: a deadline breach or an operator cancel
+must not tear the process down mid-merge, it must surface at a safe
+point — between blocks, between checkpoint chunks, between supervisor
+retries — with every completed unit of work still intact.  This module
+holds the primitives the engine threads through those safe points:
+
+* :class:`Deadline` — a wall-clock budget.  ``check()`` raises
+  :class:`DeadlineExceeded` once the budget is spent; ``fits(extra)``
+  lets the resilience supervisor refuse to *start* a retry that cannot
+  finish inside the remaining budget.
+* :class:`CancelToken` — a thread-safe cooperative cancel flag.
+  ``check()`` raises :class:`RunCancelled` after ``cancel()`` was
+  called (from another thread, a signal handler, a service scheduler).
+* :class:`RunAbandoned` — the common base of both exceptions.  When a
+  checkpointed run is abandoned, the checkpoint driver attaches the run
+  directory (``exc.checkpoint``) and the lifecycle-annotated
+  :class:`~repro.core.resilience.ResilienceReport` (``exc.report``) so
+  callers can print a resume hint instead of losing the work.
+
+The engine layers (``gpusim.device``, ``gpusim.parallel``,
+``gpusim.procpool``) never import this module: they duck-type the
+objects — anything with a ``check()`` method works — which keeps the
+``gpusim`` package free of ``core`` imports.  Deadlines survive a
+``fork`` (the process-pool backend) because ``time.monotonic`` is a
+system-wide clock on the platforms the pool supports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class RunAbandoned(RuntimeError):
+    """A run stopped before completing.
+
+    ``checkpoint`` is the run directory holding the completed chunks
+    (``None`` when the run was not checkpointed) and ``report`` the
+    resilience report recorded up to the stop — both attached by the
+    checkpoint driver before the exception leaves :func:`~repro.core.
+    runner.run`.
+    """
+
+    def __init__(self, message: str, *, checkpoint=None, report=None):
+        super().__init__(message)
+        self.checkpoint = checkpoint
+        self.report = report
+
+
+class RunCancelled(RunAbandoned):
+    """The run's :class:`CancelToken` was cancelled."""
+
+
+class DeadlineExceeded(RunAbandoned):
+    """The run's :class:`Deadline` budget is spent."""
+
+
+class CancelToken:
+    """Cooperative cancellation flag, safe to trip from any thread.
+
+    The engine polls ``check()`` at block boundaries; the process-pool
+    parent polls it while waiting on workers.  The flag does **not**
+    propagate into already-forked pool workers (each child has its own
+    copy of the event) — the parent kills and reaps them instead.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def check(self) -> None:
+        if self._event.is_set():
+            raise RunCancelled("run cancelled")
+
+
+class Deadline:
+    """Wall-clock budget for one run, started at construction.
+
+    ``clock`` is injectable for deterministic tests (defaults to
+    ``time.monotonic``, which is shared across ``fork`` children so the
+    process-pool backend observes the same budget as its parent).
+    """
+
+    def __init__(
+        self,
+        seconds: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.seconds = float(seconds)
+        if self.seconds <= 0.0:
+            raise ValueError(f"deadline must be positive, got {seconds!r}")
+        self._clock = clock
+        self._t0 = clock()
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (negative once spent)."""
+        return self.seconds - (self._clock() - self._t0)
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def fits(self, extra: float) -> bool:
+        """Whether ``extra`` more seconds fit inside the budget — the
+        supervisor's pre-retry gate."""
+        return self.remaining() > extra
+
+    def check(self) -> None:
+        if self.expired:
+            raise DeadlineExceeded(
+                f"deadline of {self.seconds:.3f}s exceeded"
+            )
+
+    @classmethod
+    def coerce(cls, value) -> "Optional[Deadline]":
+        """``None`` passes through, a :class:`Deadline` is used as-is, a
+        number becomes a fresh budget starting now."""
+        if value is None or isinstance(value, cls):
+            return value
+        return cls(float(value))
+
+
+def check_lifecycle(deadline=None, cancel=None) -> None:
+    """Poll both controls (either may be ``None``).  Cancellation wins
+    over the deadline when both have tripped — an operator's explicit
+    cancel is the more specific signal."""
+    if cancel is not None:
+        cancel.check()
+    if deadline is not None:
+        deadline.check()

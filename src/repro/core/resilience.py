@@ -35,6 +35,7 @@ deterministic for a given fault seed.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -56,6 +57,7 @@ from ..gpusim.spec import DeviceSpec, TITAN_X
 from ..obs.tracer import NULL_TRACER
 from .kernels import ComposedKernel, make_kernel
 from .kernels.base import block_sizes
+from .lifecycle import DeadlineExceeded
 from .multigpu import ShardPlan, _combine, plan_shards
 from .problem import TwoBodyProblem, UpdateKind
 
@@ -106,10 +108,26 @@ class ResilienceEvent:
             "data": dict(self.data),
         }
 
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ResilienceEvent":
+        return cls(
+            action=d["action"], device=int(d["device"]),
+            detail=d.get("detail", ""), data=dict(d.get("data") or {}),
+        )
+
 
 class ResilienceReport:
     """Flight recorder for one supervised run: every injected fault (from
-    the shared injector) plus every recovery action, in firing order."""
+    the shared injector) plus every recovery action, in firing order.
+
+    A third stream, ``lifecycle``, records run-lifecycle events —
+    checkpoint writes/loads, deadline breaches, cancellations, watchdog
+    kills.  They are kept separate from ``events`` because they are
+    *not* part of the deterministic fault/recovery history: a resumed
+    run legitimately has different lifecycle traffic (loads instead of
+    writes) while its fault and recovery streams match the uninterrupted
+    run bit for bit.
+    """
 
     def __init__(
         self,
@@ -118,17 +136,25 @@ class ResilienceReport:
     ) -> None:
         self.injector = injector
         self.events: List[ResilienceEvent] = []
+        self.lifecycle: List[ResilienceEvent] = []
         #: execution tracer; recovery actions land as ``recovery:<action>``
         #: instant events at the trace position where they were taken.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # detached state carried by deserialized reports (no live injector)
+        self._seed: Optional[int] = None
+        self._faults: List[Any] = []
 
     @property
     def faults(self):
-        return list(self.injector.events) if self.injector is not None else []
+        if self.injector is not None:
+            return list(self.injector.events)
+        return list(self._faults)
 
     @property
     def seed(self) -> Optional[int]:
-        return self.injector.plan.seed if self.injector is not None else None
+        if self.injector is not None:
+            return self.injector.plan.seed
+        return self._seed
 
     def record(
         self, action: str, device: int, detail: str = "", **data: Any
@@ -143,17 +169,76 @@ class ResilienceReport:
                 args={"device": device, "detail": detail, **data},
             )
 
+    def record_lifecycle(
+        self, action: str, device: int = -1, detail: str = "", **data: Any
+    ) -> None:
+        """Record a lifecycle event (checkpoint-write / checkpoint-load /
+        deadline-breach / cancelled / watchdog-kill / resumed).  Emitted
+        to the tracer under ``cat="lifecycle"`` — a category the Chrome
+        export drops by default, so traces stay byte-identical between
+        interrupted-and-resumed and uninterrupted runs."""
+        self.lifecycle.append(
+            ResilienceEvent(action=action, device=device, detail=detail,
+                            data=data)
+        )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "lifecycle:" + action, cat="lifecycle",
+                args={"device": device, "detail": detail, **data},
+            )
+
     def actions(self) -> List[str]:
         return [e.action for e in self.events]
 
+    def lifecycle_actions(self) -> List[str]:
+        return [e.action for e in self.lifecycle]
+
     def to_dict(self) -> Dict[str, Any]:
         """Deterministic serialization: no timestamps, no object ids —
-        the same seed and run configuration reproduce it byte for byte."""
+        the same seed and run configuration reproduce it byte for byte.
+        (The ``lifecycle`` section is excluded: it is wall-history, not
+        run configuration — see :meth:`to_full_dict`.)"""
         return {
             "seed": self.seed,
             "faults": [f.as_dict() for f in self.faults],
             "recoveries": [e.as_dict() for e in self.events],
         }
+
+    def to_full_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` plus the lifecycle section — the round-trip
+        form checkpoints persist."""
+        d = self.to_dict()
+        d["lifecycle"] = [e.as_dict() for e in self.lifecycle]
+        return d
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_full_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ResilienceReport":
+        """Rebuild a detached report (no live injector, no tracer) from
+        :meth:`to_dict` / :meth:`to_full_dict` output.  Event order is
+        preserved exactly, so a round-tripped report re-serializes byte
+        for byte."""
+        from ..gpusim.faults import FaultEvent
+
+        report = cls()
+        report._seed = d.get("seed")
+        report._faults = [
+            FaultEvent.from_dict(f) for f in d.get("faults") or []
+        ]
+        report.events = [
+            ResilienceEvent.from_dict(e) for e in d.get("recoveries") or []
+        ]
+        report.lifecycle = [
+            ResilienceEvent.from_dict(e) for e in d.get("lifecycle") or []
+        ]
+        return report
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResilienceReport":
+        return cls.from_dict(json.loads(text))
 
     def summary(self) -> str:
         lines = [f"faults injected : {len(self.faults)}"]
@@ -169,6 +254,10 @@ class ResilienceReport:
         lines.append(f"recovery actions: {len(self.events)}")
         for e in self.events:
             lines.append(f"  - {e.action:15s} @ device {e.device}: {e.detail}")
+        if self.lifecycle:
+            lines.append(f"lifecycle events: {len(self.lifecycle)}")
+            for e in self.lifecycle:
+                lines.append(f"  - {e.action:15s}: {e.detail}")
         return "\n".join(lines)
 
 
@@ -302,18 +391,49 @@ def _supervised_execute(
     expected_pairs: Optional[int],
     n: int,
     tracer=None,
-) -> Tuple[Any, LaunchRecord, ComposedKernel]:
+    deadline=None,
+    cancel=None,
+    watchdog: Optional[float] = None,
+) -> Tuple[Any, LaunchRecord, ComposedKernel, Optional[int]]:
     """Execute one stripe (or the whole grid) under supervision.
+
+    Returns ``(result, record, kernel, batch_tiles)`` — the kernel and
+    tile batch that actually completed, which may differ from the inputs
+    after degradation / batch halving.  Checkpointing persists both so a
+    resumed run continues from the degraded state instead of re-walking
+    the ladder.
 
     Retries transient faults, degrades the kernel on resource exhaustion,
     halves the tile batch on allocation failure, re-executes on detected
     corruption.  Raises :class:`DeviceAllocationError` once the retry
     budget is spent — the caller's signal to declare the device dead.
+
+    ``deadline`` / ``cancel`` (:class:`~repro.core.lifecycle.Deadline` /
+    :class:`~repro.core.lifecycle.CancelToken`) are polled before every
+    attempt, and a backoff retry whose delay does not fit the remaining
+    budget is refused up front (the deadline surfaces *before* the sleep
+    is wasted, with completed work — checkpoint chunks, earlier stripes —
+    intact).  ``watchdog`` is the process-pool hung-worker timeout.
     """
     current = kernel
     bt = batch_tiles
     transient = alloc = corrupt = 0
+
+    def gate_retry(delay: float, action: str) -> None:
+        # refuse to start a retry that cannot fit the remaining budget
+        if deadline is not None and not deadline.fits(delay):
+            detail = (
+                f"{action} delay {delay:.6f}s does not fit remaining "
+                f"budget {max(0.0, deadline.remaining()):.6f}s"
+            )
+            report.record_lifecycle("deadline-breach", ordinal, detail=detail)
+            raise DeadlineExceeded(detail)
+
     while True:
+        if cancel is not None:
+            cancel.check()
+        if deadline is not None:
+            deadline.check()
 
         def note_recovery(ev: Dict[str, Any]) -> None:
             report.record(
@@ -336,6 +456,17 @@ def _supervised_execute(
                 max_retries=policy.max_retries, on_recover=note_recovery
             ),
             tracer=tracer,
+            deadline=deadline,
+            cancel=cancel,
+            watchdog=watchdog,
+            on_watchdog=lambda info: report.record_lifecycle(
+                "watchdog-kill", ordinal,
+                detail=(
+                    f"killed hung worker(s) {info.get('workers')} after "
+                    f"{info.get('timeout')}s without progress"
+                ),
+                workers=list(info.get("workers") or []),
+            ),
         )
         try:
             result, record = current.execute(
@@ -345,12 +476,13 @@ def _supervised_execute(
             verify_result(
                 current.problem, result, n=n, expected_pairs=expected_pairs
             )
-            return result, record, current
+            return result, record, current, bt
         except TransientFault as exc:
             transient += 1
             if transient > policy.max_retries:
                 raise
             d = policy.delay(transient - 1, rng)
+            gate_retry(d, "retry-transient")
             report.record(
                 "retry-transient", ordinal, detail=str(exc),
                 attempt=transient, delay=round(d, 6),
@@ -378,6 +510,7 @@ def _supervised_execute(
                 raise
             else:
                 d = policy.delay(alloc - 1, rng)
+                gate_retry(d, "retry-alloc")
                 report.record(
                     "retry-alloc", ordinal, detail=str(exc),
                     attempt=alloc, delay=round(d, 6),
@@ -408,6 +541,9 @@ def resilient_run(
     batch_tiles: Optional[int] = None,
     backend: Optional[str] = None,
     tracer=None,
+    deadline=None,
+    cancel=None,
+    watchdog: Optional[float] = None,
 ) -> ResilientResult:
     """Run ``problem`` under the resilience supervisor.
 
@@ -443,11 +579,11 @@ def resilient_run(
     common = dict(
         injector=injector, policy=policy, report=report, rng=rng, spec=spec,
         workers=workers, batch_tiles=batch_tiles, backend=backend, n=n,
-        tracer=tracer,
+        tracer=tracer, deadline=deadline, cancel=cancel, watchdog=watchdog,
     )
 
     if num_devices <= 1 or m < 2:
-        result, record, kfinal = _supervised_execute(
+        result, record, kfinal, _ = _supervised_execute(
             k, pts, ordinal=0, blocks=None,
             expected_pairs=expected_pair_count(n, k.block_size, None, full),
             **common,
@@ -470,7 +606,7 @@ def resilient_run(
         d, s, e = pending.pop(0)
         stripe = list(range(s, e))
         try:
-            result, record, kfinal = _supervised_execute(
+            result, record, kfinal, _ = _supervised_execute(
                 k, pts, ordinal=d, blocks=stripe,
                 expected_pairs=expected_pair_count(
                     n, k.block_size, stripe, full

@@ -63,6 +63,12 @@ def run(
     retries: Optional[Any] = None,
     prune: bool = False,
     trace: Optional[Any] = None,
+    checkpoint_dir: Optional[Any] = None,
+    checkpoint_every: Optional[int] = None,
+    deadline: Optional[Any] = None,
+    cancel: Optional[Any] = None,
+    resume: Optional[Any] = None,
+    watchdog: Optional[float] = None,
 ) -> RunResult:
     """Execute ``problem`` over ``points`` on the simulated device.
 
@@ -94,9 +100,27 @@ def run(
     Chrome-trace JSON there, and a live :class:`~repro.obs.tracer.Tracer`
     is used as-is.  Timestamps come from *simulated* kernel time, so the
     exported trace is byte-identical for identical run configurations.
+
+    Run-lifecycle controls (see DESIGN.md Section 10):
+
+    ``checkpoint_dir`` (a path or :class:`~repro.core.checkpoint.
+    CheckpointConfig`) executes the grid in consecutive anchor-block
+    chunks of ``checkpoint_every`` (default 8), persisting each chunk
+    durably; ``resume`` (a store path, or ``True`` to reuse
+    ``checkpoint_dir``) replays the completed chunks and runs only the
+    rest — bit-identical outputs, counters and traces to the same
+    checkpointed configuration run uninterrupted.  ``deadline`` (seconds
+    or a :class:`~repro.core.lifecycle.Deadline`) and ``cancel`` (a
+    :class:`~repro.core.lifecycle.CancelToken`) abort cooperatively with
+    :class:`~repro.core.lifecycle.RunAbandoned`; with checkpointing
+    active the exception carries the resumable store path.  ``watchdog``
+    (seconds) kills and re-deals hung process-pool workers.
     """
     n = np.asarray(points).shape[0]
     tracer, trace_path = resolve_trace(trace)
+    from .lifecycle import Deadline
+
+    deadline = Deadline.coerce(deadline)
     if kernel is None:
         if auto_plan:
             kernel = plan_kernel(
@@ -105,7 +129,61 @@ def run(
             ).chosen.kernel
         else:
             kernel = make_kernel(problem, prune=prune)
-    if faults is not None or retries is not None:
+    if resume is not None and resume is not False and checkpoint_dir is None:
+        # resume=True means "reuse checkpoint_dir", so a bare path is the
+        # store to both resume from and keep checkpointing into
+        if resume is True:
+            raise ValueError(
+                "resume=True needs checkpoint_dir; or pass the store path "
+                "as resume="
+            )
+        checkpoint_dir = resume
+    if checkpoint_dir is not None:
+        from .checkpoint import (
+            CheckpointConfig,
+            CheckpointStore,
+            run_checkpointed,
+        )
+        from .resilience import RetryPolicy
+
+        policy = (
+            RetryPolicy(max_retries=retries)
+            if isinstance(retries, int)
+            else retries
+        )
+        cfg = CheckpointConfig.coerce(checkpoint_dir, every=checkpoint_every)
+        resuming = resume is not None and resume is not False
+        if (
+            resuming
+            and checkpoint_every is None
+            and not isinstance(checkpoint_dir, CheckpointConfig)
+        ):
+            # chunk size is part of the store fingerprint (it shapes the
+            # merged counters/trace); an unqualified resume inherits it
+            # rather than re-chunking at the default
+            store = CheckpointStore(cfg.dir)
+            if store.exists():
+                prior = store.load_manifest().get("fingerprint", {})
+                if prior.get("every"):
+                    cfg = CheckpointConfig(
+                        cfg.dir, every=int(prior["every"]),
+                        after_chunk=cfg.after_chunk,
+                    )
+        result, record, kfinal, rep = run_checkpointed(
+            problem, points, kernel,
+            config=cfg, spec=spec, workers=workers,
+            batch_tiles=batch_tiles, backend=backend, faults=faults,
+            retry=policy, tracer=tracer, deadline=deadline, cancel=cancel,
+            watchdog=watchdog, resume=resuming,
+        )
+        report = kfinal.simulate(n, spec=spec, calib=calib,
+                                 prune=record.prune)
+        report.counters = record.counters
+        res = RunResult(
+            result=result, report=report, record=record, kernel=kfinal,
+            resilience=rep,
+        )
+    elif faults is not None or retries is not None:
         from .resilience import RetryPolicy, resilient_run
 
         policy = (
@@ -116,7 +194,8 @@ def run(
         rr = resilient_run(
             problem, points, kernel=kernel, faults=faults, retry=policy,
             spec=spec, workers=workers, batch_tiles=batch_tiles,
-            backend=backend, tracer=tracer,
+            backend=backend, tracer=tracer, deadline=deadline,
+            cancel=cancel, watchdog=watchdog,
         )
         report = rr.kernel.simulate(
             n, spec=spec, calib=calib,
@@ -128,9 +207,19 @@ def run(
             kernel=rr.kernel, resilience=rr.report,
         )
     else:
-        dev = device if device is not None else Device(spec, tracer=tracer)
-        if device is not None and tracer.enabled:
-            dev.tracer = tracer
+        dev = device if device is not None else Device(
+            spec, tracer=tracer, deadline=deadline, cancel=cancel,
+            watchdog=watchdog,
+        )
+        if device is not None:
+            if tracer.enabled:
+                dev.tracer = tracer
+            if deadline is not None:
+                dev.deadline = deadline
+            if cancel is not None:
+                dev.cancel = cancel
+            if watchdog is not None:
+                dev.watchdog = watchdog
         result, record = kernel.execute(
             dev, points, workers=workers, batch_tiles=batch_tiles,
             backend=backend,

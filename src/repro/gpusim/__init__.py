@@ -88,7 +88,11 @@ from .parallel import (
     resolve_workers,
     run_blocks_parallel,
 )
-from .procpool import HostChannel, run_blocks_process_parallel
+from .procpool import (
+    HostChannel,
+    cleanup_stale_segments,
+    run_blocks_process_parallel,
+)
 from .profiler import (
     SimReport,
     bandwidth_table,
@@ -134,7 +138,7 @@ __all__ = [
     "WORKERS_ENV", "resolve_workers", "run_blocks_parallel",
     # execution backends
     "BACKEND_ENV", "BACKENDS", "resolve_backend",
-    "HostChannel", "run_blocks_process_parallel",
+    "HostChannel", "run_blocks_process_parallel", "cleanup_stale_segments",
     # fault injection
     "FaultEvent", "FaultInjector", "FaultKind", "FaultPlan", "FaultSpec",
     "InjectedAllocationFailure", "as_injector",

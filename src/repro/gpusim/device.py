@@ -107,6 +107,10 @@ class Device:
         faults: "Optional[FaultInjector]" = None,
         crash_recovery: Optional[CrashRecovery] = None,
         tracer: Optional[Any] = None,
+        deadline: Optional[Any] = None,
+        cancel: Optional[Any] = None,
+        watchdog: Optional[float] = None,
+        on_watchdog: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         self.spec = spec
         self.counters = AccessCounters()
@@ -127,7 +131,29 @@ class Device:
         #: :data:`~repro.obs.tracer.NULL_TRACER`, keeping launches
         #: allocation-free unless tracing was requested.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: cooperative lifecycle controls (duck-typed: anything with a
+        #: ``check()`` method, e.g. :class:`~repro.core.lifecycle.Deadline`
+        #: / :class:`~repro.core.lifecycle.CancelToken`), polled at block
+        #: boundaries on every execution backend.
+        self.deadline = deadline
+        self.cancel = cancel
+        #: process-pool hung-worker timeout in wall seconds (``None``
+        #: disables the watchdog); workers making no progress for this
+        #: long are killed and their block deals re-executed.
+        self.watchdog = watchdog
+        #: observer called with ``{"workers": [...], "timeout": s}`` when
+        #: the watchdog kills hung workers (the supervisor wires this to
+        #: the resilience report's lifecycle log).
+        self.on_watchdog = on_watchdog
         self._launch_attempts = 0
+
+    def _check_lifecycle(self) -> None:
+        """Poll the cooperative cancellation / deadline controls; raises
+        their exception at a safe point (no partial merge in flight)."""
+        if self.cancel is not None:
+            self.cancel.check()
+        if self.deadline is not None:
+            self.deadline.check()
 
     @property
     def _active(self) -> AccessCounters:
@@ -222,6 +248,7 @@ class Device:
         engine.
         """
         config.validate(self.spec)
+        self._check_lifecycle()
         attempt = self._launch_attempts
         self._launch_attempts += 1
         block_ids = list(range(config.grid_dim)) if blocks is None else list(blocks)
@@ -299,6 +326,7 @@ class Device:
         self._set_active(merged)  # device-global traffic lands on this launch
         try:
             for b in block_ids:
+                self._check_lifecycle()
                 ctx = BlockContext(
                     spec=self.spec, config=config, block_id=b, counters=merged
                 )
@@ -350,6 +378,8 @@ class Device:
             crash_recovery=self.crash_recovery,
             tracer=self.tracer,
             launch_span=launch_span,
+            deadline=self.deadline,
+            cancel=self.cancel,
         )
         ordered = [sync_counts[b] for b in block_ids]
         return merged, ordered, max(shared_used.values(), default=0)
@@ -405,6 +435,10 @@ class Device:
             tracer=self.tracer,
             launch_span=launch_span,
             host_channels=channels,
+            deadline=self.deadline,
+            cancel=self.cancel,
+            watchdog=self.watchdog,
+            on_watchdog=self.on_watchdog,
         )
         ordered = [sync_counts[b] for b in block_ids]
         return merged, ordered, max(shared_used.values(), default=0)

@@ -121,6 +121,18 @@ class FaultEvent:
             "detail": self.detail,
         }
 
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "FaultEvent":
+        return cls(
+            kind=FaultKind(d["kind"]),
+            device=int(d["device"]),
+            launch=d.get("launch"),
+            block=d.get("block"),
+            array=d.get("array"),
+            index=d.get("index"),
+            detail=d.get("detail", ""),
+        )
+
 
 class FaultPlan:
     """An ordered list of fault triggers plus the seed that fixes every
@@ -234,6 +246,35 @@ class FaultInjector:
     @property
     def injected_count(self) -> int:
         return len(self.events)
+
+    # -- checkpoint state transport -------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Full picklable cursor: fired events, remaining trigger budgets
+        and the corruption RNG state.  Persisted by the checkpoint layer
+        after each chunk so a resumed run replays the *remaining* faults
+        exactly — already-consumed triggers stay consumed and the
+        corruption stream continues where it left off."""
+        with self._lock:
+            return {
+                "events": list(self.events),
+                "remaining": list(self._remaining),
+                "rng_state": self.rng.bit_generator.state,
+            }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Install a cursor previously captured by :meth:`state` (the
+        injector must have been built from the same plan)."""
+        remaining = state["remaining"]
+        if len(remaining) != len(self.plan.specs):
+            raise ValueError(
+                f"fault cursor has {len(remaining)} trigger budget(s) but "
+                f"the plan has {len(self.plan.specs)} spec(s) — was the "
+                "checkpoint written under a different fault plan?"
+            )
+        with self._lock:
+            self.events = list(state["events"])
+            self._remaining = list(remaining)
+            self.rng.bit_generator.state = state["rng_state"]
 
     # -- cross-process state transport ---------------------------------------
     def snapshot(self) -> Dict[str, object]:

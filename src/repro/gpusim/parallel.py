@@ -397,6 +397,8 @@ def run_blocks_parallel(
     crash_recovery: Optional[CrashRecovery] = None,
     tracer=None,
     launch_span=None,
+    deadline=None,
+    cancel=None,
 ) -> AccessCounters:
     """Execute ``run_block`` for every block id with ``num_workers``
     privatized workers and reduce the results.
@@ -418,6 +420,12 @@ def run_blocks_parallel(
     span per worker, block, recovery attempt and the merge; worker spans
     attach to ``launch_span`` explicitly because they open on pool threads
     whose thread-local span stack is empty.
+
+    ``deadline`` / ``cancel`` are duck-typed cooperative lifecycle
+    controls (anything with ``check()``): every worker polls them before
+    each block, so a breach surfaces within one block's work.  Their
+    exceptions are *not* crashes — they propagate out of the launch
+    instead of entering the recovery path.
     """
     blocks = list(range(grid_dim)) if block_ids is None else list(block_ids)
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -441,6 +449,10 @@ def run_blocks_parallel(
         with worker_ctx:
             try:
                 for b in deal:
+                    if cancel is not None:
+                        cancel.check()
+                    if deadline is not None:
+                        deadline.check()
                     if tracer.enabled:
                         block_ctx = tracer.span(
                             "block", cat="engine", key=b,

@@ -34,9 +34,15 @@ hooks.
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
+import signal
+import threading
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -67,6 +73,135 @@ _SHARD_FIELDS = ("copy", "written", "delta", "maxed")
 # parent and children share one tracker over the fork, so the ledger
 # balances with no manual (un)registration — and a segment orphaned by a
 # crash is still reclaimed by the tracker at interpreter exit.
+#
+# The tracker cannot help when the *whole process tree* dies abruptly
+# (SIGKILL mid-launch): nothing runs, and /dev/shm keeps the files.  Two
+# extra layers close that hole.  Segments carry a parseable name
+# ``repro-pp-<owner pid>-<creator pid>-<counter>`` and are tracked in a
+# module-level registry with a one-time ``atexit`` unlink hook (covers
+# abnormal-but-orderly exits: unhandled exceptions, sys.exit).  For the
+# SIGKILL case,
+# :func:`cleanup_stale_segments` scans /dev/shm for our prefix, checks
+# whether the embedded creator pid is still alive, and unlinks orphans —
+# it runs automatically at the start of every process-pool launch.
+
+#: Prefix for every shared-memory segment this module creates.
+_SEG_PREFIX = "repro-pp"
+
+_LIVE_SEGMENTS: set = set()
+_SEG_LOCK = threading.Lock()
+_SEG_COUNTER = itertools.count()
+_ATEXIT_INSTALLED = False
+
+
+def _create_segment(
+    size: int, owner: Optional[int] = None
+) -> shared_memory.SharedMemory:
+    """Create a named, registered shared-memory segment.
+
+    The name embeds the *owner* pid — the process responsible for
+    eventually unlinking it — so :func:`cleanup_stale_segments` can later
+    tell live segments from orphans.  That is the creator by default, but
+    a forked worker exporting shards passes its parent's pid: the child
+    is dead long before the parent attaches and unlinks, and the segment
+    must not look stale in between.  The first call installs an
+    ``atexit`` hook that unlinks whatever this process still holds.
+    """
+    global _ATEXIT_INSTALLED
+    with _SEG_LOCK:
+        if not _ATEXIT_INSTALLED:
+            atexit.register(_cleanup_live_segments)
+            _ATEXIT_INSTALLED = True
+    owner_pid = os.getpid() if owner is None else int(owner)
+    while True:
+        name = f"{_SEG_PREFIX}-{owner_pid}-{os.getpid()}-{next(_SEG_COUNTER)}"
+        try:
+            seg = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, size)
+            )
+            break
+        except FileExistsError:  # pragma: no cover - stale name from a
+            continue  # recycled pid; keep counting until a free slot
+    with _SEG_LOCK:
+        _LIVE_SEGMENTS.add(seg.name)
+    return seg
+
+
+def _forget_segment(name: str) -> None:
+    """Drop ``name`` from the live registry (it has been unlinked)."""
+    with _SEG_LOCK:
+        _LIVE_SEGMENTS.discard(name)
+
+
+def _unlink_by_name(name: str) -> bool:
+    """Attach-and-unlink a segment by name; True if it existed."""
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a race
+        return False
+    return True
+
+
+def _cleanup_live_segments() -> None:
+    """atexit hook: unlink every segment this process created and never
+    released (an exception unwound past the launch's cleanup)."""
+    with _SEG_LOCK:
+        names = sorted(_LIVE_SEGMENTS)
+        _LIVE_SEGMENTS.clear()
+    for name in names:
+        try:
+            _unlink_by_name(name)
+        except OSError:  # pragma: no cover - nothing left to do at exit
+            pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def cleanup_stale_segments() -> List[str]:
+    """Unlink shared-memory segments orphaned by dead processes.
+
+    Scans ``/dev/shm`` for files matching ``repro-pp-<owner>-...`` whose
+    owner pid no longer exists and unlinks them.  Segments owned by the
+    current process or any live process are never touched, so concurrent
+    launches are safe.  Returns the names removed.  Called automatically
+    by :func:`run_blocks_process_parallel`; also a public hand-tool for
+    supervisors sweeping up after SIGKILLed runs.
+    """
+    removed: List[str] = []
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:  # pragma: no cover - non-Linux shm layout
+        return removed
+    prefix = _SEG_PREFIX + "-"
+    for fname in sorted(entries):
+        if not fname.startswith(prefix):
+            continue
+        pid_part = fname[len(prefix):].split("-", 1)[0]
+        if not pid_part.isdigit():
+            continue
+        pid = int(pid_part)
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            if _unlink_by_name(fname):
+                removed.append(fname)
+        except OSError:  # pragma: no cover - race with another sweeper
+            continue
+        _forget_segment(fname)
+    return removed
 
 
 @dataclass(frozen=True)
@@ -103,9 +238,7 @@ class SharedArena:
         self._entries = []
         for arr in arrays:
             orig = arr._data
-            shm = shared_memory.SharedMemory(
-                create=True, size=max(1, orig.nbytes)
-            )
+            shm = _create_segment(orig.nbytes)
             view = np.ndarray(orig.shape, dtype=orig.dtype, buffer=shm.buf)
             view[...] = orig
             arr._data = view
@@ -121,6 +254,7 @@ class SharedArena:
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            _forget_segment(shm.name)
         self._entries = []
 
 
@@ -144,7 +278,9 @@ def _pack_shards(session: ParallelSession, w: int):
     if not parts:
         return None, []
     total = sum(int(val.nbytes) for _, _, val in parts)
-    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    # the parent unlinks this segment after installing; name it with the
+    # parent's pid so it never looks stale once this child exits
+    shm = _create_segment(total, owner=os.getppid())
     manifest = []
     offset = 0
     for ai, name, val in parts:
@@ -180,6 +316,7 @@ def _install_shards(
     finally:
         shm.close()
         shm.unlink()
+        _forget_segment(seg_name)
 
 
 def _picklable_error(exc: BaseException) -> BaseException:
@@ -205,6 +342,7 @@ def _child_main(
     tracer,
     channels: Sequence[HostChannel],
     fault_snapshot,
+    deadline=None,
 ) -> None:
     """Worker-process body: run the deal, report, exit without cleanup.
 
@@ -247,6 +385,12 @@ def _child_main(
             with worker_ctx as worker_span:
                 try:
                     for b in deal:
+                        if deadline is not None:
+                            # time.monotonic is system-wide, so the
+                            # fork-inherited deadline stays meaningful;
+                            # the exception ships back as the report's
+                            # "error" and re-raises in the parent
+                            deadline.check()
                         if trace_on:
                             block_ctx = tracer.span(
                                 "block", cat="engine", key=b,
@@ -299,6 +443,10 @@ def run_blocks_process_parallel(
     tracer=None,
     launch_span=None,
     host_channels: Sequence[HostChannel] = (),
+    deadline=None,
+    cancel=None,
+    watchdog: Optional[float] = None,
+    on_watchdog: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> AccessCounters:
     """Process-pool twin of :func:`~repro.gpusim.parallel.
     run_blocks_parallel`: same deal, same reduction, forked executors.
@@ -310,6 +458,21 @@ def run_blocks_process_parallel(
     worker-index order regardless of completion order, and a child that
     dies without reporting is synthesized into a :class:`WorkerCrashError`
     feeding the normal crash-recovery path.
+
+    Lifecycle controls (all duck-typed, optional):
+
+    * ``deadline`` / ``cancel`` — objects with ``check()`` polled in the
+      parent's wait loop; on a trip every outstanding child is SIGKILLed
+      and reaped before the control's exception propagates.  ``deadline``
+      also crosses the fork (``time.monotonic`` is system-wide) and is
+      checked per block inside each child; ``cancel`` does not — a
+      ``threading.Event`` set after the fork is invisible to children,
+      which is why the parent kills rather than asks.
+    * ``watchdog`` — wall-clock seconds without *any* worker reporting
+      before the parent declares the stragglers hung, SIGKILLs them, and
+      lets the synthesized died-before-reporting crash path re-deal their
+      blocks.  ``on_watchdog`` (if given) observes each kill with
+      ``{"workers": [...], "timeout": seconds}``.
     """
     if multiprocessing.get_start_method(allow_none=False) != "fork" or not hasattr(
         os, "fork"
@@ -319,6 +482,7 @@ def run_blocks_process_parallel(
         )
     blocks = list(range(grid_dim)) if block_ids is None else list(block_ids)
     tracer = tracer if tracer is not None else NULL_TRACER
+    cleanup_stale_segments()
     arena = SharedArena(arrays)
     session = ParallelSession(num_workers)
     ledgers = [AccessCounters() for _ in range(num_workers)]
@@ -337,21 +501,91 @@ def run_blocks_process_parallel(
                 _child_main(
                     w, send_conn, blocks, num_workers, run_block, session,
                     ledgers[w], set_active, injector, device_ordinal,
-                    tracer, channels, fault_snapshot,
+                    tracer, channels, fault_snapshot, deadline,
                 )
                 os._exit(1)  # pragma: no cover - _child_main never returns
             send_conn.close()
             pids.append(pid)
             conns.append(recv_conn)
-        reports: List[Optional[Dict[str, Any]]] = []
+        # Wait loop: collect reports in *completion* order (installed in
+        # worker-index order below), slicing the blocking wait so the
+        # parent can poll lifecycle controls and run the watchdog clock.
+        # A child that dies without reporting surfaces as EOF -> None.
+        reports: List[Optional[Dict[str, Any]]] = [None] * num_workers
+        conn_worker = {conns[w]: w for w in range(num_workers)}
+        pending = set(range(num_workers))
+        tripped = None
+        last_progress = time.monotonic()
+        while pending:
+            waits = []
+            if watchdog is not None:
+                waits.append(
+                    max(0.0, watchdog - (time.monotonic() - last_progress))
+                )
+            if deadline is not None or cancel is not None:
+                waits.append(0.05)
+            ready = multiprocessing.connection.wait(
+                [conns[w] for w in sorted(pending)],
+                timeout=min(waits) if waits else None,
+            )
+            for conn in ready:
+                w = conn_worker[conn]
+                try:
+                    reports[w] = conn.recv()
+                except (EOFError, OSError):
+                    reports[w] = None
+                finally:
+                    conn.close()
+                pending.discard(w)
+                last_progress = time.monotonic()
+            if cancel is not None and getattr(cancel, "cancelled", False):
+                tripped = cancel
+            elif deadline is not None and getattr(deadline, "expired", False):
+                tripped = deadline
+            if tripped is not None:
+                break
+            if (
+                not ready
+                and watchdog is not None
+                and pending
+                and time.monotonic() - last_progress >= watchdog
+            ):
+                if any(conns[w].poll(0) for w in pending):
+                    continue  # a report landed during the timeout race
+                hung = sorted(pending)
+                for w in hung:
+                    try:
+                        os.kill(pids[w], signal.SIGKILL)
+                    except ProcessLookupError:  # pragma: no cover
+                        pass  # exited between poll and kill
+                if tracer.enabled:
+                    tracer.instant(
+                        "lifecycle:watchdog-kill", cat="lifecycle",
+                        args={
+                            "workers": [int(w) for w in hung],
+                            "timeout": float(watchdog),
+                        },
+                    )
+                if on_watchdog is not None:
+                    on_watchdog({"workers": hung, "timeout": watchdog})
+                break  # hung workers become died-before-reporting crashes
+        # lifecycle trip: nothing outstanding may outlive the launch —
+        # kill the stragglers, then reap everyone before raising
+        if tripped is not None:
+            for w in sorted(pending):
+                try:
+                    os.kill(pids[w], signal.SIGKILL)
+                except ProcessLookupError:  # pragma: no cover
+                    pass
+        for w in sorted(pending):
+            conns[w].close()
         for w in range(num_workers):
-            try:
-                reports.append(conns[w].recv())
-            except (EOFError, OSError):
-                reports.append(None)
-            finally:
-                conns[w].close()
             os.waitpid(pids[w], 0)
+        if tripped is not None:
+            tripped.check()
+            raise RuntimeError(  # pragma: no cover - check() must raise
+                "lifecycle control tripped but check() did not raise"
+            )
         # install in worker-index order: fault state first (recovery may
         # consult remaining budgets), then ledgers, spans, shards, host
         # channels — completion order never leaks into the results

@@ -41,12 +41,23 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
-def _events(tracer: Tracer) -> List[Dict[str, Any]]:
+def _events(
+    tracer: Tracer, *, include_lifecycle: bool = False
+) -> List[Dict[str, Any]]:
     tracer.layout()
     events: List[Dict[str, Any]] = []
     lanes: Dict[tuple, str] = {}
 
     def visit(span: Span, lane: int, device: int) -> None:
+        if span.cat == "lifecycle" and not include_lifecycle:
+            # Run-lifecycle instants (checkpoint writes/loads, deadline
+            # breaches, watchdog kills) record *wall history*: a run that
+            # was interrupted and resumed legitimately has different
+            # lifecycle traffic than an uninterrupted one while computing
+            # bit-identical results.  They are zero-duration, so dropping
+            # them here keeps the exported timeline bytes a pure function
+            # of the computation — opt in to see them.
+            return
         lane = span.lane + 1 if span.lane is not None else lane
         device = span.device + 1 if span.device is not None else device
         lanes.setdefault(
@@ -89,31 +100,38 @@ def _events(tracer: Tracer) -> List[Dict[str, Any]]:
     return meta + events
 
 
-def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+def chrome_trace(
+    tracer: Tracer, *, include_lifecycle: bool = False
+) -> Dict[str, Any]:
     """The Chrome Trace Event object for a recorded tracer.  The run
     manifest rides along under ``otherData.manifest`` (it keeps its own
     schema stamp), so one file carries both the timeline and the exact
-    configuration that produced it."""
+    configuration that produced it.  Lifecycle instants are excluded by
+    default (see :func:`_events`)."""
     other: Dict[str, Any] = {"schema": TRACE_SCHEMA}
     if tracer.manifest:
         other["manifest"] = tracer.manifest
     return {
-        "traceEvents": _events(tracer),
+        "traceEvents": _events(tracer, include_lifecycle=include_lifecycle),
         "displayTimeUnit": "ms",
         "otherData": _jsonable(other),
     }
 
 
-def chrome_json(tracer: Tracer) -> str:
+def chrome_json(tracer: Tracer, *, include_lifecycle: bool = False) -> str:
     """Canonical serialization: deterministic bytes for a given tree."""
     return json.dumps(
-        chrome_trace(tracer), sort_keys=True, separators=(",", ":")
+        chrome_trace(tracer, include_lifecycle=include_lifecycle),
+        sort_keys=True,
+        separators=(",", ":"),
     ) + "\n"
 
 
-def write_chrome_trace(tracer: Tracer, path) -> None:
+def write_chrome_trace(
+    tracer: Tracer, path, *, include_lifecycle: bool = False
+) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(chrome_json(tracer))
+        fh.write(chrome_json(tracer, include_lifecycle=include_lifecycle))
 
 
 def jsonl_events(tracer: Tracer) -> str:

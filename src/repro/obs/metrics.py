@@ -110,6 +110,8 @@ class MetricsRegistry:
             delay = event.data.get("delay")
             if delay is not None:
                 self.observe("recovery.delay_seconds", delay)
+        for event in getattr(report, "lifecycle", ()):
+            self.inc(f"lifecycle.{event.action}")
 
     # -- views ---------------------------------------------------------------
     def sim_report(self) -> SimReport:

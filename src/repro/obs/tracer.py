@@ -323,20 +323,20 @@ class Tracer:
         return span.ts + span.dur
 
     # -- export convenience (see repro.obs.export) ----------------------------
-    def chrome_trace(self) -> Dict[str, Any]:
+    def chrome_trace(self, **kwargs) -> Dict[str, Any]:
         from .export import chrome_trace
 
-        return chrome_trace(self)
+        return chrome_trace(self, **kwargs)
 
-    def chrome_json(self) -> str:
+    def chrome_json(self, **kwargs) -> str:
         from .export import chrome_json
 
-        return chrome_json(self)
+        return chrome_json(self, **kwargs)
 
-    def export_chrome(self, path) -> None:
+    def export_chrome(self, path, **kwargs) -> None:
         from .export import write_chrome_trace
 
-        write_chrome_trace(self, path)
+        write_chrome_trace(self, path, **kwargs)
 
     def jsonl(self) -> str:
         from .export import jsonl_events

@@ -1,0 +1,319 @@
+"""Checkpoint/resume differential tests (DESIGN.md Section 10).
+
+The acceptance bar: a checkpointed run that is SIGKILLed mid-flight and
+resumed produces **bit-identical** outputs, counters, prune stats,
+resilience reports and exported Chrome traces to the same checkpointed
+configuration run uninterrupted — across every execution backend, with
+and without pruning and fault injection.  Deadline breaches and
+cancellations leave valid resumable stores; mismatched or corrupted
+stores are refused, never silently merged.
+
+The kill tests fork a real child process and let ``after_chunk`` —
+called only once a chunk payload and manifest are durably on disk —
+SIGKILL it, so what the resume sees is a genuine torn-process store.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.apps import knn
+from repro.core import make_kernel, run
+from repro.core.checkpoint import (
+    CheckpointConfig,
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointStore,
+    chunk_plan,
+)
+from repro.core.lifecycle import (
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    RunCancelled,
+)
+
+BLOCK = 32  # 300 points -> 10 anchor blocks -> 5 chunks at every=2
+EVERY = 2
+
+
+def _kern(problem, prune=False):
+    return make_kernel(problem, "register-roc", "privatized-shm",
+                       block_size=BLOCK, prune=prune)
+
+
+def _run(problem, pts, *, store=None, every=EVERY, after_chunk=None,
+         prune=False, faults=None, **kw):
+    if store is not None:
+        kw["checkpoint_dir"] = CheckpointConfig(
+            store, every=every, after_chunk=after_chunk
+        )
+    if faults is not None:
+        kw.setdefault("retries", 3)
+    return run(problem, pts, kernel=_kern(problem, prune=prune),
+               faults=faults, trace=True, **kw)
+
+
+def _signature(res):
+    """Everything the determinism contract says must match."""
+    return {
+        "counters": res.record.counters,
+        "sync": list(res.record.sync_counts),
+        "blocks": res.record.blocks_run,
+        "prune": res.record.prune,
+        "trace": res.trace.chrome_json(),
+        "resilience": (res.resilience.to_dict()
+                       if res.resilience is not None else None),
+    }
+
+
+def _assert_same(a, b):
+    assert np.array_equal(a.result, b.result)
+    sa, sb = _signature(a), _signature(b)
+    assert sa["counters"] == sb["counters"]
+    assert sa["sync"] == sb["sync"]
+    assert sa["blocks"] == sb["blocks"]
+    assert sa["prune"] == sb["prune"]
+    assert sa["trace"] == sb["trace"]
+    assert sa["resilience"] == sb["resilience"]
+
+
+def _fork_and_kill(fn):
+    """Run ``fn`` in a forked child; assert it died by SIGKILL."""
+    pid = os.fork()
+    if pid == 0:  # pragma: no cover - child is SIGKILLed mid-run
+        try:
+            fn()
+        finally:
+            # the child must never fall through into the pytest session
+            os._exit(1)
+    _, status = os.waitpid(pid, 0)
+    assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+
+
+def _lifecycle_actions(res_or_report):
+    report = getattr(res_or_report, "resilience", res_or_report)
+    return [e.action for e in report.lifecycle]
+
+
+# -- units -------------------------------------------------------------------
+
+
+def test_chunk_plan_partitions_blocks():
+    plan = chunk_plan(10, 4)
+    assert plan == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+    assert chunk_plan(3, 8) == [[0, 1, 2]]
+    with pytest.raises(ValueError):
+        chunk_plan(0, 4)
+    with pytest.raises(ValueError):
+        chunk_plan(10, 0)
+
+
+def test_checkpoint_config_validation(tmp_path):
+    with pytest.raises(ValueError):
+        CheckpointConfig(tmp_path, every=0)
+    cfg = CheckpointConfig.coerce(str(tmp_path))
+    assert cfg.dir == tmp_path and cfg.every == 8
+    assert CheckpointConfig.coerce(cfg) is cfg
+    override = CheckpointConfig.coerce(cfg, every=3)
+    assert override.every == 3 and override.dir == cfg.dir
+
+
+def test_deadline_fake_clock():
+    clock = [0.0]
+    dl = Deadline(1.0, clock=lambda: clock[0])
+    assert dl.remaining() == pytest.approx(1.0)
+    assert dl.fits(0.5) and not dl.fits(1.5)
+    dl.check()  # within budget
+    clock[0] = 1.5
+    assert dl.expired
+    with pytest.raises(DeadlineExceeded):
+        dl.check()
+    with pytest.raises(ValueError):
+        Deadline(0.0)
+    assert Deadline.coerce(None) is None
+    assert Deadline.coerce(dl) is dl
+    assert isinstance(Deadline.coerce(2.0), Deadline)
+
+
+def test_cancel_token():
+    tok = CancelToken()
+    assert not tok.cancelled
+    tok.check()
+    tok.cancel()
+    assert tok.cancelled
+    with pytest.raises(RunCancelled):
+        tok.check()
+
+
+# -- checkpointed == plain ---------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["sequential", "threads", "processes",
+                                     "megabatch"])
+def test_checkpointed_matches_plain(backend, sdh_problem, small_points,
+                                    tmp_path):
+    plain = _run(sdh_problem, small_points, backend=backend, workers=2)
+    ckpt = _run(sdh_problem, small_points, store=tmp_path / "ck",
+                backend=backend, workers=2)
+    assert np.array_equal(plain.result, ckpt.result)
+    # chunked counters differ benignly (per-chunk finalize); the outputs
+    # and the pair mass they carry must not
+    assert ckpt.record.blocks_run == plain.record.blocks_run
+
+
+def test_idempotent_restart_loads_all_chunks(sdh_problem, small_points,
+                                             tmp_path):
+    first = _run(sdh_problem, small_points, store=tmp_path / "ck")
+    again = _run(sdh_problem, small_points, store=tmp_path / "ck")
+    assert np.array_equal(first.result, again.result)
+    assert first.record.counters == again.record.counters
+    actions = _lifecycle_actions(again)
+    assert actions.count("checkpoint-load") == 5
+    assert "resumed" in actions and "checkpoint-write" not in actions
+
+
+# -- kill-and-resume differential --------------------------------------------
+
+SCENARIOS = [
+    (backend, prune, faults)
+    for backend in ("sequential", "threads", "processes", "megabatch")
+    for prune in (False, True)
+    for faults in (None, 5)
+]
+
+
+@pytest.mark.parametrize("backend,prune,faults", SCENARIOS)
+def test_kill_and_resume_differential(backend, prune, faults, sdh_problem,
+                                      small_points, tmp_path):
+    clean = _run(sdh_problem, small_points, store=tmp_path / "clean",
+                 backend=backend, workers=2, prune=prune, faults=faults)
+
+    def killer(index, entry):
+        if index == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    _fork_and_kill(lambda: _run(
+        sdh_problem, small_points, store=tmp_path / "kill",
+        after_chunk=killer, backend=backend, workers=2, prune=prune,
+        faults=faults,
+    ))
+    store = CheckpointStore(tmp_path / "kill")
+    assert store.exists()
+    assert len(store.load_manifest()["chunks"]) == 2  # killed after chunk 1
+
+    resumed = _run(sdh_problem, small_points, store=tmp_path / "kill",
+                   backend=backend, workers=2, prune=prune, faults=faults,
+                   resume=True)
+    _assert_same(clean, resumed)
+    actions = _lifecycle_actions(resumed)
+    assert actions.count("checkpoint-load") == 2
+    assert actions.count("checkpoint-write") == 3
+
+
+# -- deadline / cancel -------------------------------------------------------
+
+
+def test_deadline_breach_leaves_resumable_store(sdh_problem, small_points,
+                                                tmp_path):
+    clean = _run(sdh_problem, small_points, store=tmp_path / "clean")
+    clock = [0.0]
+    dl = Deadline(1.0, clock=lambda: clock[0])
+
+    def tick(index, entry):
+        clock[0] += 0.4  # chunk 2's pre-check sees the budget spent
+
+    with pytest.raises(DeadlineExceeded) as err:
+        _run(sdh_problem, small_points, store=tmp_path / "dl",
+             after_chunk=tick, deadline=dl)
+    exc = err.value
+    assert exc.checkpoint == tmp_path / "dl"
+    assert "deadline-breach" in _lifecycle_actions(exc.report)
+    assert "checkpoint-exit" in _lifecycle_actions(exc.report)
+
+    resumed = _run(sdh_problem, small_points, store=tmp_path / "dl",
+                   resume=True)
+    _assert_same(clean, resumed)
+
+
+def test_deadline_breach_before_first_chunk_is_resumable(
+        sdh_problem, small_points, tmp_path):
+    clean = _run(sdh_problem, small_points, store=tmp_path / "clean")
+    clock = [5.0]
+    dl = Deadline(1.0, clock=lambda: clock[0])
+    clock[0] = 10.0  # already spent before any chunk runs
+    with pytest.raises(DeadlineExceeded) as err:
+        _run(sdh_problem, small_points, store=tmp_path / "dl", deadline=dl)
+    store = CheckpointStore(tmp_path / "dl")
+    assert err.value.checkpoint == store.dir
+    assert store.exists() and store.load_manifest()["chunks"] == []
+    resumed = _run(sdh_problem, small_points, store=tmp_path / "dl",
+                   resume=True)
+    _assert_same(clean, resumed)
+
+
+def test_cancel_mid_run_then_resume(sdh_problem, small_points, tmp_path):
+    clean = _run(sdh_problem, small_points, store=tmp_path / "clean")
+    tok = CancelToken()
+
+    def trip(index, entry):
+        if index == 1:
+            tok.cancel()
+
+    with pytest.raises(RunCancelled) as err:
+        _run(sdh_problem, small_points, store=tmp_path / "cx",
+             after_chunk=trip, cancel=tok)
+    assert "cancelled" in _lifecycle_actions(err.value.report)
+    resumed = _run(sdh_problem, small_points, store=tmp_path / "cx",
+                   resume=True)
+    _assert_same(clean, resumed)
+
+
+# -- store safety ------------------------------------------------------------
+
+
+def test_mismatched_configuration_is_refused(sdh_problem, small_points,
+                                             tmp_path):
+    _run(sdh_problem, small_points, store=tmp_path / "ck", workers=2)
+    with pytest.raises(CheckpointMismatch):
+        _run(sdh_problem, small_points, store=tmp_path / "ck", workers=3)
+
+
+def test_corrupt_chunk_is_refused(sdh_problem, small_points, tmp_path):
+    _run(sdh_problem, small_points, store=tmp_path / "ck")
+    victim = tmp_path / "ck" / "chunk-000001.pkl"
+    victim.write_bytes(victim.read_bytes()[:-1] + b"\x00")
+    with pytest.raises(CheckpointCorrupt):
+        _run(sdh_problem, small_points, store=tmp_path / "ck", resume=True)
+
+
+def test_resume_without_manifest_is_refused(sdh_problem, small_points,
+                                            tmp_path):
+    with pytest.raises(CheckpointError):
+        _run(sdh_problem, small_points, store=tmp_path / "nope", resume=True)
+
+
+def test_resume_true_needs_checkpoint_dir(sdh_problem, small_points):
+    with pytest.raises(ValueError, match="resume=True needs checkpoint_dir"):
+        run(sdh_problem, small_points, resume=True)
+
+
+def test_resume_inherits_chunk_size(sdh_problem, small_points, tmp_path):
+    first = _run(sdh_problem, small_points, store=tmp_path / "ck", every=2)
+    # a bare run(resume=path) must pick up every=2 from the manifest, not
+    # re-fingerprint at the default chunking and refuse the store
+    again = run(sdh_problem, small_points, kernel=_kern(sdh_problem),
+                resume=tmp_path / "ck", trace=True)
+    assert np.array_equal(first.result, again.result)
+    assert first.record.counters == again.record.counters
+
+
+def test_topk_output_is_rejected(small_points, tmp_path):
+    problem = knn.make_problem(4)
+    with pytest.raises(CheckpointError, match="TOPK"):
+        run(problem, small_points, checkpoint_dir=tmp_path / "ck")

@@ -229,3 +229,60 @@ def test_degraded_kernels_agree(sdh_problem, small_points):
         kernel = degrade_kernel(kernel)
     for r in results[1:]:
         assert np.array_equal(results[0], r)
+
+
+# -- report serialization ------------------------------------------------------
+#
+# Checkpoint payloads persist the recovery stream and restore it on
+# resume, so the JSON form must round-trip exactly: same event order,
+# same bytes on re-serialization, lifecycle kept separate from the
+# deterministic fault/recovery history.
+
+
+def _supervised_report(seed=4):
+    problem = sdh.make_problem(64, 10.0 * math.sqrt(3.0), dims=3)
+    kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                         block_size=32)
+    rr = resilient_run(problem, _points(), kernel=kernel, faults=seed,
+                       workers=WORKERS, retry=RetryPolicy(sleep=False))
+    return rr.report
+
+
+def test_report_json_round_trip_is_byte_stable():
+    report = _supervised_report()
+    report.record_lifecycle("checkpoint-write", detail="chunk 0", chunk=0)
+    text = report.to_json()
+    clone = ResilienceReport.from_json(text)
+    assert clone.to_json() == text
+    # and a second hop stays fixed
+    assert ResilienceReport.from_json(clone.to_json()).to_json() == text
+
+
+def test_report_round_trip_preserves_event_order():
+    report = _supervised_report()
+    clone = ResilienceReport.from_dict(report.to_full_dict())
+    assert clone.actions() == report.actions()
+    assert [f.as_dict() for f in clone.faults] == \
+        [f.as_dict() for f in report.faults]
+    assert clone.seed == report.seed
+
+
+def test_lifecycle_lives_only_in_full_dict():
+    report = ResilienceReport()
+    report.record("retry-transient", 0, "attempt 1")
+    report.record_lifecycle("deadline-breach", detail="budget spent")
+    assert "lifecycle" not in report.to_dict()
+    full = report.to_full_dict()
+    assert [e["action"] for e in full["lifecycle"]] == ["deadline-breach"]
+    clone = ResilienceReport.from_dict(full)
+    assert clone.lifecycle_actions() == ["deadline-breach"]
+    # a to_dict-only hop drops lifecycle but keeps the recovery stream
+    partial = ResilienceReport.from_dict(report.to_dict())
+    assert partial.actions() == ["retry-transient"]
+    assert partial.lifecycle_actions() == []
+
+
+def test_report_determinism_across_runs_survives_round_trip():
+    a = ResilienceReport.from_json(_supervised_report().to_json())
+    b = ResilienceReport.from_json(_supervised_report().to_json())
+    assert a.to_json() == b.to_json()

@@ -1,0 +1,147 @@
+"""Shared-memory hygiene for the process-pool backend.
+
+The multiprocessing resource tracker reclaims segments on any orderly
+interpreter exit, but a SIGKILL of the whole process tree runs nothing —
+/dev/shm keeps the files forever.  ``cleanup_stale_segments`` closes that
+hole by parsing the owner pid out of every ``repro-pp-*`` segment name
+and unlinking the ones whose owner is gone.  These tests reproduce the
+leak with a real SIGKILLed child and verify the sweeper reclaims exactly
+the orphans, never live segments.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.gpusim.procpool import (
+    _SEG_PREFIX,
+    _create_segment,
+    _forget_segment,
+    _LIVE_SEGMENTS,
+    _pid_alive,
+    _unlink_by_name,
+    cleanup_stale_segments,
+)
+
+
+def _shm_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+def test_segment_names_embed_owner_pid():
+    seg = _create_segment(64)
+    try:
+        assert seg.name.startswith(f"{_SEG_PREFIX}-{os.getpid()}-")
+        assert seg.name in _LIVE_SEGMENTS
+    finally:
+        seg.close()
+        seg.unlink()
+        _forget_segment(seg.name)
+    assert seg.name not in _LIVE_SEGMENTS
+
+
+def test_explicit_owner_overrides_creator():
+    seg = _create_segment(64, owner=1)  # pid 1 is init: always alive
+    try:
+        owner, creator = seg.name[len(_SEG_PREFIX) + 1:].split("-")[:2]
+        assert owner == "1" and creator == str(os.getpid())
+    finally:
+        seg.close()
+        seg.unlink()
+        _forget_segment(seg.name)
+
+
+def test_pid_alive():
+    assert _pid_alive(os.getpid())
+    child = os.fork()
+    if child == 0:  # pragma: no cover - exits immediately
+        os._exit(0)
+    os.waitpid(child, 0)
+    assert not _pid_alive(child)
+
+
+def test_unlink_by_name_missing_segment_is_false():
+    assert not _unlink_by_name(f"{_SEG_PREFIX}-0-0-missing")
+
+
+def test_cleanup_spares_live_segments():
+    seg = _create_segment(64)
+    try:
+        removed = cleanup_stale_segments()
+        assert seg.name not in removed
+        assert _shm_exists(seg.name)
+    finally:
+        seg.close()
+        seg.unlink()
+        _forget_segment(seg.name)
+
+
+def test_sigkill_orphan_is_reclaimed():
+    """The hole the sweeper exists for: a SIGKILLed process leaves its
+    segment in /dev/shm with no tracker alive to reclaim it."""
+    r, w = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # pragma: no cover - SIGKILLed while holding the segment
+        os.close(r)
+        seg = _create_segment(256)
+        os.write(w, seg.name.encode())
+        os.close(w)
+        time.sleep(30)  # parent kills us long before this returns
+        os._exit(1)
+    os.close(w)
+    name = os.read(r, 256).decode()
+    os.close(r)
+    assert name.startswith(f"{_SEG_PREFIX}-{pid}-")
+    assert _shm_exists(name)
+
+    os.kill(pid, signal.SIGKILL)
+    _, status = os.waitpid(pid, 0)
+    assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+    # SIGKILL ran no cleanup: the segment is now an orphan on disk
+    assert _shm_exists(name)
+
+    removed = cleanup_stale_segments()
+    assert name in removed
+    assert not _shm_exists(name)
+    # idempotent: a second sweep finds nothing of ours to do
+    assert name not in cleanup_stale_segments()
+
+
+def test_process_backend_launch_sweeps_orphans(sdh_problem, small_points):
+    """Every process-pool launch starts with a sweep, so a crashed earlier
+    run cannot poison /dev/shm for its successors."""
+    # plant an orphan attributed to a pid that is certainly dead
+    child = os.fork()
+    if child == 0:  # pragma: no cover - exits immediately
+        os._exit(0)
+    os.waitpid(child, 0)
+    name = f"{_SEG_PREFIX}-{child}-{child}-0"
+    seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+    seg.close()
+    assert _shm_exists(name)
+
+    from repro.core import make_kernel
+    from repro.gpusim import Device, TITAN_X
+
+    kernel = make_kernel(sdh_problem, block_size=64)
+    kernel.execute(Device(TITAN_X), small_points, workers=2,
+                   backend="processes")
+    assert not _shm_exists(name)
+
+
+def test_launch_leaves_no_segments_behind(sdh_problem, small_points):
+    from repro.core import make_kernel
+    from repro.gpusim import Device, TITAN_X
+
+    kernel = make_kernel(sdh_problem, block_size=64)
+    kernel.execute(Device(TITAN_X), small_points, workers=2,
+                   backend="processes")
+    mine = [f for f in os.listdir("/dev/shm")
+            if f.startswith(f"{_SEG_PREFIX}-{os.getpid()}-")]
+    assert mine == []
+    assert not _LIVE_SEGMENTS

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Kill-and-resume acceptance harness (CI's interrupted-run matrix).
+
+Proves the DESIGN.md Section 10 determinism contract end to end for one
+backend, against a *real* torn process:
+
+1. runs a checkpointed, traced SDH computation uninterrupted (baseline);
+2. re-runs it as a subprocess that SIGKILLs **itself** from the
+   ``after_chunk`` hook — i.e. right after a chunk payload and manifest
+   are durably on disk — and verifies the child died by SIGKILL;
+3. resumes from the torn store and asserts the result, the exported
+   Chrome trace and the resilience report are **byte-identical** to the
+   uninterrupted baseline.
+
+The checkpoint stores live under ``--workdir`` (default
+``interrupted-run-artifacts/``) so CI can upload them when the
+differential fails.  Exit code 0 on success, 1 on any mismatch.
+
+Usage::
+
+    PYTHONPATH=src python tools/interrupted_run.py --backend processes
+    PYTHONPATH=src python tools/interrupted_run.py --backend megabatch \
+        --prune --faults 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import apps, data  # noqa: E402
+from repro.core import make_kernel, run  # noqa: E402
+from repro.core.checkpoint import CheckpointConfig, CheckpointStore  # noqa: E402
+
+N = 300
+BLOCK = 32  # 10 anchor blocks -> 5 chunks at --every 2
+EVERY = 2
+
+
+def _run(args, store, after_chunk=None):
+    problem = apps.sdh.make_problem(64, 10.0 * math.sqrt(3.0), dims=3)
+    pts = data.uniform_points(N, dims=3, box=10.0, seed=7)
+    kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                         block_size=BLOCK, prune=args.prune)
+    return run(
+        problem, pts, kernel=kernel,
+        checkpoint_dir=CheckpointConfig(store, every=EVERY,
+                                        after_chunk=after_chunk),
+        backend=args.backend, workers=2, faults=args.faults,
+        retries=3 if args.faults is not None else None,
+        trace=True, resume=True if CheckpointStore(store).exists() else None,
+    )
+
+
+def child_main(args) -> int:  # pragma: no cover - SIGKILLed mid-run
+    def killer(index, entry):
+        if index == args.kill_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    _run(args, args.store, after_chunk=killer)
+    print("child survived to completion: after_chunk never fired",
+          file=sys.stderr)
+    return 1
+
+
+def _signature(res):
+    return {
+        "result": res.result.tobytes(),
+        "trace": res.trace.chrome_json(),
+        "resilience": res.resilience.to_dict(),
+        "sync": list(res.record.sync_counts),
+        "counters": res.record.counters,
+        "prune": res.record.prune,
+    }
+
+
+def parent_main(args) -> int:
+    workdir = pathlib.Path(args.workdir)
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+    clean_store = workdir / f"clean-{args.backend}"
+    kill_store = workdir / f"killed-{args.backend}"
+
+    print(f"[1/3] uninterrupted baseline ({args.backend}) ...")
+    baseline = _signature(_run(args, clean_store))
+
+    print(f"[2/3] child run, SIGKILL after chunk {args.kill_at} ...")
+    cmd = [
+        sys.executable, str(pathlib.Path(__file__).resolve()), "--child",
+        "--backend", args.backend, "--kill-at", str(args.kill_at),
+        "--store", str(kill_store),
+    ]
+    if args.prune:
+        cmd.append("--prune")
+    if args.faults is not None:
+        cmd += ["--faults", str(args.faults)]
+    proc = subprocess.run(cmd)
+    if proc.returncode != -signal.SIGKILL:
+        print(f"FAIL: child exited {proc.returncode}, expected SIGKILL "
+              f"({-signal.SIGKILL})")
+        return 1
+    store = CheckpointStore(kill_store)
+    if not store.exists():
+        print(f"FAIL: no manifest in {kill_store} after the kill")
+        return 1
+    durable = len(store.load_manifest()["chunks"])
+    print(f"      child died holding {durable} durable chunk(s)")
+
+    print(f"[3/3] resume from {kill_store} ...")
+    resumed = _signature(_run(args, kill_store))
+
+    failures = [k for k in baseline if baseline[k] != resumed[k]]
+    if failures:
+        print(f"FAIL: resumed run differs from baseline in: {failures}")
+        print(f"      stores kept for inspection under {workdir}")
+        return 1
+    trace_bytes = len(baseline["trace"])
+    print(f"PASS: result, trace ({trace_bytes} bytes) and resilience "
+          f"report are byte-identical after kill + resume")
+    if not args.keep:
+        shutil.rmtree(workdir)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument("--backend", default="sequential",
+                        choices=["sequential", "threads", "processes",
+                                 "megabatch"])
+    parser.add_argument("--prune", action="store_true")
+    parser.add_argument("--faults", type=int, default=None, metavar="SEED")
+    parser.add_argument("--kill-at", type=int, default=1, metavar="CHUNK",
+                        help="chunk index whose after_chunk hook SIGKILLs "
+                             "the child (default 1)")
+    parser.add_argument("--workdir", default="interrupted-run-artifacts",
+                        help="where the checkpoint stores live (uploaded "
+                             "by CI on failure)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the stores even on success")
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--store", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.child:
+        return child_main(args)
+    return parent_main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
