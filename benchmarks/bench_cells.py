@@ -1,0 +1,217 @@
+"""Cell-list benchmark: uniform-grid engine vs the full tile engine.
+
+Times the functional simulator's host wall time on cutoff-bounded RDF
+(the cell list's flagship case) with the grid on and off:
+
+* ``rdf-uniform``   — uniform points at a fixed density of ~4 per cell
+  (the box grows with n), the regime the O(n·density) claim is about;
+* ``rdf-clustered`` — Gaussian clusters in the same box: occupancy is
+  skewed, but non-adjacent cluster pairs skip wholesale;
+* ``rdf-dense``     — the honest control: the cutoff spans a large
+  fraction of a small box, the grid proves little and must cost ~nothing
+  (the ``auto`` heuristic would decline this regime — ``force`` is used
+  here precisely to measure the overhead it protects against).
+
+The tile engine touches all N(N-1)/2 pairs, so it is *measured* only up
+to ``TILE_MEASURE_MAX`` points and extrapolated quadratically beyond
+(``tile_measured: false`` rows carry the reference size the extrapolation
+is anchored to).  Wherever the tile engine is actually run, the cell
+result is checked bit-identical against it before a time is reported.
+
+Run as a script to produce ``BENCH_cells.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_cells.py
+
+or run the ``bench_smoke`` subset in CI::
+
+    PYTHONPATH=src python -m pytest benchmarks -m bench_smoke -q
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core.cells import cell_stats
+from repro.core.kernels import make_kernel
+from repro.data import gaussian_clusters, uniform_points
+from repro.gpusim import Device, TITAN_X
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_cells.json"
+
+BLOCK = 256
+SIZES = (20_000, 100_000, 1_000_000)
+#: largest size the all-pairs tile engine is actually run at; beyond it
+#: the control is extrapolated as seconds * (n / ref_n)^2
+TILE_MEASURE_MAX = 20_000
+CUTOFF = 1.0
+BINS = 64
+DENSITY = 4.0  # points per cell in the uniform/clustered scenarios
+
+
+def _box_for_density(n: int, density: float = DENSITY) -> float:
+    """Box side putting ``density`` points in each cutoff-wide cell."""
+    return CUTOFF * (n / density) ** (1.0 / 3.0)
+
+
+def _uniform(n: int) -> np.ndarray:
+    return uniform_points(n, dims=3, box=_box_for_density(n), seed=2016)
+
+
+def _clustered(n: int) -> np.ndarray:
+    return gaussian_clusters(
+        n, dims=3, n_clusters=32, box=_box_for_density(n),
+        spread=2.5 * CUTOFF, seed=2016,
+    )
+
+
+def _dense(n: int) -> np.ndarray:
+    # 2 cells per axis: every cell pair is adjacent, nothing can skip
+    return uniform_points(n, dims=3, box=2.0 * CUTOFF, seed=2016)
+
+
+#: (row name, points factory, size cap) — the dense control examines
+#: ~every pair by construction, so sweeping it to 1e6 would just re-run
+#: the quadratic tile workload; its overhead question is answered at the
+#: smallest size
+SCENARIOS = (
+    ("rdf-uniform", _uniform, max(SIZES)),
+    ("rdf-clustered", _clustered, max(SIZES)),
+    ("rdf-dense", _dense, min(SIZES)),
+)
+
+
+def _problem():
+    # RDF's underlying SDH: histogram range == cell cutoff, so every
+    # beyond-cutoff pair clamps into the (one) top bucket
+    return apps.sdh.make_problem(BINS, CUTOFF, cell_cutoff=CUTOFF)
+
+
+def _time_kernel(kernel, points: np.ndarray, repeats: int):
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        device = Device(TITAN_X)
+        t0 = time.perf_counter()
+        result, _ = kernel.execute(device, points)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_suite(sizes=SIZES, repeats: int = 2,
+              tile_measure_max: int = TILE_MEASURE_MAX):
+    """Time cell vs tile engine per scenario; BENCH_cells.json rows."""
+    problem = _problem()
+    rows = []
+    for bench, points_fn, size_cap in SCENARIOS:
+        tile_ref = None  # (n, seconds) anchor for extrapolation
+        for n in sizes:
+            if n > size_cap:
+                continue
+            points = points_fn(n)
+            stats = cell_stats(points, BLOCK, problem)
+            celled = make_kernel(
+                problem, "register-roc", "privatized-shm",
+                block_size=BLOCK, cells=True,
+            )
+            cell_s, cell_res = _time_kernel(celled, points, repeats)
+            if n <= tile_measure_max:
+                base = make_kernel(
+                    problem, "register-roc", "privatized-shm",
+                    block_size=BLOCK,
+                )
+                tile_s, tile_res = _time_kernel(base, points, repeats)
+                np.testing.assert_array_equal(tile_res, cell_res)
+                tile_ref = (n, tile_s)
+                measured = True
+            else:
+                if tile_ref is None:
+                    raise RuntimeError(
+                        "no measured tile anchor below "
+                        f"{tile_measure_max}; add a smaller size"
+                    )
+                ref_n, ref_s = tile_ref
+                tile_s = ref_s * (n / ref_n) ** 2
+                measured = False
+            rows.append({
+                "bench": bench,
+                "n": n,
+                "cells_seconds": round(cell_s, 6),
+                "tile_seconds": round(tile_s, 6),
+                "tile_measured": measured,
+                "tile_ref_n": None if measured else tile_ref[0],
+                "speedup": round(tile_s / cell_s, 3),
+                "examined_fraction": round(stats.examined_fraction, 4),
+                "density": round(
+                    len(points) / max(stats.cells_occupied, 1), 2
+                ),
+            })
+    return rows
+
+
+def main() -> None:
+    rows = run_suite()
+    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    width = max(len(r["bench"]) for r in rows)
+    for r in rows:
+        tag = "" if r["tile_measured"] else " (extrapolated)"
+        print(
+            f"N={r['n']:>8}  {r['bench']:<{width}}  "
+            f"tile {r['tile_seconds']:>9.3f}s{tag}  "
+            f"cells {r['cells_seconds']:>8.3f}s  "
+            f"{r['speedup']:>7.2f}x  "
+            f"({r['examined_fraction']:.1%} of pairs examined)"
+        )
+    print(f"wrote {OUT_PATH}")
+
+
+# -- CI smoke subset ----------------------------------------------------------
+
+@pytest.mark.bench_smoke
+def test_cells_bench_smoke(save_artifact):
+    """Quick cell-vs-tile cross-check at N=8192: results identical, the
+    sparse scenarios skip most pairs and actually speed up, the dense
+    control stays within a sane overhead envelope."""
+    rows = run_suite(sizes=(8192,), repeats=1)
+    by_bench = {r["bench"]: r for r in rows}
+    assert set(by_bench) == {s[0] for s in SCENARIOS}
+    for name in ("rdf-uniform", "rdf-clustered"):
+        assert by_bench[name]["examined_fraction"] < 0.5
+        # acceptance bar is 5x at n >= 1e5; smoke keeps a CI-safe margin
+        assert by_bench[name]["speedup"] > 1.3
+    assert by_bench["rdf-dense"]["examined_fraction"] > 0.9
+    assert by_bench["rdf-dense"]["speedup"] > 0.7
+    save_artifact("bench_cells_smoke", json.dumps(rows, indent=2))
+
+
+@pytest.mark.bench_smoke
+def test_cells_bench_regression_guard():
+    """The committed artifact must keep the O(n·density) win: uniform RDF
+    at n >= 1e5 and density <= 4 must hold >= 5x over the tile control,
+    and no scenario may fall below the 1.0x floor at full scale."""
+    if not OUT_PATH.exists():
+        pytest.skip("BENCH_cells.json not generated on this checkout")
+    rows = json.loads(OUT_PATH.read_text())
+    for row in rows:
+        if (row["bench"] == "rdf-uniform" and row["n"] >= 100_000
+                and row["density"] <= 4.0):
+            assert row["speedup"] >= 5.0, (
+                f"rdf-uniform at N={row['n']} regressed to "
+                f"{row['speedup']}x (< 5x floor)"
+            )
+        if row["n"] >= SIZES[-1]:
+            assert row["speedup"] >= 1.0, (
+                f"{row['bench']} at N={row['n']} fell below the "
+                f"1.0x full-scale floor ({row['speedup']}x)"
+            )
+
+
+if __name__ == "__main__":
+    main()

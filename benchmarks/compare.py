@@ -31,6 +31,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 import bench_backend  # noqa: E402
+import bench_cells  # noqa: E402
 import bench_checkpoint  # noqa: E402
 import bench_engine  # noqa: E402
 import bench_pruning  # noqa: E402
@@ -60,6 +61,14 @@ SUITES = {
         REPO_ROOT / "BENCH_checkpoint.json",
         lambda: bench_checkpoint.run_suite(),
         lambda: bench_checkpoint.run_suite(sizes=(4096,), repeats=2),
+    ),
+    "cells": (
+        REPO_ROOT / "BENCH_cells.json",
+        lambda: bench_cells.run_suite(),
+        # the smallest committed size so the smoke run intersects the
+        # baseline; repeats=2 (best-of) because single-shot ratios on a
+        # loaded 1-core runner can drift past the 20% floor
+        lambda: bench_cells.run_suite(sizes=(20_000,), repeats=2),
     ),
 }
 

@@ -17,6 +17,7 @@ import numpy as np
 from ..core.distances import EUCLIDEAN, MANHATTAN
 from ..core.kernels import ComposedKernel, make_kernel
 from ..core.problem import (
+    CellSpec,
     OutputClass,
     OutputSpec,
     PruningSpec,
@@ -58,6 +59,15 @@ def make_problem(
             metric="manhattan" if dims == 1 else "euclidean",
             note="band predicate is constant outside/inside eps",
         ),
+        # no pair beyond eps is ever emitted, so the cell-list engine can
+        # drop beyond-neighborhood tiles without changing the output
+        # (eps=0 carries no grid: CellSpec needs a positive cutoff)
+        cells=CellSpec(
+            cutoff=eps,
+            beyond="zero",
+            metric="manhattan" if dims == 1 else "euclidean",
+            note="band predicate matches nothing beyond eps",
+        ) if eps > 0 else None,
     )
 
 
@@ -78,12 +88,13 @@ def band_join(
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
     prune: bool = False,
+    cells=None,
 ) -> Tuple[np.ndarray, RunResult]:
     """Self band-join over 1-D keys; returns sorted (P, 2) index pairs."""
     v = np.asarray(values, dtype=np.float64).reshape(-1, 1)
     problem = make_problem(eps, dims=1)
     krn = kernel or default_kernel(problem, prune=prune)
-    res = run(problem, v, kernel=krn, device=device)
+    res = run(problem, v, kernel=krn, device=device, cells=cells)
     pairs = np.asarray(res.result)
     if pairs.size:
         pairs = np.sort(pairs, axis=1)
@@ -97,12 +108,13 @@ def spatial_join(
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
     prune: bool = False,
+    cells=None,
 ) -> Tuple[np.ndarray, RunResult]:
     """Self spatial join: pairs within Euclidean distance ``eps``."""
     pts = np.asarray(points, dtype=np.float64)
     problem = make_problem(eps, dims=pts.shape[1])
     krn = kernel or default_kernel(problem, prune=prune)
-    res = run(problem, pts, kernel=krn, device=device)
+    res = run(problem, pts, kernel=krn, device=device, cells=cells)
     pairs = np.asarray(res.result)
     if pairs.size:
         pairs = np.sort(pairs, axis=1)

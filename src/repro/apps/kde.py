@@ -15,6 +15,7 @@ import numpy as np
 from ..core.distances import gaussian_kernel
 from ..core.kernels import ComposedKernel, make_kernel
 from ..core.problem import (
+    CellSpec,
     OutputClass,
     OutputSpec,
     PruningSpec,
@@ -58,6 +59,13 @@ def make_problem(bandwidth: float, dims: int = 3) -> TwoBodyProblem:
             metric="euclidean",
             note="Gaussian weight underflows to exactly 0.0",
         ),
+        # same horizon feeds the cell-list engine: every skipped tile
+        # would have added exactly 0.0 to each per-point sum
+        cells=CellSpec(
+            cutoff=underflow_cutoff(bandwidth),
+            beyond="zero",
+            note="Gaussian weight underflows to exactly 0.0",
+        ),
     )
 
 
@@ -77,6 +85,7 @@ def density(
     device: Optional[Device] = None,
     normalize: bool = True,
     prune: bool = False,
+    cells=None,
 ) -> Tuple[np.ndarray, RunResult]:
     """Leave-one-out KDE at every data point.
 
@@ -85,13 +94,16 @@ def density(
     kernel's float64 underflow horizon — bit-identical under the
     tile-at-a-time engine (``batch_tiles=1``; each skipped tile is an
     exact ``+= 0.0``); the batched engine regroups surviving tiles, so
-    its usual float re-association tolerance applies.
+    its usual float re-association tolerance applies.  ``cells``
+    selects the uniform-grid cell-list engine over the same horizon
+    (per-point sums re-associate likewise: allclose, not bit-identical,
+    against the tile engine — exact within the cell engine itself).
     """
     pts = np.asarray(points, dtype=np.float64)
     n, dims = pts.shape
     problem = make_problem(bandwidth, dims=dims)
     krn = kernel or default_kernel(problem, prune=prune)
-    res = run(problem, pts, kernel=krn, device=device)
+    res = run(problem, pts, kernel=krn, device=device, cells=cells)
     sums = res.result
     if normalize:
         const = (2.0 * np.pi * bandwidth * bandwidth) ** (dims / 2.0)

@@ -12,14 +12,20 @@ example (data pairs against a random catalogue of the same size).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
 from ..core.distances import EUCLIDEAN
 from ..core.kernels import ComposedKernel, make_kernel
-from ..core.problem import OutputClass, OutputSpec, PruningSpec, TwoBodyProblem
-from ..core.problem import UpdateKind
+from ..core.problem import (
+    CellSpec,
+    OutputClass,
+    OutputSpec,
+    PruningSpec,
+    TwoBodyProblem,
+    UpdateKind,
+)
 from ..core.runner import RunResult, run
 from ..gpusim.calibration import PCF_COMPUTE
 from ..gpusim.device import Device
@@ -54,6 +60,13 @@ def make_problem(radius: float, dims: int = 3) -> TwoBodyProblem:
             metric="euclidean",
             note="indicator weight is 0 beyond the radius, 1 within",
         ),
+        # pairs beyond the radius contribute exactly 0 to the count, so
+        # the cell-list engine can drop beyond-neighborhood tiles outright
+        cells=CellSpec(
+            cutoff=radius,
+            beyond="zero",
+            note="indicator weight is exactly 0 beyond the radius",
+        ),
     )
 
 
@@ -74,17 +87,19 @@ def count_pairs(
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
     prune: bool = False,
+    cells: Optional[Any] = None,
     trace=None,
     backend: Optional[str] = None,
 ) -> Tuple[int, RunResult]:
     """Count pairs within ``radius`` on the simulated GPU.  ``trace``
-    enables execution tracing and ``backend`` selects the host execution
-    engine (see :func:`repro.core.runner.run`)."""
+    enables execution tracing, ``backend`` selects the host execution
+    engine, and ``cells`` selects the uniform-grid cell-list engine
+    (see :func:`repro.core.runner.run`)."""
     pts = np.asarray(points, dtype=np.float64)
     problem = make_problem(radius, dims=pts.shape[1])
     k = kernel or default_kernel(problem, prune=prune)
     res = run(problem, pts, kernel=k, device=device, trace=trace,
-              backend=backend)
+              backend=backend, cells=cells)
     return int(round(res.result)), res
 
 

@@ -40,6 +40,9 @@ def compute(
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
     prune: bool = False,
+    cells=None,
+    periodic_box: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray, RunResult]:
     """RDF of a particle configuration.
 
@@ -49,6 +52,14 @@ def compute(
     ``prune`` enables bounds-based tile pruning on the underlying SDH —
     especially effective here, since every beyond-``r_max`` tile
     bulk-resolves into the overflow bucket.
+
+    ``cells`` selects the uniform-grid cell-list engine — the natural fit
+    for RDF, whose declared cutoff is ``r_max``: only 27-neighborhood
+    cell pairs are examined, and every skipped pair folds into the
+    dropped overflow bucket, leaving the analyzed bins exact.
+    ``periodic_box`` (a cubic box side) switches distances to
+    minimum-image wrapping — the molecular-dynamics convention — with
+    cell adjacency wrapped at the box faces.
     """
     if box_volume <= 0:
         raise ValueError(f"box_volume must be positive, got {box_volume}")
@@ -58,7 +69,8 @@ def compute(
     width = r_max / bins
     hist, res = sdh_app.compute(
         pts, bins=bins + 1, max_distance=r_max + width, kernel=kernel,
-        device=device, prune=prune,
+        device=device, prune=prune, cells=cells, cell_cutoff=r_max,
+        periodic_box=periodic_box, backend=backend,
     )
     g = normalize(hist[:bins], len(pts), r_max, box_volume)
     centers = (np.arange(bins) + 0.5) * width

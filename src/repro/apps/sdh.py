@@ -14,9 +14,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..core.distances import EUCLIDEAN
+from ..core.distances import EUCLIDEAN, periodic_euclidean
 from ..core.kernels import ComposedKernel, make_kernel
 from ..core.problem import (
+    CellSpec,
     OutputClass,
     OutputSpec,
     PruningSpec,
@@ -53,11 +54,20 @@ def make_problem(
     dims: int = 3,
     bin_probabilities: Optional[np.ndarray] = None,
     box: Optional[float] = None,
+    cell_cutoff: Optional[float] = None,
+    periodic_box: Optional[float] = None,
 ) -> TwoBodyProblem:
     """The SDH as a framework problem.
 
     ``bin_probabilities`` feeds the analytical contention model; when a
     ``box`` is given for uniform data it is estimated automatically.
+
+    ``cell_cutoff`` declares cutoff semantics for the uniform-grid cell
+    engine: every pair farther apart than it must land in the clamped top
+    bucket (validated at kernel construction).  ``periodic_box`` switches
+    the distance to minimum-image under a cubic box of that side — which
+    rules out axis-aligned bounds pruning, so the problem then carries no
+    :class:`~repro.core.problem.PruningSpec`.
     """
     if bins <= 0:
         raise ValueError(f"bins must be positive, got {bins}")
@@ -75,21 +85,38 @@ def make_problem(
         bins=bins,
         bin_probabilities=probs,
     )
-    return TwoBodyProblem(
-        name=f"sdh({bins} buckets)",
-        dims=dims,
-        pair_fn=EUCLIDEAN,
-        output=spec,
-        compute_cost=SDH_COMPUTE,
+    if periodic_box is not None:
+        pair_fn = periodic_euclidean(periodic_box)
+        # axis-aligned block bounds are not valid distance bounds under
+        # minimum image (a pair can be close across the box faces)
+        pruning = None
+    else:
+        pair_fn = EUCLIDEAN
         # the bucket map is monotone in the Euclidean distance, so a tile
         # whose distance bounds fall in one bucket (including the clamped
         # top bucket every beyond-max tile lands in) bulk-resolves exactly
         # — the DM-SDH property the tree algorithm exploits
-        pruning=PruningSpec(
+        pruning = PruningSpec(
             monotone_map=True,
             metric="euclidean",
             note="bucket map monotone; beyond-max tiles clamp to top bucket",
-        ),
+        )
+    cells = None
+    if cell_cutoff is not None:
+        cells = CellSpec(
+            cutoff=cell_cutoff,
+            beyond="clamp",
+            box=periodic_box,
+            note="beyond-cutoff pairs clamp into the top bucket",
+        )
+    return TwoBodyProblem(
+        name=f"sdh({bins} buckets)",
+        dims=dims,
+        pair_fn=pair_fn,
+        output=spec,
+        compute_cost=SDH_COMPUTE,
+        pruning=pruning,
+        cells=cells,
     )
 
 
@@ -111,6 +138,9 @@ def compute(
     kernel: Optional[ComposedKernel] = None,
     device: Optional[Device] = None,
     prune: bool = False,
+    cells=None,
+    cell_cutoff: Optional[float] = None,
+    periodic_box: Optional[float] = None,
     trace=None,
     backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, RunResult]:
@@ -119,15 +149,21 @@ def compute(
     ``max_distance`` defaults to the data's bounding-box diagonal (so no
     distance is clamped).  ``prune`` turns on bounds-based tile pruning
     (bit-identical histogram, fewer pair evaluations on clustered data).
-    ``trace`` enables execution tracing and ``backend`` selects the host
-    execution engine (see :func:`repro.core.runner.run`).
+    ``cell_cutoff`` / ``periodic_box`` declare cutoff/periodic semantics
+    (see :func:`make_problem`); ``cells`` then selects the uniform-grid
+    cell-list engine.  ``trace`` enables execution tracing and
+    ``backend`` selects the host execution engine (see
+    :func:`repro.core.runner.run`).
     """
     pts = np.asarray(points, dtype=np.float64)
     if max_distance is None:
         span = pts.max(axis=0) - pts.min(axis=0)
         max_distance = float(np.linalg.norm(span)) or 1.0
-    problem = make_problem(bins, max_distance, dims=pts.shape[1])
+    problem = make_problem(
+        bins, max_distance, dims=pts.shape[1],
+        cell_cutoff=cell_cutoff, periodic_box=periodic_box,
+    )
     k = kernel or default_kernel(problem, prune=prune)
     res = run(problem, pts, kernel=k, device=device, trace=trace,
-              backend=backend)
+              backend=backend, cells=cells)
     return res.result, res

@@ -78,6 +78,14 @@ def _report_run(args, res) -> None:
                  + m.counter_value("prune.pairs_bulk"))
         print(f"pruned {pruned}/{tiles} tiles "
               f"({pairs:,} pair evaluations avoided)")
+    ctiles = m.counter_value("cells.tiles")
+    if ctiles:
+        print(f"cell list: examined {m.counter_value('cells.tiles_examined')}"
+              f"/{ctiles} tiles over "
+              f"{int(m.gauge_value('cells.occupied'))} occupied cells "
+              f"(mean occupancy {m.gauge_value('cells.mean_occupancy'):.1f}; "
+              f"{m.counter_value('cells.pairs_skipped'):,} pair "
+              f"evaluations avoided)")
     if res.resilience is not None:
         if getattr(args, "faults", None) is not None:
             print(f"-- fault injection (seed {args.faults}) --")
@@ -95,8 +103,11 @@ def cmd_sdh(args) -> int:
     lk = _lifecycle_kwargs(args)
     if args.faults is not None or lk:
         span = pts.max(axis=0) - pts.min(axis=0)
-        maxd = float(np.linalg.norm(span)) or 1.0
-        problem = sdh_app.make_problem(args.bins, maxd, dims=3)
+        # a declared cell cutoff doubles as the histogram range so that
+        # every beyond-cutoff pair clamps into the (one) top bucket
+        maxd = args.cell_cutoff or float(np.linalg.norm(span)) or 1.0
+        problem = sdh_app.make_problem(args.bins, maxd, dims=3,
+                                       cell_cutoff=args.cell_cutoff)
         # workers=2 keeps the parallel engine (hence the worker-crash and
         # shard-corruption fault sites) live under the chaos plan
         res = run(problem,
@@ -104,11 +115,16 @@ def cmd_sdh(args) -> int:
                   kernel=sdh_app.default_kernel(problem, prune=args.prune),
                   faults=args.faults,
                   retries=args.retries if args.faults is not None else None,
-                  workers=2, trace=args.trace, backend=args.backend, **lk)
+                  workers=2, trace=args.trace, backend=args.backend,
+                  cells=args.cells, **lk)
         hist = res.result
     else:
-        hist, res = sdh_app.compute(pts, bins=args.bins, prune=args.prune,
-                                    trace=args.trace, backend=args.backend)
+        hist, res = sdh_app.compute(pts, bins=args.bins,
+                                    max_distance=args.cell_cutoff,
+                                    prune=args.prune,
+                                    trace=args.trace, backend=args.backend,
+                                    cells=args.cells,
+                                    cell_cutoff=args.cell_cutoff)
     print(f"SDH of {args.n} uniform points, {args.bins} buckets "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
     peak = int(np.argmax(hist))
@@ -126,12 +142,14 @@ def cmd_pcf(args) -> int:
         res = run(problem, pts, kernel=make_kernel(problem, prune=args.prune),
                   faults=args.faults,
                   retries=args.retries if args.faults is not None else None,
-                  workers=2, trace=args.trace, backend=args.backend, **lk)
+                  workers=2, trace=args.trace, backend=args.backend,
+                  cells=args.cells, **lk)
         count = int(round(res.result))
     else:
         count, res = pcf_app.count_pairs(pts, args.radius, prune=args.prune,
                                          trace=args.trace,
-                                         backend=args.backend)
+                                         backend=args.backend,
+                                         cells=args.cells)
     total = args.n * (args.n - 1) // 2
     print(f"2-PCF of {args.n} uniform points at r={args.radius:g} "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
@@ -143,8 +161,9 @@ def cmd_pcf(args) -> int:
 def cmd_stats(args) -> int:
     pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
     if args.problem == "sdh":
-        maxd = args.box * math.sqrt(3)
-        problem = sdh_app.make_problem(args.bins, maxd, box=args.box, dims=3)
+        maxd = args.cell_cutoff or args.box * math.sqrt(3)
+        problem = sdh_app.make_problem(args.bins, maxd, box=args.box, dims=3,
+                                       cell_cutoff=args.cell_cutoff)
         kernel = sdh_app.default_kernel(problem, prune=args.prune)
     else:
         problem = pcf_app.make_problem(args.radius)
@@ -157,7 +176,7 @@ def cmd_stats(args) -> int:
         extra = {"faults": args.faults, "retries": args.retries}
     res = run(problem, pts, kernel=kernel, spec=spec, workers=args.workers,
               backend=args.backend, prune=args.prune, trace=args.trace,
-              **extra, **_lifecycle_kwargs(args))
+              cells=args.cells, **extra, **_lifecycle_kwargs(args))
     # the utilization table and the registry dump below are two views of
     # the same MetricsRegistry the trace was built from
     print(utilization_table([res.metrics.sim_report()]))
@@ -198,6 +217,17 @@ def cmd_devices(args) -> int:
               f"{spec.shared_mem_per_sm // 1024} KB shm/SM, "
               f"shuffle={'yes' if spec.supports_shuffle else 'no'}")
     return 0
+
+
+def _add_cells_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cells", choices=["off", "auto", "force"], default=None,
+        help="uniform-grid cell-list engine: auto engages it when the "
+             "problem declares a cutoff and the dataset's cell adjacency "
+             "predicts a win; force demands it; default follows "
+             "REPRO_SIM_CELLS.  Results are bit-identical to the tile "
+             "engine",
+    )
 
 
 def _add_backend_arg(p: argparse.ArgumentParser) -> None:
@@ -303,6 +333,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--prune", action="store_true",
                    help="enable bounds-based tile pruning")
+    p.add_argument("--cell-cutoff", type=float, default=None, metavar="R",
+                   help="declare cutoff semantics for --cells: every pair "
+                        "beyond R clamps into the top bucket")
+    _add_cells_arg(p)
     _add_backend_arg(p)
     _add_fault_args(p)
     _add_trace_arg(p)
@@ -316,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--prune", action="store_true",
                    help="enable bounds-based tile pruning")
+    _add_cells_arg(p)
     _add_backend_arg(p)
     _add_fault_args(p)
     _add_trace_arg(p)
@@ -341,6 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulator worker threads (default: env/serial)")
     p.add_argument("--prune", action="store_true",
                    help="enable bounds-based tile pruning")
+    p.add_argument("--cell-cutoff", type=float, default=None, metavar="R",
+                   help="declare cutoff semantics for --cells (SDH only): "
+                        "every pair beyond R clamps into the top bucket")
+    _add_cells_arg(p)
     _add_backend_arg(p)
     _add_fault_args(p)
     _add_trace_arg(p)

@@ -225,6 +225,23 @@ def pruned_geometry(geom, stats):
     return replace(geom, inter_pairs=inter, tile_loads_points=loads)
 
 
+def cells_geometry(geom, stats):
+    """Effective :class:`~repro.core.kernels.base.PairGeometry` under the
+    cell-list engine: inter pairs and R-tile staging shrink by what cell
+    adjacency ruled out (``stats`` is a
+    :class:`~repro.core.cells.CellStats`).  Residual clamp folds are
+    data-output work, priced by the output strategies — mirroring how
+    :func:`pruned_geometry` leaves bulk updates to them.  Intra-block
+    work is untouched: a block is always in its own neighborhood."""
+    inter = geom.inter_pairs - stats.pairs_skipped
+    loads = geom.tile_loads_points - stats.tile_points_skipped
+    if inter < 0 or loads < 0:
+        raise ValueError(
+            f"cell stats exceed geometry: inter={inter}, tile_loads={loads}"
+        )
+    return replace(geom, inter_pairs=inter, tile_loads_points=loads)
+
+
 EXACT_BY_STRATEGY = {
     "naive": exact_naive,
     "shm-shm": exact_shm_shm,

@@ -57,6 +57,7 @@ from ..gpusim.spec import DeviceSpec, TITAN_X
 from ..obs.manifest import MANIFEST_SCHEMA, git_describe
 from ..obs.tracer import NULL_TRACER
 from .bounds import PruneStats
+from .cells import merge_cell_stats
 from .kernels import ComposedKernel, make_kernel
 from .lifecycle import RunAbandoned
 from .multigpu import _combine
@@ -151,12 +152,17 @@ def _sha256(data: bytes) -> str:
 
 
 def _kernel_descriptor(kernel: ComposedKernel) -> Dict[str, Any]:
-    """The rebuildable identity of a kernel — what degradation changes."""
+    """The rebuildable identity of a kernel — what degradation changes.
+    ``prune`` and ``cells`` ride along: both survive degradation, and the
+    cell flag in particular binds block ids to the cell-sorted point
+    order, so a resumed run must rebuild with it intact."""
     return {
         "input": kernel.input.name.lower(),
         "output": kernel.output.name.lower(),
         "block_size": int(kernel.block_size),
         "load_balanced": bool(kernel.load_balanced),
+        "prune": bool(kernel.prune),
+        "cells": bool(kernel.cells),
     }
 
 
@@ -171,6 +177,8 @@ def _rebuild_kernel(
         desc["output"],
         block_size=desc["block_size"],
         load_balanced=desc["load_balanced"],
+        prune=bool(desc.get("prune", False)),
+        cells=bool(desc.get("cells", False)),
     )
 
 
@@ -202,9 +210,7 @@ def fingerprint(
             "dims": int(problem.dims),
             "output_kind": problem.output.kind.value,
         },
-        "kernel": dict(
-            _kernel_descriptor(kernel), prune=bool(kernel.prune)
-        ),
+        "kernel": _kernel_descriptor(kernel),
         "device": spec.name,
         "n": int(pts.shape[0]),
         "points_sha256": _sha256(pts.tobytes()),
@@ -322,6 +328,7 @@ def _merge_records(
         sync_counts=sync,
         workers=records[-1].workers,
         prune=_merge_prune([r.prune for r in records]),
+        cells=merge_cell_stats([r.cells for r in records]),
         backend=records[-1].backend,
     )
     merged._max_shared = max(r.max_shared_bytes for r in records)

@@ -64,6 +64,7 @@ def make_kernel(
     name: Optional[str] = None,
     output_kwargs: Optional[dict] = None,
     prune: bool = False,
+    cells: bool = False,
 ) -> ComposedKernel:
     """Compose a 2-BS kernel by strategy names.
 
@@ -73,6 +74,8 @@ def make_kernel(
     output strategy's constructor (e.g. ``copies_per_block`` for
     privatized-shm).  ``prune`` enables bounds-based tile pruning — the
     problem must carry a :class:`~repro.core.problem.PruningSpec`.
+    ``cells`` enables the uniform-grid cell-list engine — the problem
+    must carry a :class:`~repro.core.problem.CellSpec`.
     """
     try:
         input_cls = INPUT_STRATEGIES[input_strategy]
@@ -97,6 +100,7 @@ def make_kernel(
         load_balanced=load_balanced,
         name=name,
         prune=prune,
+        cells=cells,
     )
 
 

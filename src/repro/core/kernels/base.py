@@ -49,8 +49,14 @@ from ...gpusim.timing import (
     simulate_time,
 )
 from ...obs.tracer import NULL_TRACER, US_PER_PAIR
-from ..analytical import pruned_geometry
+from ..analytical import cells_geometry, pruned_geometry
 from ..bounds import PruneStats, TilePruner
+from ..cells import (
+    CellStats,
+    cells_eligible,
+    get_cell_index,
+    resolve_clamp_bin,
+)
 from ..problem import OutputSpec, TwoBodyProblem, UpdateKind, as_soa
 from ..tiling import (
     BlockDecomposition,
@@ -169,6 +175,26 @@ def compute_geometry(n: int, block_size: int, full_rows: bool) -> PairGeometry:
         tile_loads_points=tiles,
         full_rows=full_rows,
     )
+
+
+def _translate_cell_result(result, problem: TwoBodyProblem, perm: np.ndarray):
+    """Map a cell-engine result from grid (Morton-sorted) point order back
+    to the caller's original order.  Aggregate outputs (histograms, scalar
+    sums) are order-free; per-point results are inverse-permuted; emitted
+    pairs are id-mapped, row-normalized to ``i < j`` and lexsorted — the
+    tile engine's canonical pair order."""
+    kind = problem.output.kind
+    if kind is UpdateKind.PER_POINT_SUM:
+        out = np.empty_like(result)
+        out[perm] = result
+        return out
+    if kind is UpdateKind.EMIT_PAIRS:
+        pairs = np.asarray(result)
+        if pairs.size == 0:
+            return pairs
+        mapped = np.sort(perm[pairs], axis=1)
+        return mapped[np.lexsort((mapped[:, 1], mapped[:, 0]))]
+    return result
 
 
 @lru_cache(maxsize=256)
@@ -450,6 +476,29 @@ class OutputStrategy(ABC):
             f"{problem.output.kind.value!r} tiles"
         )
 
+    def residual_update(
+        self,
+        ctx: BlockContext,
+        state: Any,
+        bufs: Dict[str, Any],
+        problem: TwoBodyProblem,
+        ids_l: np.ndarray,
+        count: int,
+        value: Any,
+    ) -> None:
+        """Fold one anchor block's cell-list residual into the output.
+
+        The cell layer certified that ``count`` pairs of this anchor sit
+        beyond the cutoff, and the problem declared (``beyond="clamp"``)
+        that every such pair lands in output cell ``value``; fold the
+        count in with one O(1) update instead of evaluating the pairs.
+        Only clamp-mode histograms ever arrive here.
+        """
+        raise NotImplementedError(
+            f"output strategy {self.name!r} cannot fold cell-list "
+            f"residuals for {problem.output.kind.value!r} outputs"
+        )
+
     @abstractmethod
     def block_fini(
         self,
@@ -483,13 +532,15 @@ class OutputStrategy(ABC):
         problem: TwoBodyProblem,
         part: str = "both",
         prune: Optional[PruneStats] = None,
+        cells: Optional[CellStats] = None,
     ) -> TrafficProfile:
         """Analytical output-side traffic for the main launch (``part`` as
         in :meth:`InputStrategy.traffic`).
 
-        With ``prune`` the geometry is already *effective* (pruned pairs
-        subtracted); strategies add the O(1) bulk-resolve charges —
-        typically one atomic per bulk tile — on top.
+        With ``prune`` or ``cells`` the geometry is already *effective*
+        (pruned / adjacency-skipped pairs subtracted); strategies add the
+        O(1) bulk-resolve and residual-fold charges — typically one
+        atomic each — on top.
         """
 
     def extra_seconds(
@@ -515,6 +566,7 @@ class ComposedKernel:
         load_balanced: bool = False,
         name: Optional[str] = None,
         prune: bool = False,
+        cells: bool = False,
     ) -> None:
         output_strategy.check(problem)
         if block_size <= 0:
@@ -530,19 +582,38 @@ class ComposedKernel:
                     f"input strategy {input_strategy.name!r} does not "
                     "support bounds pruning"
                 )
+        if cells:
+            ok, why = cells_eligible(problem)
+            if not ok:
+                raise ValueError(why)
+            if not input_strategy.supports_pruning:
+                # same constraint as pruning: the strategy's traffic model
+                # must price effective (reduced) geometry
+                raise ValueError(
+                    f"input strategy {input_strategy.name!r} has no "
+                    "effective-geometry traffic model for cell lists"
+                )
+            # validates the clamp declaration at construction time (the
+            # satellite fix: a misdeclared cutoff fails loudly here, not
+            # as a stray histogram bucket at runtime)
+            resolve_clamp_bin(problem)
         self.problem = problem
         self.input = input_strategy
         self.output = output_strategy
         self.block_size = block_size
         self.load_balanced = load_balanced
         self.prune = prune
+        self.cells = cells
         if name is None:
             name = f"{input_strategy.name}{output_strategy.suffix}"
             if prune:
                 name += "+prune"
+            if cells:
+                name += "+cells"
         self.name = name
         self._traffic_cache: Dict[
-            Tuple[int, str, Optional[PruneStats]], TrafficProfile
+            Tuple[int, str, Optional[PruneStats], Optional[CellStats]],
+            TrafficProfile,
         ] = {}
 
     # -- properties -----------------------------------------------------------
@@ -668,15 +739,39 @@ class ComposedKernel:
             resolved_workers = resolve_workers(workers, grid_blocks)
         mega = engine == "megabatch"
         batch = self._resolve_tile_batch(batch_tiles, resolved_workers)
-        data_g = device.to_device(soa, name="input")
-        in_state = self.input.prepare(device, data_g)
-        bufs = self.output.create(device, problem, n, dec.num_blocks, self.block_size)
         full = self.full_rows
         tr = getattr(device, "tracer", NULL_TRACER)
         trace_on = tr.enabled
+        # cell-list engine: points run in the grid's canonical (Morton)
+        # order, so the index, the block structure, and every partner
+        # list are pure functions of (points, spec, block size) — the
+        # same across worker counts, backends, blocks= stripes, and
+        # checkpoint resume.  Results are translated back to the
+        # original point order before returning.
+        cindex = clamp_bin = None
+        perm = None
+        if self.cells:
+            cindex = get_cell_index(soa, self.block_size, problem.cells)
+            clamp_bin = resolve_clamp_bin(problem)
+            perm = cindex.perm
+            soa = np.ascontiguousarray(soa[:, perm])
+            if trace_on:
+                with tr.span(
+                    "cell-index", cat="cells",
+                    args={
+                        "cells": cindex.total_cells,
+                        "occupied": cindex.cells_occupied,
+                        "blocks": cindex.num_blocks,
+                    },
+                ):
+                    pass
+        data_g = device.to_device(soa, name="input")
+        in_state = self.input.prepare(device, data_g)
+        bufs = self.output.create(device, problem, n, dec.num_blocks, self.block_size)
         # classification is a pure function of (data, block size, problem),
         # so pruned execution stays bit-identical across worker counts,
-        # tile batching, and blocks= stripes
+        # tile batching, and blocks= stripes (under cells it classifies
+        # the grid-ordered blocks)
         pruner = (
             TilePruner(soa, self.block_size, problem, tracer=tr)
             if self.prune
@@ -693,11 +788,35 @@ class ComposedKernel:
             block_state = self.input.block_setup(ctx, dims)
             reg_l = self.input.load_anchor(ctx, data_g, in_state, block_state, ids_l)
             out_state = self.output.block_init(ctx, bufs, problem, ids_l)
-            partner_blocks = (
-                [i for i in range(dec.num_blocks) if i != b]
-                if full
-                else list(range(b + 1, dec.num_blocks))
-            )
+            if cindex is not None:
+                partner_blocks = cindex.partner_blocks(b, full).tolist()
+                resid = cindex.residual_pairs(b, full)
+                if trace_on:
+                    tr.instant(
+                        "cells", cat="cells",
+                        args={
+                            "block": int(b),
+                            "partners": len(partner_blocks),
+                            "skipped_pairs": int(resid),
+                            "fold": int(
+                                clamp_bin is not None and resid > 0
+                            ),
+                        },
+                    )
+                if resid and clamp_bin is not None:
+                    # the skipped pairs all land in the clamp bucket by
+                    # declaration: one conflict-free fold preserves the
+                    # histogram's mass invariants exactly
+                    self.output.residual_update(
+                        ctx, out_state, bufs, problem, ids_l, resid,
+                        clamp_bin,
+                    )
+            else:
+                partner_blocks = (
+                    [i for i in range(dec.num_blocks) if i != b]
+                    if full
+                    else list(range(b + 1, dec.num_blocks))
+                )
             if pruner is not None:
                 cls = pruner.classify(b)
                 survivors: List[int] = []
@@ -883,6 +1002,7 @@ class ComposedKernel:
                 run_mega_block(
                     self, ctx, dec, data_g, in_state, bufs, pruner, tr,
                     trace_on, bsizes, dims, full,
+                    cells=cindex, clamp_bin=clamp_bin,
                 )
 
         record = device.launch(
@@ -891,8 +1011,22 @@ class ComposedKernel:
             host_channels=self.output.host_channels(bufs),
         )
         if pruner is not None:
-            record.prune = pruner.stats(full_rows=full, anchors=blocks)
+            record.prune = pruner.stats(
+                full_rows=full, anchors=blocks,
+                partners_fn=(
+                    None
+                    if cindex is None
+                    else (lambda a: cindex.partner_blocks(a, full))
+                ),
+            )
+        if cindex is not None:
+            record.cells = cindex.stats(
+                full_rows=full, anchors=blocks,
+                clamp=clamp_bin is not None,
+            )
         result = self.output.finalize(device, bufs, problem, n)
+        if perm is not None:
+            result = _translate_cell_result(result, problem, perm)
         return result, record
 
     # -- analytical path ---------------------------------------------------------
@@ -909,6 +1043,7 @@ class ComposedKernel:
         n: int,
         part: str = "both",
         prune: Optional[PruneStats] = None,
+        cells: Optional[CellStats] = None,
     ) -> TrafficProfile:
         """Analytical traffic profile.
 
@@ -916,27 +1051,35 @@ class ComposedKernel:
         tests compare against functional counters); ``part="intra"``
         isolates the intra-block pass (Fig. 7's measured slice).
 
-        ``prune`` is the launch's measured (or planner-predicted)
-        :class:`~repro.core.bounds.PruneStats`; strategy traffic is then
-        evaluated on the *effective* geometry — pruned pairs and tile
-        loads subtracted — plus the O(1) bulk-resolve charges, keeping
-        the profile equal to the pruned launch's functional counters.
-        The intra slice never prunes (the diagonal's lower bound is 0).
+        ``prune`` / ``cells`` are the launch's measured (or
+        planner-predicted) :class:`~repro.core.bounds.PruneStats` /
+        :class:`~repro.core.cells.CellStats`; strategy traffic is then
+        evaluated on the *effective* geometry — skipped pairs and tile
+        loads subtracted — plus the O(1) bulk-resolve / residual-fold
+        charges, keeping the profile equal to the launch's functional
+        counters.  The intra slice is never reduced (the diagonal's
+        lower bound is 0, and a block is always in its own
+        neighborhood).
         """
         if part not in ("both", "intra"):
             raise ValueError(f"part must be 'both' or 'intra', got {part!r}")
         if part == "intra":
             prune = None  # pruning never touches the intra-block pass
-        if prune is not None and not self.input.supports_pruning:
+            cells = None
+        if (prune is not None or cells is not None) and (
+            not self.input.supports_pruning
+        ):
             raise ValueError(
-                f"input strategy {self.input.name!r} has no pruned-traffic "
-                "model"
+                f"input strategy {self.input.name!r} has no "
+                "effective-geometry traffic model"
             )
-        key = (n, part, prune)
+        key = (n, part, prune, cells)
         cached = self._traffic_cache.get(key)
         if cached is not None:
             return cached
         geom = self.geometry(n)
+        if cells is not None:
+            geom = cells_geometry(geom, cells)
         if prune is not None:
             geom = pruned_geometry(geom, prune)
         dims = self.problem.dims
@@ -944,7 +1087,7 @@ class ComposedKernel:
         profile = TrafficProfile(pairs=pairs, compute=self.problem.compute_cost)
         profile = profile + self.input.traffic(geom, dims, part=part)
         profile = profile + self.output.traffic(
-            geom, dims, self.problem, part=part, prune=prune
+            geom, dims, self.problem, part=part, prune=prune, cells=cells
         )
         self._traffic_cache[key] = profile
         return profile
@@ -954,6 +1097,7 @@ class ComposedKernel:
         n: int,
         calib: Calibration = DEFAULT_CALIBRATION,
         prune: Optional[PruneStats] = None,
+        cells: Optional[CellStats] = None,
     ) -> PipelineCycles:
         """Total per-lane issue cycles, divergence included.
 
@@ -961,7 +1105,9 @@ class ComposedKernel:
         intra-block pass (idle lanes still occupy compute and memory issue
         slots), so the penalty scales every pipeline of the intra slice.
         """
-        full = cycles_from_traffic(self.traffic(n, prune=prune), calib)
+        full = cycles_from_traffic(
+            self.traffic(n, prune=prune, cells=cells), calib
+        )
         penalty = self.intra_issue_scale()
         if penalty > 1.0:
             intra = cycles_from_traffic(self.traffic(n, part="intra"), calib)
@@ -974,16 +1120,19 @@ class ComposedKernel:
         spec: DeviceSpec = TITAN_X,
         calib: Calibration = DEFAULT_CALIBRATION,
         prune: Optional[PruneStats] = None,
+        cells: Optional[CellStats] = None,
     ) -> SimReport:
         """Predicted performance at paper scale (no functional execution).
 
-        ``prune`` folds a pruning outcome (measured on a launch or
-        predicted by :func:`~repro.core.bounds.prune_stats`) into the
-        traffic and timing model.
+        ``prune`` / ``cells`` fold a pruning or cell-adjacency outcome
+        (measured on a launch, or predicted by
+        :func:`~repro.core.bounds.prune_stats` /
+        :func:`~repro.core.cells.cell_stats`) into the traffic and
+        timing model.
         """
         geom = self.geometry(n)
-        profile = self.traffic(n, prune=prune)
-        cycles = self.pipeline_cycles(n, calib, prune=prune)
+        profile = self.traffic(n, prune=prune, cells=cells)
+        cycles = self.pipeline_cycles(n, calib, prune=prune, cells=cells)
         occ = self.occupancy(spec)
         extra = self.output.extra_seconds(geom, self.problem, spec, calib)
         timing = simulate_time(
@@ -1008,6 +1157,9 @@ class ComposedKernel:
         if prune is not None:
             report.extras["pairs_pruned"] = float(prune.pairs_pruned)
             report.extras["tiles_pruned"] = float(prune.tiles_pruned)
+        if cells is not None:
+            report.extras["cells_pairs_skipped"] = float(cells.pairs_skipped)
+            report.extras["cells_tiles_skipped"] = float(cells.tiles_skipped)
         return report
 
     def simulate_intra(

@@ -102,6 +102,8 @@ def run_mega_block(
     bsizes,
     dims: int,
     full: bool,
+    cells=None,
+    clamp_bin=None,
 ) -> None:
     """Mega-batch body for one anchor block of a :class:`ComposedKernel`.
 
@@ -120,11 +122,31 @@ def run_mega_block(
     block_state = k.input.block_setup(ctx, dims)
     reg_l = k.input.load_anchor(ctx, data_g, in_state, block_state, ids_l)
     out_state = k.output.block_init(ctx, bufs, problem, ids_l)
-    partner_blocks = (
-        [i for i in range(dec.num_blocks) if i != b]
-        if full
-        else list(range(b + 1, dec.num_blocks))
-    )
+    if cells is not None:
+        # cell-list adjacency replaces the dense partner enumeration;
+        # pairs beyond the neighborhood fold into the clamp bin (if any)
+        # as one residual update — same position as the sequential engine
+        partner_blocks = cells.partner_blocks(b, full).tolist()
+        resid = cells.residual_pairs(b, full)
+        if trace_on:
+            tr.instant(
+                "cells", cat="cells",
+                args={
+                    "block": int(b), "partners": len(partner_blocks),
+                    "skipped_pairs": int(resid),
+                    "fold": bool(resid and clamp_bin is not None),
+                },
+            )
+        if resid and clamp_bin is not None:
+            k.output.residual_update(
+                ctx, out_state, bufs, problem, ids_l, resid, clamp_bin
+            )
+    else:
+        partner_blocks = (
+            [i for i in range(dec.num_blocks) if i != b]
+            if full
+            else list(range(b + 1, dec.num_blocks))
+        )
     if pruner is not None:
         cls = pruner.classify(b)
         survivors: List[int] = []

@@ -410,10 +410,14 @@ class RegisterOutput(OutputStrategy):
             return 2 * problem.output.k + 2
         return 3
 
-    def traffic(self, geom, dims, problem, part="both", prune=None) -> TrafficProfile:
+    def traffic(
+        self, geom, dims, problem, part="both", prune=None, cells=None
+    ) -> TrafficProfile:
         if part == "intra":
             return TrafficProfile()  # register updates cost nothing extra
-        # bulk resolves land in registers too: nothing extra to charge
+        # bulk resolves land in registers too: nothing extra to charge,
+        # and register kinds are all beyond="zero" so cell-list residuals
+        # fold nothing
         kind = problem.output.kind
         writes = 2 * problem.output.k * geom.n if kind is UpdateKind.TOPK else geom.n
         return TrafficProfile(global_stream_writes=writes)
@@ -517,6 +521,17 @@ class GlobalAtomicOutput(OutputStrategy):
                 conflict_sample=(1.0, 1),
             )
 
+    def residual_update(self, ctx, state, bufs, problem, ids_l, count, value):
+        # the anchor's whole beyond-cutoff residual lands in the clamp
+        # bucket with one conflict-free atomic, like a bulk resolve
+        atomic_add(
+            bufs["hist"],
+            np.asarray([int(value)], dtype=np.int64),
+            np.asarray([int(count)], dtype=np.int64),
+            warp_size=ctx.warp_size,
+            conflict_sample=(1.0, 1),
+        )
+
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         pass
 
@@ -525,11 +540,15 @@ class GlobalAtomicOutput(OutputStrategy):
             return device.to_host(bufs["hist"])
         return float(device.to_host(bufs["acc"])[0])
 
-    def traffic(self, geom, dims, problem, part="both", prune=None) -> TrafficProfile:
+    def traffic(
+        self, geom, dims, problem, part="both", prune=None, cells=None
+    ) -> TrafficProfile:
         pairs = geom.pairs if part == "both" else geom.intra_pairs
         atomics = pairs
         if prune is not None and part == "both":
             atomics += prune.tiles_bulk  # one folded add per bulk tile
+        if cells is not None and part == "both":
+            atomics += cells.residual_folds  # one clamp fold per anchor
         return TrafficProfile(
             global_atomics=atomics,
             conflict_degree=analytic_conflict_degree(problem),
@@ -604,6 +623,18 @@ class PrivatizedSharedOutput(OutputStrategy):
             conflict_sample=(1.0, 1),
         )
 
+    def residual_update(self, ctx, state, bufs, problem, ids_l, count, value):
+        # the cell-list residual folds into copy 0 of the private
+        # histogram exactly like a bulk resolve: one conflict-free
+        # shared atomic, summed into the flush by block_fini
+        atomic_add(
+            state,
+            np.asarray([int(value)], dtype=np.int64),
+            np.asarray([int(count)], dtype=np.int64),
+            warp_size=ctx.warp_size,
+            conflict_sample=(1.0, 1),
+        )
+
     def block_fini(self, ctx, state, bufs, problem, ids_l, block_id):
         # Algorithm 3 line 15: copy the private output to global scope,
         # folding the block's lane-interleaved copies first
@@ -636,7 +667,9 @@ class PrivatizedSharedOutput(OutputStrategy):
             problem, lanes_per_copy=max(32 // self.copies, 1)
         )
 
-    def traffic(self, geom, dims, problem, part="both", prune=None) -> TrafficProfile:
+    def traffic(
+        self, geom, dims, problem, part="both", prune=None, cells=None
+    ) -> TrafficProfile:
         if part == "intra":
             return TrafficProfile(
                 shm_atomics=geom.intra_pairs,
@@ -647,6 +680,8 @@ class PrivatizedSharedOutput(OutputStrategy):
         shm_atomics = geom.pairs
         if prune is not None:
             shm_atomics += prune.tiles_bulk  # one folded add per bulk tile
+        if cells is not None:
+            shm_atomics += cells.residual_folds  # one clamp fold per anchor
         return TrafficProfile(
             shm_writes=hs * m,  # zero-initialization, every block
             shm_atomics=shm_atomics,
@@ -797,7 +832,9 @@ class GlobalDirectOutput(OutputStrategy):
             )
         return pairs
 
-    def traffic(self, geom, dims, problem, part="both", prune=None) -> TrafficProfile:
+    def traffic(
+        self, geom, dims, problem, part="both", prune=None, cells=None
+    ) -> TrafficProfile:
         pairs = geom.pairs if part == "both" else geom.intra_pairs
         if problem.output.kind is UpdateKind.MATRIX:
             return TrafficProfile(global_stream_writes=2 * pairs)
@@ -810,6 +847,11 @@ class GlobalDirectOutput(OutputStrategy):
         else:
             batches = m * (m - 1) // 2 + m
         matches = problem.output.selectivity * pairs
+        if cells is not None and part == "both":
+            # only adjacency-surviving tiles are ever visited (skipped
+            # tiles are beyond the cutoff: constant-False predicate, no
+            # ticket, no residual)
+            batches = cells.tiles_examined + m
         if prune is not None and part == "both":
             # skipped tiles never issue a ticket; bulk tiles keep their one
             # ticket and emit every pair (constant-True predicate)

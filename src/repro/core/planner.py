@@ -23,6 +23,7 @@ from ..gpusim.errors import GpuSimError, LaunchConfigError, SharedMemoryError
 from ..gpusim.parallel import resolve_workers
 from ..gpusim.spec import DeviceSpec, TITAN_X
 from .bounds import PruneStats, prune_stats
+from .cells import CellStats, cell_stats, cells_eligible
 from .kernels import ComposedKernel, FULL_ROW_KINDS, make_kernel
 from .problem import OutputClass, TwoBodyProblem, UpdateKind
 
@@ -134,10 +135,15 @@ class PlanCandidate:
     #: predicted pruning aggregates when this candidate runs with bounds
     #: pruning enabled (None for unpruned candidates)
     prune: Optional[PruneStats] = None
+    #: predicted cell-list aggregates when this candidate runs on the
+    #: uniform-grid engine (None for tile-engine candidates)
+    cells: Optional[CellStats] = None
 
     @property
     def label(self) -> str:
         tag = "+prune" if self.kernel.prune else ""
+        if self.kernel.cells:
+            tag += "+cells"
         return (
             f"{self.kernel.input.name} x {self.kernel.output.name}{tag} "
             f"(B={self.kernel.block_size})"
@@ -221,19 +227,24 @@ def plan_kernel(
     a :class:`~repro.core.problem.PruningSpec`, the planner additionally
     prices a bounds-pruned variant of every eligible composition — pruning
     outcomes are data-dependent, so they can only be ranked against a
-    dataset, not against ``n`` alone.
+    dataset, not against ``n`` alone.  A problem carrying a
+    :class:`~repro.core.problem.CellSpec` likewise gets ``+cells``
+    variants priced from the dataset's measured cell adjacency.
     """
     inputs = ["naive", "shm-shm", "register-shm", "register-roc"]
     if allow_shuffle and spec.supports_shuffle:
         inputs.append("shuffle")
     prunable = problem.pruning is not None and points is not None
-    if prunable and np.asarray(points).shape[0] != n:
+    cellable = points is not None and cells_eligible(problem)[0]
+    if (prunable or cellable) and np.asarray(points).shape[0] != n:
         raise ValueError(
             f"planner points carry {np.asarray(points).shape[0]} rows "
             f"but n={n}"
         )
     #: measured pruning aggregates per block size, shared across candidates
     stats_by_block: Dict[int, PruneStats] = {}
+    #: measured cell adjacency per block size, shared across candidates
+    cstats_by_block: Dict[int, CellStats] = {}
     full = problem.output.kind in FULL_ROW_KINDS
     candidates: List[PlanCandidate] = []
     rejected: List[Tuple[str, str]] = []
@@ -256,6 +267,38 @@ def plan_kernel(
                 candidates.append(
                     PlanCandidate(kernel=kernel, predicted_seconds=report.seconds, note=note)
                 )
+                if cellable and kernel.input.supports_pruning:
+                    try:
+                        cstats = cstats_by_block.get(b)
+                        if cstats is None:
+                            cstats = cell_stats(
+                                points, b, problem, full_rows=full
+                            )
+                            cstats_by_block[b] = cstats
+                        kernel_c = make_kernel(
+                            problem,
+                            in_name,
+                            out_name,
+                            block_size=b,
+                            load_balanced=load_balanced and b % 2 == 0,
+                            cells=True,
+                        )
+                        report_c = kernel_c.simulate(
+                            n, spec=spec, calib=calib, cells=cstats
+                        )
+                    except (SharedMemoryError, LaunchConfigError, GpuSimError,
+                            ValueError) as exc:
+                        rejected.append((f"{label} +cells", str(exc)))
+                    else:
+                        candidates.append(
+                            PlanCandidate(
+                                kernel=kernel_c,
+                                predicted_seconds=report_c.seconds,
+                                note=f"{note}; cell list examines "
+                                f"{cstats.examined_fraction:.0%} of pairs",
+                                cells=cstats,
+                            )
+                        )
                 if not prunable or not kernel.input.supports_pruning:
                     continue
                 try:

@@ -122,6 +122,55 @@ class PruningSpec:
 
 
 @dataclass(frozen=True)
+class CellSpec:
+    """What a uniform-grid cell list may legally do to this problem.
+
+    Attaching a spec asserts the app-level cutoff semantics the grid
+    engine builds on (see :mod:`repro.core.cells`):
+
+    * ``cutoff`` — the interaction radius.  Cells are sized at least this
+      wide (plus the evaluator's rounding pad), so points in cells that do
+      not touch — outside each other's 27-neighborhood — are certified
+      farther apart than ``cutoff``;
+    * ``beyond`` — what a pair strictly beyond the cutoff contributes:
+      ``"zero"`` means exactly nothing (a ``0.0`` weight, a False join
+      predicate), so skipped tiles simply never update the output;
+      ``"clamp"`` means every such pair lands in one fixed output cell
+      (the SDH/RDF clamped top bucket), so skipped tiles are folded in as
+      a single counted residual instead of being evaluated;
+    * ``box`` — periodic box edge length (same along every axis).  When
+      set, distances are minimum-image (the pair function must agree —
+      e.g. :func:`~repro.core.distances.periodic_euclidean`) and the cell
+      grid wraps at the box faces.  Periodic problems must not carry a
+      :class:`PruningSpec`: axis-aligned box bounds are not valid under
+      minimum-image distances.
+    """
+
+    cutoff: float = 0.0
+    beyond: str = "zero"
+    box: Optional[float] = None
+    metric: str = "euclidean"
+    note: str = ""
+
+    def validate(self) -> None:
+        if self.cutoff <= 0:
+            raise ValueError(
+                f"cell cutoff must be positive, got {self.cutoff}"
+            )
+        if self.beyond not in ("zero", "clamp"):
+            raise ValueError(
+                f"cell beyond-cutoff mode must be 'zero' or 'clamp', "
+                f"got {self.beyond!r}"
+            )
+        if self.metric not in ("euclidean", "manhattan", "chebyshev"):
+            raise ValueError(f"unsupported cell metric {self.metric!r}")
+        if self.box is not None and self.box <= 0:
+            raise ValueError(
+                f"periodic box edge must be positive, got {self.box}"
+            )
+
+
+@dataclass(frozen=True)
 class TwoBodyProblem:
     """A complete 2-BS instance: data shape, pair function, output."""
 
@@ -137,6 +186,10 @@ class TwoBodyProblem:
     #: what bounds-based tile pruning may legally do; ``None`` (default)
     #: means the composed engine never prunes this problem.
     pruning: Optional[PruningSpec] = None
+    #: what a uniform-grid cell list may legally do; ``None`` (default)
+    #: means the composed engine never routes this problem through the
+    #: cell-list engine (see :mod:`repro.core.cells`).
+    cells: Optional[CellSpec] = None
 
     def __post_init__(self) -> None:
         if self.dims <= 0:
@@ -144,6 +197,14 @@ class TwoBodyProblem:
         self.output.validate()
         if self.pruning is not None:
             self.pruning.validate()
+        if self.cells is not None:
+            self.cells.validate()
+            if self.cells.box is not None and self.pruning is not None:
+                raise ValueError(
+                    "periodic problems cannot carry a PruningSpec: "
+                    "axis-aligned block bounds are not valid under "
+                    "minimum-image distances"
+                )
 
     @property
     def output_class(self) -> OutputClass:

@@ -341,8 +341,11 @@ def verify_result(
 def degrade_kernel(kernel: ComposedKernel) -> Optional[ComposedKernel]:
     """The next-weaker kernel on the degradation ladder, or ``None`` if
     the kernel is already at the bottom (Naive).  Output strategy, block
-    size and load balancing are preserved — only the input staging (the
-    resource-hungry half) steps down."""
+    size, load balancing, pruning and the cell-list engine are preserved —
+    only the input staging (the resource-hungry half) steps down.  The
+    cell flag in particular MUST survive degradation: block ids under the
+    cell engine index the cell-sorted point order, so mixing engines
+    across anchor subsets of one run would change block semantics."""
     name = kernel.input.name.lower()  # display names are cased (Register-SHM)
     if name in DEGRADATION_LADDER:
         candidates = DEGRADATION_LADDER[DEGRADATION_LADDER.index(name) + 1:]
@@ -356,6 +359,8 @@ def degrade_kernel(kernel: ComposedKernel) -> Optional[ComposedKernel]:
         kernel.output.name,
         block_size=kernel.block_size,
         load_balanced=kernel.load_balanced,
+        prune=kernel.prune,
+        cells=kernel.cells,
     )
 
 

@@ -15,6 +15,7 @@ from ..gpusim.spec import DeviceSpec, TITAN_X
 from ..obs.manifest import build_manifest
 from ..obs.metrics import MetricsRegistry, collect_metrics
 from ..obs.tracer import resolve_trace
+from .cells import cell_stats, cells_eligible, cells_worthwhile, resolve_cells
 from .kernels import ComposedKernel, make_kernel
 from .planner import plan_kernel
 from .problem import TwoBodyProblem
@@ -62,6 +63,7 @@ def run(
     faults: Optional[Any] = None,
     retries: Optional[Any] = None,
     prune: bool = False,
+    cells: Optional[Any] = None,
     trace: Optional[Any] = None,
     checkpoint_dir: Optional[Any] = None,
     checkpoint_every: Optional[int] = None,
@@ -79,6 +81,15 @@ def run(
     ``prune`` enables bounds-based tile pruning (the problem must carry a
     :class:`~repro.core.problem.PruningSpec`); with ``auto_plan`` the
     planner then ranks pruned variants against the concrete dataset.
+
+    ``cells`` selects the uniform-grid cell-list engine: ``"auto"`` (or
+    ``True``) engages it when the problem declares a
+    :class:`~repro.core.problem.CellSpec` *and* the dataset's measured
+    cell adjacency predicts a win; ``"force"`` demands it (raising on
+    ineligible problems); ``False`` disables it; ``None`` follows the
+    ``REPRO_SIM_CELLS`` environment variable.  Problems without cutoff
+    semantics (SDH over the full distance range, Gram matrices, PSS,
+    top-k) automatically stay on the tile engine.
 
     ``workers`` / ``batch_tiles`` tune the simulator's parallel, batched
     execution engine (see :meth:`ComposedKernel.execute`); defaults follow
@@ -121,14 +132,35 @@ def run(
     from .lifecycle import Deadline
 
     deadline = Deadline.coerce(deadline)
+    cells_mode = resolve_cells(cells)
     if kernel is None:
         if auto_plan:
             kernel = plan_kernel(
                 problem, n, spec=spec, calib=calib,
-                points=points if prune else None,
+                points=points if (prune or cells_mode) else None,
             ).chosen.kernel
         else:
             kernel = make_kernel(problem, prune=prune)
+    if cells_mode and not kernel.cells:
+        ok, why = cells_eligible(problem)
+        if not ok:
+            if cells_mode == "force":
+                raise ValueError(f"cells='force': {why}")
+        else:
+            engage = cells_mode == "force" or cells_worthwhile(
+                cell_stats(points, kernel.block_size, problem,
+                           full_rows=kernel.full_rows)
+            )
+            if engage:
+                kernel = make_kernel(
+                    problem,
+                    kernel.input.name.lower(),
+                    kernel.output.name.lower(),
+                    block_size=kernel.block_size,
+                    load_balanced=kernel.load_balanced,
+                    prune=kernel.prune,
+                    cells=True,
+                )
     if resume is not None and resume is not False and checkpoint_dir is None:
         # resume=True means "reuse checkpoint_dir", so a bare path is the
         # store to both resume from and keep checkpointing into
@@ -177,7 +209,7 @@ def run(
             watchdog=watchdog, resume=resuming,
         )
         report = kfinal.simulate(n, spec=spec, calib=calib,
-                                 prune=record.prune)
+                                 prune=record.prune, cells=record.cells)
         report.counters = record.counters
         res = RunResult(
             result=result, report=report, record=record, kernel=kfinal,
@@ -200,6 +232,7 @@ def run(
         report = rr.kernel.simulate(
             n, spec=spec, calib=calib,
             prune=getattr(rr.records[-1], "prune", None),
+            cells=getattr(rr.records[-1], "cells", None),
         )
         report.counters = rr.records[-1].counters
         res = RunResult(
@@ -224,7 +257,8 @@ def run(
             dev, points, workers=workers, batch_tiles=batch_tiles,
             backend=backend,
         )
-        report = kernel.simulate(n, spec=spec, calib=calib, prune=record.prune)
+        report = kernel.simulate(n, spec=spec, calib=calib,
+                                 prune=record.prune, cells=record.cells)
         # splice the *measured* counters into the report so profiler tables
         # can be driven by the functional run when one happened
         report.counters = record.counters
@@ -234,6 +268,7 @@ def run(
     res.manifest = build_manifest(
         problem=problem, kernel=res.kernel, spec=spec, calib=calib, n=n,
         workers=workers, batch_tiles=batch_tiles, prune=prune,
+        cells=bool(res.kernel.cells),
         faults=faults, retries=retries, backend=resolve_backend(backend),
     )
     if tracer.enabled:

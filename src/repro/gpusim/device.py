@@ -55,6 +55,9 @@ class LaunchRecord:
     #: bounds-pruning aggregates (a repro.core.bounds.PruneStats) when the
     #: kernel ran with tile pruning enabled, else None
     prune: Optional[Any] = None
+    #: cell-list aggregates (a repro.core.cells.CellStats) when the kernel
+    #: ran on the uniform-grid cell engine, else None
+    cells: Optional[Any] = None
     #: execution engine that actually ran the blocks: "sequential",
     #: "threads" or "processes" (the kernel-level "megabatch" path reports
     #: whichever block engine it rode on)

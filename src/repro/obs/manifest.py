@@ -80,6 +80,7 @@ def build_manifest(
     batch_tiles: Optional[int] = None,
     backend: Optional[str] = None,
     prune: bool = False,
+    cells: bool = False,
     faults: Any = None,
     retries: Any = None,
 ) -> Dict[str, Any]:
@@ -98,6 +99,7 @@ def build_manifest(
         # never a pid, worker count realization, or any wall-clock value
         "backend": backend,
         "prune": bool(prune),
+        "cells": bool(cells),
         "fault_seed": _fault_seed(faults),
     }
     if retries is not None:
@@ -119,6 +121,7 @@ def build_manifest(
             "block_size": kernel.block_size,
             "load_balanced": bool(kernel.load_balanced),
             "prune": bool(getattr(kernel, "prune", False)),
+            "cells": bool(getattr(kernel, "cells", False)),
         }
     if spec is not None:
         manifest["device"] = {

@@ -80,6 +80,27 @@ class MetricsRegistry:
         self.inc("prune.tile_points_pruned", stats.tile_points_pruned)
         self.set_gauge("prune.fraction", stats.prune_fraction)
 
+    def ingest_cells(self, stats: Any) -> None:
+        """Fold a :class:`~repro.core.cells.CellStats` into ``cells.*`` —
+        grid shape as gauges, work aggregates as counters, and the
+        occupancy distribution into the histogram namespace."""
+        self.set_gauge("cells.total", float(stats.cells))
+        self.set_gauge("cells.occupied", float(stats.cells_occupied))
+        self.set_gauge("cells.max_occupancy", float(stats.max_occupancy))
+        self.set_gauge("cells.mean_occupancy", stats.mean_occupancy)
+        self.inc("cells.tiles", stats.tiles)
+        self.inc("cells.tiles_examined", stats.tiles_examined)
+        self.inc("cells.tiles_skipped", stats.tiles_skipped)
+        self.inc("cells.pairs", stats.pairs)
+        self.inc("cells.pairs_examined", stats.pairs_examined)
+        self.inc("cells.pairs_skipped", stats.pairs_skipped)
+        self.inc("cells.residual_folds", stats.residual_folds)
+        self.set_gauge("cells.examined_fraction", stats.examined_fraction)
+        # occupancy_hist is (occupancy, cell count) pairs
+        for occupancy, count in stats.occupancy_hist:
+            self.observe("cells.occupancy", float(occupancy))
+            self.inc(f"cells.occupancy.{int(occupancy)}", int(count))
+
     def ingest_sim_report(self, report: SimReport) -> None:
         """Fold the analytical view: timing, occupancy, utilization,
         achieved bandwidth, model extras — plus the measured counters the
@@ -209,6 +230,9 @@ def collect_metrics(res: Any) -> MetricsRegistry:
         prune = getattr(record, "prune", None)
         if prune is not None:
             registry.ingest_prune(prune)
+        cells = getattr(record, "cells", None)
+        if cells is not None:
+            registry.ingest_cells(cells)
     resilience = getattr(res, "resilience", None)
     if resilience is not None:
         registry.ingest_resilience(resilience)

@@ -1,0 +1,656 @@
+"""Differential tests for the uniform-grid cell-list engine (DESIGN.md §11).
+
+The contract under test: enabling ``cells=True`` changes *how many tiles*
+the engine examines — never a single output bit.  Every test compares a
+cell-list run against its tile-engine twin (same data, same kernel shape)
+and demands exact equality — for histogram, scalar-sum and pair-emitting
+outputs; per-point sums get the engine's usual re-association tolerance —
+across execution backends, fault injection and checkpoint kill-resume.
+The companion consistency checks pin the analytical model:
+``traffic(n, cells=record.cells)`` must predict the cell launch's
+functional counters access-for-access.
+
+Satellite regressions ride along: the RDF top-bucket clamp (a
+beyond-``r_max`` pair reached through a corner neighbor must land in the
+dropped overflow bucket, and an under-covering cutoff must be refused at
+construction), and periodic minimum image (wrap-around pairs must be
+found; axis-aligned tile bounds are provably contradicted under a
+periodic metric, which is why a periodic problem may not carry a
+PruningSpec).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro import apps
+from repro.core import make_kernel, plan_kernel, run
+from repro.core.bounds import (
+    array_fingerprint,
+    block_bounds,
+    spatial_sort,
+    tile_distance_bounds,
+)
+from repro.core.cells import (
+    CellStats,
+    cell_stats,
+    cells_eligible,
+    cells_worthwhile,
+    get_cell_index,
+    merge_cell_stats,
+    resolve_cells,
+)
+from repro.core.checkpoint import CheckpointConfig, CheckpointStore
+from repro.core.problem import CellSpec, as_soa
+from repro.data import gaussian_clusters, uniform_points
+from repro.gpusim import Device
+
+#: clustered, spatially sorted dataset spanning many 64-point blocks in a
+#: box much wider than the cutoffs below, so most cell pairs are
+#: non-adjacent and the grid actually skips work
+N_CLUSTERED = 1600
+BLOCK = 64
+BOX = 60.0
+
+
+@pytest.fixture(scope="module")
+def clustered_points():
+    pts = gaussian_clusters(
+        N_CLUSTERED, dims=3, n_clusters=8, box=BOX, spread=0.4, seed=42
+    )
+    return pts[spatial_sort(pts)]
+
+
+@pytest.fixture(scope="module")
+def uniform_pts():
+    return uniform_points(1200, dims=3, box=BOX, seed=9)
+
+
+def _sdh_problem(bins=32, maxd=8.0):
+    """SDH whose histogram range equals the cell cutoff: every
+    beyond-cutoff pair clamps into the (one) top bucket."""
+    return apps.sdh.make_problem(bins, maxd, cell_cutoff=maxd)
+
+
+def _run_pair(problem, inp, out, points, block_size=BLOCK, **kw):
+    """Execute the tile-engine and cell-engine twins; returns both
+    results and both launch records."""
+    base = make_kernel(problem, inp, out, block_size=block_size)
+    celled = make_kernel(problem, inp, out, block_size=block_size, cells=True)
+    res_b, rec_b = base.execute(Device(), points, **kw)
+    res_c, rec_c = celled.execute(Device(), points, **kw)
+    return res_b, res_c, rec_b, rec_c
+
+
+class TestBitIdentity:
+    """Cell-engine output == tile-engine output, bit for bit."""
+
+    def test_sdh_histogram_clamp(self, clustered_points):
+        hist, hist_c, rec_b, rec_c = _run_pair(
+            _sdh_problem(), "register-roc", "privatized-shm", clustered_points
+        )
+        assert np.array_equal(hist, hist_c)
+        assert rec_b.cells is None
+        assert isinstance(rec_c.cells, CellStats)
+        assert rec_c.cells.pairs_skipped > 0
+        assert rec_c.cells.residual_folds > 0  # clamp folds happened
+        # histogram mass is preserved exactly by the residual folds
+        n = len(clustered_points)
+        assert hist_c.sum() == n * (n - 1) // 2
+
+    def test_sdh_global_atomic_output(self, clustered_points):
+        hist, hist_c, _, _ = _run_pair(
+            _sdh_problem(), "register-shm", "global-atomic", clustered_points
+        )
+        assert np.array_equal(hist, hist_c)
+
+    def test_pcf_count(self, clustered_points):
+        problem = apps.pcf.make_problem(2.0)
+        cnt, cnt_c, _, rec_c = _run_pair(
+            problem, "register-shm", "register", clustered_points
+        )
+        assert cnt == cnt_c
+        assert rec_c.cells.tiles_skipped > 0
+        assert rec_c.cells.residual_folds == 0  # beyond="zero": no folds
+
+    def test_rdf_curve(self, clustered_points):
+        r, g, res = apps.rdf.compute(
+            clustered_points, 24, 6.0, box_volume=BOX**3
+        )
+        r_c, g_c, res_c = apps.rdf.compute(
+            clustered_points, 24, 6.0, box_volume=BOX**3, cells="force"
+        )
+        assert np.array_equal(r, r_c)
+        assert np.array_equal(g, g_c)
+        assert res_c.record.cells.pairs_skipped > 0
+        assert "+cells" in res_c.kernel.name
+
+    def test_join_pair_set(self, clustered_points):
+        pts = clustered_points[:600]
+        problem = apps.join.make_problem(1.5, dims=3)
+        base = make_kernel(problem, "register-shm", "global-direct",
+                           block_size=BLOCK)
+        celled = make_kernel(problem, "register-shm", "global-direct",
+                             block_size=BLOCK, cells=True)
+        pairs, _ = apps.join.spatial_join(pts, 1.5, kernel=base)
+        pairs_c, res_c = apps.join.spatial_join(pts, 1.5, kernel=celled)
+        assert np.array_equal(pairs, pairs_c)
+        assert res_c.record.cells.tiles_skipped > 0
+
+    def test_kde_allclose_and_internally_exact(self):
+        # per-point sums re-associate when tiles are regrouped, so the
+        # cell engine gets the same allclose bar the batched engine gets
+        # against the tile engine — but within the cell engine the result
+        # is one canonical float ordering, identical across backends
+        pts = gaussian_clusters(
+            800, dims=3, n_clusters=4, box=200.0, spread=0.2, seed=7
+        )
+        pts = pts[spatial_sort(pts)]
+        dens, _ = apps.kde.density(pts, bandwidth=0.05)
+        dens_c, res_c = apps.kde.density(pts, bandwidth=0.05, cells="force")
+        np.testing.assert_allclose(dens_c, dens, rtol=1e-12)
+        assert res_c.record.cells.pairs_skipped > 0
+
+    def test_uniform_dense_still_identical(self):
+        """One occupied cell is the degenerate case — still exact."""
+        pts = uniform_points(500, dims=3, box=4.0, seed=0)
+        problem = _sdh_problem(bins=64, maxd=4.0 * np.sqrt(3.0))
+        hist, hist_c, _, rec_c = _run_pair(
+            problem, "register-roc", "privatized-shm", pts
+        )
+        assert np.array_equal(hist, hist_c)
+        assert rec_c.cells.tiles_skipped == 0
+
+    def test_cells_compose_with_prune(self, clustered_points):
+        """+prune+cells: bounds pruning classifies the surviving
+        adjacency tiles; output stays exact."""
+        problem = _sdh_problem()
+        base = make_kernel(problem, "register-roc", "privatized-shm",
+                           block_size=BLOCK)
+        both = make_kernel(problem, "register-roc", "privatized-shm",
+                           block_size=BLOCK, prune=True, cells=True)
+        assert "+prune+cells" in both.name
+        hist, _ = base.execute(Device(), clustered_points)
+        hist_b, rec_b = both.execute(Device(), clustered_points)
+        assert np.array_equal(hist, hist_b)
+        assert rec_b.cells is not None and rec_b.prune is not None
+
+
+class TestBackends:
+    """One canonical answer across every host execution engine."""
+
+    BACKENDS = ("sequential", "threads", "processes", "megabatch")
+
+    @pytest.fixture(scope="class")
+    def reference(self, clustered_points):
+        problem = _sdh_problem()
+        kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                             block_size=BLOCK, cells=True)
+        res = run(problem, clustered_points, kernel=kernel,
+                  backend="sequential", trace=True)
+        return problem, res
+
+    @pytest.mark.parametrize("backend", BACKENDS[1:])
+    def test_backend_identity(self, backend, clustered_points, reference):
+        problem, ref = reference
+        kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                             block_size=BLOCK, cells=True)
+        res = run(problem, clustered_points, kernel=kernel,
+                  backend=backend, workers=2, trace=True)
+        assert np.array_equal(res.result, ref.result)
+        assert res.record.counters == ref.record.counters
+        assert res.record.cells == ref.record.cells
+
+    def test_trace_deterministic(self, clustered_points, reference):
+        problem, ref = reference
+        kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                             block_size=BLOCK, cells=True)
+        again = run(problem, clustered_points, kernel=kernel,
+                    backend="sequential", trace=True)
+        assert again.trace.chrome_json() == ref.trace.chrome_json()
+        # the cell-index build is a first-class span
+        assert ref.trace.find("cell-index")
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_workers(self, clustered_points, workers):
+        hist, hist_c, _, _ = _run_pair(
+            _sdh_problem(), "register-roc", "privatized-shm",
+            clustered_points, workers=workers,
+        )
+        assert np.array_equal(hist, hist_c)
+
+    @pytest.mark.parametrize("batch_tiles", [1, 3, 8])
+    def test_tile_batching(self, clustered_points, batch_tiles):
+        problem = apps.pcf.make_problem(2.0)
+        cnt, cnt_c, _, _ = _run_pair(
+            problem, "register-shm", "register", clustered_points,
+            batch_tiles=batch_tiles,
+        )
+        assert cnt == cnt_c
+
+    def test_blocks_stripes_merge(self, clustered_points):
+        """Disjoint blocks= stripes of a cell run merge to the full
+        result, and the per-stripe CellStats merge to the full stats."""
+        problem = _sdh_problem()
+        kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                             block_size=BLOCK, cells=True)
+        full, rec_full = kernel.execute(Device(), clustered_points)
+        m = (len(clustered_points) + BLOCK - 1) // BLOCK
+        half = m // 2
+        merged, parts = None, []
+        for stripe in (range(half), range(half, m)):
+            part, rec = kernel.execute(
+                Device(), clustered_points, blocks=list(stripe)
+            )
+            merged = part if merged is None else merged + part
+            parts.append(rec.cells)
+            # the record's stats cover exactly this stripe's anchors
+            assert rec.cells == cell_stats(
+                clustered_points, BLOCK, problem, anchors=list(stripe)
+            )
+        assert np.array_equal(merged, full)
+        assert merge_cell_stats(parts) == rec_full.cells
+
+
+class TestFaultsAndResume:
+    """Cell runs survive the chaos plan and kill-resume bit-identically."""
+
+    def test_fault_injection_recovers_exact(self, clustered_points):
+        problem = _sdh_problem()
+        kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                             block_size=BLOCK, cells=True)
+        clean = run(problem, clustered_points, kernel=kernel, workers=2)
+        faulty = run(problem, clustered_points, kernel=kernel, workers=2,
+                     faults=7, retries=3)
+        assert np.array_equal(clean.result, faulty.result)
+        assert faulty.resilience is not None
+        assert faulty.record.cells == clean.record.cells
+
+    @pytest.mark.parametrize("backend", ["sequential", "processes"])
+    def test_kill_and_resume_differential(self, backend, clustered_points,
+                                          tmp_path):
+        problem = _sdh_problem()
+
+        def _go(store, after_chunk=None, resume=False):
+            kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                                 block_size=BLOCK, cells=True)
+            return run(
+                problem, clustered_points, kernel=kernel, trace=True,
+                backend=backend, workers=2, resume=resume,
+                checkpoint_dir=CheckpointConfig(
+                    store, every=4, after_chunk=after_chunk
+                ),
+            )
+
+        clean = _go(tmp_path / "clean")
+
+        def killer(index, entry):
+            if index == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child is SIGKILLed mid-run
+            try:
+                _go(tmp_path / "kill", after_chunk=killer)
+            finally:
+                os._exit(1)
+        _, status = os.waitpid(pid, 0)
+        assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+        assert CheckpointStore(tmp_path / "kill").exists()
+
+        resumed = _go(tmp_path / "kill", resume=True)
+        assert np.array_equal(clean.result, resumed.result)
+        assert clean.record.counters == resumed.record.counters
+        assert clean.record.cells == resumed.record.cells
+        assert clean.trace.chrome_json() == resumed.trace.chrome_json()
+
+
+class TestWorkReduction:
+    """The grid must actually remove work on spread-out data."""
+
+    def test_strictly_fewer_pair_evaluations(self, clustered_points):
+        from repro.gpusim import MemSpace
+
+        _, _, rec_b, rec_c = _run_pair(
+            _sdh_problem(), "register-roc", "privatized-shm", clustered_points
+        )
+
+        def evals(rec):
+            c = rec.counters
+            return c.reads[MemSpace.ROC] + c.reads[MemSpace.SHARED]
+
+        assert evals(rec_c) < evals(rec_b)
+        # the counter delta is exactly dims * skipped pair population
+        assert evals(rec_b) - evals(rec_c) == 3 * rec_c.cells.pairs_skipped
+
+    def test_stats_match_pure_prediction(self, clustered_points):
+        """Launch-recorded stats equal what cell_stats() predicts from
+        the data alone (adjacency is execution-independent)."""
+        problem = _sdh_problem()
+        _, _, _, rec_c = _run_pair(
+            problem, "register-roc", "privatized-shm", clustered_points
+        )
+        assert rec_c.cells == cell_stats(clustered_points, BLOCK, problem)
+
+    def test_examined_fraction_shrinks_with_box(self):
+        """Same n, bigger box: density falls, examined fraction falls."""
+        problem = apps.pcf.make_problem(2.0)
+        fracs = []
+        for box in (20.0, 80.0):
+            pts = uniform_points(1000, dims=3, box=box, seed=3)
+            fracs.append(
+                cell_stats(pts, BLOCK, problem).examined_fraction
+            )
+        assert fracs[1] < fracs[0]
+
+
+class TestModelConsistency:
+    """traffic(n, cells=stats) predicts the functional counters."""
+
+    @pytest.mark.parametrize(
+        "inp,out",
+        [
+            ("register-roc", "privatized-shm"),
+            ("register-shm", "global-atomic"),
+            ("register-shm", "register"),
+            ("register-shm", "global-direct"),
+        ],
+    )
+    def test_counter_agreement(self, clustered_points, inp, out):
+        if out == "register":
+            problem = apps.pcf.make_problem(2.0)
+        elif out == "global-direct":
+            problem = apps.join.make_problem(1.5, dims=3)
+        else:
+            problem = _sdh_problem()
+        kernel = make_kernel(problem, inp, out, block_size=BLOCK, cells=True)
+        dev = Device()
+        kernel.execute(dev, clustered_points)
+        rec = dev.launches[0]
+        got = rec.counters.as_dict()
+        want = kernel.traffic(
+            len(clustered_points), cells=rec.cells
+        ).expected_counters().as_dict()
+        if out == "global-direct":
+            # emitted-pair writes are selectivity-expected, not exact
+            # (true of the tile engine too); the per-examined-tile ticket
+            # atomics are the part the cell engine must predict exactly
+            got.pop("writes"), want.pop("writes")
+        assert got == want
+
+    def test_simulate_reports_cell_extras(self, clustered_points):
+        problem = _sdh_problem()
+        kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                             block_size=BLOCK, cells=True)
+        _, rec = kernel.execute(Device(), clustered_points)
+        report = kernel.simulate(len(clustered_points), cells=rec.cells)
+        assert report.extras["cells_pairs_skipped"] == rec.cells.pairs_skipped
+        assert report.extras["cells_tiles_skipped"] == rec.cells.tiles_skipped
+        # skipping most tiles must beat the full-tiling prediction
+        base = make_kernel(problem, "register-roc", "privatized-shm",
+                           block_size=BLOCK)
+        assert report.seconds < base.simulate(len(clustered_points)).seconds
+
+
+class TestPeriodic:
+    """Minimum-image wrapping: cell adjacency wraps at the box faces."""
+
+    L = 40.0
+
+    @pytest.fixture(scope="class")
+    def periodic_pts(self):
+        # 13^3 wrapped cells at cutoff 3: blocks are Morton-compact, so
+        # far block pairs actually fall outside the wrapped adjacency
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0.0, self.L, size=(1500, 3))
+        # pin pairs hugging opposite faces: within cutoff only by wrapping
+        pts[:10, 0] = rng.uniform(0.0, 0.2, size=10)
+        pts[10:20, 0] = rng.uniform(self.L - 0.2, self.L, size=10)
+        return pts
+
+    def _brute_hist(self, pts, bins, maxd):
+        delta = pts[:, None, :] - pts[None, :, :]
+        delta -= self.L * np.round(delta / self.L)
+        d = np.sqrt((delta**2).sum(axis=-1))
+        iu = np.triu_indices(len(pts), k=1)
+        width = maxd / bins
+        idx = np.minimum((d[iu] / width).astype(np.int64), bins - 1)
+        return np.bincount(idx, minlength=bins)
+
+    def test_matches_brute_force_minimum_image(self, periodic_pts):
+        bins, maxd = 16, 3.0
+        problem = apps.sdh.make_problem(
+            bins, maxd, cell_cutoff=maxd, periodic_box=self.L
+        )
+        kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                             block_size=BLOCK, cells=True)
+        hist, rec = kernel.execute(Device(), periodic_pts)
+        assert np.array_equal(hist, self._brute_hist(periodic_pts, bins, maxd))
+        assert rec.cells.pairs_skipped > 0
+
+    def test_wrap_pairs_found(self, periodic_pts):
+        """The pinned face-hugging pairs are < cutoff only through the
+        boundary; a non-wrapping engine would misplace them."""
+        bins, maxd = 16, 3.0
+        problem = apps.sdh.make_problem(
+            bins, maxd, cell_cutoff=maxd, periodic_box=self.L
+        )
+        kernel = make_kernel(problem, "register-roc", "privatized-shm",
+                             block_size=BLOCK, cells=True)
+        hist, _ = kernel.execute(Device(), periodic_pts)
+        # same data, non-periodic declaration: strictly more mass lands
+        # in the clamped top bucket (the wrap pairs read as far apart)
+        flat = apps.sdh.make_problem(bins, maxd, cell_cutoff=maxd)
+        kernel_f = make_kernel(flat, "register-roc", "privatized-shm",
+                               block_size=BLOCK, cells=True)
+        hist_f, _ = kernel_f.execute(Device(), periodic_pts)
+        assert hist_f[-1] > hist[-1]
+        assert hist[: bins - 1].sum() > hist_f[: bins - 1].sum()
+
+    def test_tile_engine_agrees_under_periodic_metric(self, periodic_pts):
+        """Both engines evaluate the same minimum-image pair function;
+        only the adjacency certificate differs."""
+        problem = apps.sdh.make_problem(
+            16, 3.0, cell_cutoff=3.0, periodic_box=self.L
+        )
+        hist, hist_c, _, _ = _run_pair(
+            problem, "register-roc", "privatized-shm", periodic_pts
+        )
+        assert np.array_equal(hist, hist_c)
+
+    def test_periodic_box_forbids_pruning_spec(self):
+        with pytest.raises(ValueError, match="periodic"):
+            dataclasses.replace(
+                apps.pcf.make_problem(2.0),
+                cells=CellSpec(cutoff=2.0, beyond="zero", box=self.L),
+            )
+
+    def test_axis_aligned_bounds_contradicted_by_wrapping(self, periodic_pts):
+        """Why the guard above exists: the non-periodic tile bound
+        certifies the face-hugging blocks as beyond-cutoff, but their
+        minimum-image distance is inside it — a pruning skip would be
+        wrong.  tile_distance_bounds must never be consulted under a
+        periodic metric."""
+        soa = as_soa(periodic_pts[:20])  # the two pinned face groups
+        lo, hi = block_bounds(soa, 10)
+        dmin, _ = tile_distance_bounds(lo, hi, 0)
+        delta = periodic_pts[0] - periodic_pts[10]
+        delta -= self.L * np.round(delta / self.L)
+        wrapped = float(np.sqrt((delta**2).sum()))
+        assert dmin[1] > wrapped  # the certificate lies under wrapping
+
+
+class TestClampRegression:
+    """Satellite: the RDF overflow bucket vs the cell cutoff."""
+
+    def test_corner_neighbor_beyond_rmax_lands_in_clamp(self):
+        """A pair beyond r_max whose cells are corner-adjacent IS
+        examined (partner tiles run in full) and must land in the
+        dropped overflow bucket — not in any analyzed bin."""
+        r_max, bins = 1.0, 4
+        # two points along a cell diagonal: distance 1.2 * r_max, but
+        # their cells share a corner, so the tile is examined
+        probe = np.array([
+            [0.9, 0.9, 0.9],
+            [0.9 + 1.2 / np.sqrt(3.0)] * 3,
+        ])
+        rng = np.random.default_rng(5)
+        pts = np.vstack([probe, rng.uniform(0.0, 10.0, size=(2000, 3))])
+        r, g, res = apps.rdf.compute(pts, bins, r_max, box_volume=1000.0)
+        r_c, g_c, res_c = apps.rdf.compute(
+            pts, bins, r_max, box_volume=1000.0, cells="force"
+        )
+        assert np.array_equal(g, g_c)
+        st = res_c.record.cells
+        # every inter-block pair is accounted for, examined or skipped
+        assert st.tiles_examined > 0 and st.pairs_skipped > 0
+        assert st.pairs_examined + st.pairs_skipped == st.pairs
+
+    def test_under_covering_cutoff_refused(self):
+        """A cell cutoff that does not cover the histogram range would
+        scatter beyond-cutoff pairs across several buckets — the kernel
+        must refuse it at construction, not mis-bin at runtime."""
+        problem = apps.sdh.make_problem(32, 10.0, cell_cutoff=3.0)
+        with pytest.raises(ValueError, match="does not cover"):
+            make_kernel(problem, "register-roc", "privatized-shm", cells=True)
+
+    def test_rdf_extra_bucket_covers_exactly(self):
+        """rdf.compute's bins+1 / r_max+width construction keeps the
+        clamp bin valid: probing distances beyond r_max all map to the
+        (dropped) overflow bucket."""
+        problem = apps.sdh.make_problem(
+            25, 5.0 + 0.2, cell_cutoff=5.0
+        )  # what rdf.compute(bins=25-1=24... ) builds, spelled out
+        kernel = make_kernel(
+            problem, "register-roc", "privatized-shm", cells=True
+        )
+        assert kernel is not None
+
+
+class TestGuardsAndSelection:
+    def test_cells_without_spec_raises(self):
+        problem = dataclasses.replace(apps.pcf.make_problem(2.0), cells=None)
+        with pytest.raises(ValueError, match="no CellSpec"):
+            make_kernel(problem, "register-shm", "register", cells=True)
+
+    def test_unsupported_kind_raises(self):
+        problem = apps.knn.make_problem(4)
+        problem = dataclasses.replace(
+            problem, cells=CellSpec(cutoff=1.0, beyond="zero")
+        )
+        with pytest.raises(ValueError):
+            make_kernel(problem, "register-shm", "register", cells=True)
+
+    def test_run_force_on_ineligible_raises(self, uniform_pts):
+        problem = dataclasses.replace(apps.pcf.make_problem(2.0), cells=None)
+        with pytest.raises(ValueError):
+            run(problem, uniform_pts, cells="force")
+
+    def test_run_off_never_engages(self, uniform_pts):
+        problem = apps.pcf.make_problem(2.0)
+        res = run(problem, uniform_pts, cells="off")
+        assert not res.kernel.cells
+        assert res.record.cells is None
+
+    def test_run_auto_engages_when_worthwhile(self, clustered_points):
+        problem = apps.pcf.make_problem(2.0)
+        res = run(problem, clustered_points, cells="auto")
+        assert res.kernel.cells  # sparse box: grid predicted a win
+        assert res.manifest["cells"] is True
+
+    def test_run_auto_declines_dense_data(self):
+        pts = uniform_points(400, dims=3, box=2.0, seed=1)
+        problem = apps.pcf.make_problem(2.0)  # cutoff spans the box
+        res = run(problem, pts, cells="auto")
+        assert not res.kernel.cells
+        assert res.record.cells is None
+
+    def test_resolve_cells_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_CELLS", raising=False)
+        assert resolve_cells(None) is False
+        monkeypatch.setenv("REPRO_SIM_CELLS", "on")
+        assert resolve_cells(None) == "auto"
+        monkeypatch.setenv("REPRO_SIM_CELLS", "force")
+        assert resolve_cells(None) == "force"
+        assert resolve_cells("off") is False
+        assert resolve_cells(True) == "auto"
+        with pytest.raises(ValueError, match="off/on/auto/force"):
+            resolve_cells("banana")
+
+    def test_kernel_name_tagged(self):
+        problem = apps.pcf.make_problem(1.0)
+        kernel = make_kernel(problem, "register-shm", "register", cells=True)
+        assert kernel.name.endswith("+cells")
+
+    def test_eligibility_reasons(self):
+        ok, why = cells_eligible(apps.pcf.make_problem(1.0))
+        assert ok
+        ok, why = cells_eligible(
+            dataclasses.replace(apps.pcf.make_problem(1.0), cells=None)
+        )
+        assert not ok and "no CellSpec" in why
+
+
+class TestMemoization:
+    """Satellite: geometry built once per (dataset, block size, spec)."""
+
+    def test_cell_index_memoized(self, clustered_points):
+        spec = apps.pcf.make_problem(2.0).cells
+        soa = as_soa(clustered_points)
+        a = get_cell_index(soa, BLOCK, spec)
+        b = get_cell_index(soa, BLOCK, spec)
+        assert a is b
+        # a different spec is a different index
+        c = get_cell_index(
+            soa, BLOCK, dataclasses.replace(spec, cutoff=3.0)
+        )
+        assert c is not a
+
+    def test_block_bounds_memoized(self, clustered_points):
+        soa = as_soa(clustered_points)
+        la, ha = block_bounds(soa, BLOCK)
+        lb, hb = block_bounds(soa, BLOCK)
+        assert la is lb and ha is hb
+        assert not la.flags.writeable
+
+    def test_spatial_sort_memoized(self, clustered_points):
+        a = spatial_sort(clustered_points)
+        b = spatial_sort(clustered_points)
+        assert a is b
+
+    def test_fingerprint_tracks_content(self, clustered_points):
+        fp = array_fingerprint(clustered_points)
+        assert fp == array_fingerprint(clustered_points.copy())
+        bumped = clustered_points.copy()
+        bumped[0, 0] += 1.0
+        assert fp != array_fingerprint(bumped)
+
+
+class TestPlanner:
+    def test_planner_prices_cell_candidates(self, clustered_points):
+        problem = _sdh_problem()
+        plan = plan_kernel(problem, len(clustered_points),
+                           points=clustered_points)
+        labels = [c.label for c in plan.ranking]
+        assert any("+cells" in lbl for lbl in labels)
+        best = plan.ranking[0]
+        if best.kernel.cells:
+            assert best.cells is not None and best.cells.pairs_skipped > 0
+
+    def test_planner_without_points_has_no_cell_candidates(self):
+        plan = plan_kernel(_sdh_problem(), 1024)
+        assert not any("+cells" in c.label for c in plan.ranking)
+
+    def test_worthwhile_heuristic_shape(self, clustered_points):
+        st = cell_stats(clustered_points, BLOCK, apps.pcf.make_problem(2.0))
+        assert cells_worthwhile(st)
+        dense = cell_stats(
+            uniform_points(300, dims=3, box=2.0, seed=2),
+            BLOCK, apps.pcf.make_problem(2.0),
+        )
+        assert not cells_worthwhile(dense)

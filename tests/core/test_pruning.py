@@ -300,7 +300,7 @@ class TestGuards:
         stats = prune_stats(
             uniform_points(200, dims=3, box=5.0, seed=1), 64, problem
         )
-        with pytest.raises(ValueError, match="pruned-traffic"):
+        with pytest.raises(ValueError, match="effective-geometry"):
             kernel.traffic(200, prune=stats)
 
     def test_pruned_kernel_name_tagged(self):
