@@ -33,6 +33,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 import bench_backend  # noqa: E402
 import bench_cells  # noqa: E402
 import bench_checkpoint  # noqa: E402
+import bench_cluster  # noqa: E402
 import bench_engine  # noqa: E402
 import bench_pruning  # noqa: E402
 
@@ -69,6 +70,13 @@ SUITES = {
         # baseline; repeats=2 (best-of) because single-shot ratios on a
         # loaded 1-core runner can drift past the 20% floor
         lambda: bench_cells.run_suite(sizes=(20_000,), repeats=2),
+    ),
+    "cluster": (
+        REPO_ROOT / "BENCH_cluster.json",
+        lambda: bench_cluster.run_suite(),
+        # fully modelled (no wall clocks): one size is enough and the
+        # 20% floor can never trip on machine noise
+        lambda: bench_cluster.run_suite(sizes=(200_000,)),
     ),
 }
 

@@ -25,7 +25,7 @@ import numpy as np
 from . import bench
 from .apps import pcf as pcf_app
 from .apps import sdh as sdh_app
-from .core import make_kernel, plan_kernel, run
+from .core import DEFAULT_NODES, TOPOLOGIES, make_kernel, plan_kernel, run
 from .core.kernels import INPUT_STRATEGIES, OUTPUT_STRATEGIES
 from .core.lifecycle import RunAbandoned
 from .data import uniform_points
@@ -86,6 +86,17 @@ def _report_run(args, res) -> None:
               f"(mean occupancy {m.gauge_value('cells.mean_occupancy'):.1f}; "
               f"{m.counter_value('cells.pairs_skipped'):,} pair "
               f"evaluations avoided)")
+    if res.cluster is not None:
+        t = res.cluster
+        alive = [n for n in sorted(t.node_seconds) if t.node_seconds[n] > 0]
+        print(f"-- cluster ({t.nodes} nodes; modelled "
+              f"{t.seconds * 1e3:.3f} ms, merge {t.merge_seconds * 1e6:.1f} "
+              f"us over {t.transfers} transfers / "
+              f"{t.bytes_moved / 1024:.1f} KiB) --")
+        for node in sorted(t.node_seconds):
+            mark = "" if node in alive else "  (idle or lost)"
+            print(f"node {node}: {t.node_seconds[node] * 1e3:.3f} ms "
+                  f"simulated compute{mark}")
     if res.resilience is not None:
         if getattr(args, "faults", None) is not None:
             print(f"-- fault injection (seed {args.faults}) --")
@@ -101,6 +112,7 @@ def _report_run(args, res) -> None:
 def cmd_sdh(args) -> int:
     pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
     lk = _lifecycle_kwargs(args)
+    lk.update(_cluster_kwargs(args))
     if args.faults is not None or lk:
         span = pts.max(axis=0) - pts.min(axis=0)
         # a declared cell cutoff doubles as the histogram range so that
@@ -137,6 +149,7 @@ def cmd_sdh(args) -> int:
 def cmd_pcf(args) -> int:
     pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
     lk = _lifecycle_kwargs(args)
+    lk.update(_cluster_kwargs(args))
     if args.faults is not None or lk:
         problem = pcf_app.make_problem(args.radius)
         res = run(problem, pts, kernel=make_kernel(problem, prune=args.prune),
@@ -176,7 +189,8 @@ def cmd_stats(args) -> int:
         extra = {"faults": args.faults, "retries": args.retries}
     res = run(problem, pts, kernel=kernel, spec=spec, workers=args.workers,
               backend=args.backend, prune=args.prune, trace=args.trace,
-              cells=args.cells, **extra, **_lifecycle_kwargs(args))
+              cells=args.cells, **extra, **_lifecycle_kwargs(args),
+              **_cluster_kwargs(args))
     # the utilization table and the registry dump below are two views of
     # the same MetricsRegistry the trace was built from
     print(utilization_table([res.metrics.sim_report()]))
@@ -262,6 +276,30 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cluster_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--nodes", type=int, default=None, metavar="P",
+        help="stripe the run across P simulated cluster nodes with a "
+             "priced histogram merge; outputs stay bit-identical to one "
+             "node.  Default follows REPRO_SIM_NODES",
+    )
+    p.add_argument(
+        "--topology", choices=list(TOPOLOGIES), default=None,
+        help="cluster merge topology (implies --nodes, default "
+             f"{DEFAULT_NODES}); degrades ring -> tree -> star under link "
+             "failures.  Default follows REPRO_SIM_CLUSTER",
+    )
+
+
+def _cluster_kwargs(args) -> dict:
+    kw = {}
+    if getattr(args, "topology", None) is not None:
+        kw["cluster"] = args.topology
+    if getattr(args, "nodes", None) is not None:
+        kw["nodes"] = args.nodes
+    return kw
+
+
 def _add_lifecycle_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--checkpoint-dir", metavar="DIR", default=None,
@@ -339,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cells_arg(p)
     _add_backend_arg(p)
     _add_fault_args(p)
+    _add_cluster_args(p)
     _add_trace_arg(p)
     _add_lifecycle_args(p)
     p.set_defaults(fn=cmd_sdh)
@@ -353,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cells_arg(p)
     _add_backend_arg(p)
     _add_fault_args(p)
+    _add_cluster_args(p)
     _add_trace_arg(p)
     _add_lifecycle_args(p)
     p.set_defaults(fn=cmd_pcf)
@@ -382,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cells_arg(p)
     _add_backend_arg(p)
     _add_fault_args(p)
+    _add_cluster_args(p)
     _add_trace_arg(p)
     _add_lifecycle_args(p)
     p.set_defaults(fn=cmd_stats)

@@ -58,6 +58,12 @@ from ..obs.manifest import MANIFEST_SCHEMA, git_describe
 from ..obs.tracer import NULL_TRACER
 from .bounds import PruneStats
 from .cells import merge_cell_stats
+from .cluster import (
+    ClusterSpec,
+    ClusterState,
+    ClusterTiming,
+    _execute_blocks_on_cluster,
+)
 from .kernels import ComposedKernel, make_kernel
 from .lifecycle import RunAbandoned
 from .multigpu import _combine
@@ -195,6 +201,7 @@ def fingerprint(
     max_retries: int,
     every: int,
     num_blocks: int,
+    cluster: Optional[ClusterSpec] = None,
 ) -> Dict[str, Any]:
     """The configuration subset a store is bound to.
 
@@ -203,7 +210,7 @@ def fingerprint(
     timestamps, whether this run is itself a resume) is not.
     """
     pts = np.ascontiguousarray(points, dtype=np.float64)
-    return {
+    fp: Dict[str, Any] = {
         "schema": CHECKPOINT_SCHEMA,
         "problem": {
             "name": problem.name,
@@ -222,6 +229,12 @@ def fingerprint(
         "every": int(every),
         "num_blocks": int(num_blocks),
     }
+    if cluster is not None:
+        # node count and topology shape the stripe plan and the fault
+        # schedule: merging partials across a changed cluster is refused.
+        # Keyed only when set so pre-cluster stores keep their digests.
+        fp["cluster"] = cluster.descriptor()
+    return fp
 
 
 def _fingerprint_digest(fp: Dict[str, Any]) -> str:
@@ -362,6 +375,7 @@ def run_checkpointed(
     cancel=None,
     watchdog: Optional[float] = None,
     resume: bool = False,
+    cluster: Optional[ClusterSpec] = None,
 ) -> Tuple[Any, LaunchRecord, ComposedKernel, ResilienceReport]:
     """Execute ``kernel`` chunk by chunk, checkpointing after each chunk.
 
@@ -385,7 +399,9 @@ def run_checkpointed(
     pts = np.ascontiguousarray(points, dtype=np.float64)
     n = int(pts.shape[0])
     tracer = tracer if tracer is not None else NULL_TRACER
-    injector = as_injector(faults)
+    injector = as_injector(
+        faults, cluster_nodes=cluster.nodes if cluster is not None else None
+    )
     policy = retry if retry is not None else RetryPolicy()
     if injector is not None and tracer.enabled:
         injector.tracer = tracer
@@ -400,6 +416,7 @@ def run_checkpointed(
         workers=workers, batch_tiles=batch_tiles, backend=backend,
         fault_seed=injector.plan.seed if injector is not None else None,
         max_retries=policy.max_retries, every=config.every, num_blocks=m,
+        cluster=cluster,
     )
     digest = _fingerprint_digest(fp)
     store = CheckpointStore(config.dir)
@@ -441,6 +458,18 @@ def run_checkpointed(
     # pruning legitimately skips out-of-range pairs
     check_mass = not kernel.prune
 
+    # cluster cursor: which nodes are dead, what the merge topology has
+    # degraded to, and the accumulated cost model — persisted per chunk so
+    # a resumed run carries node losses (and their timing) forward
+    cl_state = (
+        ClusterState(topology=cluster.topology) if cluster is not None
+        else None
+    )
+    cl_timing = ClusterTiming(cluster.nodes) if cluster is not None else None
+    cl_full_seconds = (
+        kernel.simulate(n, spec=spec).seconds if cluster is not None else 0.0
+    )
+
     # -- replay completed chunks --------------------------------------------
     parts: List[Any] = []
     records: List[LaunchRecord] = []
@@ -478,6 +507,10 @@ def run_checkpointed(
         report.events = [
             ResilienceEvent.from_dict(e) for e in last_payload["events"]
         ]
+        cl_cursor = last_payload.get("cluster")
+        if cluster is not None and cl_cursor is not None:
+            cl_state = ClusterState.from_dict(cl_cursor["state"])
+            cl_timing = ClusterTiming.from_dict(cl_cursor["timing"])
         report.record_lifecycle(
             "resumed", detail=(
                 f"{done}/{len(chunks)} chunk(s) restored from {store.dir}"
@@ -498,18 +531,33 @@ def run_checkpointed(
             if deadline is not None:
                 deadline.check()
             roots_before = len(tracer.roots) if tracer.enabled else 0
-            part, record, current, bt = _supervised_execute(
-                current, pts,
-                injector=injector, policy=policy, report=report, rng=rng,
-                spec=spec, ordinal=0, blocks=chunk, workers=workers,
-                batch_tiles=bt, backend=backend,
-                expected_pairs=(
-                    expected_pair_count(n, current.block_size, chunk, full)
-                    if check_mass else None
-                ),
-                n=n, tracer=tracer, deadline=deadline, cancel=cancel,
-                watchdog=watchdog,
-            )
+            if cluster is not None:
+                part, stripe_records, current, bt = (
+                    _execute_blocks_on_cluster(
+                        current, pts, chunk,
+                        cluster=cluster, state=cl_state, timing=cl_timing,
+                        injector=injector, policy=policy, report=report,
+                        rng=rng, spec=spec, workers=workers, batch_tiles=bt,
+                        backend=backend, n=n, m_total=m,
+                        check_mass=check_mass,
+                        full_seconds=cl_full_seconds, tracer=tracer,
+                        deadline=deadline, cancel=cancel, watchdog=watchdog,
+                    )
+                )
+                record = _merge_records(current, stripe_records)
+            else:
+                part, record, current, bt = _supervised_execute(
+                    current, pts,
+                    injector=injector, policy=policy, report=report, rng=rng,
+                    spec=spec, ordinal=0, blocks=chunk, workers=workers,
+                    batch_tiles=bt, backend=backend,
+                    expected_pairs=(
+                        expected_pair_count(n, current.block_size, chunk, full)
+                        if check_mass else None
+                    ),
+                    n=n, tracer=tracer, deadline=deadline, cancel=cancel,
+                    watchdog=watchdog,
+                )
             parts.append(part)
             records.append(record)
             payload = {
@@ -524,6 +572,11 @@ def run_checkpointed(
                 "rng_state": rng.bit_generator.state,
                 "events": [e.as_dict() for e in report.events],
             }
+            if cluster is not None:
+                payload["cluster"] = {
+                    "state": cl_state.as_dict(),
+                    "timing": cl_timing.as_dict(),
+                }
             entry = store.write_chunk(index, payload)
             entries.append(entry)
             write_manifest()
@@ -572,4 +625,9 @@ def run_checkpointed(
             f"{problem.output.kind.value} invariants hold"
         ),
     )
+    if cluster is not None:
+        # the runner reads these back off the report (the return shape is
+        # shared with the non-cluster path and external callers)
+        report.cluster_timing = cl_timing
+        report.cluster_state = cl_state
     return result, _merge_records(current, records), current, report

@@ -1,0 +1,912 @@
+"""Simulated multi-node cluster: priced merges, node faults, re-striping.
+
+The paper's block decomposition composes across devices for free — every
+anchor block's contribution has disjoint support or is a commutative sum —
+but :mod:`repro.core.multigpu` stripes anchor rows under a *free-merge*
+assumption and dies with the first node.  This module adds the missing
+cluster semantics on top of the same :func:`~repro.core.multigpu.
+plan_shards` stripe seam, in the spirit of the multi-GPU kNN decomposition
+of Kato & Hosino (arXiv:0906.0231) and the cosmology-scale 2PCF runs of
+Ponce et al. (arXiv:1204.6630), both of which hinge on merging privatized
+histograms across unreliable, bandwidth-limited links:
+
+* **Communication cost model.**  A declared :class:`ClusterSpec` (node
+  count, per-link bandwidth/latency, topology) prices the histogram merge
+  through an explicit all-reduce schedule — ring (2(p-1) rounds, 1/p of
+  the payload per link), binomial tree (2·ceil(log2 p) rounds, full
+  payload) or star (2(p-1) transfers serialized through the coordinator)
+  — with every transfer charged ``latency + bytes/bandwidth`` on its
+  link.  The priced schedule feeds the tracer (``cluster:*`` spans and
+  instants), the run metrics and :meth:`~repro.core.multigpu.
+  MultiGpuRunner.simulate` timings.
+* **Node-level faults.**  :meth:`~repro.gpusim.faults.FaultPlan.
+  cluster_chaos` plants permanent node loss, flaky links, link
+  degradation and straggler nodes; the injector surfaces them through the
+  :meth:`~repro.gpusim.faults.FaultInjector.on_node` /
+  :meth:`~repro.gpusim.faults.FaultInjector.on_transfer` /
+  :meth:`~repro.gpusim.faults.FaultInjector.link_factor` hooks.
+* **Elastic re-striping.**  A node that stops answering heartbeats (or
+  exhausts its supervisor budget) is evicted, and its *unfinished* anchor
+  rows are re-striped across the survivors with the same triangular
+  ``plan_shards(rows=)`` math the PR 2 dead-device failover uses — gated
+  by the PR 7 deadline so re-striping refuses work that cannot fit the
+  remaining budget.  Because the re-striped ranges partition the lost
+  range exactly, every unordered pair is still evaluated exactly once and
+  the merged output is bit-identical to the fault-free run.
+* **Topology degradation.**  A link that fails past the per-link retry
+  budget degrades the merge topology ring -> tree -> star; at the star
+  floor an unreachable non-coordinator node is declared lost, its
+  (unshipped) parts are discarded and its rows re-striped.  Degradation
+  changes only the *priced schedule*; the functional merge is always the
+  order-canonical :func:`~repro.core.multigpu._combine`.
+
+Node 0 is the star coordinator and always survives in the seeded chaos
+plans — the degradation ladder therefore always terminates.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from ..gpusim.device import LaunchRecord
+from ..gpusim.errors import (
+    DeviceAllocationError,
+    LinkTransferError,
+    NodeLostError,
+    WorkerCrashError,
+)
+from ..gpusim.faults import as_injector, link_key
+from ..gpusim.spec import DeviceSpec, TITAN_X
+from ..obs.tracer import NULL_TRACER
+from .kernels import ComposedKernel, make_kernel
+from .lifecycle import DeadlineExceeded
+from .multigpu import _combine, plan_shards
+from .problem import TwoBodyProblem, UpdateKind
+from .resilience import (
+    ResilienceReport,
+    RetryPolicy,
+    _supervised_execute,
+    expected_pair_count,
+    verify_result,
+)
+
+#: environment override for the run()-level cluster decision.
+CLUSTER_ENV = "REPRO_SIM_CLUSTER"
+#: environment override for the simulated node count.
+NODES_ENV = "REPRO_SIM_NODES"
+
+#: merge topologies, in degradation order (ring falls to tree, tree to
+#: star; star is the floor).
+TOPOLOGIES: Tuple[str, ...] = ("ring", "tree", "star")
+
+#: node count used when the cluster is enabled without an explicit count.
+DEFAULT_NODES = 4
+#: per-link bandwidth (bytes/s): 10 GbE, the classic commodity cluster.
+DEFAULT_BANDWIDTH = 1.25e9
+#: per-transfer latency (seconds): one switch hop of a 10 GbE fabric.
+DEFAULT_LATENCY = 25e-6
+#: simulated seconds a heartbeat may lag before the node is evicted.
+DEFAULT_HEARTBEAT_TIMEOUT = 0.25
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A declared simulated cluster: node count, links, merge topology.
+
+    All times are *simulated* seconds — the cluster layer never sleeps on
+    the wall clock.  ``heartbeat_timeout`` bounds how late a node's
+    heartbeat may arrive before the supervisor evicts it and re-stripes
+    its rows (a straggler below the bound is absorbed into the node's
+    simulated time instead).
+    """
+
+    nodes: int
+    topology: str = "ring"
+    bandwidth: float = DEFAULT_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"need at least one node, got {self.nodes}")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}: expected one of "
+                f"{'/'.join(TOPOLOGIES)}"
+            )
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+
+    def descriptor(self) -> Dict[str, Any]:
+        """The fingerprint/manifest form: everything that shapes the run."""
+        return {
+            "nodes": int(self.nodes),
+            "topology": self.topology,
+            "bandwidth": float(self.bandwidth),
+            "latency": float(self.latency),
+            "heartbeat_timeout": float(self.heartbeat_timeout),
+        }
+
+
+# -- environment parsing ------------------------------------------------------
+
+_CLUSTER_CACHE: Tuple[str, Optional[str]] = ("", None)
+_NODES_CACHE: Tuple[str, Optional[int]] = ("", None)
+
+
+def _cluster_from_env() -> Optional[str]:
+    """Topology requested by :data:`CLUSTER_ENV`, or ``None`` when off.
+
+    Memoized on the raw string so repeated run() calls do not re-parse;
+    the cache tracks environment changes made between calls.
+    """
+    global _CLUSTER_CACHE
+    raw = os.environ.get(CLUSTER_ENV, "")
+    if _CLUSTER_CACHE[0] == raw:
+        return _CLUSTER_CACHE[1]
+    v = raw.strip().lower()
+    if v in ("", "0", "off", "false", "no"):
+        topology: Optional[str] = None
+    elif v in ("1", "on", "auto", "true", "yes"):
+        topology = "ring"
+    elif v in TOPOLOGIES:
+        topology = v
+    else:
+        raise ValueError(
+            f"invalid {CLUSTER_ENV}={raw!r}: expected off/on/auto or a "
+            f"merge topology ({'/'.join(TOPOLOGIES)})"
+        )
+    _CLUSTER_CACHE = (raw, topology)
+    return topology
+
+
+def _nodes_from_env() -> Optional[int]:
+    """Node count requested by :data:`NODES_ENV` (memoized), or ``None``."""
+    global _NODES_CACHE
+    raw = os.environ.get(NODES_ENV, "")
+    if _NODES_CACHE[0] == raw:
+        return _NODES_CACHE[1]
+    v = raw.strip().lower()
+    if v == "":
+        nodes: Optional[int] = None
+    else:
+        try:
+            nodes = int(v)
+        except ValueError:
+            nodes = -1
+        if nodes < 1:
+            raise ValueError(
+                f"invalid {NODES_ENV}={raw!r}: expected a positive integer "
+                "node count"
+            )
+    _NODES_CACHE = (raw, nodes)
+    return nodes
+
+
+def resolve_cluster(value=None, nodes: Optional[int] = None) -> Optional[ClusterSpec]:
+    """Normalize a run()-level cluster request to a spec or ``None``.
+
+    ``None`` consults :data:`CLUSTER_ENV` / :data:`NODES_ENV`; a
+    :class:`ClusterSpec` passes through; ``False``/off disables; ``True``/
+    on/auto selects a ring; an int is a node count (ring topology); a
+    topology name selects that merge schedule.  ``nodes`` overrides the
+    node count wherever the request itself does not carry one.
+    """
+    if isinstance(value, ClusterSpec):
+        return value
+    count = nodes
+    if value is None:
+        topology = _cluster_from_env()
+        if topology is None and count is None:
+            count = _nodes_from_env()  # a node count alone enables it
+            if count is None:
+                return None
+        topology = topology or "ring"
+    elif value is False:
+        return None
+    elif value is True:
+        topology = "ring"
+    elif isinstance(value, int):
+        if value < 1:
+            return None
+        count = value if count is None else count
+        topology = "ring"
+    elif isinstance(value, str):
+        v = value.strip().lower()
+        if v in ("", "0", "off", "false", "no"):
+            return None
+        if v in ("1", "on", "auto", "true", "yes"):
+            topology = "ring"
+        elif v in TOPOLOGIES:
+            topology = v
+        else:
+            raise ValueError(
+                f"cluster={value!r}: expected off/on/auto, a topology "
+                f"({'/'.join(TOPOLOGIES)}), a node count or a ClusterSpec"
+            )
+    else:
+        raise ValueError(
+            f"cluster={value!r}: expected off/on/auto, a topology "
+            f"({'/'.join(TOPOLOGIES)}), a node count or a ClusterSpec"
+        )
+    if count is None:
+        count = _nodes_from_env() or DEFAULT_NODES
+    return ClusterSpec(nodes=int(count), topology=topology)
+
+
+# -- all-reduce schedules -----------------------------------------------------
+
+def merge_steps(
+    topology: str, alive: Sequence[int]
+) -> List[List[Tuple[int, int, float]]]:
+    """The transfer schedule realizing an all-reduce over ``alive``.
+
+    Returns rounds of concurrent ``(src, dst, payload_fraction)``
+    transfers; a round's cost is the maximum over its transfers, the
+    schedule's cost is the sum over rounds.
+
+    * ``ring`` — reduce-scatter + all-gather: ``2(p-1)`` rounds, every
+      node forwarding ``1/p`` of the payload to its successor.
+    * ``tree`` — binomial reduce to the root then broadcast back:
+      ``2·ceil(log2 p)`` rounds of full-payload transfers.
+    * ``star`` — every node ships its full payload to the coordinator
+      (``alive[0]``) and receives the result back; the coordinator's
+      links serialize, so each transfer is its own round.
+    """
+    alive = list(alive)
+    p = len(alive)
+    if p <= 1:
+        return []
+    if topology == "ring":
+        frac = 1.0 / p
+        round_ = [(alive[i], alive[(i + 1) % p], frac) for i in range(p)]
+        return [list(round_) for _ in range(2 * (p - 1))]
+    if topology == "tree":
+        up: List[List[Tuple[int, int, float]]] = []
+        k = 1
+        while k < p:
+            up.append([
+                (alive[i], alive[i - k], 1.0) for i in range(k, p, 2 * k)
+            ])
+            k *= 2
+        down = [
+            [(dst, src, frac) for (src, dst, frac) in rnd]
+            for rnd in reversed(up)
+        ]
+        return up + down
+    if topology == "star":
+        coord = alive[0]
+        return (
+            [[(m, coord, 1.0)] for m in alive[1:]]
+            + [[(coord, m, 1.0)] for m in alive[1:]]
+        )
+    raise ValueError(
+        f"unknown topology {topology!r}: expected one of "
+        f"{'/'.join(TOPOLOGIES)}"
+    )
+
+
+def payload_bytes(problem: TwoBodyProblem, n: int) -> float:
+    """Bytes one node's partial output occupies on the wire."""
+    kind = problem.output.kind
+    if kind is UpdateKind.HISTOGRAM:
+        return float(problem.output.bins * 8)
+    if kind is UpdateKind.SCALAR_SUM:
+        return 8.0
+    if kind is UpdateKind.PER_POINT_SUM:
+        return float(n * 8)
+    if kind is UpdateKind.MATRIX:
+        return float(n * n * 8)
+    if kind is UpdateKind.EMIT_PAIRS:
+        # emitted-pair counts are data-dependent; price the O(n) regime
+        # distance joins are tuned for (two int64 indices per pair)
+        return float(n * 16)
+    raise ValueError(f"cluster merge not defined for {kind.value!r}")
+
+
+def merge_seconds(
+    cluster: ClusterSpec,
+    payload: float,
+    alive: Optional[Sequence[int]] = None,
+    topology: Optional[str] = None,
+    link_factor=None,
+) -> float:
+    """Price one all-reduce: ``latency + bytes/bandwidth`` per transfer,
+    concurrent within a round, rounds in sequence.  ``link_factor`` is an
+    optional ``(src, dst) -> slowdown`` callable (degraded links)."""
+    alive = list(range(cluster.nodes)) if alive is None else list(alive)
+    topo = topology if topology is not None else cluster.topology
+    total = 0.0
+    for rnd in merge_steps(topo, alive):
+        round_s = 0.0
+        for src, dst, frac in rnd:
+            factor = float(link_factor(src, dst)) if link_factor else 1.0
+            secs = cluster.latency + payload * frac * factor / cluster.bandwidth
+            round_s = max(round_s, secs)
+        total += round_s
+    return total
+
+
+# -- run state ----------------------------------------------------------------
+
+@dataclass
+class ClusterState:
+    """The mutable cluster view a run (or resumed run) carries: which
+    nodes are gone and which topology the merge has degraded to."""
+
+    dead: List[int] = field(default_factory=list)
+    topology: str = "ring"
+
+    def alive(self, nodes: int) -> List[int]:
+        return [m for m in range(nodes) if m not in self.dead]
+
+    def lose(self, node: int) -> None:
+        if node not in self.dead:
+            self.dead.append(node)
+            self.dead.sort()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"dead": list(self.dead), "topology": self.topology}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ClusterState":
+        return cls(
+            dead=[int(x) for x in d.get("dead") or []],
+            topology=str(d.get("topology", "ring")),
+        )
+
+
+class ClusterTiming:
+    """Per-run cluster cost accumulator (simulated seconds, not wall).
+
+    Accumulates across checkpoint chunks; persisted in each chunk's
+    payload cursor so a resumed run reports the same totals as an
+    uninterrupted one.
+    """
+
+    def __init__(self, nodes: int) -> None:
+        self.nodes = int(nodes)
+        self.node_seconds: Dict[int, float] = {m: 0.0 for m in range(nodes)}
+        self.merge_seconds = 0.0
+        self.transfers = 0
+        self.bytes_moved = 0.0
+        self.link_retries = 0
+
+    def add_compute(self, node: int, seconds: float) -> None:
+        self.node_seconds[node] = self.node_seconds.get(node, 0.0) + seconds
+
+    @property
+    def seconds(self) -> float:
+        """Modelled wall: nodes run concurrently, merges serialize."""
+        busiest = max(self.node_seconds.values(), default=0.0)
+        return busiest + self.merge_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "nodes": self.nodes,
+            "node_seconds": {
+                str(m): self.node_seconds[m] for m in sorted(self.node_seconds)
+            },
+            "merge_seconds": self.merge_seconds,
+            "transfers": self.transfers,
+            "bytes_moved": self.bytes_moved,
+            "link_retries": self.link_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ClusterTiming":
+        timing = cls(int(d["nodes"]))
+        timing.node_seconds = {
+            int(m): float(s) for m, s in d.get("node_seconds", {}).items()
+        }
+        timing.merge_seconds = float(d.get("merge_seconds", 0.0))
+        timing.transfers = int(d.get("transfers", 0))
+        timing.bytes_moved = float(d.get("bytes_moved", 0.0))
+        timing.link_retries = int(d.get("link_retries", 0))
+        return timing
+
+
+class _LinkExhausted(Exception):
+    """A link failed past the per-link retry budget (internal signal)."""
+
+    def __init__(self, src: int, dst: int) -> None:
+        super().__init__(f"link {link_key(src, dst)} exhausted its retries")
+        self.src = src
+        self.dst = dst
+
+
+def _stripe_share(m: int, s: int, e: int) -> float:
+    """The stripe's share of the grid's triangular pair mass."""
+    total = m * (m - 1) / 2.0
+    if total <= 0:
+        return 1.0
+    return float((m - 1 - np.arange(s, e)).sum()) / total
+
+
+def _run_transfer_schedule(
+    topology: str,
+    alive: Sequence[int],
+    payload: float,
+    *,
+    cluster: ClusterSpec,
+    injector,
+    policy: RetryPolicy,
+    report: ResilienceReport,
+    rng: np.random.Generator,
+    deadline,
+    timing: ClusterTiming,
+) -> float:
+    """Drive one all-reduce schedule through the fault hooks.
+
+    Each transfer retries :class:`LinkTransferError` with backoff up to
+    the policy budget (deadline-gated); exhaustion raises
+    :class:`_LinkExhausted` for the caller's degradation ladder.  Returns
+    the priced simulated seconds (failed attempts charge one extra link
+    latency each).
+    """
+    total = 0.0
+    for rnd in merge_steps(topology, alive):
+        round_s = 0.0
+        for src, dst, frac in rnd:
+            attempts = 0
+            while injector is not None:
+                try:
+                    injector.on_transfer(src, dst)
+                    break
+                except LinkTransferError as exc:
+                    attempts += 1
+                    if attempts > policy.max_retries:
+                        raise _LinkExhausted(src, dst) from exc
+                    d = policy.delay(attempts - 1, rng)
+                    if deadline is not None and not deadline.fits(d):
+                        detail = (
+                            f"link-retry delay {d:.6f}s does not fit "
+                            f"remaining budget "
+                            f"{max(0.0, deadline.remaining()):.6f}s"
+                        )
+                        report.record_lifecycle(
+                            "deadline-breach", -1, detail=detail
+                        )
+                        raise DeadlineExceeded(detail)
+                    timing.link_retries += 1
+                    report.record(
+                        "link-retry", -1, detail=str(exc),
+                        link=link_key(src, dst), attempt=attempts,
+                        delay=round(d, 6),
+                    )
+                    if policy.sleep:
+                        time.sleep(d)
+            factor = (
+                injector.link_factor(src, dst) if injector is not None else 1.0
+            )
+            secs = (
+                cluster.latency
+                + payload * frac * factor / cluster.bandwidth
+                + attempts * cluster.latency
+            )
+            round_s = max(round_s, secs)
+            timing.transfers += 1
+            timing.bytes_moved += payload * frac
+        total += round_s
+    return total
+
+
+def _execute_blocks_on_cluster(
+    kernel: ComposedKernel,
+    pts: np.ndarray,
+    blocks: Sequence[int],
+    *,
+    cluster: ClusterSpec,
+    state: ClusterState,
+    timing: ClusterTiming,
+    injector,
+    policy: RetryPolicy,
+    report: ResilienceReport,
+    rng: np.random.Generator,
+    spec: DeviceSpec,
+    workers: Optional[int],
+    batch_tiles: Optional[int],
+    backend: Optional[str],
+    n: int,
+    m_total: int,
+    check_mass: bool,
+    full_seconds: float,
+    tracer,
+    deadline,
+    cancel,
+    watchdog: Optional[float],
+) -> Tuple[Any, List[LaunchRecord], ComposedKernel, Optional[int]]:
+    """Execute a contiguous anchor-block range striped across the alive
+    nodes and merge it through the priced (fault-driven) topology.
+
+    This is the shared seam under both :func:`cluster_run` (the whole
+    grid in one call) and the checkpoint layer (one chunk per call, with
+    ``state``/``timing`` persisted between chunks).  Returns
+    ``(merged_part, stripe_records, kernel, batch_tiles)``.
+
+    Invariant: the set of (completed + pending) stripe ranges partitions
+    ``blocks`` exactly at every step — node loss replaces one range with
+    sub-ranges covering it — so every unordered pair is evaluated exactly
+    once and the merged part is bit-identical to a fault-free run.
+    """
+    problem = kernel.problem
+    s0, e0 = int(blocks[0]), int(blocks[-1]) + 1
+    full = kernel.full_rows
+    current = kernel
+    bt = batch_tiles
+
+    parts: Dict[Tuple[int, int], Any] = {}
+    owners: Dict[Tuple[int, int], int] = {}
+    records: Dict[Tuple[int, int], LaunchRecord] = {}
+    pending: List[Tuple[int, int, int]] = []
+
+    def plan_over(survivors: List[int], s: int, e: int) -> List[Tuple[int, int, int]]:
+        """Stripe [s, e) over ``survivors`` (triangular pair weights)."""
+        if e - s < 2 or len(survivors) < 2:
+            return [(survivors[0], s, e)]
+        sub = plan_shards(m_total, len(survivors), rows=(s, e))
+        return [
+            (survivors[i % len(survivors)], ss, se)
+            for i, (ss, se) in enumerate(sub.boundaries)
+        ]
+
+    def gate_restripe(node: int, s: int, e: int) -> None:
+        """PR 7 deadline gate: refuse re-striping that cannot fit."""
+        if deadline is None:
+            return
+        done = list(records.values())
+        blocks_done = sum(r.blocks_run for r in done)
+        if not blocks_done:
+            return
+        est = sum(r.wall_seconds for r in done) / blocks_done * (e - s)
+        if not deadline.fits(est):
+            detail = (
+                f"re-striping blocks [{s}, {e}) of lost node {node} needs "
+                f"~{est:.6f}s but only "
+                f"{max(0.0, deadline.remaining()):.6f}s remain"
+            )
+            report.record_lifecycle("deadline-breach", node, detail=detail)
+            raise DeadlineExceeded(detail)
+
+    def lose_node(node: int, s: int, e: int, why: str) -> None:
+        state.lose(node)
+        report.record(
+            "node-lost", node, detail=why, blocks=[s, e],
+        )
+        survivors = state.alive(cluster.nodes)
+        if not survivors:
+            raise NodeLostError(
+                f"all {cluster.nodes} cluster nodes lost; cannot re-stripe "
+                f"blocks [{s}, {e})",
+                node=node,
+            )
+        gate_restripe(node, s, e)
+        assignment = plan_over(survivors, s, e)
+        report.record(
+            "re-stripe", node,
+            detail=(
+                f"blocks [{s}, {e}) re-striped across nodes {survivors}"
+            ),
+            blocks=[s, e], survivors=survivors,
+            stripes=[[a_s, a_e] for _, a_s, a_e in assignment],
+        )
+        pending.extend(assignment)
+
+    def run_pending() -> None:
+        nonlocal current, bt
+        while pending:
+            node, s, e = pending.pop(0)
+            if cancel is not None:
+                cancel.check()
+            if deadline is not None:
+                deadline.check()
+            if node in state.dead:
+                survivors = state.alive(cluster.nodes)
+                if not survivors:
+                    raise NodeLostError(
+                        f"all {cluster.nodes} cluster nodes lost", node=node
+                    )
+                node = survivors[s % len(survivors)]
+            delay = 0.0
+            if injector is not None:
+                try:
+                    delay = injector.on_node(node)
+                except NodeLostError as exc:
+                    lose_node(node, s, e, str(exc))
+                    continue
+            if delay > cluster.heartbeat_timeout:
+                report.record(
+                    "heartbeat-timeout", node,
+                    detail=(
+                        f"heartbeat {delay:.3f}s late exceeds the "
+                        f"{cluster.heartbeat_timeout:.3f}s timeout"
+                    ),
+                    delay=round(delay, 6),
+                )
+                lose_node(
+                    node, s, e,
+                    f"evicted after heartbeat timeout ({delay:.3f}s late)",
+                )
+                continue
+            if delay:
+                timing.add_compute(node, delay)
+            stripe = list(range(s, e))
+            with tracer.span(
+                f"cluster:node{node}", cat="cluster", key=node,
+                args={"node": node, "blocks": [s, e]},
+            ):
+                try:
+                    result, record, current, bt = _supervised_execute(
+                        current, pts,
+                        injector=injector, policy=policy, report=report,
+                        rng=rng, spec=spec, ordinal=node, blocks=stripe,
+                        workers=workers, batch_tiles=bt, backend=backend,
+                        expected_pairs=(
+                            expected_pair_count(
+                                n, current.block_size, stripe, full
+                            )
+                            if check_mass else None
+                        ),
+                        n=n, tracer=tracer, deadline=deadline, cancel=cancel,
+                        watchdog=watchdog,
+                    )
+                except (DeviceAllocationError, WorkerCrashError) as exc:
+                    lose_node(
+                        node, s, e, f"supervisor budget exhausted: {exc}"
+                    )
+                    continue
+            parts[(s, e)] = result
+            owners[(s, e)] = node
+            records[(s, e)] = record
+            timing.add_compute(
+                node, _stripe_share(m_total, s, e) * full_seconds
+            )
+
+    pending.extend(plan_over(state.alive(cluster.nodes), s0, e0))
+    run_pending()
+
+    # -- priced merge with topology degradation -------------------------------
+    payload = payload_bytes(problem, n)
+    while True:
+        alive = state.alive(cluster.nodes)
+        if len(parts) <= 1 or len(alive) <= 1:
+            merge_s = 0.0
+            break
+        try:
+            merge_s = _run_transfer_schedule(
+                state.topology, alive, payload,
+                cluster=cluster, injector=injector, policy=policy,
+                report=report, rng=rng, deadline=deadline, timing=timing,
+            )
+            break
+        except _LinkExhausted as exc:
+            idx = TOPOLOGIES.index(state.topology)
+            if idx + 1 < len(TOPOLOGIES):
+                nxt = TOPOLOGIES[idx + 1]
+                report.record(
+                    "degrade-topology", -1,
+                    detail=(
+                        f"{state.topology} -> {nxt}: link "
+                        f"{link_key(exc.src, exc.dst)} failed past the "
+                        f"retry budget"
+                    ),
+                    link=link_key(exc.src, exc.dst),
+                )
+                state.topology = nxt
+                continue
+            # star floor: the failing link pins the coordinator; its far
+            # endpoint is unreachable — that node's (unshipped) parts are
+            # lost with it and its rows re-stripe onto the survivors
+            coord = alive[0]
+            lost = exc.dst if exc.src == coord else exc.src
+            lost_keys = sorted(k for k, who in owners.items() if who == lost)
+            for k in lost_keys:
+                parts.pop(k, None)
+                records.pop(k, None)
+                owners.pop(k)
+            state.lose(lost)
+            report.record(
+                "node-lost", lost,
+                detail=(
+                    f"unreachable at the star floor (link "
+                    f"{link_key(exc.src, exc.dst)}); discarding "
+                    f"{len(lost_keys)} unshipped part(s)"
+                ),
+                blocks=[list(k) for k in lost_keys],
+            )
+            survivors = state.alive(cluster.nodes)
+            if not survivors:
+                raise NodeLostError(
+                    f"all {cluster.nodes} cluster nodes lost", node=lost,
+                ) from exc
+            for ks, ke in lost_keys:
+                gate_restripe(lost, ks, ke)
+                assignment = plan_over(survivors, ks, ke)
+                report.record(
+                    "re-stripe", lost,
+                    detail=(
+                        f"blocks [{ks}, {ke}) re-striped across nodes "
+                        f"{survivors}"
+                    ),
+                    blocks=[ks, ke], survivors=survivors,
+                    stripes=[[a_s, a_e] for _, a_s, a_e in assignment],
+                )
+                pending.extend(assignment)
+            run_pending()
+
+    timing.merge_seconds += merge_s
+    if tracer.enabled:
+        tracer.instant(
+            "cluster:merge", cat="cluster",
+            args={
+                "topology": state.topology,
+                "alive": state.alive(cluster.nodes),
+                "parts": len(parts),
+                "payload_bytes": payload,
+                "seconds": merge_s,
+            },
+        )
+
+    keys = sorted(parts)
+    merged = (
+        parts[keys[0]] if len(keys) == 1
+        else _combine(problem, [parts[k] for k in keys])
+    )
+    return merged, [records[k] for k in keys], current, bt
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster-supervised run."""
+
+    result: Any
+    report: ResilienceReport
+    records: List[LaunchRecord]
+    kernel: ComposedKernel
+    timing: ClusterTiming
+    state: ClusterState
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.report.faults)
+
+
+def cluster_run(
+    problem: TwoBodyProblem,
+    points: np.ndarray,
+    *,
+    cluster: ClusterSpec,
+    kernel: Optional[ComposedKernel] = None,
+    faults: Any = None,
+    retry: Optional[RetryPolicy] = None,
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    workers: Optional[int] = None,
+    batch_tiles: Optional[int] = None,
+    backend: Optional[str] = None,
+    tracer=None,
+    deadline=None,
+    cancel=None,
+    watchdog: Optional[float] = None,
+) -> ClusterResult:
+    """Run ``problem`` striped across a simulated multi-node cluster.
+
+    Each node executes its anchor-block stripe under the PR 2 resilience
+    supervisor (one simulated :class:`~repro.gpusim.device.Device` per
+    node); the partial outputs merge through the priced, fault-driven
+    topology schedule.  An ``int`` ``faults`` seed builds the classic
+    chaos plan *plus* :meth:`~repro.gpusim.faults.FaultPlan.
+    cluster_chaos` — node loss, flaky/degraded links, a straggler.
+
+    The functional result is bit-identical to a fault-free single-node
+    run for every output kind (see the module docstring's re-striping
+    invariant); only the modelled timing differs.
+    """
+    if problem.output.kind is UpdateKind.TOPK:
+        raise ValueError(
+            "TOPK outputs need a merge network; not supported on a "
+            "cluster (same reason as multi-GPU)"
+        )
+    pts = np.asarray(points, dtype=np.float64)
+    n = int(pts.shape[0])
+    k = kernel if kernel is not None else make_kernel(problem)
+    injector = as_injector(faults, cluster_nodes=cluster.nodes)
+    policy = retry if retry is not None else RetryPolicy()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if injector is not None and tracer.enabled:
+        injector.tracer = tracer
+    report = ResilienceReport(injector, tracer=tracer)
+    seed = injector.plan.seed if injector is not None else 0
+    rng = np.random.default_rng(seed + 0x5EED)  # supervisor jitter stream
+
+    m = k.geometry(n).num_blocks
+    state = ClusterState(topology=cluster.topology)
+    timing = ClusterTiming(cluster.nodes)
+    full_seconds = k.simulate(n, spec=spec, calib=calib).seconds
+    check_mass = not k.prune
+
+    merged, records, kfinal, _ = _execute_blocks_on_cluster(
+        k, pts, list(range(m)),
+        cluster=cluster, state=state, timing=timing, injector=injector,
+        policy=policy, report=report, rng=rng, spec=spec, workers=workers,
+        batch_tiles=batch_tiles, backend=backend, n=n, m_total=m,
+        check_mass=check_mass, full_seconds=full_seconds, tracer=tracer,
+        deadline=deadline, cancel=cancel, watchdog=watchdog,
+    )
+    verify_result(
+        problem, merged, n=n,
+        expected_pairs=(
+            expected_pair_count(n, kfinal.block_size, None, kfinal.full_rows)
+            if check_mass else None
+        ),
+    )
+    report.record(
+        "verified", -1,
+        detail=(
+            f"merged {len(records)} node stripe(s); "
+            f"{problem.output.kind.value} invariants hold"
+        ),
+    )
+    return ClusterResult(merged, report, records, kfinal, timing, state)
+
+
+# -- analytical scaling model -------------------------------------------------
+
+def input_seconds(cluster: ClusterSpec, n: int, dims: int) -> float:
+    """Pipelined input broadcast: the payload crosses one link once, plus
+    a latency per hop down the distribution chain."""
+    return n * dims * 8 / cluster.bandwidth + cluster.nodes * cluster.latency
+
+
+def simulate_cluster(
+    kernel: ComposedKernel,
+    n: int,
+    cluster: ClusterSpec,
+    *,
+    spec: DeviceSpec = TITAN_X,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    lost_node: Optional[int] = None,
+    lost_at: float = 0.5,
+) -> Dict[str, float]:
+    """Timing-only cluster prediction (no data, no execution).
+
+    Prices one run of ``kernel`` at size ``n`` striped over the cluster:
+    per-node compute (balanced triangular stripes), the pipelined input
+    broadcast, and the topology-priced all-reduce.  With ``lost_node``
+    set, that node dies a fraction ``lost_at`` of the way through its
+    stripe: its remaining work re-stripes evenly onto the survivors (the
+    elastic re-striping path) and the merge runs over the survivors.
+    """
+    p = cluster.nodes
+    full = kernel.simulate(n, spec=spec, calib=calib).seconds
+    payload = payload_bytes(kernel.problem, n)
+    per_node = full / p
+    inp = input_seconds(cluster, n, kernel.problem.dims)
+    if lost_node is None or p < 2:
+        merge = merge_seconds(cluster, payload)
+        compute = per_node
+    else:
+        # survivors finish their own stripe, then absorb the dead node's
+        # unfinished (1 - lost_at) share re-striped evenly across them
+        merge = merge_seconds(
+            cluster, payload,
+            alive=[m for m in range(p) if m != lost_node],
+        )
+        compute = per_node + per_node * (1.0 - lost_at) / (p - 1)
+    total = inp + compute + merge
+    return {
+        "nodes": float(p),
+        "full_seconds": full,
+        "input_seconds": inp,
+        "compute_seconds": compute,
+        "merge_seconds": merge,
+        "seconds": total,
+    }

@@ -116,11 +116,17 @@ class MultiGpuResult:
     per_device_seconds: List[float]
     transfer_seconds: float
     plan: ShardPlan
+    merge_seconds: float = 0.0
 
     @property
     def seconds(self) -> float:
-        """Wall time: devices run concurrently, transfer is broadcast."""
-        return max(self.per_device_seconds) + self.transfer_seconds
+        """Wall time: devices run concurrently, the input transfer is a
+        broadcast, and the output all-reduce serializes at the end."""
+        return (
+            max(self.per_device_seconds)
+            + self.transfer_seconds
+            + self.merge_seconds
+        )
 
 
 def _combine(problem: TwoBodyProblem, parts: List[Any]):
@@ -186,6 +192,7 @@ class MultiGpuRunner:
             per_device_seconds=secs,
             transfer_seconds=transfer,
             plan=plan,
+            merge_seconds=self._merge_seconds(n, plan.num_devices),
         )
 
     def _execute_stripe(self, pts: np.ndarray, s: int, e: int):
@@ -255,6 +262,27 @@ class MultiGpuRunner:
         # every device receives the full input over PCI-E
         return n * dims * 4 / PCIE_BANDWIDTH
 
+    def _merge_seconds(self, n: int, num_devices: int) -> float:
+        """Topology-priced all-reduce of the partial outputs.
+
+        The devices merge through the host like a star cluster whose
+        links are the PCI-E bus: each device ships its partial output up
+        and receives the combined result back.  Previously this was free
+        and ``simulate()`` under-reported every multi-device run by the
+        output traffic.
+        """
+        if num_devices <= 1:
+            return 0.0
+        from .cluster import ClusterSpec, merge_seconds, payload_bytes
+
+        fabric = ClusterSpec(
+            nodes=num_devices,
+            topology="star",
+            bandwidth=PCIE_BANDWIDTH,
+            latency=5e-6,  # one kernel-launch-ish host hop per transfer
+        )
+        return merge_seconds(fabric, payload_bytes(self.kernel.problem, n))
+
     def simulate(self, n: int) -> MultiGpuResult:
         """Timing-only prediction (no data needed)."""
         plan = plan_shards(n, self.num_devices)
@@ -266,4 +294,5 @@ class MultiGpuRunner:
             per_device_seconds=secs,
             transfer_seconds=self._transfer_seconds(n, self.kernel.problem.dims),
             plan=plan,
+            merge_seconds=self._merge_seconds(n, plan.num_devices),
         )

@@ -16,9 +16,10 @@ from ..obs.manifest import build_manifest
 from ..obs.metrics import MetricsRegistry, collect_metrics
 from ..obs.tracer import resolve_trace
 from .cells import cell_stats, cells_eligible, cells_worthwhile, resolve_cells
+from .cluster import resolve_cluster
 from .kernels import ComposedKernel, make_kernel
 from .planner import plan_kernel
-from .problem import TwoBodyProblem
+from .problem import TwoBodyProblem, UpdateKind
 
 
 @dataclass
@@ -42,6 +43,9 @@ class RunResult:
     #: reproducibility manifest (seed, kernel config, device spec,
     #: calibration, git revision) — also embedded in trace exports.
     manifest: Optional[dict] = None
+    #: cluster cost model (:class:`~repro.core.cluster.ClusterTiming`)
+    #: when the run was striped across simulated nodes; ``None`` otherwise.
+    cluster: Optional[Any] = None
 
     @property
     def seconds(self) -> float:
@@ -71,6 +75,8 @@ def run(
     cancel: Optional[Any] = None,
     resume: Optional[Any] = None,
     watchdog: Optional[float] = None,
+    cluster: Optional[Any] = None,
+    nodes: Optional[int] = None,
 ) -> RunResult:
     """Execute ``problem`` over ``points`` on the simulated device.
 
@@ -126,6 +132,15 @@ def run(
     :class:`~repro.core.lifecycle.RunAbandoned`; with checkpointing
     active the exception carries the resumable store path.  ``watchdog``
     (seconds) kills and re-deals hung process-pool workers.
+
+    ``cluster`` stripes the run across a simulated multi-node cluster
+    (see :mod:`repro.core.cluster`): a :class:`~repro.core.cluster.
+    ClusterSpec`, a topology name (``"ring"``/``"tree"``/``"star"``), a
+    node count, or ``True``; ``None`` follows ``REPRO_SIM_CLUSTER`` /
+    ``REPRO_SIM_NODES``; ``False`` disables even against the environment.
+    ``nodes`` overrides the node count.  Outputs stay bit-identical to
+    the single-node run; ``result.cluster`` carries the communication
+    cost model.
     """
     n = np.asarray(points).shape[0]
     tracer, trace_path = resolve_trace(trace)
@@ -133,6 +148,14 @@ def run(
 
     deadline = Deadline.coerce(deadline)
     cells_mode = resolve_cells(cells)
+    cluster_spec = resolve_cluster(cluster, nodes=nodes)
+    if cluster_spec is not None and problem.output.kind is UpdateKind.TOPK:
+        if cluster is not None or nodes is not None:
+            raise ValueError(
+                "TOPK outputs need a merge network; not supported on a "
+                "cluster (same reason as multi-GPU)"
+            )
+        cluster_spec = None  # environment-driven: fall back to one node
     if kernel is None:
         if auto_plan:
             kernel = plan_kernel(
@@ -206,14 +229,39 @@ def run(
             config=cfg, spec=spec, workers=workers,
             batch_tiles=batch_tiles, backend=backend, faults=faults,
             retry=policy, tracer=tracer, deadline=deadline, cancel=cancel,
-            watchdog=watchdog, resume=resuming,
+            watchdog=watchdog, resume=resuming, cluster=cluster_spec,
         )
         report = kfinal.simulate(n, spec=spec, calib=calib,
                                  prune=record.prune, cells=record.cells)
         report.counters = record.counters
         res = RunResult(
             result=result, report=report, record=record, kernel=kfinal,
-            resilience=rep,
+            resilience=rep, cluster=getattr(rep, "cluster_timing", None),
+        )
+    elif cluster_spec is not None:
+        from .checkpoint import _merge_records
+        from .cluster import cluster_run
+        from .resilience import RetryPolicy
+
+        policy = (
+            RetryPolicy(max_retries=retries)
+            if isinstance(retries, int)
+            else retries
+        )
+        cr = cluster_run(
+            problem, points, cluster=cluster_spec, kernel=kernel,
+            faults=faults, retry=policy, spec=spec, calib=calib,
+            workers=workers, batch_tiles=batch_tiles, backend=backend,
+            tracer=tracer, deadline=deadline, cancel=cancel,
+            watchdog=watchdog,
+        )
+        record = _merge_records(cr.kernel, cr.records)
+        report = cr.kernel.simulate(n, spec=spec, calib=calib,
+                                    prune=record.prune, cells=record.cells)
+        report.counters = record.counters
+        res = RunResult(
+            result=cr.result, report=report, record=record,
+            kernel=cr.kernel, resilience=cr.report, cluster=cr.timing,
         )
     elif faults is not None or retries is not None:
         from .resilience import RetryPolicy, resilient_run
@@ -270,6 +318,7 @@ def run(
         workers=workers, batch_tiles=batch_tiles, prune=prune,
         cells=bool(res.kernel.cells),
         faults=faults, retries=retries, backend=resolve_backend(backend),
+        cluster=cluster_spec,
     )
     if tracer.enabled:
         tracer.manifest = res.manifest

@@ -50,7 +50,9 @@ from .errors import (
     DeviceAllocationError,
     GpuSimError,
     LaunchConfigError,
+    LinkTransferError,
     MemorySpaceError,
+    NodeLostError,
     OutOfBoundsError,
     OutputCorruptionError,
     RegisterPressureError,
@@ -66,6 +68,7 @@ from .faults import (
     FaultSpec,
     InjectedAllocationFailure,
     as_injector,
+    link_key,
 )
 from .grid import BlockContext, LaunchConfig
 from .l2cache import (
@@ -141,7 +144,7 @@ __all__ = [
     "HostChannel", "run_blocks_process_parallel", "cleanup_stale_segments",
     # fault injection
     "FaultEvent", "FaultInjector", "FaultKind", "FaultPlan", "FaultSpec",
-    "InjectedAllocationFailure", "as_injector",
+    "InjectedAllocationFailure", "as_injector", "link_key",
     # occupancy & divergence
     "Occupancy", "calculate_occupancy", "max_block_size_for_shared",
     "DivergenceProfile", "warp_loop_cycles", "triangular_trip_counts",
@@ -166,5 +169,5 @@ __all__ = [
     "GpuSimError", "LaunchConfigError", "SharedMemoryError",
     "RegisterPressureError", "MemorySpaceError", "OutOfBoundsError",
     "DeviceAllocationError", "TransientFault", "WorkerCrashError",
-    "OutputCorruptionError",
+    "OutputCorruptionError", "NodeLostError", "LinkTransferError",
 ]

@@ -91,3 +91,32 @@ class OutputCorruptionError(GpuSimError):
     output shard; the supervisor responds by re-executing the affected
     launch or device stripe.
     """
+
+
+class NodeLostError(GpuSimError):
+    """A simulated cluster node stopped answering heartbeats.
+
+    Permanent (unlike :class:`TransientFault`): the cluster supervisor
+    responds by re-striping the node's unfinished anchor rows across the
+    surviving nodes, not by retrying the node.
+    """
+
+    def __init__(self, message: str, *, node: int = -1) -> None:
+        super().__init__(message)
+        self.node = node
+
+
+class LinkTransferError(TransientFault):
+    """A histogram-merge transfer failed on a cluster link.
+
+    Transient: the cluster supervisor retries the transfer with backoff
+    before escalating to topology degradation (ring -> tree -> star) or,
+    at the degradation floor, declaring the unreachable node lost.
+    """
+
+    def __init__(
+        self, message: str, *, src: int = -1, dst: int = -1
+    ) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst

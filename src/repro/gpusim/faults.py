@@ -36,6 +36,8 @@ import numpy as np
 from ..obs.tracer import NULL_TRACER
 from .errors import (
     DeviceAllocationError,
+    LinkTransferError,
+    NodeLostError,
     SharedMemoryError,
     TransientFault,
     WorkerCrashError,
@@ -61,6 +63,28 @@ class FaultKind(enum.Enum):
     CORRUPT_SHARD = "corrupt-shard"
     #: every launch on the device fails — the device is gone for good.
     DEVICE_DEAD = "device-dead"
+    #: a cluster node stops answering heartbeats — permanent node loss;
+    #: its unfinished anchor rows must re-stripe onto the survivors.
+    NODE_DEAD = "node-dead"
+    #: a cluster node answers heartbeats ``delay_seconds`` late — a
+    #: straggler node.  Below the heartbeat timeout the delay is absorbed
+    #: into the node's simulated time; above it, the node is evicted.
+    NODE_STRAGGLER = "node-straggler"
+    #: a merge transfer over one cluster link fails transiently
+    #: (:class:`~repro.gpusim.errors.LinkTransferError`, seeded and
+    #: count-limited — the per-link retry ladder absorbs it).
+    LINK_FLAKY = "link-flaky"
+    #: one cluster link's bandwidth degrades by ``factor`` for the rest of
+    #: the run — merge transfers over it get slower, outputs unchanged.
+    LINK_DEGRADED = "link-degraded"
+
+
+def link_key(a: int, b: int) -> str:
+    """Canonical undirected-link name ``"a-b"`` with ``a < b`` — the key
+    :class:`FaultSpec` link coordinates and degraded-link bookkeeping use,
+    so a fault planted on a link matches transfers in either direction."""
+    lo, hi = (a, b) if a <= b else (b, a)
+    return f"{lo}-{hi}"
 
 
 class InjectedAllocationFailure(TransientFault, DeviceAllocationError):
@@ -89,8 +113,15 @@ class FaultSpec:
     block: Optional[int] = None
     count: Optional[int] = 1
     delay_seconds: float = 0.002
+    #: cluster-node coordinate for the ``NODE_*`` kinds (``None`` elsewhere)
+    node: Optional[int] = None
+    #: cluster-link coordinate ``"a-b"`` with ``a < b`` for the ``LINK_*``
+    #: kinds — links are undirected, so both transfer directions match
+    link: Optional[str] = None
+    #: bandwidth slowdown for :data:`FaultKind.LINK_DEGRADED`
+    factor: float = 4.0
 
-    def matches(self, **coords: Optional[int]) -> bool:
+    def matches(self, **coords: "Optional[int | str]") -> bool:
         for name, got in coords.items():
             want = getattr(self, name)
             if want is not None and want != got:
@@ -109,6 +140,8 @@ class FaultEvent:
     array: Optional[str] = None
     index: Optional[int] = None
     detail: str = ""
+    node: Optional[int] = None
+    link: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -119,6 +152,8 @@ class FaultEvent:
             "array": self.array,
             "index": self.index,
             "detail": self.detail,
+            "node": self.node,
+            "link": self.link,
         }
 
     @classmethod
@@ -131,6 +166,8 @@ class FaultEvent:
             array=d.get("array"),
             index=d.get("index"),
             detail=d.get("detail", ""),
+            node=d.get("node"),
+            link=d.get("link"),
         )
 
 
@@ -190,6 +227,49 @@ class FaultPlan:
             plan.add(FaultSpec(FaultKind.DEVICE_DEAD, device=dead_dev, count=None))
         return plan
 
+    @classmethod
+    def cluster_chaos(
+        cls,
+        seed: int,
+        num_nodes: int,
+        heartbeat_timeout: float = 0.25,
+    ) -> "FaultPlan":
+        """The cluster acceptance-test plan: one permanent node loss, one
+        flaky link (two transient transfer failures — inside the default
+        retry budget), one degraded link and one straggler node whose
+        heartbeat delay stays *below* the eviction timeout, with victims
+        chosen by the seed.
+
+        Node 0 always survives: it is the coordinator of the star
+        topology, the degradation floor every other topology falls back
+        to.  Deterministic: the same ``(seed, num_nodes)`` always yields
+        the same plan.
+        """
+        rng = np.random.default_rng(seed)
+        plan = cls(seed=seed)
+        if num_nodes < 2:
+            return plan
+        dead_node = int(rng.integers(1, num_nodes))
+        survivors = [m for m in range(num_nodes) if m != dead_node]
+        # flaky + degraded links chosen among survivor pairs so the faults
+        # actually fire (a dead node's links never carry a transfer)
+        if len(survivors) >= 2:
+            a, b = sorted(
+                int(i) for i in rng.choice(survivors, size=2, replace=False)
+            )
+            plan.add(FaultSpec(FaultKind.LINK_FLAKY, link=link_key(a, b),
+                               count=2))
+            c, d = sorted(
+                int(i) for i in rng.choice(survivors, size=2, replace=False)
+            )
+            plan.add(FaultSpec(FaultKind.LINK_DEGRADED, link=link_key(c, d),
+                               factor=4.0))
+        straggler = int(rng.choice(survivors))
+        plan.add(FaultSpec(FaultKind.NODE_STRAGGLER, node=straggler,
+                           delay_seconds=0.5 * heartbeat_timeout))
+        plan.add(FaultSpec(FaultKind.NODE_DEAD, node=dead_node, count=None))
+        return plan
+
 
 #: Integer corruption flips this bit; high enough to break any histogram
 #: mass or ticket count, low enough to stay in int32 range.
@@ -211,6 +291,10 @@ class FaultInjector:
         self.rng = np.random.default_rng(plan.seed)
         self.events: List[FaultEvent] = []
         self._remaining: List[Optional[int]] = [s.count for s in plan.specs]
+        #: link name -> bandwidth slowdown factor; links degrade once and
+        #: stay degraded, so the factor lives here rather than re-matching
+        #: the (consumed) trigger on every transfer
+        self._degraded_links: Dict[str, float] = {}
         self._lock = threading.Lock()
         #: execution tracer; fired faults land as ``fault:<kind>`` instant
         #: events at the trace position where they bit (the supervisor
@@ -259,6 +343,7 @@ class FaultInjector:
                 "events": list(self.events),
                 "remaining": list(self._remaining),
                 "rng_state": self.rng.bit_generator.state,
+                "degraded_links": dict(self._degraded_links),
             }
 
     def restore(self, state: Dict[str, object]) -> None:
@@ -275,6 +360,8 @@ class FaultInjector:
             self.events = list(state["events"])
             self._remaining = list(remaining)
             self.rng.bit_generator.state = state["rng_state"]
+            # absent in cursors written before link faults existed
+            self._degraded_links = dict(state.get("degraded_links", {}))
 
     # -- cross-process state transport ---------------------------------------
     def snapshot(self) -> Dict[str, object]:
@@ -379,17 +466,77 @@ class FaultInjector:
         self._record(FaultEvent(FaultKind.CORRUPT_SHARD, device, array=name,
                                 index=idx, detail=detail))
 
+    # -- cluster hooks --------------------------------------------------------
+    def on_node(self, node: int) -> float:
+        """Called by the cluster supervisor as a node's heartbeat is
+        checked before its stripe runs.  Raises
+        :class:`~repro.gpusim.errors.NodeLostError` for a dead node;
+        returns the straggler heartbeat delay in *simulated* seconds
+        (0.0 when healthy) — never a wall-clock sleep, because cluster
+        timing is entirely modelled."""
+        if self._take(FaultKind.NODE_DEAD, node=node) is not None:
+            self._record(FaultEvent(FaultKind.NODE_DEAD, device=-1, node=node,
+                                    detail="node stopped answering heartbeats"))
+            raise NodeLostError(
+                f"simulated cluster node {node} is lost (fault injection)",
+                node=node,
+            )
+        spec = self._take(FaultKind.NODE_STRAGGLER, node=node)
+        if spec is not None:
+            self._record(FaultEvent(
+                FaultKind.NODE_STRAGGLER, device=-1, node=node,
+                detail=f"heartbeat {spec.delay_seconds:.3f}s late"))
+            return float(spec.delay_seconds)
+        return 0.0
+
+    def on_transfer(self, src: int, dst: int) -> None:
+        """Called by the cluster merge before each priced link transfer.
+        May raise :class:`~repro.gpusim.errors.LinkTransferError`
+        (transient — the per-link retry ladder absorbs it)."""
+        key = link_key(src, dst)
+        if self._take(FaultKind.LINK_FLAKY, link=key) is not None:
+            self._record(FaultEvent(FaultKind.LINK_FLAKY, device=-1, link=key,
+                                    detail="merge transfer failed"))
+            raise LinkTransferError(
+                f"injected transfer failure on cluster link {key}",
+                src=src, dst=dst,
+            )
+
+    def link_factor(self, src: int, dst: int) -> float:
+        """Bandwidth slowdown factor for one link (1.0 when healthy).
+        The first call that matches a live ``LINK_DEGRADED`` trigger
+        consumes it and pins the factor for the rest of the run."""
+        key = link_key(src, dst)
+        spec = self._take(FaultKind.LINK_DEGRADED, link=key)
+        if spec is not None:
+            with self._lock:
+                self._degraded_links[key] = float(spec.factor)
+            self._record(FaultEvent(
+                FaultKind.LINK_DEGRADED, device=-1, link=key,
+                detail=f"bandwidth degraded {spec.factor:g}x"))
+        with self._lock:
+            return self._degraded_links.get(key, 1.0)
+
 
 def as_injector(
     faults: "FaultInjector | FaultPlan | int | None",
     num_devices: int = 1,
+    cluster_nodes: Optional[int] = None,
 ) -> Optional[FaultInjector]:
     """Coerce the user-facing ``faults`` argument (seed, plan or injector)
-    into a live injector.  An ``int`` builds the chaos plan for that seed."""
+    into a live injector.  An ``int`` builds the chaos plan for that seed
+    — the classic device-level plan, plus the node-level
+    :meth:`FaultPlan.cluster_chaos` specs when ``cluster_nodes`` says a
+    simulated cluster is active."""
     if faults is None:
         return None
     if isinstance(faults, FaultInjector):
         return faults
     if isinstance(faults, FaultPlan):
         return FaultInjector(faults)
-    return FaultInjector(FaultPlan.chaos(int(faults), num_devices=num_devices))
+    plan = FaultPlan.chaos(int(faults), num_devices=num_devices)
+    if cluster_nodes is not None and cluster_nodes > 1:
+        plan.specs.extend(
+            FaultPlan.cluster_chaos(int(faults), cluster_nodes).specs
+        )
+    return FaultInjector(plan)

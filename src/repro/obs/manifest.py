@@ -83,6 +83,7 @@ def build_manifest(
     cells: bool = False,
     faults: Any = None,
     retries: Any = None,
+    cluster: Any = None,
 ) -> Dict[str, Any]:
     """Assemble the deterministic attribution record for one run."""
     manifest: Dict[str, Any] = {
@@ -106,6 +107,13 @@ def build_manifest(
         manifest["retries"] = _as_plain(
             retries if isinstance(retries, int)
             else getattr(retries, "max_retries", repr(retries))
+        )
+    if cluster is not None:
+        # the declared simulated cluster (nodes/topology/link model) —
+        # everything that shapes the stripe plan and the merge schedule
+        manifest["cluster"] = _as_plain(
+            cluster.descriptor() if hasattr(cluster, "descriptor")
+            else cluster
         )
     if problem is not None:
         manifest["problem"] = {

@@ -119,6 +119,21 @@ class MetricsRegistry:
         if report.counters is not None:
             self.ingest_access_counters(report.counters)
 
+    def ingest_cluster(self, timing: Any) -> None:
+        """Fold a :class:`~repro.core.cluster.ClusterTiming` into the
+        ``cluster.*`` namespace: the communication cost model, per-node
+        simulated compute as gauges, link traffic as counters."""
+        self.set_gauge("cluster.nodes", float(timing.nodes))
+        self.set_gauge("cluster.seconds", timing.seconds)
+        self.set_gauge("cluster.merge_seconds", timing.merge_seconds)
+        self.inc("cluster.transfers", timing.transfers)
+        self.inc("cluster.bytes_moved", int(timing.bytes_moved))
+        self.inc("cluster.link_retries", timing.link_retries)
+        for node in sorted(timing.node_seconds):
+            self.set_gauge(
+                f"cluster.node.{node}.seconds", timing.node_seconds[node]
+            )
+
     def ingest_resilience(self, report: Any) -> None:
         """Fold a resilience flight recorder: one counter per fault kind
         and recovery action, delays into a histogram."""
@@ -236,4 +251,7 @@ def collect_metrics(res: Any) -> MetricsRegistry:
     resilience = getattr(res, "resilience", None)
     if resilience is not None:
         registry.ingest_resilience(resilience)
+    cluster = getattr(res, "cluster", None)
+    if cluster is not None:
+        registry.ingest_cluster(cluster)
     return registry

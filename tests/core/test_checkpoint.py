@@ -22,7 +22,7 @@ import numpy as np
 import pytest
 
 from repro.apps import knn
-from repro.core import make_kernel, run
+from repro.core import ClusterSpec, RetryPolicy, make_kernel, run
 from repro.core.checkpoint import (
     CheckpointConfig,
     CheckpointCorrupt,
@@ -272,6 +272,71 @@ def test_cancel_mid_run_then_resume(sdh_problem, small_points, tmp_path):
     resumed = _run(sdh_problem, small_points, store=tmp_path / "cx",
                    resume=True)
     _assert_same(clean, resumed)
+
+
+# -- simulated cluster -------------------------------------------------------
+
+CLUSTER = ClusterSpec(nodes=4)
+NO_SLEEP = RetryPolicy(sleep=False)
+
+
+def test_cluster_kill_and_resume_under_node_loss(sdh_problem, small_points,
+                                                 tmp_path):
+    """A checkpointed cluster run that loses a node to the chaos plan and
+    is then SIGKILLed mid-flight must resume to the bit-identical result,
+    with the node-loss recovery replayed deterministically."""
+    # seed 11's chaos plan kills node 1 — a node that is actually striped
+    # work under 2-block chunks, so the loss fires inside a chunk
+    kw = dict(cluster=CLUSTER, faults=11, retries=NO_SLEEP)
+    clean = _run(sdh_problem, small_points, store=tmp_path / "clean", **kw)
+    actions = [e.action for e in clean.resilience.events]
+    assert "node-lost" in actions and "re-stripe" in actions
+
+    def killer(index, entry):
+        if index == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    _fork_and_kill(lambda: _run(
+        sdh_problem, small_points, store=tmp_path / "kill",
+        after_chunk=killer, **kw,
+    ))
+    store = CheckpointStore(tmp_path / "kill")
+    assert store.exists()
+    assert len(store.load_manifest()["chunks"]) == 2  # killed after chunk 1
+
+    resumed = _run(sdh_problem, small_points, store=tmp_path / "kill",
+                   resume=True, **kw)
+    _assert_same(clean, resumed)
+    assert resumed.cluster is not None
+    assert resumed.cluster.nodes == CLUSTER.nodes
+    assert resumed.cluster.seconds > 0.0
+
+
+def test_cluster_resume_carries_timing_cursor(sdh_problem, small_points,
+                                              tmp_path):
+    """The per-node cost cursor is part of the store: a resumed run reports
+    the same modelled node/merge seconds as the uninterrupted one."""
+    kw = dict(cluster=CLUSTER, retries=NO_SLEEP)
+    clean = _run(sdh_problem, small_points, store=tmp_path / "clean", **kw)
+    resumed = _run(sdh_problem, small_points, store=tmp_path / "clean",
+                   resume=True, **kw)
+    _assert_same(clean, resumed)
+    assert resumed.cluster.as_dict() == clean.cluster.as_dict()
+
+
+def test_changed_cluster_spec_is_refused(sdh_problem, small_points, tmp_path):
+    """A store written under one ClusterSpec must not be resumed under
+    another — re-striping geometry is part of the fingerprint."""
+    _run(sdh_problem, small_points, store=tmp_path / "ck", cluster=CLUSTER)
+    with pytest.raises(CheckpointMismatch):
+        _run(sdh_problem, small_points, store=tmp_path / "ck",
+             cluster=ClusterSpec(nodes=8))
+    with pytest.raises(CheckpointMismatch):
+        _run(sdh_problem, small_points, store=tmp_path / "ck",
+             cluster=ClusterSpec(nodes=4, topology="star"))
+    # dropping the cluster entirely is a mismatch too, not a silent merge
+    with pytest.raises(CheckpointMismatch):
+        _run(sdh_problem, small_points, store=tmp_path / "ck")
 
 
 # -- store safety ------------------------------------------------------------

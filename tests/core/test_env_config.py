@@ -10,6 +10,16 @@ import numpy as np
 import pytest
 
 from repro import apps
+from repro.core.cluster import (
+    CLUSTER_ENV,
+    ClusterSpec,
+    DEFAULT_NODES,
+    NODES_ENV,
+    TOPOLOGIES,
+    _cluster_from_env,
+    _nodes_from_env,
+    resolve_cluster,
+)
 from repro.core.kernels.base import TILE_BATCH_ENV, _tile_batch_from_env
 from repro.gpusim import BACKEND_ENV, BACKENDS, Device, WORKERS_ENV
 from repro.gpusim.parallel import (
@@ -119,6 +129,105 @@ class TestWorkersEnv:
         monkeypatch.setenv(WORKERS_ENV, "many")
         with pytest.raises(ValueError, match=WORKERS_ENV):
             _kernel().execute(Device(), small_points)
+
+
+class TestClusterEnv:
+    def test_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv(CLUSTER_ENV, raising=False)
+        monkeypatch.delenv(NODES_ENV, raising=False)
+        assert _cluster_from_env() is None
+        assert resolve_cluster(None) is None
+
+    @pytest.mark.parametrize("raw", ["", "0", "off", "FALSE", " no "])
+    def test_off_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(CLUSTER_ENV, raw)
+        assert _cluster_from_env() is None
+
+    @pytest.mark.parametrize("raw", ["1", "on", "AUTO", " true ", "yes"])
+    def test_on_spellings_mean_ring(self, monkeypatch, raw):
+        monkeypatch.setenv(CLUSTER_ENV, raw)
+        assert _cluster_from_env() == "ring"
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_topology_spellings(self, monkeypatch, topology):
+        monkeypatch.setenv(CLUSTER_ENV, f"  {topology.upper()} ")
+        assert _cluster_from_env() == topology
+        spec = resolve_cluster(None)
+        assert spec is not None and spec.topology == topology
+        assert spec.nodes == DEFAULT_NODES
+
+    @pytest.mark.parametrize("raw", ["mesh", "2", "ring,tree", "fast"])
+    def test_malformed_names_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv(CLUSTER_ENV, raw)
+        with pytest.raises(ValueError) as exc:
+            _cluster_from_env()
+        msg = str(exc.value)
+        assert CLUSTER_ENV in msg and raw in msg
+        for topology in TOPOLOGIES:
+            assert topology in msg
+
+    def test_memoization_tracks_changes(self, monkeypatch):
+        monkeypatch.setenv(CLUSTER_ENV, "ring")
+        assert _cluster_from_env() == "ring"
+        assert _cluster_from_env() == "ring"  # cached hit
+        monkeypatch.setenv(CLUSTER_ENV, "star")
+        assert _cluster_from_env() == "star"
+        monkeypatch.delenv(CLUSTER_ENV)
+        assert _cluster_from_env() is None
+
+    def test_explicit_false_bypasses_env(self, monkeypatch):
+        monkeypatch.setenv(CLUSTER_ENV, "ring")
+        monkeypatch.setenv(NODES_ENV, "5")
+        assert resolve_cluster(False) is None
+
+    def test_explicit_spec_bypasses_env(self, monkeypatch):
+        monkeypatch.setenv(CLUSTER_ENV, "star")
+        spec = ClusterSpec(nodes=2, topology="tree")
+        assert resolve_cluster(spec) is spec
+
+
+class TestNodesEnv:
+    def test_unset_means_default(self, monkeypatch):
+        monkeypatch.delenv(NODES_ENV, raising=False)
+        assert _nodes_from_env() is None
+        spec = resolve_cluster(True)
+        assert spec.nodes == DEFAULT_NODES
+
+    def test_positive_count(self, monkeypatch):
+        monkeypatch.setenv(NODES_ENV, " 6 ")
+        assert _nodes_from_env() == 6
+        monkeypatch.setenv(CLUSTER_ENV, "tree")
+        spec = resolve_cluster(None)
+        assert spec.nodes == 6 and spec.topology == "tree"
+
+    def test_nodes_alone_enable_the_cluster(self, monkeypatch):
+        monkeypatch.delenv(CLUSTER_ENV, raising=False)
+        monkeypatch.setenv(NODES_ENV, "3")
+        spec = resolve_cluster(None)
+        assert spec is not None and spec.nodes == 3
+        assert spec.topology == "ring"
+
+    @pytest.mark.parametrize("raw", ["many", "3.5", "0", "-2"])
+    def test_malformed_names_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv(NODES_ENV, raw)
+        with pytest.raises(ValueError) as exc:
+            _nodes_from_env()
+        msg = str(exc.value)
+        assert NODES_ENV in msg and raw in msg and "positive" in msg
+
+    def test_memoization_tracks_changes(self, monkeypatch):
+        monkeypatch.setenv(NODES_ENV, "2")
+        assert _nodes_from_env() == 2
+        assert _nodes_from_env() == 2  # cached hit
+        monkeypatch.setenv(NODES_ENV, "8")
+        assert _nodes_from_env() == 8
+        monkeypatch.delenv(NODES_ENV)
+        assert _nodes_from_env() is None
+
+    def test_explicit_nodes_override_env(self, monkeypatch):
+        monkeypatch.setenv(NODES_ENV, "8")
+        assert resolve_cluster(True, nodes=2).nodes == 2
+        assert resolve_cluster(3).nodes == 3
 
 
 class TestBackendEnv:

@@ -144,3 +144,38 @@ class TestMultiGpuScaling:
         out = MultiGpuRunner(sdh_kernel, num_devices=2).simulate(1_000_000)
         assert out.transfer_seconds > 0
         assert out.seconds > max(out.per_device_seconds)
+
+    def test_merge_term_counted(self, sdh_kernel):
+        """Partial histograms must be all-reduced after the stripes finish;
+        ``simulate`` used to ignore that cost entirely."""
+        out = MultiGpuRunner(sdh_kernel, num_devices=4).simulate(1_000_000)
+        assert out.merge_seconds > 0
+        assert out.seconds == pytest.approx(
+            max(out.per_device_seconds) + out.transfer_seconds
+            + out.merge_seconds
+        )
+
+    def test_merge_free_on_single_device(self, sdh_kernel):
+        out = MultiGpuRunner(sdh_kernel, num_devices=1).simulate(1_000_000)
+        assert out.merge_seconds == 0.0
+
+    def test_execute_prices_merge_like_simulate(self, small_points,
+                                                sdh_kernel):
+        """The functional path and the analytical path agree on the merge
+        term for the same (n, devices) point."""
+        runner = MultiGpuRunner(sdh_kernel, num_devices=3)
+        executed = runner.execute(small_points)
+        simulated = runner.simulate(len(small_points))
+        assert executed.merge_seconds == pytest.approx(
+            simulated.merge_seconds)
+        assert executed.merge_seconds > 0
+
+    def test_merge_grows_with_device_count(self, sdh_kernel):
+        """A star all-reduce over the PCIe fabric serializes through the
+        host: more devices means strictly more merge rounds."""
+        costs = [
+            MultiGpuRunner(sdh_kernel, num_devices=p)
+            .simulate(1_000_000).merge_seconds
+            for p in (2, 3, 4)
+        ]
+        assert costs[0] < costs[1] < costs[2]
