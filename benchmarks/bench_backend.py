@@ -114,7 +114,7 @@ def run_suite(sizes=SIZES, repeats: int = 3):
 
 def main() -> None:
     rows = run_suite()
-    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    OUT_PATH.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
     width = max(len(r["bench"]) for r in rows)
     for r in rows:
         print(
@@ -139,7 +139,7 @@ def test_backend_bench_smoke(save_artifact):
     assert by_mode["threads"]["speedup"] > 1.2
     save_artifact(
         "bench_backend_smoke",
-        json.dumps(rows, indent=2),
+        json.dumps(rows, indent=2, sort_keys=True),
     )
 
 

@@ -158,7 +158,7 @@ def run_suite(sizes=SIZES, repeats: int = 2,
 
 def main() -> None:
     rows = run_suite()
-    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    OUT_PATH.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
     width = max(len(r["bench"]) for r in rows)
     for r in rows:
         tag = "" if r["tile_measured"] else " (extrapolated)"
@@ -188,7 +188,7 @@ def test_cells_bench_smoke(save_artifact):
         assert by_bench[name]["speedup"] > 1.3
     assert by_bench["rdf-dense"]["examined_fraction"] > 0.9
     assert by_bench["rdf-dense"]["speedup"] > 0.7
-    save_artifact("bench_cells_smoke", json.dumps(rows, indent=2))
+    save_artifact("bench_cells_smoke", json.dumps(rows, indent=2, sort_keys=True))
 
 
 @pytest.mark.bench_smoke

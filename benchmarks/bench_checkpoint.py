@@ -118,7 +118,7 @@ def run_suite(sizes=SIZES, repeats: int = 3):
 
 def main() -> None:
     rows = run_suite()
-    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    OUT_PATH.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
     width = max(len(r["bench"]) for r in rows)
     for r in rows:
         print(
@@ -145,7 +145,7 @@ def test_checkpoint_bench_smoke(save_artifact):
     assert by_mode["k64"]["speedup"] >= by_mode["k1"]["speedup"] * 0.8
     save_artifact(
         "bench_checkpoint_smoke",
-        json.dumps(rows, indent=2),
+        json.dumps(rows, indent=2, sort_keys=True),
     )
 
 

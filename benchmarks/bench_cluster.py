@@ -126,7 +126,7 @@ def run_suite(sizes=SIZES, node_counts=NODE_COUNTS):
 
 def main() -> None:
     rows = run_suite()
-    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    OUT_PATH.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
     width = max(len(r["bench"]) for r in rows)
     for r in rows:
         extra = ""
@@ -162,7 +162,7 @@ def test_cluster_bench_smoke(save_artifact):
     # the concurrent schedules must beat the serialized star floor
     assert by_bench["merge-ring"]["speedup"] > 1.0
     assert by_bench["merge-tree"]["speedup"] > 1.0
-    save_artifact("bench_cluster_smoke", json.dumps(rows, indent=2))
+    save_artifact("bench_cluster_smoke", json.dumps(rows, indent=2, sort_keys=True))
 
 
 @pytest.mark.bench_smoke

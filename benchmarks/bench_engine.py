@@ -100,7 +100,7 @@ def run_suite(sizes=SIZES, repeats: int = 4):
 
 def main() -> None:
     rows = run_suite()
-    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    OUT_PATH.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
     width = max(len(r["bench"]) for r in rows)
     for r in rows:
         print(
@@ -123,7 +123,7 @@ def test_engine_bench_smoke(save_artifact):
     assert by_mode["batched"]["speedup"] > 1.2
     save_artifact(
         "bench_engine_smoke",
-        json.dumps(rows, indent=2),
+        json.dumps(rows, indent=2, sort_keys=True),
     )
 
 

@@ -127,7 +127,7 @@ def run_suite(sizes=SIZES, repeats: int = 3):
 
 def main() -> None:
     rows = run_suite()
-    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    OUT_PATH.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
     width = max(len(r["bench"]) for r in rows)
     for r in rows:
         print(
@@ -153,7 +153,7 @@ def test_pruning_bench_smoke(save_artifact):
         assert by_bench[name]["prune_fraction"] > 0.5
         # acceptance bar is 2x at full scale; smoke keeps a CI-safe margin
         assert by_bench[name]["speedup"] > 1.5
-    save_artifact("bench_pruning_smoke", json.dumps(rows, indent=2))
+    save_artifact("bench_pruning_smoke", json.dumps(rows, indent=2, sort_keys=True))
 
 
 @pytest.mark.bench_smoke

@@ -128,7 +128,7 @@ def test_trace_overhead_smoke(save_artifact):
     assert by_mode["traced+io"]["overhead"] < 0.6
     save_artifact(
         "bench_trace_overhead_smoke",
-        json.dumps(rows, indent=2),
+        json.dumps(rows, indent=2, sort_keys=True),
     )
 
 

@@ -90,6 +90,7 @@ def count_pairs(
     cells: Optional[Any] = None,
     trace=None,
     backend: Optional[str] = None,
+    progress=None,
 ) -> Tuple[int, RunResult]:
     """Count pairs within ``radius`` on the simulated GPU.  ``trace``
     enables execution tracing, ``backend`` selects the host execution
@@ -99,7 +100,7 @@ def count_pairs(
     problem = make_problem(radius, dims=pts.shape[1])
     k = kernel or default_kernel(problem, prune=prune)
     res = run(problem, pts, kernel=k, device=device, trace=trace,
-              backend=backend, cells=cells)
+              backend=backend, cells=cells, progress=progress)
     return int(round(res.result)), res
 
 

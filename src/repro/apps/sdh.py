@@ -143,6 +143,7 @@ def compute(
     periodic_box: Optional[float] = None,
     trace=None,
     backend: Optional[str] = None,
+    progress=None,
 ) -> Tuple[np.ndarray, RunResult]:
     """Compute the SDH on the simulated GPU.
 
@@ -165,5 +166,5 @@ def compute(
     )
     k = kernel or default_kernel(problem, prune=prune)
     res = run(problem, pts, kernel=k, device=device, trace=trace,
-              backend=backend, cells=cells)
+              backend=backend, cells=cells, progress=progress)
     return res.result, res

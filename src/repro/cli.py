@@ -8,16 +8,26 @@ Subcommands:
   simulated device;
 * ``stats``    — run a problem and print the full metrics registry (the
   paper-style utilization table plus every counter/gauge);
+* ``profile``  — run a problem and print the hierarchical performance
+  attribution report (per-layer simulated time, roofline placement,
+  simulated-vs-wall split);
+* ``blackbox`` — post-mortem the flight recorder persisted in a
+  checkpoint store (works on stores torn by SIGKILL);
 * ``figures``  — regenerate the paper's figures/tables (see also
   ``examples/reproduce_paper.py``);
 * ``devices``  — list the built-in GPU presets.
+
+Long-running subcommands accept ``--progress`` for live telemetry on
+stderr (throughput, ETA, deadline budget, degradation state).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -30,6 +40,7 @@ from .core.kernels import INPUT_STRATEGIES, OUTPUT_STRATEGIES
 from .core.lifecycle import RunAbandoned
 from .data import uniform_points
 from .gpusim import BACKENDS, PRESETS, get_device_spec, utilization_table
+from .obs import profile_run
 
 
 def _problem(args):
@@ -128,7 +139,7 @@ def cmd_sdh(args) -> int:
                   faults=args.faults,
                   retries=args.retries if args.faults is not None else None,
                   workers=2, trace=args.trace, backend=args.backend,
-                  cells=args.cells, **lk)
+                  cells=args.cells, progress=_progress_arg(args), **lk)
         hist = res.result
     else:
         hist, res = sdh_app.compute(pts, bins=args.bins,
@@ -136,7 +147,8 @@ def cmd_sdh(args) -> int:
                                     prune=args.prune,
                                     trace=args.trace, backend=args.backend,
                                     cells=args.cells,
-                                    cell_cutoff=args.cell_cutoff)
+                                    cell_cutoff=args.cell_cutoff,
+                                    progress=_progress_arg(args))
     print(f"SDH of {args.n} uniform points, {args.bins} buckets "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
     peak = int(np.argmax(hist))
@@ -156,13 +168,14 @@ def cmd_pcf(args) -> int:
                   faults=args.faults,
                   retries=args.retries if args.faults is not None else None,
                   workers=2, trace=args.trace, backend=args.backend,
-                  cells=args.cells, **lk)
+                  cells=args.cells, progress=_progress_arg(args), **lk)
         count = int(round(res.result))
     else:
         count, res = pcf_app.count_pairs(pts, args.radius, prune=args.prune,
                                          trace=args.trace,
                                          backend=args.backend,
-                                         cells=args.cells)
+                                         cells=args.cells,
+                                         progress=_progress_arg(args))
     total = args.n * (args.n - 1) // 2
     print(f"2-PCF of {args.n} uniform points at r={args.radius:g} "
           f"({res.kernel.name}, simulated {res.seconds * 1e3:.2f} ms)")
@@ -189,14 +202,138 @@ def cmd_stats(args) -> int:
         extra = {"faults": args.faults, "retries": args.retries}
     res = run(problem, pts, kernel=kernel, spec=spec, workers=args.workers,
               backend=args.backend, prune=args.prune, trace=args.trace,
-              cells=args.cells, **extra, **_lifecycle_kwargs(args),
-              **_cluster_kwargs(args))
+              cells=args.cells, progress=_progress_arg(args), **extra,
+              **_lifecycle_kwargs(args), **_cluster_kwargs(args))
+    if getattr(args, "format", "table") == "json":
+        # machine view: the registry plus the attribution manifest, with
+        # sorted keys so identical configurations emit identical bytes
+        print(json.dumps(
+            {"metrics": res.metrics.to_dict(), "manifest": res.manifest},
+            sort_keys=True, indent=1,
+        ))
+        return 0
     # the utilization table and the registry dump below are two views of
     # the same MetricsRegistry the trace was built from
     print(utilization_table([res.metrics.sim_report()]))
     print()
     print(res.metrics.render())
     _report_run(args, res)
+    return 0
+
+
+def _progress_printer(ev) -> None:
+    """Default ``--progress`` sink: one status line per emission, stderr."""
+    parts = [f"[{ev.phase}]"]
+    frac = ev.fraction_done
+    if frac is not None:
+        parts.append(f"{frac:6.1%}")
+    total = ev.blocks_total if ev.blocks_total is not None else "?"
+    parts.append(f"blocks {ev.blocks_done}/{total}")
+    if ev.chunks_total:
+        parts.append(f"chunks {ev.chunks_done}/{ev.chunks_total}")
+    parts.append(f"{ev.pairs_per_second:,.0f} pairs/s")
+    if ev.eta_seconds is not None:
+        parts.append(f"eta {ev.eta_seconds:.1f}s")
+    if ev.deadline_remaining is not None:
+        fit = ("fits" if ev.deadline_fits
+               else "OVER" if ev.deadline_fits is False else "?")
+        parts.append(f"deadline {ev.deadline_remaining:.1f}s {fit}")
+    state = ev.state
+    if state.get("kernel"):
+        parts.append(f"degraded->{state['kernel']}")
+    if state.get("dead_nodes"):
+        parts.append(f"dead-nodes {state['dead_nodes']}")
+    if state.get("topology"):
+        parts.append(f"topology {state['topology']}")
+    print("  ".join(str(p) for p in parts), file=sys.stderr)
+
+
+def _progress_arg(args):
+    """``run(progress=...)`` value for the ``--progress`` flag."""
+    return _progress_printer if getattr(args, "progress", False) else None
+
+
+def cmd_profile(args) -> int:
+    pts = uniform_points(args.n, dims=3, box=args.box, seed=args.seed)
+    if args.problem == "sdh":
+        maxd = args.cell_cutoff or args.box * math.sqrt(3)
+        problem = sdh_app.make_problem(args.bins, maxd, box=args.box, dims=3,
+                                       cell_cutoff=args.cell_cutoff)
+        kernel = sdh_app.default_kernel(problem, prune=args.prune)
+    else:
+        problem = pcf_app.make_problem(args.radius)
+        kernel = pcf_app.default_kernel(problem, prune=args.prune)
+    spec = get_device_spec(args.device)
+    extra = {}
+    if args.faults is not None:
+        extra = {"faults": args.faults, "retries": args.retries}
+    # the profiler needs the span tree: trace in memory even when no
+    # --trace path was requested
+    t0 = time.perf_counter()
+    res = run(problem, pts, kernel=kernel, spec=spec, workers=args.workers,
+              backend=args.backend, prune=args.prune,
+              trace=args.trace or True, cells=args.cells,
+              progress=_progress_arg(args), **extra,
+              **_lifecycle_kwargs(args), **_cluster_kwargs(args))
+    wall = time.perf_counter() - t0
+    rep = profile_run(res, spec=spec, wall_seconds=wall)
+    if args.format == "json":
+        # stable-sorted, wall-free: byte-identical per configuration
+        print(rep.to_json(), end="")
+    else:
+        print(rep.render())
+    return 0
+
+
+def cmd_blackbox(args) -> int:
+    from .core.checkpoint import CheckpointCorrupt, CheckpointStore
+
+    store = CheckpointStore(args.dir)
+    if not store.exists():
+        print(f"blackbox: no checkpoint store at {args.dir} "
+              f"(missing {store.MANIFEST})", file=sys.stderr)
+        return 2
+    try:
+        manifest = store.load_manifest()
+        entries = sorted(manifest.get("chunks") or [],
+                         key=lambda e: e["index"])
+        payload = store.load_chunk(entries[-1]) if entries else None
+    except Exception as exc:  # pickle/json/OSError: store is torn — report
+        print(f"blackbox: cannot read store {args.dir}: {exc}",
+              file=sys.stderr)
+        return 2
+    events = list((payload or {}).get("flight") or [])
+    if args.last is not None:
+        events = events[-args.last:]
+    if args.json:
+        out = {
+            "dir": str(store.dir),
+            "chunks_durable": len(entries),
+            "num_chunks": manifest.get("num_chunks"),
+            "fingerprint": manifest.get("fingerprint"),
+            "events": events,
+        }
+        print(json.dumps(out, sort_keys=True, indent=1))
+        return 0
+    fp = manifest.get("fingerprint") or {}
+    print(f"flight recorder: {store.dir}")
+    print(f"run: kernel={fp.get('kernel')} n={fp.get('n')} "
+          f"backend={fp.get('backend')} every={fp.get('every')}")
+    total = manifest.get("num_chunks")
+    print(f"durable chunks: {len(entries)}/{total} "
+          f"(last covers blocks {entries[-1]['blocks'] if entries else '-'})")
+    if not events:
+        print("no flight events persisted (store predates the recorder "
+              "or no chunk committed)")
+        return 0
+    t0 = events[0]["t"]
+    print(f"last {len(events)} events (of {events[-1]['seq']} recorded):")
+    for ev in events:
+        extra = {k: v for k, v in ev.items()
+                 if k not in ("seq", "t", "kind")}
+        detail = " ".join(f"{k}={v}" for k, v in sorted(extra.items()))
+        print(f"  #{ev['seq']:<6d} +{ev['t'] - t0:9.3f}s  "
+              f"{ev['kind']:<18s} {detail}")
     return 0
 
 
@@ -252,6 +389,16 @@ def _add_backend_arg(p: argparse.ArgumentParser) -> None:
              "evaluation per kernel stage); default follows "
              "REPRO_SIM_BACKEND / auto.  Results are bit-identical across "
              "backends; only wall time differs",
+    )
+
+
+def _add_progress_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--progress", action="store_true",
+        help="emit live telemetry on stderr: throughput, ETA (from block "
+             "pair mass and checkpoint cursors), deadline budget and the "
+             "current degradation state.  Off the hot path — one guard "
+             "per completed block",
     )
 
 
@@ -380,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(p)
     _add_trace_arg(p)
     _add_lifecycle_args(p)
+    _add_progress_arg(p)
     p.set_defaults(fn=cmd_sdh)
 
     p = sub.add_parser("pcf", help="compute a 2-PCF on generated data")
@@ -395,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(p)
     _add_trace_arg(p)
     _add_lifecycle_args(p)
+    _add_progress_arg(p)
     p.set_defaults(fn=cmd_pcf)
 
     p = sub.add_parser(
@@ -419,13 +568,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cell-cutoff", type=float, default=None, metavar="R",
                    help="declare cutoff semantics for --cells (SDH only): "
                         "every pair beyond R clamps into the top bucket")
+    p.add_argument("--format", choices=["table", "json"], default="table",
+                   help="output format: the human tables (default) or a "
+                        "stable-sorted JSON document carrying the metrics "
+                        "registry and the run manifest")
     _add_cells_arg(p)
     _add_backend_arg(p)
     _add_fault_args(p)
     _add_cluster_args(p)
     _add_trace_arg(p)
     _add_lifecycle_args(p)
+    _add_progress_arg(p)
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a problem and print the performance attribution report",
+        description="Execute a problem with tracing on and fold the span "
+                    "tree plus the access/prune/cluster counters into a "
+                    "hierarchical attribution report: simulated time per "
+                    "engine layer, a roofline placement (memory- vs "
+                    "compute-bound from measured arithmetic intensity), "
+                    "the simulated run-seconds decomposition and the "
+                    "wall-clock comparison.",
+    )
+    p.add_argument("--problem", choices=["sdh", "pcf"], default="sdh")
+    p.add_argument("-n", type=int, default=4096)
+    p.add_argument("--bins", type=int, default=256, help="SDH buckets")
+    p.add_argument("--radius", type=float, default=1.0, help="2-PCF radius")
+    p.add_argument("--box", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--device", choices=sorted(PRESETS), default="titan-x")
+    p.add_argument("--workers", type=int, default=None,
+                   help="simulator worker threads (default: env/serial)")
+    p.add_argument("--prune", action="store_true",
+                   help="enable bounds-based tile pruning")
+    p.add_argument("--cell-cutoff", type=float, default=None, metavar="R",
+                   help="declare cutoff semantics for --cells (SDH only)")
+    p.add_argument("--format", choices=["table", "json"], default="table",
+                   help="output format: the human table (default) or the "
+                        "stable-sorted JSON report (byte-identical per "
+                        "configuration; wall time excluded)")
+    _add_cells_arg(p)
+    _add_backend_arg(p)
+    _add_fault_args(p)
+    _add_cluster_args(p)
+    _add_trace_arg(p)
+    _add_lifecycle_args(p)
+    _add_progress_arg(p)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "blackbox",
+        help="post-mortem a checkpoint store's flight recorder",
+        description="Read the flight-recorder ring persisted in the last "
+                    "durable chunk of a checkpoint store and replay its "
+                    "lifecycle events (block progress, retries, failover, "
+                    "node losses, chunk commits).  Works on stores torn "
+                    "by SIGKILL — the last committed chunk always carries "
+                    "the ring as of just before its commit.",
+    )
+    p.add_argument("dir", help="checkpoint store directory")
+    p.add_argument("--last", type=int, default=None, metavar="N",
+                   help="show only the last N events")
+    p.add_argument("--json", action="store_true",
+                   help="emit the events plus store summary as JSON")
+    p.set_defaults(fn=cmd_blackbox)
 
     p = sub.add_parser("figures", help="regenerate paper figures/tables")
     p.add_argument("which", nargs="*", help="fig2 fig4 fig5 fig7 fig9 "
@@ -441,6 +649,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except OSError as exc:
+        # e.g. an unwritable --trace path or an unreadable store: a
+        # message and a status code, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except RunAbandoned as exc:
         print(f"run abandoned: {exc}", file=sys.stderr)
         if getattr(exc, "checkpoint", None) is not None:

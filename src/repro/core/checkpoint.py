@@ -54,6 +54,7 @@ from ..gpusim.device import LaunchRecord
 from ..gpusim.faults import as_injector
 from ..gpusim.parallel import resolve_backend
 from ..gpusim.spec import DeviceSpec, TITAN_X
+from ..obs.flight import FlightRecorder, RunTelemetry
 from ..obs.manifest import MANIFEST_SCHEMA, git_describe
 from ..obs.tracer import NULL_TRACER
 from .bounds import PruneStats
@@ -287,6 +288,7 @@ class CheckpointStore:
             "index": int(index),
             "file": path.name,
             "sha256": _sha256(data),
+            "bytes": len(data),
             "blocks": [int(payload["blocks"][0]),
                        int(payload["blocks"][-1]) + 1],
         }
@@ -376,6 +378,7 @@ def run_checkpointed(
     watchdog: Optional[float] = None,
     resume: bool = False,
     cluster: Optional[ClusterSpec] = None,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> Tuple[Any, LaunchRecord, ComposedKernel, ResilienceReport]:
     """Execute ``kernel`` chunk by chunk, checkpointing after each chunk.
 
@@ -406,11 +409,25 @@ def run_checkpointed(
     if injector is not None and tracer.enabled:
         injector.tracer = tracer
     report = ResilienceReport(injector, tracer=tracer)
+    # every checkpointed run keeps a flight ring (even without a progress
+    # callback): the ring snapshot persists in each chunk payload, so a
+    # SIGKILLed run's last durable chunk carries its final events for
+    # ``repro blackbox`` — the whole point of the recorder
+    if telemetry is None:
+        telemetry = RunTelemetry()
+    if telemetry.flight is None:
+        telemetry.flight = FlightRecorder()
+    flight = telemetry.flight
+    report.telemetry = telemetry
+    report.flight = flight
     seed = injector.plan.seed if injector is not None else 0
     rng = np.random.default_rng(seed + 0x5EED)  # supervisor jitter stream
 
     m = kernel.geometry(n).num_blocks
     chunks = chunk_plan(m, config.every)
+    telemetry.configure(
+        blocks_total=m, chunks_total=len(chunks), deadline=deadline,
+    )
     fp = fingerprint(
         problem=problem, kernel=kernel, spec=spec, points=pts,
         workers=workers, batch_tiles=batch_tiles, backend=backend,
@@ -485,6 +502,7 @@ def run_checkpointed(
             tracer.adopt(span)
         last_payload = payload
         done += 1
+        telemetry.advance(blocks=payload["blocks"], chunks=1)
         report.record_lifecycle(
             "checkpoint-load", detail=(
                 f"chunk {payload['index']} "
@@ -492,6 +510,7 @@ def run_checkpointed(
                 f"from {entry['file']}"
             ),
             chunk=int(payload["index"]),
+            bytes=int(entry.get("bytes", 0)),
         )
     if last_payload is not None:
         # restore the execution cursor exactly where the last durable
@@ -511,6 +530,10 @@ def run_checkpointed(
         if cluster is not None and cl_cursor is not None:
             cl_state = ClusterState.from_dict(cl_cursor["state"])
             cl_timing = ClusterTiming.from_dict(cl_cursor["timing"])
+        # continue the interrupted run's flight ring rather than starting
+        # an empty one: the post-mortem history survives the resume (the
+        # "resumed" event below lands on top of the restored tail)
+        flight.restore(last_payload.get("flight"))
         report.record_lifecycle(
             "resumed", detail=(
                 f"{done}/{len(chunks)} chunk(s) restored from {store.dir}"
@@ -571,6 +594,9 @@ def run_checkpointed(
                 "injector": injector.state() if injector is not None else None,
                 "rng_state": rng.bit_generator.state,
                 "events": [e.as_dict() for e in report.events],
+                # the flight ring rides in every chunk: the last durable
+                # chunk of a SIGKILLed run is the black box
+                "flight": flight.snapshot(),
             }
             if cluster is not None:
                 payload["cluster"] = {
@@ -586,7 +612,9 @@ def run_checkpointed(
                     f"-> {entry['file']}"
                 ),
                 chunk=int(index),
+                bytes=int(entry["bytes"]),
             )
+            telemetry.on_chunk(index, len(chunks))
             if config.after_chunk is not None:
                 config.after_chunk(index, entry)
     except RunAbandoned as exc:

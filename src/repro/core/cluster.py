@@ -796,6 +796,7 @@ def cluster_run(
     deadline=None,
     cancel=None,
     watchdog: Optional[float] = None,
+    telemetry=None,
 ) -> ClusterResult:
     """Run ``problem`` striped across a simulated multi-node cluster.
 
@@ -824,6 +825,9 @@ def cluster_run(
     if injector is not None and tracer.enabled:
         injector.tracer = tracer
     report = ResilienceReport(injector, tracer=tracer)
+    if telemetry is not None:
+        report.telemetry = telemetry
+        report.flight = telemetry.flight
     seed = injector.plan.seed if injector is not None else 0
     rng = np.random.default_rng(seed + 0x5EED)  # supervisor jitter stream
 

@@ -140,6 +140,15 @@ class ResilienceReport:
         #: execution tracer; recovery actions land as ``recovery:<action>``
         #: instant events at the trace position where they were taken.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional bounded flight recorder
+        #: (:class:`~repro.obs.flight.FlightRecorder`): every recorded
+        #: event is mirrored into the ring, which checkpoint chunks
+        #: persist for post-mortems.  Wall-history, never byte-compared.
+        self.flight = None
+        #: optional live-telemetry adapter
+        #: (:class:`~repro.obs.flight.RunTelemetry`): recorded events
+        #: feed its degradation-state tracking and progress emissions.
+        self.telemetry = None
         # detached state carried by deserialized reports (no live injector)
         self._seed: Optional[int] = None
         self._faults: List[Any] = []
@@ -168,6 +177,11 @@ class ResilienceReport:
                 "recovery:" + action, cat="resilience",
                 args={"device": device, "detail": detail, **data},
             )
+        if self.flight is not None:
+            self.flight.record(action, device=device, detail=detail, **data)
+        if self.telemetry is not None:
+            self.telemetry.on_event(action, device=device, detail=detail,
+                                    data=data)
 
     def record_lifecycle(
         self, action: str, device: int = -1, detail: str = "", **data: Any
@@ -186,6 +200,11 @@ class ResilienceReport:
                 "lifecycle:" + action, cat="lifecycle",
                 args={"device": device, "detail": detail, **data},
             )
+        if self.flight is not None:
+            self.flight.record(action, device=device, detail=detail, **data)
+        if self.telemetry is not None:
+            self.telemetry.on_event(action, device=device, detail=detail,
+                                    data=data)
 
     def actions(self) -> List[str]:
         return [e.action for e in self.events]
@@ -453,6 +472,7 @@ def _supervised_execute(
                 attempt=ev.get("attempt"),
             )
 
+        telemetry = getattr(report, "telemetry", None)
         device = Device(
             spec,
             ordinal=ordinal,
@@ -472,6 +492,7 @@ def _supervised_execute(
                 ),
                 workers=list(info.get("workers") or []),
             ),
+            progress=telemetry.on_block if telemetry is not None else None,
         )
         try:
             result, record = current.execute(
@@ -549,6 +570,7 @@ def resilient_run(
     deadline=None,
     cancel=None,
     watchdog: Optional[float] = None,
+    telemetry=None,
 ) -> ResilientResult:
     """Run ``problem`` under the resilience supervisor.
 
@@ -576,6 +598,9 @@ def resilient_run(
     if injector is not None and tracer.enabled:
         injector.tracer = tracer
     report = ResilienceReport(injector, tracer=tracer)
+    if telemetry is not None:
+        report.telemetry = telemetry
+        report.flight = telemetry.flight
     seed = injector.plan.seed if injector is not None else 0
     # jitter stream decoupled from the injector's corruption stream
     rng = np.random.default_rng(seed + 0x5EED)

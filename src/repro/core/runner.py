@@ -12,6 +12,7 @@ from ..gpusim.device import Device, LaunchRecord
 from ..gpusim.parallel import resolve_backend
 from ..gpusim.profiler import SimReport
 from ..gpusim.spec import DeviceSpec, TITAN_X
+from ..obs.flight import resolve_telemetry
 from ..obs.manifest import build_manifest
 from ..obs.metrics import MetricsRegistry, collect_metrics
 from ..obs.tracer import resolve_trace
@@ -53,6 +54,27 @@ class RunResult:
         return self.report.seconds
 
 
+def _block_pair_weights(n: int, kernel: ComposedKernel) -> dict:
+    """Per-anchor-block pair counts for telemetry ETA weighting.
+
+    Mirrors :func:`~repro.core.kernels.base.compute_geometry`'s closed
+    forms, broken out per block: full-row kernels evaluate every pair
+    twice across blocks, triangular kernels only pair an anchor with
+    higher-indexed blocks.  Vectorized — O(M), not O(M^2).
+    """
+    from .kernels.base import block_sizes
+
+    sizes = block_sizes(n, kernel.block_size).astype(np.int64)
+    if kernel.full_rows:
+        pairs = sizes * (n - sizes) + sizes * (sizes - 1)
+    else:
+        suffix = np.concatenate(
+            [np.cumsum(sizes[::-1])[::-1][1:], np.zeros(1, dtype=np.int64)]
+        )
+        pairs = sizes * suffix + sizes * (sizes - 1) // 2
+    return {int(b): int(p) for b, p in enumerate(pairs)}
+
+
 def run(
     problem: TwoBodyProblem,
     points: np.ndarray,
@@ -77,6 +99,7 @@ def run(
     watchdog: Optional[float] = None,
     cluster: Optional[Any] = None,
     nodes: Optional[int] = None,
+    progress: Optional[Any] = None,
 ) -> RunResult:
     """Execute ``problem`` over ``points`` on the simulated device.
 
@@ -141,9 +164,17 @@ def run(
     ``nodes`` overrides the node count.  Outputs stay bit-identical to
     the single-node run; ``result.cluster`` carries the communication
     cost model.
+
+    ``progress`` enables live telemetry: a callable receives throttled
+    :class:`~repro.obs.flight.ProgressEvent` emissions (throughput, ETA,
+    deadline budget, degradation state); a
+    :class:`~repro.obs.flight.RunTelemetry` is used as-is; ``True``
+    builds a silent instance (flight recording only).  Hooks are off the
+    hot path — one ``is not None`` test per completed block.
     """
     n = np.asarray(points).shape[0]
     tracer, trace_path = resolve_trace(trace)
+    telemetry = resolve_telemetry(progress)
     from .lifecycle import Deadline
 
     deadline = Deadline.coerce(deadline)
@@ -184,6 +215,10 @@ def run(
                     prune=kernel.prune,
                     cells=True,
                 )
+    if telemetry is not None:
+        weights = _block_pair_weights(n, kernel)
+        telemetry.configure(blocks_total=len(weights), block_pairs=weights,
+                            deadline=deadline)
     if resume is not None and resume is not False and checkpoint_dir is None:
         # resume=True means "reuse checkpoint_dir", so a bare path is the
         # store to both resume from and keep checkpointing into
@@ -230,6 +265,7 @@ def run(
             batch_tiles=batch_tiles, backend=backend, faults=faults,
             retry=policy, tracer=tracer, deadline=deadline, cancel=cancel,
             watchdog=watchdog, resume=resuming, cluster=cluster_spec,
+            telemetry=telemetry,
         )
         report = kfinal.simulate(n, spec=spec, calib=calib,
                                  prune=record.prune, cells=record.cells)
@@ -253,7 +289,7 @@ def run(
             faults=faults, retry=policy, spec=spec, calib=calib,
             workers=workers, batch_tiles=batch_tiles, backend=backend,
             tracer=tracer, deadline=deadline, cancel=cancel,
-            watchdog=watchdog,
+            watchdog=watchdog, telemetry=telemetry,
         )
         record = _merge_records(cr.kernel, cr.records)
         report = cr.kernel.simulate(n, spec=spec, calib=calib,
@@ -275,7 +311,7 @@ def run(
             problem, points, kernel=kernel, faults=faults, retry=policy,
             spec=spec, workers=workers, batch_tiles=batch_tiles,
             backend=backend, tracer=tracer, deadline=deadline,
-            cancel=cancel, watchdog=watchdog,
+            cancel=cancel, watchdog=watchdog, telemetry=telemetry,
         )
         report = rr.kernel.simulate(
             n, spec=spec, calib=calib,
@@ -291,6 +327,7 @@ def run(
         dev = device if device is not None else Device(
             spec, tracer=tracer, deadline=deadline, cancel=cancel,
             watchdog=watchdog,
+            progress=telemetry.on_block if telemetry is not None else None,
         )
         if device is not None:
             if tracer.enabled:
@@ -301,6 +338,8 @@ def run(
                 dev.cancel = cancel
             if watchdog is not None:
                 dev.watchdog = watchdog
+            if telemetry is not None:
+                dev.progress = telemetry.on_block
         result, record = kernel.execute(
             dev, points, workers=workers, batch_tiles=batch_tiles,
             backend=backend,
@@ -325,6 +364,8 @@ def run(
         res.trace = tracer
         if trace_path is not None:
             tracer.export_chrome(trace_path)
+    if telemetry is not None:
+        telemetry.finish()
     return res
 
 

@@ -114,6 +114,7 @@ class Device:
         cancel: Optional[Any] = None,
         watchdog: Optional[float] = None,
         on_watchdog: Optional[Callable[[Dict[str, Any]], None]] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         self.spec = spec
         self.counters = AccessCounters()
@@ -148,6 +149,13 @@ class Device:
         #: the watchdog kills hung workers (the supervisor wires this to
         #: the resilience report's lifecycle log).
         self.on_watchdog = on_watchdog
+        #: per-block completion hook ``progress(device_ordinal, block_id)``
+        #: — the live-telemetry feed (see :mod:`repro.obs.flight`).  Like
+        #: the tracer, the disabled path is one ``is not None`` test per
+        #: block; callbacks must be cheap and thread-safe (the threads
+        #: backend fires them from worker threads, the process backend
+        #: from the parent's install loop).
+        self.progress = progress
         self._launch_attempts = 0
 
     def _check_lifecycle(self) -> None:
@@ -343,6 +351,8 @@ class Device:
                     kernel(ctx)
                 sync_counts.append(ctx.sync_count)
                 max_shared = max(max_shared, ctx.shared_bytes_used)
+                if self.progress is not None:
+                    self.progress(self.ordinal, b)
         finally:
             self._set_active(None)
         return merged, sync_counts, max_shared
@@ -383,6 +393,7 @@ class Device:
             launch_span=launch_span,
             deadline=self.deadline,
             cancel=self.cancel,
+            progress=self.progress,
         )
         ordered = [sync_counts[b] for b in block_ids]
         return merged, ordered, max(shared_used.values(), default=0)
@@ -442,6 +453,7 @@ class Device:
             cancel=self.cancel,
             watchdog=self.watchdog,
             on_watchdog=self.on_watchdog,
+            progress=self.progress,
         )
         ordered = [sync_counts[b] for b in block_ids]
         return merged, ordered, max(shared_used.values(), default=0)

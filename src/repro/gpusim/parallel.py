@@ -399,6 +399,7 @@ def run_blocks_parallel(
     launch_span=None,
     deadline=None,
     cancel=None,
+    progress=None,
 ) -> AccessCounters:
     """Execute ``run_block`` for every block id with ``num_workers``
     privatized workers and reduce the results.
@@ -426,6 +427,11 @@ def run_blocks_parallel(
     each block, so a breach surfaces within one block's work.  Their
     exceptions are *not* crashes — they propagate out of the launch
     instead of entering the recovery path.
+
+    ``progress`` is the per-block completion hook
+    ``progress(device_ordinal, block_id)`` — fired from worker threads
+    after each block (and after recovery re-executions), so it must be
+    cheap and thread-safe.
     """
     blocks = list(range(grid_dim)) if block_ids is None else list(block_ids)
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -464,6 +470,8 @@ def run_blocks_parallel(
                         if injector is not None:
                             injector.on_block(device_ordinal, b)
                         run_block(b, ledgers[w])
+                    if progress is not None:
+                        progress(device_ordinal, b)
             except WorkerCrashError as crash:
                 crash.worker = w
                 crashes[w] = crash
@@ -483,7 +491,7 @@ def run_blocks_parallel(
             recovered = _recover_crashes(
                 session, blocks, num_workers, crashed, crashes, ledgers,
                 run_block, set_active, injector, device_ordinal,
-                crash_recovery, tracer,
+                crash_recovery, tracer, progress=progress,
             )
         if tracer.enabled:
             merge_ctx = tracer.span(
@@ -517,6 +525,7 @@ def _recover_crashes(
     device_ordinal: int,
     crash_recovery: Optional[CrashRecovery],
     tracer=None,
+    progress=None,
 ) -> int:
     """Discard crashed workers' shards and re-run only their block ranges.
 
@@ -580,6 +589,8 @@ def _recover_crashes(
                             injector.on_block(device_ordinal, b)
                         run_block(b, ledger)
                     done.append(b)
+                    if progress is not None:
+                        progress(device_ordinal, b)
                 crash_recovery.record({
                     "action": "re-executed-blocks",
                     "device": device_ordinal,

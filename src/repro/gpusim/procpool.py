@@ -447,6 +447,7 @@ def run_blocks_process_parallel(
     cancel=None,
     watchdog: Optional[float] = None,
     on_watchdog: Optional[Callable[[Dict[str, Any]], None]] = None,
+    progress=None,
 ) -> AccessCounters:
     """Process-pool twin of :func:`~repro.gpusim.parallel.
     run_blocks_parallel`: same deal, same reduction, forked executors.
@@ -473,6 +474,11 @@ def run_blocks_process_parallel(
       lets the synthesized died-before-reporting crash path re-deal their
       blocks.  ``on_watchdog`` (if given) observes each kill with
       ``{"workers": [...], "timeout": seconds}``.
+    * ``progress`` — the per-block completion hook
+      ``progress(device_ordinal, block_id)``.  Children cannot call back
+      into the parent, so the hook fires parent-side when a worker's
+      completed deal is installed (per block, deal granularity), and per
+      block for parent-thread recovery re-executions.
     """
     if multiprocessing.get_start_method(allow_none=False) != "fork" or not hasattr(
         os, "fork"
@@ -619,6 +625,9 @@ def run_blocks_process_parallel(
             _install_shards(session, w, report["shm"], report["shards"])
             for ch, payload in zip(channels, report["channels"]):
                 ch.install(w, blocks[w::num_workers], payload)
+            if progress is not None:
+                for b in blocks[w::num_workers]:
+                    progress(device_ordinal, b)
         if first_error is not None:
             # matches the thread pool: the first worker's exception (in
             # worker order) propagates after every worker has joined
@@ -629,7 +638,7 @@ def run_blocks_process_parallel(
             recovered = _recover_crashes(
                 session, blocks, num_workers, crashed, crashes, ledgers,
                 run_block, set_active, injector, device_ordinal,
-                crash_recovery, tracer,
+                crash_recovery, tracer, progress=progress,
             )
         if tracer.enabled:
             merge_ctx = tracer.span(

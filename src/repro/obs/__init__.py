@@ -13,7 +13,14 @@ all carry hooks into this package:
   retry ladders into one queryable view that can also rebuild the
   profiler's paper tables;
 * :func:`~repro.obs.manifest.build_manifest` — the per-run attribution
-  record (seed, kernel config, device spec, calibration, git describe).
+  record (seed, kernel config, device spec, calibration, git describe);
+* :func:`~repro.obs.profile.profile_run` — folds the span tree plus the
+  access/prune/cluster counters into a hierarchical simulated-vs-wall
+  attribution report with a per-run roofline placement;
+* :class:`~repro.obs.flight.FlightRecorder` /
+  :class:`~repro.obs.flight.RunTelemetry` — the crash-surviving ring of
+  lifecycle events (persisted through checkpoints, replayed by
+  ``repro blackbox``) and the live ``progress=`` callback adapter.
 
 The default everywhere is :data:`~repro.obs.tracer.NULL_TRACER`, whose
 hooks are allocation-free no-ops — tracing costs nothing until asked for
@@ -28,8 +35,23 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .flight import (
+    FLIGHT_CAPACITY,
+    FlightRecorder,
+    ProgressEvent,
+    RunTelemetry,
+    resolve_telemetry,
+)
 from .manifest import MANIFEST_SCHEMA, build_manifest, git_describe
 from .metrics import MetricsRegistry, collect_metrics
+from .profile import (
+    CHECKPOINT_BANDWIDTH,
+    PROFILE_SCHEMA,
+    ProfileReport,
+    layer_for_span,
+    measured_costs,
+    profile_run,
+)
 from .tracer import (
     BLOCK_OVERHEAD_US,
     LAUNCH_OVERHEAD_US,
@@ -60,4 +82,10 @@ __all__ = [
     # exporters
     "chrome_trace", "chrome_json", "write_chrome_trace",
     "jsonl_events", "write_jsonl", "TRACE_SCHEMA",
+    # flight recorder / live telemetry
+    "FlightRecorder", "RunTelemetry", "ProgressEvent",
+    "resolve_telemetry", "FLIGHT_CAPACITY",
+    # profiler
+    "ProfileReport", "profile_run", "measured_costs", "layer_for_span",
+    "PROFILE_SCHEMA", "CHECKPOINT_BANDWIDTH",
 ]

@@ -1,0 +1,326 @@
+"""Crash-surviving flight recorder and live run telemetry.
+
+Two small, dependency-free pieces the execution layers hook into:
+
+* :class:`FlightRecorder` — a bounded ring buffer of structured lifecycle
+  events (block progress, retries, backoff, device failover, node
+  eviction, topology degradation, checkpoint chunk commits).  The ring is
+  plain data (a list of dicts), so the checkpoint layer persists its
+  snapshot inside every chunk payload: after a SIGKILL or a
+  ``RunAbandoned`` the last durable chunk still carries the final N
+  events, and ``repro blackbox <dir>`` replays them post-mortem.  Unlike
+  the tracer's deterministic streams, flight events carry *wall-clock*
+  timestamps — they are forensic history, never compared byte-for-byte.
+
+* :class:`RunTelemetry` — the ``progress=`` callback adapter.  It folds
+  per-block completions, checkpoint-chunk commits and resilience events
+  into throttled :class:`ProgressEvent` emissions carrying throughput, an
+  ETA extrapolated from the completed pair mass, the deadline budget and
+  the current degradation state.  All hooks are off the hot path: one
+  ``progress is not None`` guard per block at the call sites, and the
+  emit itself is rate-limited by wall interval.
+
+Neither class imports from ``repro.core`` or ``repro.gpusim`` — the
+engine pushes plain numbers in (block pair weights, chunk counts), so the
+observability layer stays import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+#: Default ring capacity.  Sized so the last durable checkpoint chunk of
+#: any non-trivial run retains well over the 64-event post-mortem floor
+#: the interrupted-run acceptance enforces, while keeping the per-chunk
+#: payload overhead bounded (a few tens of KB at worst).
+FLIGHT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring of structured lifecycle events.
+
+    Every event is a plain dict ``{"seq": int, "t": float, "kind": str,
+    ...payload}`` — ``seq`` is a monotonically increasing sequence number
+    that survives ring eviction (so a post-mortem can tell how many
+    events were dropped), ``t`` is a wall-clock timestamp.
+    """
+
+    def __init__(
+        self,
+        capacity: int = FLIGHT_CAPACITY,
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._seq = 0
+
+    def record(self, kind: str, **data: Any) -> None:
+        """Append one event; evicts the oldest when the ring is full."""
+        with self._lock:
+            self._seq += 1
+            event: Dict[str, Any] = {
+                "seq": self._seq, "t": self._clock(), "kind": str(kind),
+            }
+            event.update(data)
+            self._ring.append(event)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The ring contents, oldest first — plain data, safe to persist."""
+        with self._lock:
+            return [dict(ev) for ev in self._ring]
+
+    def restore(self, events: Optional[Iterable[Dict[str, Any]]]) -> None:
+        """Reload a persisted snapshot (resume path): the ring continues
+        numbering after the highest restored ``seq``."""
+        if not events:
+            return
+        with self._lock:
+            self._ring.clear()
+            for ev in events:
+                self._ring.append(dict(ev))
+                self._seq = max(self._seq, int(ev.get("seq", 0)))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+@dataclass
+class ProgressEvent:
+    """One live-telemetry emission (see :class:`RunTelemetry`)."""
+
+    #: coarse run phase: "run", "chunk", "event", "done"
+    phase: str
+    wall_seconds: float
+    blocks_done: int = 0
+    blocks_total: Optional[int] = None
+    pairs_done: int = 0
+    pairs_total: Optional[int] = None
+    chunks_done: int = 0
+    chunks_total: Optional[int] = None
+    #: measured wall throughput, pair evaluations per second
+    pairs_per_second: float = 0.0
+    #: wall seconds to completion extrapolated from the pair mass done
+    eta_seconds: Optional[float] = None
+    #: remaining deadline budget (None when no deadline was declared)
+    deadline_remaining: Optional[float] = None
+    #: does the ETA fit the remaining deadline budget?
+    deadline_fits: Optional[bool] = None
+    #: degradation state: resilience/cluster event counts + live details
+    #: (kernel downgrades, lost nodes, current merge topology)
+    state: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def fraction_done(self) -> Optional[float]:
+        if self.pairs_total:
+            return min(1.0, self.pairs_done / self.pairs_total)
+        if self.blocks_total:
+            return min(1.0, self.blocks_done / self.blocks_total)
+        return None
+
+
+class RunTelemetry:
+    """Adapter between engine hooks and a user ``progress=`` callback.
+
+    The runner constructs one per run (or coerces a bare callable into
+    one), configures the totals it knows (block pair weights, chunk
+    count, deadline), and threads the bound methods through the engine:
+
+    * :meth:`on_block` — called once per completed block by every
+      backend (serial loop, thread workers, the process pool's
+      parent-side install loop);
+    * :meth:`on_chunk` — called by the checkpoint layer after each
+      durable chunk commit;
+    * :meth:`on_event` — called by the resilience report for every
+      recovery/lifecycle action, tracking degradation state.
+
+    Emissions are throttled to one per ``interval`` wall seconds except
+    for forced emissions (chunk commits, degradation events, run end).
+    """
+
+    def __init__(
+        self,
+        callback: Optional[Callable[[ProgressEvent], None]] = None,
+        *,
+        flight: Optional[FlightRecorder] = None,
+        interval: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.callback = callback
+        self.flight = flight
+        self.interval = float(interval)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._t0 = clock()
+        self._last_emit = float("-inf")
+        self.blocks_done = 0
+        self.blocks_total: Optional[int] = None
+        self.pairs_done = 0
+        self.pairs_total: Optional[int] = None
+        self.chunks_done = 0
+        self.chunks_total: Optional[int] = None
+        self._block_pairs: Dict[int, int] = {}
+        self._blocks_seen: set = set()
+        self._deadline: Any = None
+        self._state: Dict[str, Any] = {}
+
+    # -- configuration (runner-side) ----------------------------------------
+    def configure(
+        self,
+        *,
+        blocks_total: Optional[int] = None,
+        block_pairs: Optional[Dict[int, int]] = None,
+        chunks_total: Optional[int] = None,
+        deadline: Any = None,
+    ) -> None:
+        with self._lock:
+            if blocks_total is not None:
+                self.blocks_total = int(blocks_total)
+            if block_pairs is not None:
+                self._block_pairs = {int(b): int(p) for b, p in block_pairs.items()}
+                self.pairs_total = sum(self._block_pairs.values())
+            if chunks_total is not None:
+                self.chunks_total = int(chunks_total)
+            if deadline is not None:
+                self._deadline = deadline
+
+    def advance(
+        self,
+        blocks: Optional[Iterable[int]] = None,
+        chunks: int = 0,
+    ) -> None:
+        """Credit already-completed work without firing flight events —
+        the checkpoint replay path uses this for restored chunks, so the
+        ETA reflects the true remaining work after a resume."""
+        with self._lock:
+            for b in blocks or ():
+                b = int(b)
+                if b not in self._blocks_seen:
+                    self._blocks_seen.add(b)
+                    self.blocks_done += 1
+                    self.pairs_done += self._block_pairs.get(b, 0)
+            self.chunks_done += int(chunks)
+
+    # -- engine hooks --------------------------------------------------------
+    def on_block(self, device: int, block: int) -> None:
+        """Per-block completion hook (any backend, any thread).
+
+        Pair mass is credited once per anchor block id — retries and
+        auxiliary launches (the reduce/merge pass re-numbers from 0)
+        re-dispatch block ids, which must not inflate the ETA.
+        """
+        with self._lock:
+            b = int(block)
+            if b not in self._blocks_seen:
+                self._blocks_seen.add(b)
+                self.blocks_done += 1
+                self.pairs_done += self._block_pairs.get(b, 0)
+            done, total = self.blocks_done, self.blocks_total
+        if self.flight is not None:
+            self.flight.record(
+                "block", block=int(block), device=int(device),
+                done=done, total=total,
+            )
+        self._emit("run")
+
+    def on_chunk(self, index: int, total: Optional[int] = None) -> None:
+        """Checkpoint chunk-commit hook — always emits (cursor moved)."""
+        with self._lock:
+            self.chunks_done += 1
+            if total is not None:
+                self.chunks_total = int(total)
+        self._emit("chunk", force=True)
+
+    def on_event(self, action: str, device: Any = None, detail: str = "",
+                 data: Optional[Dict[str, Any]] = None) -> None:
+        """Resilience/lifecycle event hook: track degradation state."""
+        action = str(action)
+        with self._lock:
+            counts = self._state.setdefault("events", {})
+            counts[action] = counts.get(action, 0) + 1
+            if action == "degrade-input" and detail:
+                self._state["kernel"] = detail.split("->")[-1].strip()
+            elif action == "node-lost":
+                self._state.setdefault("dead_nodes", []).append(device)
+            elif action == "degrade-topology" and detail:
+                self._state["topology"] = detail.split("->")[-1].strip()
+            elif action == "failover":
+                self._state["device"] = device
+        # degradations are rare and decision-relevant: always emit
+        self._emit("event", force=True)
+
+    def finish(self) -> None:
+        """Final emission when the run returns."""
+        self._emit("done", force=True)
+
+    # -- emission ------------------------------------------------------------
+    def _emit(self, phase: str, force: bool = False) -> None:
+        if self.callback is None:
+            return
+        now = self._clock()
+        with self._lock:
+            if not force and now - self._last_emit < self.interval:
+                return
+            self._last_emit = now
+            event = self._build(phase, now)
+        self.callback(event)
+
+    def _build(self, phase: str, now: float) -> ProgressEvent:
+        elapsed = max(now - self._t0, 1e-9)
+        rate = self.pairs_done / elapsed
+        eta = None
+        if self.pairs_total and 0 < self.pairs_done < self.pairs_total:
+            eta = (self.pairs_total - self.pairs_done) / max(rate, 1e-9)
+        elif self.pairs_total and self.pairs_done >= self.pairs_total:
+            eta = 0.0
+        remaining = fits = None
+        if self._deadline is not None:
+            rem = getattr(self._deadline, "remaining", None)
+            remaining = rem() if callable(rem) else rem
+            if remaining is not None and eta is not None:
+                fits = eta <= remaining
+        return ProgressEvent(
+            phase=phase,
+            wall_seconds=elapsed,
+            blocks_done=self.blocks_done,
+            blocks_total=self.blocks_total,
+            pairs_done=self.pairs_done,
+            pairs_total=self.pairs_total,
+            chunks_done=self.chunks_done,
+            chunks_total=self.chunks_total,
+            pairs_per_second=rate,
+            eta_seconds=eta,
+            deadline_remaining=remaining,
+            deadline_fits=fits,
+            state={k: (dict(v) if isinstance(v, dict) else
+                       list(v) if isinstance(v, list) else v)
+                   for k, v in self._state.items()},
+        )
+
+
+def resolve_telemetry(progress: Any) -> Optional[RunTelemetry]:
+    """Coerce a ``run(progress=...)`` argument.
+
+    ``None``/``False`` disables telemetry; a :class:`RunTelemetry` is used
+    as-is; a bare callable becomes the emission callback of a fresh
+    instance; ``True`` builds a silent instance (flight/state tracking
+    only — useful for tests and the checkpoint layer).
+    """
+    if progress is None or progress is False:
+        return None
+    if isinstance(progress, RunTelemetry):
+        return progress
+    if progress is True:
+        return RunTelemetry()
+    if callable(progress):
+        return RunTelemetry(progress)
+    raise TypeError(
+        f"progress= expects a callable, RunTelemetry or bool, got {progress!r}"
+    )

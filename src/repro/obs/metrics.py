@@ -149,6 +149,24 @@ class MetricsRegistry:
         for event in getattr(report, "lifecycle", ()):
             self.inc(f"lifecycle.{event.action}")
 
+    # -- composition ---------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (returns ``self``).
+
+        Composition semantics per namespace: counters *add* (they are
+        extensive — per-node ``cluster.*`` or per-worker ``mem.*``
+        counters must sum to the single-run totals), histograms
+        *concatenate*, and gauges/labels are *last-writer-wins* (they are
+        intensive — occupancy, utilization, the current kernel name —
+        where summing would be meaningless)."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        for name, values in other.histograms.items():
+            self.histograms.setdefault(name, []).extend(values)
+        self.gauges.update(other.gauges)
+        self.labels.update(other.labels)
+        return self
+
     # -- views ---------------------------------------------------------------
     def sim_report(self) -> SimReport:
         """Rebuild a :class:`SimReport` from the stored gauges/labels, so

@@ -1,0 +1,460 @@
+"""Performance attribution: where did the simulated time go?
+
+:func:`profile_run` folds one run's deterministic span tree together
+with its measured :class:`~repro.gpusim.counters.AccessCounters`,
+``PruneStats``/``CellStats`` and ``ClusterTiming`` into a hierarchical
+attribution report:
+
+* **Layer attribution** — every span's *own* simulated cost
+  (``cost_us``, before children) is charged to exactly one engine layer
+  (launch/worker/block dispatch, tile and intra evaluation,
+  reduce/merge, crash recovery, cell indexing, cluster striping).  The
+  total equals the sum over all spans by construction, so the report is
+  *conservation-checked*: layer shares must sum to the run total ±ε and
+  the ``other`` bucket must stay empty — a span name the profiler does
+  not recognize is a wiring bug, and tests enforce it.
+* **Roofline placement** — arithmetic intensity from the measured
+  ledger (FLOPs per byte moved per memory space) against the
+  :class:`~repro.gpusim.spec.DeviceSpec` peak rates, labelling the run
+  memory- or compute-bound exactly the way Elsen et al. frame N-body
+  GPU kernels.  The declared FLOP model is ``3*dims + 2`` per evaluated
+  pair (subtract + square + accumulate per dimension, then sqrt + bin),
+  and evaluated pairs are derived *from the attribution itself*
+  (evaluation µs / ``US_PER_PAIR``) so pruning and cell skipping are
+  reflected.
+* **Run-seconds decomposition** — the simulated-seconds view across
+  subsystems: kernel compute, cluster merge/transfers, checkpoint I/O
+  (persisted bytes priced at :data:`CHECKPOINT_BANDWIDTH`), retry
+  backoff and straggler wait (the delays the resilience supervisor
+  recorded).
+* **Avoided work** — the pair evaluations pruning and the cell grid
+  skipped, priced in the same µs currency, so "time not spent" is
+  visible next to time spent.  Classification itself (bounds intervals,
+  cell indexing) is free in the simulated cost model; its real cost is
+  the avoided-work ledger's honesty, documented in DESIGN.md §13.
+
+Like the Chrome exporter, :meth:`ProfileReport.to_json` is canonical:
+sorted keys, fixed separators, fixed rounding, no wall-clock values —
+byte-identical per run configuration.  Wall-clock context (measured run
+seconds, simulated-vs-wall ratio) is opt-in via ``include_wall`` and in
+the human table only.
+
+:func:`measured_costs` is the measured-cost API the future ``repro
+tune`` search loop consults: a flat ``{layer: simulated_µs}`` dict.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..gpusim.counters import MemSpace
+from ..gpusim.spec import DeviceSpec, TITAN_X
+from .tracer import US_PER_PAIR, NullTracer
+
+#: Profile report schema stamp.
+PROFILE_SCHEMA = "repro-profile-v1"
+
+#: Simulated checkpoint-store bandwidth (bytes/sec) used to price
+#: durable chunk I/O in the run-seconds decomposition — a declared
+#: constant (local NVMe class), same philosophy as the per-pair span
+#: cost: an arbitrary but fixed pure function of the bytes moved.
+CHECKPOINT_BANDWIDTH = 1e9
+
+#: FLOPs charged per evaluated pair: per dimension one subtract, one
+#: square, one accumulate (3*dims), plus sqrt + bin update (2).
+FLOPS_PER_PAIR_BASE = 2
+FLOPS_PER_PAIR_PER_DIM = 3
+
+#: Span name → engine layer.  Every span the engine emits must map here
+#: (or under a prefix rule below); the tests pin ``other == 0``.
+_LAYER_BY_NAME = {
+    "launch": "launch",
+    "worker": "worker-dispatch",
+    "block": "block-dispatch",
+    "tile": "tile-eval",
+    "tile-batch": "tile-eval",
+    "mega": "tile-eval",
+    "intra": "intra-eval",
+    "merge": "reduce-merge",
+    "reduce-output": "reduce-merge",
+    "finalize-pairs": "reduce-merge",
+    "recovery": "recovery",
+    "cell-index": "cell-index",
+}
+
+#: Memory spaces that participate in the roofline (REGISTER is free and
+#: CONSTANT aliases the ROC path in the spec's bandwidth table).
+_ROOFLINE_SPACES = (
+    MemSpace.GLOBAL, MemSpace.L2, MemSpace.ROC, MemSpace.SHARED,
+)
+
+#: Deterministic tie-break order for the binding resource.
+_BINDING_ORDER = ("compute", "global", "l2", "roc", "shared")
+
+
+def layer_for_span(name: str) -> str:
+    """The engine layer a span name is charged to ("other" = unmapped)."""
+    layer = _LAYER_BY_NAME.get(name)
+    if layer is not None:
+        return layer
+    if name.startswith("cluster:"):
+        return "cluster"
+    return "other"
+
+
+def _r(value: float, digits: int = 6) -> float:
+    """Fixed rounding so serialized floats are platform-stable."""
+    return round(float(value), digits)
+
+
+@dataclass
+class ProfileReport:
+    """One run's attribution report (see the module docstring)."""
+
+    kernel: str
+    n: int
+    dims: int
+    backend: Optional[str]
+    device: str
+    total_us: float
+    layers: Dict[str, Dict[str, Any]]
+    pairs_evaluated: float
+    roofline: Dict[str, Any]
+    run_seconds: Dict[str, float]
+    avoided: Dict[str, float]
+    conservation: Dict[str, float]
+    wall_seconds: Optional[float] = None
+    manifest: Dict[str, Any] = field(default_factory=dict)
+
+    # -- the measured-cost API (``repro tune`` consults this) ---------------
+    def layer_costs(self) -> Dict[str, float]:
+        """Flat ``{layer: simulated_µs}`` — the tuner's cost source."""
+        return {name: info["us"] for name, info in self.layers.items()}
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self, *, include_wall: bool = False) -> Dict[str, Any]:
+        """Plain-dict view.  ``include_wall=False`` (the default) keeps
+        the output a pure function of the run configuration — wall
+        seconds vary per host and would break byte-identity."""
+        out: Dict[str, Any] = {
+            "schema": PROFILE_SCHEMA,
+            "kernel": self.kernel,
+            "n": int(self.n),
+            "dims": int(self.dims),
+            "backend": self.backend,
+            "device": self.device,
+            "total_us": _r(self.total_us),
+            "layers": {
+                name: {
+                    "us": _r(info["us"]),
+                    "share": _r(info["share"]),
+                    "spans": int(info["spans"]),
+                }
+                for name, info in sorted(self.layers.items())
+            },
+            "pairs_evaluated": _r(self.pairs_evaluated),
+            "roofline": _jsonable_rounded(self.roofline),
+            "run_seconds": {k: _r(v, 9) for k, v in sorted(self.run_seconds.items())},
+            "avoided": {k: _r(v) for k, v in sorted(self.avoided.items())},
+            "conservation": {k: _r(v) for k, v in sorted(self.conservation.items())},
+        }
+        if self.manifest:
+            out["manifest"] = self.manifest
+        if include_wall and self.wall_seconds is not None:
+            out["wall"] = {
+                "seconds": self.wall_seconds,
+                "sim_vs_wall": (
+                    (self.total_us * 1e-6) / self.wall_seconds
+                    if self.wall_seconds > 0 else None
+                ),
+            }
+        return out
+
+    def to_json(self, *, include_wall: bool = False) -> str:
+        """Canonical serialization — deterministic bytes per config."""
+        return json.dumps(
+            self.to_dict(include_wall=include_wall),
+            sort_keys=True,
+            separators=(",", ":"),
+        ) + "\n"
+
+    def render(self) -> str:
+        """Aligned human table (may include wall context)."""
+        lines: List[str] = []
+        lines.append(
+            f"profile: {self.kernel}  n={self.n}  backend={self.backend}"
+        )
+        lines.append(f"device:  {self.device}")
+        lines.append("")
+        lines.append(f"{'layer':<16} {'sim µs':>14} {'share':>8} {'spans':>7}")
+        ordered = sorted(
+            self.layers.items(), key=lambda kv: (-kv[1]["us"], kv[0])
+        )
+        for name, info in ordered:
+            lines.append(
+                f"{name:<16} {info['us']:>14.2f} {info['share']:>7.1%} "
+                f"{info['spans']:>7d}"
+            )
+        lines.append(
+            f"{'total':<16} {self.total_us:>14.2f} {1.0:>7.1%} "
+            f"{sum(i['spans'] for i in self.layers.values()):>7d}"
+        )
+        lines.append("")
+        roof = self.roofline
+        lines.append(
+            f"roofline: {roof['bound']}-bound on {roof['binding']} "
+            f"(pairs evaluated {self.pairs_evaluated:,.0f}, "
+            f"{roof['flops']:,.0f} flops)"
+        )
+        for space, placement in sorted(roof["spaces"].items()):
+            lines.append(
+                f"  {space:<8} AI {placement['intensity']:>10.3f} flop/B"
+                f"  ridge {placement['ridge']:>10.3f}"
+                f"  t {placement['seconds']:.3e} s"
+            )
+        lines.append(f"  compute  t {roof['compute_seconds']:.3e} s")
+        if any(self.run_seconds.values()):
+            lines.append("")
+            lines.append("run seconds (simulated):")
+            for key in sorted(self.run_seconds):
+                val = self.run_seconds[key]
+                if val:
+                    lines.append(f"  {key:<20} {val:.6g}")
+        if any(self.avoided.values()):
+            lines.append("")
+            lines.append("avoided work:")
+            for key in sorted(self.avoided):
+                val = self.avoided[key]
+                if val:
+                    lines.append(f"  {key:<24} {val:,.6g}")
+        if self.wall_seconds is not None:
+            lines.append("")
+            lines.append(
+                f"wall: {self.wall_seconds:.3f} s "
+                f"(simulated {self.total_us * 1e-6:.6f} s)"
+            )
+        return "\n".join(lines)
+
+
+def _jsonable_rounded(roofline: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "bound": roofline["bound"],
+        "binding": roofline["binding"],
+        "flops": _r(roofline["flops"]),
+        "flops_per_pair": int(roofline["flops_per_pair"]),
+        "peak_flops": _r(roofline["peak_flops"]),
+        "compute_seconds": _r(roofline["compute_seconds"], 12),
+        "spaces": {},
+    }
+    for space, placement in sorted(roofline["spaces"].items()):
+        out["spaces"][space] = {
+            "bytes": int(placement["bytes"]),
+            "intensity": _r(placement["intensity"]),
+            "ridge": _r(placement["ridge"]),
+            "seconds": _r(placement["seconds"], 12),
+        }
+    return out
+
+
+def attribute_spans(spans: List[Any]) -> Dict[str, Dict[str, Any]]:
+    """Charge each span's own cost to its layer.
+
+    Instants carry zero cost and are not counted; a zero-cost *span*
+    still counts toward its layer's span tally (``cell-index``,
+    ``cluster:node*`` — structural layers that are free in the
+    simulated cost model).
+    """
+    layers: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        if span.kind != "span":
+            continue
+        layer = layer_for_span(span.name)
+        info = layers.setdefault(layer, {"us": 0.0, "spans": 0})
+        info["us"] += float(span.cost_us)
+        info["spans"] += 1
+    return layers
+
+
+def roofline_placement(
+    *,
+    pairs: float,
+    dims: int,
+    counters: Any,
+    spec: DeviceSpec,
+) -> Dict[str, Any]:
+    """Place one run on the roofline: the binding resource is whichever
+    of peak-rate compute or per-space memory traffic needs the most
+    time; ties break deterministically compute-first."""
+    flops_per_pair = FLOPS_PER_PAIR_PER_DIM * int(dims) + FLOPS_PER_PAIR_BASE
+    flops = float(pairs) * flops_per_pair
+    peak_flops = spec.peak_lane_cycles_per_sec
+    compute_seconds = flops / peak_flops
+    times: Dict[str, float] = {"compute": compute_seconds}
+    spaces: Dict[str, Dict[str, float]] = {}
+    for space in _ROOFLINE_SPACES:
+        traffic = counters.bytes_for(space) if counters is not None else 0
+        if not traffic:
+            continue
+        bandwidth = spec.bandwidth_for(space)
+        seconds = traffic / bandwidth
+        times[space.value] = seconds
+        spaces[space.value] = {
+            "bytes": int(traffic),
+            "seconds": seconds,
+            "intensity": flops / traffic,
+            "ridge": peak_flops / bandwidth,
+        }
+    binding = max(
+        _BINDING_ORDER,
+        key=lambda k: (times.get(k, float("-inf")), -_BINDING_ORDER.index(k)),
+    )
+    return {
+        "bound": "compute" if binding == "compute" else "memory",
+        "binding": binding,
+        "flops": flops,
+        "flops_per_pair": flops_per_pair,
+        "peak_flops": peak_flops,
+        "compute_seconds": compute_seconds,
+        "spaces": spaces,
+    }
+
+
+def _decompose_run_seconds(res: Any) -> Dict[str, float]:
+    """The simulated-seconds decomposition across subsystems."""
+    out = {
+        "kernel_compute": 0.0,
+        "cluster_merge": 0.0,
+        "cluster_node_max": 0.0,
+        "checkpoint_io": 0.0,
+        "retry_backoff": 0.0,
+        "straggler_wait": 0.0,
+    }
+    report = getattr(res, "report", None)
+    if report is not None:
+        out["kernel_compute"] = float(report.seconds)
+    cluster = getattr(res, "cluster", None)
+    if cluster is not None:
+        out["cluster_merge"] = float(cluster.merge_seconds)
+        if cluster.node_seconds:
+            out["cluster_node_max"] = float(max(cluster.node_seconds.values()))
+    resilience = getattr(res, "resilience", None)
+    if resilience is not None:
+        for event in resilience.events:
+            delay = event.data.get("delay")
+            if delay is None:
+                continue
+            if event.action in ("heartbeat-timeout", "straggler"):
+                out["straggler_wait"] += float(delay)
+            else:
+                out["retry_backoff"] += float(delay)
+        checkpoint_bytes = 0
+        for event in getattr(resilience, "lifecycle", ()):
+            if event.action in ("checkpoint-write", "checkpoint-load"):
+                checkpoint_bytes += int(event.data.get("bytes", 0))
+        out["checkpoint_io"] = checkpoint_bytes / CHECKPOINT_BANDWIDTH
+    return out
+
+
+def _avoided_work(res: Any) -> Dict[str, float]:
+    """Pair evaluations classification skipped, priced in span µs."""
+    out: Dict[str, float] = {}
+    record = getattr(res, "record", None)
+    prune = getattr(record, "prune", None) if record is not None else None
+    if prune is not None:
+        out["prune_pairs_skipped"] = float(prune.pairs_skipped)
+        out["prune_pairs_bulk"] = float(prune.pairs_bulk)
+        out["prune_saved_us"] = float(prune.pairs_skipped) * US_PER_PAIR
+    cells = getattr(record, "cells", None) if record is not None else None
+    if cells is not None:
+        out["cells_pairs_skipped"] = float(cells.pairs_skipped)
+        out["cells_saved_us"] = float(cells.pairs_skipped) * US_PER_PAIR
+    return out
+
+
+def profile_run(
+    res: Any,
+    *,
+    spec: Optional[DeviceSpec] = None,
+    wall_seconds: Optional[float] = None,
+) -> ProfileReport:
+    """Build the attribution report for one traced run outcome (a
+    :class:`~repro.core.runner.RunResult` or anything shaped like one).
+
+    Requires a live trace — the span tree *is* the attribution source;
+    run with ``trace=True`` (CLI ``repro profile`` does)."""
+    trace = getattr(res, "trace", None)
+    if trace is None or isinstance(trace, NullTracer) or not getattr(
+        trace, "roots", None
+    ):
+        raise ValueError(
+            "profile_run needs a traced run: pass run(trace=True) "
+            "(or repro profile, which enables tracing itself)"
+        )
+    if spec is None:
+        spec = TITAN_X
+    spans = trace.all_spans()
+    layers = attribute_spans(spans)
+    # the run total is summed over the *tree*, the layers over the
+    # attribution — conservation means the two agree (and they can only
+    # disagree if a costed span was skipped, e.g. a costed instant)
+    total_us = sum(float(s.cost_us) for s in spans)
+    for info in layers.values():
+        info["share"] = info["us"] / total_us if total_us else 0.0
+
+    eval_us = (
+        layers.get("tile-eval", {}).get("us", 0.0)
+        + layers.get("intra-eval", {}).get("us", 0.0)
+    )
+    pairs_evaluated = eval_us / US_PER_PAIR
+
+    manifest = dict(getattr(res, "manifest", None) or {})
+    record = getattr(res, "record", None)
+    report = getattr(res, "report", None)
+    counters = None
+    if record is not None:
+        counters = record.counters
+    elif report is not None:
+        counters = report.counters
+    kernel = getattr(res, "kernel", None)
+    problem = getattr(kernel, "problem", None)
+    dims = int(
+        getattr(problem, "dims", 0)
+        or manifest.get("problem", {}).get("dims", 0)
+        or 3
+    )
+    roofline = roofline_placement(
+        pairs=pairs_evaluated, dims=dims, counters=counters, spec=spec,
+    )
+    attributed = sum(info["us"] for info in layers.values())
+    return ProfileReport(
+        kernel=(
+            getattr(kernel, "name", None)
+            or manifest.get("kernel", {}).get("name")
+            or (report.kernel if report is not None else "?")
+        ),
+        n=int(manifest.get("n") or getattr(report, "n", 0) or 0),
+        dims=dims,
+        backend=manifest.get("backend"),
+        device=spec.name,
+        total_us=total_us,
+        layers=layers,
+        pairs_evaluated=pairs_evaluated,
+        roofline=roofline,
+        run_seconds=_decompose_run_seconds(res),
+        avoided=_avoided_work(res),
+        conservation={
+            "total_us": total_us,
+            "attributed_us": attributed,
+            "other_us": layers.get("other", {}).get("us", 0.0),
+            "error_us": abs(total_us - attributed),
+        },
+        wall_seconds=wall_seconds,
+        manifest=manifest,
+    )
+
+
+def measured_costs(res: Any, **kwargs: Any) -> Dict[str, float]:
+    """The flat per-layer simulated-µs dict ``repro tune`` will consult."""
+    return profile_run(res, **kwargs).layer_costs()

@@ -1,0 +1,130 @@
+"""Byte-stability regression: every JSON export the repo emits must be
+byte-identical across reruns of the same configuration and carry sorted
+keys at every nesting level — diffs between runs mean behaviour changed,
+never serialization order."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import sdh as sdh_app
+from repro.core.runner import run
+from repro.data import uniform_points
+from repro.obs.export import chrome_json, jsonl_events
+from repro.obs.profile import profile_run
+
+
+def _run_small(**kw):
+    pts = uniform_points(300, dims=3, box=10.0, seed=3)
+    problem = sdh_app.make_problem(32, 10.0 * np.sqrt(3), dims=3)
+    kernel = sdh_app.default_kernel(problem, block_size=32)
+    return run(problem, pts, kernel=kernel, **kw)
+
+
+def _canonical(doc) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _assert_sorted_everywhere(doc, path="$"):
+    if isinstance(doc, dict):
+        assert list(doc) == sorted(doc), f"unsorted keys at {path}"
+        for key, value in doc.items():
+            _assert_sorted_everywhere(value, f"{path}.{key}")
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            _assert_sorted_everywhere(value, f"{path}[{i}]")
+
+
+def test_metrics_and_manifest_bytes_stable():
+    a, b = _run_small(), _run_small()
+    assert _canonical(a.metrics.to_dict()) == _canonical(b.metrics.to_dict())
+    assert _canonical(a.manifest) == _canonical(b.manifest)
+
+
+def test_chrome_trace_bytes_stable_and_sorted():
+    a = _run_small(trace=True)
+    b = _run_small(trace=True)
+    ja, jb = chrome_json(a.trace), chrome_json(b.trace)
+    assert ja == jb
+    assert ja.endswith("\n")
+    doc = json.loads(ja)
+    _assert_sorted_everywhere(doc)
+    # and re-dumping canonically is the identity: nothing was unsorted
+    assert _canonical(doc) + "\n" == ja
+
+
+def test_jsonl_events_bytes_stable():
+    a = _run_small(trace=True)
+    b = _run_small(trace=True)
+    la, lb = jsonl_events(a.trace), jsonl_events(b.trace)
+    assert la == lb
+    for line in la.splitlines():
+        _assert_sorted_everywhere(json.loads(line))
+
+
+def test_profile_report_bytes_stable_and_sorted():
+    a = profile_run(_run_small(trace=True)).to_json()
+    b = profile_run(_run_small(trace=True)).to_json()
+    assert a == b
+    doc = json.loads(a)
+    _assert_sorted_everywhere(doc)
+
+
+@pytest.mark.parametrize("mode", ["prune", "cluster", "faults"])
+def test_variant_configs_stay_stable(mode):
+    kw = {
+        "prune": {"prune": True},
+        "cluster": {"cluster": "ring", "nodes": 3},
+        "faults": {"faults": 1, "retries": 3, "workers": 2},
+    }[mode]
+    a = _run_small(trace=True, **kw)
+    b = _run_small(trace=True, **kw)
+    assert chrome_json(a.trace) == chrome_json(b.trace)
+    assert _canonical(a.metrics.to_dict()) == _canonical(b.metrics.to_dict())
+    assert profile_run(a).to_json() == profile_run(b).to_json()
+
+
+def test_cli_stats_json_bytes_stable(capsys):
+    from repro.cli import main
+
+    argv = ["stats", "--problem", "sdh", "-n", "300", "--format", "json"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    _assert_sorted_everywhere(json.loads(first))
+
+
+def test_cli_profile_json_bytes_stable(capsys):
+    from repro.cli import main
+
+    argv = ["profile", "--problem", "sdh", "-n", "300", "--format", "json"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    _assert_sorted_everywhere(json.loads(first))
+
+
+def test_benchmark_exports_pass_sort_keys():
+    """Every benchmark json.dumps site must opt into sorted keys — the
+    committed BENCH_*.json baselines are diffed byte-for-byte by CI."""
+    import pathlib
+
+    bench_dir = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    offenders = []
+    for path in sorted(bench_dir.glob("*.py")):
+        text = path.read_text()
+        idx = 0
+        while True:
+            idx = text.find("json.dumps(", idx)
+            if idx < 0:
+                break
+            call = text[idx:text.index(")", idx) + 1]
+            if "sort_keys" not in call:
+                offenders.append(f"{path.name}: {call}")
+            idx += 1
+    assert not offenders, f"json.dumps without sort_keys: {offenders}"

@@ -1,0 +1,281 @@
+"""Flight recorder ring semantics and live telemetry accounting."""
+
+import numpy as np
+import pytest
+
+from repro.apps import sdh as sdh_app
+from repro.core.runner import run
+from repro.data import uniform_points
+from repro.obs.flight import (
+    FLIGHT_CAPACITY,
+    FlightRecorder,
+    ProgressEvent,
+    RunTelemetry,
+    resolve_telemetry,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+# -- FlightRecorder ----------------------------------------------------------
+
+def test_ring_records_and_orders_events():
+    fr = FlightRecorder(clock=FakeClock(5.0))
+    fr.record("block", block=0)
+    fr.record("retry", attempt=1)
+    events = fr.snapshot()
+    assert [e["kind"] for e in events] == ["block", "retry"]
+    assert [e["seq"] for e in events] == [1, 2]
+    assert all(e["t"] == 5.0 for e in events)
+    assert events[1]["attempt"] == 1
+
+
+def test_ring_eviction_keeps_seq():
+    fr = FlightRecorder(capacity=4)
+    for i in range(10):
+        fr.record("block", block=i)
+    events = fr.snapshot()
+    assert len(fr) == 4
+    # the oldest six were evicted but numbering is preserved
+    assert [e["seq"] for e in events] == [7, 8, 9, 10]
+    assert [e["block"] for e in events] == [6, 7, 8, 9]
+
+
+def test_snapshot_returns_copies():
+    fr = FlightRecorder()
+    fr.record("block", block=0)
+    snap = fr.snapshot()
+    snap[0]["block"] = 99
+    assert fr.snapshot()[0]["block"] == 0
+
+
+def test_restore_resumes_numbering_monotonically():
+    fr = FlightRecorder()
+    fr.record("early")  # will be wiped by the restore
+    fr.restore([
+        {"seq": 41, "t": 1.0, "kind": "block"},
+        {"seq": 42, "t": 2.0, "kind": "checkpoint-write"},
+    ])
+    fr.record("resumed")
+    seqs = [e["seq"] for e in fr.snapshot()]
+    assert seqs == [41, 42, 43]
+
+
+def test_restore_none_is_noop():
+    fr = FlightRecorder()
+    fr.record("block")
+    fr.restore(None)
+    fr.restore([])
+    assert len(fr) == 1
+
+
+def test_default_capacity_covers_postmortem_floor():
+    assert FLIGHT_CAPACITY >= 64
+
+
+# -- RunTelemetry ------------------------------------------------------------
+
+def _telemetry(events, interval=0.0, clock=None):
+    return RunTelemetry(events.append, interval=interval,
+                        clock=clock or FakeClock())
+
+
+def test_on_block_credits_pair_mass_once():
+    events = []
+    t = _telemetry(events)
+    t.configure(blocks_total=2, block_pairs={0: 70, 1: 30})
+    t.on_block(0, 0)
+    t.on_block(0, 1)
+    t.on_block(0, 0)  # reduce launch / retry re-dispatch: no new mass
+    assert t.blocks_done == 2
+    assert t.pairs_done == 100
+    assert t.pairs_total == 100
+    assert events[-1].fraction_done == 1.0
+
+
+def test_advance_credits_replayed_chunks_without_flight_events():
+    fr = FlightRecorder()
+    t = RunTelemetry(flight=fr)
+    t.configure(blocks_total=4, block_pairs={0: 10, 1: 10, 2: 10, 3: 10})
+    t.advance(blocks=[0, 1], chunks=2)
+    assert t.blocks_done == 2 and t.chunks_done == 2
+    assert t.pairs_done == 20
+    assert len(fr) == 0  # replay is not history: nothing recorded
+    t.on_block(0, 2)
+    assert len(fr) == 1
+    t.on_block(0, 0)  # replayed block re-dispatched: no double credit
+    assert t.pairs_done == 30
+
+
+def test_eta_and_throughput_from_fake_clock():
+    clock = FakeClock()
+    events = []
+    t = _telemetry(events, clock=clock)
+    t.configure(blocks_total=2, block_pairs={0: 50, 1: 50})
+    clock.t = 2.0  # 2 wall seconds in
+    t.on_block(0, 0)
+    ev = events[-1]
+    assert ev.pairs_per_second == pytest.approx(25.0)
+    assert ev.eta_seconds == pytest.approx(2.0)  # 50 pairs left at 25/s
+    clock.t = 4.0
+    t.on_block(0, 1)
+    assert events[-1].eta_seconds == 0.0
+
+
+def test_deadline_fit_flag():
+    clock = FakeClock()
+
+    class Budget:
+        def remaining(self):
+            return 1.0
+
+    events = []
+    t = _telemetry(events, clock=clock)
+    t.configure(blocks_total=2, block_pairs={0: 50, 1: 50},
+                deadline=Budget())
+    clock.t = 2.0
+    t.on_block(0, 0)  # eta 2.0 s > 1.0 s remaining
+    assert events[-1].deadline_remaining == 1.0
+    assert events[-1].deadline_fits is False
+
+
+def test_throttling_by_interval():
+    clock = FakeClock()
+    events = []
+    t = RunTelemetry(events.append, interval=10.0, clock=clock)
+    t.configure(blocks_total=3, block_pairs={0: 1, 1: 1, 2: 1})
+    clock.t = 1.0
+    t.on_block(0, 0)  # first emit
+    clock.t = 2.0
+    t.on_block(0, 1)  # throttled
+    assert len(events) == 1
+    t.on_chunk(0, 3)  # forced
+    t.finish()        # forced
+    assert [e.phase for e in events] == ["run", "chunk", "done"]
+
+
+def test_on_event_tracks_degradation_state():
+    events = []
+    t = _telemetry(events)
+    t.on_event("degrade-input", device=0, detail="register-roc -> shm")
+    t.on_event("node-lost", device=2, detail="node 2 evicted")
+    t.on_event("degrade-topology", device=-1, detail="ring -> tree")
+    t.on_event("failover", device=1)
+    state = events[-1].state
+    assert state["kernel"] == "shm"
+    assert state["dead_nodes"] == [2]
+    assert state["topology"] == "tree"
+    assert state["device"] == 1
+    assert state["events"]["node-lost"] == 1
+    # every degradation forces an emission
+    assert [e.phase for e in events] == ["event"] * 4
+
+
+def test_progress_event_fraction_fallback():
+    ev = ProgressEvent(phase="run", wall_seconds=1.0, blocks_done=1,
+                       blocks_total=4)
+    assert ev.fraction_done == 0.25
+    assert ProgressEvent(phase="run", wall_seconds=0.0).fraction_done is None
+
+
+def test_resolve_telemetry_coercions():
+    assert resolve_telemetry(None) is None
+    assert resolve_telemetry(False) is None
+    t = RunTelemetry()
+    assert resolve_telemetry(t) is t
+    silent = resolve_telemetry(True)
+    assert isinstance(silent, RunTelemetry) and silent.callback is None
+    sink = []
+    wrapped = resolve_telemetry(sink.append)
+    assert wrapped.callback == sink.append
+    with pytest.raises(TypeError):
+        resolve_telemetry(42)
+
+
+# -- engine integration ------------------------------------------------------
+
+def _problem_points(n=300):
+    pts = uniform_points(n, dims=3, box=10.0, seed=3)
+    problem = sdh_app.make_problem(32, 10.0 * np.sqrt(3), dims=3)
+    return problem, pts
+
+
+@pytest.mark.parametrize("backend", ["sequential", "threads", "processes",
+                                     "megabatch"])
+def test_run_progress_accounts_every_backend(backend):
+    problem, pts = _problem_points()
+    t = RunTelemetry(flight=FlightRecorder())
+    res = run(problem, pts, backend=backend, progress=t)
+    n = pts.shape[0]
+    assert t.pairs_total == n * (n - 1) // 2
+    assert t.pairs_done == t.pairs_total
+    assert t.blocks_done == t.blocks_total
+    assert any(e["kind"] == "block" for e in t.flight.snapshot())
+    assert res.result.sum() == n * (n - 1) // 2
+
+
+def test_run_progress_callback_reaches_done():
+    problem, pts = _problem_points()
+    events = []
+    run(problem, pts, progress=events.append)
+    assert events[-1].phase == "done"
+    assert events[-1].fraction_done == 1.0
+
+
+def test_cluster_run_progress_accounts_pair_mass():
+    problem, pts = _problem_points()
+    t = RunTelemetry(flight=FlightRecorder())
+    res = run(problem, pts, cluster="ring", nodes=3, progress=t)
+    assert t.pairs_done == t.pairs_total
+    assert res.cluster is not None
+
+
+def test_checkpoint_run_records_chunks_and_resume_restores_ring(tmp_path):
+    problem, pts = _problem_points(600)
+    store = tmp_path / "ck"
+
+    calls = []
+
+    def bomb(index, entry):
+        calls.append(index)
+        if len(calls) == 2:
+            raise KeyboardInterrupt
+
+    from repro.core.checkpoint import CheckpointConfig
+
+    with pytest.raises(KeyboardInterrupt):
+        run(problem, pts,
+            checkpoint_dir=CheckpointConfig(store, every=1,
+                                            after_chunk=bomb))
+
+    t = RunTelemetry(flight=FlightRecorder())
+    res = run(problem, pts, checkpoint_dir=store, checkpoint_every=1,
+              resume=True, progress=t)
+    assert t.pairs_done == t.pairs_total
+    assert t.chunks_done == t.chunks_total
+    events = t.flight.snapshot()
+    kinds = [e["kind"] for e in events]
+    # pre-kill history survived the restore, then the resume marker
+    assert "resumed" in kinds
+    assert kinds.index("resumed") > 0
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs)
+    assert res.result.sum() == 600 * 599 // 2
+
+
+def test_faulted_run_forwards_recovery_events_to_flight():
+    problem, pts = _problem_points()
+    t = RunTelemetry(flight=FlightRecorder())
+    res = run(problem, pts, faults=1, retries=3, workers=2, progress=t)
+    kinds = {e["kind"] for e in t.flight.snapshot()}
+    assert "block" in kinds
+    # chaos seed 1 injects at least one recoverable fault
+    assert res.resilience is not None
+    recovery = {e.action for e in res.resilience.events}
+    assert recovery & kinds

@@ -123,3 +123,68 @@ def test_build_manifest_direct():
     man2 = build_manifest(n=10, faults=7, retries=2)
     assert man2["fault_seed"] == 7
     assert man2["retries"] == 2
+
+
+# -- registry merge (cluster / process-pool composition) ----------------------
+
+def test_merge_unit_semantics():
+    a = MetricsRegistry()
+    a.inc("c", 2)
+    a.set_gauge("g", 1.0)
+    a.observe("h", 1.0)
+    a.set_label("k", "a")
+    b = MetricsRegistry()
+    b.inc("c", 3)
+    b.inc("only_b")
+    b.set_gauge("g", 2.5)
+    b.observe("h", 2.0)
+    b.set_label("k", "b")
+    out = a.merge(b)
+    assert out is a
+    # counters are extensive: they add
+    assert a.counter_value("c") == 5
+    assert a.counter_value("only_b") == 1
+    # gauges and labels are last-writer-wins, histograms concatenate
+    assert a.gauge_value("g") == 2.5
+    assert a.histograms["h"] == [1.0, 2.0]
+    assert a.labels["k"] == "b"
+    # the source registry is untouched
+    assert b.counter_value("c") == 3
+
+
+@pytest.mark.parametrize("backend", ["sequential", "processes"])
+def test_merge_cluster_stripes_sum_to_single_node(backend):
+    """Per-node counter registries merged across the stripe records must
+    equal the single-node run's totals — the composition law the merge
+    exists for, under both the in-process and process-pool engines."""
+    from repro.core.cluster import ClusterSpec, cluster_run
+
+    pts = uniform_points(300, dims=3, box=10.0, seed=3)
+    problem = sdh_app.make_problem(32, 10.0 * np.sqrt(3), dims=3)
+    kernel = sdh_app.default_kernel(problem, block_size=32)
+    single = run(problem, pts, kernel=kernel, backend=backend)
+    cr = cluster_run(problem, pts, cluster=ClusterSpec(nodes=3),
+                     kernel=kernel, backend=backend)
+
+    merged = MetricsRegistry()
+    for record in cr.records:
+        part = MetricsRegistry()
+        part.ingest_access_counters(record.counters)
+        merged.merge(part)
+    baseline = MetricsRegistry()
+    baseline.ingest_access_counters(single.record.counters)
+
+    mem_names = [n for n in baseline.counters if n.startswith("mem.")]
+    assert mem_names, "baseline registry recorded no memory counters"
+    for name in mem_names:
+        assert merged.counter_value(name) == baseline.counter_value(name), name
+    assert np.array_equal(cr.result, single.result)
+
+
+def test_merge_identity_and_empty():
+    m = MetricsRegistry()
+    m.inc("c", 7)
+    m.merge(MetricsRegistry())
+    assert m.counter_value("c") == 7
+    fresh = MetricsRegistry().merge(m)
+    assert fresh.counter_value("c") == 7

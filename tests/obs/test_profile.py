@@ -1,0 +1,218 @@
+"""Attribution profiler: conservation, roofline, byte-stable reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import pcf as pcf_app, sdh as sdh_app
+from repro.core.runner import run
+from repro.data import uniform_points
+from repro.gpusim.counters import AccessCounters, MemSpace
+from repro.gpusim.spec import TITAN_X
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    layer_for_span,
+    measured_costs,
+    profile_run,
+    roofline_placement,
+)
+
+BACKENDS = ["sequential", "threads", "processes", "megabatch"]
+
+
+def _traced_run(n=300, cutoff=None, **kw):
+    pts = uniform_points(n, dims=3, box=10.0, seed=3)
+    maxd = cutoff or 10.0 * np.sqrt(3)
+    problem = sdh_app.make_problem(32, maxd, dims=3, cell_cutoff=cutoff)
+    # small blocks so smoke-sized runs still exercise tiles/merges/stripes
+    kernel = sdh_app.default_kernel(problem, block_size=32,
+                                    prune=kw.pop("prune", False))
+    return run(problem, pts, kernel=kernel, trace=True, **kw)
+
+
+def _assert_conserved(rep):
+    cons = rep.conservation
+    assert cons["other_us"] == 0.0, "unmapped span names leaked"
+    assert cons["error_us"] <= 1e-6 * max(1.0, cons["total_us"])
+    assert sum(info["share"] for info in rep.layers.values()) == (
+        pytest.approx(1.0)
+    )
+
+
+# -- conservation matrix (the acceptance grid) -------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_conservation_plain(backend):
+    rep = profile_run(_traced_run(backend=backend))
+    _assert_conserved(rep)
+    assert rep.layers["tile-eval"]["us"] > 0
+    assert rep.pairs_evaluated == pytest.approx(300 * 299 // 2)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_conservation_pruned(backend):
+    rep = profile_run(_traced_run(backend=backend, prune=True))
+    _assert_conserved(rep)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_conservation_cells(backend):
+    rep = profile_run(_traced_run(backend=backend, cutoff=2.0,
+                                  cells="force"))
+    _assert_conserved(rep)
+    assert "cell-index" in rep.layers
+    # the cell grid skipped far pairs: fewer evaluations than the full grid
+    assert rep.pairs_evaluated < 300 * 299 // 2
+    assert rep.avoided["cells_pairs_skipped"] > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_conservation_cluster(backend):
+    rep = profile_run(_traced_run(backend=backend, cluster="ring", nodes=3))
+    _assert_conserved(rep)
+    assert "cluster" in rep.layers
+    assert rep.run_seconds["cluster_merge"] > 0
+
+
+def test_conservation_faulted_recovery():
+    rep = profile_run(_traced_run(faults=1, retries=3, workers=2))
+    _assert_conserved(rep)
+    assert rep.run_seconds["retry_backoff"] >= 0
+
+
+def test_conservation_checkpointed(tmp_path):
+    rep = profile_run(_traced_run(checkpoint_dir=tmp_path / "ck",
+                                  checkpoint_every=2))
+    _assert_conserved(rep)
+    # durable chunk bytes are priced into the decomposition
+    assert rep.run_seconds["checkpoint_io"] > 0
+
+
+# -- report content ----------------------------------------------------------
+
+def test_layer_mapping_covers_engine_spans():
+    assert layer_for_span("tile") == "tile-eval"
+    assert layer_for_span("tile-batch") == "tile-eval"
+    assert layer_for_span("mega") == "tile-eval"
+    assert layer_for_span("intra") == "intra-eval"
+    assert layer_for_span("launch") == "launch"
+    assert layer_for_span("worker") == "worker-dispatch"
+    assert layer_for_span("block") == "block-dispatch"
+    assert layer_for_span("merge") == "reduce-merge"
+    assert layer_for_span("recovery") == "recovery"
+    assert layer_for_span("cluster:node3") == "cluster"
+    assert layer_for_span("no-such-span") == "other"
+
+
+def test_profile_requires_trace():
+    res = _traced_run()
+    res.trace = None
+    with pytest.raises(ValueError, match="trace"):
+        profile_run(res)
+
+
+def test_report_identity_fields_and_schema():
+    res = _traced_run()
+    rep = profile_run(res)
+    d = rep.to_dict()
+    assert d["schema"] == PROFILE_SCHEMA
+    assert d["kernel"] == res.kernel.name
+    assert d["n"] == 300
+    assert d["dims"] == 3
+    assert d["device"] == TITAN_X.name
+    assert rep.total_us == pytest.approx(
+        sum(info["us"] for info in rep.layers.values())
+    )
+
+
+def test_measured_costs_flat_view():
+    costs = measured_costs(_traced_run())
+    assert costs["tile-eval"] > 0
+    assert set(costs) == set(profile_run(_traced_run()).layers)
+
+
+def test_pruning_shows_in_avoided_and_pairs():
+    # two tight clusters + a PCF cutoff: inter-cluster tiles prove zero
+    # contribution (dmin > cutoff) and are skipped outright
+    rng = np.random.default_rng(5)
+    pts = np.concatenate([
+        rng.normal(loc, 0.05, size=(150, 3))
+        for loc in ((0.0, 0.0, 0.0), (9.0, 9.0, 9.0))
+    ])
+    problem = pcf_app.make_problem(1.0)
+    kernel = pcf_app.default_kernel(problem, block_size=32, prune=True)
+    res = run(problem, pts, kernel=kernel, trace=True)
+    rep = profile_run(res)
+    _assert_conserved(rep)
+    assert rep.avoided["prune_pairs_skipped"] > 0
+    assert rep.avoided["prune_saved_us"] == pytest.approx(
+        rep.avoided["prune_pairs_skipped"] * 1e-3
+    )
+    assert rep.pairs_evaluated < 300 * 299 // 2
+
+
+# -- roofline ----------------------------------------------------------------
+
+def test_roofline_compute_bound_without_traffic():
+    roof = roofline_placement(pairs=1e6, dims=3, counters=None, spec=TITAN_X)
+    assert roof["bound"] == "compute"
+    assert roof["binding"] == "compute"
+    assert roof["flops_per_pair"] == 11
+    assert roof["flops"] == pytest.approx(1.1e7)
+    assert roof["spaces"] == {}
+
+
+def test_roofline_memory_bound_under_heavy_global_traffic():
+    c = AccessCounters()
+    c.add_read(MemSpace.GLOBAL, 10**9)  # 4 GB of global reads
+    roof = roofline_placement(pairs=100, dims=3, counters=c, spec=TITAN_X)
+    assert roof["bound"] == "memory"
+    assert roof["binding"] == "global"
+    placement = roof["spaces"]["global"]
+    assert placement["bytes"] == 4 * 10**9
+    assert placement["seconds"] > roof["compute_seconds"]
+    # ridge = peak flops / bandwidth; intensity below it => memory bound
+    assert placement["intensity"] < placement["ridge"]
+
+
+def test_roofline_binding_ties_break_deterministically():
+    roof = roofline_placement(pairs=0, dims=3, counters=AccessCounters(),
+                              spec=TITAN_X)
+    assert roof["binding"] == "compute"  # all-zero times: compute wins ties
+
+
+def test_run_roofline_reflects_measured_ledger():
+    rep = profile_run(_traced_run())
+    roof = rep.roofline
+    assert roof["flops"] == pytest.approx(rep.pairs_evaluated * 11)
+    assert roof["binding"] in roof["spaces"] or roof["binding"] == "compute"
+    for placement in roof["spaces"].values():
+        assert placement["bytes"] > 0
+
+
+# -- byte-identity -----------------------------------------------------------
+
+def test_report_json_byte_identical_across_reruns():
+    a = profile_run(_traced_run()).to_json()
+    b = profile_run(_traced_run()).to_json()
+    assert a == b
+    # and it parses with every nesting level sorted
+    doc = json.loads(a)
+    assert json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n" == a
+
+
+def test_report_json_excludes_wall_by_default():
+    res = _traced_run()
+    rep = profile_run(res, wall_seconds=1.23)
+    assert "wall" not in rep.to_dict()
+    assert rep.to_dict(include_wall=True)["wall"]["seconds"] == 1.23
+    assert "wall" in rep.render()
+
+
+def test_render_mentions_every_layer():
+    rep = profile_run(_traced_run(cluster="ring", nodes=3))
+    table = rep.render()
+    for layer in rep.layers:
+        assert layer in table
+    assert "roofline" in table

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -69,3 +71,66 @@ def test_figures_single(capsys):
 def test_figures_unknown(capsys):
     code = main(["figures", "fig99"])
     assert code == 2
+
+
+def test_stats_json_format(capsys):
+    code, out = run(["stats", "--problem", "sdh", "-n", "300",
+                     "--format", "json"], capsys)
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["manifest"]["n"] == 300
+    assert "counters" in doc["metrics"]
+
+
+def test_stats_missing_trace_file_exits_nonzero(capsys):
+    code = main(["stats", "--problem", "sdh", "-n", "300",
+                 "--trace", "/no/such/dir/trace.json"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error:" in err
+
+
+def test_profile_table(capsys):
+    code, out = run(["profile", "--problem", "sdh", "-n", "300"], capsys)
+    assert code == 0
+    assert "profile:" in out
+    assert "tile-eval" in out
+    assert "roofline" in out
+
+
+def test_profile_json_validates(capsys):
+    code, out = run(["profile", "--problem", "pcf", "-n", "300",
+                     "--prune", "--format", "json"], capsys)
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["schema"] == "repro-profile-v1"
+    assert doc["conservation"]["other_us"] == 0
+
+
+def test_progress_flag_emits_status_lines(capsys):
+    code = main(["sdh", "-n", "512", "--progress"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "done" in captured.err
+
+
+def test_blackbox_roundtrip(tmp_path, capsys):
+    store = tmp_path / "ck"
+    code, _ = run(["sdh", "-n", "512", "--checkpoint-dir", str(store),
+                   "--checkpoint-every", "1", "--progress"], capsys)
+    assert code == 0
+    code, out = run(["blackbox", str(store), "--last", "8"], capsys)
+    assert code == 0
+    assert "block" in out
+    code, out = run(["blackbox", str(store), "--json"], capsys)
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["events"]
+    seqs = [e["seq"] for e in doc["events"]]
+    assert seqs == sorted(seqs)
+
+
+def test_blackbox_missing_store_exits_nonzero(tmp_path, capsys):
+    code = main(["blackbox", str(tmp_path / "nowhere")])
+    assert code == 2
+    assert "no checkpoint" in capsys.readouterr().err

@@ -10,7 +10,11 @@ backend, against a *real* torn process:
    are durably on disk — and verifies the child died by SIGKILL;
 3. resumes from the torn store and asserts the result, the exported
    Chrome trace and the resilience report are **byte-identical** to the
-   uninterrupted baseline.
+   uninterrupted baseline;
+4. runs a second, finer-chunked child (75 one-block chunks), SIGKILLs
+   it deep into the run and asserts ``repro blackbox`` replays at least
+   64 flight-recorder events from the torn store — the post-mortem
+   floor the observability acceptance demands.
 
 The checkpoint stores live under ``--workdir`` (default
 ``interrupted-run-artifacts/``) so CI can upload them when the
@@ -26,6 +30,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import os
 import pathlib
@@ -45,15 +50,23 @@ N = 300
 BLOCK = 32  # 10 anchor blocks -> 5 chunks at --every 2
 EVERY = 2
 
+# flight-recorder check: 75 one-block chunks, killed at chunk 70 -> the
+# last durable payload's ring holds well over the 64-event floor
+FLIGHT_N = 600
+FLIGHT_BLOCK = 8
+FLIGHT_EVERY = 1
+FLIGHT_KILL_AT = 70
+FLIGHT_MIN_EVENTS = 64
+
 
 def _run(args, store, after_chunk=None):
     problem = apps.sdh.make_problem(64, 10.0 * math.sqrt(3.0), dims=3)
-    pts = data.uniform_points(N, dims=3, box=10.0, seed=7)
+    pts = data.uniform_points(args.n, dims=3, box=10.0, seed=7)
     kernel = make_kernel(problem, "register-roc", "privatized-shm",
-                         block_size=BLOCK, prune=args.prune)
+                         block_size=args.block_size, prune=args.prune)
     return run(
         problem, pts, kernel=kernel,
-        checkpoint_dir=CheckpointConfig(store, every=EVERY,
+        checkpoint_dir=CheckpointConfig(store, every=args.every,
                                         after_chunk=after_chunk),
         backend=args.backend, workers=2, faults=args.faults,
         retries=3 if args.faults is not None else None,
@@ -91,20 +104,11 @@ def parent_main(args) -> int:
     clean_store = workdir / f"clean-{args.backend}"
     kill_store = workdir / f"killed-{args.backend}"
 
-    print(f"[1/3] uninterrupted baseline ({args.backend}) ...")
+    print(f"[1/4] uninterrupted baseline ({args.backend}) ...")
     baseline = _signature(_run(args, clean_store))
 
-    print(f"[2/3] child run, SIGKILL after chunk {args.kill_at} ...")
-    cmd = [
-        sys.executable, str(pathlib.Path(__file__).resolve()), "--child",
-        "--backend", args.backend, "--kill-at", str(args.kill_at),
-        "--store", str(kill_store),
-    ]
-    if args.prune:
-        cmd.append("--prune")
-    if args.faults is not None:
-        cmd += ["--faults", str(args.faults)]
-    proc = subprocess.run(cmd)
+    print(f"[2/4] child run, SIGKILL after chunk {args.kill_at} ...")
+    proc = subprocess.run(_child_cmd(args, kill_store, args.kill_at))
     if proc.returncode != -signal.SIGKILL:
         print(f"FAIL: child exited {proc.returncode}, expected SIGKILL "
               f"({-signal.SIGKILL})")
@@ -116,7 +120,7 @@ def parent_main(args) -> int:
     durable = len(store.load_manifest()["chunks"])
     print(f"      child died holding {durable} durable chunk(s)")
 
-    print(f"[3/3] resume from {kill_store} ...")
+    print(f"[3/4] resume from {kill_store} ...")
     resumed = _signature(_run(args, kill_store))
 
     failures = [k for k in baseline if baseline[k] != resumed[k]]
@@ -127,9 +131,71 @@ def parent_main(args) -> int:
     trace_bytes = len(baseline["trace"])
     print(f"PASS: result, trace ({trace_bytes} bytes) and resilience "
           f"report are byte-identical after kill + resume")
+
+    rc = flight_check(args, workdir)
+    if rc != 0:
+        print(f"      stores kept for inspection under {workdir}")
+        return rc
     if not args.keep:
         shutil.rmtree(workdir)
     return 0
+
+
+def flight_check(args, workdir: pathlib.Path) -> int:
+    """SIGKILL a finer-chunked child deep into the run, then post-mortem
+    the torn store through ``repro blackbox`` exactly like an operator
+    would, asserting the ring replays ≥ ``FLIGHT_MIN_EVENTS`` events."""
+    flight_store = workdir / f"flight-{args.backend}"
+    print(f"[4/4] flight recorder: {FLIGHT_N // FLIGHT_BLOCK} one-block "
+          f"chunks, SIGKILL after chunk {FLIGHT_KILL_AT} ...")
+    proc = subprocess.run(_child_cmd(
+        args, flight_store, FLIGHT_KILL_AT,
+        n=FLIGHT_N, block_size=FLIGHT_BLOCK, every=FLIGHT_EVERY,
+    ))
+    if proc.returncode != -signal.SIGKILL:
+        print(f"FAIL: flight child exited {proc.returncode}, expected "
+              f"SIGKILL ({-signal.SIGKILL})")
+        return 1
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "blackbox", str(flight_store),
+         "--json"],
+        capture_output=True, text=True, env=env,
+    )
+    if out.returncode != 0:
+        print(f"FAIL: repro blackbox exited {out.returncode}: {out.stderr}")
+        return 1
+    events = json.loads(out.stdout)["events"]
+    kinds = {ev["kind"] for ev in events}
+    if len(events) < FLIGHT_MIN_EVENTS:
+        print(f"FAIL: blackbox replayed only {len(events)} flight events, "
+              f"need >= {FLIGHT_MIN_EVENTS}")
+        return 1
+    if "block" not in kinds or "checkpoint-write" not in kinds:
+        print(f"FAIL: flight ring is missing expected event kinds "
+              f"(got {sorted(kinds)})")
+        return 1
+    print(f"PASS: blackbox replayed {len(events)} flight events "
+          f"({', '.join(sorted(kinds))}) from the torn store")
+    return 0
+
+
+def _child_cmd(args, store, kill_at, n=None, block_size=None, every=None):
+    cmd = [
+        sys.executable, str(pathlib.Path(__file__).resolve()), "--child",
+        "--backend", args.backend, "--kill-at", str(kill_at),
+        "--store", str(store),
+        "--n", str(n if n is not None else args.n),
+        "--block-size",
+        str(block_size if block_size is not None else args.block_size),
+        "--every", str(every if every is not None else args.every),
+    ]
+    if args.prune:
+        cmd.append("--prune")
+    if args.faults is not None:
+        cmd += ["--faults", str(args.faults)]
+    return cmd
 
 
 def main(argv=None) -> int:
@@ -149,6 +215,11 @@ def main(argv=None) -> int:
                              "by CI on failure)")
     parser.add_argument("--keep", action="store_true",
                         help="keep the stores even on success")
+    parser.add_argument("--n", type=int, default=N, help=argparse.SUPPRESS)
+    parser.add_argument("--block-size", type=int, default=BLOCK,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--every", type=int, default=EVERY,
+                        help=argparse.SUPPRESS)
     parser.add_argument("--child", action="store_true",
                         help=argparse.SUPPRESS)
     parser.add_argument("--store", default=None, help=argparse.SUPPRESS)

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Validate a ``repro profile --format json`` report against the
+checked-in schema (``tools/profile_schema.json``).
+
+The container has no ``jsonschema`` package, so this implements the
+small subset the schema uses — ``type`` (including union lists),
+``enum``, ``required``, ``properties``, ``additionalProperties`` (bool
+or sub-schema) and ``minimum`` — plus the semantic invariants a schema
+cannot express:
+
+* conservation: attributed layer µs sum to the run total (±1e-6 rel)
+  and the ``other`` bucket is empty;
+* layer shares sum to 1 (±1e-6) when any time was attributed;
+* the roofline binding resource appears in the measured spaces (or is
+  ``compute``).
+
+Usage: ``python tools/validate_profile.py report.json [...]`` (or - for
+stdin).  Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).with_name("profile_schema.json")
+
+_TYPES = {
+    "object": dict,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "null": type(None),
+    "array": list,
+    "boolean": bool,
+}
+
+
+def _check_type(value, expected) -> bool:
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        py = _TYPES[name]
+        if isinstance(value, py):
+            # bool is an int subclass; "integer"/"number" must not accept it
+            if name in ("integer", "number") and isinstance(value, bool):
+                continue
+            return True
+    return False
+
+
+def validate(value, schema, path="$", errors=None):
+    """Collect violations of the supported schema subset into ``errors``."""
+    if errors is None:
+        errors = []
+    expected = schema.get("type")
+    if expected is not None and not _check_type(value, expected):
+        errors.append(f"{path}: expected {expected}, got "
+                      f"{type(value).__name__}")
+        return errors
+    enum = schema.get("enum")
+    if enum is not None and value not in enum:
+        errors.append(f"{path}: {value!r} not in {enum}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and value < minimum:
+            errors.append(f"{path}: {value} < minimum {minimum}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+    return errors
+
+
+def semantic_checks(report) -> list:
+    """Invariants beyond the schema's reach."""
+    errors = []
+    cons = report.get("conservation", {})
+    total = cons.get("total_us", 0.0)
+    tol = 1e-6 * max(1.0, abs(total))
+    if abs(cons.get("error_us", 0.0)) > tol:
+        errors.append(
+            f"conservation: attributed != total "
+            f"(error {cons.get('error_us')} µs > tolerance {tol})"
+        )
+    if cons.get("other_us", 0.0) > 0:
+        errors.append(
+            f"conservation: non-empty 'other' bucket "
+            f"({cons.get('other_us')} µs of unmapped spans)"
+        )
+    layers = report.get("layers", {})
+    if total > 0 and layers:
+        share_sum = sum(info.get("share", 0.0) for info in layers.values())
+        # shares are serialized rounded to 6 digits: allow one half-ulp
+        # of that rounding per layer
+        if abs(share_sum - 1.0) > 5e-7 * len(layers) + 1e-9:
+            errors.append(f"layers: shares sum to {share_sum}, not 1")
+    roof = report.get("roofline", {})
+    binding = roof.get("binding")
+    if binding not in (None, "compute") and binding not in roof.get(
+        "spaces", {}
+    ):
+        errors.append(
+            f"roofline: binding {binding!r} has no measured space entry"
+        )
+    return errors
+
+
+def main(argv=None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:]) or ["-"]
+    schema = json.loads(SCHEMA_PATH.read_text())
+    status = 0
+    for path in paths:
+        text = sys.stdin.read() if path == "-" else Path(path).read_text()
+        try:
+            report = json.loads(text)
+        except json.JSONDecodeError as exc:
+            print(f"{path}: not valid JSON: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        errors = validate(report, schema) + semantic_checks(report)
+        if errors:
+            status = 1
+            for err in errors:
+                print(f"{path}: {err}", file=sys.stderr)
+        else:
+            print(f"{path}: OK ({len(report.get('layers', {}))} layers, "
+                  f"schema {report.get('schema')})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
